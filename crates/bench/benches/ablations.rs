@@ -1,0 +1,270 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. **indexed matching vs full scan** — the six-permutation index design;
+//! 2. **RDFS materialization vs on-demand closure** — the paper restricts
+//!    entailment to RDFS; we answer ID-taxonomy questions with a BFS closure
+//!    instead of materializing, and this bench quantifies the trade-off;
+//! 3. **phase-2 pruning** — "a wrapper provides all features of a concept
+//!    or is not considered" (§5.3): distractor wrappers that get pruned must
+//!    only add linear cost, not combinatorial cost;
+//! 4. **term interning** — id-based quad keys vs string-tuple keys.
+
+use bdi_bench::synthetic;
+use bdi_core::release::Release;
+use bdi_rdf::model::{GraphName, Iri, Quad, Term};
+use bdi_rdf::store::{GraphPattern, QuadStore};
+use bdi_rdf::vocab::{rdf, rdfs, sc};
+use bdi_relational::Schema;
+use bdi_wrappers::TableWrapper;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn iri(i: usize, kind: &str) -> Iri {
+    Iri::new(format!("http://bench.example/{kind}/{i}"))
+}
+
+/// Ablation 1: answering `(?, p, ?)` through the POS index vs scanning all
+/// quads and filtering.
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let store = QuadStore::new();
+    for s in 0..5_000 {
+        for p in 0..4 {
+            store.insert(&Quad::new(
+                iri(s, "s"),
+                iri(p, "p"),
+                iri(s % 97, "o"),
+                GraphName::Default,
+            ));
+        }
+    }
+    let p = iri(2, "p");
+
+    c.bench_function("ablation/index/pos_lookup", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .match_quads(None, Some(&p), None, &GraphPattern::Any)
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("ablation/index/full_scan_filter", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .iter_all()
+                    .into_iter()
+                    .filter(|q| q.predicate == p)
+                    .count(),
+            )
+        })
+    });
+}
+
+/// Ablation 2: is-ID checks through RDFS materialization vs the on-demand
+/// subclass closure the rewriter uses.
+fn bench_entailment(c: &mut Criterion) {
+    fn taxonomy() -> QuadStore {
+        let store = QuadStore::new();
+        // 200 features in chains of depth 4 under sc:identifier.
+        for f in 0..200 {
+            store.insert(&Quad::new(
+                iri(f, "feat"),
+                (*rdfs::SUB_CLASS_OF).clone(),
+                iri(f % 50, "mid"),
+                GraphName::Default,
+            ));
+        }
+        for m in 0..50 {
+            store.insert(&Quad::new(
+                iri(m, "mid"),
+                (*rdfs::SUB_CLASS_OF).clone(),
+                Term::Iri((*sc::IDENTIFIER).clone()),
+                GraphName::Default,
+            ));
+        }
+        store
+    }
+
+    c.bench_function("ablation/entailment/materialize_then_contains", |b| {
+        b.iter_with_setup(taxonomy, |store| {
+            bdi_rdf::reason::materialize(&store);
+            let mut hits = 0;
+            for f in 0..200 {
+                if store.contains(&Quad::new(
+                    iri(f, "feat"),
+                    (*rdfs::SUB_CLASS_OF).clone(),
+                    Term::Iri((*sc::IDENTIFIER).clone()),
+                    GraphName::Default,
+                )) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("ablation/entailment/on_demand_closure", |b| {
+        b.iter_with_setup(taxonomy, |store| {
+            let mut hits = 0;
+            for f in 0..200 {
+                if bdi_rdf::reason::is_subclass_of(&store, &iri(f, "feat"), &sc::IDENTIFIER) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+/// Ablation 3: phase-2 pruning. Adding `k` distractor wrappers per concept
+/// (each missing one queried feature, so each is pruned) must not change the
+/// number of walks and must only add linear rewriting cost.
+fn bench_pruning(c: &mut Criterion) {
+    fn with_distractors(k: usize) -> bdi_core::system::BdiSystem {
+        let mut system = synthetic::build_chain_system(4, 3, 0);
+        // Distractors: wrappers providing only the ID of each concept (they
+        // miss the data feature, so phase 2 prunes them).
+        for i in 1..=4usize {
+            for d in 0..k {
+                let concept = Iri::new(format!("http://www.essi.upc.edu/~snadal/synthetic/C{i}"));
+                let id_feature =
+                    Iri::new(format!("http://www.essi.upc.edu/~snadal/synthetic/id{i}"));
+                let wrapper = Arc::new(
+                    TableWrapper::new(
+                        format!("distractor_{i}_{d}"),
+                        format!("DD_{i}_{d}"),
+                        Schema::from_parts::<&str>(&[&format!("id{i}")], &[]).expect("unique"),
+                        vec![],
+                    )
+                    .expect("valid"),
+                );
+                system
+                    .register_release(Release::new(
+                        wrapper,
+                        vec![bdi_rdf::model::Triple::new(
+                            concept,
+                            Iri::new(bdi_core::vocab::g::HAS_FEATURE.as_str()),
+                            id_feature.clone(),
+                        )],
+                        std::collections::BTreeMap::from([(format!("id{i}"), id_feature)]),
+                    ))
+                    .expect("release applies");
+            }
+        }
+        system
+    }
+
+    let clean = with_distractors(0);
+    let noisy = with_distractors(8);
+    let expected = synthetic::predicted_walks(4, 3);
+
+    c.bench_function("ablation/pruning/no_distractors", |b| {
+        b.iter(|| {
+            let r = clean.rewrite(synthetic::chain_query(4)).expect("rewrites");
+            assert_eq!(r.walks.len() as u64, expected);
+            black_box(r.walks.len())
+        })
+    });
+    c.bench_function("ablation/pruning/8_distractors_per_concept", |b| {
+        b.iter(|| {
+            let r = noisy.rewrite(synthetic::chain_query(4)).expect("rewrites");
+            assert_eq!(r.walks.len() as u64, expected, "distractors must be pruned");
+            black_box(r.walks.len())
+        })
+    });
+}
+
+/// Ablation 4: interned `u32` quad keys vs a string-tuple set (what the
+/// store would look like without an interner).
+fn bench_interning(c: &mut Criterion) {
+    let n = 20_000usize;
+    c.bench_function("ablation/interning/interned_store_insert", |b| {
+        b.iter(|| {
+            let store = QuadStore::new();
+            for i in 0..n {
+                store.insert(&Quad::new(
+                    iri(i % 500, "s"),
+                    (*rdf::TYPE).clone(),
+                    iri(i % 37, "o"),
+                    GraphName::Default,
+                ));
+            }
+            black_box(store.len())
+        })
+    });
+    c.bench_function("ablation/interning/string_tuple_set_insert", |b| {
+        b.iter(|| {
+            let mut set: BTreeSet<(String, String, String)> = BTreeSet::new();
+            for i in 0..n {
+                set.insert((
+                    format!("http://bench.example/s/{}", i % 500),
+                    rdf::TYPE.as_str().to_owned(),
+                    format!("http://bench.example/o/{}", i % 37),
+                ));
+            }
+            black_box(set.len())
+        })
+    });
+
+    // The lookup side — the hot path during BGP matching. Note the insert
+    // comparison above is not apples-to-apples (the store maintains six
+    // permutation indexes; the string set maintains one); the point-lookup
+    // comparison below is.
+    let store = QuadStore::new();
+    let mut set: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for i in 0..n {
+        store.insert(&Quad::new(
+            iri(i % 500, "s"),
+            (*rdf::TYPE).clone(),
+            iri(i % 37, "o"),
+            GraphName::Default,
+        ));
+        set.insert((
+            format!("http://bench.example/s/{}", i % 500),
+            rdf::TYPE.as_str().to_owned(),
+            format!("http://bench.example/o/{}", i % 37),
+        ));
+    }
+    c.bench_function("ablation/interning/interned_contains_1k_probes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000 {
+                if store.contains(&Quad::new(
+                    iri(i % 500, "s"),
+                    (*rdf::TYPE).clone(),
+                    iri(i % 37, "o"),
+                    GraphName::Default,
+                )) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("ablation/interning/string_tuple_contains_1k_probes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000usize {
+                if set.contains(&(
+                    format!("http://bench.example/s/{}", i % 500),
+                    rdf::TYPE.as_str().to_owned(),
+                    format!("http://bench.example/o/{}", i % 37),
+                )) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_index_vs_scan,
+    bench_entailment,
+    bench_pruning,
+    bench_interning
+);
+criterion_main!(benches);

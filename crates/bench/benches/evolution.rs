@@ -1,0 +1,54 @@
+//! Criterion benches for evolution management: Algorithm 1 (releases), the
+//! Wordpress replay behind Figure 11, and Table 6 classification.
+
+use bdi_core::supersede;
+use bdi_evolution::{industrial, wordpress};
+use bdi_wrappers::supersede as data;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    c.bench_function("release/register_w4", |b| {
+        b.iter_with_setup(
+            supersede::build_running_example_with_store,
+            |(mut system, store)| {
+                data::ingest_vod_v2(&store);
+                let stats = system
+                    .register_release(supersede::release_w4(std::sync::Arc::new(
+                        data::wrapper_w4(store.clone()),
+                    )))
+                    .expect("release applies");
+                black_box(stats.source_triples_added)
+            },
+        )
+    });
+
+    c.bench_function("release/build_running_example", |b| {
+        b.iter(|| {
+            let system = supersede::build_running_example();
+            black_box(system.registry().len())
+        })
+    });
+}
+
+fn bench_wordpress_replay(c: &mut Criterion) {
+    c.bench_function("wordpress/replay_15_releases", |b| {
+        b.iter(|| {
+            let records = wordpress::replay();
+            black_box(records.last().expect("non-empty").cumulative_source_triples)
+        })
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let dataset = industrial::dataset();
+    c.bench_function("classify/table6_303_changes", |b| {
+        b.iter(|| {
+            let stats: Vec<_> = dataset.iter().map(industrial::accommodation).collect();
+            black_box(industrial::weighted_average(&stats).solved_pct)
+        })
+    });
+}
+
+criterion_group!(benches, bench_algorithm1, bench_wordpress_replay, bench_classification);
+criterion_main!(benches);

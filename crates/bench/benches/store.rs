@@ -1,0 +1,152 @@
+//! Criterion benches for the RDF substrate: quad-store writes, indexed
+//! pattern matching, SPARQL evaluation, Turtle parsing and RDFS
+//! materialization.
+
+use bdi_rdf::model::{GraphName, Iri, Quad, Term};
+use bdi_rdf::sparql::{self, EvalOptions};
+use bdi_rdf::store::{GraphPattern, QuadStore};
+use bdi_rdf::turtle::PrefixMap;
+use bdi_rdf::vocab::{rdf, rdfs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn iri(i: usize, kind: &str) -> Iri {
+    Iri::new(format!("http://bench.example/{kind}/{i}"))
+}
+
+/// `n` subjects × 5 predicates, spread over 4 named graphs.
+fn populate(n: usize) -> QuadStore {
+    let store = QuadStore::new();
+    let graphs: Vec<GraphName> = (0..4).map(|g| GraphName::Named(iri(g, "g"))).collect();
+    for s in 0..n {
+        for p in 0..5 {
+            store.insert(&Quad::new(
+                iri(s, "s"),
+                iri(p, "p"),
+                iri((s * 7 + p) % n.max(1), "o"),
+                graphs[s % graphs.len()].clone(),
+            ));
+        }
+    }
+    store
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/insert");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(populate(n).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let store = populate(10_000);
+    let p2 = iri(2, "p");
+    let s5 = Term::Iri(iri(5, "s"));
+
+    c.bench_function("store/match_p_bound", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .match_quads(None, Some(&p2), None, &GraphPattern::Any)
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("store/match_s_bound", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .match_quads(Some(&s5), None, None, &GraphPattern::Any)
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("store/match_fully_bound", |b| {
+        let o = Term::Iri(iri(5 * 7 + 2, "o"));
+        b.iter(|| {
+            black_box(
+                store
+                    .match_quads(Some(&s5), Some(&p2), Some(&o), &GraphPattern::Any)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let store = populate(5_000);
+    let mut prefixes = PrefixMap::new();
+    prefixes.insert("b", "http://bench.example/");
+    let query = sparql::parse_query(
+        "SELECT ?s ?o WHERE { ?s b:p/2 ?o . ?s b:p/3 ?o2 . }",
+        &prefixes,
+    )
+    .expect("static query parses");
+    c.bench_function("sparql/two_pattern_join_5k", |b| {
+        b.iter(|| {
+            let sols = sparql::evaluate(
+                &store,
+                &query,
+                &EvalOptions {
+                    default_graph_as_union: true,
+                },
+            );
+            black_box(sols.len())
+        })
+    });
+}
+
+fn bench_turtle(c: &mut Criterion) {
+    // A ~600-triple document.
+    let mut doc = String::from("@prefix ex: <http://example.org/> .\n");
+    for i in 0..200 {
+        doc.push_str(&format!(
+            "ex:s{i} a ex:Class ; ex:p ex:o{i} ; ex:v \"{i}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+        ));
+    }
+    c.bench_function("turtle/parse_600_triples", |b| {
+        b.iter(|| {
+            let (triples, _) = bdi_rdf::turtle::parse_turtle(black_box(&doc)).expect("parses");
+            black_box(triples.len())
+        })
+    });
+}
+
+fn bench_rdfs(c: &mut Criterion) {
+    c.bench_function("rdfs/materialize_chain_100", |b| {
+        b.iter_with_setup(
+            || {
+                let store = QuadStore::new();
+                for i in 0..100 {
+                    store.insert(&Quad::new(
+                        iri(i, "c"),
+                        (*rdfs::SUB_CLASS_OF).clone(),
+                        iri(i + 1, "c"),
+                        GraphName::Default,
+                    ));
+                }
+                store.insert(&Quad::new(
+                    iri(0, "x"),
+                    (*rdf::TYPE).clone(),
+                    iri(0, "c"),
+                    GraphName::Default,
+                ));
+                store
+            },
+            |store| black_box(bdi_rdf::reason::materialize(&store)),
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_match,
+    bench_sparql,
+    bench_turtle,
+    bench_rdfs
+);
+criterion_main!(benches);

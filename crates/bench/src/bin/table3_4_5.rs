@@ -1,0 +1,69 @@
+//! Tables 3, 4 and 5 — the functional evaluation of §6.2: which component
+//! (wrapper / BDI ontology / both) accommodates each REST API change kind,
+//! and the ontology-side action it triggers.
+//!
+//! ```text
+//! cargo run --release -p bdi-bench --bin table3_4_5
+//! ```
+
+use bdi_evolution::taxonomy::{
+    ontology_action, ApiLevelChange, Change, Handler, MethodLevelChange, OntologyAction,
+    ParameterLevelChange,
+};
+
+fn check(label: &str, h: Handler, want: Handler) {
+    assert_eq!(h, want, "{label}: classification regressed");
+}
+
+fn row(change: Change) {
+    let handler = change.handler();
+    let wrapper = matches!(handler, Handler::Wrapper | Handler::Both);
+    let ontology = matches!(handler, Handler::Ontology | Handler::Both);
+    let action = match ontology_action(change) {
+        OntologyAction::NewRelease => "register release → Algorithm 1",
+        OntologyAction::RenameDataSource => "rename S:DataSource instance",
+        OntologyAction::PreserveHistory => "no removal (historic compatibility)",
+        OntologyAction::None => "—",
+    };
+    println!(
+        "{:<28} | {:^7} | {:^8} | {}",
+        change.name(),
+        if wrapper { "✓" } else { "" },
+        if ontology { "✓" } else { "" },
+        action
+    );
+}
+
+fn header(title: &str) {
+    println!("\n{title}");
+    println!(
+        "{:<28} | {:^7} | {:^8} | ontology action",
+        "Change", "Wrapper", "BDI Ont."
+    );
+    println!("{}", "-".repeat(80));
+}
+
+fn main() {
+    header("Table 3 — API-level changes");
+    for c in ApiLevelChange::ALL {
+        row(Change::Api(c));
+    }
+    header("Table 4 — Method-level changes");
+    for c in MethodLevelChange::ALL {
+        row(Change::Method(c));
+    }
+    header("Table 5 — Parameter-level changes");
+    for c in ParameterLevelChange::ALL {
+        row(Change::Parameter(c));
+    }
+
+    // Regression guards on the exact classification of the paper's tables.
+    check("add auth model", ApiLevelChange::AddAuthenticationModel.handler(), Handler::Wrapper);
+    check("add response format", ApiLevelChange::AddResponseFormat.handler(), Handler::Ontology);
+    check("add method", MethodLevelChange::AddMethod.handler(), Handler::Both);
+    check("change response format", MethodLevelChange::ChangeResponseFormat.handler(), Handler::Ontology);
+    check("add parameter", ParameterLevelChange::AddParameter.handler(), Handler::Both);
+    check("rename response parameter", ParameterLevelChange::RenameResponseParameter.handler(), Handler::Ontology);
+
+    println!("\nAll classifications match Tables 3–5 of the paper.");
+}

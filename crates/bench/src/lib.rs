@@ -1,0 +1,15 @@
+//! # bdi-bench — benchmark harness regenerating every table and figure
+//!
+//! Binaries (run with `cargo run --release -p bdi-bench --bin <name>`):
+//!
+//! | target        | regenerates |
+//! |---------------|-------------|
+//! | `tables1_2`   | Tables 1 & 2 (running-example correctness) |
+//! | `table3_4_5`  | Tables 3–5 (change taxonomy handler split) |
+//! | `table6`      | Table 6 (industrial applicability) |
+//! | `figure8`     | Figure 8 (worst-case query answering time, `O(W^C)`) |
+//! | `figure11`    | Figure 11 (Source-graph growth per Wordpress release) |
+//!
+//! Criterion benches: `rewriting`, `evolution`, `store`, `ablations`.
+
+pub mod synthetic;

@@ -1,0 +1,123 @@
+//! Execution of rewritten queries against the wrappers.
+//!
+//! Each walk compiles to a relational expression; results are aligned to a
+//! common schema named by the requested **features** (so `w1.lagRatio` and
+//! `w4.bufferingRatio` both land in the `lagRatio` column), then unioned.
+//! IDs that the rewriting added but the analyst did not request are
+//! projected out here — "those can be easily projected out at the final
+//! step" (§5.2).
+
+use crate::ontology::BdiOntology;
+use crate::rewrite::{walk::prefixed_attr_name, Rewriting, Walk};
+use bdi_rdf::model::Iri;
+use bdi_relational::{ops, AlgebraError, Attribute, Relation, RelationError, Schema, SourceResolver};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum ExecError {
+    #[error(transparent)]
+    Algebra(#[from] AlgebraError),
+    #[error(transparent)]
+    Relation(#[from] RelationError),
+    #[error("walk over {{{wrappers}}} does not provide requested feature {feature}")]
+    MissingFeature { wrappers: String, feature: String },
+    #[error("query projects no features")]
+    EmptyProjection,
+}
+
+/// The answer to an OMQ.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The result relation; columns are the requested features, in π order,
+    /// named by their local names.
+    pub relation: Relation,
+    /// Rendered relational algebra of each executed walk (diagnostics).
+    pub walk_exprs: Vec<String>,
+}
+
+/// The output schema for a feature projection: one column per feature,
+/// named by local name, flagged ID when the feature is one.
+fn target_schema(ontology: &BdiOntology, features: &[Iri]) -> Result<Schema, ExecError> {
+    if features.is_empty() {
+        return Err(ExecError::EmptyProjection);
+    }
+    let attrs: Vec<Attribute> = features
+        .iter()
+        .map(|f| {
+            if ontology.is_id_feature(f) {
+                Attribute::id(f.local_name())
+            } else {
+                Attribute::non_id(f.local_name())
+            }
+        })
+        .collect();
+    Ok(Schema::new(attrs).map_err(RelationError::Schema)?)
+}
+
+/// For one walk, the physical column (prefixed attribute name) providing
+/// each requested feature.
+fn walk_columns(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    features: &[Iri],
+) -> Result<Vec<String>, ExecError> {
+    let mut columns = Vec::with_capacity(features.len());
+    for feature in features {
+        let found = walk
+            .all_projections()
+            .find(|(_, attr)| ontology.feature_of_attribute(attr).as_ref() == Some(feature));
+        match found {
+            Some((_, attr)) => columns.push(prefixed_attr_name(attr)),
+            None => {
+                return Err(ExecError::MissingFeature {
+                    wrappers: walk
+                        .wrappers()
+                        .iter()
+                        .map(|w| w.local_name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    feature: feature.as_str().to_owned(),
+                })
+            }
+        }
+    }
+    Ok(columns)
+}
+
+/// Evaluates the rewriting against the wrappers and projects the final
+/// feature columns.
+pub fn execute(
+    ontology: &BdiOntology,
+    resolver: &dyn SourceResolver,
+    rewriting: &Rewriting,
+) -> Result<QueryAnswer, ExecError> {
+    let features = &rewriting.well_formed.omq.pi;
+    let schema = target_schema(ontology, features)?;
+
+    if rewriting.walks.is_empty() {
+        return Ok(QueryAnswer {
+            relation: Relation::empty(schema),
+            walk_exprs: Vec::new(),
+        });
+    }
+
+    let mut walk_exprs = Vec::with_capacity(rewriting.walks.len());
+    let mut acc: Option<Relation> = None;
+    for walk in &rewriting.walks {
+        let expr = walk.to_rel_expr_full(ontology);
+        walk_exprs.push(expr.to_string());
+        let rel = expr.eval(resolver)?;
+        let columns = walk_columns(ontology, walk, features)?;
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let aligned = ops::align_to(&rel, &column_refs, &schema)?;
+        acc = Some(match acc {
+            None => aligned,
+            Some(prev) => ops::union(&prev, &aligned)?,
+        });
+    }
+
+    Ok(QueryAnswer {
+        relation: acc.expect("walks is non-empty"),
+        walk_exprs,
+    })
+}

@@ -1,0 +1,385 @@
+//! Walks — the conjunctive queries over wrappers (§2.2).
+//!
+//! A walk `W = Π̃(w1) ⋈̃ … ⋈̃ Π̃(wk)` is represented as per-wrapper
+//! projection sets plus a list of ID-join conditions. Walks are built up by
+//! the intra-/inter-concept phases and finally compiled to a
+//! [`RelExpr`] for display and evaluation.
+
+use crate::ontology::BdiOntology;
+use crate::vocab;
+use bdi_rdf::model::{Iri, Quad, Term, Triple};
+use bdi_relational::RelExpr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ⋈̃ condition between two wrappers, on source-attribute URIs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JoinCondition {
+    pub left_wrapper: Iri,
+    pub left_attribute: Iri,
+    pub right_wrapper: Iri,
+    pub right_attribute: Iri,
+}
+
+/// A (partial or complete) walk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Walk {
+    /// Wrapper URI → projected attribute URIs (Π̃ keeps IDs implicitly; the
+    /// set here is what the phases explicitly projected).
+    projections: BTreeMap<Iri, BTreeSet<Iri>>,
+    /// The ⋈̃ conditions, in discovery order.
+    joins: Vec<JoinCondition>,
+}
+
+impl Walk {
+    /// A single-wrapper walk projecting the given attributes.
+    pub fn single(wrapper: Iri, attributes: impl IntoIterator<Item = Iri>) -> Self {
+        let mut w = Walk::default();
+        w.projections.insert(wrapper, attributes.into_iter().collect());
+        w
+    }
+
+    /// The wrapper URIs used — the paper's `wrappers(W)`.
+    pub fn wrappers(&self) -> BTreeSet<&Iri> {
+        self.projections.keys().collect()
+    }
+
+    /// Owned wrapper set, used as the walk-equivalence key (§2.2: "two walks
+    /// are equivalent if they join the same wrappers").
+    pub fn wrapper_key(&self) -> BTreeSet<Iri> {
+        self.projections.keys().cloned().collect()
+    }
+
+    /// The attributes projected from one wrapper.
+    pub fn projections_of(&self, wrapper: &Iri) -> Option<&BTreeSet<Iri>> {
+        self.projections.get(wrapper)
+    }
+
+    /// All `(wrapper, attribute)` pairs.
+    pub fn all_projections(&self) -> impl Iterator<Item = (&Iri, &Iri)> {
+        self.projections
+            .iter()
+            .flat_map(|(w, attrs)| attrs.iter().map(move |a| (w, a)))
+    }
+
+    pub fn joins(&self) -> &[JoinCondition] {
+        &self.joins
+    }
+
+    /// Adds (or extends) a wrapper's projection set — the phase-2
+    /// `MergeProjections` collapses here because projections are sets.
+    pub fn project(&mut self, wrapper: Iri, attribute: Iri) {
+        self.projections.entry(wrapper).or_default().insert(attribute);
+    }
+
+    /// Merges another walk's projections and joins into this one
+    /// (`MergeWalks`, Algorithm 5 step 8).
+    pub fn merge(&mut self, other: &Walk) {
+        for (w, attrs) in &other.projections {
+            let entry = self.projections.entry(w.clone()).or_default();
+            entry.extend(attrs.iter().cloned());
+        }
+        for j in &other.joins {
+            if !self.joins.contains(j) {
+                self.joins.push(j.clone());
+            }
+        }
+    }
+
+    /// Records a ⋈̃ condition (Algorithm 5 line 17), ensuring both sides'
+    /// join attributes are projected.
+    pub fn add_join(&mut self, condition: JoinCondition) {
+        self.project(condition.left_wrapper.clone(), condition.left_attribute.clone());
+        self.project(condition.right_wrapper.clone(), condition.right_attribute.clone());
+        if !self.joins.contains(&condition) {
+            self.joins.push(condition);
+        }
+    }
+
+    /// True when this walk shares at least one wrapper with `other`
+    /// (Algorithm 5 line 8's disjointness test, negated).
+    pub fn shares_wrapper_with(&self, other: &Walk) -> bool {
+        other.projections.keys().any(|w| self.projections.contains_key(w))
+    }
+
+    /// §2.3 **coverage**: the union of the walk's wrappers' LAV graphs
+    /// subsumes the query pattern `φ`.
+    pub fn covers(&self, ontology: &BdiOntology, phi: &[Triple]) -> bool {
+        Self::union_covers(ontology, self.projections.keys(), phi)
+    }
+
+    /// §2.3 **minimality**: the walk covers `φ` and no proper sub-walk does.
+    pub fn is_minimal(&self, ontology: &BdiOntology, phi: &[Triple]) -> bool {
+        if !self.covers(ontology, phi) {
+            return false;
+        }
+        for removed in self.projections.keys() {
+            let rest = self.projections.keys().filter(|w| *w != removed);
+            if Self::union_covers(ontology, rest, phi) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn union_covers<'a>(
+        ontology: &BdiOntology,
+        wrappers: impl Iterator<Item = &'a Iri>,
+        phi: &[Triple],
+    ) -> bool {
+        let graphs: Vec<Iri> = wrappers.cloned().collect();
+        phi.iter().all(|t| {
+            graphs.iter().any(|g| {
+                ontology.store().contains(&Quad {
+                    subject: t.subject.clone(),
+                    predicate: t.predicate.clone(),
+                    object: t.object.clone(),
+                    graph: bdi_rdf::model::GraphName::Named(g.clone()),
+                })
+            })
+        })
+    }
+
+    /// Violation of the same-source constraint: walks must never join two
+    /// schema versions of the same data source (§2.2).
+    pub fn violates_same_source(&self, ontology: &BdiOntology) -> bool {
+        let mut sources = BTreeSet::new();
+        for wrapper in self.projections.keys() {
+            let owners = ontology.store().subjects(
+                &vocab::s::HAS_WRAPPER,
+                &Term::Iri(wrapper.clone()),
+                &bdi_rdf::store::GraphPattern::Named((*vocab::graphs::SOURCE).clone()),
+            );
+            for owner in owners {
+                if let Term::Iri(src) = owner {
+                    if !sources.insert(src) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Compiles the walk to a relational algebra expression, renaming only
+    /// the projected attributes. Sufficient when unprojected ID names cannot
+    /// collide; [`Walk::to_rel_expr_full`] renames every attribute using the
+    /// Source graph and is what execution uses.
+    pub fn to_rel_expr(&self) -> RelExpr {
+        self.build_rel_expr(|_wrapper, attrs| {
+            attrs
+                .iter()
+                .filter_map(|a| {
+                    vocab::attribute_parts_of(a)
+                        .map(|(_, local)| (local.to_owned(), prefixed_attr_name(a)))
+                })
+                .collect()
+        })
+    }
+
+    /// Compiles the walk, renaming **all** attributes of each wrapper to
+    /// their source-prefixed forms (looked up in `S`), so join outputs can
+    /// never collide on unprojected ID names.
+    pub fn to_rel_expr_full(&self, ontology: &BdiOntology) -> RelExpr {
+        self.build_rel_expr(|wrapper, _attrs| {
+            ontology
+                .attributes_of_wrapper(wrapper)
+                .iter()
+                .filter_map(|a| {
+                    vocab::attribute_parts_of(a)
+                        .map(|(_, local)| (local.to_owned(), prefixed_attr_name(a)))
+                })
+                .collect()
+        })
+    }
+
+    fn build_rel_expr(
+        &self,
+        rename_for: impl Fn(&Iri, &BTreeSet<Iri>) -> Vec<(String, String)>,
+    ) -> RelExpr {
+        let mut leaf_exprs: BTreeMap<&Iri, RelExpr> = BTreeMap::new();
+        for (wrapper, attrs) in &self.projections {
+            let wrapper_name = vocab::wrapper_name_of(wrapper)
+                .unwrap_or_else(|| wrapper.as_str())
+                .to_owned();
+            let renames = rename_for(wrapper, attrs);
+            let projected: Vec<String> = attrs.iter().map(prefixed_attr_name).collect();
+            leaf_exprs.insert(
+                wrapper,
+                RelExpr::source(wrapper_name).rename(renames).project(projected),
+            );
+        }
+
+        if self.joins.is_empty() {
+            // Single-wrapper walk (or degenerate multi-wrapper without joins,
+            // which coverage/minimality filtering rejects upstream).
+            return leaf_exprs
+                .into_values()
+                .next()
+                .unwrap_or_else(|| RelExpr::source("∅"));
+        }
+
+        let mut included: BTreeSet<&Iri> = BTreeSet::new();
+        let mut expr: Option<RelExpr> = None;
+        let mut pending: Vec<&JoinCondition> = self.joins.iter().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|j| {
+                let l_in = included.contains(&j.left_wrapper);
+                let r_in = included.contains(&j.right_wrapper);
+                match (&mut expr, l_in, r_in) {
+                    (None, _, _) => {
+                        let l = leaf_exprs
+                            .get(&j.left_wrapper)
+                            .cloned()
+                            .unwrap_or_else(|| RelExpr::source(j.left_wrapper.as_str()));
+                        let r = leaf_exprs
+                            .get(&j.right_wrapper)
+                            .cloned()
+                            .unwrap_or_else(|| RelExpr::source(j.right_wrapper.as_str()));
+                        expr = Some(l.join(
+                            r,
+                            prefixed_attr_name(&j.left_attribute),
+                            prefixed_attr_name(&j.right_attribute),
+                        ));
+                        included.insert(&j.left_wrapper);
+                        included.insert(&j.right_wrapper);
+                        false
+                    }
+                    (Some(_), true, true) => false, // already connected
+                    (Some(e), true, false) => {
+                        let r = leaf_exprs
+                            .get(&j.right_wrapper)
+                            .cloned()
+                            .unwrap_or_else(|| RelExpr::source(j.right_wrapper.as_str()));
+                        *e = e.clone().join(
+                            r,
+                            prefixed_attr_name(&j.left_attribute),
+                            prefixed_attr_name(&j.right_attribute),
+                        );
+                        included.insert(&j.right_wrapper);
+                        false
+                    }
+                    (Some(e), false, true) => {
+                        let l = leaf_exprs
+                            .get(&j.left_wrapper)
+                            .cloned()
+                            .unwrap_or_else(|| RelExpr::source(j.left_wrapper.as_str()));
+                        *e = e.clone().join(
+                            l,
+                            prefixed_attr_name(&j.right_attribute),
+                            prefixed_attr_name(&j.left_attribute),
+                        );
+                        included.insert(&j.left_wrapper);
+                        false
+                    }
+                    (Some(_), false, false) => true, // keep for a later pass
+                }
+            });
+            if pending.len() == before {
+                // Disconnected join graph; stop rather than loop forever —
+                // such walks fail the coverage check upstream.
+                break;
+            }
+        }
+        expr.expect("joins is non-empty")
+    }
+}
+
+/// The display/name form of an attribute URI: `D1/VoDmonitorId`.
+pub fn prefixed_attr_name(attr: &Iri) -> String {
+    match vocab::attribute_parts_of(attr) {
+        Some((source, local)) => format!("{source}/{local}"),
+        None => attr.as_str().to_owned(),
+    }
+}
+
+impl std::fmt::Display for Walk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_rel_expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wuri(name: &str) -> Iri {
+        vocab::wrapper_uri(name)
+    }
+
+    fn auri(src: &str, a: &str) -> Iri {
+        vocab::attribute_uri(src, a)
+    }
+
+    #[test]
+    fn single_wrapper_walk_compiles_to_projection() {
+        let walk = Walk::single(wuri("w1"), vec![auri("D1", "lagRatio"), auri("D1", "VoDmonitorId")]);
+        let expr = walk.to_rel_expr();
+        let text = expr.to_string();
+        assert!(text.contains("Π̃[D1/VoDmonitorId, D1/lagRatio]"));
+        assert!(text.contains("ρ["));
+        assert_eq!(expr.sources().len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_projections_and_joins() {
+        let mut a = Walk::single(wuri("w1"), vec![auri("D1", "x")]);
+        let b = Walk::single(wuri("w1"), vec![auri("D1", "y")]);
+        a.merge(&b);
+        assert_eq!(a.projections_of(&wuri("w1")).unwrap().len(), 2);
+        assert_eq!(a.wrappers().len(), 1);
+    }
+
+    #[test]
+    fn add_join_projects_both_attributes() {
+        let mut walk = Walk::single(wuri("w1"), vec![auri("D1", "lagRatio")]);
+        walk.merge(&Walk::single(wuri("w3"), vec![auri("D3", "TargetApp")]));
+        walk.add_join(JoinCondition {
+            left_wrapper: wuri("w3"),
+            left_attribute: auri("D3", "MonitorId"),
+            right_wrapper: wuri("w1"),
+            right_attribute: auri("D1", "VoDmonitorId"),
+        });
+        assert!(walk.projections_of(&wuri("w3")).unwrap().contains(&auri("D3", "MonitorId")));
+        assert!(walk.projections_of(&wuri("w1")).unwrap().contains(&auri("D1", "VoDmonitorId")));
+        let text = walk.to_rel_expr().to_string();
+        assert!(text.contains("⋈̃[D3/MonitorId=D1/VoDmonitorId]"));
+    }
+
+    #[test]
+    fn shares_wrapper_detection() {
+        let a = Walk::single(wuri("w1"), vec![]);
+        let b = Walk::single(wuri("w1"), vec![auri("D1", "x")]);
+        let c = Walk::single(wuri("w2"), vec![]);
+        assert!(a.shares_wrapper_with(&b));
+        assert!(!a.shares_wrapper_with(&c));
+    }
+
+    #[test]
+    fn wrapper_key_is_the_equivalence_class() {
+        let mut a = Walk::single(wuri("w1"), vec![auri("D1", "x")]);
+        a.merge(&Walk::single(wuri("w3"), vec![]));
+        let mut b = Walk::single(wuri("w3"), vec![auri("D3", "y")]);
+        b.merge(&Walk::single(wuri("w1"), vec![]));
+        assert_eq!(a.wrapper_key(), b.wrapper_key());
+    }
+
+    #[test]
+    fn multi_join_left_deep_tree() {
+        let mut walk = Walk::default();
+        walk.add_join(JoinCondition {
+            left_wrapper: wuri("a"),
+            left_attribute: auri("DA", "id"),
+            right_wrapper: wuri("b"),
+            right_attribute: auri("DB", "id"),
+        });
+        walk.add_join(JoinCondition {
+            left_wrapper: wuri("b"),
+            left_attribute: auri("DB", "id2"),
+            right_wrapper: wuri("c"),
+            right_attribute: auri("DC", "id"),
+        });
+        let expr = walk.to_rel_expr();
+        assert_eq!(expr.sources().len(), 3);
+    }
+}

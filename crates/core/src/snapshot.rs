@@ -1,0 +1,191 @@
+//! Deployment persistence.
+//!
+//! The paper's MDM persists its metadata in Jena TDB (§6.1). The equivalent
+//! here: a [`SystemSnapshot`] captures a whole deployment — the ontology `T`
+//! as TriG (all named graphs), every wrapper's serializable definition, the
+//! backing document collections and the release log — as one JSON document
+//! that restores to an equivalent, queryable [`BdiSystem`].
+
+use crate::ontology::BdiOntology;
+use crate::system::{BdiSystem, ReleaseLogEntry};
+use bdi_docstore::DocStore;
+use bdi_rdf::trig;
+use bdi_rdf::turtle::PrefixMap;
+use bdi_wrappers::{WrapperRegistry, WrapperSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Errors raised while snapshotting or restoring.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum SnapshotError {
+    #[error("wrapper {0} has no serializable definition; snapshot unsupported for its kind")]
+    UnsupportedWrapper(String),
+    #[error("TriG error: {0}")]
+    Trig(String),
+    #[error("JSON error: {0}")]
+    Json(String),
+    #[error("wrapper {0} failed to instantiate: {1}")]
+    Instantiate(String, String),
+    #[error("document store error: {0}")]
+    Store(String),
+}
+
+/// Serializable release-log entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    pub seq: usize,
+    pub wrapper: String,
+    pub source: String,
+}
+
+/// A complete, self-contained deployment image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// The ontology `T` — all graphs — as TriG.
+    pub ontology_trig: String,
+    /// Registered prefixes (`prefix → namespace`).
+    pub prefixes: BTreeMap<String, String>,
+    /// Every wrapper's definition, in registry order.
+    pub wrappers: Vec<WrapperSpec>,
+    /// Document collections backing the JSON wrappers.
+    pub collections: BTreeMap<String, Vec<serde_json::Value>>,
+    /// The release log (registration order).
+    pub release_log: Vec<LogEntry>,
+}
+
+/// Captures a snapshot of a system. Fails when any wrapper kind is not
+/// serializable (custom `Wrapper` impls without `to_spec`).
+pub fn snapshot(system: &BdiSystem, store: &DocStore) -> Result<SystemSnapshot, SnapshotError> {
+    let mut wrappers = Vec::new();
+    for wrapper in system.registry().iter() {
+        let spec = wrapper
+            .to_spec()
+            .ok_or_else(|| SnapshotError::UnsupportedWrapper(wrapper.name().to_owned()))?;
+        wrappers.push(spec);
+    }
+    Ok(SystemSnapshot {
+        ontology_trig: trig::write_trig(system.ontology().store(), system.ontology().prefixes()),
+        prefixes: system
+            .ontology()
+            .prefixes()
+            .iter()
+            .map(|(p, n)| (p.to_owned(), n.to_owned()))
+            .collect(),
+        wrappers,
+        collections: store.dump(),
+        release_log: system
+            .release_log()
+            .iter()
+            .map(|e| LogEntry {
+                seq: e.seq,
+                wrapper: e.wrapper.clone(),
+                source: e.source.clone(),
+            })
+            .collect(),
+    })
+}
+
+/// Restores a deployment: rebuilds the document store, the wrappers and the
+/// ontology, returning `(system, store)`.
+pub fn restore(image: &SystemSnapshot) -> Result<(BdiSystem, DocStore), SnapshotError> {
+    let store = DocStore::new();
+    store
+        .restore(image.collections.clone())
+        .map_err(|e| SnapshotError::Store(e.to_string()))?;
+
+    let mut ontology = BdiOntology::new();
+    let mut prefixes = PrefixMap::new();
+    for (p, n) in &image.prefixes {
+        prefixes.insert(p.clone(), n.clone());
+        ontology.prefixes_mut().insert(p.clone(), n.clone());
+    }
+    trig::load_trig(ontology.store(), &image.ontology_trig)
+        .map_err(|e| SnapshotError::Trig(e.to_string()))?;
+
+    let mut registry = WrapperRegistry::new();
+    for spec in &image.wrappers {
+        let wrapper = spec
+            .instantiate(&store)
+            .map_err(|e| SnapshotError::Instantiate(spec.name().to_owned(), e.to_string()))?;
+        registry.register(wrapper);
+    }
+
+    let mut system = BdiSystem::from_parts(ontology, registry);
+    system.set_release_log(
+        image
+            .release_log
+            .iter()
+            .map(|e| ReleaseLogEntry {
+                seq: e.seq,
+                wrapper: e.wrapper.clone(),
+                source: e.source.clone(),
+            })
+            .collect(),
+    );
+    Ok((system, store))
+}
+
+/// Serializes a snapshot as pretty JSON.
+pub fn to_json(image: &SystemSnapshot) -> Result<String, SnapshotError> {
+    serde_json::to_string_pretty(image).map_err(|e| SnapshotError::Json(e.to_string()))
+}
+
+/// Parses a snapshot from JSON.
+pub fn from_json(json: &str) -> Result<SystemSnapshot, SnapshotError> {
+    serde_json::from_str(json).map_err(|e| SnapshotError::Json(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supersede;
+
+    #[test]
+    fn snapshot_restore_preserves_query_answers() {
+        let (mut system, store) = supersede::build_running_example_with_store();
+        supersede::evolve_with_w4(&mut system, &store);
+        let original = system.answer(&supersede::exemplary_query()).unwrap();
+
+        let image = snapshot(&system, &store).unwrap();
+        let json = to_json(&image).unwrap();
+        let parsed = from_json(&json).unwrap();
+        let (restored, _) = restore(&parsed).unwrap();
+
+        let replayed = restored.answer(&supersede::exemplary_query()).unwrap();
+        assert_eq!(replayed.relation, original.relation);
+        assert_eq!(
+            replayed.rewriting.walks.len(),
+            original.rewriting.walks.len()
+        );
+    }
+
+    #[test]
+    fn snapshot_preserves_the_release_log_and_scopes() {
+        use crate::system::VersionScope;
+        let (mut system, store) = supersede::build_running_example_with_store();
+        supersede::evolve_with_w4(&mut system, &store);
+        let image = snapshot(&system, &store).unwrap();
+        let (restored, _) = restore(&image).unwrap();
+
+        assert_eq!(restored.release_log().len(), 4);
+        let historical = restored
+            .answer_scoped(supersede::exemplary_omq(), &VersionScope::UpToRelease(2))
+            .unwrap();
+        assert_eq!(historical.relation.len(), 3); // pre-evolution Table 2
+    }
+
+    #[test]
+    fn snapshot_preserves_ontology_size_exactly() {
+        let (system, store) = supersede::build_running_example_with_store();
+        let image = snapshot(&system, &store).unwrap();
+        let (restored, _) = restore(&image).unwrap();
+        assert_eq!(
+            restored.ontology().store().len(),
+            system.ontology().store().len()
+        );
+        assert_eq!(
+            restored.ontology().source_graph_len(),
+            system.ontology().source_graph_len()
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The assembled BDI system: ontology + wrapper registry + query answering.
+//!
+//! This corresponds to the paper's Metadata Management System (MDM, §6.1):
+//! the data steward registers releases; analysts pose OMQs which are
+//! rewritten (Algorithms 2–5) and executed over the wrappers.
+
+use crate::exec::{self, ExecError, QueryAnswer};
+use crate::omq::{Omq, OmqError};
+use crate::ontology::BdiOntology;
+use crate::release::{self, Release, ReleaseError, ReleaseStats};
+use crate::rewrite::{self, RewriteError, Rewriting};
+use crate::vocab;
+use bdi_wrappers::WrapperRegistry;
+use std::collections::BTreeSet;
+
+/// Errors surfaced by the system facade.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum SystemError {
+    #[error(transparent)]
+    Omq(#[from] OmqError),
+    #[error(transparent)]
+    Rewrite(#[from] RewriteError),
+    #[error(transparent)]
+    Exec(#[from] ExecError),
+    #[error(transparent)]
+    Release(#[from] ReleaseError),
+}
+
+/// One entry of the system's release log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseLogEntry {
+    /// Monotonic sequence number (0-based registration order).
+    pub seq: usize,
+    pub wrapper: String,
+    pub source: String,
+}
+
+/// Which schema versions a query should range over.
+///
+/// The rewriting always *finds* every wrapper that can answer; the scope
+/// then filters the union — this is how the paper's "correctness in
+/// historical queries" (§1) and most-recent-version queries coexist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum VersionScope {
+    /// All registered versions (the paper's default union semantics).
+    #[default]
+    All,
+    /// Only each source's most recently registered wrapper.
+    Latest,
+    /// Only wrappers registered with `seq <= n` — the system as it existed
+    /// after the `n`-th release (historical point-in-time queries).
+    UpToRelease(usize),
+    /// An explicit wrapper allow-list (by wrapper name).
+    Only(BTreeSet<String>),
+}
+
+/// A complete, queryable BDI deployment.
+#[derive(Debug, Default)]
+pub struct BdiSystem {
+    ontology: BdiOntology,
+    registry: WrapperRegistry,
+    release_log: Vec<ReleaseLogEntry>,
+}
+
+/// A query answer together with the rewriting that produced it.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The result relation (feature-named columns, π order).
+    pub relation: bdi_relational::Relation,
+    /// The rewriting artefacts (walks, expansion, candidates).
+    pub rewriting: Rewriting,
+    /// Rendered relational algebra per executed walk.
+    pub walk_exprs: Vec<String>,
+}
+
+impl BdiSystem {
+    /// An empty system (metamodel preloaded, no sources).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an existing ontology and registry. Wrappers already in
+    /// the registry are entered into the release log in name order.
+    pub fn from_parts(ontology: BdiOntology, registry: WrapperRegistry) -> Self {
+        let release_log = registry
+            .iter()
+            .enumerate()
+            .map(|(seq, w)| ReleaseLogEntry {
+                seq,
+                wrapper: w.name().to_owned(),
+                source: w.source().to_owned(),
+            })
+            .collect();
+        Self {
+            ontology,
+            registry,
+            release_log,
+        }
+    }
+
+    pub fn ontology(&self) -> &BdiOntology {
+        &self.ontology
+    }
+
+    pub fn ontology_mut(&mut self) -> &mut BdiOntology {
+        &mut self.ontology
+    }
+
+    pub fn registry(&self) -> &WrapperRegistry {
+        &self.registry
+    }
+
+    /// Applies Algorithm 1 for a new release and registers its wrapper.
+    pub fn register_release(&mut self, release: Release) -> Result<ReleaseStats, SystemError> {
+        let stats = release::apply_release(&self.ontology, &mut self.registry, release)?;
+        self.release_log.push(ReleaseLogEntry {
+            seq: self.release_log.len(),
+            wrapper: stats.wrapper.clone(),
+            source: stats.source.clone(),
+        });
+        Ok(stats)
+    }
+
+    /// The registration-ordered release log.
+    pub fn release_log(&self) -> &[ReleaseLogEntry] {
+        &self.release_log
+    }
+
+    /// Replaces the release log — used when restoring a persisted
+    /// deployment whose log must survive verbatim.
+    pub fn set_release_log(&mut self, log: Vec<ReleaseLogEntry>) {
+        self.release_log = log;
+    }
+
+    /// The wrapper names admitted by a scope.
+    pub fn wrappers_in_scope(&self, scope: &VersionScope) -> BTreeSet<String> {
+        match scope {
+            VersionScope::All => self.release_log.iter().map(|e| e.wrapper.clone()).collect(),
+            VersionScope::UpToRelease(n) => self
+                .release_log
+                .iter()
+                .filter(|e| e.seq <= *n)
+                .map(|e| e.wrapper.clone())
+                .collect(),
+            VersionScope::Latest => {
+                let mut latest: std::collections::BTreeMap<&str, &str> =
+                    std::collections::BTreeMap::new();
+                for entry in &self.release_log {
+                    latest.insert(&entry.source, &entry.wrapper); // later wins
+                }
+                latest.values().map(|w| (*w).to_owned()).collect()
+            }
+            VersionScope::Only(names) => names.clone(),
+        }
+    }
+
+    /// Rewrites an OMQ without executing it.
+    pub fn rewrite(&self, query: Omq) -> Result<Rewriting, SystemError> {
+        Ok(rewrite::rewrite(&self.ontology, query)?)
+    }
+
+    /// Parses (Code 3 template), rewrites and executes a SPARQL OMQ.
+    pub fn answer(&self, sparql: &str) -> Result<Answer, SystemError> {
+        let omq = Omq::parse(sparql, self.ontology.prefixes())?;
+        self.answer_omq(omq)
+    }
+
+    /// Rewrites and executes an already-built OMQ over all versions.
+    pub fn answer_omq(&self, omq: Omq) -> Result<Answer, SystemError> {
+        self.answer_scoped(omq, &VersionScope::All)
+    }
+
+    /// Rewrites and executes an OMQ, keeping only walks whose wrappers all
+    /// fall inside `scope` — e.g. `VersionScope::Latest` for
+    /// most-recent-schema answers, or `UpToRelease(n)` for historical
+    /// point-in-time answers.
+    pub fn answer_scoped(&self, omq: Omq, scope: &VersionScope) -> Result<Answer, SystemError> {
+        let mut rewriting = rewrite::rewrite(&self.ontology, omq)?;
+        if !matches!(scope, VersionScope::All) {
+            let allowed = self.wrappers_in_scope(scope);
+            rewriting.walks.retain(|walk| {
+                walk.wrappers().iter().all(|uri| {
+                    vocab::wrapper_name_of(uri)
+                        .map(|name| allowed.contains(name))
+                        .unwrap_or(false)
+                })
+            });
+        }
+        let QueryAnswer {
+            relation,
+            walk_exprs,
+        } = exec::execute(&self.ontology, &self.registry, &rewriting)?;
+        Ok(Answer {
+            relation,
+            rewriting,
+            walk_exprs,
+        })
+    }
+}

@@ -1,0 +1,207 @@
+//! Algorithm 2 — well-formed queries (§5.1).
+//!
+//! A query `Q_G` is **well-formed** iff (a) `φ` has a topological sorting
+//! (it is a DAG) and (b) every projected element is a `G:Feature`. When an
+//! analyst projects a *concept* instead (Code 9), the algorithm repairs the
+//! query by replacing the concept with its ID feature, if one exists —
+//! "IDs are considered the default feature". Otherwise the query is
+//! rejected.
+
+use crate::omq::Omq;
+use crate::ontology::BdiOntology;
+use crate::vocab;
+use bdi_rdf::model::{Iri, Triple};
+
+/// Why a query could not be made well-formed.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum WellFormedError {
+    /// Algorithm 2, line 3.
+    #[error("Q_G.φ has at least one cycle")]
+    Cyclic,
+    /// Algorithm 2, line 16.
+    #[error("Q_G projects concept {0} which has no ID feature mapped to the sources")]
+    ConceptWithoutId(String),
+    #[error("projected element {0} is neither a feature nor a concept of G")]
+    UnknownProjection(String),
+}
+
+/// The outcome of Algorithm 2: the (possibly repaired) query plus a record
+/// of each concept→ID replacement performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WellFormedQuery {
+    pub omq: Omq,
+    /// `(concept, id_feature)` substitutions applied (empty when the input
+    /// was already well-formed).
+    pub replacements: Vec<(Iri, Iri)>,
+}
+
+/// Algorithm 2 — `WellFormedQuery(G, Q_G)`.
+pub fn well_formed_query(
+    ontology: &BdiOntology,
+    mut omq: Omq,
+) -> Result<WellFormedQuery, WellFormedError> {
+    // Line 2: the pattern must be acyclic.
+    if omq.topological_sort().is_none() {
+        return Err(WellFormedError::Cyclic);
+    }
+
+    let mut replacements = Vec::new();
+    let mut new_pi: Vec<Iri> = Vec::with_capacity(omq.pi.len());
+    let mut new_phi: Vec<Triple> = Vec::new();
+
+    // Lines 5–19: replace projected concepts with their ID features.
+    for p in omq.pi.clone() {
+        if ontology.is_feature(&p) {
+            new_pi.push(p);
+            continue;
+        }
+        if !ontology.is_concept(&p) {
+            return Err(WellFormedError::UnknownProjection(p.as_str().to_owned()));
+        }
+        // Line 8: outgoing neighbours of type G:Feature, filtered to IDs
+        // (line 9: subclasses of sc:identifier).
+        let ids = ontology.id_features_of(&p);
+        let Some(id) = ids.first() else {
+            return Err(WellFormedError::ConceptWithoutId(p.as_str().to_owned()));
+        };
+        // Lines 11–12: substitute in π and extend φ.
+        new_pi.push(id.clone());
+        new_phi.push(Triple::new(
+            p.clone(),
+            (*vocab::g::HAS_FEATURE).clone(),
+            id.clone(),
+        ));
+        replacements.push((p, id.clone()));
+    }
+
+    omq.pi = new_pi;
+    for t in new_phi {
+        omq.extend_phi(t);
+    }
+    Ok(WellFormedQuery { omq, replacements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_rdf::model::Term;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://e/{s}"))
+    }
+
+    /// The Code 9 scenario: App —hasMonitor→ Monitor, App —hasFGTool→ FG.
+    fn ontology() -> BdiOntology {
+        let o = BdiOntology::new();
+        for c in ["SoftwareApplication", "Monitor", "FeedbackGathering"] {
+            o.add_concept(&iri(c));
+        }
+        for (c, f) in [
+            ("SoftwareApplication", "applicationId"),
+            ("Monitor", "monitorId"),
+            ("FeedbackGathering", "feedbackGatheringId"),
+        ] {
+            o.add_id_feature(&iri(f));
+            o.attach_feature(&iri(c), &iri(f)).unwrap();
+        }
+        o.add_object_property(&iri("hasMonitor"), &iri("SoftwareApplication"), &iri("Monitor"))
+            .unwrap();
+        o.add_object_property(
+            &iri("hasFGTool"),
+            &iri("SoftwareApplication"),
+            &iri("FeedbackGathering"),
+        )
+        .unwrap();
+        o
+    }
+
+    /// The non-well-formed query of Code 9 (projects concepts).
+    fn code9() -> Omq {
+        Omq::new(
+            vec![iri("SoftwareApplication"), iri("Monitor"), iri("FeedbackGathering")],
+            vec![
+                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
+                Triple::new(iri("SoftwareApplication"), iri("hasFGTool"), iri("FeedbackGathering")),
+            ],
+        )
+    }
+
+    #[test]
+    fn code9_is_repaired_to_code10() {
+        let o = ontology();
+        let wf = well_formed_query(&o, code9()).unwrap();
+        // π now projects the three ID features (Code 10).
+        let names: Vec<&str> = wf.omq.pi.iter().map(|i| i.local_name()).collect();
+        assert_eq!(names, vec!["applicationId", "monitorId", "feedbackGatheringId"]);
+        // φ gained the three hasFeature triples.
+        assert_eq!(wf.omq.phi.len(), 5);
+        assert_eq!(wf.replacements.len(), 3);
+        assert!(wf.omq.phi.contains(&Triple::new(
+            iri("Monitor"),
+            (*vocab::g::HAS_FEATURE).clone(),
+            iri("monitorId")
+        )));
+    }
+
+    #[test]
+    fn already_well_formed_queries_pass_through() {
+        let o = ontology();
+        let omq = Omq::new(
+            vec![iri("monitorId")],
+            vec![Triple::new(
+                iri("Monitor"),
+                (*vocab::g::HAS_FEATURE).clone(),
+                iri("monitorId"),
+            )],
+        );
+        let wf = well_formed_query(&o, omq.clone()).unwrap();
+        assert_eq!(wf.omq, omq);
+        assert!(wf.replacements.is_empty());
+    }
+
+    #[test]
+    fn cyclic_patterns_are_rejected() {
+        let o = ontology();
+        let omq = Omq::new(
+            vec![iri("monitorId")],
+            vec![
+                Triple::new(iri("Monitor"), iri("p"), iri("SoftwareApplication")),
+                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
+            ],
+        );
+        assert_eq!(well_formed_query(&o, omq).unwrap_err(), WellFormedError::Cyclic);
+    }
+
+    #[test]
+    fn concept_without_id_is_rejected() {
+        let o = ontology();
+        o.add_concept(&iri("InfoMonitor")); // no ID feature
+        o.add_feature(&iri("lagRatio"));
+        o.attach_feature(&iri("InfoMonitor"), &iri("lagRatio")).unwrap();
+        let omq = Omq::new(
+            vec![iri("InfoMonitor")],
+            vec![Triple::new(
+                iri("InfoMonitor"),
+                (*vocab::g::HAS_FEATURE).clone(),
+                iri("lagRatio"),
+            )],
+        );
+        assert!(matches!(
+            well_formed_query(&o, omq),
+            Err(WellFormedError::ConceptWithoutId(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_projection_is_rejected() {
+        let o = ontology();
+        let omq = Omq::new(
+            vec![iri("zzz")],
+            vec![Triple::new(iri("Monitor"), iri("p"), Term::iri("http://e/zzz"))],
+        );
+        assert!(matches!(
+            well_formed_query(&o, omq),
+            Err(WellFormedError::UnknownProjection(_))
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Named collections of JSON documents and the store holding them.
+
+use crate::pipeline::{Pipeline, PipelineError};
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Errors raised by store operations.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum StoreError {
+    #[error("unknown collection: {0}")]
+    UnknownCollection(String),
+    #[error(transparent)]
+    Pipeline(#[from] PipelineError),
+    #[error("document must be a JSON object, got {0}")]
+    NotAnObject(String),
+}
+
+/// A single collection: an append-ordered list of JSON objects.
+#[derive(Debug, Default, Clone)]
+pub struct Collection {
+    docs: Vec<Value>,
+}
+
+impl Collection {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one document (must be a JSON object).
+    pub fn insert(&mut self, doc: Value) -> Result<(), StoreError> {
+        if !doc.is_object() {
+            return Err(StoreError::NotAnObject(doc.to_string()));
+        }
+        self.docs.push(doc);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    pub fn docs(&self) -> &[Value] {
+        &self.docs
+    }
+
+    /// Runs an aggregation pipeline over the collection.
+    pub fn aggregate(&self, pipeline: &Pipeline) -> Result<Vec<Value>, PipelineError> {
+        pipeline.run(self.docs.iter())
+    }
+}
+
+/// A thread-safe multi-collection document store — the data substrate that
+/// stands in for the paper's REST/JSON sources plus their MongoDB-style
+/// wrapper query engine.
+#[derive(Debug, Default, Clone)]
+pub struct DocStore {
+    collections: Arc<RwLock<BTreeMap<String, Collection>>>,
+}
+
+impl DocStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document, creating the collection if needed.
+    pub fn insert(&self, collection: &str, doc: Value) -> Result<(), StoreError> {
+        let mut guard = self.collections.write();
+        guard.entry(collection.to_owned()).or_default().insert(doc)
+    }
+
+    /// Inserts many documents.
+    pub fn insert_many<I: IntoIterator<Item = Value>>(
+        &self,
+        collection: &str,
+        docs: I,
+    ) -> Result<usize, StoreError> {
+        let mut guard = self.collections.write();
+        let coll = guard.entry(collection.to_owned()).or_default();
+        let mut n = 0;
+        for doc in docs {
+            coll.insert(doc)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Runs a pipeline against a collection (`db.getCollection(name)
+    /// .aggregate([...])` in the paper's Code 2).
+    pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Value>, StoreError> {
+        let guard = self.collections.read();
+        let coll = guard
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_owned()))?;
+        Ok(coll.aggregate(pipeline)?)
+    }
+
+    /// Number of documents in a collection (0 if absent).
+    pub fn count(&self, collection: &str) -> usize {
+        self.collections
+            .read()
+            .get(collection)
+            .map(Collection::len)
+            .unwrap_or(0)
+    }
+
+    /// Names of all collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Dumps every collection's documents — the persistence image.
+    pub fn dump(&self) -> BTreeMap<String, Vec<Value>> {
+        self.collections
+            .read()
+            .iter()
+            .map(|(name, coll)| (name.clone(), coll.docs.clone()))
+            .collect()
+    }
+
+    /// Restores collections from a [`DocStore::dump`] image, replacing any
+    /// same-named collections.
+    pub fn restore(&self, image: BTreeMap<String, Vec<Value>>) -> Result<usize, StoreError> {
+        let mut n = 0;
+        for (name, docs) in image {
+            self.clear(&name);
+            n += self.insert_many(&name, docs)?;
+        }
+        Ok(n)
+    }
+
+    /// Removes all documents of a collection, returning how many there were.
+    pub fn clear(&self, collection: &str) -> usize {
+        let mut guard = self.collections.write();
+        match guard.get_mut(collection) {
+            Some(coll) => std::mem::take(&mut coll.docs).len(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AggExpr, Projection};
+    use serde_json::json;
+
+    #[test]
+    fn insert_and_count() {
+        let store = DocStore::new();
+        store.insert("vod", json!({"monitorId": 12})).unwrap();
+        store.insert("vod", json!({"monitorId": 18})).unwrap();
+        assert_eq!(store.count("vod"), 2);
+        assert_eq!(store.count("absent"), 0);
+    }
+
+    #[test]
+    fn non_object_documents_are_rejected() {
+        let store = DocStore::new();
+        assert!(matches!(
+            store.insert("vod", json!([1, 2])),
+            Err(StoreError::NotAnObject(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_against_named_collection() {
+        let store = DocStore::new();
+        store
+            .insert_many(
+                "vod",
+                vec![
+                    json!({"monitorId": 12, "waitTime": 3, "watchTime": 4}),
+                    json!({"monitorId": 18, "waitTime": 1, "watchTime": 10}),
+                ],
+            )
+            .unwrap();
+        let p = Pipeline::new().project(vec![
+            Projection::field("VoDmonitorId", "monitorId"),
+            Projection::computed(
+                "lagRatio",
+                AggExpr::divide(AggExpr::field("waitTime"), AggExpr::field("watchTime")),
+            ),
+        ]);
+        let out = store.aggregate("vod", &p).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], json!({"VoDmonitorId": 18, "lagRatio": 0.1}));
+    }
+
+    #[test]
+    fn unknown_collection_is_an_error() {
+        let store = DocStore::new();
+        let err = store.aggregate("zz", &Pipeline::new()).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownCollection(_)));
+    }
+
+    #[test]
+    fn clear_empties_collection() {
+        let store = DocStore::new();
+        store.insert("c", json!({"a": 1})).unwrap();
+        assert_eq!(store.clear("c"), 1);
+        assert_eq!(store.count("c"), 0);
+        assert_eq!(store.clear("absent"), 0);
+    }
+
+    #[test]
+    fn dump_restore_round_trips() {
+        let store = DocStore::new();
+        store.insert("a", json!({"x": 1})).unwrap();
+        store.insert("b", json!({"y": [1, 2]})).unwrap();
+        let image = store.dump();
+
+        let fresh = DocStore::new();
+        fresh.insert("a", json!({"stale": true})).unwrap();
+        let n = fresh.restore(image).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(fresh.count("a"), 1);
+        assert_eq!(
+            fresh.aggregate("b", &Pipeline::new()).unwrap()[0],
+            json!({"y": [1, 2]})
+        );
+    }
+
+    #[test]
+    fn clone_shares_underlying_data() {
+        let store = DocStore::new();
+        let view = store.clone();
+        store.insert("c", json!({"a": 1})).unwrap();
+        assert_eq!(view.count("c"), 1);
+    }
+}

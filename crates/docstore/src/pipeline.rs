@@ -1,0 +1,366 @@
+//! Aggregation-lite pipelines.
+//!
+//! Implements the fragment of MongoDB's aggregation framework the paper's
+//! wrappers use (Code 2): `$project` with field renames and computed fields
+//! (`$divide`, `$add`, `$subtract`, `$multiply`, `$concat`, `$literal`), plus
+//! `$match` equality filters and `$limit`. Exactly like `aggregate` in the
+//! paper's footnote 4, no grouping is performed unless a stage asks for it —
+//! and no `$group` stage exists here because no wrapper needs one.
+
+use crate::path::get_path;
+use serde_json::{Map, Number, Value};
+
+/// Errors raised during pipeline evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum PipelineError {
+    #[error("$divide by zero (path context: {0})")]
+    DivideByZero(String),
+    #[error("operator {op} expects numeric operands, got {got}")]
+    NonNumeric { op: &'static str, got: String },
+}
+
+/// A value-producing aggregation expression.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum AggExpr {
+    /// `"$field.path"` — reads a (possibly nested) field.
+    Field(String),
+    /// `{$literal: v}`.
+    Literal(Value),
+    /// `{$divide: [a, b]}` — always produces a double.
+    Divide(Box<AggExpr>, Box<AggExpr>),
+    /// `{$add: [a, b]}`.
+    Add(Box<AggExpr>, Box<AggExpr>),
+    /// `{$subtract: [a, b]}`.
+    Subtract(Box<AggExpr>, Box<AggExpr>),
+    /// `{$multiply: [a, b]}`.
+    Multiply(Box<AggExpr>, Box<AggExpr>),
+    /// `{$concat: [a, b]}` — string concatenation.
+    Concat(Box<AggExpr>, Box<AggExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // mirrors MongoDB's $add/$divide naming
+impl AggExpr {
+    pub fn field(path: impl Into<String>) -> Self {
+        AggExpr::Field(path.into())
+    }
+
+    pub fn literal(value: impl Into<Value>) -> Self {
+        AggExpr::Literal(value.into())
+    }
+
+    pub fn divide(a: AggExpr, b: AggExpr) -> Self {
+        AggExpr::Divide(Box::new(a), Box::new(b))
+    }
+
+    pub fn add(a: AggExpr, b: AggExpr) -> Self {
+        AggExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    pub fn subtract(a: AggExpr, b: AggExpr) -> Self {
+        AggExpr::Subtract(Box::new(a), Box::new(b))
+    }
+
+    pub fn multiply(a: AggExpr, b: AggExpr) -> Self {
+        AggExpr::Multiply(Box::new(a), Box::new(b))
+    }
+
+    pub fn concat(a: AggExpr, b: AggExpr) -> Self {
+        AggExpr::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates against one document. Missing fields yield `Null` — evolved
+    /// schemas must degrade, not crash (that is the point of the paper).
+    pub fn eval(&self, doc: &Value) -> Result<Value, PipelineError> {
+        match self {
+            AggExpr::Field(path) => Ok(get_path(doc, path).cloned().unwrap_or(Value::Null)),
+            AggExpr::Literal(v) => Ok(v.clone()),
+            AggExpr::Divide(a, b) => {
+                let (x, y) = (a.eval(doc)?, b.eval(doc)?);
+                if x.is_null() || y.is_null() {
+                    return Ok(Value::Null);
+                }
+                let (x, y) = numeric_pair("$divide", &x, &y)?;
+                if y == 0.0 {
+                    return Err(PipelineError::DivideByZero(self_repr(a, b)));
+                }
+                Ok(json_f64(x / y))
+            }
+            AggExpr::Add(a, b) => arith("$add", doc, a, b, |x, y| x + y),
+            AggExpr::Subtract(a, b) => arith("$subtract", doc, a, b, |x, y| x - y),
+            AggExpr::Multiply(a, b) => arith("$multiply", doc, a, b, |x, y| x * y),
+            AggExpr::Concat(a, b) => {
+                let (x, y) = (a.eval(doc)?, b.eval(doc)?);
+                if x.is_null() || y.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::String(format!("{}{}", as_string(&x), as_string(&y))))
+            }
+        }
+    }
+}
+
+fn self_repr(a: &AggExpr, b: &AggExpr) -> String {
+    format!("{a:?} / {b:?}")
+}
+
+fn as_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn numeric_pair(op: &'static str, x: &Value, y: &Value) -> Result<(f64, f64), PipelineError> {
+    match (x.as_f64(), y.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(PipelineError::NonNumeric {
+            op,
+            got: format!("{x} and {y}"),
+        }),
+    }
+}
+
+fn json_f64(v: f64) -> Value {
+    Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+}
+
+fn arith(
+    op: &'static str,
+    doc: &Value,
+    a: &AggExpr,
+    b: &AggExpr,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value, PipelineError> {
+    let (x, y) = (a.eval(doc)?, b.eval(doc)?);
+    if x.is_null() || y.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer-preserving fast path.
+    if let (Some(xi), Some(yi)) = (x.as_i64(), y.as_i64()) {
+        let exact = f(xi as f64, yi as f64);
+        if exact.fract() == 0.0 && exact.abs() < i64::MAX as f64 {
+            return Ok(Value::Number(Number::from(exact as i64)));
+        }
+    }
+    let (x, y) = numeric_pair(op, &x, &y)?;
+    Ok(json_f64(f(x, y)))
+}
+
+/// One projected output field.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Projection {
+    /// The output field name (e.g. `VoDmonitorId`).
+    pub name: String,
+    /// The producing expression (e.g. `$monitorId`, or a `$divide`).
+    pub expr: AggExpr,
+}
+
+impl Projection {
+    /// `"out": "$path"` — rename/copy a field.
+    pub fn field(name: impl Into<String>, path: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            expr: AggExpr::field(path),
+        }
+    }
+
+    /// `"out": <computed expression>`.
+    pub fn computed(name: impl Into<String>, expr: AggExpr) -> Self {
+        Self {
+            name: name.into(),
+            expr,
+        }
+    }
+}
+
+/// A pipeline stage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Stage {
+    /// `$match` with field-equality predicates (conjunctive).
+    Match(Vec<(String, Value)>),
+    /// `$project` producing exactly the listed fields.
+    Project(Vec<Projection>),
+    /// `$limit`.
+    Limit(usize),
+}
+
+/// An aggregation pipeline: an ordered list of stages.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Pipeline {
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn match_eq(mut self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        match self.stages.last_mut() {
+            Some(Stage::Match(preds)) => preds.push((field.into(), value.into())),
+            _ => self.stages.push(Stage::Match(vec![(field.into(), value.into())])),
+        }
+        self
+    }
+
+    pub fn project(mut self, projections: Vec<Projection>) -> Self {
+        self.stages.push(Stage::Project(projections));
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.stages.push(Stage::Limit(n));
+        self
+    }
+
+    /// Runs the pipeline over a document set.
+    pub fn run<'a, I>(&self, docs: I) -> Result<Vec<Value>, PipelineError>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut current: Vec<Value> = docs.into_iter().cloned().collect();
+        for stage in &self.stages {
+            current = match stage {
+                Stage::Match(preds) => current
+                    .into_iter()
+                    .filter(|doc| {
+                        preds
+                            .iter()
+                            .all(|(path, expected)| get_path(doc, path) == Some(expected))
+                    })
+                    .collect(),
+                Stage::Project(projections) => {
+                    let mut out = Vec::with_capacity(current.len());
+                    for doc in &current {
+                        let mut map = Map::with_capacity(projections.len());
+                        for p in projections {
+                            map.insert(p.name.clone(), p.expr.eval(doc)?);
+                        }
+                        out.push(Value::Object(map));
+                    }
+                    out
+                }
+                Stage::Limit(n) => {
+                    current.truncate(*n);
+                    current
+                }
+            };
+        }
+        Ok(current)
+    }
+
+    /// The output field names, when the final stage is a `$project`.
+    pub fn output_fields(&self) -> Option<Vec<&str>> {
+        match self.stages.last() {
+            Some(Stage::Project(ps)) => Some(ps.iter().map(|p| p.name.as_str()).collect()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    /// The exact VoD document of Code 1.
+    fn vod_doc() -> Value {
+        json!({
+            "monitorId": 12,
+            "timestamp": 1475010424i64,
+            "bitrate": 6,
+            "waitTime": 3,
+            "watchTime": 4
+        })
+    }
+
+    /// The wrapper query of Code 2: rename monitorId → VoDmonitorId and
+    /// compute lagRatio = waitTime / watchTime.
+    fn code2_pipeline() -> Pipeline {
+        Pipeline::new().project(vec![
+            Projection::field("VoDmonitorId", "monitorId"),
+            Projection::computed(
+                "lagRatio",
+                AggExpr::divide(AggExpr::field("waitTime"), AggExpr::field("watchTime")),
+            ),
+        ])
+    }
+
+    #[test]
+    fn code2_projects_and_computes() {
+        let docs = vec![vod_doc()];
+        let out = code2_pipeline().run(&docs).unwrap();
+        assert_eq!(out, vec![json!({"VoDmonitorId": 12, "lagRatio": 0.75})]);
+    }
+
+    #[test]
+    fn missing_fields_become_null() {
+        let docs = vec![json!({"monitorId": 9, "waitTime": 1})];
+        let out = code2_pipeline().run(&docs).unwrap();
+        assert_eq!(out[0]["lagRatio"], Value::Null);
+    }
+
+    #[test]
+    fn match_filters_conjunctively() {
+        let docs = vec![vod_doc(), json!({"monitorId": 18, "bitrate": 6})];
+        let p = Pipeline::new().match_eq("bitrate", 6).match_eq("monitorId", 12);
+        assert_eq!(p.run(&docs).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let docs = vec![vod_doc(), vod_doc(), vod_doc()];
+        let out = Pipeline::new().limit(2).run(&docs).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        let docs = vec![json!({"a": 1, "b": 0})];
+        let p = Pipeline::new().project(vec![Projection::computed(
+            "r",
+            AggExpr::divide(AggExpr::field("a"), AggExpr::field("b")),
+        )]);
+        assert!(matches!(p.run(&docs), Err(PipelineError::DivideByZero(_))));
+    }
+
+    #[test]
+    fn arithmetic_preserves_integers() {
+        let docs = vec![json!({"a": 2, "b": 3})];
+        let p = Pipeline::new().project(vec![
+            Projection::computed("sum", AggExpr::add(AggExpr::field("a"), AggExpr::field("b"))),
+            Projection::computed("prod", AggExpr::multiply(AggExpr::field("a"), AggExpr::field("b"))),
+        ]);
+        let out = p.run(&docs).unwrap();
+        assert_eq!(out[0], json!({"sum": 5, "prod": 6}));
+    }
+
+    #[test]
+    fn concat_and_literal() {
+        let docs = vec![json!({"name": "vod"})];
+        let p = Pipeline::new().project(vec![Projection::computed(
+            "tag",
+            AggExpr::concat(AggExpr::field("name"), AggExpr::literal("-v2")),
+        )]);
+        assert_eq!(p.run(&docs).unwrap()[0]["tag"], json!("vod-v2"));
+    }
+
+    #[test]
+    fn non_numeric_arithmetic_is_an_error() {
+        let docs = vec![json!({"a": "x", "b": 1})];
+        let p = Pipeline::new().project(vec![Projection::computed(
+            "r",
+            AggExpr::add(AggExpr::field("a"), AggExpr::field("b")),
+        )]);
+        assert!(matches!(p.run(&docs), Err(PipelineError::NonNumeric { .. })));
+    }
+
+    #[test]
+    fn output_fields_reports_projection() {
+        assert_eq!(
+            code2_pipeline().output_fields(),
+            Some(vec!["VoDmonitorId", "lagRatio"])
+        );
+        assert_eq!(Pipeline::new().output_fields(), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # bdi-rdf — the RDF substrate of the BDI ontology
+//!
+//! An in-memory, indexed, thread-safe RDF **named-graph quad store** with:
+//!
+//! * a compact term model ([`model`]) with interning ([`interner`]),
+//! * six permutation indexes answering any quad pattern with one range scan
+//!   ([`store`]),
+//! * a Turtle subset reader/writer ([`turtle`]),
+//! * RDFS entailment — materialization and on-demand closure ([`reason`]),
+//! * a restricted SPARQL engine ([`sparql`]) covering the paper's accepted
+//!   query template (Code 3), its algebra (Code 4) and the internal queries
+//!   of Algorithms 1–5 (`GRAPH ?g { … }`, `VALUES`).
+//!
+//! This crate is self-contained: it is the triplestore the paper assumes as
+//! its substrate (Jena + Jena TDB in the authors' implementation), built from
+//! scratch because no mature pure-Rust option fits the requirements.
+
+pub mod interner;
+pub mod model;
+pub mod reason;
+pub mod sparql;
+pub mod store;
+pub mod trig;
+pub mod turtle;
+pub mod vocab;
+
+pub use model::{BlankNode, GraphName, Iri, Literal, Quad, Term, Triple};
+pub use store::{GraphPattern, QuadStore};

@@ -1,0 +1,333 @@
+//! RDFS entailment.
+//!
+//! The paper restricts reasoning to the **RDFS entailment regime** (§2, §8):
+//! subclass/subproperty transitivity, type propagation, and domain/range
+//! typing — enough for the ontology's feature taxonomy (`sup:monitorId
+//! rdfs:subClassOf sc:identifier`) to be queryable, and deliberately *not* a
+//! description-logic reasoner.
+//!
+//! Two access paths are provided:
+//!
+//! * [`materialize`] — forward-chaining fixpoint that adds all inferred quads
+//!   to the store (the classic pre-computation a triplestore like Jena TDB
+//!   performs). Inferred instance triples land in the graph of the instance
+//!   premise; inferred schema triples in the graph of their first premise.
+//! * [`is_subclass_of`] / [`subclass_closure`] — on-demand reachability
+//!   queries that do not mutate the store; the rewriting algorithms use these
+//!   so query answering works on non-materialized ontologies too (see the
+//!   `entailment` ablation bench for the trade-off).
+
+use crate::model::{Iri, Quad, Term};
+#[cfg(test)]
+use crate::model::GraphName;
+use crate::store::{GraphPattern, QuadStore};
+use crate::vocab::{rdf, rdfs};
+use std::collections::{HashSet, VecDeque};
+
+/// Applies the RDFS rules to a fixpoint, returning the number of quads added.
+///
+/// Implemented rules (numbers from the RDF Semantics spec):
+/// * rdfs5 — `subPropertyOf` transitivity
+/// * rdfs7 — property inheritance: `(s p o), (p subPropertyOf q) ⟹ (s q o)`
+/// * rdfs9 — type propagation: `(s type C), (C subClassOf D) ⟹ (s type D)`
+/// * rdfs11 — `subClassOf` transitivity
+/// * rdfs2 — domain typing: `(p domain C), (s p o) ⟹ (s type C)`
+/// * rdfs3 — range typing: `(p range C), (s p o) ⟹ (o type C)` for non-literal `o`
+pub fn materialize(store: &QuadStore) -> usize {
+    let mut added_total = 0;
+    loop {
+        let mut new_quads: Vec<Quad> = Vec::new();
+
+        // Schema snapshot for this round.
+        let sub_class = store.match_quads(None, Some(&rdfs::SUB_CLASS_OF), None, &GraphPattern::Any);
+        let sub_prop =
+            store.match_quads(None, Some(&rdfs::SUB_PROPERTY_OF), None, &GraphPattern::Any);
+        let domains = store.match_quads(None, Some(&rdfs::DOMAIN), None, &GraphPattern::Any);
+        let ranges = store.match_quads(None, Some(&rdfs::RANGE), None, &GraphPattern::Any);
+
+        // rdfs11: subClassOf transitivity.
+        for q1 in &sub_class {
+            for q2 in &sub_class {
+                if q1.object == q2.subject && q1.subject != q2.object {
+                    new_quads.push(Quad {
+                        subject: q1.subject.clone(),
+                        predicate: (*rdfs::SUB_CLASS_OF).clone(),
+                        object: q2.object.clone(),
+                        graph: q1.graph.clone(),
+                    });
+                }
+            }
+        }
+        // rdfs5: subPropertyOf transitivity.
+        for q1 in &sub_prop {
+            for q2 in &sub_prop {
+                if q1.object == q2.subject && q1.subject != q2.object {
+                    new_quads.push(Quad {
+                        subject: q1.subject.clone(),
+                        predicate: (*rdfs::SUB_PROPERTY_OF).clone(),
+                        object: q2.object.clone(),
+                        graph: q1.graph.clone(),
+                    });
+                }
+            }
+        }
+        // rdfs9: type propagation along subClassOf.
+        for sc in &sub_class {
+            for typed in store.match_quads(None, Some(&rdf::TYPE), Some(&sc.subject), &GraphPattern::Any)
+            {
+                new_quads.push(Quad {
+                    subject: typed.subject.clone(),
+                    predicate: (*rdf::TYPE).clone(),
+                    object: sc.object.clone(),
+                    graph: typed.graph.clone(),
+                });
+            }
+        }
+        // rdfs7: property inheritance.
+        for sp in &sub_prop {
+            let (Some(p), Some(q)) = (sp.subject.as_iri(), sp.object.as_iri()) else {
+                continue;
+            };
+            for stmt in store.match_quads(None, Some(p), None, &GraphPattern::Any) {
+                new_quads.push(Quad {
+                    subject: stmt.subject.clone(),
+                    predicate: q.clone(),
+                    object: stmt.object.clone(),
+                    graph: stmt.graph.clone(),
+                });
+            }
+        }
+        // rdfs2: domain typing.
+        for dom in &domains {
+            let Some(p) = dom.subject.as_iri() else { continue };
+            for stmt in store.match_quads(None, Some(p), None, &GraphPattern::Any) {
+                new_quads.push(Quad {
+                    subject: stmt.subject.clone(),
+                    predicate: (*rdf::TYPE).clone(),
+                    object: dom.object.clone(),
+                    graph: stmt.graph.clone(),
+                });
+            }
+        }
+        // rdfs3: range typing (non-literal objects only).
+        for ran in &ranges {
+            let Some(p) = ran.subject.as_iri() else { continue };
+            for stmt in store.match_quads(None, Some(p), None, &GraphPattern::Any) {
+                if stmt.object.is_literal() {
+                    continue;
+                }
+                new_quads.push(Quad {
+                    subject: stmt.object.clone(),
+                    predicate: (*rdf::TYPE).clone(),
+                    object: ran.object.clone(),
+                    graph: stmt.graph.clone(),
+                });
+            }
+        }
+
+        let mut added_this_round = 0;
+        for quad in new_quads {
+            if store.insert(&quad) {
+                added_this_round += 1;
+            }
+        }
+        added_total += added_this_round;
+        if added_this_round == 0 {
+            return added_total;
+        }
+    }
+}
+
+/// True when `sub rdfs:subClassOf* sup` holds under RDFS entailment
+/// (reflexive-transitive reachability), without materializing.
+pub fn is_subclass_of(store: &QuadStore, sub: &Iri, sup: &Iri) -> bool {
+    if sub == sup {
+        return true;
+    }
+    subclass_closure(store, sub).contains(sup)
+}
+
+/// All (strict and reflexive) superclasses of `class` reachable through
+/// `rdfs:subClassOf` in any graph.
+pub fn subclass_closure(store: &QuadStore, class: &Iri) -> HashSet<Iri> {
+    let mut seen: HashSet<Iri> = HashSet::new();
+    let mut queue: VecDeque<Iri> = VecDeque::new();
+    seen.insert(class.clone());
+    queue.push_back(class.clone());
+    while let Some(current) = queue.pop_front() {
+        for sup in store.objects(
+            &Term::Iri(current),
+            &rdfs::SUB_CLASS_OF,
+            &GraphPattern::Any,
+        ) {
+            if let Term::Iri(iri) = sup {
+                if seen.insert(iri.clone()) {
+                    queue.push_back(iri);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// All subclasses (inverse closure) of `class`, reflexive.
+pub fn superclass_of_closure(store: &QuadStore, class: &Iri) -> HashSet<Iri> {
+    let mut seen: HashSet<Iri> = HashSet::new();
+    let mut queue: VecDeque<Iri> = VecDeque::new();
+    seen.insert(class.clone());
+    queue.push_back(class.clone());
+    while let Some(current) = queue.pop_front() {
+        for sub in store.subjects(
+            &rdfs::SUB_CLASS_OF,
+            &Term::Iri(current),
+            &GraphPattern::Any,
+        ) {
+            if let Term::Iri(iri) = sub {
+                if seen.insert(iri.clone()) {
+                    queue.push_back(iri);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Instances of `class` under RDFS entailment: subjects typed with `class`
+/// or any of its subclasses, in the given graph pattern.
+pub fn instances_of(store: &QuadStore, class: &Iri, graph: &GraphPattern) -> Vec<Term> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for sub in superclass_of_closure(store, class) {
+        for subject in store.subjects(&rdf::TYPE, &Term::Iri(sub), graph) {
+            if seen.insert(subject.clone()) {
+                out.push(subject);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s)
+    }
+
+    fn setup_taxonomy() -> QuadStore {
+        let store = QuadStore::new();
+        let g = GraphName::Default;
+        // monitorId ⊑ toolId ⊑ identifier
+        store.insert_in(&g, iri("http://e/monitorId"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/toolId"));
+        store.insert_in(&g, iri("http://e/toolId"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://schema.org/identifier"));
+        store
+    }
+
+    #[test]
+    fn subclass_reachability_is_transitive() {
+        let store = setup_taxonomy();
+        assert!(is_subclass_of(&store, &iri("http://e/monitorId"), &iri("http://schema.org/identifier")));
+        assert!(is_subclass_of(&store, &iri("http://e/monitorId"), &iri("http://e/monitorId")));
+        assert!(!is_subclass_of(&store, &iri("http://schema.org/identifier"), &iri("http://e/monitorId")));
+    }
+
+    #[test]
+    fn materialize_adds_transitive_subclass_edges() {
+        let store = setup_taxonomy();
+        let added = materialize(&store);
+        assert!(added >= 1);
+        assert!(store.contains(&Quad::new(
+            iri("http://e/monitorId"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            iri("http://schema.org/identifier"),
+            GraphName::Default,
+        )));
+    }
+
+    #[test]
+    fn materialize_propagates_types() {
+        let store = setup_taxonomy();
+        store.insert_in(
+            &GraphName::Default,
+            iri("http://e/m1"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/monitorId"),
+        );
+        materialize(&store);
+        assert!(store.contains(&Quad::new(
+            iri("http://e/m1"),
+            (*rdf::TYPE).clone(),
+            iri("http://schema.org/identifier"),
+            GraphName::Default,
+        )));
+    }
+
+    #[test]
+    fn materialize_is_idempotent() {
+        let store = setup_taxonomy();
+        store.insert_in(
+            &GraphName::Default,
+            iri("http://e/m1"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/monitorId"),
+        );
+        materialize(&store);
+        let len = store.len();
+        assert_eq!(materialize(&store), 0);
+        assert_eq!(store.len(), len);
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let store = QuadStore::new();
+        let g = GraphName::Default;
+        store.insert_in(&g, iri("http://e/hasMonitor"), (*rdfs::DOMAIN).clone(), iri("http://e/App"));
+        store.insert_in(&g, iri("http://e/hasMonitor"), (*rdfs::RANGE).clone(), iri("http://e/Monitor"));
+        store.insert_in(&g, iri("http://e/a1"), iri("http://e/hasMonitor"), iri("http://e/m1"));
+        // Literal objects must not be range-typed.
+        store.insert_in(&g, iri("http://e/a1"), iri("http://e/hasMonitor"), Literal::string("oops"));
+        materialize(&store);
+        assert!(store.contains(&Quad::new(iri("http://e/a1"), (*rdf::TYPE).clone(), iri("http://e/App"), g.clone())));
+        assert!(store.contains(&Quad::new(iri("http://e/m1"), (*rdf::TYPE).clone(), iri("http://e/Monitor"), g.clone())));
+        let typed_literals = store.match_quads(
+            None,
+            Some(&rdf::TYPE),
+            Some(&Term::iri("http://e/Monitor")),
+            &GraphPattern::Any,
+        );
+        assert_eq!(typed_literals.len(), 1);
+    }
+
+    #[test]
+    fn subproperty_inheritance() {
+        let store = QuadStore::new();
+        let g = GraphName::Default;
+        store.insert_in(&g, iri("http://e/p"), (*rdfs::SUB_PROPERTY_OF).clone(), iri("http://e/q"));
+        store.insert_in(&g, iri("http://e/s"), iri("http://e/p"), iri("http://e/o"));
+        materialize(&store);
+        assert!(store.contains(&Quad::new(iri("http://e/s"), iri("http://e/q"), iri("http://e/o"), g)));
+    }
+
+    #[test]
+    fn instances_of_covers_subclasses() {
+        let store = setup_taxonomy();
+        let g = GraphName::Default;
+        store.insert_in(&g, iri("http://e/x"), (*rdf::TYPE).clone(), iri("http://e/monitorId"));
+        store.insert_in(&g, iri("http://e/y"), (*rdf::TYPE).clone(), iri("http://e/toolId"));
+        let instances = instances_of(&store, &iri("http://schema.org/identifier"), &GraphPattern::Any);
+        assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_taxonomy_terminates() {
+        let store = QuadStore::new();
+        let g = GraphName::Default;
+        store.insert_in(&g, iri("http://e/A"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/B"));
+        store.insert_in(&g, iri("http://e/B"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/A"));
+        materialize(&store);
+        assert!(is_subclass_of(&store, &iri("http://e/A"), &iri("http://e/B")));
+        assert!(is_subclass_of(&store, &iri("http://e/B"), &iri("http://e/A")));
+    }
+}

@@ -1,0 +1,376 @@
+//! Evaluation of the SPARQL subset over a [`QuadStore`].
+//!
+//! Semantics follow the SPARQL algebra of Code 4: the `VALUES` table is
+//! joined with the basic graph pattern, then the projection is applied.
+//! BGP matching uses greedy most-bound-first pattern ordering, substituting
+//! bindings as they accumulate — each step is a single index range scan in
+//! the store.
+
+use super::ast::*;
+use crate::model::{GraphName, Iri, Term};
+use crate::store::{GraphPattern, QuadStore};
+use std::collections::HashMap;
+
+/// One solution mapping (variable → term).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Binding {
+    map: HashMap<Variable, Term>,
+}
+
+impl Binding {
+    pub fn get(&self, var: &Variable) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Convenience lookup by variable name.
+    pub fn get_by_name(&self, name: &str) -> Option<&Term> {
+        self.map.get(&Variable::new(name))
+    }
+
+    pub fn set(&mut self, var: Variable, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Term)> {
+        self.map.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The result of a `SELECT` query: projected variables plus solutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solutions {
+    pub vars: Vec<Variable>,
+    pub bindings: Vec<Binding>,
+}
+
+impl Solutions {
+    /// Terms bound to `var` across all solutions, deduplicated, in order.
+    pub fn column(&self, var: &str) -> Vec<Term> {
+        let v = Variable::new(var);
+        let mut seen = Vec::new();
+        for b in &self.bindings {
+            if let Some(t) = b.get(&v) {
+                if !seen.contains(t) {
+                    seen.push(t.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// IRIs bound to `var` (skipping non-IRI bindings), deduplicated.
+    pub fn iri_column(&self, var: &str) -> Vec<Iri> {
+        self.column(var)
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// When `true`, patterns outside `GRAPH` blocks (and queries without
+    /// `FROM`) match the *union* of all graphs, mirroring a union-default
+    /// SPARQL dataset. When `false`, they match only the default graph.
+    ///
+    /// The BDI ontology stores `G`, `S` and `M` in separate named graphs and
+    /// the paper's internal queries (`FROM T`) range over all of them, so the
+    /// ontology layer evaluates with this enabled.
+    pub default_graph_as_union: bool,
+}
+
+/// Evaluates a query against a store.
+pub fn evaluate(store: &QuadStore, query: &SelectQuery, options: &EvalOptions) -> Solutions {
+    // Seed solutions from the VALUES table (Code 4 joins the table with the
+    // BGP), or with the single empty binding.
+    let mut solutions: Vec<Binding> = match &query.values {
+        Some(values) => values
+            .rows
+            .iter()
+            .map(|row| {
+                let mut b = Binding::default();
+                for (var, term) in values.vars.iter().zip(row) {
+                    b.set(var.clone(), term.clone());
+                }
+                b
+            })
+            .collect(),
+        None => vec![Binding::default()],
+    };
+
+    // Greedy ordering: repeatedly pick the unevaluated pattern with the most
+    // statically bound positions (constants + already-chosen variables).
+    let mut remaining: Vec<&QuadPattern> = query.patterns.iter().collect();
+    let mut chosen_vars: Vec<Variable> = query
+        .values
+        .as_ref()
+        .map(|v| v.vars.clone())
+        .unwrap_or_default();
+    let mut ordered: Vec<&QuadPattern> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, qp)| {
+                let p = &qp.pattern;
+                let mut score = 0usize;
+                for pos in [&p.subject, &p.predicate, &p.object] {
+                    match pos {
+                        TermOrVar::Term(_) => score += 2,
+                        TermOrVar::Var(v) if chosen_vars.contains(v) => score += 1,
+                        TermOrVar::Var(_) => {}
+                    }
+                }
+                score
+            })
+            .expect("remaining is non-empty");
+        let qp = remaining.remove(idx);
+        for v in qp.pattern.variables() {
+            if !chosen_vars.contains(v) {
+                chosen_vars.push(v.clone());
+            }
+        }
+        if let GraphSpec::Var(v) = &qp.graph {
+            if !chosen_vars.contains(v) {
+                chosen_vars.push(v.clone());
+            }
+        }
+        ordered.push(qp);
+    }
+
+    for qp in ordered {
+        let mut next: Vec<Binding> = Vec::new();
+        for binding in &solutions {
+            extend_binding(store, qp, binding, query.from.as_ref(), options, &mut next);
+        }
+        solutions = next;
+        if solutions.is_empty() {
+            break;
+        }
+    }
+
+    let vars = query.projection();
+    Solutions {
+        vars,
+        bindings: solutions,
+    }
+}
+
+fn resolve(pos: &TermOrVar, binding: &Binding) -> Option<Term> {
+    match pos {
+        TermOrVar::Term(t) => Some(t.clone()),
+        TermOrVar::Var(v) => binding.get(v).cloned(),
+    }
+}
+
+fn extend_binding(
+    store: &QuadStore,
+    qp: &QuadPattern,
+    binding: &Binding,
+    from: Option<&Iri>,
+    options: &EvalOptions,
+    out: &mut Vec<Binding>,
+) {
+    let s = resolve(&qp.pattern.subject, binding);
+    let p = resolve(&qp.pattern.predicate, binding);
+    let o = resolve(&qp.pattern.object, binding);
+
+    // Predicate constants must be IRIs; a non-IRI binding cannot match.
+    let p_iri = match &p {
+        Some(Term::Iri(iri)) => Some(iri.clone()),
+        Some(_) => return,
+        None => None,
+    };
+
+    let graph_pattern = match &qp.graph {
+        GraphSpec::Active => match from {
+            Some(iri) => GraphPattern::Named(iri.clone()),
+            None if options.default_graph_as_union => GraphPattern::Any,
+            None => GraphPattern::Default,
+        },
+        GraphSpec::Named(iri) => GraphPattern::Named(iri.clone()),
+        GraphSpec::Var(v) => match binding.get(v) {
+            Some(Term::Iri(iri)) => GraphPattern::Named(iri.clone()),
+            Some(_) => return,
+            None => GraphPattern::AnyNamed,
+        },
+    };
+
+    for quad in store.match_quads(s.as_ref(), p_iri.as_ref(), o.as_ref(), &graph_pattern) {
+        let mut b = binding.clone();
+        let mut ok = true;
+        if let TermOrVar::Var(v) = &qp.pattern.subject {
+            ok &= bind(&mut b, v, quad.subject.clone());
+        }
+        if let TermOrVar::Var(v) = &qp.pattern.predicate {
+            ok &= bind(&mut b, v, Term::Iri(quad.predicate.clone()));
+        }
+        if let TermOrVar::Var(v) = &qp.pattern.object {
+            ok &= bind(&mut b, v, quad.object.clone());
+        }
+        if let GraphSpec::Var(v) = &qp.graph {
+            if let GraphName::Named(iri) = &quad.graph {
+                ok &= bind(&mut b, v, Term::Iri(iri.clone()));
+            } else {
+                ok = false;
+            }
+        }
+        if ok {
+            out.push(b);
+        }
+    }
+}
+
+/// Binds `var` to `term`, failing when already bound to a different term.
+fn bind(binding: &mut Binding, var: &Variable, term: Term) -> bool {
+    match binding.get(var) {
+        Some(existing) => existing == &term,
+        None => {
+            binding.set(var.clone(), term);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparql::parser::parse_query;
+    use crate::turtle::PrefixMap;
+
+    fn store() -> QuadStore {
+        let s = QuadStore::new();
+        let g = GraphName::named(Iri::new("http://e/G"));
+        let w1 = GraphName::named(Iri::new("http://e/w1"));
+        s.insert_in(&g, Iri::new("http://e/App"), Iri::new("http://e/hasMonitor"), Iri::new("http://e/Monitor"));
+        s.insert_in(&g, Iri::new("http://e/App"), Iri::new("http://e/hasFeature"), Iri::new("http://e/appId"));
+        s.insert_in(&g, Iri::new("http://e/Monitor"), Iri::new("http://e/hasFeature"), Iri::new("http://e/monitorId"));
+        s.insert_in(&w1, Iri::new("http://e/Monitor"), Iri::new("http://e/hasFeature"), Iri::new("http://e/monitorId"));
+        s
+    }
+
+    fn prefixes() -> PrefixMap {
+        let mut p = PrefixMap::new();
+        p.insert("e", "http://e/");
+        p
+    }
+
+    #[test]
+    fn bgp_with_variables_joins() {
+        let q = parse_query(
+            "SELECT ?c ?f FROM <http://e/G> WHERE { ?c e:hasFeature ?f . }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&store(), &q, &EvalOptions::default());
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn from_graph_scopes_matching() {
+        let q = parse_query(
+            "SELECT ?c WHERE { ?c e:hasFeature e:monitorId . }",
+            &prefixes(),
+        )
+        .unwrap();
+        // Without FROM and without union default: default graph only → empty.
+        let sols = evaluate(&store(), &q, &EvalOptions::default());
+        assert!(sols.is_empty());
+        // Union default: both G and w1 match, deduplication happens per
+        // binding so the same ?c appears twice.
+        let sols = evaluate(
+            &store(),
+            &q,
+            &EvalOptions {
+                default_graph_as_union: true,
+            },
+        );
+        assert_eq!(sols.column("c").len(), 1);
+    }
+
+    #[test]
+    fn graph_variable_binds_named_graphs() {
+        let q = parse_query(
+            "SELECT ?g WHERE { GRAPH ?g { e:Monitor e:hasFeature e:monitorId } }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&store(), &q, &EvalOptions::default());
+        let graphs = sols.iri_column("g");
+        assert_eq!(graphs.len(), 2); // both G and w1 contain the triple
+    }
+
+    #[test]
+    fn values_clause_seeds_bindings() {
+        let q = parse_query(
+            "SELECT ?f FROM <http://e/G> WHERE {
+                VALUES (?f) { (e:appId) (e:monitorId) }
+                ?c e:hasFeature ?f .
+             }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&store(), &q, &EvalOptions::default());
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        let s = QuadStore::new();
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/a"),
+            Iri::new("http://e/p"),
+            Iri::new("http://e/a"),
+        ));
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/a"),
+            Iri::new("http://e/p"),
+            Iri::new("http://e/b"),
+        ));
+        let q = parse_query("SELECT ?x WHERE { ?x e:p ?x . }", &prefixes()).unwrap();
+        let sols = evaluate(&s, &q, &EvalOptions::default());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.column("x"), vec![Term::iri("http://e/a")]);
+    }
+
+    #[test]
+    fn chained_join_over_two_patterns() {
+        let q = parse_query(
+            "SELECT ?f FROM <http://e/G> WHERE {
+                e:App e:hasMonitor ?m .
+                ?m e:hasFeature ?f .
+             }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&store(), &q, &EvalOptions::default());
+        assert_eq!(sols.column("f"), vec![Term::iri("http://e/monitorId")]);
+    }
+
+    #[test]
+    fn unmatched_pattern_yields_no_solutions() {
+        let q = parse_query(
+            "SELECT ?x FROM <http://e/G> WHERE { ?x e:nonexistent ?y . }",
+            &prefixes(),
+        )
+        .unwrap();
+        assert!(evaluate(&store(), &q, &EvalOptions::default()).is_empty());
+    }
+}

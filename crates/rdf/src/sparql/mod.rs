@@ -1,0 +1,17 @@
+//! Restricted SPARQL engine: lexer, parser, algebra and evaluator.
+//!
+//! The supported fragment is exactly what the paper requires: `SELECT`
+//! queries over one `FROM` graph with a `VALUES` table and a basic graph
+//! pattern (Code 3), plus variables and `GRAPH ?g { … }` blocks for the
+//! internal queries of Algorithms 1–5.
+
+pub mod algebra;
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use algebra::to_algebra;
+pub use ast::{GraphSpec, QuadPattern, SelectQuery, TermOrVar, TriplePattern, ValuesClause, Variable};
+pub use eval::{evaluate, Binding, EvalOptions, Solutions};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,645 @@
+//! The in-memory named-graph quad store.
+//!
+//! This is the triplestore substrate the paper assumes (§2: "a triplestore
+//! with a SPARQL endpoint supporting the RDFS entailment regime"). Quads are
+//! interned to `u32` ids and kept in six `BTreeSet` permutation indexes so
+//! that any triple/quad pattern with any combination of bound positions is
+//! answered by a single range scan:
+//!
+//! | bound prefix        | index  |
+//! |---------------------|--------|
+//! | g, g+s, g+s+p, all  | `GSPO` |
+//! | g+p, g+p+o          | `GPOS` |
+//! | g+o, g+o+s          | `GOSP` |
+//! | s, s+p, s+p+o       | `SPOG` |
+//! | p, p+o              | `POSG` |
+//! | o, o+s              | `OSPG` |
+//!
+//! The store is internally synchronized with a single `parking_lot::RwLock`
+//! (interner and indexes are always accessed together, so one lock beats
+//! many). All public methods take `&self`.
+
+use crate::interner::{Interner, TermId};
+use crate::model::{GraphName, Iri, Quad, Term, Triple};
+use parking_lot::RwLock;
+use std::collections::BTreeSet;
+
+/// Encoded graph component: `0` is the default graph, otherwise
+/// `TermId + 1` of the graph IRI.
+type GraphCode = u32;
+
+const DEFAULT_GRAPH: GraphCode = 0;
+
+/// One quad in id space, in a particular component order.
+type Key = [u32; 4];
+
+/// A pattern over the graph position of a quad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphPattern {
+    /// Match quads in any graph (default and named).
+    Any,
+    /// Match only the default graph.
+    Default,
+    /// Match only the given named graph.
+    Named(Iri),
+    /// Match any *named* graph (the `GRAPH ?g { ... }` SPARQL construct).
+    AnyNamed,
+}
+
+impl From<GraphName> for GraphPattern {
+    fn from(value: GraphName) -> Self {
+        match value {
+            GraphName::Default => GraphPattern::Default,
+            GraphName::Named(iri) => GraphPattern::Named(iri),
+        }
+    }
+}
+
+impl From<&GraphName> for GraphPattern {
+    fn from(value: &GraphName) -> Self {
+        GraphPattern::from(value.clone())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    interner: Interner,
+    gspo: BTreeSet<Key>,
+    gpos: BTreeSet<Key>,
+    gosp: BTreeSet<Key>,
+    spog: BTreeSet<Key>,
+    posg: BTreeSet<Key>,
+    ospg: BTreeSet<Key>,
+}
+
+/// An in-memory, indexed, thread-safe RDF quad store.
+#[derive(Debug, Default)]
+pub struct QuadStore {
+    inner: RwLock<Inner>,
+}
+
+impl Inner {
+    fn graph_code(&mut self, graph: &GraphName) -> GraphCode {
+        match graph {
+            GraphName::Default => DEFAULT_GRAPH,
+            GraphName::Named(iri) => {
+                let id = self.interner.intern(&Term::Iri(iri.clone()));
+                id.index() as u32 + 1
+            }
+        }
+    }
+
+    fn graph_code_existing(&self, graph: &GraphName) -> Option<GraphCode> {
+        match graph {
+            GraphName::Default => Some(DEFAULT_GRAPH),
+            GraphName::Named(iri) => self
+                .interner
+                .get(&Term::Iri(iri.clone()))
+                .map(|id| id.index() as u32 + 1),
+        }
+    }
+
+    fn decode_graph(&self, code: GraphCode) -> GraphName {
+        if code == DEFAULT_GRAPH {
+            GraphName::Default
+        } else {
+            match self.interner.resolve(TermId(code - 1)) {
+                Term::Iri(iri) => GraphName::Named(iri.clone()),
+                other => unreachable!("graph code resolved to non-IRI term {other}"),
+            }
+        }
+    }
+
+    fn insert_ids(&mut self, g: u32, s: u32, p: u32, o: u32) -> bool {
+        let fresh = self.gspo.insert([g, s, p, o]);
+        if fresh {
+            self.gpos.insert([g, p, o, s]);
+            self.gosp.insert([g, o, s, p]);
+            self.spog.insert([s, p, o, g]);
+            self.posg.insert([p, o, s, g]);
+            self.ospg.insert([o, s, p, g]);
+        }
+        fresh
+    }
+
+    fn remove_ids(&mut self, g: u32, s: u32, p: u32, o: u32) -> bool {
+        let was = self.gspo.remove(&[g, s, p, o]);
+        if was {
+            self.gpos.remove(&[g, p, o, s]);
+            self.gosp.remove(&[g, o, s, p]);
+            self.spog.remove(&[s, p, o, g]);
+            self.posg.remove(&[p, o, s, g]);
+            self.ospg.remove(&[o, s, p, g]);
+        }
+        was
+    }
+
+    fn decode(&self, g: u32, s: u32, p: u32, o: u32) -> Quad {
+        let subject = self.interner.resolve(TermId(s)).clone();
+        let predicate = match self.interner.resolve(TermId(p)) {
+            Term::Iri(iri) => iri.clone(),
+            other => unreachable!("predicate resolved to non-IRI term {other}"),
+        };
+        let object = self.interner.resolve(TermId(o)).clone();
+        Quad {
+            subject,
+            predicate,
+            object,
+            graph: self.decode_graph(g),
+        }
+    }
+}
+
+/// Scans `index` for keys starting with the bound `prefix`, invoking `f` with
+/// each full key.
+fn scan_prefix(index: &BTreeSet<Key>, prefix: &[u32], mut f: impl FnMut(Key)) {
+    let mut lo = [0u32; 4];
+    let mut hi = [u32::MAX; 4];
+    lo[..prefix.len()].copy_from_slice(prefix);
+    hi[..prefix.len()].copy_from_slice(prefix);
+    for &key in index.range(lo..=hi) {
+        f(key);
+    }
+}
+
+impl QuadStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a quad; returns `true` if it was not already present.
+    pub fn insert(&self, quad: &Quad) -> bool {
+        let mut inner = self.inner.write();
+        let g = inner.graph_code(&quad.graph);
+        let s = inner.interner.intern(&quad.subject).index() as u32;
+        let p = inner.interner.intern(&Term::Iri(quad.predicate.clone())).index() as u32;
+        let o = inner.interner.intern(&quad.object).index() as u32;
+        inner.insert_ids(g, s, p, o)
+    }
+
+    /// Inserts a triple into the given graph.
+    pub fn insert_in(
+        &self,
+        graph: &GraphName,
+        subject: impl Into<Term>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> bool {
+        self.insert(&Quad::new(subject, predicate, object, graph.clone()))
+    }
+
+    /// Inserts a triple into the default graph.
+    pub fn insert_triple(&self, triple: &Triple) -> bool {
+        self.insert(&Quad {
+            subject: triple.subject.clone(),
+            predicate: triple.predicate.clone(),
+            object: triple.object.clone(),
+            graph: GraphName::Default,
+        })
+    }
+
+    /// Inserts every quad of an iterator, returning how many were new.
+    pub fn extend<I: IntoIterator<Item = Quad>>(&self, quads: I) -> usize {
+        let mut inner = self.inner.write();
+        let mut added = 0;
+        for quad in quads {
+            let g = inner.graph_code(&quad.graph);
+            let s = inner.interner.intern(&quad.subject).index() as u32;
+            let p = inner.interner.intern(&Term::Iri(quad.predicate.clone())).index() as u32;
+            let o = inner.interner.intern(&quad.object).index() as u32;
+            if inner.insert_ids(g, s, p, o) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Removes a quad; returns `true` if it was present.
+    pub fn remove(&self, quad: &Quad) -> bool {
+        let mut inner = self.inner.write();
+        let Some(g) = inner.graph_code_existing(&quad.graph) else {
+            return false;
+        };
+        let Some(s) = inner.interner.get(&quad.subject) else {
+            return false;
+        };
+        let Some(p) = inner.interner.get(&Term::Iri(quad.predicate.clone())) else {
+            return false;
+        };
+        let Some(o) = inner.interner.get(&quad.object) else {
+            return false;
+        };
+        inner.remove_ids(g, s.index() as u32, p.index() as u32, o.index() as u32)
+    }
+
+    /// True when the exact quad is present.
+    pub fn contains(&self, quad: &Quad) -> bool {
+        let inner = self.inner.read();
+        let (Some(g), Some(s), Some(p), Some(o)) = (
+            inner.graph_code_existing(&quad.graph),
+            inner.interner.get(&quad.subject),
+            inner.interner.get(&Term::Iri(quad.predicate.clone())),
+            inner.interner.get(&quad.object),
+        ) else {
+            return false;
+        };
+        inner
+            .gspo
+            .contains(&[g, s.index() as u32, p.index() as u32, o.index() as u32])
+    }
+
+    /// Total number of quads, across all graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().gspo.len()
+    }
+
+    /// True when the store holds no quads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of quads in one graph.
+    pub fn graph_len(&self, graph: &GraphName) -> usize {
+        let inner = self.inner.read();
+        let Some(g) = inner.graph_code_existing(graph) else {
+            return 0;
+        };
+        let mut n = 0;
+        scan_prefix(&inner.gspo, &[g], |_| n += 1);
+        n
+    }
+
+    /// All named graphs that currently hold at least one quad.
+    pub fn named_graphs(&self) -> Vec<Iri> {
+        let inner = self.inner.read();
+        let mut graphs = Vec::new();
+        let mut cursor = 1u32; // skip the default graph
+        loop {
+            let lo = [cursor, 0, 0, 0];
+            match inner.gspo.range(lo..).next() {
+                Some(&[g, _, _, _]) if g >= cursor => {
+                    if let GraphName::Named(iri) = inner.decode_graph(g) {
+                        graphs.push(iri);
+                    }
+                    if g == u32::MAX {
+                        break;
+                    }
+                    cursor = g + 1;
+                }
+                _ => break,
+            }
+        }
+        graphs
+    }
+
+    /// Matches quads against a pattern; `None` positions are wildcards.
+    ///
+    /// This is the store's single query primitive: the SPARQL evaluator, the
+    /// RDFS materializer and all of the paper's Algorithms are built on it.
+    pub fn match_quads(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+        graph: &GraphPattern,
+    ) -> Vec<Quad> {
+        let inner = self.inner.read();
+
+        // Resolve bound positions to ids; a bound term that was never interned
+        // cannot match anything.
+        let s = match subject {
+            Some(t) => match inner.interner.get(t) {
+                Some(id) => Some(id.index() as u32),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let p = match predicate {
+            Some(iri) => match inner.interner.get(&Term::Iri(iri.clone())) {
+                Some(id) => Some(id.index() as u32),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let o = match object {
+            Some(t) => match inner.interner.get(t) {
+                Some(id) => Some(id.index() as u32),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let g = match graph {
+            GraphPattern::Any | GraphPattern::AnyNamed => None,
+            GraphPattern::Default => Some(DEFAULT_GRAPH),
+            GraphPattern::Named(iri) => match inner.graph_code_existing(&GraphName::Named(iri.clone())) {
+                Some(code) => Some(code),
+                None => return Vec::new(),
+            },
+        };
+        let named_only = matches!(graph, GraphPattern::AnyNamed);
+
+        let mut out = Vec::new();
+        let mut push = |inner: &Inner, g: u32, s: u32, p: u32, o: u32| {
+            if named_only && g == DEFAULT_GRAPH {
+                return;
+            }
+            out.push(inner.decode(g, s, p, o));
+        };
+
+        match (g, s, p, o) {
+            (Some(g), Some(s), Some(p), Some(o)) => {
+                if inner.gspo.contains(&[g, s, p, o]) {
+                    push(&inner, g, s, p, o);
+                }
+            }
+            (Some(g), Some(s), Some(p), None) => {
+                scan_prefix(&inner.gspo, &[g, s, p], |[g, s, p, o]| push(&inner, g, s, p, o))
+            }
+            (Some(g), Some(s), None, None) => {
+                scan_prefix(&inner.gspo, &[g, s], |[g, s, p, o]| push(&inner, g, s, p, o))
+            }
+            (Some(g), Some(s), None, Some(o)) => {
+                scan_prefix(&inner.gosp, &[g, o, s], |[g, o, s, p]| push(&inner, g, s, p, o))
+            }
+            (Some(g), None, Some(p), Some(o)) => {
+                scan_prefix(&inner.gpos, &[g, p, o], |[g, p, o, s]| push(&inner, g, s, p, o))
+            }
+            (Some(g), None, Some(p), None) => {
+                scan_prefix(&inner.gpos, &[g, p], |[g, p, o, s]| push(&inner, g, s, p, o))
+            }
+            (Some(g), None, None, Some(o)) => {
+                scan_prefix(&inner.gosp, &[g, o], |[g, o, s, p]| push(&inner, g, s, p, o))
+            }
+            (Some(g), None, None, None) => {
+                scan_prefix(&inner.gspo, &[g], |[g, s, p, o]| push(&inner, g, s, p, o))
+            }
+            (None, Some(s), Some(p), Some(o)) => {
+                scan_prefix(&inner.spog, &[s, p, o], |[s, p, o, g]| push(&inner, g, s, p, o))
+            }
+            (None, Some(s), Some(p), None) => {
+                scan_prefix(&inner.spog, &[s, p], |[s, p, o, g]| push(&inner, g, s, p, o))
+            }
+            (None, Some(s), None, None) => {
+                scan_prefix(&inner.spog, &[s], |[s, p, o, g]| push(&inner, g, s, p, o))
+            }
+            (None, Some(s), None, Some(o)) => {
+                scan_prefix(&inner.ospg, &[o, s], |[o, s, p, g]| push(&inner, g, s, p, o))
+            }
+            (None, None, Some(p), Some(o)) => {
+                scan_prefix(&inner.posg, &[p, o], |[p, o, s, g]| push(&inner, g, s, p, o))
+            }
+            (None, None, Some(p), None) => {
+                scan_prefix(&inner.posg, &[p], |[p, o, s, g]| push(&inner, g, s, p, o))
+            }
+            (None, None, None, Some(o)) => {
+                scan_prefix(&inner.ospg, &[o], |[o, s, p, g]| push(&inner, g, s, p, o))
+            }
+            (None, None, None, None) => {
+                scan_prefix(&inner.spog, &[], |[s, p, o, g]| push(&inner, g, s, p, o))
+            }
+        }
+        out
+    }
+
+    /// All quads in the store.
+    pub fn iter_all(&self) -> Vec<Quad> {
+        self.match_quads(None, None, None, &GraphPattern::Any)
+    }
+
+    /// All quads of one graph.
+    pub fn graph_quads(&self, graph: &GraphName) -> Vec<Quad> {
+        self.match_quads(None, None, None, &GraphPattern::from(graph))
+    }
+
+    /// Convenience: the objects of `(subject, predicate, ?o)` in a graph.
+    pub fn objects(&self, subject: &Term, predicate: &Iri, graph: &GraphPattern) -> Vec<Term> {
+        self.match_quads(Some(subject), Some(predicate), None, graph)
+            .into_iter()
+            .map(|q| q.object)
+            .collect()
+    }
+
+    /// Convenience: the subjects of `(?s, predicate, object)` in a graph.
+    pub fn subjects(&self, predicate: &Iri, object: &Term, graph: &GraphPattern) -> Vec<Term> {
+        self.match_quads(None, Some(predicate), Some(object), graph)
+            .into_iter()
+            .map(|q| q.subject)
+            .collect()
+    }
+
+    /// Removes every quad of a named graph, returning how many were removed.
+    pub fn clear_graph(&self, graph: &GraphName) -> usize {
+        let quads = self.graph_quads(graph);
+        let mut inner = self.inner.write();
+        let mut removed = 0;
+        for quad in &quads {
+            let (Some(g), Some(s), Some(p), Some(o)) = (
+                inner.graph_code_existing(&quad.graph),
+                inner.interner.get(&quad.subject),
+                inner.interner.get(&Term::Iri(quad.predicate.clone())),
+                inner.interner.get(&quad.object),
+            ) else {
+                continue;
+            };
+            if inner.remove_ids(g, s.index() as u32, p.index() as u32, o.index() as u32) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Number of distinct interned terms (diagnostics / bench reporting).
+    pub fn term_count(&self) -> usize {
+        self.inner.read().interner.len()
+    }
+}
+
+impl Clone for QuadStore {
+    /// Deep copy: clones all quads into a fresh store. Used to snapshot the
+    /// ontology before speculative updates (e.g. in tests and the evolution
+    /// harness).
+    fn clone(&self) -> Self {
+        let store = QuadStore::new();
+        store.extend(self.iter_all());
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s)
+    }
+
+    fn quad(s: &str, p: &str, o: &str) -> Quad {
+        Quad::new(iri(s), iri(p), iri(o), GraphName::Default)
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let store = QuadStore::new();
+        let q = quad("http://e/s", "http://e/p", "http://e/o");
+        assert!(store.insert(&q));
+        assert!(!store.insert(&q));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let store = QuadStore::new();
+        let q = quad("http://e/s", "http://e/p", "http://e/o");
+        store.insert(&q);
+        assert!(store.remove(&q));
+        assert!(!store.remove(&q));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn contains_distinguishes_graphs() {
+        let store = QuadStore::new();
+        let named = Quad::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+            GraphName::named(iri("http://e/g")),
+        );
+        store.insert(&named);
+        assert!(store.contains(&named));
+        assert!(!store.contains(&quad("http://e/s", "http://e/p", "http://e/o")));
+    }
+
+    #[test]
+    fn match_all_sixteen_binding_combinations() {
+        let store = QuadStore::new();
+        let g = GraphName::named(iri("http://e/g"));
+        store.insert(&Quad::new(iri("http://e/s1"), iri("http://e/p1"), iri("http://e/o1"), g.clone()));
+        store.insert(&Quad::new(iri("http://e/s1"), iri("http://e/p2"), iri("http://e/o2"), g.clone()));
+        store.insert(&Quad::new(iri("http://e/s2"), iri("http://e/p1"), iri("http://e/o1"), GraphName::Default));
+
+        let s1 = Term::iri("http://e/s1");
+        let p1 = iri("http://e/p1");
+        let o1 = Term::iri("http://e/o1");
+        let gp = GraphPattern::Named(iri("http://e/g"));
+
+        // fully bound
+        assert_eq!(store.match_quads(Some(&s1), Some(&p1), Some(&o1), &gp).len(), 1);
+        // g+s+p
+        assert_eq!(store.match_quads(Some(&s1), Some(&p1), None, &gp).len(), 1);
+        // g+s
+        assert_eq!(store.match_quads(Some(&s1), None, None, &gp).len(), 2);
+        // g+s+o
+        assert_eq!(store.match_quads(Some(&s1), None, Some(&o1), &gp).len(), 1);
+        // g+p+o
+        assert_eq!(store.match_quads(None, Some(&p1), Some(&o1), &gp).len(), 1);
+        // g+p
+        assert_eq!(store.match_quads(None, Some(&p1), None, &gp).len(), 1);
+        // g+o
+        assert_eq!(store.match_quads(None, None, Some(&o1), &gp).len(), 1);
+        // g only
+        assert_eq!(store.match_quads(None, None, None, &gp).len(), 2);
+        // s+p+o across graphs
+        assert_eq!(store.match_quads(Some(&s1), Some(&p1), Some(&o1), &GraphPattern::Any).len(), 1);
+        // s+p
+        assert_eq!(store.match_quads(Some(&s1), Some(&p1), None, &GraphPattern::Any).len(), 1);
+        // s
+        assert_eq!(store.match_quads(Some(&s1), None, None, &GraphPattern::Any).len(), 2);
+        // s+o
+        assert_eq!(store.match_quads(Some(&s1), None, Some(&o1), &GraphPattern::Any).len(), 1);
+        // p+o
+        assert_eq!(store.match_quads(None, Some(&p1), Some(&o1), &GraphPattern::Any).len(), 2);
+        // p
+        assert_eq!(store.match_quads(None, Some(&p1), None, &GraphPattern::Any).len(), 2);
+        // o
+        assert_eq!(store.match_quads(None, None, Some(&o1), &GraphPattern::Any).len(), 2);
+        // everything
+        assert_eq!(store.match_quads(None, None, None, &GraphPattern::Any).len(), 3);
+    }
+
+    #[test]
+    fn any_named_excludes_default_graph() {
+        let store = QuadStore::new();
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o"));
+        store.insert(&Quad::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o2"),
+            GraphName::named(iri("http://e/g")),
+        ));
+        let named = store.match_quads(None, None, None, &GraphPattern::AnyNamed);
+        assert_eq!(named.len(), 1);
+        assert_eq!(named[0].graph, GraphName::named(iri("http://e/g")));
+    }
+
+    #[test]
+    fn unknown_bound_term_matches_nothing() {
+        let store = QuadStore::new();
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o"));
+        let unknown = Term::iri("http://e/zzz");
+        assert!(store.match_quads(Some(&unknown), None, None, &GraphPattern::Any).is_empty());
+    }
+
+    #[test]
+    fn named_graphs_enumerates_each_once() {
+        let store = QuadStore::new();
+        let g1 = GraphName::named(iri("http://e/g1"));
+        let g2 = GraphName::named(iri("http://e/g2"));
+        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g1.clone()));
+        store.insert(&Quad::new(iri("http://e/c"), iri("http://e/p"), iri("http://e/d"), g1.clone()));
+        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g2));
+        store.insert(&quad("http://e/x", "http://e/p", "http://e/y"));
+        let mut names: Vec<String> = store.named_graphs().iter().map(|i| i.as_str().to_owned()).collect();
+        names.sort();
+        assert_eq!(names, vec!["http://e/g1", "http://e/g2"]);
+    }
+
+    #[test]
+    fn clear_graph_only_touches_that_graph() {
+        let store = QuadStore::new();
+        let g1 = GraphName::named(iri("http://e/g1"));
+        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g1.clone()));
+        store.insert(&quad("http://e/x", "http://e/p", "http://e/y"));
+        assert_eq!(store.clear_graph(&g1), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.graph_len(&g1), 0);
+    }
+
+    #[test]
+    fn literals_and_iris_do_not_collide() {
+        let store = QuadStore::new();
+        store.insert(&Quad::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            Literal::string("http://e/o"),
+            GraphName::Default,
+        ));
+        let as_iri = Term::iri("http://e/o");
+        assert!(store.match_quads(None, None, Some(&as_iri), &GraphPattern::Any).is_empty());
+        let as_lit = Term::Literal(Literal::string("http://e/o"));
+        assert_eq!(store.match_quads(None, None, Some(&as_lit), &GraphPattern::Any).len(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let store = QuadStore::new();
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o"));
+        let copy = store.clone();
+        copy.insert(&quad("http://e/s2", "http://e/p", "http://e/o"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(copy.len(), 2);
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let store = QuadStore::new();
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o1"));
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o2"));
+        let objs = store.objects(&Term::iri("http://e/s"), &iri("http://e/p"), &GraphPattern::Any);
+        assert_eq!(objs.len(), 2);
+        let subs = store.subjects(&iri("http://e/p"), &Term::iri("http://e/o1"), &GraphPattern::Any);
+        assert_eq!(subs, vec![Term::iri("http://e/s")]);
+    }
+}

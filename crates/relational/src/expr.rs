@@ -1,0 +1,249 @@
+//! Scalar expressions over named attributes.
+//!
+//! Wrappers compute derived attributes from raw source fields — the paper's
+//! running example derives `lagRatio = waitTime / watchTime` inside the
+//! MongoDB aggregation pipeline (Code 2). This module is the generic scalar
+//! evaluator those computations compile to.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during expression evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum ExprError {
+    #[error("unknown column: {0}")]
+    UnknownColumn(String),
+    #[error("type error: {op} not defined for {left} and {right}")]
+    TypeError {
+        op: &'static str,
+        left: &'static str,
+        right: &'static str,
+    },
+    #[error("division by zero")]
+    DivisionByZero,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name.
+    Col(String),
+    /// A constant.
+    Lit(Value),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Numeric division; integer operands produce a float (as MongoDB's
+    /// `$divide` does).
+    Div(Box<Expr>, Box<Expr>),
+    /// String concatenation.
+    Concat(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder-style combinators, not operator overloads
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Col(name.into())
+    }
+
+    pub fn lit(value: impl Into<Value>) -> Self {
+        Expr::Lit(value.into())
+    }
+
+    pub fn div(self, rhs: Expr) -> Self {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn add(self, rhs: Expr) -> Self {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn sub(self, rhs: Expr) -> Self {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn mul(self, rhs: Expr) -> Self {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn concat(self, rhs: Expr) -> Self {
+        Expr::Concat(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates against a row given as a name → value mapping.
+    ///
+    /// Null propagates: any arithmetic with a null operand yields null
+    /// (SQL-style), so evolved schemas with missing fields degrade gracefully
+    /// instead of erroring.
+    pub fn eval(&self, row: &HashMap<&str, Value>) -> Result<Value, ExprError> {
+        match self {
+            Expr::Col(name) => row
+                .get(name.as_str())
+                .cloned()
+                .ok_or_else(|| ExprError::UnknownColumn(name.clone())),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Add(a, b) => numeric(a.eval(row)?, b.eval(row)?, "+", |x, y| x + y),
+            Expr::Sub(a, b) => numeric(a.eval(row)?, b.eval(row)?, "-", |x, y| x - y),
+            Expr::Mul(a, b) => numeric(a.eval(row)?, b.eval(row)?, "*", |x, y| x * y),
+            Expr::Div(a, b) => {
+                let (l, r) = (a.eval(row)?, b.eval(row)?);
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                let (x, y) = both_f64(&l, &r, "/")?;
+                if y == 0.0 {
+                    return Err(ExprError::DivisionByZero);
+                }
+                Ok(Value::Float(x / y))
+            }
+            Expr::Concat(a, b) => {
+                let (l, r) = (a.eval(row)?, b.eval(row)?);
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Str(format!("{l}{r}")))
+            }
+        }
+    }
+
+    /// All column names referenced by the expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Concat(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+}
+
+fn both_f64(l: &Value, r: &Value, op: &'static str) -> Result<(f64, f64), ExprError> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(ExprError::TypeError {
+            op,
+            left: l.kind(),
+            right: r.kind(),
+        }),
+    }
+}
+
+fn numeric(
+    l: Value,
+    r: Value,
+    op: &'static str,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value, ExprError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer-preserving fast path.
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        let exact = f(*a as f64, *b as f64);
+        if exact.fract() == 0.0 && exact.abs() < i64::MAX as f64 {
+            return Ok(Value::Int(exact as i64));
+        }
+        return Ok(Value::Float(exact));
+    }
+    let (x, y) = both_f64(&l, &r, op)?;
+    Ok(Value::Float(f(x, y)))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => write!(f, "${name}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Concat(a, b) => write!(f, "concat({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> HashMap<&'static str, Value> {
+        HashMap::from([
+            ("waitTime", Value::Int(3)),
+            ("watchTime", Value::Int(4)),
+            ("name", Value::Str("vod".into())),
+            ("missing", Value::Null),
+        ])
+    }
+
+    #[test]
+    fn lag_ratio_divides_like_code2() {
+        let e = Expr::col("waitTime").div(Expr::col("watchTime"));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(0.75));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let e = Expr::col("waitTime").add(Expr::col("watchTime"));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Int(7));
+        let e = Expr::col("waitTime").mul(Expr::lit(2));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn null_propagates() {
+        let e = Expr::col("missing").add(Expr::lit(1));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let e = Expr::col("missing").div(Expr::lit(2));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = Expr::lit(1).div(Expr::lit(0));
+        assert_eq!(e.eval(&row()).unwrap_err(), ExprError::DivisionByZero);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let e = Expr::col("name").add(Expr::lit(1));
+        assert!(matches!(e.eval(&row()).unwrap_err(), ExprError::TypeError { .. }));
+    }
+
+    #[test]
+    fn concat_builds_strings() {
+        let e = Expr::col("name").concat(Expr::lit("-v2"));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Str("vod-v2".into()));
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let e = Expr::col("zz");
+        assert_eq!(e.eval(&row()).unwrap_err(), ExprError::UnknownColumn("zz".into()));
+    }
+
+    #[test]
+    fn columns_are_collected_once() {
+        let e = Expr::col("a").add(Expr::col("b").mul(Expr::col("a")));
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col("waitTime").div(Expr::col("watchTime"));
+        assert_eq!(e.to_string(), "($waitTime / $watchTime)");
+    }
+}

@@ -1,0 +1,24 @@
+//! # bdi-relational — the mediator-layer relational algebra engine
+//!
+//! Implements the restricted relational constructs of the paper's §2.2:
+//!
+//! * [`Schema`]s partitioned into **ID** and **non-ID** attributes,
+//! * the restricted projection **Π̃** (never drops IDs) and ID-restricted
+//!   equi-join **⋈̃** ([`ops`]),
+//! * scalar [`expr`]essions for wrapper-computed attributes (`lagRatio =
+//!   waitTime / watchTime`),
+//! * the [`algebra::RelExpr`] expression tree that walks compile to, with a
+//!   paper-notation pretty printer and an evaluator.
+
+pub mod algebra;
+pub mod expr;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use algebra::{AlgebraError, RelExpr, SourceResolver};
+pub use expr::{Expr, ExprError};
+pub use relation::{Relation, RelationError, Tuple};
+pub use schema::{Attribute, Schema, SchemaError};
+pub use value::Value;

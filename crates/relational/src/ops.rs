@@ -1,0 +1,283 @@
+//! The restricted relational operators of §2.2.
+//!
+//! * [`project`] — Π̃: projects the requested non-ID attributes **plus every
+//!   ID attribute**. The paper forbids projecting IDs out because they are
+//!   needed by ⋈̃; asking to drop one is an error.
+//! * [`join`] — ⋈̃: an equi-join valid **only between ID attributes**.
+//! * [`union`] — set union of shape-compatible relations.
+//! * [`rename`] — attribute renaming, used when mapping source attribute
+//!   names to the conceptual features they populate (function `F`).
+
+use crate::relation::{Relation, RelationError, Tuple};
+use crate::schema::{Attribute, Schema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Π̃: keeps `keep_non_ids` (each must exist) and all ID attributes, in
+/// schema order. Requesting an ID attribute explicitly is allowed (it is kept
+/// either way); requesting an unknown attribute is an error.
+pub fn project(input: &Relation, keep_non_ids: &[&str]) -> Result<Relation, RelationError> {
+    let schema = input.schema();
+    for name in keep_non_ids {
+        schema.require(name)?;
+    }
+    let mut kept_indices = Vec::new();
+    let mut kept_attrs = Vec::new();
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        if attr.is_id() || keep_non_ids.contains(&attr.name()) {
+            kept_indices.push(i);
+            kept_attrs.push(attr.clone());
+        }
+    }
+    let out_schema = Schema::new(kept_attrs)?;
+    let rows: Vec<Tuple> = input
+        .rows()
+        .iter()
+        .map(|row| kept_indices.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    Relation::new(out_schema, rows)
+}
+
+/// ⋈̃: equi-join on `left_attr = right_attr`, both of which must be ID
+/// attributes. Output schema is left's attributes followed by right's
+/// (the join attribute of the right side is kept — walks may project either
+/// side's ID, as the paper's phase-3 example output shows).
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    left_attr: &str,
+    right_attr: &str,
+) -> Result<Relation, RelationError> {
+    let li = left.schema().require(left_attr)?;
+    let ri = right.schema().require(right_attr)?;
+    if !left.schema().attributes()[li].is_id() {
+        return Err(RelationError::JoinOnNonId(left_attr.to_owned()));
+    }
+    if !right.schema().attributes()[ri].is_id() {
+        return Err(RelationError::JoinOnNonId(right_attr.to_owned()));
+    }
+
+    let mut attrs: Vec<Attribute> = left.schema().attributes().to_vec();
+    for attr in right.schema().attributes() {
+        if attrs.iter().any(|a| a.name() == attr.name()) {
+            return Err(RelationError::JoinNameCollision(attr.name().to_owned()));
+        }
+        attrs.push(attr.clone());
+    }
+    let out_schema = Schema::new(attrs)?;
+
+    // Hash join: build on the smaller side.
+    let (build, probe, build_key, probe_key, build_is_left) = if left.len() <= right.len() {
+        (left, right, li, ri, true)
+    } else {
+        (right, left, ri, li, false)
+    };
+    let mut table: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+    for row in build.rows() {
+        if row[build_key].is_null() {
+            continue; // null keys never join
+        }
+        table.entry(&row[build_key]).or_default().push(row);
+    }
+    let mut rows = Vec::new();
+    for probe_row in probe.rows() {
+        if probe_row[probe_key].is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&probe_row[probe_key]) {
+            for build_row in matches {
+                let (l, r): (&Tuple, &Tuple) = if build_is_left {
+                    (build_row, probe_row)
+                } else {
+                    (probe_row, build_row)
+                };
+                let mut out = Vec::with_capacity(l.len() + r.len());
+                out.extend(l.iter().cloned());
+                out.extend(r.iter().cloned());
+                rows.push(out);
+            }
+        }
+    }
+    Relation::new(out_schema, rows)
+}
+
+/// Set union: operands must have identical schemas; result is deduplicated.
+pub fn union(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    if !left.schema().same_shape(right.schema()) {
+        return Err(RelationError::UnionShape {
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        });
+    }
+    let mut rows = left.rows().to_vec();
+    rows.extend(right.rows().iter().cloned());
+    let mut rel = Relation::new(left.schema().clone(), rows)?;
+    rel.distinct();
+    Ok(rel)
+}
+
+/// Renames attributes according to `(from, to)` pairs, preserving ID flags.
+pub fn rename(input: &Relation, renames: &[(&str, &str)]) -> Result<Relation, RelationError> {
+    let mut attrs = Vec::with_capacity(input.schema().len());
+    for attr in input.schema().attributes() {
+        let new_name = renames
+            .iter()
+            .find(|(from, _)| *from == attr.name())
+            .map(|(_, to)| *to)
+            .unwrap_or(attr.name());
+        attrs.push(if attr.is_id() {
+            Attribute::id(new_name)
+        } else {
+            Attribute::non_id(new_name)
+        });
+    }
+    for (from, _) in renames {
+        input.schema().require(from)?;
+    }
+    Relation::new(Schema::new(attrs)?, input.rows().to_vec())
+}
+
+/// Reorders and relabels columns to `target` (matching by position after the
+/// caller supplies the positional mapping as attribute names of `input`).
+///
+/// Used when unioning walks whose physical attribute names differ (e.g.
+/// `w1.lagRatio` vs `w4.bufferingRatio` both populating feature `lagRatio`).
+pub fn align_to(
+    input: &Relation,
+    source_order: &[&str],
+    target: &Schema,
+) -> Result<Relation, RelationError> {
+    if source_order.len() != target.len() {
+        return Err(RelationError::Arity {
+            expected: target.len(),
+            found: source_order.len(),
+        });
+    }
+    let mut indices = Vec::with_capacity(source_order.len());
+    for name in source_order {
+        indices.push(input.schema().require(name)?);
+    }
+    let rows: Vec<Tuple> = input
+        .rows()
+        .iter()
+        .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    Relation::new(target.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// w1(VoDmonitorId*, lagRatio) — Table 1 of the paper.
+    fn w1() -> Relation {
+        Relation::new(
+            Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).unwrap(),
+            vec![
+                vec![Value::Int(12), Value::Float(0.75)],
+                vec![Value::Int(12), Value::Float(0.90)],
+                vec![Value::Int(18), Value::Float(0.1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// w3(TargetApp*, MonitorId*, FeedbackId*) — Table 1 of the paper.
+    fn w3() -> Relation {
+        Relation::new(
+            Schema::from_parts::<&str>(&["TargetApp", "MonitorId", "FeedbackId"], &[]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Int(12), Value::Int(77)],
+                vec![Value::Int(2), Value::Int(18), Value::Int(45)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn project_keeps_all_ids() {
+        let r = project(&w1(), &["lagRatio"]).unwrap();
+        assert_eq!(r.schema().names(), vec!["VoDmonitorId", "lagRatio"]);
+        let r2 = project(&w1(), &[]).unwrap();
+        assert_eq!(r2.schema().names(), vec!["VoDmonitorId"]);
+    }
+
+    #[test]
+    fn project_unknown_attribute_errors() {
+        assert!(project(&w1(), &["zz"]).is_err());
+    }
+
+    #[test]
+    fn join_reproduces_table2_rows() {
+        // Π(w1 ⋈ VoDmonitorId=MonitorId w3) — the running example.
+        let joined = join(&w1(), &w3(), "VoDmonitorId", "MonitorId").unwrap();
+        assert_eq!(joined.len(), 3);
+        let projected = project(&joined, &["lagRatio"]).unwrap();
+        // TargetApp/lagRatio pairs: (1,0.75),(1,0.90),(2,0.1).
+        let apps = projected.column("TargetApp").unwrap();
+        assert_eq!(apps, vec![Value::Int(1), Value::Int(1), Value::Int(2)]);
+        let ratios = projected.column("lagRatio").unwrap();
+        assert_eq!(
+            ratios,
+            vec![Value::Float(0.75), Value::Float(0.90), Value::Float(0.1)]
+        );
+    }
+
+    #[test]
+    fn join_on_non_id_is_rejected() {
+        let err = join(&w3(), &w1(), "TargetApp", "lagRatio").unwrap_err();
+        assert!(matches!(err, RelationError::JoinOnNonId(a) if a == "lagRatio"));
+    }
+
+    #[test]
+    fn join_name_collision_detected() {
+        let err = join(&w1(), &w1(), "VoDmonitorId", "VoDmonitorId").unwrap_err();
+        assert!(matches!(err, RelationError::JoinNameCollision(_)));
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let left = Relation::new(
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Int(5), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let right = Relation::new(
+            Schema::from_parts::<&str>(&["rid"], &[]).unwrap(),
+            vec![vec![Value::Null], vec![Value::Int(5)]],
+        )
+        .unwrap();
+        let out = join(&left, &right, "id", "rid").unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn union_requires_same_shape_and_dedups() {
+        let a = project(&w1(), &["lagRatio"]).unwrap();
+        let b = project(&w1(), &["lagRatio"]).unwrap();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3); // duplicates collapse
+
+        let err = union(&a, &w3()).unwrap_err();
+        assert!(matches!(err, RelationError::UnionShape { .. }));
+    }
+
+    #[test]
+    fn rename_preserves_id_flags() {
+        let r = rename(&w1(), &[("VoDmonitorId", "monitorId")]).unwrap();
+        assert!(r.schema().attribute("monitorId").unwrap().is_id());
+        assert!(rename(&w1(), &[("zz", "x")]).is_err());
+    }
+
+    #[test]
+    fn align_to_reorders_and_relabels() {
+        let joined = join(&w1(), &w3(), "VoDmonitorId", "MonitorId").unwrap();
+        let target = Schema::from_parts(&["applicationId"], &["lagRatio"]).unwrap();
+        let aligned = align_to(&joined, &["TargetApp", "lagRatio"], &target).unwrap();
+        assert_eq!(aligned.schema().names(), vec!["applicationId", "lagRatio"]);
+        assert_eq!(aligned.len(), 3);
+    }
+}

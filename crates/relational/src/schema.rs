@@ -1,0 +1,194 @@
+//! Relation schemas with ID / non-ID attribute classification.
+//!
+//! The paper defines a wrapper as `w(a_ID, a_nID)` — a relation whose
+//! attributes are partitioned into **ID attributes** (join keys, never
+//! projected out) and **non-ID attributes** (§2.2). The schema carries that
+//! partition so the restricted operators Π̃ and ⋈̃ can enforce it.
+
+use std::fmt;
+
+/// A named attribute with its ID flag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute {
+    name: String,
+    is_id: bool,
+}
+
+impl Attribute {
+    /// An ID attribute (member of `a_ID`).
+    pub fn id(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            is_id: true,
+        }
+    }
+
+    /// A non-ID attribute (member of `a_nID`).
+    pub fn non_id(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            is_id: false,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn is_id(&self) -> bool {
+        self.is_id
+    }
+}
+
+/// Errors raised by schema construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum SchemaError {
+    #[error("duplicate attribute name: {0}")]
+    DuplicateAttribute(String),
+    #[error("unknown attribute: {0}")]
+    UnknownAttribute(String),
+}
+
+/// An ordered list of uniquely-named attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, SchemaError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(SchemaError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Self { attributes })
+    }
+
+    /// Convenience: builds from `(id_names, non_id_names)` the way the paper
+    /// writes `w({VoDmonitorId}, {lagRatio})`.
+    pub fn from_parts<S: AsRef<str>>(ids: &[S], non_ids: &[S]) -> Result<Self, SchemaError> {
+        let mut attrs = Vec::with_capacity(ids.len() + non_ids.len());
+        attrs.extend(ids.iter().map(|s| Attribute::id(s.as_ref())));
+        attrs.extend(non_ids.iter().map(|s| Attribute::non_id(s.as_ref())));
+        Self::new(attrs)
+    }
+
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Position of an attribute, as an error-raising lookup.
+    pub fn require(&self, name: &str) -> Result<usize, SchemaError> {
+        self.index_of(name)
+            .ok_or_else(|| SchemaError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The attribute struct by name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Names of all ID attributes (the paper's `a_ID`).
+    pub fn id_names(&self) -> Vec<&str> {
+        self.attributes
+            .iter()
+            .filter(|a| a.is_id)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+
+    /// Names of all non-ID attributes (the paper's `a_nID`).
+    pub fn non_id_names(&self) -> Vec<&str> {
+        self.attributes
+            .iter()
+            .filter(|a| !a.is_id)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// True when both schemas have the same attribute names (order-sensitive)
+    /// and ID flags — the compatibility required by `union`.
+    pub fn same_shape(&self, other: &Schema) -> bool {
+        self.attributes == other.attributes
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if a.is_id {
+                write!(f, "{}*", a.name)?;
+            } else {
+                f.write_str(&a.name)?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_partitions_ids() {
+        let s = Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).unwrap();
+        assert_eq!(s.id_names(), vec!["VoDmonitorId"]);
+        assert_eq!(s.non_id_names(), vec!["lagRatio"]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::from_parts(&["a"], &["a"]).unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::from_parts(&["id"], &["x", "y"]).unwrap();
+        assert_eq!(s.index_of("x"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert!(s.require("zz").is_err());
+        assert!(s.attribute("id").unwrap().is_id());
+    }
+
+    #[test]
+    fn display_marks_ids() {
+        let s = Schema::from_parts(&["id"], &["x"]).unwrap();
+        assert_eq!(s.to_string(), "(id*, x)");
+    }
+
+    #[test]
+    fn same_shape_is_order_sensitive() {
+        let a = Schema::from_parts(&["id"], &["x"]).unwrap();
+        let b = Schema::from_parts(&["id"], &["x"]).unwrap();
+        let c = Schema::new(vec![Attribute::non_id("x"), Attribute::id("id")]).unwrap();
+        assert!(a.same_shape(&b));
+        assert!(!a.same_shape(&c));
+    }
+}

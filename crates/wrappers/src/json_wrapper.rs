@@ -1,0 +1,215 @@
+//! Wrappers over JSON collections — the paper's Code 2 made executable.
+//!
+//! A [`JsonWrapper`] runs an aggregation pipeline against a [`DocStore`]
+//! collection and flattens the resulting JSON objects into the flat 1NF
+//! relation the ontology layer expects.
+
+use crate::wrapper::{Wrapper, WrapperError};
+use bdi_docstore::{DocStore, Pipeline};
+use bdi_relational::{Relation, Schema, Value};
+
+/// A wrapper backed by a document-store aggregation query.
+pub struct JsonWrapper {
+    name: String,
+    source: String,
+    schema: Schema,
+    store: DocStore,
+    collection: String,
+    pipeline: Pipeline,
+}
+
+impl JsonWrapper {
+    /// Builds the wrapper. The pipeline's final `$project` field names must
+    /// cover every attribute of `schema` (extra projected fields are
+    /// ignored); this is checked at construction so a mis-wired wrapper
+    /// fails at registration time, not at query time.
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        schema: Schema,
+        store: DocStore,
+        collection: impl Into<String>,
+        pipeline: Pipeline,
+    ) -> Result<Self, WrapperError> {
+        let name = name.into();
+        if let Some(fields) = pipeline.output_fields() {
+            for attr in schema.names() {
+                if !fields.contains(&attr) {
+                    return Err(WrapperError::SourceQuery(
+                        name,
+                        format!("pipeline does not project attribute {attr}"),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            name,
+            source: source.into(),
+            schema,
+            store,
+            collection: collection.into(),
+            pipeline,
+        })
+    }
+
+    /// The backing collection's name.
+    pub fn collection(&self) -> &str {
+        &self.collection
+    }
+
+    /// The wrapper's aggregation pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Converts a JSON scalar into a relational [`Value`].
+    fn convert(&self, attribute: &str, v: &serde_json::Value) -> Result<Value, WrapperError> {
+        Ok(match v {
+            serde_json::Value::Null => Value::Null,
+            serde_json::Value::Bool(b) => Value::Bool(*b),
+            serde_json::Value::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    Value::Int(i)
+                } else {
+                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
+                }
+            }
+            serde_json::Value::String(s) => Value::Str(s.clone()),
+            // Wrappers must deliver 1NF: nested structures are a wiring bug.
+            serde_json::Value::Array(_) | serde_json::Value::Object(_) => {
+                return Err(WrapperError::UnsupportedShape {
+                    wrapper: self.name.clone(),
+                    attribute: attribute.to_owned(),
+                })
+            }
+        })
+    }
+}
+
+impl Wrapper for JsonWrapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn source(&self) -> &str {
+        &self.source
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
+        Some(self.spec())
+    }
+
+    fn scan(&self) -> Result<Relation, WrapperError> {
+        let docs = self
+            .store
+            .aggregate(&self.collection, &self.pipeline)
+            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+        let mut rel = Relation::empty(self.schema.clone());
+        for doc in docs {
+            let mut row = Vec::with_capacity(self.schema.len());
+            for attr in self.schema.attributes() {
+                let json_value = doc.get(attr.name()).unwrap_or(&serde_json::Value::Null);
+                row.push(self.convert(attr.name(), json_value)?);
+            }
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_docstore::{AggExpr, Projection};
+    use serde_json::json;
+
+    fn vod_store() -> DocStore {
+        let store = DocStore::new();
+        store
+            .insert_many(
+                "vod",
+                vec![
+                    json!({"monitorId": 12, "timestamp": 1475010424i64, "bitrate": 6, "waitTime": 3, "watchTime": 4}),
+                    json!({"monitorId": 12, "waitTime": 9, "watchTime": 10}),
+                    json!({"monitorId": 18, "waitTime": 1, "watchTime": 10}),
+                ],
+            )
+            .unwrap();
+        store
+    }
+
+    fn code2_wrapper(store: DocStore) -> JsonWrapper {
+        JsonWrapper::new(
+            "w1",
+            "D1",
+            Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).unwrap(),
+            store,
+            "vod",
+            Pipeline::new().project(vec![
+                Projection::field("VoDmonitorId", "monitorId"),
+                Projection::computed(
+                    "lagRatio",
+                    AggExpr::divide(AggExpr::field("waitTime"), AggExpr::field("watchTime")),
+                ),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_flattens_json_into_relation() {
+        let w = code2_wrapper(vod_store());
+        let rel = w.scan().unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.value(0, "VoDmonitorId"), Some(&Value::Int(12)));
+        assert_eq!(rel.value(0, "lagRatio"), Some(&Value::Float(0.75)));
+        assert_eq!(rel.value(2, "lagRatio"), Some(&Value::Float(0.1)));
+    }
+
+    #[test]
+    fn missing_schema_attribute_in_pipeline_is_rejected() {
+        let err = JsonWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts(&["id"], &["zz"]).unwrap(),
+            vod_store(),
+            "vod",
+            Pipeline::new().project(vec![Projection::field("id", "monitorId")]),
+        );
+        assert!(matches!(err, Err(WrapperError::SourceQuery(_, _))));
+    }
+
+    #[test]
+    fn nested_values_are_a_wiring_error() {
+        let store = DocStore::new();
+        store.insert("c", json!({"nested": {"a": 1}})).unwrap();
+        let w = JsonWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts::<&str>(&[], &["nested"]).unwrap(),
+            store,
+            "c",
+            Pipeline::new().project(vec![Projection::field("nested", "nested")]),
+        )
+        .unwrap();
+        assert!(matches!(
+            w.scan(),
+            Err(WrapperError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn new_source_documents_appear_on_next_scan() {
+        let store = vod_store();
+        let w = code2_wrapper(store.clone());
+        assert_eq!(w.scan().unwrap().len(), 3);
+        store
+            .insert("vod", json!({"monitorId": 20, "waitTime": 5, "watchTime": 8}))
+            .unwrap();
+        assert_eq!(w.scan().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Serializable wrapper definitions.
+//!
+//! The MDM persists its deployment (the paper's tool used Jena TDB); to
+//! reload a deployment the wrapper *definitions* — not just their data —
+//! must survive. A [`WrapperSpec`] is the JSON-serializable description of
+//! a wrapper; [`WrapperSpec::instantiate`] rebuilds the live wrapper over a
+//! [`DocStore`].
+
+use crate::json_wrapper::JsonWrapper;
+use crate::table_wrapper::TableWrapper;
+use crate::wrapper::{Wrapper, WrapperError};
+use bdi_docstore::{DocStore, Pipeline};
+use bdi_relational::{Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A self-contained, serializable wrapper definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WrapperSpec {
+    /// A [`JsonWrapper`]: an aggregation pipeline over one collection.
+    Json {
+        name: String,
+        source: String,
+        id_attributes: Vec<String>,
+        non_id_attributes: Vec<String>,
+        collection: String,
+        pipeline: Pipeline,
+    },
+    /// A [`TableWrapper`]: schema plus inline rows (scalar JSON values).
+    Table {
+        name: String,
+        source: String,
+        id_attributes: Vec<String>,
+        non_id_attributes: Vec<String>,
+        rows: Vec<Vec<serde_json::Value>>,
+    },
+}
+
+impl WrapperSpec {
+    /// The wrapper's name.
+    pub fn name(&self) -> &str {
+        match self {
+            WrapperSpec::Json { name, .. } | WrapperSpec::Table { name, .. } => name,
+        }
+    }
+
+    /// Builds the live wrapper. JSON wrappers attach to `store`.
+    pub fn instantiate(&self, store: &DocStore) -> Result<Arc<dyn Wrapper>, WrapperError> {
+        match self {
+            WrapperSpec::Json {
+                name,
+                source,
+                id_attributes,
+                non_id_attributes,
+                collection,
+                pipeline,
+            } => {
+                let schema = Schema::from_parts(id_attributes, non_id_attributes)
+                    .map_err(bdi_relational::RelationError::Schema)?;
+                Ok(Arc::new(JsonWrapper::new(
+                    name,
+                    source,
+                    schema,
+                    store.clone(),
+                    collection,
+                    pipeline.clone(),
+                )?))
+            }
+            WrapperSpec::Table {
+                name,
+                source,
+                id_attributes,
+                non_id_attributes,
+                rows,
+            } => {
+                let schema = Schema::from_parts(id_attributes, non_id_attributes)
+                    .map_err(bdi_relational::RelationError::Schema)?;
+                let rows: Vec<Vec<Value>> = rows
+                    .iter()
+                    .map(|row| row.iter().map(json_to_value).collect())
+                    .collect();
+                Ok(Arc::new(TableWrapper::new(name, source, schema, rows)?))
+            }
+        }
+    }
+}
+
+fn json_to_value(v: &serde_json::Value) -> Value {
+    match v {
+        serde_json::Value::Null => Value::Null,
+        serde_json::Value::Bool(b) => Value::Bool(*b),
+        serde_json::Value::Number(n) => n
+            .as_i64()
+            .map(Value::Int)
+            .unwrap_or_else(|| Value::Float(n.as_f64().unwrap_or(f64::NAN))),
+        serde_json::Value::String(s) => Value::Str(s.clone()),
+        other => Value::Str(other.to_string()),
+    }
+}
+
+fn value_to_json(v: &Value) -> serde_json::Value {
+    match v {
+        Value::Null => serde_json::Value::Null,
+        Value::Bool(b) => serde_json::Value::Bool(*b),
+        Value::Int(i) => serde_json::json!(i),
+        Value::Float(f) => serde_json::json!(f),
+        Value::Str(s) => serde_json::Value::String(s.clone()),
+    }
+}
+
+impl JsonWrapper {
+    /// This wrapper's serializable definition.
+    pub fn spec(&self) -> WrapperSpec {
+        WrapperSpec::Json {
+            name: self.name().to_owned(),
+            source: self.source().to_owned(),
+            id_attributes: self.schema().id_names().iter().map(|s| s.to_string()).collect(),
+            non_id_attributes: self.schema().non_id_names().iter().map(|s| s.to_string()).collect(),
+            collection: self.collection().to_owned(),
+            pipeline: self.pipeline().clone(),
+        }
+    }
+}
+
+impl TableWrapper {
+    /// This wrapper's serializable definition (rows inlined).
+    pub fn spec(&self) -> Result<WrapperSpec, WrapperError> {
+        let relation = self.scan()?;
+        Ok(WrapperSpec::Table {
+            name: self.name().to_owned(),
+            source: self.source().to_owned(),
+            id_attributes: self.schema().id_names().iter().map(|s| s.to_string()).collect(),
+            non_id_attributes: self.schema().non_id_names().iter().map(|s| s.to_string()).collect(),
+            rows: relation
+                .rows()
+                .iter()
+                .map(|row| row.iter().map(value_to_json).collect())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supersede;
+
+    #[test]
+    fn json_wrapper_spec_round_trips() {
+        let store = supersede::sample_docstore();
+        let w1 = supersede::wrapper_w1(store.clone());
+        let spec = w1.spec();
+
+        let serialized = serde_json::to_string_pretty(&spec).unwrap();
+        let parsed: WrapperSpec = serde_json::from_str(&serialized).unwrap();
+        assert_eq!(parsed, spec);
+
+        let rebuilt = parsed.instantiate(&store).unwrap();
+        assert_eq!(rebuilt.name(), "w1");
+        assert_eq!(rebuilt.scan().unwrap(), w1.scan().unwrap());
+    }
+
+    #[test]
+    fn table_wrapper_spec_round_trips() {
+        let w = TableWrapper::new(
+            "t1",
+            "D",
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        let spec = w.spec().unwrap();
+        let rebuilt = spec.instantiate(&DocStore::new()).unwrap();
+        assert_eq!(rebuilt.scan().unwrap(), w.scan().unwrap());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_instantiation() {
+        let spec = WrapperSpec::Json {
+            name: "bad".into(),
+            source: "D".into(),
+            id_attributes: vec!["a".into()],
+            non_id_attributes: vec!["a".into()], // duplicate
+            collection: "c".into(),
+            pipeline: Pipeline::new(),
+        };
+        assert!(spec.instantiate(&DocStore::new()).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! The wrapper abstraction.
+//!
+//! Following the mediator/wrapper architecture the paper adopts (§1, [7]),
+//! a **wrapper** hides all source-side query complexity and exposes a flat
+//! first-normal-form relation `w(a_ID, a_nID)`. Different wrappers over the
+//! same data source represent different **schema versions** (§2); the
+//! ontology layer never talks to a source directly.
+
+use bdi_relational::{Relation, RelationError, Schema, SourceResolver};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Errors raised by wrapper execution.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum WrapperError {
+    #[error("wrapper {0} failed to query its source: {1}")]
+    SourceQuery(String, String),
+    #[error("wrapper {wrapper} produced a value of unsupported JSON shape for attribute {attribute}")]
+    UnsupportedShape { wrapper: String, attribute: String },
+    #[error(transparent)]
+    Relation(#[from] RelationError),
+    #[error("unknown wrapper: {0}")]
+    UnknownWrapper(String),
+}
+
+/// A queryable view over one schema version of one data source.
+pub trait Wrapper: Send + Sync {
+    /// The wrapper's unique name (`w1`, `w4`, …).
+    fn name(&self) -> &str;
+
+    /// The data source this wrapper belongs to — the paper's `source(w)`.
+    /// Walks never join two wrappers with the same source.
+    fn source(&self) -> &str;
+
+    /// The exposed relational schema, partitioned into ID / non-ID
+    /// attributes. Attribute names are *local* (e.g. `VoDmonitorId`); the
+    /// ontology layer prefixes them with the source when building `S` URIs.
+    fn schema(&self) -> &Schema;
+
+    /// Executes the wrapper's underlying query, producing the current rows.
+    fn scan(&self) -> Result<Relation, WrapperError>;
+
+    /// The wrapper's serializable definition, when it has one (used by
+    /// deployment snapshots). Defaults to `None` for wrapper kinds that
+    /// cannot be persisted.
+    fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
+        None
+    }
+}
+
+/// A shared, name-indexed set of wrappers. Implements
+/// [`SourceResolver`] so rewritten walks evaluate directly against it.
+#[derive(Default, Clone)]
+pub struct WrapperRegistry {
+    wrappers: BTreeMap<String, Arc<dyn Wrapper>>,
+}
+
+impl WrapperRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a wrapper under its own name. Re-registering a name
+    /// replaces the previous wrapper (a new release supersedes).
+    pub fn register(&mut self, wrapper: Arc<dyn Wrapper>) {
+        self.wrappers.insert(wrapper.name().to_owned(), wrapper);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Wrapper>> {
+        self.wrappers.get(name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.wrappers.contains_key(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.wrappers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.wrappers.is_empty()
+    }
+
+    /// All wrappers, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Wrapper>> {
+        self.wrappers.values()
+    }
+
+    /// All wrappers belonging to `source` — the set `{w : source(w) = D}`.
+    pub fn by_source(&self, source: &str) -> Vec<&Arc<dyn Wrapper>> {
+        self.wrappers
+            .values()
+            .filter(|w| w.source() == source)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for WrapperRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WrapperRegistry")
+            .field("wrappers", &self.wrappers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SourceResolver for WrapperRegistry {
+    fn resolve(&self, name: &str) -> Result<Relation, RelationError> {
+        let wrapper = self.wrappers.get(name).ok_or_else(|| {
+            RelationError::Schema(bdi_relational::SchemaError::UnknownAttribute(format!(
+                "unknown wrapper {name}"
+            )))
+        })?;
+        wrapper.scan().map_err(|e| {
+            RelationError::Schema(bdi_relational::SchemaError::UnknownAttribute(format!(
+                "wrapper {name} failed: {e}"
+            )))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table_wrapper::TableWrapper;
+    use bdi_relational::Value;
+
+    fn sample() -> Arc<dyn Wrapper> {
+        Arc::new(
+            TableWrapper::new(
+                "w1",
+                "D1",
+                Schema::from_parts(&["id"], &["x"]).unwrap(),
+                vec![vec![Value::Int(1), Value::Str("a".into())]],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn registry_registers_and_resolves() {
+        let mut reg = WrapperRegistry::new();
+        reg.register(sample());
+        assert!(reg.contains("w1"));
+        assert_eq!(reg.len(), 1);
+        let rel = reg.resolve("w1").unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn unknown_wrapper_resolution_fails() {
+        let reg = WrapperRegistry::new();
+        assert!(reg.resolve("zz").is_err());
+    }
+
+    #[test]
+    fn by_source_filters() {
+        let mut reg = WrapperRegistry::new();
+        reg.register(sample());
+        reg.register(Arc::new(
+            TableWrapper::new(
+                "w2",
+                "D2",
+                Schema::from_parts::<&str>(&["id"], &[]).unwrap(),
+                vec![],
+            )
+            .unwrap(),
+        ));
+        assert_eq!(reg.by_source("D1").len(), 1);
+        assert_eq!(reg.by_source("D2").len(), 1);
+        assert_eq!(reg.by_source("D3").len(), 0);
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut reg = WrapperRegistry::new();
+        reg.register(sample());
+        reg.register(Arc::new(
+            TableWrapper::new(
+                "w1",
+                "D1",
+                Schema::from_parts(&["id"], &["y"]).unwrap(),
+                vec![],
+            )
+            .unwrap(),
+        ));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("w1").unwrap().schema().non_id_names(), vec!["y"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Replaying a real-world API's release history (§6.4, Figure 11).
+//!
+//! Feeds the reconstructed Wordpress `GET Posts` release series — major
+//! version 1, major version 2, thirteen minor 2.x releases — through
+//! Algorithm 1, printing each release's classified schema changes and the
+//! growth of the Source graph.
+//!
+//! ```text
+//! cargo run --example wordpress_evolution
+//! ```
+
+use bdi::evolution::taxonomy::ParameterLevelChange;
+use bdi::evolution::wordpress;
+
+fn main() {
+    let records = wordpress::replay();
+
+    println!("Wordpress GET-Posts: {} releases replayed through Algorithm 1\n", records.len());
+    for r in &records {
+        println!(
+            "v{:<5} — {} fields, +{} triples in S (cumulative {})",
+            r.version, r.fields, r.stats.source_triples_added, r.cumulative_source_triples
+        );
+        if r.changes.is_empty() {
+            if r.version != "1" {
+                println!("         no schema changes (wrapper re-registration only)");
+            }
+        } else {
+            let count = |k: ParameterLevelChange| r.changes.iter().filter(|&&c| c == k).count();
+            let mut parts = Vec::new();
+            for (kind, label) in [
+                (ParameterLevelChange::AddParameter, "added"),
+                (ParameterLevelChange::DeleteParameter, "deleted"),
+                (ParameterLevelChange::RenameResponseParameter, "renamed"),
+                (ParameterLevelChange::ChangeFormatOrType, "retyped"),
+            ] {
+                let n = count(kind);
+                if n > 0 {
+                    parts.push(format!("{n} {label}"));
+                }
+            }
+            println!("         parameter changes: {}", parts.join(", "));
+        }
+    }
+
+    let total: usize = records.iter().map(|r| r.stats.source_triples_added).sum();
+    let minors = &records[2..];
+    let avg_minor: f64 =
+        minors.iter().map(|r| r.stats.source_triples_added as f64).sum::<f64>() / minors.len() as f64;
+    println!("\nTotals: {total} triples added to S across the series.");
+    println!(
+        "Major releases dominate attribute creation; minor releases settle to a \
+         stable ~{avg_minor:.0} triples each (linear growth, mostly S:hasAttribute edges)."
+    );
+    println!("G never grows during replay — exactly the §6.4 observation that keeps");
+    println!("query answering fast as the ontology ages.");
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the mapping-suggestion metrics (§4.1 assist).
+
+use bdi::core::align::{levenshtein, name_similarity, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-d]{0,8}", b in "[a-d]{0,8}", c in "[a-d]{0,8}") {
+        // Identity of indiscernibles.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_string(a in "[a-d]{0,8}", b in "[a-d]{0,8}") {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn name_similarity_is_bounded_and_symmetric(a in "[a-zA-Z_]{1,12}", b in "[a-zA-Z_]{1,12}") {
+        let s = name_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+        let t = name_similarity(&b, &a);
+        prop_assert!((s - t).abs() < 1e-9, "asymmetric: {s} vs {t}");
+    }
+
+    #[test]
+    fn identical_names_have_maximal_similarity(a in "[a-zA-Z]{1,12}") {
+        prop_assert!((name_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokens_are_lowercase_and_nonempty(name in "[a-zA-Z0-9_\\-]{0,16}") {
+        for token in tokenize(&name) {
+            prop_assert!(!token.is_empty());
+            prop_assert_eq!(token.to_lowercase(), token.clone());
+        }
+    }
+
+    #[test]
+    fn tokenization_is_case_insensitive_on_separator_free_names(name in "[a-z]{1,10}") {
+        // A single lowercase word tokenizes to itself, however it is cased
+        // at the start.
+        let capitalized = {
+            let mut cs = name.chars();
+            let first = cs.next().expect("non-empty").to_uppercase().to_string();
+            format!("{first}{}", cs.as_str())
+        };
+        prop_assert_eq!(tokenize(&name), tokenize(&capitalized));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the Turtle serializer/parser round trip and the
+//! SPARQL evaluator against a naive reference implementation.
+
+use bdi::rdf::model::{GraphName, Iri, Literal, Term, Triple};
+use bdi::rdf::sparql::{self, EvalOptions};
+use bdi::rdf::store::QuadStore;
+use bdi::rdf::turtle::{parse_turtle, write_turtle, PrefixMap};
+use proptest::prelude::*;
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    (0u8..8).prop_map(|i| Iri::new(format!("http://t.example/r/{i}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Escapable characters are deliberately frequent.
+        "[a-z\"\\\\\n\t]{0,8}".prop_map(Literal::string),
+        (-100i64..100).prop_map(Literal::integer),
+        ("[a-z]{1,5}", prop_oneof![Just("en"), Just("fr")])
+            .prop_map(|(s, l)| Literal::lang_string(s, l)),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (
+        arb_iri(),
+        arb_iri(),
+        prop_oneof![
+            arb_iri().prop_map(Term::Iri),
+            arb_literal().prop_map(Term::Literal)
+        ],
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn turtle_round_trips(triples in prop::collection::vec(arb_triple(), 0..40)) {
+        let prefixes = PrefixMap::with_common_vocabularies();
+        let doc = write_turtle(triples.iter(), &prefixes);
+        let (parsed, _) = parse_turtle(&doc).expect("serializer output must parse");
+
+        let canon = |ts: &[Triple]| {
+            let mut v: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(canon(&parsed), canon(&triples));
+    }
+
+    #[test]
+    fn single_pattern_queries_agree_with_filter(
+        triples in prop::collection::vec(arb_triple(), 0..40),
+        p in arb_iri(),
+    ) {
+        let store = QuadStore::new();
+        for t in &triples {
+            store.insert_triple(t);
+        }
+        let query = sparql::parse_query(
+            &format!("SELECT ?s ?o WHERE {{ ?s <{}> ?o . }}", p.as_str()),
+            &PrefixMap::new(),
+        ).unwrap();
+        let sols = sparql::evaluate(&store, &query, &EvalOptions { default_graph_as_union: true });
+
+        let mut expected: Vec<(String, String)> = triples
+            .iter()
+            .filter(|t| t.predicate == p)
+            .map(|t| (t.subject.to_string(), t.object.to_string()))
+            .collect();
+        expected.sort();
+        expected.dedup();
+
+        let mut actual: Vec<(String, String)> = sols
+            .bindings
+            .iter()
+            .map(|b| {
+                (
+                    b.get_by_name("s").unwrap().to_string(),
+                    b.get_by_name("o").unwrap().to_string(),
+                )
+            })
+            .collect();
+        actual.sort();
+        actual.dedup();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn two_pattern_join_agrees_with_nested_loop(
+        triples in prop::collection::vec(arb_triple(), 0..30),
+        p1 in arb_iri(),
+        p2 in arb_iri(),
+    ) {
+        let store = QuadStore::new();
+        for t in &triples {
+            store.insert_triple(t);
+        }
+        let query = sparql::parse_query(
+            &format!(
+                "SELECT ?a ?b ?c WHERE {{ ?a <{}> ?b . ?b <{}> ?c . }}",
+                p1.as_str(),
+                p2.as_str()
+            ),
+            &PrefixMap::new(),
+        ).unwrap();
+        let sols = sparql::evaluate(&store, &query, &EvalOptions { default_graph_as_union: true });
+
+        let mut expected = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for t1 in triples.iter().filter(|t| t.predicate == p1) {
+            for t2 in triples.iter().filter(|t| t.predicate == p2) {
+                if t1.object == t2.subject
+                    && seen.insert((t1.subject.to_string(), t1.object.to_string(), t2.object.to_string()))
+                {
+                    expected += 1;
+                }
+            }
+        }
+        let mut actual = std::collections::BTreeSet::new();
+        for b in &sols.bindings {
+            actual.insert((
+                b.get_by_name("a").unwrap().to_string(),
+                b.get_by_name("b").unwrap().to_string(),
+                b.get_by_name("c").unwrap().to_string(),
+            ));
+        }
+        prop_assert_eq!(actual.len(), expected);
+    }
+
+    #[test]
+    fn store_loaded_turtle_matches_source(triples in prop::collection::vec(arb_triple(), 0..30)) {
+        let prefixes = PrefixMap::new();
+        let doc = write_turtle(triples.iter(), &prefixes);
+        let store = QuadStore::new();
+        let g = GraphName::Named(Iri::new("http://t.example/g"));
+        bdi::rdf::turtle::load_turtle(&store, &g, &doc).unwrap();
+        let mut distinct: Vec<String> = triples.iter().map(|t| t.to_string()).collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(store.graph_len(&g), distinct.len());
+    }
+}
