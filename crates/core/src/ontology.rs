@@ -219,24 +219,20 @@ impl BdiOntology {
 
     /// All concepts declared in `G`.
     pub fn concepts(&self) -> Vec<Iri> {
-        self.store
-            .subjects(&rdf::TYPE, &Term::from(&*vocab::g::CONCEPT), &GraphPattern::Named((*graphs::GLOBAL).clone()))
-            .into_iter()
-            .filter_map(|t| t.as_iri().cloned())
-            .collect()
+        self.store.iri_subjects(
+            &rdf::TYPE,
+            &vocab::g::CONCEPT,
+            &GraphPattern::Named((*graphs::GLOBAL).clone()),
+        )
     }
 
     /// Features attached to a concept.
     pub fn features_of(&self, concept: &Iri) -> Vec<Iri> {
-        self.store
-            .objects(
-                &Term::Iri(concept.clone()),
-                &vocab::g::HAS_FEATURE,
-                &GraphPattern::Named((*graphs::GLOBAL).clone()),
-            )
-            .into_iter()
-            .filter_map(|t| t.as_iri().cloned())
-            .collect()
+        self.store.iri_objects(
+            concept,
+            &vocab::g::HAS_FEATURE,
+            &GraphPattern::Named((*graphs::GLOBAL).clone()),
+        )
     }
 
     /// The concept's ID features (those subsumed by `sc:identifier`).
@@ -251,13 +247,13 @@ impl BdiOntology {
     /// [`BdiOntology::attach_feature`]).
     pub fn concept_of(&self, feature: &Iri) -> Option<Iri> {
         self.store
-            .subjects(
+            .iri_subjects(
                 &vocab::g::HAS_FEATURE,
-                &Term::Iri(feature.clone()),
+                feature,
                 &GraphPattern::Named((*graphs::GLOBAL).clone()),
             )
             .into_iter()
-            .find_map(|t| t.as_iri().cloned())
+            .next()
     }
 
     /// Object properties linking `from` to `to` in `G` (excluding
@@ -302,28 +298,20 @@ impl BdiOntology {
 
     /// All wrapper URIs of one data source.
     pub fn wrappers_of_source(&self, source_uri: &Iri) -> Vec<Iri> {
-        self.store
-            .objects(
-                &Term::Iri(source_uri.clone()),
-                &vocab::s::HAS_WRAPPER,
-                &GraphPattern::Named((*graphs::SOURCE).clone()),
-            )
-            .into_iter()
-            .filter_map(|t| t.as_iri().cloned())
-            .collect()
+        self.store.iri_objects(
+            source_uri,
+            &vocab::s::HAS_WRAPPER,
+            &GraphPattern::Named((*graphs::SOURCE).clone()),
+        )
     }
 
     /// All attribute URIs a wrapper provides.
     pub fn attributes_of_wrapper(&self, wrapper_uri: &Iri) -> Vec<Iri> {
-        self.store
-            .objects(
-                &Term::Iri(wrapper_uri.clone()),
-                &vocab::s::HAS_ATTRIBUTE,
-                &GraphPattern::Named((*graphs::SOURCE).clone()),
-            )
-            .into_iter()
-            .filter_map(|t| t.as_iri().cloned())
-            .collect()
+        self.store.iri_objects(
+            wrapper_uri,
+            &vocab::s::HAS_ATTRIBUTE,
+            &GraphPattern::Named((*graphs::SOURCE).clone()),
+        )
     }
 
     /// Number of triples currently in `S` (the growth metric of Figure 11).

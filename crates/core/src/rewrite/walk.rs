@@ -7,7 +7,7 @@
 
 use crate::ontology::BdiOntology;
 use crate::vocab;
-use bdi_rdf::model::{Iri, Quad, Term, Triple};
+use bdi_rdf::model::{Iri, Quad, Triple};
 use bdi_relational::RelExpr;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,6 +28,10 @@ pub struct Walk {
     projections: BTreeMap<Iri, BTreeSet<Iri>>,
     /// The ⋈̃ conditions, in discovery order.
     joins: Vec<JoinCondition>,
+    /// Membership index over `joins` — `merge`/`add_join` run once per
+    /// candidate walk pair during Algorithm 5, so the dedup check must not
+    /// be a linear scan.
+    join_set: BTreeSet<JoinCondition>,
 }
 
 impl Walk {
@@ -79,7 +83,7 @@ impl Walk {
             entry.extend(attrs.iter().cloned());
         }
         for j in &other.joins {
-            if !self.joins.contains(j) {
+            if self.join_set.insert(j.clone()) {
                 self.joins.push(j.clone());
             }
         }
@@ -90,7 +94,7 @@ impl Walk {
     pub fn add_join(&mut self, condition: JoinCondition) {
         self.project(condition.left_wrapper.clone(), condition.left_attribute.clone());
         self.project(condition.right_wrapper.clone(), condition.right_attribute.clone());
-        if !self.joins.contains(&condition) {
+        if self.join_set.insert(condition.clone()) {
             self.joins.push(condition);
         }
     }
@@ -144,16 +148,14 @@ impl Walk {
     pub fn violates_same_source(&self, ontology: &BdiOntology) -> bool {
         let mut sources = BTreeSet::new();
         for wrapper in self.projections.keys() {
-            let owners = ontology.store().subjects(
+            let owners = ontology.store().iri_subjects(
                 &vocab::s::HAS_WRAPPER,
-                &Term::Iri(wrapper.clone()),
+                wrapper,
                 &bdi_rdf::store::GraphPattern::Named((*vocab::graphs::SOURCE).clone()),
             );
-            for owner in owners {
-                if let Term::Iri(src) = owner {
-                    if !sources.insert(src) {
-                        return true;
-                    }
+            for src in owners {
+                if !sources.insert(src) {
+                    return true;
                 }
             }
         }

@@ -10,7 +10,7 @@
 
 use crate::ontology::BdiOntology;
 use crate::vocab;
-use bdi_rdf::model::{Iri, Term};
+use bdi_rdf::model::Iri;
 use bdi_rdf::store::GraphPattern;
 use bdi_rdf::vocab::xsd;
 use bdi_relational::{Relation, Value};
@@ -86,13 +86,13 @@ pub enum TypingError {
 pub fn feature_datatype(ontology: &BdiOntology, feature: &Iri) -> Option<Iri> {
     ontology
         .store()
-        .objects(
-            &Term::Iri(feature.clone()),
+        .iri_objects(
+            feature,
             &vocab::g::HAS_DATA_TYPE,
             &GraphPattern::Named((*vocab::graphs::GLOBAL).clone()),
         )
         .into_iter()
-        .find_map(|t| t.as_iri().cloned())
+        .next()
 }
 
 /// Validates one wrapper's *current* output against the datatypes of the

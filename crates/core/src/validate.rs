@@ -120,10 +120,7 @@ fn check_features(ontology: &BdiOntology, out: &mut Vec<Violation>) {
         }
         let owners: Vec<Iri> = ontology
             .store()
-            .subjects(&vocab::g::HAS_FEATURE, &Term::Iri(feature.clone()), &g)
-            .into_iter()
-            .filter_map(|t| t.as_iri().cloned())
-            .collect();
+            .iri_subjects(&vocab::g::HAS_FEATURE, &feature, &g);
         match owners.len() {
             0 => out.push(Violation::OrphanFeature { feature }),
             1 => {}
@@ -167,16 +164,11 @@ fn check_wrappers(ontology: &BdiOntology, out: &mut Vec<Violation>) {
         }
         let mut mapped_features: BTreeSet<Iri> = BTreeSet::new();
         for attribute in &attributes {
-            let targets: Vec<Iri> = ontology
-                .store()
-                .objects(
-                    &Term::Iri(attribute.clone()),
-                    &owl::SAME_AS,
-                    &GraphPattern::Named((*vocab::graphs::MAPPING).clone()),
-                )
-                .into_iter()
-                .filter_map(|t| t.as_iri().cloned())
-                .collect();
+            let targets: Vec<Iri> = ontology.store().iri_objects(
+                attribute,
+                &owl::SAME_AS,
+                &GraphPattern::Named((*vocab::graphs::MAPPING).clone()),
+            );
             match targets.len() {
                 0 => out.push(Violation::UnmappedAttribute {
                     attribute: attribute.clone(),

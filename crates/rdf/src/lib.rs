@@ -14,6 +14,30 @@
 //! This crate is self-contained: it is the triplestore the paper assumes as
 //! its substrate (Jena + Jena TDB in the authors' implementation), built from
 //! scratch because no mature pure-Rust option fits the requirements.
+//!
+//! ## The encode → evaluate → decode pipeline
+//!
+//! Every term is interned to a dense `u32` id ([`interner::TermId`]) on
+//! insertion, and the six indexes hold `[u32; 4]` keys — one permutation per
+//! bound-prefix shape:
+//!
+//! | bound prefix        | index  |
+//! |---------------------|--------|
+//! | g, g+s, g+s+p, all  | `GSPO` |
+//! | g+p, g+p+o          | `GPOS` |
+//! | g+o, g+o+s          | `GOSP` |
+//! | s, s+p, s+p+o       | `SPOG` |
+//! | p, p+o              | `POSG` |
+//! | o, o+s              | `OSPG` |
+//!
+//! Queries run entirely in id space: [`store::QuadStore::reader`] pins the
+//! read lock once, pattern constants **encode** to ids up front, the SPARQL
+//! evaluator joins fixed-width id rows against range scans, and only the
+//! surviving solutions **decode** back to [`model::Term`]s
+//! ([`sparql::evaluate`]; [`sparql::evaluate_count`] never decodes at all).
+//! `match_quads` and the `objects`/`subjects`/`iri_objects`/`iri_subjects`
+//! helpers are thin decoded views over the same primitive. See
+//! `BENCH_eval.json` at the workspace root for the measured effect.
 
 pub mod interner;
 pub mod model;

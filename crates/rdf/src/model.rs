@@ -193,11 +193,38 @@ impl fmt::Display for Literal {
 }
 
 /// Any RDF term.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Term {
     Iri(Iri),
     Blank(BlankNode),
     Literal(Literal),
+}
+
+/// `Term`'s hash is written out manually (not derived) so the interner can
+/// hash an `Iri` *as if* it were wrapped in `Term::Iri` without building the
+/// wrapper — see [`hash_term_iri`]. The variant tag is a fixed `u8`.
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Term::Iri(iri) => hash_term_iri(iri, state),
+            Term::Blank(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Term::Literal(l) => {
+                state.write_u8(2);
+                l.hash(state);
+            }
+        }
+    }
+}
+
+/// Hashes an IRI with the exact byte stream `Term::Iri(iri).hash(..)` would
+/// produce. Kept next to `Term`'s impl so the two cannot drift apart.
+pub(crate) fn hash_term_iri<H: std::hash::Hasher>(iri: &Iri, state: &mut H) {
+    use std::hash::Hash;
+    state.write_u8(0);
+    iri.hash(state);
 }
 
 impl Term {

@@ -20,7 +20,7 @@
 use crate::model::{Iri, Quad, Term};
 #[cfg(test)]
 use crate::model::GraphName;
-use crate::store::{GraphPattern, QuadStore};
+use crate::store::{GraphPattern, IdGraph, IdPattern, QuadStore};
 use crate::vocab::{rdf, rdfs};
 use std::collections::{HashSet, VecDeque};
 
@@ -140,56 +140,114 @@ pub fn materialize(store: &QuadStore) -> usize {
 
 /// True when `sub rdfs:subClassOf* sup` holds under RDFS entailment
 /// (reflexive-transitive reachability), without materializing.
+///
+/// Early-exits the id-space BFS as soon as the target id is reached, never
+/// decoding a term.
 pub fn is_subclass_of(store: &QuadStore, sub: &Iri, sup: &Iri) -> bool {
     if sub == sup {
         return true;
     }
-    subclass_closure(store, sub).contains(sup)
+    let reader = store.reader();
+    let (Some(start), Some(target), Some(p)) = (
+        reader.iri_id(sub),
+        reader.iri_id(sup),
+        reader.iri_id(&rdfs::SUB_CLASS_OF),
+    ) else {
+        return false;
+    };
+    let mut seen: HashSet<u32> = HashSet::from([start.raw()]);
+    let mut queue: VecDeque<u32> = VecDeque::from([start.raw()]);
+    while let Some(current) = queue.pop_front() {
+        let mut found = false;
+        reader.for_each_match(
+            IdPattern {
+                s: Some(current),
+                p: Some(p.raw()),
+                o: None,
+                g: IdGraph::Any,
+            },
+            |[_, _, _, o]| {
+                if o == target.raw() {
+                    found = true;
+                }
+                if seen.insert(o) {
+                    queue.push_back(o);
+                }
+            },
+        );
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Direction of a [`closure_ids`] walk along `rdfs:subClassOf` edges.
+enum Walk {
+    /// Follow `sub → sup` (subject bound, objects discovered).
+    Up,
+    /// Follow `sup → sub` (object bound, subjects discovered).
+    Down,
+}
+
+/// Reflexive-transitive reachability along `rdfs:subClassOf`, computed
+/// entirely in id space under one read lock: the BFS frontier and seen-set
+/// hold `u32` ids, and terms decode once at the end. This runs per feature
+/// during query rewriting, so it is a measured hot path.
+///
+/// The walk traverses *through* non-IRI nodes (e.g. a blank node standing
+/// for a class expression) and only drops them from the decoded result —
+/// RDFS reachability does not stop at a blank intermediate.
+fn closure_ids(store: &QuadStore, class: &Iri, direction: Walk) -> HashSet<Iri> {
+    let reader = store.reader();
+    let (Some(start), Some(p)) = (reader.iri_id(class), reader.iri_id(&rdfs::SUB_CLASS_OF)) else {
+        // Nothing interned: the closure is the reflexive singleton.
+        return HashSet::from([class.clone()]);
+    };
+    let mut seen: HashSet<u32> = HashSet::from([start.raw()]);
+    let mut queue: VecDeque<u32> = VecDeque::from([start.raw()]);
+    while let Some(current) = queue.pop_front() {
+        let pattern = match direction {
+            Walk::Up => IdPattern {
+                s: Some(current),
+                p: Some(p.raw()),
+                o: None,
+                g: IdGraph::Any,
+            },
+            Walk::Down => IdPattern {
+                s: None,
+                p: Some(p.raw()),
+                o: Some(current),
+                g: IdGraph::Any,
+            },
+        };
+        reader.for_each_match(pattern, |[_, s, _, o]| {
+            let found = match direction {
+                Walk::Up => o,
+                Walk::Down => s,
+            };
+            if seen.insert(found) {
+                queue.push_back(found);
+            }
+        });
+    }
+    seen.into_iter()
+        .filter_map(|id| match reader.resolve(crate::interner::TermId::from_raw(id)) {
+            Term::Iri(iri) => Some(iri.clone()),
+            _ => None,
+        })
+        .collect()
 }
 
 /// All (strict and reflexive) superclasses of `class` reachable through
 /// `rdfs:subClassOf` in any graph.
 pub fn subclass_closure(store: &QuadStore, class: &Iri) -> HashSet<Iri> {
-    let mut seen: HashSet<Iri> = HashSet::new();
-    let mut queue: VecDeque<Iri> = VecDeque::new();
-    seen.insert(class.clone());
-    queue.push_back(class.clone());
-    while let Some(current) = queue.pop_front() {
-        for sup in store.objects(
-            &Term::Iri(current),
-            &rdfs::SUB_CLASS_OF,
-            &GraphPattern::Any,
-        ) {
-            if let Term::Iri(iri) = sup {
-                if seen.insert(iri.clone()) {
-                    queue.push_back(iri);
-                }
-            }
-        }
-    }
-    seen
+    closure_ids(store, class, Walk::Up)
 }
 
 /// All subclasses (inverse closure) of `class`, reflexive.
 pub fn superclass_of_closure(store: &QuadStore, class: &Iri) -> HashSet<Iri> {
-    let mut seen: HashSet<Iri> = HashSet::new();
-    let mut queue: VecDeque<Iri> = VecDeque::new();
-    seen.insert(class.clone());
-    queue.push_back(class.clone());
-    while let Some(current) = queue.pop_front() {
-        for sub in store.subjects(
-            &rdfs::SUB_CLASS_OF,
-            &Term::Iri(current),
-            &GraphPattern::Any,
-        ) {
-            if let Term::Iri(iri) = sub {
-                if seen.insert(iri.clone()) {
-                    queue.push_back(iri);
-                }
-            }
-        }
-    }
-    seen
+    closure_ids(store, class, Walk::Down)
 }
 
 /// Instances of `class` under RDFS entailment: subjects typed with `class`
@@ -318,6 +376,21 @@ mod tests {
         store.insert_in(&g, iri("http://e/y"), (*rdf::TYPE).clone(), iri("http://e/toolId"));
         let instances = instances_of(&store, &iri("http://schema.org/identifier"), &GraphPattern::Any);
         assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn closure_traverses_through_blank_intermediates() {
+        // A ⊑ _:b ⊑ C: reachability must pass through the blank node, and
+        // the blank node itself must not appear in the decoded closure.
+        let store = QuadStore::new();
+        let g = GraphName::Default;
+        let blank = Term::Blank(crate::model::BlankNode::new("b0"));
+        store.insert_in(&g, iri("http://e/A"), (*rdfs::SUB_CLASS_OF).clone(), blank.clone());
+        store.insert_in(&g, blank, (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/C"));
+        assert!(is_subclass_of(&store, &iri("http://e/A"), &iri("http://e/C")));
+        let closure = subclass_closure(&store, &iri("http://e/A"));
+        assert!(closure.contains(&iri("http://e/C")));
+        assert_eq!(closure.len(), 2); // A and C only; the blank is dropped
     }
 
     #[test]

@@ -8,14 +8,19 @@
 
 use crate::model::{Iri, Term};
 use std::fmt;
+use std::sync::Arc;
 
 /// A SPARQL variable (stored without the leading `?`).
+///
+/// The name lives behind an `Arc<str>` so that building solution bindings —
+/// which clones the variable once per row — is a refcount bump, not a string
+/// allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Variable(String);
+pub struct Variable(Arc<str>);
 
 impl Variable {
-    pub fn new(name: impl Into<String>) -> Self {
-        Self(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(Arc::from(name.as_ref()))
     }
 
     pub fn name(&self) -> &str {
@@ -41,7 +46,7 @@ impl TermOrVar {
         TermOrVar::Term(Term::iri(value))
     }
 
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl AsRef<str>) -> Self {
         TermOrVar::Var(Variable::new(name))
     }
 

@@ -5,11 +5,29 @@
 //! BGP matching uses greedy most-bound-first pattern ordering, substituting
 //! bindings as they accumulate — each step is a single index range scan in
 //! the store.
+//!
+//! # Id-space execution
+//!
+//! The evaluator pins the store's read lock once per query
+//! ([`QuadStore::reader`]) and never leaves id space until projection time:
+//!
+//! 1. **Encode** — pattern constants and `VALUES` terms are resolved to
+//!    `u32` term ids up front. Terms outside the store's vocabulary get
+//!    query-local ids above the store's id range (they can never match a
+//!    scan, which is exactly their semantics).
+//! 2. **Evaluate** — solution rows are fixed-width id slots stored in one
+//!    flat arena (`Vec<u32>` with a stride, `u32::MAX` = unbound), indexed
+//!    by a per-query variable table; joins extend rows by scanning
+//!    `[u32; 4]` keys and comparing ids, with no hashing, no `Term`
+//!    cloning and no per-row allocation at all.
+//! 3. **Decode** — only the surviving rows are materialized into the
+//!    public [`Binding`]/[`Solutions`] view.
 
 use super::ast::*;
-use crate::model::{GraphName, Iri, Term};
-use crate::store::{GraphPattern, QuadStore};
-use std::collections::HashMap;
+use crate::interner::TermId;
+use crate::model::{Iri, Term};
+use crate::store::{IdGraph, IdPattern, QuadStore, StoreReader};
+use std::collections::{HashMap, HashSet};
 
 /// One solution mapping (variable → term).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -52,18 +70,20 @@ pub struct Solutions {
 }
 
 impl Solutions {
-    /// Terms bound to `var` across all solutions, deduplicated, in order.
+    /// Terms bound to `var` across all solutions, deduplicated, in
+    /// first-seen order.
     pub fn column(&self, var: &str) -> Vec<Term> {
         let v = Variable::new(var);
-        let mut seen = Vec::new();
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
         for b in &self.bindings {
             if let Some(t) = b.get(&v) {
-                if !seen.contains(t) {
-                    seen.push(t.clone());
+                if seen.insert(t) {
+                    out.push(t.clone());
                 }
             }
         }
-        seen
+        out
     }
 
     /// IRIs bound to `var` (skipping non-IRI bindings), deduplicated.
@@ -96,162 +116,385 @@ pub struct EvalOptions {
     pub default_graph_as_union: bool,
 }
 
-/// Evaluates a query against a store.
+/// A pattern position, compiled to id space: a constant id or a slot in the
+/// query's variable table.
+#[derive(Debug, Clone, Copy)]
+enum Pos {
+    Const(u32),
+    Var(usize),
+}
+
+/// The graph selector, compiled to id space.
+#[derive(Debug, Clone, Copy)]
+enum GraphSel {
+    /// A fixed graph view (`FROM`, `GRAPH <iri>`, default, union).
+    Fixed(IdGraph),
+    /// `GRAPH ?g` — slot in the variable table (binds the graph IRI's term
+    /// id).
+    Var(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompiledPattern {
+    s: Pos,
+    p: Pos,
+    o: Pos,
+    g: GraphSel,
+}
+
+/// Unbound slot sentinel. The interner reserves `u32::MAX` (it aborts before
+/// handing it out as an id), so no real term id collides with it.
+const UNBOUND: u32 = u32::MAX;
+
+/// Flat row storage: `width` slots per row in one contiguous buffer, so the
+/// join loop never allocates per row.
+struct RowArena {
+    width: usize,
+    data: Vec<u32>,
+}
+
+impl RowArena {
+    fn new(width: usize) -> Self {
+        Self {
+            width,
+            data: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        // `width` is always >= 1: variable-free queries get one pad slot.
+        self.data.len() / self.width
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Appends a copy of `row`, returning the new row's mutable slice for
+    /// in-place binding.
+    fn push(&mut self, row: &[u32]) -> &mut [u32] {
+        let start = self.data.len();
+        self.data.extend_from_slice(row);
+        &mut self.data[start..start + self.width]
+    }
+
+    /// Drops the most recently pushed row (consistency check failed).
+    fn pop(&mut self) {
+        self.data.truncate(self.data.len() - self.width);
+    }
+}
+
+/// The per-query encoding context: query-local ids for terms outside the
+/// store's vocabulary (`VALUES` rows and constants may mention them; they
+/// can never match a scan, but they must still project).
+struct Encoder {
+    base: u32,
+    extra: Vec<Term>,
+    extra_ids: HashMap<Term, u32>,
+}
+
+impl Encoder {
+    fn new(reader: &StoreReader<'_>) -> Self {
+        let base = u32::try_from(reader.term_count()).expect("id space exceeds u32");
+        Self {
+            base,
+            extra: Vec::new(),
+            extra_ids: HashMap::new(),
+        }
+    }
+
+    /// Encodes a term, assigning a query-local id if the store has none.
+    fn encode(&mut self, reader: &StoreReader<'_>, term: &Term) -> u32 {
+        if let Some(id) = reader.term_id(term) {
+            return id.raw();
+        }
+        if let Some(&id) = self.extra_ids.get(term) {
+            return id;
+        }
+        let id = self.base + self.extra.len() as u32;
+        self.extra.push(term.clone());
+        self.extra_ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Decodes any id this encoder produced.
+    fn decode<'a>(&'a self, reader: &'a StoreReader<'a>, id: u32) -> &'a Term {
+        if id < self.base {
+            reader.resolve(TermId::from_raw(id))
+        } else {
+            &self.extra[(id - self.base) as usize]
+        }
+    }
+
+    /// The graph code an id denotes when used in graph position: store ids
+    /// shift by one (0 is the default graph); query-local ids cannot name a
+    /// stored graph, so they map to an impossible scan.
+    fn graph_code_of(&self, id: u32) -> Option<u32> {
+        if id < self.base {
+            Some(id + 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// The id-space result of [`solve`]: the variable table, the encoder (for
+/// decoding query-local ids) and the surviving rows.
+struct Solved {
+    vars: Vec<Variable>,
+    encoder: Encoder,
+    rows: RowArena,
+}
+
+/// Evaluates a query against a store, materializing term-space bindings.
 pub fn evaluate(store: &QuadStore, query: &SelectQuery, options: &EvalOptions) -> Solutions {
-    // Seed solutions from the VALUES table (Code 4 joins the table with the
-    // BGP), or with the single empty binding.
-    let mut solutions: Vec<Binding> = match &query.values {
-        Some(values) => values
-            .rows
-            .iter()
-            .map(|row| {
-                let mut b = Binding::default();
-                for (var, term) in values.vars.iter().zip(row) {
-                    b.set(var.clone(), term.clone());
-                }
-                b
-            })
-            .collect(),
-        None => vec![Binding::default()],
+    let reader = store.reader();
+    let projection = query.projection();
+    let Some(solved) = solve(&reader, query, options) else {
+        return Solutions {
+            vars: projection,
+            bindings: Vec::new(),
+        };
     };
 
-    // Greedy ordering: repeatedly pick the unevaluated pattern with the most
-    // statically bound positions (constants + already-chosen variables).
-    let mut remaining: Vec<&QuadPattern> = query.patterns.iter().collect();
-    let mut chosen_vars: Vec<Variable> = query
-        .values
-        .as_ref()
-        .map(|v| v.vars.clone())
-        .unwrap_or_default();
-    let mut ordered: Vec<&QuadPattern> = Vec::with_capacity(remaining.len());
+    // ---- Decode surviving rows into the public view.
+    let Solved {
+        vars,
+        encoder,
+        rows,
+    } = solved;
+    let bindings = (0..rows.len())
+        .map(|i| {
+            let mut b = Binding::default();
+            for (slot, &id) in rows.row(i).iter().enumerate() {
+                if id != UNBOUND && slot < vars.len() {
+                    b.set(vars[slot].clone(), encoder.decode(&reader, id).clone());
+                }
+            }
+            b
+        })
+        .collect();
+
+    Solutions {
+        vars: projection,
+        bindings,
+    }
+}
+
+/// Evaluates a query and returns only the number of solutions, never leaving
+/// id space — the cheap form for existence checks and cardinalities.
+pub fn evaluate_count(store: &QuadStore, query: &SelectQuery, options: &EvalOptions) -> usize {
+    let reader = store.reader();
+    solve(&reader, query, options).map_or(0, |s| s.rows.len())
+}
+
+/// Runs the encode → order → join pipeline in id space. `None` means the
+/// query is statically unsatisfiable (a named graph or `FROM` target that
+/// holds no quads).
+fn solve(reader: &StoreReader<'_>, query: &SelectQuery, options: &EvalOptions) -> Option<Solved> {
+    let mut encoder = Encoder::new(reader);
+
+    // ---- Variable table: slot index per variable, first-appearance order.
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut slot_of = HashMap::new();
+    let slot = |v: &Variable, vars: &mut Vec<Variable>, slot_of: &mut HashMap<Variable, usize>| -> usize {
+        if let Some(&s) = slot_of.get(v) {
+            return s;
+        }
+        vars.push(v.clone());
+        slot_of.insert(v.clone(), vars.len() - 1);
+        vars.len() - 1
+    };
+    if let Some(values) = &query.values {
+        for v in &values.vars {
+            slot(v, &mut vars, &mut slot_of);
+        }
+    }
+    for qp in &query.patterns {
+        for v in qp.pattern.variables() {
+            slot(v, &mut vars, &mut slot_of);
+        }
+        if let GraphSpec::Var(v) = &qp.graph {
+            slot(v, &mut vars, &mut slot_of);
+        }
+    }
+    // Variable-free queries still need one row to carry existence.
+    let width = vars.len().max(1);
+
+    // ---- Seed rows from the VALUES table (Code 4 joins it with the BGP).
+    let mut rows = RowArena::new(width);
+    let blank_row = vec![UNBOUND; width];
+    match &query.values {
+        Some(values) => {
+            for row in &values.rows {
+                let slots = rows.push(&blank_row);
+                for (var, term) in values.vars.iter().zip(row) {
+                    slots[slot_of[var]] = encoder.encode(reader, term);
+                }
+            }
+        }
+        None => {
+            rows.push(&blank_row);
+        }
+    }
+
+    // ---- Compile patterns to id space.
+    let active_graph = match &query.from {
+        // FROM naming a graph with no quads makes every Active-graph
+        // pattern unsatisfiable (encoded as None).
+        Some(iri) => reader.iri_id(iri).map(|id| IdGraph::Code(id.raw() + 1)),
+        None if options.default_graph_as_union => Some(IdGraph::Any),
+        None => Some(IdGraph::Code(0)),
+    };
+
+    let mut compiled: Vec<CompiledPattern> = Vec::with_capacity(query.patterns.len());
+    for qp in &query.patterns {
+        let pos = |tv: &TermOrVar, encoder: &mut Encoder| match tv {
+            TermOrVar::Term(t) => Pos::Const(encoder.encode(reader, t)),
+            TermOrVar::Var(v) => Pos::Var(slot_of[v]),
+        };
+        let s = pos(&qp.pattern.subject, &mut encoder);
+        let p = pos(&qp.pattern.predicate, &mut encoder);
+        let o = pos(&qp.pattern.object, &mut encoder);
+        let g = match &qp.graph {
+            GraphSpec::Active => match active_graph {
+                Some(g) => GraphSel::Fixed(g),
+                None => return None,
+            },
+            GraphSpec::Named(iri) => match reader.iri_id(iri) {
+                Some(id) => GraphSel::Fixed(IdGraph::Code(id.raw() + 1)),
+                None => return None,
+            },
+            GraphSpec::Var(v) => GraphSel::Var(slot_of[v]),
+        };
+        compiled.push(CompiledPattern { s, p, o, g });
+    }
+
+    // ---- Greedy ordering: repeatedly pick the pattern with the most bound
+    // positions (constants + already-chosen variables).
+    let mut bound_slots: Vec<bool> = vec![false; width];
+    if let Some(values) = &query.values {
+        for v in &values.vars {
+            bound_slots[slot_of[v]] = true;
+        }
+    }
+    let mut remaining = compiled;
+    let mut ordered: Vec<CompiledPattern> = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
         let (idx, _) = remaining
             .iter()
             .enumerate()
-            .max_by_key(|(_, qp)| {
-                let p = &qp.pattern;
+            .max_by_key(|(_, cp)| {
                 let mut score = 0usize;
-                for pos in [&p.subject, &p.predicate, &p.object] {
+                for pos in [cp.s, cp.p, cp.o] {
                     match pos {
-                        TermOrVar::Term(_) => score += 2,
-                        TermOrVar::Var(v) if chosen_vars.contains(v) => score += 1,
-                        TermOrVar::Var(_) => {}
+                        Pos::Const(_) => score += 2,
+                        Pos::Var(s) if bound_slots[s] => score += 1,
+                        Pos::Var(_) => {}
                     }
                 }
                 score
             })
             .expect("remaining is non-empty");
-        let qp = remaining.remove(idx);
-        for v in qp.pattern.variables() {
-            if !chosen_vars.contains(v) {
-                chosen_vars.push(v.clone());
+        let cp = remaining.remove(idx);
+        for pos in [cp.s, cp.p, cp.o] {
+            if let Pos::Var(s) = pos {
+                bound_slots[s] = true;
             }
         }
-        if let GraphSpec::Var(v) = &qp.graph {
-            if !chosen_vars.contains(v) {
-                chosen_vars.push(v.clone());
-            }
+        if let GraphSel::Var(s) = cp.g {
+            bound_slots[s] = true;
         }
-        ordered.push(qp);
+        ordered.push(cp);
     }
 
-    for qp in ordered {
-        let mut next: Vec<Binding> = Vec::new();
-        for binding in &solutions {
-            extend_binding(store, qp, binding, query.from.as_ref(), options, &mut next);
+    // ---- Join loop, entirely over id rows in flat arenas.
+    for cp in &ordered {
+        let mut next = RowArena::new(width);
+        // Heuristic: each surviving row extends to at least one row.
+        next.data.reserve(rows.data.len());
+        for i in 0..rows.len() {
+            extend_row(reader, &encoder, cp, rows.row(i), &mut next);
         }
-        solutions = next;
-        if solutions.is_empty() {
+        rows = next;
+        if rows.data.is_empty() {
             break;
         }
     }
 
-    let vars = query.projection();
-    Solutions {
+    Some(Solved {
         vars,
-        bindings: solutions,
-    }
+        encoder,
+        rows,
+    })
 }
 
-fn resolve(pos: &TermOrVar, binding: &Binding) -> Option<Term> {
-    match pos {
-        TermOrVar::Term(t) => Some(t.clone()),
-        TermOrVar::Var(v) => binding.get(v).cloned(),
-    }
-}
-
-fn extend_binding(
-    store: &QuadStore,
-    qp: &QuadPattern,
-    binding: &Binding,
-    from: Option<&Iri>,
-    options: &EvalOptions,
-    out: &mut Vec<Binding>,
+/// Extends one row against one pattern: resolves bound positions, scans the
+/// store, and pushes every consistent extension into `out`.
+fn extend_row(
+    reader: &StoreReader<'_>,
+    encoder: &Encoder,
+    cp: &CompiledPattern,
+    row: &[u32],
+    out: &mut RowArena,
 ) {
-    let s = resolve(&qp.pattern.subject, binding);
-    let p = resolve(&qp.pattern.predicate, binding);
-    let o = resolve(&qp.pattern.object, binding);
-
-    // Predicate constants must be IRIs; a non-IRI binding cannot match.
-    let p_iri = match &p {
-        Some(Term::Iri(iri)) => Some(iri.clone()),
-        Some(_) => return,
-        None => None,
+    let resolve = |pos: Pos| -> Option<u32> {
+        match pos {
+            Pos::Const(id) => Some(id),
+            Pos::Var(slot) if row[slot] != UNBOUND => Some(row[slot]),
+            Pos::Var(_) => None,
+        }
     };
-
-    let graph_pattern = match &qp.graph {
-        GraphSpec::Active => match from {
-            Some(iri) => GraphPattern::Named(iri.clone()),
-            None if options.default_graph_as_union => GraphPattern::Any,
-            None => GraphPattern::Default,
-        },
-        GraphSpec::Named(iri) => GraphPattern::Named(iri.clone()),
-        GraphSpec::Var(v) => match binding.get(v) {
-            Some(Term::Iri(iri)) => GraphPattern::Named(iri.clone()),
-            Some(_) => return,
-            None => GraphPattern::AnyNamed,
-        },
-    };
-
-    for quad in store.match_quads(s.as_ref(), p_iri.as_ref(), o.as_ref(), &graph_pattern) {
-        let mut b = binding.clone();
-        let mut ok = true;
-        if let TermOrVar::Var(v) = &qp.pattern.subject {
-            ok &= bind(&mut b, v, quad.subject.clone());
-        }
-        if let TermOrVar::Var(v) = &qp.pattern.predicate {
-            ok &= bind(&mut b, v, Term::Iri(quad.predicate.clone()));
-        }
-        if let TermOrVar::Var(v) = &qp.pattern.object {
-            ok &= bind(&mut b, v, quad.object.clone());
-        }
-        if let GraphSpec::Var(v) = &qp.graph {
-            if let GraphName::Named(iri) = &quad.graph {
-                ok &= bind(&mut b, v, Term::Iri(iri.clone()));
-            } else {
-                ok = false;
+    let s = resolve(cp.s);
+    let p = resolve(cp.p);
+    let o = resolve(cp.o);
+    let g = match cp.g {
+        GraphSel::Fixed(g) => g,
+        GraphSel::Var(slot) if row[slot] != UNBOUND => {
+            // A bound graph variable scans exactly that named graph; ids
+            // outside the store's range (or non-graph terms) match nothing.
+            match encoder.graph_code_of(row[slot]) {
+                Some(code) => IdGraph::Code(code),
+                None => return,
             }
         }
-        if ok {
-            out.push(b);
-        }
-    }
-}
+        GraphSel::Var(_) => IdGraph::AnyNamed,
+    };
 
-/// Binds `var` to `term`, failing when already bound to a different term.
-fn bind(binding: &mut Binding, var: &Variable, term: Term) -> bool {
-    match binding.get(var) {
-        Some(existing) => existing == &term,
-        None => {
-            binding.set(var.clone(), term);
-            true
+    reader.for_each_match(IdPattern { s, p, o, g }, |[kg, ks, kp, ko]| {
+        let extended = out.push(row);
+        let mut ok = true;
+        let mut bind = |pos: Pos, id: u32, extended: &mut [u32]| match pos {
+            Pos::Const(_) => {}
+            Pos::Var(slot) => {
+                if extended[slot] == UNBOUND {
+                    extended[slot] = id;
+                } else if extended[slot] != id {
+                    // Repeated variable within this pattern disagreeing
+                    // (scan-bound occurrences always agree already).
+                    ok = false;
+                }
+            }
+        };
+        bind(cp.s, ks, extended);
+        bind(cp.p, kp, extended);
+        bind(cp.o, ko, extended);
+        if let GraphSel::Var(slot) = cp.g {
+            // kg > 0 always: AnyNamed / Code(named) scans never yield the
+            // default graph here.
+            debug_assert!(kg > 0);
+            bind(Pos::Var(slot), kg - 1, extended);
         }
-    }
+        if !ok {
+            out.pop();
+        }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{GraphName, Literal};
     use crate::sparql::parser::parse_query;
     use crate::turtle::PrefixMap;
 
@@ -372,5 +615,120 @@ mod tests {
         )
         .unwrap();
         assert!(evaluate(&store(), &q, &EvalOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn values_terms_outside_store_vocabulary_still_project() {
+        // A VALUES row whose term occurs in no quad must survive when no
+        // pattern constrains it (the paper's Code 3 binds projection vars to
+        // attribute IRIs that may be newer than the data).
+        let s = QuadStore::new();
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/a"),
+            Iri::new("http://e/p"),
+            Iri::new("http://e/b"),
+        ));
+        let q = parse_query(
+            "SELECT ?v WHERE { VALUES (?v) { (e:unknown) (e:a) } }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&s, &q, &EvalOptions::default());
+        assert_eq!(sols.len(), 2);
+        assert_eq!(
+            sols.column("v"),
+            vec![Term::iri("http://e/unknown"), Term::iri("http://e/a")]
+        );
+    }
+
+    #[test]
+    fn values_term_outside_vocabulary_joined_against_pattern_is_empty() {
+        let s = QuadStore::new();
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/a"),
+            Iri::new("http://e/p"),
+            Iri::new("http://e/b"),
+        ));
+        let q = parse_query(
+            "SELECT ?o WHERE { VALUES (?s) { (e:unknown) } ?s e:p ?o . }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(
+            &s,
+            &q,
+            &EvalOptions {
+                default_graph_as_union: true,
+            },
+        );
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn from_nonexistent_graph_is_empty() {
+        let q = parse_query(
+            "SELECT ?s FROM <http://e/no-such-graph> WHERE { ?s e:hasFeature ?f . }",
+            &prefixes(),
+        )
+        .unwrap();
+        assert!(evaluate(&store(), &q, &EvalOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn graph_variable_shared_with_object_position_joins_on_term_identity() {
+        // ?g is used both as the graph selector and an object: the same IRI
+        // term must satisfy both occurrences.
+        let s = QuadStore::new();
+        let g1 = GraphName::named(Iri::new("http://e/g1"));
+        let g2 = GraphName::named(Iri::new("http://e/g2"));
+        // g1 contains a triple pointing at g1 (self-describing); g2 points at g1.
+        s.insert_in(&g1, Iri::new("http://e/x"), Iri::new("http://e/inGraph"), Iri::new("http://e/g1"));
+        s.insert_in(&g2, Iri::new("http://e/y"), Iri::new("http://e/inGraph"), Iri::new("http://e/g1"));
+        let q = parse_query(
+            "SELECT ?s ?g WHERE { GRAPH ?g { ?s e:inGraph ?g } }",
+            &prefixes(),
+        )
+        .unwrap();
+        let sols = evaluate(&s, &q, &EvalOptions::default());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.column("s"), vec![Term::iri("http://e/x")]);
+    }
+
+    #[test]
+    fn evaluate_count_agrees_with_evaluate() {
+        let s = store();
+        for q in [
+            "SELECT ?c ?f FROM <http://e/G> WHERE { ?c e:hasFeature ?f . }",
+            "SELECT ?g WHERE { GRAPH ?g { e:Monitor e:hasFeature e:monitorId } }",
+            "SELECT ?x FROM <http://e/G> WHERE { ?x e:nonexistent ?y . }",
+        ] {
+            let q = parse_query(q, &prefixes()).unwrap();
+            let opts = EvalOptions::default();
+            assert_eq!(evaluate_count(&s, &q, &opts), evaluate(&s, &q, &opts).len());
+        }
+    }
+
+    #[test]
+    fn literal_constants_match_exactly() {
+        let s = QuadStore::new();
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/a"),
+            Iri::new("http://e/p"),
+            Literal::integer(42),
+        ));
+        s.insert_triple(&crate::model::Triple::new(
+            Iri::new("http://e/b"),
+            Iri::new("http://e/p"),
+            Literal::string("42"),
+        ));
+        let q = parse_query("SELECT ?s WHERE { ?s e:p 42 . }", &prefixes()).unwrap();
+        let sols = evaluate(
+            &s,
+            &q,
+            &EvalOptions {
+                default_graph_as_union: true,
+            },
+        );
+        assert_eq!(sols.column("s"), vec![Term::iri("http://e/a")]);
     }
 }

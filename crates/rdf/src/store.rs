@@ -18,6 +18,15 @@
 //! The store is internally synchronized with a single `parking_lot::RwLock`
 //! (interner and indexes are always accessed together, so one lock beats
 //! many). All public methods take `&self`.
+//!
+//! # Id-space access
+//!
+//! [`QuadStore::reader`] pins the read lock once and exposes the encoded
+//! view: terms resolve to [`TermId`]s, scans yield `[u32; 4]` keys, and
+//! nothing is decoded until the caller asks. The SPARQL evaluator runs whole
+//! queries against one reader — encode once, match in id space, decode only
+//! the projected bindings. `match_quads` and the `objects`/`subjects`
+//! helpers are thin decoded views over the same primitive.
 
 use crate::interner::{Interner, TermId};
 use crate::model::{GraphName, Iri, Quad, Term, Triple};
@@ -26,7 +35,7 @@ use std::collections::BTreeSet;
 
 /// Encoded graph component: `0` is the default graph, otherwise
 /// `TermId + 1` of the graph IRI.
-type GraphCode = u32;
+pub type GraphCode = u32;
 
 const DEFAULT_GRAPH: GraphCode = 0;
 
@@ -61,6 +70,29 @@ impl From<&GraphName> for GraphPattern {
     }
 }
 
+/// The graph position of an id-space pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdGraph {
+    /// Any graph, default included.
+    #[default]
+    Any,
+    /// Any *named* graph.
+    AnyNamed,
+    /// Exactly this graph code (`0` = default graph).
+    Code(GraphCode),
+}
+
+/// A quad pattern in id space; `None` positions are wildcards. Bound
+/// positions hold raw interner ids — a term that was never interned has no
+/// id and therefore cannot be expressed (it matches nothing anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdPattern {
+    pub s: Option<u32>,
+    pub p: Option<u32>,
+    pub o: Option<u32>,
+    pub g: IdGraph,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     interner: Interner,
@@ -82,20 +114,14 @@ impl Inner {
     fn graph_code(&mut self, graph: &GraphName) -> GraphCode {
         match graph {
             GraphName::Default => DEFAULT_GRAPH,
-            GraphName::Named(iri) => {
-                let id = self.interner.intern(&Term::Iri(iri.clone()));
-                id.index() as u32 + 1
-            }
+            GraphName::Named(iri) => self.interner.intern_iri(iri).raw() + 1,
         }
     }
 
     fn graph_code_existing(&self, graph: &GraphName) -> Option<GraphCode> {
         match graph {
             GraphName::Default => Some(DEFAULT_GRAPH),
-            GraphName::Named(iri) => self
-                .interner
-                .get(&Term::Iri(iri.clone()))
-                .map(|id| id.index() as u32 + 1),
+            GraphName::Named(iri) => self.interner.get_iri(iri).map(|id| id.raw() + 1),
         }
     }
 
@@ -103,11 +129,28 @@ impl Inner {
         if code == DEFAULT_GRAPH {
             GraphName::Default
         } else {
-            match self.interner.resolve(TermId(code - 1)) {
+            match self.interner.resolve(TermId::from_raw(code - 1)) {
                 Term::Iri(iri) => GraphName::Named(iri.clone()),
                 other => unreachable!("graph code resolved to non-IRI term {other}"),
             }
         }
+    }
+
+    fn encode_quad(&mut self, quad: &Quad) -> Key {
+        let g = self.graph_code(&quad.graph);
+        let s = self.interner.intern(&quad.subject).raw();
+        let p = self.interner.intern_iri(&quad.predicate).raw();
+        let o = self.interner.intern(&quad.object).raw();
+        [g, s, p, o]
+    }
+
+    fn encode_quad_existing(&self, quad: &Quad) -> Option<Key> {
+        Some([
+            self.graph_code_existing(&quad.graph)?,
+            self.interner.get(&quad.subject)?.raw(),
+            self.interner.get_iri(&quad.predicate)?.raw(),
+            self.interner.get(&quad.object)?.raw(),
+        ])
     }
 
     fn insert_ids(&mut self, g: u32, s: u32, p: u32, o: u32) -> bool {
@@ -135,17 +178,87 @@ impl Inner {
     }
 
     fn decode(&self, g: u32, s: u32, p: u32, o: u32) -> Quad {
-        let subject = self.interner.resolve(TermId(s)).clone();
-        let predicate = match self.interner.resolve(TermId(p)) {
+        let subject = self.interner.resolve(TermId::from_raw(s)).clone();
+        let predicate = match self.interner.resolve(TermId::from_raw(p)) {
             Term::Iri(iri) => iri.clone(),
             other => unreachable!("predicate resolved to non-IRI term {other}"),
         };
-        let object = self.interner.resolve(TermId(o)).clone();
+        let object = self.interner.resolve(TermId::from_raw(o)).clone();
         Quad {
             subject,
             predicate,
             object,
             graph: self.decode_graph(g),
+        }
+    }
+
+    /// The single match primitive: invokes `f` with each matching key in
+    /// `[g, s, p, o]` order, picking the index whose prefix covers the bound
+    /// positions so every shape is one contiguous range scan.
+    fn for_each_match(&self, pattern: IdPattern, mut f: impl FnMut(Key)) {
+        let IdPattern { s, p, o, g } = pattern;
+        let (g, named_only) = match g {
+            IdGraph::Any => (None, false),
+            IdGraph::AnyNamed => (None, true),
+            IdGraph::Code(code) => (Some(code), false),
+        };
+        let mut push = |g: u32, s: u32, p: u32, o: u32| {
+            if named_only && g == DEFAULT_GRAPH {
+                return;
+            }
+            f([g, s, p, o]);
+        };
+        match (g, s, p, o) {
+            (Some(g), Some(s), Some(p), Some(o)) => {
+                if self.gspo.contains(&[g, s, p, o]) {
+                    push(g, s, p, o);
+                }
+            }
+            (Some(g), Some(s), Some(p), None) => {
+                scan_prefix(&self.gspo, &[g, s, p], |[g, s, p, o]| push(g, s, p, o))
+            }
+            (Some(g), Some(s), None, None) => {
+                scan_prefix(&self.gspo, &[g, s], |[g, s, p, o]| push(g, s, p, o))
+            }
+            (Some(g), Some(s), None, Some(o)) => {
+                scan_prefix(&self.gosp, &[g, o, s], |[g, o, s, p]| push(g, s, p, o))
+            }
+            (Some(g), None, Some(p), Some(o)) => {
+                scan_prefix(&self.gpos, &[g, p, o], |[g, p, o, s]| push(g, s, p, o))
+            }
+            (Some(g), None, Some(p), None) => {
+                scan_prefix(&self.gpos, &[g, p], |[g, p, o, s]| push(g, s, p, o))
+            }
+            (Some(g), None, None, Some(o)) => {
+                scan_prefix(&self.gosp, &[g, o], |[g, o, s, p]| push(g, s, p, o))
+            }
+            (Some(g), None, None, None) => {
+                scan_prefix(&self.gspo, &[g], |[g, s, p, o]| push(g, s, p, o))
+            }
+            (None, Some(s), Some(p), Some(o)) => {
+                scan_prefix(&self.spog, &[s, p, o], |[s, p, o, g]| push(g, s, p, o))
+            }
+            (None, Some(s), Some(p), None) => {
+                scan_prefix(&self.spog, &[s, p], |[s, p, o, g]| push(g, s, p, o))
+            }
+            (None, Some(s), None, None) => {
+                scan_prefix(&self.spog, &[s], |[s, p, o, g]| push(g, s, p, o))
+            }
+            (None, Some(s), None, Some(o)) => {
+                scan_prefix(&self.ospg, &[o, s], |[o, s, p, g]| push(g, s, p, o))
+            }
+            (None, None, Some(p), Some(o)) => {
+                scan_prefix(&self.posg, &[p, o], |[p, o, s, g]| push(g, s, p, o))
+            }
+            (None, None, Some(p), None) => {
+                scan_prefix(&self.posg, &[p], |[p, o, s, g]| push(g, s, p, o))
+            }
+            (None, None, None, Some(o)) => {
+                scan_prefix(&self.ospg, &[o], |[o, s, p, g]| push(g, s, p, o))
+            }
+            (None, None, None, None) => {
+                scan_prefix(&self.spog, &[], |[s, p, o, g]| push(g, s, p, o))
+            }
         }
     }
 }
@@ -162,19 +275,80 @@ fn scan_prefix(index: &BTreeSet<Key>, prefix: &[u32], mut f: impl FnMut(Key)) {
     }
 }
 
+/// A pinned read view of the store: one lock acquisition, id-space access.
+///
+/// Holding a reader blocks writers — scope it to one query.
+pub struct StoreReader<'a> {
+    inner: parking_lot::RwLockReadGuard<'a, Inner>,
+}
+
+impl StoreReader<'_> {
+    /// The id of an interned term, if it occurs in the store's vocabulary.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.inner.interner.get(term)
+    }
+
+    /// The id of `Term::Iri(iri)` without building the wrapper.
+    pub fn iri_id(&self, iri: &Iri) -> Option<TermId> {
+        self.inner.interner.get_iri(iri)
+    }
+
+    /// The graph code of a graph name (`0` = default graph).
+    pub fn graph_code(&self, graph: &GraphName) -> Option<GraphCode> {
+        self.inner.graph_code_existing(graph)
+    }
+
+    /// Decodes a term id.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        self.inner.interner.resolve(id)
+    }
+
+    /// Decodes a graph code.
+    pub fn resolve_graph(&self, code: GraphCode) -> GraphName {
+        self.inner.decode_graph(code)
+    }
+
+    /// Number of distinct interned terms; also the exclusive upper bound of
+    /// the store's id space (ids are dense from 0).
+    pub fn term_count(&self) -> usize {
+        self.inner.interner.len()
+    }
+
+    /// Runs `f` over every key matching the pattern, in `[g, s, p, o]` order.
+    pub fn for_each_match(&self, pattern: IdPattern, f: impl FnMut([u32; 4])) {
+        self.inner.for_each_match(pattern, f)
+    }
+
+    /// Number of keys matching the pattern (no decode).
+    pub fn match_count(&self, pattern: IdPattern) -> usize {
+        let mut n = 0;
+        self.inner.for_each_match(pattern, |_| n += 1);
+        n
+    }
+
+    /// Decodes one matched key back to a quad.
+    pub fn decode(&self, key: [u32; 4]) -> Quad {
+        self.inner.decode(key[0], key[1], key[2], key[3])
+    }
+}
+
 impl QuadStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Pins the read lock and returns the id-space view.
+    pub fn reader(&self) -> StoreReader<'_> {
+        StoreReader {
+            inner: self.inner.read(),
+        }
+    }
+
     /// Inserts a quad; returns `true` if it was not already present.
     pub fn insert(&self, quad: &Quad) -> bool {
         let mut inner = self.inner.write();
-        let g = inner.graph_code(&quad.graph);
-        let s = inner.interner.intern(&quad.subject).index() as u32;
-        let p = inner.interner.intern(&Term::Iri(quad.predicate.clone())).index() as u32;
-        let o = inner.interner.intern(&quad.object).index() as u32;
+        let [g, s, p, o] = inner.encode_quad(quad);
         inner.insert_ids(g, s, p, o)
     }
 
@@ -199,54 +373,69 @@ impl QuadStore {
         })
     }
 
-    /// Inserts every quad of an iterator, returning how many were new.
+    /// Inserts every quad of an iterator under **one** write-lock
+    /// acquisition, returning how many were new.
+    ///
+    /// When the store is empty (bulk load), keys are encoded first and each
+    /// of the six permutation indexes is built from a sorted key vector,
+    /// which is substantially faster than six B-tree inserts per quad.
     pub fn extend<I: IntoIterator<Item = Quad>>(&self, quads: I) -> usize {
         let mut inner = self.inner.write();
-        let mut added = 0;
-        for quad in quads {
-            let g = inner.graph_code(&quad.graph);
-            let s = inner.interner.intern(&quad.subject).index() as u32;
-            let p = inner.interner.intern(&Term::Iri(quad.predicate.clone())).index() as u32;
-            let o = inner.interner.intern(&quad.object).index() as u32;
-            if inner.insert_ids(g, s, p, o) {
-                added += 1;
+        if inner.gspo.is_empty() {
+            // Bulk path: encode everything, then build each index from a
+            // sorted run (BTreeSet bulk-builds efficiently from ordered
+            // input).
+            let mut keys: Vec<Key> = Vec::new();
+            for quad in quads {
+                keys.push(inner.encode_quad(&quad));
             }
+            keys.sort_unstable();
+            keys.dedup();
+            let added = keys.len();
+            let inner = &mut *inner;
+            inner.gspo = keys.iter().copied().collect();
+            type Rebuild<'a> = (&'a mut BTreeSet<Key>, fn(Key) -> Key);
+            let rebuilds: [Rebuild<'_>; 5] = [
+                (&mut inner.gpos, |[g, s, p, o]| [g, p, o, s]),
+                (&mut inner.gosp, |[g, s, p, o]| [g, o, s, p]),
+                (&mut inner.spog, |[g, s, p, o]| [s, p, o, g]),
+                (&mut inner.posg, |[g, s, p, o]| [p, o, s, g]),
+                (&mut inner.ospg, |[g, s, p, o]| [o, s, p, g]),
+            ];
+            for (dest, perm) in rebuilds {
+                let mut permuted: Vec<Key> = keys.iter().map(|&k| perm(k)).collect();
+                permuted.sort_unstable();
+                *dest = permuted.into_iter().collect();
+            }
+            added
+        } else {
+            let mut added = 0;
+            for quad in quads {
+                let [g, s, p, o] = inner.encode_quad(&quad);
+                if inner.insert_ids(g, s, p, o) {
+                    added += 1;
+                }
+            }
+            added
         }
-        added
     }
 
     /// Removes a quad; returns `true` if it was present.
     pub fn remove(&self, quad: &Quad) -> bool {
         let mut inner = self.inner.write();
-        let Some(g) = inner.graph_code_existing(&quad.graph) else {
+        let Some([g, s, p, o]) = inner.encode_quad_existing(quad) else {
             return false;
         };
-        let Some(s) = inner.interner.get(&quad.subject) else {
-            return false;
-        };
-        let Some(p) = inner.interner.get(&Term::Iri(quad.predicate.clone())) else {
-            return false;
-        };
-        let Some(o) = inner.interner.get(&quad.object) else {
-            return false;
-        };
-        inner.remove_ids(g, s.index() as u32, p.index() as u32, o.index() as u32)
+        inner.remove_ids(g, s, p, o)
     }
 
     /// True when the exact quad is present.
     pub fn contains(&self, quad: &Quad) -> bool {
         let inner = self.inner.read();
-        let (Some(g), Some(s), Some(p), Some(o)) = (
-            inner.graph_code_existing(&quad.graph),
-            inner.interner.get(&quad.subject),
-            inner.interner.get(&Term::Iri(quad.predicate.clone())),
-            inner.interner.get(&quad.object),
-        ) else {
-            return false;
-        };
-        inner
-            .gspo
-            .contains(&[g, s.index() as u32, p.index() as u32, o.index() as u32])
+        match inner.encode_quad_existing(quad) {
+            Some(key) => inner.gspo.contains(&key),
+            None => false,
+        }
     }
 
     /// Total number of quads, across all graphs.
@@ -293,10 +482,44 @@ impl QuadStore {
         graphs
     }
 
+    /// Encodes a term-space pattern to id space; `None` when a bound term
+    /// was never interned (in which case nothing can match).
+    fn encode_pattern(
+        inner: &Inner,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+        graph: &GraphPattern,
+    ) -> Option<IdPattern> {
+        let s = match subject {
+            Some(t) => Some(inner.interner.get(t)?.raw()),
+            None => None,
+        };
+        let p = match predicate {
+            Some(iri) => Some(inner.interner.get_iri(iri)?.raw()),
+            None => None,
+        };
+        let o = match object {
+            Some(t) => Some(inner.interner.get(t)?.raw()),
+            None => None,
+        };
+        Self::encode_graph_only(
+            inner,
+            IdPattern {
+                s,
+                p,
+                o,
+                g: IdGraph::Any,
+            },
+            graph,
+        )
+    }
+
     /// Matches quads against a pattern; `None` positions are wildcards.
     ///
-    /// This is the store's single query primitive: the SPARQL evaluator, the
-    /// RDFS materializer and all of the paper's Algorithms are built on it.
+    /// This is the decoded view over the store's single query primitive; the
+    /// SPARQL evaluator uses the id-space form ([`QuadStore::reader`])
+    /// directly and never materializes `Quad`s for intermediate results.
     pub fn match_quads(
         &self,
         subject: Option<&Term>,
@@ -305,100 +528,13 @@ impl QuadStore {
         graph: &GraphPattern,
     ) -> Vec<Quad> {
         let inner = self.inner.read();
-
-        // Resolve bound positions to ids; a bound term that was never interned
-        // cannot match anything.
-        let s = match subject {
-            Some(t) => match inner.interner.get(t) {
-                Some(id) => Some(id.index() as u32),
-                None => return Vec::new(),
-            },
-            None => None,
+        let Some(pattern) = Self::encode_pattern(&inner, subject, predicate, object, graph) else {
+            return Vec::new();
         };
-        let p = match predicate {
-            Some(iri) => match inner.interner.get(&Term::Iri(iri.clone())) {
-                Some(id) => Some(id.index() as u32),
-                None => return Vec::new(),
-            },
-            None => None,
-        };
-        let o = match object {
-            Some(t) => match inner.interner.get(t) {
-                Some(id) => Some(id.index() as u32),
-                None => return Vec::new(),
-            },
-            None => None,
-        };
-        let g = match graph {
-            GraphPattern::Any | GraphPattern::AnyNamed => None,
-            GraphPattern::Default => Some(DEFAULT_GRAPH),
-            GraphPattern::Named(iri) => match inner.graph_code_existing(&GraphName::Named(iri.clone())) {
-                Some(code) => Some(code),
-                None => return Vec::new(),
-            },
-        };
-        let named_only = matches!(graph, GraphPattern::AnyNamed);
-
         let mut out = Vec::new();
-        let mut push = |inner: &Inner, g: u32, s: u32, p: u32, o: u32| {
-            if named_only && g == DEFAULT_GRAPH {
-                return;
-            }
+        inner.for_each_match(pattern, |[g, s, p, o]| {
             out.push(inner.decode(g, s, p, o));
-        };
-
-        match (g, s, p, o) {
-            (Some(g), Some(s), Some(p), Some(o)) => {
-                if inner.gspo.contains(&[g, s, p, o]) {
-                    push(&inner, g, s, p, o);
-                }
-            }
-            (Some(g), Some(s), Some(p), None) => {
-                scan_prefix(&inner.gspo, &[g, s, p], |[g, s, p, o]| push(&inner, g, s, p, o))
-            }
-            (Some(g), Some(s), None, None) => {
-                scan_prefix(&inner.gspo, &[g, s], |[g, s, p, o]| push(&inner, g, s, p, o))
-            }
-            (Some(g), Some(s), None, Some(o)) => {
-                scan_prefix(&inner.gosp, &[g, o, s], |[g, o, s, p]| push(&inner, g, s, p, o))
-            }
-            (Some(g), None, Some(p), Some(o)) => {
-                scan_prefix(&inner.gpos, &[g, p, o], |[g, p, o, s]| push(&inner, g, s, p, o))
-            }
-            (Some(g), None, Some(p), None) => {
-                scan_prefix(&inner.gpos, &[g, p], |[g, p, o, s]| push(&inner, g, s, p, o))
-            }
-            (Some(g), None, None, Some(o)) => {
-                scan_prefix(&inner.gosp, &[g, o], |[g, o, s, p]| push(&inner, g, s, p, o))
-            }
-            (Some(g), None, None, None) => {
-                scan_prefix(&inner.gspo, &[g], |[g, s, p, o]| push(&inner, g, s, p, o))
-            }
-            (None, Some(s), Some(p), Some(o)) => {
-                scan_prefix(&inner.spog, &[s, p, o], |[s, p, o, g]| push(&inner, g, s, p, o))
-            }
-            (None, Some(s), Some(p), None) => {
-                scan_prefix(&inner.spog, &[s, p], |[s, p, o, g]| push(&inner, g, s, p, o))
-            }
-            (None, Some(s), None, None) => {
-                scan_prefix(&inner.spog, &[s], |[s, p, o, g]| push(&inner, g, s, p, o))
-            }
-            (None, Some(s), None, Some(o)) => {
-                scan_prefix(&inner.ospg, &[o, s], |[o, s, p, g]| push(&inner, g, s, p, o))
-            }
-            (None, None, Some(p), Some(o)) => {
-                scan_prefix(&inner.posg, &[p, o], |[p, o, s, g]| push(&inner, g, s, p, o))
-            }
-            (None, None, Some(p), None) => {
-                scan_prefix(&inner.posg, &[p], |[p, o, s, g]| push(&inner, g, s, p, o))
-            }
-            (None, None, None, Some(o)) => {
-                scan_prefix(&inner.ospg, &[o], |[o, s, p, g]| push(&inner, g, s, p, o))
-            }
-            (None, None, None, None) => {
-                scan_prefix(&inner.spog, &[], |[s, p, o, g]| push(&inner, g, s, p, o))
-            }
-        }
+        });
         out
     }
 
@@ -413,40 +549,125 @@ impl QuadStore {
     }
 
     /// Convenience: the objects of `(subject, predicate, ?o)` in a graph.
+    /// Decodes only the object column.
     pub fn objects(&self, subject: &Term, predicate: &Iri, graph: &GraphPattern) -> Vec<Term> {
-        self.match_quads(Some(subject), Some(predicate), None, graph)
-            .into_iter()
-            .map(|q| q.object)
-            .collect()
+        let inner = self.inner.read();
+        let Some(pattern) =
+            Self::encode_pattern(&inner, Some(subject), Some(predicate), None, graph)
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        inner.for_each_match(pattern, |[_, _, _, o]| {
+            out.push(inner.interner.resolve(TermId::from_raw(o)).clone());
+        });
+        out
     }
 
     /// Convenience: the subjects of `(?s, predicate, object)` in a graph.
+    /// Decodes only the subject column.
     pub fn subjects(&self, predicate: &Iri, object: &Term, graph: &GraphPattern) -> Vec<Term> {
-        self.match_quads(None, Some(predicate), Some(object), graph)
-            .into_iter()
-            .map(|q| q.subject)
-            .collect()
+        let inner = self.inner.read();
+        let Some(pattern) =
+            Self::encode_pattern(&inner, None, Some(predicate), Some(object), graph)
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        inner.for_each_match(pattern, |[_, s, _, _]| {
+            out.push(inner.interner.resolve(TermId::from_raw(s)).clone());
+        });
+        out
+    }
+
+    /// Like [`QuadStore::objects`] but for IRI subjects and IRI objects:
+    /// skips non-IRI hits and never materializes a `Term` wrapper for the
+    /// lookup. The fast path for the ontology layer's `G`/`S`/`M` walks.
+    pub fn iri_objects(&self, subject: &Iri, predicate: &Iri, graph: &GraphPattern) -> Vec<Iri> {
+        let inner = self.inner.read();
+        let (Some(s), Some(p)) = (inner.interner.get_iri(subject), inner.interner.get_iri(predicate))
+        else {
+            return Vec::new();
+        };
+        let Some(pattern) = Self::encode_graph_only(
+            &inner,
+            IdPattern {
+                s: Some(s.raw()),
+                p: Some(p.raw()),
+                o: None,
+                g: IdGraph::Any,
+            },
+            graph,
+        ) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        inner.for_each_match(pattern, |[_, _, _, o]| {
+            if let Term::Iri(iri) = inner.interner.resolve(TermId::from_raw(o)) {
+                out.push(iri.clone());
+            }
+        });
+        out
+    }
+
+    /// Like [`QuadStore::subjects`] but for IRI objects and IRI subjects —
+    /// see [`QuadStore::iri_objects`].
+    pub fn iri_subjects(&self, predicate: &Iri, object: &Iri, graph: &GraphPattern) -> Vec<Iri> {
+        let inner = self.inner.read();
+        let (Some(p), Some(o)) = (inner.interner.get_iri(predicate), inner.interner.get_iri(object))
+        else {
+            return Vec::new();
+        };
+        let Some(pattern) = Self::encode_graph_only(
+            &inner,
+            IdPattern {
+                s: None,
+                p: Some(p.raw()),
+                o: Some(o.raw()),
+                g: IdGraph::Any,
+            },
+            graph,
+        ) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        inner.for_each_match(pattern, |[_, s, _, _]| {
+            if let Term::Iri(iri) = inner.interner.resolve(TermId::from_raw(s)) {
+                out.push(iri.clone());
+            }
+        });
+        out
+    }
+
+    /// Fills in the graph position of an otherwise-encoded pattern.
+    fn encode_graph_only(
+        inner: &Inner,
+        mut pattern: IdPattern,
+        graph: &GraphPattern,
+    ) -> Option<IdPattern> {
+        pattern.g = match graph {
+            GraphPattern::Any => IdGraph::Any,
+            GraphPattern::AnyNamed => IdGraph::AnyNamed,
+            GraphPattern::Default => IdGraph::Code(DEFAULT_GRAPH),
+            GraphPattern::Named(iri) => {
+                IdGraph::Code(inner.interner.get_iri(iri).map(|id| id.raw() + 1)?)
+            }
+        };
+        Some(pattern)
     }
 
     /// Removes every quad of a named graph, returning how many were removed.
     pub fn clear_graph(&self, graph: &GraphName) -> usize {
-        let quads = self.graph_quads(graph);
         let mut inner = self.inner.write();
-        let mut removed = 0;
-        for quad in &quads {
-            let (Some(g), Some(s), Some(p), Some(o)) = (
-                inner.graph_code_existing(&quad.graph),
-                inner.interner.get(&quad.subject),
-                inner.interner.get(&Term::Iri(quad.predicate.clone())),
-                inner.interner.get(&quad.object),
-            ) else {
-                continue;
-            };
-            if inner.remove_ids(g, s.index() as u32, p.index() as u32, o.index() as u32) {
-                removed += 1;
-            }
+        let Some(g) = inner.graph_code_existing(graph) else {
+            return 0;
+        };
+        let mut keys = Vec::new();
+        scan_prefix(&inner.gspo, &[g], |key| keys.push(key));
+        for &[g, s, p, o] in &keys {
+            inner.remove_ids(g, s, p, o);
         }
-        removed
+        keys.len()
     }
 
     /// Number of distinct interned terms (diagnostics / bench reporting).
@@ -641,5 +862,99 @@ mod tests {
         assert_eq!(objs.len(), 2);
         let subs = store.subjects(&iri("http://e/p"), &Term::iri("http://e/o1"), &GraphPattern::Any);
         assert_eq!(subs, vec![Term::iri("http://e/s")]);
+    }
+
+    #[test]
+    fn bulk_extend_matches_incremental_inserts() {
+        let quads: Vec<Quad> = (0..500)
+            .map(|i| {
+                Quad::new(
+                    iri(&format!("http://e/s/{}", i % 50)),
+                    iri(&format!("http://e/p/{}", i % 7)),
+                    iri(&format!("http://e/o/{}", i % 31)),
+                    if i % 3 == 0 {
+                        GraphName::Default
+                    } else {
+                        GraphName::named(iri(&format!("http://e/g/{}", i % 4)))
+                    },
+                )
+            })
+            .collect();
+        // Bulk (empty-store) path.
+        let bulk = QuadStore::new();
+        let added_bulk = bulk.extend(quads.iter().cloned());
+        // Incremental path.
+        let incr = QuadStore::new();
+        let mut added_incr = 0;
+        for q in &quads {
+            if incr.insert(q) {
+                added_incr += 1;
+            }
+        }
+        assert_eq!(added_bulk, added_incr);
+        assert_eq!(bulk.len(), incr.len());
+        let mut a = bulk.iter_all();
+        let mut b = incr.iter_all();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Every index permutation answers consistently after bulk build.
+        for q in &quads {
+            assert!(bulk.contains(q));
+            assert!(!bulk
+                .match_quads(Some(&q.subject), Some(&q.predicate), None, &GraphPattern::from(&q.graph))
+                .is_empty());
+            assert!(!bulk
+                .match_quads(None, Some(&q.predicate), Some(&q.object), &GraphPattern::Any)
+                .is_empty());
+            assert!(!bulk
+                .match_quads(Some(&q.subject), None, Some(&q.object), &GraphPattern::Any)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn extend_on_nonempty_store_still_counts_fresh_quads() {
+        let store = QuadStore::new();
+        store.insert(&quad("http://e/a", "http://e/p", "http://e/b"));
+        let added = store.extend(vec![
+            quad("http://e/a", "http://e/p", "http://e/b"), // duplicate
+            quad("http://e/c", "http://e/p", "http://e/d"),
+        ]);
+        assert_eq!(added, 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn reader_exposes_consistent_id_space() {
+        let store = QuadStore::new();
+        let g = GraphName::named(iri("http://e/g"));
+        store.insert(&Quad::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o"), g.clone()));
+        store.insert(&quad("http://e/s", "http://e/p", "http://e/o2"));
+
+        let reader = store.reader();
+        let s = reader.term_id(&Term::iri("http://e/s")).unwrap();
+        let p = reader.iri_id(&iri("http://e/p")).unwrap();
+        assert_eq!(reader.resolve(s), &Term::iri("http://e/s"));
+
+        // s+p across all graphs: both quads.
+        let pattern = IdPattern {
+            s: Some(s.raw()),
+            p: Some(p.raw()),
+            o: None,
+            g: IdGraph::Any,
+        };
+        assert_eq!(reader.match_count(pattern), 2);
+
+        // Named-graphs-only view excludes the default graph quad.
+        let pattern = IdPattern {
+            g: IdGraph::AnyNamed,
+            ..pattern
+        };
+        let mut decoded = Vec::new();
+        reader.for_each_match(pattern, |key| decoded.push(reader.decode(key)));
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].graph, g);
+        assert_eq!(reader.resolve_graph(reader.graph_code(&g).unwrap()), g);
     }
 }

@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Wall-clock measurement only: each benchmark warms up briefly, then runs
+//! timed batches until ~300 ms have elapsed, reporting the mean ns/iter and
+//! the fastest batch. No statistics, plots or baselines. When the
+//! `CRITERION_JSON` environment variable names a file, results are appended
+//! to it as JSON lines (`{"id": …, "ns_per_iter": …}`) so harnesses can
+//! collect machine-readable numbers.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const TARGET: Duration = Duration::from_millis(300);
+const MAX_ITERS_PER_BATCH: u64 = 1 << 20;
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub ns_per_iter: f64,
+    pub iters: u64,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+pub struct Bencher {
+    /// Total time across measured iterations.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Runs the routine repeatedly, timing whole batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP && warm_iters < MAX_ITERS_PER_BATCH {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+
+        let batch = (TARGET.as_nanos() as u64 / 10 / est.max(1)).clamp(1, MAX_ITERS_PER_BATCH);
+        let run_start = Instant::now();
+        while run_start.elapsed() < TARGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times only the routine, re-running setup outside the clock.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        // One warmup pass.
+        black_box(routine(setup()));
+        let run_start = Instant::now();
+        while run_start.elapsed() < TARGET && self.iters < MAX_ITERS_PER_BATCH {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// `iter_batched` with per-iteration setup; batch size hints ignored.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Criterion {
+    fn record(&mut self, id: String, b: Bencher) {
+        let ns = if b.iters == 0 {
+            f64::NAN
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("bench: {id:<50} {:>14.1} ns/iter  ({} iters)", ns, b.iters);
+        let m = Measurement {
+            id,
+            ns_per_iter: ns,
+            iters: b.iters,
+        };
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                    m.id.replace('"', "'"),
+                    m.ns_per_iter,
+                    m.iters
+                );
+            }
+        }
+        self.results.push(m);
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.record(id.to_string(), b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.criterion.record(format!("{}/{}", self.name, id.0), b);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        self.criterion.record(format!("{}/{}", self.name, id.0), b);
+    }
+
+    /// Throughput annotations are accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        Self(value.to_string())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! `crossbeam::scope` is implemented on top of `std::thread::scope`. The only
+//! semantic difference handled here: crossbeam returns `Err` when a child
+//! thread panics (std re-panics instead), so the std panic is caught and
+//! converted back into the `Result` the callers expect.
+
+use std::panic::AssertUnwindSafe;
+
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}

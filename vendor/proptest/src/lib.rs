@@ -1,0 +1,296 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Deterministic, shrink-free property testing: every `proptest!` test runs
+//! `cases` iterations with a SplitMix64 RNG seeded from the test's name, so
+//! failures reproduce across runs. Supported surface (what this workspace
+//! uses): numeric range strategies, `Just`, `any::<T>()`, tuple strategies,
+//! `prop_map`, `prop_oneof!`, `prop::collection::vec`, `prop::option::of`,
+//! regex-lite string strategies (`"[a-z]{1,8}"`), `prop_assert*` and
+//! `ProptestConfig::with_cases`. No shrinking: the failing case's values are
+//! reported via `Debug` instead.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// RNG used by strategies: SplitMix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5DEE_CE66_D1CE_B00C,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A failed property (from `prop_assert!`); carries the message only.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// FNV-1a over the test name: the deterministic per-test seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Sizes accepted by `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+/// The `prop::` namespace mirror.
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use crate::SizeRange;
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// `any::<T>()` for types with a canonical strategy.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::BoolAny;
+    fn arbitrary() -> Self::Strategy {
+        strategy::BoolAny
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Range<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN >> 1..<$t>::MAX >> 1
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// The prelude glob-imported by tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(…)]` followed by
+/// `#[test] fn name(param in strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        #[test]
+        fn $name:ident($($param:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::TestRng::seeded(seed);
+            for case in 0..config.cases {
+                $(let $param = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = [
+                    $(format!("  {} = {:?}", stringify!($param), &$param)),+
+                ].join("\n");
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Re-exports the shared [`Value`]/[`Map`]/[`Number`] tree from the `serde`
+//! shim and adds the text layer: [`from_str`], [`to_string`],
+//! [`to_string_pretty`] and the [`json!`] macro. The parser is a plain
+//! recursive-descent JSON reader (strings with `\uXXXX` escapes, `i64`
+//! integers, doubles, nesting depth capped to avoid stack overflow on
+//! hostile input).
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+mod read;
+mod write;
+
+pub use read::from_str_value;
+
+/// Error type for parsing and conversion failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = read::from_str_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any `Serialize` type into a `Value` tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuilds a `Deserialize` type from a `Value` tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.to_value()))
+}
+
+/// Serializes to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.to_value()))
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supports `null`/`true`/`false`, scalars and arbitrary Rust expressions at
+/// value positions (single-token or parenthesized), nested arrays and
+/// objects, and trailing commas. Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {
+        $crate::json_array_internal!([] $($tt)*)
+    };
+    ({ $($tt:tt)* }) => {
+        $crate::json_object_internal!([] $($tt)*)
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// Accumulator-style munchers: elements collect into the bracketed
+// accumulator and materialize in one expression at the end (no
+// init-then-push, which both reads better and keeps clippy quiet at the
+// expansion site).
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ([$($acc:expr),*]) => {
+        $crate::Value::Array(::std::vec![$($acc),*])
+    };
+    ([$($acc:expr),*] , $($rest:tt)*) => {
+        $crate::json_array_internal!([$($acc),*] $($rest)*)
+    };
+    ([$($acc:expr),*] - $val:tt $($rest:tt)*) => {
+        $crate::json_array_internal!([$($acc,)* $crate::Value::from(- $val)] $($rest)*)
+    };
+    ([$($acc:expr),*] $val:tt $($rest:tt)*) => {
+        $crate::json_array_internal!([$($acc,)* $crate::json!($val)] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ([$($acc:expr),*]) => {
+        $crate::Value::Object(::std::iter::Iterator::collect(
+            ::std::iter::IntoIterator::into_iter([$($acc),*])
+        ))
+    };
+    ([$($acc:expr),*] , $($rest:tt)*) => {
+        $crate::json_object_internal!([$($acc),*] $($rest)*)
+    };
+    ([$($acc:expr),*] $key:literal : - $val:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            [$($acc,)* ($key.to_string(), $crate::Value::from(- $val))] $($rest)*
+        )
+    };
+    ([$($acc:expr),*] $key:literal : $val:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            [$($acc,)* ($key.to_string(), $crate::json!($val))] $($rest)*
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3), Value::Number(Number::Int(3)));
+        assert_eq!(json!(-3), Value::Number(Number::Int(-3)));
+        let v = json!({"a": 1, "b": [1, 2.5, "x"], "c": {"d": true}});
+        assert_eq!(v["a"], json!(1));
+        assert_eq!(v["b"][1], json!(2.5));
+        assert_eq!(v["c"]["d"], json!(true));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({"s": "a\"b\\c\nd", "n": [1, -2, 3.5], "z": null, "t": true});
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é\t""#).unwrap();
+        assert_eq!(v, json!("é\t"));
+    }
+}

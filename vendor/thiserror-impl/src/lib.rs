@@ -1,0 +1,689 @@
+//! Offline derive macros covering the subsets of `thiserror` and
+//! `serde_derive` this workspace uses.
+//!
+//! Written directly against `proc_macro::TokenTree` (no `syn`/`quote`
+//! available offline). Supported input shapes:
+//!
+//! - `#[derive(Error)]` on enums whose variants carry `#[error("…")]`,
+//!   `#[error(transparent)]` and `#[from]` attributes. Generates `Display`,
+//!   `std::error::Error` and `From` impls. Format strings may reference
+//!   positional tuple fields (`{0}`, `{0:?}`) and named struct fields
+//!   (`{name}` via inline capture).
+//! - `#[derive(Serialize)]` / `#[derive(Deserialize)]` on named-field structs
+//!   and enums (unit, tuple and struct variants). Container attribute
+//!   `#[serde(tag = "…", rename_all = "snake_case")]` selects internal
+//!   tagging; the default is serde's external tagging.
+//!
+//! Generics are not supported — every derived type in this repo is concrete.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Attr {
+    /// The attribute path ident (`error`, `serde`, `from`, `doc`, …).
+    name: String,
+    /// Tokens inside the outer bracket, after the path ident.
+    rest: Vec<TokenTree>,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    /// Tuple fields: for each, its attributes and raw type tokens.
+    Tuple(Vec<(Vec<Attr>, String)>),
+    /// Struct fields: attributes, name, raw type tokens.
+    Struct(Vec<(Vec<Attr>, String, String)>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    attrs: Vec<Attr>,
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+        attrs: Vec<Attr>,
+    },
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Collects leading `#[…]` attributes from a token cursor position.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<Attr> {
+    let mut attrs = Vec::new();
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let name = match inner.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => String::new(),
+        };
+        attrs.push(Attr {
+            name,
+            rest: inner[1.min(inner.len())..].to_vec(),
+        });
+        *pos += 2;
+    }
+    attrs
+}
+
+/// Splits a token list on top-level commas. Angle brackets are plain puncts
+/// (not groups), so generic arguments like `BTreeMap<String, Vec<T>>` must be
+/// depth-tracked to keep their inner commas intact.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_fields(group: &proc_macro::Group) -> Fields {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let parts = split_commas(&tokens);
+    match group.delimiter() {
+        Delimiter::Parenthesis => {
+            let mut fields = Vec::new();
+            for part in parts {
+                let mut pos = 0;
+                let attrs = take_attrs(&part, &mut pos);
+                fields.push((attrs, tokens_to_string(&part[pos..])));
+            }
+            Fields::Tuple(fields)
+        }
+        Delimiter::Brace => {
+            let mut fields = Vec::new();
+            for part in parts {
+                let mut pos = 0;
+                let attrs = take_attrs(&part, &mut pos);
+                // Skip a `pub` visibility modifier if present.
+                if let Some(TokenTree::Ident(id)) = part.get(pos) {
+                    if id.to_string() == "pub" {
+                        pos += 1;
+                    }
+                }
+                let name = match part.get(pos) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("expected field name, got {other:?}"),
+                };
+                // pos+1 is the `:` punct.
+                fields.push((attrs, name, tokens_to_string(&part[pos + 2..])));
+            }
+            Fields::Struct(fields)
+        }
+        other => panic!("unexpected field delimiter {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let attrs = take_attrs(&tokens, &mut pos);
+    // Skip visibility (`pub`, `pub(crate)`, …).
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    pos += 1;
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for part in split_commas(&body) {
+                    let mut vpos = 0;
+                    let vattrs = take_attrs(&part, &mut vpos);
+                    let vname = match part.get(vpos) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("expected variant name, got {other:?}"),
+                    };
+                    vpos += 1;
+                    let fields = match part.get(vpos) {
+                        Some(TokenTree::Group(fg)) => parse_fields(fg),
+                        None => Fields::Unit,
+                        other => panic!("unexpected token after variant: {other:?}"),
+                    };
+                    variants.push(Variant {
+                        attrs: vattrs,
+                        name: vname,
+                        fields,
+                    });
+                }
+                Input::Enum {
+                    name,
+                    variants,
+                    attrs,
+                }
+            } else {
+                let _ = attrs;
+                Input::Struct {
+                    name,
+                    fields: parse_fields(g),
+                }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive-shim does not support generic types ({name})")
+        }
+        other => panic!("expected type body, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// #[derive(Error)]  (thiserror subset)
+// ---------------------------------------------------------------------------
+
+/// Extracts the `#[error(…)]` payload: `Some(None)` for `transparent`,
+/// `Some(Some(raw_literal))` for a format string.
+fn error_attr(attrs: &[Attr]) -> Option<Option<String>> {
+    for a in attrs {
+        if a.name == "error" {
+            if let Some(TokenTree::Group(g)) = a.rest.first() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                match inner.first() {
+                    Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+                        return Some(None)
+                    }
+                    Some(TokenTree::Literal(lit)) => return Some(Some(lit.to_string())),
+                    other => panic!("unsupported #[error] payload: {other:?}"),
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Rewrites positional refs in a raw (still-escaped, quoted) format literal:
+/// `{0}` → `{f0}`, `{1:?}` → `{f1:?}`. Leaves `{{`, `{name}` untouched.
+fn rewrite_positional(raw: &str) -> String {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len() + 8);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if i + 1 < chars.len() && chars[i + 1] == '{' {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // Peek for digits terminated by `}` or `:`.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && j < chars.len() && (chars[j] == '}' || chars[j] == ':') {
+                out.push('{');
+                out.push('f');
+                for &d in &chars[i + 1..j] {
+                    out.push(d);
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let Input::Enum {
+        name,
+        variants,
+        attrs: _,
+    } = parsed
+    else {
+        panic!("derive(Error) shim supports enums only");
+    };
+
+    let mut display_arms = String::new();
+    let mut from_impls = String::new();
+
+    for v in &variants {
+        let vname = &v.name;
+        let err = error_attr(&v.attrs)
+            .unwrap_or_else(|| panic!("variant {vname} is missing #[error(…)]"));
+        match (&v.fields, err) {
+            (Fields::Unit, Some(fmt)) => {
+                display_arms.push_str(&format!(
+                    "{name}::{vname} => ::std::write!(f, {fmt}),\n"
+                ));
+            }
+            (Fields::Unit, None) => panic!("#[error(transparent)] needs a field ({vname})"),
+            (Fields::Tuple(fields), spec) => {
+                let binders: Vec<String> = (0..fields.len()).map(|i| format!("f{i}")).collect();
+                let pat = binders.join(", ");
+                match spec {
+                    None => {
+                        assert!(
+                            fields.len() == 1,
+                            "#[error(transparent)] needs exactly one field ({vname})"
+                        );
+                        display_arms.push_str(&format!(
+                            "{name}::{vname}(f0) => ::std::fmt::Display::fmt(f0, f),\n"
+                        ));
+                    }
+                    Some(fmt) => {
+                        let fmt = rewrite_positional(&fmt);
+                        display_arms.push_str(&format!(
+                            "#[allow(unused_variables)] {name}::{vname}({pat}) => ::std::write!(f, {fmt}),\n"
+                        ));
+                    }
+                }
+                if fields.len() == 1 && fields[0].0.iter().any(|a| a.name == "from") {
+                    let ty = &fields[0].1;
+                    from_impls.push_str(&format!(
+                        "impl ::std::convert::From<{ty}> for {name} {{\n\
+                         fn from(source: {ty}) -> Self {{ {name}::{vname}(source) }}\n\
+                         }}\n"
+                    ));
+                }
+            }
+            (Fields::Struct(fields), Some(fmt)) => {
+                let pat = fields
+                    .iter()
+                    .map(|(_, n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                display_arms.push_str(&format!(
+                    "#[allow(unused_variables)] {name}::{vname} {{ {pat} }} => ::std::write!(f, {fmt}),\n"
+                ));
+            }
+            (Fields::Struct(_), None) => {
+                panic!("#[error(transparent)] on struct variants unsupported ({vname})")
+            }
+        }
+    }
+
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n{display_arms}}}\n}}\n}}\n\
+         #[automatically_derived]\n\
+         impl ::std::error::Error for {name} {{}}\n\
+         {from_impls}"
+    );
+    code.parse().expect("derive(Error) generated invalid code")
+}
+
+// ---------------------------------------------------------------------------
+// #[derive(Serialize)] / #[derive(Deserialize)]  (serde subset)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+fn serde_container_attrs(attrs: &[Attr]) -> SerdeContainerAttrs {
+    let mut out = SerdeContainerAttrs::default();
+    for a in attrs {
+        if a.name != "serde" {
+            continue;
+        }
+        let Some(TokenTree::Group(g)) = a.rest.first() else {
+            continue;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        for item in split_commas(&inner) {
+            let key = match item.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => continue,
+            };
+            let value = item.iter().find_map(|t| match t {
+                TokenTree::Literal(l) => {
+                    let s = l.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => None,
+            });
+            match (key.as_str(), value) {
+                ("tag", Some(v)) => out.tag = Some(v),
+                ("rename_all", Some(v)) => {
+                    assert!(
+                        v == "snake_case",
+                        "serde shim supports rename_all = \"snake_case\" only"
+                    );
+                    out.rename_all_snake = true;
+                }
+                (k, _) => panic!("unsupported #[serde({k} …)] attribute"),
+            }
+        }
+    }
+    out
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_wire_name(v: &Variant, c: &SerdeContainerAttrs) -> String {
+    if c.rename_all_snake {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct {
+            name,
+            fields: Fields::Struct(fields),
+            ..
+        } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for (_, fname, _) in fields {
+                body.push_str(&format!(
+                    "m.insert(\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Input::Struct { name, .. } => panic!("derive(Serialize) shim: {name} must have named fields"),
+        Input::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let c = serde_container_attrs(attrs);
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = variant_wire_name(v, &c);
+                match (&v.fields, &c.tag) {
+                    (Fields::Unit, None) => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{wire}\".to_string()),\n"
+                    )),
+                    (Fields::Tuple(fields), None) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{wire}\".to_string(), ::serde::Serialize::to_value(f0));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    )),
+                    (Fields::Tuple(fields), None) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let pushes: String = binders
+                            .iter()
+                            .map(|b| format!("items.push(::serde::Serialize::to_value({b}));\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => {{\n\
+                             let mut items = ::std::vec::Vec::new();\n{pushes}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{wire}\".to_string(), ::serde::Value::Array(items));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                    (Fields::Struct(fields), tag) => {
+                        let pat = fields
+                            .iter()
+                            .map(|(_, n, _)| n.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inserts: String = fields
+                            .iter()
+                            .map(|(_, n, _)| {
+                                format!(
+                                    "m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({n}));\n"
+                                )
+                            })
+                            .collect();
+                        match tag {
+                            Some(tag) => arms.push_str(&format!(
+                                "{name}::{vname} {{ {pat} }} => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()));\n\
+                                 {inserts}\
+                                 ::serde::Value::Object(m)\n}}\n"
+                            )),
+                            None => arms.push_str(&format!(
+                                "{name}::{vname} {{ {pat} }} => {{\n\
+                                 let mut m = ::serde::Map::new();\n{inserts}\
+                                 let mut outer = ::serde::Map::new();\n\
+                                 outer.insert(\"{wire}\".to_string(), ::serde::Value::Object(m));\n\
+                                 ::serde::Value::Object(outer)\n}}\n"
+                            )),
+                        }
+                    }
+                    (shape, Some(_)) => panic!(
+                        "internally tagged serde shim supports struct variants only, got {shape:?}"
+                    ),
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    };
+    code.parse().expect("derive(Serialize) generated invalid code")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct {
+            name,
+            fields: Fields::Struct(fields),
+            ..
+        } => {
+            let inits: String = fields
+                .iter()
+                .map(|(_, fname, _)| {
+                    format!(
+                        "{fname}: ::serde::Deserialize::from_value(\
+                         obj.get(\"{fname}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.in_field(\"{fname}\"))?,\n"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::Struct { name, .. } => {
+            panic!("derive(Deserialize) shim: {name} must have named fields")
+        }
+        Input::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let c = serde_container_attrs(attrs);
+            let body = match &c.tag {
+                Some(tag) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = variant_wire_name(v, &c);
+                        let Fields::Struct(fields) = &v.fields else {
+                            panic!("internally tagged shim supports struct variants only");
+                        };
+                        let inits: String = fields
+                            .iter()
+                            .map(|(_, fname, _)| {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(\
+                                     obj.get(\"{fname}\").unwrap_or(&::serde::Value::Null))\
+                                     .map_err(|e| e.in_field(\"{fname}\"))?,\n"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{wire}\" => Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         let tag = obj.get(\"{tag}\").and_then(|t| t.as_str())\
+                         .ok_or_else(|| ::serde::DeError::new(\"missing tag `{tag}` for {name}\"))?;\n\
+                         match tag {{\n{arms}\
+                         other => Err(::serde::DeError::new(&format!(\"unknown {name} tag {{other:?}}\"))),\n}}"
+                    )
+                }
+                None => {
+                    let mut unit_arms = String::new();
+                    let mut keyed_arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = variant_wire_name(v, &c);
+                        match &v.fields {
+                            Fields::Unit => unit_arms.push_str(&format!(
+                                "\"{wire}\" => return Ok({name}::{vname}),\n"
+                            )),
+                            Fields::Tuple(fields) if fields.len() == 1 => {
+                                keyed_arms.push_str(&format!(
+                                    "\"{wire}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                                ));
+                            }
+                            Fields::Tuple(fields) => {
+                                let n = fields.len();
+                                let elems: String = (0..n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                                        )
+                                    })
+                                    .collect();
+                                keyed_arms.push_str(&format!(
+                                    "\"{wire}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vname}\"))?;\n\
+                                     if items.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                                     Ok({name}::{vname}({elems}))\n}}\n"
+                                ));
+                            }
+                            Fields::Struct(fields) => {
+                                let inits: String = fields
+                                    .iter()
+                                    .map(|(_, fname, _)| {
+                                        format!(
+                                            "{fname}: ::serde::Deserialize::from_value(\
+                                             obj.get(\"{fname}\").unwrap_or(&::serde::Value::Null))\
+                                             .map_err(|e| e.in_field(\"{fname}\"))?,\n"
+                                        )
+                                    })
+                                    .collect();
+                                keyed_arms.push_str(&format!(
+                                    "\"{wire}\" => {{\n\
+                                     let obj = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vname}\"))?;\n\
+                                     Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "if let Some(s) = v.as_str() {{\n\
+                         match s {{\n{unit_arms}\
+                         _ => {{}}\n}}\n}}\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         let (key, inner) = obj.iter().next()\
+                         .ok_or_else(|| ::serde::DeError::new(\"empty object for {name}\"))?;\n\
+                         match key.as_str() {{\n{keyed_arms}\
+                         other => Err(::serde::DeError::new(&format!(\"unknown {name} variant {{other:?}}\"))),\n}}"
+                    )
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated invalid code")
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

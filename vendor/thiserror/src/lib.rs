@@ -1,0 +1,5 @@
+//! Minimal offline stand-in for `thiserror`: re-exports the `Error` derive
+//! from the workspace's derive shim. See `vendor/thiserror-impl` for the
+//! supported attribute subset.
+
+pub use derive_shim::Error;
