@@ -132,9 +132,7 @@ fn reference_evaluate(
             for quad in store.match_quads(s.as_ref(), p_iri.as_ref(), o.as_ref(), &graph) {
                 let mut b = binding.clone();
                 let mut ok = true;
-                let bind = |b: &mut HashMap<Variable, Term>, v: &Variable, t: Term| match b
-                    .get(v)
-                {
+                let bind = |b: &mut HashMap<Variable, Term>, v: &Variable, t: Term| match b.get(v) {
                     Some(existing) => *existing == t,
                     None => {
                         b.insert(v.clone(), t);
@@ -199,9 +197,11 @@ fn main() {
 
     // The same join including materialization of the public term-space
     // `Solutions` view (what `system.answer` pays).
-    measure("bgp/two_pattern_join_100k/id_space_decoded", &mut records, || {
-        sparql::evaluate(&store, &query, &union).len()
-    });
+    measure(
+        "bgp/two_pattern_join_100k/id_space_decoded",
+        &mut records,
+        || sparql::evaluate(&store, &query, &union).len(),
+    );
 
     // ---- Single-pattern scan: decoded quads vs id-space count.
     let p2 = iri(2, "p");

@@ -50,5 +50,10 @@ fn bench_classification(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_algorithm1, bench_wordpress_replay, bench_classification);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_wordpress_replay,
+    bench_classification
+);
 criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! Walk-execution micro-benchmarks (PR 2 tentpole): the streaming,
+//! pushdown-aware plan engine vs. the eager §2.2 reference, measured
+//! in-tree so the speedup is reproducible:
+//!
+//! * **Union workload** — one concept, `W ∈ {1, 4, 16}` disjoint wrappers of
+//!   10k rows × 10 columns each (8 of them noise no query requests), i.e.
+//!   `W` single-wrapper walks unioned. Engines: eager, streaming without
+//!   projection pushdown, streaming single-threaded, streaming with
+//!   pushdown + parallel walks (the production default).
+//! * **Join workload** — two concepts × 4 wrappers × 10k rows → 16 two-way
+//!   hash-join walks sharing scans and build sides through the execution
+//!   context's caches.
+//! * **Filter workload** — a pushed-down ID-equality selection vs. the
+//!   eager post-selection.
+//!
+//! Run with `cargo bench -p bdi_bench --bench exec`. Results are printed and
+//! written to `BENCH_exec.json` at the workspace root so future PRs can
+//! track the trajectory.
+
+use bdi_bench::synthetic;
+use bdi_core::exec::{Engine, ExecOptions, FeatureFilter};
+use bdi_core::system::{BdiSystem, VersionScope};
+use bdi_relational::Value;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Measurement scaffolding (same adaptive scheme as benches/eval.rs)
+// ---------------------------------------------------------------------------
+
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Times `routine` adaptively: warm up briefly, then run batches until
+/// ~400 ms of measured time accumulates. Returns mean ns/iter.
+fn measure<O>(id: String, records: &mut Vec<Record>, mut routine: impl FnMut() -> O) -> f64 {
+    const WARMUP: Duration = Duration::from_millis(80);
+    const TARGET: Duration = Duration::from_millis(400);
+
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        black_box(routine());
+        warm_iters += 1;
+    }
+    let est_ns = (warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
+    let batch = (TARGET.as_nanos() as u64 / 10 / est_ns).clamp(1, 1 << 22);
+
+    let mut elapsed = Duration::ZERO;
+    let mut iters = 0u64;
+    while elapsed < TARGET {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        elapsed += t.elapsed();
+        iters += batch;
+    }
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("bench: {id:<48} {ns:>14.1} ns/iter  ({iters} iters)");
+    records.push(Record {
+        id,
+        ns_per_iter: ns,
+        iters,
+    });
+    ns
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+const ROWS: usize = 10_000;
+const NOISE: usize = 8;
+
+/// A chain system of 10k-row wrappers with `NOISE` wide columns no query
+/// requests (so projection pushdown has work to skip).
+///
+/// With `distinct: false` the metric column repeats within a bounded domain
+/// (like the paper's monitoring ratios — 4096 distinct values), the
+/// representative case. With `distinct: true` every one of the `W × 10k`
+/// values is unique — the adversarial worst case for interning and dedup,
+/// reported separately.
+fn workload(concepts: usize, wrappers: usize, distinct: bool) -> BdiSystem {
+    synthetic::build_chain_system_with(concepts, wrappers, NOISE, |i, j, schema| {
+        let last = schema.index_of("next_id").is_none();
+        (0..ROWS)
+            .map(|r| {
+                let mut row = vec![Value::Int(r as i64)];
+                if !last {
+                    row.push(Value::Int(r as i64));
+                }
+                row.push(if distinct {
+                    Value::Float((i * 100 + j) as f64 * ROWS as f64 + r as f64)
+                } else {
+                    Value::Float((((i * 31 + j) * 7919 + r) % 4096) as f64 / 16.0)
+                });
+                row.extend((0..NOISE).map(|k| Value::Int((r * NOISE + k) as i64)));
+                row
+            })
+            .collect()
+    })
+}
+
+fn options(engine: Engine, pushdown: bool, parallel: bool) -> ExecOptions {
+    ExecOptions {
+        engine,
+        pushdown,
+        parallel,
+        filter: None,
+    }
+}
+
+fn answer_len(system: &BdiSystem, concepts: usize, opts: &ExecOptions) -> usize {
+    system
+        .answer_with(synthetic::chain_query(concepts), &VersionScope::All, opts)
+        .expect("benchmark query answers")
+        .relation
+        .len()
+}
+
+fn main() {
+    let mut records: Vec<Record> = Vec::new();
+    let eager = options(Engine::Eager, true, true);
+    let stream_full = options(Engine::Streaming, true, true);
+    let stream_no_pushdown = options(Engine::Streaming, false, true);
+    let stream_serial = options(Engine::Streaming, true, false);
+
+    // ---- Union workload: 1 concept × W wrappers × 10k rows.
+    let mut speedup_16 = 0.0;
+    for wrappers in [1usize, 4, 16] {
+        let system = workload(1, wrappers, false);
+
+        // Sanity: all engines agree before we time anything.
+        let expected = answer_len(&system, 1, &eager);
+        assert_eq!(answer_len(&system, 1, &stream_full), expected);
+        assert_eq!(answer_len(&system, 1, &stream_no_pushdown), expected);
+        assert_eq!(answer_len(&system, 1, &stream_serial), expected);
+
+        let eager_ns = measure(
+            format!("exec/union_w{wrappers}_10k/eager"),
+            &mut records,
+            || answer_len(&system, 1, &eager),
+        );
+        measure(
+            format!("exec/union_w{wrappers}_10k/stream_no_pushdown"),
+            &mut records,
+            || answer_len(&system, 1, &stream_no_pushdown),
+        );
+        measure(
+            format!("exec/union_w{wrappers}_10k/stream_serial"),
+            &mut records,
+            || answer_len(&system, 1, &stream_serial),
+        );
+        let full_ns = measure(
+            format!("exec/union_w{wrappers}_10k/stream_pushdown_parallel"),
+            &mut records,
+            || answer_len(&system, 1, &stream_full),
+        );
+        if wrappers == 16 {
+            speedup_16 = eager_ns / full_ns;
+        }
+    }
+
+    // ---- Worst case: every value distinct (interning/dedup never share).
+    let distinct_system = workload(1, 16, true);
+    let expected = answer_len(&distinct_system, 1, &eager);
+    assert_eq!(answer_len(&distinct_system, 1, &stream_full), expected);
+    let distinct_eager_ns = measure(
+        "exec/union_w16_10k_distinct/eager".to_owned(),
+        &mut records,
+        || answer_len(&distinct_system, 1, &eager),
+    );
+    let distinct_stream_ns = measure(
+        "exec/union_w16_10k_distinct/stream_pushdown_parallel".to_owned(),
+        &mut records,
+        || answer_len(&distinct_system, 1, &stream_full),
+    );
+    let distinct_speedup = distinct_eager_ns / distinct_stream_ns;
+
+    // ---- Join workload: 2 concepts × 4 wrappers × 10k rows → 16 join walks.
+    let join_system = workload(2, 4, false);
+    let expected = answer_len(&join_system, 2, &eager);
+    assert_eq!(answer_len(&join_system, 2, &stream_full), expected);
+    let join_eager_ns = measure("exec/join_c2_w4_10k/eager".to_owned(), &mut records, || {
+        answer_len(&join_system, 2, &eager)
+    });
+    let join_stream_ns = measure(
+        "exec/join_c2_w4_10k/stream_pushdown_parallel".to_owned(),
+        &mut records,
+        || answer_len(&join_system, 2, &stream_full),
+    );
+    let join_speedup = join_eager_ns / join_stream_ns;
+
+    // ---- Filter workload: pushed-down ID-equality selection, 4 wrappers.
+    let filter_system = workload(1, 4, false);
+    let filter = Some(FeatureFilter {
+        feature: synthetic::chain_id_feature(1),
+        value: Value::Int(7),
+    });
+    let filtered = |opts: &ExecOptions| {
+        filter_system
+            .answer_with(synthetic::chain_query_with_id(1), &VersionScope::All, opts)
+            .expect("filtered query answers")
+            .relation
+            .len()
+    };
+    let eager_filtered = ExecOptions {
+        filter: filter.clone(),
+        ..eager.clone()
+    };
+    let stream_filtered = ExecOptions {
+        filter: filter.clone(),
+        ..stream_full.clone()
+    };
+    assert_eq!(filtered(&eager_filtered), filtered(&stream_filtered));
+    let filter_eager_ns = measure(
+        "exec/filter_w4_10k/eager_postselect".to_owned(),
+        &mut records,
+        || filtered(&eager_filtered),
+    );
+    let filter_stream_ns = measure(
+        "exec/filter_w4_10k/stream_pushdown".to_owned(),
+        &mut records,
+        || filtered(&stream_filtered),
+    );
+    let filter_speedup = filter_eager_ns / filter_stream_ns;
+
+    println!();
+    println!("speedup: union 16 wrappers (eager / streaming+pushdown+parallel) = {speedup_16:.2}x");
+    println!(
+        "speedup: union 16 wrappers, all-distinct worst case              = {distinct_speedup:.2}x"
+    );
+    println!(
+        "speedup: join 2x4 wrappers (eager / streaming)                   = {join_speedup:.2}x"
+    );
+    println!(
+        "speedup: ID filter (eager post-select / pushed-down)             = {filter_speedup:.2}x"
+    );
+
+    // ---- Persist machine-readable results at the workspace root.
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    let mut json = String::from(
+        "{\n  \"bench\": \"exec\",\n  \"workload\": \"walk execution: W wrappers x 10k rows x 10 cols (8 noise), 2-concept join, ID filter\",\n  \"results\": [\n",
+    );
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}}}\n}}\n"
+    ));
+    let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_exec.json");
+    println!("wrote {out_path}");
+}

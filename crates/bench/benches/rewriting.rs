@@ -37,7 +37,10 @@ fn bench_chain_scaling(c: &mut Criterion) {
                 let rewriting = system
                     .rewrite(black_box(synthetic::chain_query(5)))
                     .expect("rewrites");
-                assert_eq!(rewriting.walks.len() as u64, synthetic::predicted_walks(5, w));
+                assert_eq!(
+                    rewriting.walks.len() as u64,
+                    synthetic::predicted_walks(5, w)
+                );
                 black_box(rewriting.walks.len())
             })
         });

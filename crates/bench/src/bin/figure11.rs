@@ -58,13 +58,25 @@ fn main() {
     );
     println!("  S:hasAttribute edges (every new wrapper re-links all its attributes).");
     assert!(v1.stats.source_triples_added as f64 > avg_minor);
-    let max_minor_created = minors.iter().map(|r| r.stats.attributes_created).max().unwrap();
+    let max_minor_created = minors
+        .iter()
+        .map(|r| r.stats.attributes_created)
+        .max()
+        .unwrap();
     assert!(
         v2.stats.attributes_created > max_minor_created,
         "v2 must create more attributes than any minor release"
     );
-    let max_minor = minors.iter().map(|r| r.stats.source_triples_added).max().unwrap();
-    let min_minor = minors.iter().map(|r| r.stats.source_triples_added).min().unwrap();
+    let max_minor = minors
+        .iter()
+        .map(|r| r.stats.source_triples_added)
+        .max()
+        .unwrap();
+    let min_minor = minors
+        .iter()
+        .map(|r| r.stats.source_triples_added)
+        .min()
+        .unwrap();
     assert!(
         max_minor - min_minor <= 10,
         "minor releases should cluster tightly (linear growth)"

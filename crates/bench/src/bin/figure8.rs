@@ -18,14 +18,8 @@ use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let max_w: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25);
-    let concepts: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let max_w: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
+    let concepts: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
     let walk_cap: u64 = std::env::var("BDI_FIG8_WALK_CAP")
         .ok()
         .and_then(|s| s.parse().ok())

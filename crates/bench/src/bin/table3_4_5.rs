@@ -58,12 +58,36 @@ fn main() {
     }
 
     // Regression guards on the exact classification of the paper's tables.
-    check("add auth model", ApiLevelChange::AddAuthenticationModel.handler(), Handler::Wrapper);
-    check("add response format", ApiLevelChange::AddResponseFormat.handler(), Handler::Ontology);
-    check("add method", MethodLevelChange::AddMethod.handler(), Handler::Both);
-    check("change response format", MethodLevelChange::ChangeResponseFormat.handler(), Handler::Ontology);
-    check("add parameter", ParameterLevelChange::AddParameter.handler(), Handler::Both);
-    check("rename response parameter", ParameterLevelChange::RenameResponseParameter.handler(), Handler::Ontology);
+    check(
+        "add auth model",
+        ApiLevelChange::AddAuthenticationModel.handler(),
+        Handler::Wrapper,
+    );
+    check(
+        "add response format",
+        ApiLevelChange::AddResponseFormat.handler(),
+        Handler::Ontology,
+    );
+    check(
+        "add method",
+        MethodLevelChange::AddMethod.handler(),
+        Handler::Both,
+    );
+    check(
+        "change response format",
+        MethodLevelChange::ChangeResponseFormat.handler(),
+        Handler::Ontology,
+    );
+    check(
+        "add parameter",
+        ParameterLevelChange::AddParameter.handler(),
+        Handler::Both,
+    );
+    check(
+        "rename response parameter",
+        ParameterLevelChange::RenameResponseParameter.handler(),
+        Handler::Ontology,
+    );
 
     println!("\nAll classifications match Tables 3–5 of the paper.");
 }

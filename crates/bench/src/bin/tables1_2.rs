@@ -18,7 +18,9 @@ fn main() {
     }
 
     println!("Table 2 — exemplary query: for each applicationId, its lagRatio instances\n");
-    let answer = system.answer(&supersede::exemplary_query()).expect("query answers");
+    let answer = system
+        .answer(&supersede::exemplary_query())
+        .expect("query answers");
     println!("{}", answer.relation);
     println!("\nRewriting produced {} walk(s):", answer.walk_exprs.len());
     for expr in &answer.walk_exprs {
@@ -28,7 +30,9 @@ fn main() {
     // §2.1 evolution: after w4, the same query unions both schema versions.
     let mut system = system;
     supersede::evolve_with_w4(&mut system, &store);
-    let evolved = system.answer(&supersede::exemplary_query()).expect("query answers");
+    let evolved = system
+        .answer(&supersede::exemplary_query())
+        .expect("query answers");
     println!("\nAfter the w4 release (lagRatio → bufferingRatio), the same OMQ yields:");
     println!("{}", evolved.relation);
     println!("\nwalks:");

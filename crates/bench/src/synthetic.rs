@@ -44,12 +44,45 @@ fn has_feature(c: &Iri, f: &Iri) -> Triple {
     Triple::new(c.clone(), (*core_vocab::g::HAS_FEATURE).clone(), f.clone())
 }
 
+/// A noise (never-queried) feature of concept `i` — used to give wrappers
+/// wide schemas so projection pushdown has something to skip.
+pub fn noise_feature(i: usize, k: usize) -> Iri {
+    iri(&format!("noise{i}_{k}"))
+}
+
 /// Builds the chain system: `concepts` concepts, `wrappers_per_concept`
 /// disjoint wrappers each. Every wrapper carries `rows` tuples of data.
-pub fn build_chain_system(
+pub fn build_chain_system(concepts: usize, wrappers_per_concept: usize, rows: usize) -> BdiSystem {
+    build_chain_system_with(concepts, wrappers_per_concept, 0, |_, _, schema| {
+        let last = schema.index_of("next_id").is_none();
+        (0..rows)
+            .map(|r| {
+                let mut row = vec![Value::Int(r as i64)];
+                if !last {
+                    row.push(Value::Int(r as i64));
+                }
+                row.push(Value::Float(r as f64 / 10.0));
+                row
+            })
+            .collect()
+    })
+}
+
+/// The chain system with caller-supplied wrapper data and optional noise
+/// columns.
+///
+/// Wrapper `j` of concept `i` exposes `id{i}` (+ `next_id` when `i` is not
+/// the last concept), the data column `f{i}`, and `noise_columns` extra
+/// columns `n0..` mapped to per-concept noise features no chain query ever
+/// requests — they exist so projection pushdown is measurable. `rows_for`
+/// receives `(concept, wrapper, schema)` and must return rows matching the
+/// schema's arity; the differential property tests use it to feed randomized
+/// (null-bearing, cross-typed) data through both execution engines.
+pub fn build_chain_system_with(
     concepts: usize,
     wrappers_per_concept: usize,
-    rows: usize,
+    noise_columns: usize,
+    mut rows_for: impl FnMut(usize, usize, &Schema) -> Vec<Vec<Value>>,
 ) -> BdiSystem {
     assert!(concepts >= 1);
     let mut system = BdiSystem::new();
@@ -64,6 +97,11 @@ pub fn build_chain_system(
         let f = data_feature(i);
         ontology.add_feature(&f);
         ontology.attach_feature(&c, &f).expect("synthetic model");
+        for k in 0..noise_columns {
+            let n = noise_feature(i, k);
+            ontology.add_feature(&n);
+            ontology.attach_feature(&c, &n).expect("synthetic model");
+        }
         if i > 1 {
             ontology
                 .add_object_property(&edge(i - 1), &concept(i - 1), &c)
@@ -74,25 +112,17 @@ pub fn build_chain_system(
     for i in 1..=concepts {
         for j in 1..=wrappers_per_concept {
             let last = i == concepts;
-            // Schema: own ID + own data feature (+ next concept's ID).
+            // Schema: own ID + own data feature (+ next concept's ID) plus
+            // the noise columns.
             let ids: Vec<String> = if last {
                 vec![format!("id{i}")]
             } else {
                 vec![format!("id{i}"), format!("next_id")]
             };
-            let non_ids = vec![format!("f{i}")];
-            let schema =
-                Schema::from_parts(&ids, &non_ids).expect("synthetic names are unique");
-            let data: Vec<Vec<Value>> = (0..rows)
-                .map(|r| {
-                    let mut row = vec![Value::Int(r as i64)];
-                    if !last {
-                        row.push(Value::Int(r as i64));
-                    }
-                    row.push(Value::Float(r as f64 / 10.0));
-                    row
-                })
-                .collect();
+            let mut non_ids = vec![format!("f{i}")];
+            non_ids.extend((0..noise_columns).map(|k| format!("n{k}")));
+            let schema = Schema::from_parts(&ids, &non_ids).expect("synthetic names are unique");
+            let data = rows_for(i, j, &schema);
             let wrapper = Arc::new(
                 TableWrapper::new(
                     format!("w_{i}_{j}"),
@@ -111,6 +141,10 @@ pub fn build_chain_system(
                 (format!("id{i}"), id_feature(i)),
                 (format!("f{i}"), data_feature(i)),
             ]);
+            for k in 0..noise_columns {
+                lav.push(has_feature(&concept(i), &noise_feature(i, k)));
+                mappings.insert(format!("n{k}"), noise_feature(i, k));
+            }
             if !last {
                 lav.push(Triple::new(concept(i), edge(i), concept(i + 1)));
                 lav.push(has_feature(&concept(i + 1), &id_feature(i + 1)));
@@ -138,6 +172,22 @@ pub fn chain_query(concepts: usize) -> Omq {
         }
     }
     Omq::new(pi, phi)
+}
+
+/// [`chain_query`] with the first concept's **ID feature** also projected —
+/// the shape pushed-down ID-equality filters need (the filtered feature must
+/// be in π).
+pub fn chain_query_with_id(concepts: usize) -> Omq {
+    let mut omq = chain_query(concepts);
+    omq.pi.insert(0, id_feature(1));
+    omq.phi.push(has_feature(&concept(1), &id_feature(1)));
+    omq
+}
+
+/// The URI of concept `i`'s ID feature (for building [`FeatureFilter`]s
+/// against chain systems).
+pub fn chain_id_feature(i: usize) -> Iri {
+    id_feature(i)
 }
 
 /// `W^C` — the §5.3 prediction for the number of generated walks.

@@ -1,16 +1,48 @@
 //! Execution of rewritten queries against the wrappers.
 //!
-//! Each walk compiles to a relational expression; results are aligned to a
-//! common schema named by the requested **features** (so `w1.lagRatio` and
+//! Each walk compiles to a plan; results are aligned to a common schema
+//! named by the requested **features** (so `w1.lagRatio` and
 //! `w4.bufferingRatio` both land in the `lagRatio` column), then unioned.
 //! IDs that the rewriting added but the analyst did not request are
 //! projected out here — "those can be easily projected out at the final
 //! step" (§5.2).
+//!
+//! Two engines answer the same [`Rewriting`]:
+//!
+//! * **Streaming** (the default, [`Engine::Streaming`]): every walk compiles
+//!   to a [`PhysicalPlan`] — projection pushdown computed from the walk's
+//!   projection sets, renames fused into the [`bdi_relational::ScanRequest`]s,
+//!   an optional ID-equality filter pushed to the providing wrapper's scan.
+//!   The per-walk plans execute in parallel on `crossbeam` scoped threads
+//!   against one shared [`ExecContext`] (so wrappers appearing in many walks
+//!   are scanned and interned once, and hash-join build sides are reused per
+//!   ID attribute), streaming their aligned batches into the final
+//!   deduplicated union.
+//! * **Eager** ([`Engine::Eager`]): the original §2.2 operator-at-a-time
+//!   evaluation through [`bdi_relational::RelExpr`] / [`ops`]. It stays as
+//!   the executable reference the streaming engine is differentially tested
+//!   against (`tests/props_exec.rs`): the two produce identical rows in
+//!   identical order under `Value` equality (interning canonicalizes each
+//!   Eq class of numerics — where `Int(2)` and `Float(2.0)` both occur, the
+//!   streaming answer surfaces one representative of that equal pair).
+//!
+//! Row-order contract (shared by both engines): a single-walk answer keeps
+//! the walk's natural evaluation order; a multi-walk answer is the canonical
+//! set form — deduplicated and sorted; any answer produced under a
+//! [`FeatureFilter`] is always sorted (pushing σ below a join legitimately
+//! changes join build-side choices, so natural order is not stable there).
 
 use crate::ontology::BdiOntology;
 use crate::rewrite::{walk::prefixed_attr_name, Rewriting, Walk};
 use bdi_rdf::model::Iri;
-use bdi_relational::{ops, AlgebraError, Attribute, Relation, RelationError, Schema, SourceResolver};
+use bdi_relational::plan::{self, Batch, ExecContext, Operator, PhysicalPlan, PlanError, RowSet};
+use bdi_relational::{
+    ops, AlgebraError, Attribute, PlanSource, Relation, RelationError, ScanRequest, Schema,
+    SourceResolver, Tuple, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
@@ -19,10 +51,63 @@ pub enum ExecError {
     Algebra(#[from] AlgebraError),
     #[error(transparent)]
     Relation(#[from] RelationError),
+    #[error(transparent)]
+    Plan(#[from] PlanError),
     #[error("walk over {{{wrappers}}} does not provide requested feature {feature}")]
     MissingFeature { wrappers: String, feature: String },
     #[error("query projects no features")]
     EmptyProjection,
+    #[error(
+        "filter feature {0} is not an ID feature; pushed-down selections are ID-equality only"
+    )]
+    FilterOnNonId(String),
+    #[error("filter feature {0} is not in the query's projection π")]
+    FilterNotProjected(String),
+}
+
+/// Which execution engine answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compiled physical plans, pushdown, interned batches, parallel walks.
+    #[default]
+    Streaming,
+    /// The §2.2 eager operator evaluation — the reference implementation.
+    Eager,
+}
+
+/// An ID-equality selection `feature = value`, pushed down to the wrapper
+/// providing the feature in each walk. The feature must be an ID feature
+/// and must appear in the query's π.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureFilter {
+    pub feature: Iri,
+    pub value: Value,
+}
+
+/// Execution knobs. [`ExecOptions::default`] is what [`crate::system`] uses:
+/// the streaming engine with projection pushdown and parallel walks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    pub engine: Engine,
+    /// Push each walk's projection set into the wrappers' scans. When off,
+    /// scans surface every attribute the Source graph records for the
+    /// wrapper (the pre-pushdown behaviour, kept measurable for the bench).
+    pub pushdown: bool,
+    /// Execute per-walk plans on scoped threads (streaming engine only).
+    pub parallel: bool,
+    /// Optional ID-equality selection pushed into the scans.
+    pub filter: Option<FeatureFilter>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            engine: Engine::Streaming,
+            pushdown: true,
+            parallel: true,
+            filter: None,
+        }
+    }
 }
 
 /// The answer to an OMQ.
@@ -63,10 +148,7 @@ fn walk_columns(
 ) -> Result<Vec<String>, ExecError> {
     let mut columns = Vec::with_capacity(features.len());
     for feature in features {
-        let found = walk
-            .all_projections()
-            .find(|(_, attr)| ontology.feature_of_attribute(attr).as_ref() == Some(feature));
-        match found {
+        match walk_feature_attr(ontology, walk, feature) {
             Some((_, attr)) => columns.push(prefixed_attr_name(attr)),
             None => {
                 return Err(ExecError::MissingFeature {
@@ -84,15 +166,83 @@ fn walk_columns(
     Ok(columns)
 }
 
-/// Evaluates the rewriting against the wrappers and projects the final
-/// feature columns.
-pub fn execute(
+/// The `(wrapper, attribute)` of a walk that provides `feature` — the same
+/// choice [`walk_columns`] aligns on, so pushed-down filters land on exactly
+/// the column the final answer surfaces.
+fn walk_feature_attr<'w>(
+    ontology: &BdiOntology,
+    walk: &'w Walk,
+    feature: &Iri,
+) -> Option<(&'w Iri, &'w Iri)> {
+    walk.all_projections()
+        .find(|(_, attr)| ontology.feature_of_attribute(attr).as_ref() == Some(feature))
+}
+
+/// Validates a [`FeatureFilter`] against the ontology and π, resolving it to
+/// the π position it selects on.
+fn resolve_filter(
+    ontology: &BdiOntology,
+    features: &[Iri],
+    filter: Option<&FeatureFilter>,
+) -> Result<Option<(usize, FeatureFilter)>, ExecError> {
+    let Some(filter) = filter else {
+        return Ok(None);
+    };
+    if !ontology.is_id_feature(&filter.feature) {
+        return Err(ExecError::FilterOnNonId(filter.feature.as_str().to_owned()));
+    }
+    let index = features
+        .iter()
+        .position(|f| f == &filter.feature)
+        .ok_or_else(|| ExecError::FilterNotProjected(filter.feature.as_str().to_owned()))?;
+    Ok(Some((index, filter.clone())))
+}
+
+/// Evaluates the rewriting and projects the final feature columns with the
+/// default options (streaming engine, pushdown, parallel walks).
+pub fn execute<S>(
+    ontology: &BdiOntology,
+    source: &S,
+    rewriting: &Rewriting,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: SourceResolver + PlanSource,
+{
+    execute_with(ontology, source, rewriting, &ExecOptions::default())
+}
+
+/// Evaluates the rewriting with explicit [`ExecOptions`].
+pub fn execute_with<S>(
+    ontology: &BdiOntology,
+    source: &S,
+    rewriting: &Rewriting,
+    options: &ExecOptions,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: SourceResolver + PlanSource,
+{
+    match options.engine {
+        Engine::Streaming => execute_streaming(ontology, source, rewriting, options),
+        Engine::Eager => execute_eager(ontology, source, rewriting, options.filter.as_ref()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The eager reference engine
+// ---------------------------------------------------------------------------
+
+/// The original eager evaluation through [`bdi_relational::RelExpr`] and the
+/// §2.2 [`ops`]: every operator materializes a full relation. Kept as the
+/// executable reference the streaming engine is pinned against.
+pub fn execute_eager(
     ontology: &BdiOntology,
     resolver: &dyn SourceResolver,
     rewriting: &Rewriting,
+    filter: Option<&FeatureFilter>,
 ) -> Result<QueryAnswer, ExecError> {
     let features = &rewriting.well_formed.omq.pi;
     let schema = target_schema(ontology, features)?;
+    let filter = resolve_filter(ontology, features, filter)?;
 
     if rewriting.walks.is_empty() {
         return Ok(QueryAnswer {
@@ -102,22 +252,423 @@ pub fn execute(
     }
 
     let mut walk_exprs = Vec::with_capacity(rewriting.walks.len());
-    let mut acc: Option<Relation> = None;
+    let mut aligned_walks = Vec::with_capacity(rewriting.walks.len());
     for walk in &rewriting.walks {
         let expr = walk.to_rel_expr_full(ontology);
         walk_exprs.push(expr.to_string());
         let rel = expr.eval(resolver)?;
         let columns = walk_columns(ontology, walk, features)?;
         let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-        let aligned = ops::align_to(&rel, &column_refs, &schema)?;
-        acc = Some(match acc {
-            None => aligned,
-            Some(prev) => ops::union(&prev, &aligned)?,
+        let mut aligned = ops::align_to(&rel, &column_refs, &schema)?;
+        if let Some((index, filter)) = &filter {
+            aligned = select_eq(&aligned, *index, &filter.value)?;
+        }
+        aligned_walks.push(aligned);
+    }
+
+    let mut relation = if aligned_walks.len() == 1 {
+        aligned_walks.pop().expect("walks is non-empty")
+    } else {
+        ops::union_all(&schema, &aligned_walks)?
+    };
+    if filter.is_some() {
+        // Filtered answers are always canonical-sorted (see the module docs'
+        // row-order contract): pushing σ below a join legitimately changes
+        // build-side choices and thus natural row order, so the order-stable
+        // form is the sorted one.
+        relation.sort_rows();
+    }
+    Ok(QueryAnswer {
+        relation,
+        walk_exprs,
+    })
+}
+
+/// Reference semantics of the pushed-down filter: σ column#index = value,
+/// preserving row order.
+fn select_eq(input: &Relation, index: usize, value: &Value) -> Result<Relation, RelationError> {
+    let rows: Vec<Tuple> = input
+        .rows()
+        .iter()
+        .filter(|row| &row[index] == value)
+        .cloned()
+        .collect();
+    Relation::new(input.schema().clone(), rows)
+}
+
+// ---------------------------------------------------------------------------
+// Walk → physical plan compilation
+// ---------------------------------------------------------------------------
+
+/// Compiles one wrapper of a walk to its (pushdown-aware) scan leaf.
+fn leaf_plan(
+    ontology: &BdiOntology,
+    wrapper: &Iri,
+    needed: Option<&BTreeSet<&Iri>>,
+    filter_target: Option<(&Iri, &Iri, &Value)>,
+) -> Result<PhysicalPlan, ExecError> {
+    let wrapper_name = crate::vocab::wrapper_name_of(wrapper)
+        .unwrap_or_else(|| wrapper.as_str())
+        .to_owned();
+    // Pushdown on (`needed` present): only the columns the plan consumes —
+    // the attributes providing requested features plus this wrapper's join
+    // keys. IDs the rewriting projected but the query never surfaces are
+    // dropped here, at the source, rather than "at the final step" (§5.2).
+    // Pushdown off: every attribute the Source graph records for the
+    // wrapper, i.e. the full pre-pushdown surface.
+    let attrs: Vec<Iri> = match needed {
+        Some(set) => set.iter().map(|a| (*a).clone()).collect(),
+        None => ontology.attributes_of_wrapper(wrapper),
+    };
+    let mut columns = Vec::with_capacity(attrs.len());
+    let mut out_attrs = Vec::with_capacity(attrs.len());
+    for attr in &attrs {
+        let (local, prefixed) = match crate::vocab::attribute_parts_of(attr) {
+            Some((_, local)) => (local.to_owned(), prefixed_attr_name(attr)),
+            None => (attr.as_str().to_owned(), attr.as_str().to_owned()),
+        };
+        let is_id = ontology
+            .feature_of_attribute(attr)
+            .map(|f| ontology.is_id_feature(&f))
+            .unwrap_or(false);
+        columns.push(local);
+        out_attrs.push(if is_id {
+            Attribute::id(prefixed)
+        } else {
+            Attribute::non_id(prefixed)
+        });
+    }
+    let schema = Schema::new(out_attrs).map_err(RelationError::Schema)?;
+    let mut request = ScanRequest::new(columns, schema)?;
+    if let Some((target_wrapper, target_attr, value)) = filter_target {
+        if target_wrapper == wrapper {
+            let local = crate::vocab::attribute_parts_of(target_attr)
+                .map(|(_, local)| local)
+                .unwrap_or_else(|| target_attr.as_str());
+            request = request.with_filter(local, value.clone());
+        }
+    }
+    Ok(PhysicalPlan::scan(wrapper_name, request))
+}
+
+/// Compiles a walk to its aligned physical plan: pushdown-aware scans with
+/// fused renames, the walk's ⋈̃ conditions as hash joins (the same left-deep
+/// construction as [`Walk::to_rel_expr_full`], so row order matches the
+/// eager engine), topped by the projection aligning to the target schema.
+fn compile_walk(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    features: &[Iri],
+    columns: &[String],
+    target: &Schema,
+    options: &ExecOptions,
+    filter: Option<&FeatureFilter>,
+) -> Result<PhysicalPlan, ExecError> {
+    let filter_target = match filter {
+        Some(f) => walk_feature_attr(ontology, walk, &f.feature).map(|(w, a)| (w, a, &f.value)),
+        None => None,
+    };
+    // Per wrapper, the columns the plan actually consumes: the attribute
+    // chosen for each requested feature (the one `walk_columns` aligns on)
+    // plus both sides of every ⋈̃ condition.
+    let needed: Option<BTreeMap<&Iri, BTreeSet<&Iri>>> = options.pushdown.then(|| {
+        let mut needed: BTreeMap<&Iri, BTreeSet<&Iri>> = BTreeMap::new();
+        for feature in features {
+            if let Some((wrapper, attr)) = walk_feature_attr(ontology, walk, feature) {
+                needed.entry(wrapper).or_default().insert(attr);
+            }
+        }
+        for join in walk.joins() {
+            needed
+                .entry(&join.left_wrapper)
+                .or_default()
+                .insert(&join.left_attribute);
+            needed
+                .entry(&join.right_wrapper)
+                .or_default()
+                .insert(&join.right_attribute);
+        }
+        needed
+    });
+    let empty = BTreeSet::new();
+    let mut leaves: BTreeMap<&Iri, PhysicalPlan> = BTreeMap::new();
+    for wrapper in walk.wrappers() {
+        let wrapper_needed = needed.as_ref().map(|n| n.get(wrapper).unwrap_or(&empty));
+        leaves.insert(
+            wrapper,
+            leaf_plan(ontology, wrapper, wrapper_needed, filter_target)?,
+        );
+    }
+
+    let joined = if walk.joins().is_empty() {
+        // Single-wrapper walk (degenerate multi-wrapper walks without joins
+        // are rejected upstream by coverage/minimality filtering).
+        leaves.into_values().next().unwrap_or_else(|| {
+            PhysicalPlan::scan(
+                "∅",
+                ScanRequest::new(Vec::new(), Schema::default())
+                    .expect("empty request is well-formed"),
+            )
+        })
+    } else {
+        // Mirror of `Walk::build_rel_expr`'s join-tree growth: attach each
+        // pending ⋈̃ condition as soon as one side is connected.
+        let take_leaf = |leaves: &mut BTreeMap<&Iri, PhysicalPlan>, wrapper: &Iri| {
+            leaves.remove(wrapper).unwrap_or_else(|| {
+                PhysicalPlan::scan(
+                    wrapper.as_str(),
+                    ScanRequest::new(Vec::new(), Schema::default())
+                        .expect("empty request is well-formed"),
+                )
+            })
+        };
+        let mut included: BTreeSet<&Iri> = BTreeSet::new();
+        let mut expr: Option<PhysicalPlan> = None;
+        let mut pending: Vec<_> = walk.joins().iter().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            let mut error: Option<ExecError> = None;
+            pending.retain(|j| {
+                if error.is_some() {
+                    return false;
+                }
+                let l_in = included.contains(&j.left_wrapper);
+                let r_in = included.contains(&j.right_wrapper);
+                let result = match (&mut expr, l_in, r_in) {
+                    (None, _, _) => {
+                        let l = take_leaf(&mut leaves, &j.left_wrapper);
+                        let r = take_leaf(&mut leaves, &j.right_wrapper);
+                        match l.hash_join(
+                            r,
+                            &prefixed_attr_name(&j.left_attribute),
+                            &prefixed_attr_name(&j.right_attribute),
+                        ) {
+                            Ok(joined) => {
+                                expr = Some(joined);
+                                included.insert(&j.left_wrapper);
+                                included.insert(&j.right_wrapper);
+                                Ok(false)
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                    (Some(_), true, true) => Ok(false), // already connected
+                    (Some(e), true, false) => {
+                        let r = take_leaf(&mut leaves, &j.right_wrapper);
+                        match e.clone().hash_join(
+                            r,
+                            &prefixed_attr_name(&j.left_attribute),
+                            &prefixed_attr_name(&j.right_attribute),
+                        ) {
+                            Ok(joined) => {
+                                *e = joined;
+                                included.insert(&j.right_wrapper);
+                                Ok(false)
+                            }
+                            Err(err) => Err(err),
+                        }
+                    }
+                    (Some(e), false, true) => {
+                        let l = take_leaf(&mut leaves, &j.left_wrapper);
+                        match e.clone().hash_join(
+                            l,
+                            &prefixed_attr_name(&j.right_attribute),
+                            &prefixed_attr_name(&j.left_attribute),
+                        ) {
+                            Ok(joined) => {
+                                *e = joined;
+                                included.insert(&j.left_wrapper);
+                                Ok(false)
+                            }
+                            Err(err) => Err(err),
+                        }
+                    }
+                    (Some(_), false, false) => Ok(true), // later pass
+                };
+                match result {
+                    Ok(keep) => keep,
+                    Err(e) => {
+                        error = Some(e.into());
+                        false
+                    }
+                }
+            });
+            if let Some(e) = error {
+                return Err(e);
+            }
+            if pending.len() == before {
+                // Disconnected join graph; such walks fail coverage upstream.
+                break;
+            }
+        }
+        expr.expect("joins is non-empty")
+    };
+
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    Ok(joined.project_columns(&column_refs, target.clone())?)
+}
+
+// ---------------------------------------------------------------------------
+// The streaming engine
+// ---------------------------------------------------------------------------
+
+/// Upper bound on walk-executor threads.
+const MAX_WORKERS: usize = 16;
+
+fn execute_streaming<S>(
+    ontology: &BdiOntology,
+    source: &S,
+    rewriting: &Rewriting,
+    options: &ExecOptions,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: SourceResolver + PlanSource,
+{
+    let features = &rewriting.well_formed.omq.pi;
+    let schema = target_schema(ontology, features)?;
+    resolve_filter(ontology, features, options.filter.as_ref())?;
+
+    if rewriting.walks.is_empty() {
+        return Ok(QueryAnswer {
+            relation: Relation::empty(schema),
+            walk_exprs: Vec::new(),
         });
     }
 
+    let mut walk_exprs = Vec::with_capacity(rewriting.walks.len());
+    let mut plans = Vec::with_capacity(rewriting.walks.len());
+    for walk in &rewriting.walks {
+        walk_exprs.push(walk.to_rel_expr_full(ontology).to_string());
+        let columns = walk_columns(ontology, walk, features)?;
+        plans.push(compile_walk(
+            ontology,
+            walk,
+            features,
+            &columns,
+            &schema,
+            options,
+            options.filter.as_ref(),
+        )?);
+    }
+
+    let ctx = ExecContext::new(source);
+
+    // A single walk keeps its natural evaluation order (no union → no set
+    // canonicalization), exactly like the eager engine — except under a
+    // pushed-down filter, where both engines emit the canonical sorted
+    // order (σ below a join changes build-side choices and thus the
+    // natural order).
+    if plans.len() == 1 {
+        let mut relation = plan::execute_plan_in(&plans[0], &ctx)?;
+        if options.filter.is_some() {
+            relation.sort_rows();
+        }
+        return Ok(QueryAnswer {
+            relation,
+            walk_exprs,
+        });
+    }
+
+    // Multi-walk: stream every plan's aligned batches into one deduplicated
+    // union, then emit the canonical sorted set form (the final sort makes
+    // the batch arrival order irrelevant).
+    let mut seen = RowSet::new(schema.len());
+    let mut first_error: Option<(usize, PlanError)> = None;
+    let record_error = |slot: &mut Option<(usize, PlanError)>, index: usize, e: PlanError| {
+        if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+            *slot = Some((index, e));
+        }
+    };
+
+    let workers = if options.parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(plans.len())
+            .min(MAX_WORKERS)
+    } else {
+        1
+    };
+
+    if workers <= 1 {
+        for (index, walk_plan) in plans.iter().enumerate() {
+            let mut op = Operator::new(walk_plan);
+            loop {
+                match op.next_batch(&ctx) {
+                    Ok(Some(batch)) => merge_batch(&batch, &mut seen),
+                    Ok(None) => break,
+                    Err(e) => {
+                        record_error(&mut first_error, index, e);
+                        break;
+                    }
+                }
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        // Bounded: workers block once a few batches per worker are in
+        // flight, so peak memory stays O(workers × BATCH_ROWS) instead of
+        // the whole result set queueing up ahead of the dedup thread. The
+        // consumer never sends, so a full channel cannot deadlock.
+        let (tx, rx) = mpsc::sync_channel::<(usize, Result<Option<Batch>, PlanError>)>(workers * 4);
+        let ctx_ref = &ctx;
+        let plans_ref = &plans;
+        let next_ref = &next;
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move |_| loop {
+                    let index = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if index >= plans_ref.len() {
+                        break;
+                    }
+                    let mut op = Operator::new(&plans_ref[index]);
+                    loop {
+                        match op.next_batch(ctx_ref) {
+                            Ok(Some(batch)) => {
+                                if tx.send((index, Ok(Some(batch)))).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => {
+                                let _ = tx.send((index, Ok(None)));
+                                break;
+                            }
+                            Err(e) => {
+                                let _ = tx.send((index, Err(e)));
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (index, message) in rx {
+                match message {
+                    Ok(Some(batch)) => merge_batch(&batch, &mut seen),
+                    Ok(None) => {}
+                    Err(e) => record_error(&mut first_error, index, e),
+                }
+            }
+        })
+        .expect("walk executor thread panicked");
+    }
+
+    if let Some((_, e)) = first_error {
+        return Err(e.into());
+    }
+
+    let mut rows = ctx.decode_rows(seen.rows());
+    rows.sort();
     Ok(QueryAnswer {
-        relation: acc.expect("walks is non-empty"),
+        relation: Relation::new(schema, rows)?,
         walk_exprs,
     })
+}
+
+/// Folds one aligned batch into the streamed union's dedup set.
+fn merge_batch(batch: &Batch, seen: &mut RowSet) {
+    for row in batch.rows() {
+        seen.insert(row);
+    }
 }

@@ -39,7 +39,7 @@ pub mod validate;
 pub mod vocab;
 pub mod wellformed;
 
-pub use exec::{ExecError, QueryAnswer};
+pub use exec::{Engine, ExecError, ExecOptions, FeatureFilter, QueryAnswer};
 pub use omq::{Omq, OmqError};
 pub use ontology::{BdiOntology, OntologyError};
 pub use release::{Release, ReleaseError, ReleaseStats};

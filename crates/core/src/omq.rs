@@ -69,7 +69,11 @@ impl Omq {
             if !matches!(qp.graph, GraphSpec::Active) {
                 return Err(OmqError::VariableInPattern(qp.pattern.to_string()));
             }
-            let (s, p, o) = (&qp.pattern.subject, &qp.pattern.predicate, &qp.pattern.object);
+            let (s, p, o) = (
+                &qp.pattern.subject,
+                &qp.pattern.predicate,
+                &qp.pattern.object,
+            );
             let (TermOrVar::Term(s), TermOrVar::Term(Term::Iri(p)), TermOrVar::Term(o)) = (s, p, o)
             else {
                 return Err(OmqError::VariableInPattern(qp.pattern.to_string()));
@@ -156,8 +160,7 @@ impl Omq {
     /// `None` when the pattern is cyclic (Algorithm 2 rejects such queries).
     pub fn topological_sort(&self) -> Option<Vec<Term>> {
         let vertices = self.vertices();
-        let mut in_degree: BTreeMap<&Term, usize> =
-            vertices.iter().map(|v| (v, 0usize)).collect();
+        let mut in_degree: BTreeMap<&Term, usize> = vertices.iter().map(|v| (v, 0usize)).collect();
         let mut out_edges: BTreeMap<&Term, Vec<&Term>> = BTreeMap::new();
         for t in &self.phi {
             out_edges.entry(&t.subject).or_default().push(&t.object);
@@ -264,8 +267,16 @@ mod tests {
 
     #[test]
     fn cycles_have_no_topological_sort() {
-        let a = Triple::new(Iri::new("http://e/A"), Iri::new("http://e/p"), Iri::new("http://e/B"));
-        let b = Triple::new(Iri::new("http://e/B"), Iri::new("http://e/q"), Iri::new("http://e/A"));
+        let a = Triple::new(
+            Iri::new("http://e/A"),
+            Iri::new("http://e/p"),
+            Iri::new("http://e/B"),
+        );
+        let b = Triple::new(
+            Iri::new("http://e/B"),
+            Iri::new("http://e/q"),
+            Iri::new("http://e/A"),
+        );
         let omq = Omq::new(vec![], vec![a, b]);
         assert!(omq.topological_sort().is_none());
     }

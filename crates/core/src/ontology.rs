@@ -65,11 +65,31 @@ impl BdiOntology {
         store.insert_in(&g, &*vocab::g::CONCEPT, &*rdf::TYPE, &*rdfs::CLASS);
         store.insert_in(&g, &*vocab::g::FEATURE, &*rdf::TYPE, &*rdfs::CLASS);
         store.insert_in(&g, &*vocab::g::HAS_FEATURE, &*rdf::TYPE, &*rdf::PROPERTY);
-        store.insert_in(&g, &*vocab::g::HAS_FEATURE, &*rdfs::DOMAIN, &*vocab::g::CONCEPT);
-        store.insert_in(&g, &*vocab::g::HAS_FEATURE, &*rdfs::RANGE, &*vocab::g::FEATURE);
+        store.insert_in(
+            &g,
+            &*vocab::g::HAS_FEATURE,
+            &*rdfs::DOMAIN,
+            &*vocab::g::CONCEPT,
+        );
+        store.insert_in(
+            &g,
+            &*vocab::g::HAS_FEATURE,
+            &*rdfs::RANGE,
+            &*vocab::g::FEATURE,
+        );
         store.insert_in(&g, &*vocab::g::HAS_DATA_TYPE, &*rdf::TYPE, &*rdf::PROPERTY);
-        store.insert_in(&g, &*vocab::g::HAS_DATA_TYPE, &*rdfs::DOMAIN, &*vocab::g::FEATURE);
-        store.insert_in(&g, &*vocab::g::HAS_DATA_TYPE, &*rdfs::RANGE, &*rdfs::DATATYPE);
+        store.insert_in(
+            &g,
+            &*vocab::g::HAS_DATA_TYPE,
+            &*rdfs::DOMAIN,
+            &*vocab::g::FEATURE,
+        );
+        store.insert_in(
+            &g,
+            &*vocab::g::HAS_DATA_TYPE,
+            &*rdfs::RANGE,
+            &*rdfs::DATATYPE,
+        );
 
         let s = graphs::source();
         // Code 7 — metamodel for S.
@@ -77,11 +97,31 @@ impl BdiOntology {
         store.insert_in(&s, &*vocab::s::WRAPPER, &*rdf::TYPE, &*rdfs::CLASS);
         store.insert_in(&s, &*vocab::s::ATTRIBUTE, &*rdf::TYPE, &*rdfs::CLASS);
         store.insert_in(&s, &*vocab::s::HAS_WRAPPER, &*rdf::TYPE, &*rdf::PROPERTY);
-        store.insert_in(&s, &*vocab::s::HAS_WRAPPER, &*rdfs::DOMAIN, &*vocab::s::DATA_SOURCE);
-        store.insert_in(&s, &*vocab::s::HAS_WRAPPER, &*rdfs::RANGE, &*vocab::s::WRAPPER);
+        store.insert_in(
+            &s,
+            &*vocab::s::HAS_WRAPPER,
+            &*rdfs::DOMAIN,
+            &*vocab::s::DATA_SOURCE,
+        );
+        store.insert_in(
+            &s,
+            &*vocab::s::HAS_WRAPPER,
+            &*rdfs::RANGE,
+            &*vocab::s::WRAPPER,
+        );
         store.insert_in(&s, &*vocab::s::HAS_ATTRIBUTE, &*rdf::TYPE, &*rdf::PROPERTY);
-        store.insert_in(&s, &*vocab::s::HAS_ATTRIBUTE, &*rdfs::DOMAIN, &*vocab::s::WRAPPER);
-        store.insert_in(&s, &*vocab::s::HAS_ATTRIBUTE, &*rdfs::RANGE, &*vocab::s::ATTRIBUTE);
+        store.insert_in(
+            &s,
+            &*vocab::s::HAS_ATTRIBUTE,
+            &*rdfs::DOMAIN,
+            &*vocab::s::WRAPPER,
+        );
+        store.insert_in(
+            &s,
+            &*vocab::s::HAS_ATTRIBUTE,
+            &*rdfs::RANGE,
+            &*vocab::s::ATTRIBUTE,
+        );
 
         Self { store, prefixes }
     }
@@ -121,8 +161,12 @@ impl BdiOntology {
     /// the rewriting algorithm.
     pub fn add_id_feature(&self, feature: &Iri) {
         self.add_feature(feature);
-        self.store
-            .insert_in(&graphs::global(), feature, &*rdfs::SUB_CLASS_OF, &*sc::IDENTIFIER);
+        self.store.insert_in(
+            &graphs::global(),
+            feature,
+            &*rdfs::SUB_CLASS_OF,
+            &*sc::IDENTIFIER,
+        );
     }
 
     /// Attaches `feature` to `concept` via `G:hasFeature`, enforcing the
@@ -162,7 +206,8 @@ impl BdiOntology {
             return Err(OntologyError::NotAConcept(range.as_str().to_owned()));
         }
         let g = graphs::global();
-        self.store.insert_in(&g, property, &*rdf::TYPE, &*rdf::PROPERTY);
+        self.store
+            .insert_in(&g, property, &*rdf::TYPE, &*rdf::PROPERTY);
         self.store.insert_in(&g, property, &*rdfs::DOMAIN, domain);
         self.store.insert_in(&g, property, &*rdfs::RANGE, range);
         self.store.insert_in(&g, domain, property, range);
@@ -175,8 +220,10 @@ impl BdiOntology {
             return Err(OntologyError::NotAFeature(feature.as_str().to_owned()));
         }
         let g = graphs::global();
-        self.store.insert_in(&g, datatype, &*rdf::TYPE, &*rdfs::DATATYPE);
-        self.store.insert_in(&g, feature, &*vocab::g::HAS_DATA_TYPE, datatype);
+        self.store
+            .insert_in(&g, datatype, &*rdf::TYPE, &*rdfs::DATATYPE);
+        self.store
+            .insert_in(&g, feature, &*vocab::g::HAS_DATA_TYPE, datatype);
         Ok(())
     }
 
@@ -459,7 +506,8 @@ mod tests {
         let o = BdiOntology::new();
         o.add_concept(&iri("Monitor"));
         o.add_id_feature(&iri("monitorId"));
-        o.attach_feature(&iri("Monitor"), &iri("monitorId")).unwrap();
+        o.attach_feature(&iri("Monitor"), &iri("monitorId"))
+            .unwrap();
         o.add_feature(&iri("lagRatio"));
         o
     }
@@ -485,10 +533,13 @@ mod tests {
     fn feature_belongs_to_one_concept() {
         let o = ontology_with_monitor();
         o.add_concept(&iri("Other"));
-        let err = o.attach_feature(&iri("Other"), &iri("monitorId")).unwrap_err();
+        let err = o
+            .attach_feature(&iri("Other"), &iri("monitorId"))
+            .unwrap_err();
         assert!(matches!(err, OntologyError::FeatureAlreadyOwned { .. }));
         // Re-attaching to the same concept is idempotent.
-        o.attach_feature(&iri("Monitor"), &iri("monitorId")).unwrap();
+        o.attach_feature(&iri("Monitor"), &iri("monitorId"))
+            .unwrap();
     }
 
     #[test]
@@ -510,9 +561,15 @@ mod tests {
     fn object_properties_create_navigation_edges() {
         let o = ontology_with_monitor();
         o.add_concept(&iri("App"));
-        o.add_object_property(&iri("hasMonitor"), &iri("App"), &iri("Monitor")).unwrap();
-        assert_eq!(o.properties_between(&iri("App"), &iri("Monitor")), vec![iri("hasMonitor")]);
-        assert!(o.properties_between(&iri("Monitor"), &iri("App")).is_empty());
+        o.add_object_property(&iri("hasMonitor"), &iri("App"), &iri("Monitor"))
+            .unwrap();
+        assert_eq!(
+            o.properties_between(&iri("App"), &iri("Monitor")),
+            vec![iri("hasMonitor")]
+        );
+        assert!(o
+            .properties_between(&iri("Monitor"), &iri("App"))
+            .is_empty());
     }
 
     #[test]
@@ -529,19 +586,21 @@ mod tests {
     #[test]
     fn feature_datatypes() {
         let o = ontology_with_monitor();
-        o.set_feature_datatype(&iri("lagRatio"), &bdi_rdf::vocab::xsd::DOUBLE).unwrap();
+        o.set_feature_datatype(&iri("lagRatio"), &bdi_rdf::vocab::xsd::DOUBLE)
+            .unwrap();
         let sols = o
             .sparql("SELECT ?dt WHERE { <http://e/lagRatio> G:hasDataType ?dt . }")
             .unwrap();
-        assert_eq!(sols.iri_column("dt"), vec![(*bdi_rdf::vocab::xsd::DOUBLE).clone()]);
+        assert_eq!(
+            sols.iri_column("dt"),
+            vec![(*bdi_rdf::vocab::xsd::DOUBLE).clone()]
+        );
     }
 
     #[test]
     fn sparql_ranges_over_union_by_default() {
         let o = ontology_with_monitor();
-        let sols = o
-            .sparql("SELECT ?c WHERE { ?c a G:Concept . }")
-            .unwrap();
+        let sols = o.sparql("SELECT ?c WHERE { ?c a G:Concept . }").unwrap();
         assert_eq!(sols.iri_column("c"), vec![iri("Monitor")]);
     }
 

@@ -154,9 +154,7 @@ pub fn apply_release(
 
     // Lines 2–5: register the data source if it is new.
     let new_source = !ontology.is_data_source(&source_uri);
-    if new_source
-        && store.insert_in(&s_graph, &source_uri, &*rdf::TYPE, &*vocab::s::DATA_SOURCE)
-    {
+    if new_source && store.insert_in(&s_graph, &source_uri, &*rdf::TYPE, &*vocab::s::DATA_SOURCE) {
         source_triples_added += 1;
     }
 
@@ -243,10 +241,12 @@ mod tests {
         let o = BdiOntology::new();
         o.add_concept(&iri("Monitor"));
         o.add_id_feature(&iri("monitorId"));
-        o.attach_feature(&iri("Monitor"), &iri("monitorId")).unwrap();
+        o.attach_feature(&iri("Monitor"), &iri("monitorId"))
+            .unwrap();
         o.add_feature(&iri("lagRatio"));
         o.add_concept(&iri("InfoMonitor"));
-        o.attach_feature(&iri("InfoMonitor"), &iri("lagRatio")).unwrap();
+        o.attach_feature(&iri("InfoMonitor"), &iri("lagRatio"))
+            .unwrap();
         o.add_object_property(&iri("generatesQoS"), &iri("Monitor"), &iri("InfoMonitor"))
             .unwrap();
         o
@@ -254,9 +254,17 @@ mod tests {
 
     fn lav_graph() -> Vec<Triple> {
         vec![
-            Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorId")),
+            Triple::new(
+                iri("Monitor"),
+                (*vocab::g::HAS_FEATURE).clone(),
+                iri("monitorId"),
+            ),
             Triple::new(iri("Monitor"), iri("generatesQoS"), iri("InfoMonitor")),
-            Triple::new(iri("InfoMonitor"), (*vocab::g::HAS_FEATURE).clone(), iri("lagRatio")),
+            Triple::new(
+                iri("InfoMonitor"),
+                (*vocab::g::HAS_FEATURE).clone(),
+                iri("lagRatio"),
+            ),
         ]
     }
 
@@ -309,7 +317,7 @@ mod tests {
         assert!(!stats.new_source);
         assert_eq!(stats.attributes_reused, 1); // VoDmonitorId
         assert_eq!(stats.attributes_created, 1); // bufferingRatio
-        // 1 wrapper-type + 1 hasWrapper + 1 attr-type + 2 hasAttribute = 5
+                                                 // 1 wrapper-type + 1 hasWrapper + 1 attr-type + 2 hasAttribute = 5
         assert_eq!(stats.source_triples_added, 5);
         assert_eq!(reg.len(), 2);
     }
@@ -348,7 +356,11 @@ mod tests {
         let o = ontology();
         let mut reg = WrapperRegistry::new();
         let mut bad = lav_graph();
-        bad.push(Triple::new(iri("Monitor"), iri("nonexistent"), iri("InfoMonitor")));
+        bad.push(Triple::new(
+            iri("Monitor"),
+            iri("nonexistent"),
+            iri("InfoMonitor"),
+        ));
         let r = Release::new(
             wrapper("w1", ("VoDmonitorId", "lagRatio")),
             bad,

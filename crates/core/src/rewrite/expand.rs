@@ -98,8 +98,12 @@ mod tests {
             }
             o.attach_feature(&iri(c), &iri(f)).unwrap();
         }
-        o.add_object_property(&iri("hasMonitor"), &iri("SoftwareApplication"), &iri("Monitor"))
-            .unwrap();
+        o.add_object_property(
+            &iri("hasMonitor"),
+            &iri("SoftwareApplication"),
+            &iri("Monitor"),
+        )
+        .unwrap();
         o.add_object_property(&iri("generatesQoS"), &iri("Monitor"), &iri("InfoMonitor"))
             .unwrap();
         o
@@ -110,10 +114,22 @@ mod tests {
         Omq::new(
             vec![iri("applicationId"), iri("lagRatio")],
             vec![
-                Triple::new(iri("SoftwareApplication"), (*vocab::g::HAS_FEATURE).clone(), iri("applicationId")),
-                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("applicationId"),
+                ),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    iri("hasMonitor"),
+                    iri("Monitor"),
+                ),
                 Triple::new(iri("Monitor"), iri("generatesQoS"), iri("InfoMonitor")),
-                Triple::new(iri("InfoMonitor"), (*vocab::g::HAS_FEATURE).clone(), iri("lagRatio")),
+                Triple::new(
+                    iri("InfoMonitor"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("lagRatio"),
+                ),
             ],
         )
     }
@@ -150,12 +166,20 @@ mod tests {
     fn idless_featureless_concept_is_rejected() {
         let o = ontology();
         o.add_concept(&iri("Passthrough")); // no features at all
-        o.add_object_property(&iri("via"), &iri("SoftwareApplication"), &iri("Passthrough"))
-            .unwrap();
+        o.add_object_property(
+            &iri("via"),
+            &iri("SoftwareApplication"),
+            &iri("Passthrough"),
+        )
+        .unwrap();
         let q = Omq::new(
             vec![iri("applicationId")],
             vec![
-                Triple::new(iri("SoftwareApplication"), (*vocab::g::HAS_FEATURE).clone(), iri("applicationId")),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("applicationId"),
+                ),
                 Triple::new(iri("SoftwareApplication"), iri("via"), iri("Passthrough")),
             ],
         );

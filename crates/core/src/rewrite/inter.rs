@@ -48,7 +48,13 @@ pub fn inter_concept_generation(ontology: &BdiOntology, partial_walks: &PartialW
                 let ltr = ontology.wrappers_providing_edge(current_concept, next_concept);
                 if !ltr.is_empty() {
                     join_through(
-                        ontology, &merged, left, right, current_concept, next_concept, &ltr,
+                        ontology,
+                        &merged,
+                        left,
+                        right,
+                        current_concept,
+                        next_concept,
+                        &ltr,
                         &mut joined,
                     );
                     continue;
@@ -57,7 +63,13 @@ pub fn inter_concept_generation(ontology: &BdiOntology, partial_walks: &PartialW
                 if !rtl.is_empty() {
                     // Line 20: same process inverting left and right.
                     join_through(
-                        ontology, &merged, right, left, next_concept, current_concept, &rtl,
+                        ontology,
+                        &merged,
+                        right,
+                        left,
+                        next_concept,
+                        current_concept,
+                        &rtl,
                         &mut joined,
                     );
                 }
@@ -200,11 +212,7 @@ fn join_on_concept_id(
 
 /// `findWrapperWithID` (line 13): the wrapper of `walk` that provides the
 /// given ID feature, together with its physical attribute.
-fn find_wrapper_with_id(
-    ontology: &BdiOntology,
-    walk: &Walk,
-    f_id: &Iri,
-) -> Option<(Iri, Iri)> {
+fn find_wrapper_with_id(ontology: &BdiOntology, walk: &Walk, f_id: &Iri) -> Option<(Iri, Iri)> {
     for wrapper in walk.wrappers() {
         if let Some(attr) = ontology.attribute_for_feature(wrapper, f_id) {
             return Some((wrapper.clone(), attr));

@@ -90,7 +90,12 @@ mod tests {
     /// * `w3(TargetApp, MonitorId, FeedbackId)` over App + Monitor.
     fn setup() -> (BdiOntology, WrapperRegistry) {
         let o = BdiOntology::new();
-        for c in ["SoftwareApplication", "Monitor", "InfoMonitor", "FeedbackGathering"] {
+        for c in [
+            "SoftwareApplication",
+            "Monitor",
+            "InfoMonitor",
+            "FeedbackGathering",
+        ] {
             o.add_concept(&iri(c));
         }
         for (c, f, id) in [
@@ -106,9 +111,20 @@ mod tests {
             }
             o.attach_feature(&iri(c), &iri(f)).unwrap();
         }
-        o.add_object_property(&iri("hasMonitor"), &iri("SoftwareApplication"), &iri("Monitor")).unwrap();
-        o.add_object_property(&iri("hasFGTool"), &iri("SoftwareApplication"), &iri("FeedbackGathering")).unwrap();
-        o.add_object_property(&iri("generatesQoS"), &iri("Monitor"), &iri("InfoMonitor")).unwrap();
+        o.add_object_property(
+            &iri("hasMonitor"),
+            &iri("SoftwareApplication"),
+            &iri("Monitor"),
+        )
+        .unwrap();
+        o.add_object_property(
+            &iri("hasFGTool"),
+            &iri("SoftwareApplication"),
+            &iri("FeedbackGathering"),
+        )
+        .unwrap();
+        o.add_object_property(&iri("generatesQoS"), &iri("Monitor"), &iri("InfoMonitor"))
+            .unwrap();
 
         let mut registry = WrapperRegistry::new();
 
@@ -127,9 +143,17 @@ mod tests {
             Release::new(
                 w1,
                 vec![
-                    Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorId")),
+                    Triple::new(
+                        iri("Monitor"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("monitorId"),
+                    ),
                     Triple::new(iri("Monitor"), iri("generatesQoS"), iri("InfoMonitor")),
-                    Triple::new(iri("InfoMonitor"), (*vocab::g::HAS_FEATURE).clone(), iri("lagRatio")),
+                    Triple::new(
+                        iri("InfoMonitor"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("lagRatio"),
+                    ),
                 ],
                 BTreeMap::from([
                     ("VoDmonitorId".to_owned(), iri("monitorId")),
@@ -154,11 +178,31 @@ mod tests {
             Release::new(
                 w3,
                 vec![
-                    Triple::new(iri("SoftwareApplication"), (*vocab::g::HAS_FEATURE).clone(), iri("applicationId")),
-                    Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
-                    Triple::new(iri("SoftwareApplication"), iri("hasFGTool"), iri("FeedbackGathering")),
-                    Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorId")),
-                    Triple::new(iri("FeedbackGathering"), (*vocab::g::HAS_FEATURE).clone(), iri("feedbackGatheringId")),
+                    Triple::new(
+                        iri("SoftwareApplication"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("applicationId"),
+                    ),
+                    Triple::new(
+                        iri("SoftwareApplication"),
+                        iri("hasMonitor"),
+                        iri("Monitor"),
+                    ),
+                    Triple::new(
+                        iri("SoftwareApplication"),
+                        iri("hasFGTool"),
+                        iri("FeedbackGathering"),
+                    ),
+                    Triple::new(
+                        iri("Monitor"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("monitorId"),
+                    ),
+                    Triple::new(
+                        iri("FeedbackGathering"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("feedbackGatheringId"),
+                    ),
                 ],
                 BTreeMap::from([
                     ("TargetApp".to_owned(), iri("applicationId")),
@@ -176,12 +220,28 @@ mod tests {
         Omq::new(
             vec![iri("applicationId"), iri("lagRatio")],
             vec![
-                Triple::new(iri("SoftwareApplication"), (*vocab::g::HAS_FEATURE).clone(), iri("applicationId")),
-                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("applicationId"),
+                ),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    iri("hasMonitor"),
+                    iri("Monitor"),
+                ),
                 Triple::new(iri("Monitor"), iri("generatesQoS"), iri("InfoMonitor")),
-                Triple::new(iri("InfoMonitor"), (*vocab::g::HAS_FEATURE).clone(), iri("lagRatio")),
+                Triple::new(
+                    iri("InfoMonitor"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("lagRatio"),
+                ),
                 // Expansion additions:
-                Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorId")),
+                Triple::new(
+                    iri("Monitor"),
+                    (*vocab::g::HAS_FEATURE).clone(),
+                    iri("monitorId"),
+                ),
             ],
         )
     }
@@ -189,7 +249,11 @@ mod tests {
     #[test]
     fn produces_the_papers_phase2_output() {
         let (o, _) = setup();
-        let concepts = vec![iri("SoftwareApplication"), iri("Monitor"), iri("InfoMonitor")];
+        let concepts = vec![
+            iri("SoftwareApplication"),
+            iri("Monitor"),
+            iri("InfoMonitor"),
+        ];
         let partial = intra_concept_generation(&o, &concepts, &expanded_query());
 
         assert_eq!(partial.len(), 3);
@@ -197,7 +261,9 @@ mod tests {
         let (c0, w0) = &partial[0];
         assert_eq!(c0.local_name(), "SoftwareApplication");
         assert_eq!(w0.len(), 1);
-        assert!(w0[0].projections_of(&vocab::wrapper_uri("w3")).unwrap()
+        assert!(w0[0]
+            .projections_of(&vocab::wrapper_uri("w3"))
+            .unwrap()
             .contains(&vocab::attribute_uri("D3", "TargetApp")));
 
         // Monitor → {Π D1/VoDmonitorId (w1), Π D3/MonitorId (w3)}
@@ -209,7 +275,9 @@ mod tests {
         let (c2, w2) = &partial[2];
         assert_eq!(c2.local_name(), "InfoMonitor");
         assert_eq!(w2.len(), 1);
-        assert!(w2[0].projections_of(&vocab::wrapper_uri("w1")).unwrap()
+        assert!(w2[0]
+            .projections_of(&vocab::wrapper_uri("w1"))
+            .unwrap()
             .contains(&vocab::attribute_uri("D1", "lagRatio")));
     }
 
@@ -221,7 +289,8 @@ mod tests {
         // qualify; but for a two-feature concept, a one-feature wrapper is
         // pruned. Attach a second feature to Monitor and query it.
         o.add_feature(&iri("monitorLabel"));
-        o.attach_feature(&iri("Monitor"), &iri("monitorLabel")).unwrap();
+        o.attach_feature(&iri("Monitor"), &iri("monitorLabel"))
+            .unwrap();
         let w5: Arc<dyn Wrapper> = Arc::new(
             TableWrapper::new(
                 "w5",
@@ -237,8 +306,16 @@ mod tests {
             Release::new(
                 w5,
                 vec![
-                    Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorId")),
-                    Triple::new(iri("Monitor"), (*vocab::g::HAS_FEATURE).clone(), iri("monitorLabel")),
+                    Triple::new(
+                        iri("Monitor"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("monitorId"),
+                    ),
+                    Triple::new(
+                        iri("Monitor"),
+                        (*vocab::g::HAS_FEATURE).clone(),
+                        iri("monitorLabel"),
+                    ),
                 ],
                 BTreeMap::from([
                     ("mid".to_owned(), iri("monitorId")),
@@ -268,7 +345,8 @@ mod tests {
     fn unprovided_features_yield_empty_walk_lists() {
         let (o, _) = setup();
         o.add_feature(&iri("unmapped"));
-        o.attach_feature(&iri("InfoMonitor"), &iri("unmapped")).unwrap();
+        o.attach_feature(&iri("InfoMonitor"), &iri("unmapped"))
+            .unwrap();
         let mut q = expanded_query();
         q.extend_phi(Triple::new(
             iri("InfoMonitor"),

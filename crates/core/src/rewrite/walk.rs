@@ -38,7 +38,8 @@ impl Walk {
     /// A single-wrapper walk projecting the given attributes.
     pub fn single(wrapper: Iri, attributes: impl IntoIterator<Item = Iri>) -> Self {
         let mut w = Walk::default();
-        w.projections.insert(wrapper, attributes.into_iter().collect());
+        w.projections
+            .insert(wrapper, attributes.into_iter().collect());
         w
     }
 
@@ -72,7 +73,10 @@ impl Walk {
     /// Adds (or extends) a wrapper's projection set — the phase-2
     /// `MergeProjections` collapses here because projections are sets.
     pub fn project(&mut self, wrapper: Iri, attribute: Iri) {
-        self.projections.entry(wrapper).or_default().insert(attribute);
+        self.projections
+            .entry(wrapper)
+            .or_default()
+            .insert(attribute);
     }
 
     /// Merges another walk's projections and joins into this one
@@ -92,8 +96,14 @@ impl Walk {
     /// Records a ⋈̃ condition (Algorithm 5 line 17), ensuring both sides'
     /// join attributes are projected.
     pub fn add_join(&mut self, condition: JoinCondition) {
-        self.project(condition.left_wrapper.clone(), condition.left_attribute.clone());
-        self.project(condition.right_wrapper.clone(), condition.right_attribute.clone());
+        self.project(
+            condition.left_wrapper.clone(),
+            condition.left_attribute.clone(),
+        );
+        self.project(
+            condition.right_wrapper.clone(),
+            condition.right_attribute.clone(),
+        );
         if self.join_set.insert(condition.clone()) {
             self.joins.push(condition);
         }
@@ -102,7 +112,10 @@ impl Walk {
     /// True when this walk shares at least one wrapper with `other`
     /// (Algorithm 5 line 8's disjointness test, negated).
     pub fn shares_wrapper_with(&self, other: &Walk) -> bool {
-        other.projections.keys().any(|w| self.projections.contains_key(w))
+        other
+            .projections
+            .keys()
+            .any(|w| self.projections.contains_key(w))
     }
 
     /// §2.3 **coverage**: the union of the walk's wrappers' LAV graphs
@@ -207,7 +220,9 @@ impl Walk {
             let projected: Vec<String> = attrs.iter().map(prefixed_attr_name).collect();
             leaf_exprs.insert(
                 wrapper,
-                RelExpr::source(wrapper_name).rename(renames).project(projected),
+                RelExpr::source(wrapper_name)
+                    .rename(renames)
+                    .project(projected),
             );
         }
 
@@ -315,7 +330,10 @@ mod tests {
 
     #[test]
     fn single_wrapper_walk_compiles_to_projection() {
-        let walk = Walk::single(wuri("w1"), vec![auri("D1", "lagRatio"), auri("D1", "VoDmonitorId")]);
+        let walk = Walk::single(
+            wuri("w1"),
+            vec![auri("D1", "lagRatio"), auri("D1", "VoDmonitorId")],
+        );
         let expr = walk.to_rel_expr();
         let text = expr.to_string();
         assert!(text.contains("Π̃[D1/VoDmonitorId, D1/lagRatio]"));
@@ -342,8 +360,14 @@ mod tests {
             right_wrapper: wuri("w1"),
             right_attribute: auri("D1", "VoDmonitorId"),
         });
-        assert!(walk.projections_of(&wuri("w3")).unwrap().contains(&auri("D3", "MonitorId")));
-        assert!(walk.projections_of(&wuri("w1")).unwrap().contains(&auri("D1", "VoDmonitorId")));
+        assert!(walk
+            .projections_of(&wuri("w3"))
+            .unwrap()
+            .contains(&auri("D3", "MonitorId")));
+        assert!(walk
+            .projections_of(&wuri("w1"))
+            .unwrap()
+            .contains(&auri("D1", "VoDmonitorId")));
         let text = walk.to_rel_expr().to_string();
         assert!(text.contains("⋈̃[D3/MonitorId=D1/VoDmonitorId]"));
     }

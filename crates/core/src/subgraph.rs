@@ -35,18 +35,18 @@ fn concept_adjacency(ontology: &BdiOntology) -> BTreeMap<Iri, Vec<(Iri, Iri, boo
     let mut adj: BTreeMap<Iri, Vec<(Iri, Iri, bool)>> = BTreeMap::new();
     let g = GraphPattern::Named((*vocab::graphs::GLOBAL).clone());
     for concept in ontology.concepts() {
-        for quad in ontology.store().match_quads(
-            Some(&Term::Iri(concept.clone())),
-            None,
-            None,
-            &g,
-        ) {
+        for quad in ontology
+            .store()
+            .match_quads(Some(&Term::Iri(concept.clone())), None, None, &g)
+        {
             if quad.predicate == *vocab::g::HAS_FEATURE
                 || quad.predicate == *bdi_rdf::vocab::rdf::TYPE
             {
                 continue;
             }
-            let Term::Iri(object) = &quad.object else { continue };
+            let Term::Iri(object) = &quad.object else {
+                continue;
+            };
             if !ontology.is_concept(object) {
                 continue;
             }
@@ -175,9 +175,11 @@ mod tests {
     fn w1_style_release_subgraph_is_reconstructed() {
         // monitorId + lagRatio → Monitor —generatesQoS→ InfoMonitor.
         let system = supersede::build_running_example();
-        let lav =
-            suggest_lav_graph(system.ontology(), &[features::monitor_id(), features::lag_ratio()])
-                .unwrap();
+        let lav = suggest_lav_graph(
+            system.ontology(),
+            &[features::monitor_id(), features::lag_ratio()],
+        )
+        .unwrap();
         assert_eq!(lav.len(), 3);
         assert!(lav.contains(&Triple::new(
             concepts::monitor(),
@@ -251,12 +253,12 @@ mod tests {
         let island_f = supersede::sup("islandFeature");
         system.ontology().add_concept(&island);
         system.ontology().add_feature(&island_f);
-        system.ontology().attach_feature(&island, &island_f).unwrap();
-        let err = suggest_lav_graph(
-            system.ontology(),
-            &[features::monitor_id(), island_f],
-        )
-        .unwrap_err();
+        system
+            .ontology()
+            .attach_feature(&island, &island_f)
+            .unwrap();
+        let err =
+            suggest_lav_graph(system.ontology(), &[features::monitor_id(), island_f]).unwrap_err();
         assert!(matches!(err, SubgraphError::Disconnected(_, _)));
     }
 

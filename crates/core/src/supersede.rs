@@ -116,24 +116,46 @@ pub fn build_ontology() -> BdiOntology {
         ontology.add_feature_subclass(f, &tool_id);
     }
 
-    ontology.attach_feature(&app, &app_id).expect("static model");
-    ontology.attach_feature(&monitor, &mon_id).expect("static model");
+    ontology
+        .attach_feature(&app, &app_id)
+        .expect("static model");
+    ontology
+        .attach_feature(&monitor, &mon_id)
+        .expect("static model");
     ontology.attach_feature(&fg, &fg_id).expect("static model");
     ontology.attach_feature(&info, &lag).expect("static model");
     ontology.attach_feature(&uf, &desc).expect("static model");
 
     // Object properties (the UML associations of Figure 2).
-    ontology.add_object_property(&sup("hasMonitor"), &app, &monitor).expect("static model");
-    ontology.add_object_property(&sup("hasFGTool"), &app, &fg).expect("static model");
-    ontology.add_object_property(&sup("generatesQoS"), &monitor, &info).expect("static model");
-    ontology.add_object_property(&sup("generatesUF"), &fg, &uf).expect("static model");
+    ontology
+        .add_object_property(&sup("hasMonitor"), &app, &monitor)
+        .expect("static model");
+    ontology
+        .add_object_property(&sup("hasFGTool"), &app, &fg)
+        .expect("static model");
+    ontology
+        .add_object_property(&sup("generatesQoS"), &monitor, &info)
+        .expect("static model");
+    ontology
+        .add_object_property(&sup("generatesUF"), &fg, &uf)
+        .expect("static model");
 
     // Datatypes (§3.1).
-    ontology.set_feature_datatype(&app_id, &xsd::INTEGER).expect("static model");
-    ontology.set_feature_datatype(&mon_id, &xsd::INTEGER).expect("static model");
-    ontology.set_feature_datatype(&fg_id, &xsd::INTEGER).expect("static model");
-    ontology.set_feature_datatype(&lag, &xsd::DOUBLE).expect("static model");
-    ontology.set_feature_datatype(&desc, &xsd::STRING).expect("static model");
+    ontology
+        .set_feature_datatype(&app_id, &xsd::INTEGER)
+        .expect("static model");
+    ontology
+        .set_feature_datatype(&mon_id, &xsd::INTEGER)
+        .expect("static model");
+    ontology
+        .set_feature_datatype(&fg_id, &xsd::INTEGER)
+        .expect("static model");
+    ontology
+        .set_feature_datatype(&lag, &xsd::DOUBLE)
+        .expect("static model");
+    ontology
+        .set_feature_datatype(&desc, &xsd::STRING)
+        .expect("static model");
 
     ontology
 }
@@ -148,7 +170,11 @@ pub fn release_w1(wrapper: Arc<dyn Wrapper>) -> Release {
         wrapper,
         vec![
             has_feature(&concepts::monitor(), &features::monitor_id()),
-            Triple::new(concepts::monitor(), sup("generatesQoS"), concepts::info_monitor()),
+            Triple::new(
+                concepts::monitor(),
+                sup("generatesQoS"),
+                concepts::info_monitor(),
+            ),
             has_feature(&concepts::info_monitor(), &features::lag_ratio()),
         ],
         BTreeMap::from([
@@ -163,8 +189,15 @@ pub fn release_w2(wrapper: Arc<dyn Wrapper>) -> Release {
     Release::new(
         wrapper,
         vec![
-            has_feature(&concepts::feedback_gathering(), &features::feedback_gathering_id()),
-            Triple::new(concepts::feedback_gathering(), sup("generatesUF"), concepts::user_feedback()),
+            has_feature(
+                &concepts::feedback_gathering(),
+                &features::feedback_gathering_id(),
+            ),
+            Triple::new(
+                concepts::feedback_gathering(),
+                sup("generatesUF"),
+                concepts::user_feedback(),
+            ),
             has_feature(&concepts::user_feedback(), &features::description()),
         ],
         BTreeMap::from([
@@ -179,11 +212,25 @@ pub fn release_w3(wrapper: Arc<dyn Wrapper>) -> Release {
     Release::new(
         wrapper,
         vec![
-            has_feature(&concepts::software_application(), &features::application_id()),
-            Triple::new(concepts::software_application(), sup("hasMonitor"), concepts::monitor()),
-            Triple::new(concepts::software_application(), sup("hasFGTool"), concepts::feedback_gathering()),
+            has_feature(
+                &concepts::software_application(),
+                &features::application_id(),
+            ),
+            Triple::new(
+                concepts::software_application(),
+                sup("hasMonitor"),
+                concepts::monitor(),
+            ),
+            Triple::new(
+                concepts::software_application(),
+                sup("hasFGTool"),
+                concepts::feedback_gathering(),
+            ),
             has_feature(&concepts::monitor(), &features::monitor_id()),
-            has_feature(&concepts::feedback_gathering(), &features::feedback_gathering_id()),
+            has_feature(
+                &concepts::feedback_gathering(),
+                &features::feedback_gathering_id(),
+            ),
         ],
         BTreeMap::from([
             ("TargetApp".to_owned(), features::application_id()),
@@ -200,7 +247,11 @@ pub fn release_w4(wrapper: Arc<dyn Wrapper>) -> Release {
         wrapper,
         vec![
             has_feature(&concepts::monitor(), &features::monitor_id()),
-            Triple::new(concepts::monitor(), sup("generatesQoS"), concepts::info_monitor()),
+            Triple::new(
+                concepts::monitor(),
+                sup("generatesQoS"),
+                concepts::info_monitor(),
+            ),
             has_feature(&concepts::info_monitor(), &features::lag_ratio()),
         ],
         BTreeMap::from([
@@ -275,9 +326,20 @@ pub fn exemplary_omq() -> Omq {
     Omq::new(
         vec![features::application_id(), features::lag_ratio()],
         vec![
-            has_feature(&concepts::software_application(), &features::application_id()),
-            Triple::new(concepts::software_application(), sup("hasMonitor"), concepts::monitor()),
-            Triple::new(concepts::monitor(), sup("generatesQoS"), concepts::info_monitor()),
+            has_feature(
+                &concepts::software_application(),
+                &features::application_id(),
+            ),
+            Triple::new(
+                concepts::software_application(),
+                sup("hasMonitor"),
+                concepts::monitor(),
+            ),
+            Triple::new(
+                concepts::monitor(),
+                sup("generatesQoS"),
+                concepts::info_monitor(),
+            ),
             has_feature(&concepts::info_monitor(), &features::lag_ratio()),
         ],
     )
@@ -294,7 +356,10 @@ mod tests {
         assert_eq!(o.concepts().len(), 5);
         assert!(o.is_id_feature(&features::monitor_id()));
         assert!(!o.is_id_feature(&features::lag_ratio()));
-        assert_eq!(o.concept_of(&features::lag_ratio()), Some(concepts::info_monitor()));
+        assert_eq!(
+            o.concept_of(&features::lag_ratio()),
+            Some(concepts::info_monitor())
+        );
     }
 
     #[test]
@@ -310,7 +375,10 @@ mod tests {
         let system = build_running_example();
         let answer = system.answer(&exemplary_query()).unwrap();
         // Table 2: (1, 0.75), (1, 0.90), (2, 0.1).
-        assert_eq!(answer.relation.schema().names(), vec!["applicationId", "lagRatio"]);
+        assert_eq!(
+            answer.relation.schema().names(),
+            vec!["applicationId", "lagRatio"]
+        );
         let mut rows: Vec<(i64, f64)> = answer
             .relation
             .rows()
@@ -368,8 +436,15 @@ mod tests {
         let q = Omq::new(
             vec![features::feedback_gathering_id(), features::description()],
             vec![
-                has_feature(&concepts::feedback_gathering(), &features::feedback_gathering_id()),
-                Triple::new(concepts::feedback_gathering(), sup("generatesUF"), concepts::user_feedback()),
+                has_feature(
+                    &concepts::feedback_gathering(),
+                    &features::feedback_gathering_id(),
+                ),
+                Triple::new(
+                    concepts::feedback_gathering(),
+                    sup("generatesUF"),
+                    concepts::user_feedback(),
+                ),
                 has_feature(&concepts::user_feedback(), &features::description()),
             ],
         );

@@ -4,7 +4,7 @@
 //! the data steward registers releases; analysts pose OMQs which are
 //! rewritten (Algorithms 2–5) and executed over the wrappers.
 
-use crate::exec::{self, ExecError, QueryAnswer};
+use crate::exec::{self, ExecError, ExecOptions, QueryAnswer};
 use crate::omq::{Omq, OmqError};
 use crate::ontology::BdiOntology;
 use crate::release::{self, Release, ReleaseError, ReleaseStats};
@@ -175,6 +175,20 @@ impl BdiSystem {
     /// most-recent-schema answers, or `UpToRelease(n)` for historical
     /// point-in-time answers.
     pub fn answer_scoped(&self, omq: Omq, scope: &VersionScope) -> Result<Answer, SystemError> {
+        self.answer_with(omq, scope, &ExecOptions::default())
+    }
+
+    /// Rewrites and executes an OMQ with explicit [`ExecOptions`]: engine
+    /// selection (streaming plans vs the eager reference), projection
+    /// pushdown, parallel walk execution, and an optional pushed-down
+    /// ID-equality filter. Scope filtering is identical to
+    /// [`BdiSystem::answer_scoped`].
+    pub fn answer_with(
+        &self,
+        omq: Omq,
+        scope: &VersionScope,
+        options: &ExecOptions,
+    ) -> Result<Answer, SystemError> {
         let mut rewriting = rewrite::rewrite(&self.ontology, omq)?;
         if !matches!(scope, VersionScope::All) {
             let allowed = self.wrappers_in_scope(scope);
@@ -189,7 +203,7 @@ impl BdiSystem {
         let QueryAnswer {
             relation,
             walk_exprs,
-        } = exec::execute(&self.ontology, &self.registry, &rewriting)?;
+        } = exec::execute_with(&self.ontology, &self.registry, &rewriting, options)?;
         Ok(Answer {
             relation,
             rewriting,

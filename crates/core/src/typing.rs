@@ -106,7 +106,12 @@ pub fn validate_wrapper(
         return Err(TypingError::UnregisteredWrapper(wrapper.name().to_owned()));
     }
     let relation = wrapper.scan()?;
-    Ok(validate_relation(ontology, wrapper.name(), wrapper.source(), &relation))
+    Ok(validate_relation(
+        ontology,
+        wrapper.name(),
+        wrapper.source(),
+        &relation,
+    ))
 }
 
 /// Validates an already-scanned relation (useful in tests and pipelines).
@@ -251,10 +256,22 @@ mod tests {
 
     #[test]
     fn expected_kind_mapping() {
-        assert_eq!(ExpectedKind::from_datatype(&xsd::INTEGER), ExpectedKind::Integer);
-        assert_eq!(ExpectedKind::from_datatype(&xsd::DOUBLE), ExpectedKind::Double);
-        assert_eq!(ExpectedKind::from_datatype(&xsd::BOOLEAN), ExpectedKind::Boolean);
-        assert_eq!(ExpectedKind::from_datatype(&xsd::STRING), ExpectedKind::String);
+        assert_eq!(
+            ExpectedKind::from_datatype(&xsd::INTEGER),
+            ExpectedKind::Integer
+        );
+        assert_eq!(
+            ExpectedKind::from_datatype(&xsd::DOUBLE),
+            ExpectedKind::Double
+        );
+        assert_eq!(
+            ExpectedKind::from_datatype(&xsd::BOOLEAN),
+            ExpectedKind::Boolean
+        );
+        assert_eq!(
+            ExpectedKind::from_datatype(&xsd::STRING),
+            ExpectedKind::String
+        );
         assert_eq!(
             ExpectedKind::from_datatype(&Iri::new("http://custom/dt")),
             ExpectedKind::Any

@@ -56,18 +56,33 @@ impl fmt::Display for Violation {
                 concepts.len()
             ),
             Violation::OrphanFeature { feature } => {
-                write!(f, "feature {} is attached to no concept", feature.local_name())
+                write!(
+                    f,
+                    "feature {} is attached to no concept",
+                    feature.local_name()
+                )
             }
             Violation::WrapperWithoutSource { wrapper } => {
-                write!(f, "wrapper {} has no owning data source", wrapper.local_name())
+                write!(
+                    f,
+                    "wrapper {} has no owning data source",
+                    wrapper.local_name()
+                )
             }
             Violation::WrapperWithoutAttributes { wrapper } => {
                 write!(f, "wrapper {} provides no attributes", wrapper.local_name())
             }
             Violation::UnmappedAttribute { attribute } => {
-                write!(f, "attribute {} has no owl:sameAs feature", attribute.local_name())
+                write!(
+                    f,
+                    "attribute {} has no owl:sameAs feature",
+                    attribute.local_name()
+                )
             }
-            Violation::AmbiguousAttribute { attribute, features } => write!(
+            Violation::AmbiguousAttribute {
+                attribute,
+                features,
+            } => write!(
                 f,
                 "attribute {} maps to {} features (F must be a function)",
                 attribute.local_name(),
@@ -107,13 +122,13 @@ pub fn check_ontology(ontology: &BdiOntology) -> Vec<Violation> {
 
 fn check_features(ontology: &BdiOntology, out: &mut Vec<Violation>) {
     let g = GraphPattern::Named((*vocab::graphs::GLOBAL).clone());
-    let features = ontology.store().subjects(
-        &rdf::TYPE,
-        &Term::from(&*vocab::g::FEATURE),
-        &g,
-    );
+    let features = ontology
+        .store()
+        .subjects(&rdf::TYPE, &Term::from(&*vocab::g::FEATURE), &g);
     for feature in features {
-        let Term::Iri(feature) = feature else { continue };
+        let Term::Iri(feature) = feature else {
+            continue;
+        };
         // Skip the metamodel's own class declarations.
         if feature.as_str().starts_with(vocab::g::NS) {
             continue;
@@ -138,17 +153,18 @@ fn check_wrappers(ontology: &BdiOntology, out: &mut Vec<Violation>) {
         .store()
         .subjects(&rdf::TYPE, &Term::from(&*vocab::s::WRAPPER), &s);
     for wrapper in wrappers {
-        let Term::Iri(wrapper) = wrapper else { continue };
+        let Term::Iri(wrapper) = wrapper else {
+            continue;
+        };
         if wrapper.as_str() == vocab::s::WRAPPER.as_str() {
             continue;
         }
 
         // C2: owned by a source.
-        let sources = ontology.store().subjects(
-            &vocab::s::HAS_WRAPPER,
-            &Term::Iri(wrapper.clone()),
-            &s,
-        );
+        let sources =
+            ontology
+                .store()
+                .subjects(&vocab::s::HAS_WRAPPER, &Term::Iri(wrapper.clone()), &s);
         if sources.is_empty() {
             out.push(Violation::WrapperWithoutSource {
                 wrapper: wrapper.clone(),
@@ -266,10 +282,10 @@ mod tests {
             supersede::features::application_id(),
         );
         let violations = check_ontology(system.ontology());
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::FeatureWithMultipleConcepts { feature, .. }
-                if feature == &supersede::features::application_id())));
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::FeatureWithMultipleConcepts { feature, .. }
+                if feature == &supersede::features::application_id())
+        ));
     }
 
     #[test]
@@ -283,8 +299,12 @@ mod tests {
             &*vocab::s::WRAPPER,
         );
         let violations = check_ontology(system.ontology());
-        assert!(violations.contains(&Violation::WrapperWithoutSource { wrapper: ghost.clone() }));
-        assert!(violations.contains(&Violation::WrapperWithoutAttributes { wrapper: ghost.clone() }));
+        assert!(violations.contains(&Violation::WrapperWithoutSource {
+            wrapper: ghost.clone()
+        }));
+        assert!(violations.contains(&Violation::WrapperWithoutAttributes {
+            wrapper: ghost.clone()
+        }));
         assert!(violations.contains(&Violation::MissingLavGraph { wrapper: ghost }));
     }
 

@@ -113,7 +113,9 @@ pub fn wrapper_name_of(uri: &Iri) -> Option<&str> {
 
 /// Inverse of [`attribute_uri`]: `(source, attribute)` of an attribute URI.
 pub fn attribute_parts_of(uri: &Iri) -> Option<(&str, &str)> {
-    let rest = uri.as_str().strip_prefix(&format!("{}DataSource/", s::NS))?;
+    let rest = uri
+        .as_str()
+        .strip_prefix(&format!("{}DataSource/", s::NS))?;
     rest.split_once('/')
 }
 

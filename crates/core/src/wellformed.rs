@@ -104,8 +104,12 @@ mod tests {
             o.add_id_feature(&iri(f));
             o.attach_feature(&iri(c), &iri(f)).unwrap();
         }
-        o.add_object_property(&iri("hasMonitor"), &iri("SoftwareApplication"), &iri("Monitor"))
-            .unwrap();
+        o.add_object_property(
+            &iri("hasMonitor"),
+            &iri("SoftwareApplication"),
+            &iri("Monitor"),
+        )
+        .unwrap();
         o.add_object_property(
             &iri("hasFGTool"),
             &iri("SoftwareApplication"),
@@ -118,10 +122,22 @@ mod tests {
     /// The non-well-formed query of Code 9 (projects concepts).
     fn code9() -> Omq {
         Omq::new(
-            vec![iri("SoftwareApplication"), iri("Monitor"), iri("FeedbackGathering")],
             vec![
-                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
-                Triple::new(iri("SoftwareApplication"), iri("hasFGTool"), iri("FeedbackGathering")),
+                iri("SoftwareApplication"),
+                iri("Monitor"),
+                iri("FeedbackGathering"),
+            ],
+            vec![
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    iri("hasMonitor"),
+                    iri("Monitor"),
+                ),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    iri("hasFGTool"),
+                    iri("FeedbackGathering"),
+                ),
             ],
         )
     }
@@ -132,7 +148,10 @@ mod tests {
         let wf = well_formed_query(&o, code9()).unwrap();
         // π now projects the three ID features (Code 10).
         let names: Vec<&str> = wf.omq.pi.iter().map(|i| i.local_name()).collect();
-        assert_eq!(names, vec!["applicationId", "monitorId", "feedbackGatheringId"]);
+        assert_eq!(
+            names,
+            vec!["applicationId", "monitorId", "feedbackGatheringId"]
+        );
         // φ gained the three hasFeature triples.
         assert_eq!(wf.omq.phi.len(), 5);
         assert_eq!(wf.replacements.len(), 3);
@@ -166,10 +185,17 @@ mod tests {
             vec![iri("monitorId")],
             vec![
                 Triple::new(iri("Monitor"), iri("p"), iri("SoftwareApplication")),
-                Triple::new(iri("SoftwareApplication"), iri("hasMonitor"), iri("Monitor")),
+                Triple::new(
+                    iri("SoftwareApplication"),
+                    iri("hasMonitor"),
+                    iri("Monitor"),
+                ),
             ],
         );
-        assert_eq!(well_formed_query(&o, omq).unwrap_err(), WellFormedError::Cyclic);
+        assert_eq!(
+            well_formed_query(&o, omq).unwrap_err(),
+            WellFormedError::Cyclic
+        );
     }
 
     #[test]
@@ -177,7 +203,8 @@ mod tests {
         let o = ontology();
         o.add_concept(&iri("InfoMonitor")); // no ID feature
         o.add_feature(&iri("lagRatio"));
-        o.attach_feature(&iri("InfoMonitor"), &iri("lagRatio")).unwrap();
+        o.attach_feature(&iri("InfoMonitor"), &iri("lagRatio"))
+            .unwrap();
         let omq = Omq::new(
             vec![iri("InfoMonitor")],
             vec![Triple::new(
@@ -197,7 +224,11 @@ mod tests {
         let o = ontology();
         let omq = Omq::new(
             vec![iri("zzz")],
-            vec![Triple::new(iri("Monitor"), iri("p"), Term::iri("http://e/zzz"))],
+            vec![Triple::new(
+                iri("Monitor"),
+                iri("p"),
+                Term::iri("http://e/zzz"),
+            )],
         );
         assert!(matches!(
             well_formed_query(&o, omq),

@@ -92,7 +92,11 @@ impl DocStore {
 
     /// Runs a pipeline against a collection (`db.getCollection(name)
     /// .aggregate([...])` in the paper's Code 2).
-    pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Value>, StoreError> {
+    pub fn aggregate(
+        &self,
+        collection: &str,
+        pipeline: &Pipeline,
+    ) -> Result<Vec<Value>, StoreError> {
         let guard = self.collections.read();
         let coll = guard
             .get(collection)

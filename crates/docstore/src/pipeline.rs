@@ -121,7 +121,9 @@ fn numeric_pair(op: &'static str, x: &Value, y: &Value) -> Result<(f64, f64), Pi
 }
 
 fn json_f64(v: f64) -> Value {
-    Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+    Number::from_f64(v)
+        .map(Value::Number)
+        .unwrap_or(Value::Null)
 }
 
 fn arith(
@@ -198,7 +200,9 @@ impl Pipeline {
     pub fn match_eq(mut self, field: impl Into<String>, value: impl Into<Value>) -> Self {
         match self.stages.last_mut() {
             Some(Stage::Match(preds)) => preds.push((field.into(), value.into())),
-            _ => self.stages.push(Stage::Match(vec![(field.into(), value.into())])),
+            _ => self
+                .stages
+                .push(Stage::Match(vec![(field.into(), value.into())])),
         }
         self
     }
@@ -303,7 +307,9 @@ mod tests {
     #[test]
     fn match_filters_conjunctively() {
         let docs = vec![vod_doc(), json!({"monitorId": 18, "bitrate": 6})];
-        let p = Pipeline::new().match_eq("bitrate", 6).match_eq("monitorId", 12);
+        let p = Pipeline::new()
+            .match_eq("bitrate", 6)
+            .match_eq("monitorId", 12);
         assert_eq!(p.run(&docs).unwrap().len(), 1);
     }
 
@@ -328,8 +334,14 @@ mod tests {
     fn arithmetic_preserves_integers() {
         let docs = vec![json!({"a": 2, "b": 3})];
         let p = Pipeline::new().project(vec![
-            Projection::computed("sum", AggExpr::add(AggExpr::field("a"), AggExpr::field("b"))),
-            Projection::computed("prod", AggExpr::multiply(AggExpr::field("a"), AggExpr::field("b"))),
+            Projection::computed(
+                "sum",
+                AggExpr::add(AggExpr::field("a"), AggExpr::field("b")),
+            ),
+            Projection::computed(
+                "prod",
+                AggExpr::multiply(AggExpr::field("a"), AggExpr::field("b")),
+            ),
         ]);
         let out = p.run(&docs).unwrap();
         assert_eq!(out[0], json!({"sum": 5, "prod": 6}));
@@ -352,7 +364,10 @@ mod tests {
             "r",
             AggExpr::add(AggExpr::field("a"), AggExpr::field("b")),
         )]);
-        assert!(matches!(p.run(&docs), Err(PipelineError::NonNumeric { .. })));
+        assert!(matches!(
+            p.run(&docs),
+            Err(PipelineError::NonNumeric { .. })
+        ));
     }
 
     #[test]

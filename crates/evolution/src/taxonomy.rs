@@ -334,11 +334,17 @@ mod tests {
     fn delta_classification() {
         use bdi_wrappers::{FieldKind, FieldSpec, SchemaDelta};
         assert_eq!(
-            classify_delta(&SchemaDelta::AddField(FieldSpec::data("x", FieldKind::Bool))),
+            classify_delta(&SchemaDelta::AddField(FieldSpec::data(
+                "x",
+                FieldKind::Bool
+            ))),
             ParameterLevelChange::AddParameter
         );
         assert_eq!(
-            classify_delta(&SchemaDelta::RenameField { from: "a".into(), to: "b".into() }),
+            classify_delta(&SchemaDelta::RenameField {
+                from: "a".into(),
+                to: "b".into()
+            }),
             ParameterLevelChange::RenameResponseParameter
         );
         assert_eq!(

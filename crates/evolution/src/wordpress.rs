@@ -39,7 +39,13 @@ pub fn v1() -> VersionSchema {
     VersionSchema::new(
         "1",
         vec![
-            FieldSpec::id("ID", FieldKind::Int { min: 1, max: 100_000 }),
+            FieldSpec::id(
+                "ID",
+                FieldKind::Int {
+                    min: 1,
+                    max: 100_000,
+                },
+            ),
             str_field("title"),
             str_field("status"),
             str_field("type"),
@@ -52,7 +58,13 @@ pub fn v1() -> VersionSchema {
             str_field("excerpt"),
             str_field("content"),
             FieldSpec::data("author", FieldKind::Int { min: 1, max: 500 }),
-            FieldSpec::data("comment_count", FieldKind::Int { min: 0, max: 10_000 }),
+            FieldSpec::data(
+                "comment_count",
+                FieldKind::Int {
+                    min: 0,
+                    max: 10_000,
+                },
+            ),
             str_field("comment_status"),
             str_field("ping_status"),
             FieldSpec::data("sticky", FieldKind::Bool),
@@ -85,7 +97,13 @@ pub fn release_series() -> Vec<VersionSchema> {
         .expect("static series")
         .remove("page_template")
         .expect("static series")
-        .add(FieldSpec::data("featured_media", FieldKind::Int { min: 0, max: 100_000 }))
+        .add(FieldSpec::data(
+            "featured_media",
+            FieldKind::Int {
+                min: 0,
+                max: 100_000,
+            },
+        ))
         .expect("static series")
         .add(str_field("categories"))
         .expect("static series")
@@ -101,15 +119,30 @@ pub fn release_series() -> Vec<VersionSchema> {
         ("2.1", vec![MinorOp::Add(str_field("password"))]),
         ("2.2", vec![MinorOp::Add(str_field("template"))]),
         ("2.3", vec![]),
-        ("2.4", vec![MinorOp::Add(str_field("permalink_template")), MinorOp::Add(str_field("generated_slug"))]),
+        (
+            "2.4",
+            vec![
+                MinorOp::Add(str_field("permalink_template")),
+                MinorOp::Add(str_field("generated_slug")),
+            ],
+        ),
         ("2.5", vec![MinorOp::Rename("guid", "guid_rendered")]),
-        ("2.6", vec![MinorOp::Add(FieldSpec::data("menu_order", FieldKind::Int { min: 0, max: 100 }))]),
+        (
+            "2.6",
+            vec![MinorOp::Add(FieldSpec::data(
+                "menu_order",
+                FieldKind::Int { min: 0, max: 100 },
+            ))],
+        ),
         ("2.7", vec![]),
         ("2.8", vec![MinorOp::Add(str_field("block_version"))]),
         ("2.9", vec![MinorOp::Delete("block_version")]),
         ("2.10", vec![MinorOp::Add(str_field("class_list"))]),
         ("2.11", vec![MinorOp::Rename("excerpt", "excerpt_rendered")]),
-        ("2.12", vec![MinorOp::Add(str_field("jetpack_featured_media_url"))]),
+        (
+            "2.12",
+            vec![MinorOp::Add(str_field("jetpack_featured_media_url"))],
+        ),
         ("2.13", vec![MinorOp::Add(str_field("format_standard"))]),
     ];
 
@@ -276,8 +309,16 @@ mod tests {
         assert!(!v2.stats.new_source);
         // Renamed + added fields are new attribute URIs; unchanged names are
         // reused.
-        assert!(v2.stats.attributes_created >= 5, "created {}", v2.stats.attributes_created);
-        assert!(v2.stats.attributes_reused >= 15, "reused {}", v2.stats.attributes_reused);
+        assert!(
+            v2.stats.attributes_created >= 5,
+            "created {}",
+            v2.stats.attributes_created
+        );
+        assert!(
+            v2.stats.attributes_reused >= 15,
+            "reused {}",
+            v2.stats.attributes_reused
+        );
         assert!(v2.stats.source_triples_added > 20);
     }
 
@@ -317,7 +358,9 @@ mod tests {
         let records = replay();
         // v2's diff contains the ID rename and several adds/deletes.
         let v2 = &records[1];
-        assert!(v2.changes.contains(&ParameterLevelChange::RenameResponseParameter));
+        assert!(v2
+            .changes
+            .contains(&ParameterLevelChange::RenameResponseParameter));
         assert!(v2.changes.contains(&ParameterLevelChange::AddParameter));
         assert!(v2.changes.contains(&ParameterLevelChange::DeleteParameter));
         // 2.3 has no schema changes.
@@ -334,7 +377,9 @@ mod tests {
         let guid = core_vocab::attribute_uri("wordpress/GET_posts", "guid");
         let renamed = core_vocab::attribute_uri("wordpress/GET_posts", "guid_rendered");
         let f1 = o.feature_of_attribute(&guid).expect("guid mapped");
-        let f2 = o.feature_of_attribute(&renamed).expect("guid_rendered mapped");
+        let f2 = o
+            .feature_of_attribute(&renamed)
+            .expect("guid_rendered mapped");
         assert_eq!(f1, f2);
         assert_eq!(f1, wp("feature/guid"));
     }

@@ -216,8 +216,11 @@ impl Interner {
         if self.table.is_empty() {
             return None;
         }
-        self.probe(hash_iri_term(iri), |t| matches!(t, Term::Iri(i) if i == iri))
-            .ok()
+        self.probe(
+            hash_iri_term(iri),
+            |t| matches!(t, Term::Iri(i) if i == iri),
+        )
+        .ok()
     }
 
     /// Resolves an id back to its term.
@@ -300,10 +303,7 @@ mod tests {
         assert_eq!(i.len(), 10_000);
         for (n, id) in ids.iter().enumerate() {
             assert_eq!(i.get(&Term::iri(format!("http://e/t/{n}"))), Some(*id));
-            assert_eq!(
-                i.resolve(*id),
-                &Term::iri(format!("http://e/t/{n}"))
-            );
+            assert_eq!(i.resolve(*id), &Term::iri(format!("http://e/t/{n}")));
         }
     }
 }

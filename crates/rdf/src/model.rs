@@ -303,7 +303,11 @@ pub struct Triple {
 }
 
 impl Triple {
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
         Self {
             subject: subject.into(),
             predicate: predicate.into(),
@@ -481,7 +485,10 @@ mod tests {
             Iri::new("http://e/o"),
             GraphName::named(Iri::new("http://e/g")),
         );
-        assert_eq!(q.to_string(), "<http://e/s> <http://e/p> <http://e/o> <http://e/g> .");
+        assert_eq!(
+            q.to_string(),
+            "<http://e/s> <http://e/p> <http://e/o> <http://e/g> ."
+        );
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!   so query answering works on non-materialized ontologies too (see the
 //!   `entailment` ablation bench for the trade-off).
 
-use crate::model::{Iri, Quad, Term};
 #[cfg(test)]
 use crate::model::GraphName;
+use crate::model::{Iri, Quad, Term};
 use crate::store::{GraphPattern, IdGraph, IdPattern, QuadStore};
 use crate::vocab::{rdf, rdfs};
 use std::collections::{HashSet, VecDeque};
@@ -39,7 +39,8 @@ pub fn materialize(store: &QuadStore) -> usize {
         let mut new_quads: Vec<Quad> = Vec::new();
 
         // Schema snapshot for this round.
-        let sub_class = store.match_quads(None, Some(&rdfs::SUB_CLASS_OF), None, &GraphPattern::Any);
+        let sub_class =
+            store.match_quads(None, Some(&rdfs::SUB_CLASS_OF), None, &GraphPattern::Any);
         let sub_prop =
             store.match_quads(None, Some(&rdfs::SUB_PROPERTY_OF), None, &GraphPattern::Any);
         let domains = store.match_quads(None, Some(&rdfs::DOMAIN), None, &GraphPattern::Any);
@@ -73,8 +74,12 @@ pub fn materialize(store: &QuadStore) -> usize {
         }
         // rdfs9: type propagation along subClassOf.
         for sc in &sub_class {
-            for typed in store.match_quads(None, Some(&rdf::TYPE), Some(&sc.subject), &GraphPattern::Any)
-            {
+            for typed in store.match_quads(
+                None,
+                Some(&rdf::TYPE),
+                Some(&sc.subject),
+                &GraphPattern::Any,
+            ) {
                 new_quads.push(Quad {
                     subject: typed.subject.clone(),
                     predicate: (*rdf::TYPE).clone(),
@@ -99,7 +104,9 @@ pub fn materialize(store: &QuadStore) -> usize {
         }
         // rdfs2: domain typing.
         for dom in &domains {
-            let Some(p) = dom.subject.as_iri() else { continue };
+            let Some(p) = dom.subject.as_iri() else {
+                continue;
+            };
             for stmt in store.match_quads(None, Some(p), None, &GraphPattern::Any) {
                 new_quads.push(Quad {
                     subject: stmt.subject.clone(),
@@ -111,7 +118,9 @@ pub fn materialize(store: &QuadStore) -> usize {
         }
         // rdfs3: range typing (non-literal objects only).
         for ran in &ranges {
-            let Some(p) = ran.subject.as_iri() else { continue };
+            let Some(p) = ran.subject.as_iri() else {
+                continue;
+            };
             for stmt in store.match_quads(None, Some(p), None, &GraphPattern::Any) {
                 if stmt.object.is_literal() {
                     continue;
@@ -232,10 +241,12 @@ fn closure_ids(store: &QuadStore, class: &Iri, direction: Walk) -> HashSet<Iri> 
         });
     }
     seen.into_iter()
-        .filter_map(|id| match reader.resolve(crate::interner::TermId::from_raw(id)) {
-            Term::Iri(iri) => Some(iri.clone()),
-            _ => None,
-        })
+        .filter_map(
+            |id| match reader.resolve(crate::interner::TermId::from_raw(id)) {
+                Term::Iri(iri) => Some(iri.clone()),
+                _ => None,
+            },
+        )
         .collect()
 }
 
@@ -278,17 +289,39 @@ mod tests {
         let store = QuadStore::new();
         let g = GraphName::Default;
         // monitorId ⊑ toolId ⊑ identifier
-        store.insert_in(&g, iri("http://e/monitorId"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/toolId"));
-        store.insert_in(&g, iri("http://e/toolId"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://schema.org/identifier"));
+        store.insert_in(
+            &g,
+            iri("http://e/monitorId"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            iri("http://e/toolId"),
+        );
+        store.insert_in(
+            &g,
+            iri("http://e/toolId"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            iri("http://schema.org/identifier"),
+        );
         store
     }
 
     #[test]
     fn subclass_reachability_is_transitive() {
         let store = setup_taxonomy();
-        assert!(is_subclass_of(&store, &iri("http://e/monitorId"), &iri("http://schema.org/identifier")));
-        assert!(is_subclass_of(&store, &iri("http://e/monitorId"), &iri("http://e/monitorId")));
-        assert!(!is_subclass_of(&store, &iri("http://schema.org/identifier"), &iri("http://e/monitorId")));
+        assert!(is_subclass_of(
+            &store,
+            &iri("http://e/monitorId"),
+            &iri("http://schema.org/identifier")
+        ));
+        assert!(is_subclass_of(
+            &store,
+            &iri("http://e/monitorId"),
+            &iri("http://e/monitorId")
+        ));
+        assert!(!is_subclass_of(
+            &store,
+            &iri("http://schema.org/identifier"),
+            &iri("http://e/monitorId")
+        ));
     }
 
     #[test]
@@ -341,14 +374,44 @@ mod tests {
     fn domain_and_range_typing() {
         let store = QuadStore::new();
         let g = GraphName::Default;
-        store.insert_in(&g, iri("http://e/hasMonitor"), (*rdfs::DOMAIN).clone(), iri("http://e/App"));
-        store.insert_in(&g, iri("http://e/hasMonitor"), (*rdfs::RANGE).clone(), iri("http://e/Monitor"));
-        store.insert_in(&g, iri("http://e/a1"), iri("http://e/hasMonitor"), iri("http://e/m1"));
+        store.insert_in(
+            &g,
+            iri("http://e/hasMonitor"),
+            (*rdfs::DOMAIN).clone(),
+            iri("http://e/App"),
+        );
+        store.insert_in(
+            &g,
+            iri("http://e/hasMonitor"),
+            (*rdfs::RANGE).clone(),
+            iri("http://e/Monitor"),
+        );
+        store.insert_in(
+            &g,
+            iri("http://e/a1"),
+            iri("http://e/hasMonitor"),
+            iri("http://e/m1"),
+        );
         // Literal objects must not be range-typed.
-        store.insert_in(&g, iri("http://e/a1"), iri("http://e/hasMonitor"), Literal::string("oops"));
+        store.insert_in(
+            &g,
+            iri("http://e/a1"),
+            iri("http://e/hasMonitor"),
+            Literal::string("oops"),
+        );
         materialize(&store);
-        assert!(store.contains(&Quad::new(iri("http://e/a1"), (*rdf::TYPE).clone(), iri("http://e/App"), g.clone())));
-        assert!(store.contains(&Quad::new(iri("http://e/m1"), (*rdf::TYPE).clone(), iri("http://e/Monitor"), g.clone())));
+        assert!(store.contains(&Quad::new(
+            iri("http://e/a1"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/App"),
+            g.clone()
+        )));
+        assert!(store.contains(&Quad::new(
+            iri("http://e/m1"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/Monitor"),
+            g.clone()
+        )));
         let typed_literals = store.match_quads(
             None,
             Some(&rdf::TYPE),
@@ -362,19 +425,43 @@ mod tests {
     fn subproperty_inheritance() {
         let store = QuadStore::new();
         let g = GraphName::Default;
-        store.insert_in(&g, iri("http://e/p"), (*rdfs::SUB_PROPERTY_OF).clone(), iri("http://e/q"));
+        store.insert_in(
+            &g,
+            iri("http://e/p"),
+            (*rdfs::SUB_PROPERTY_OF).clone(),
+            iri("http://e/q"),
+        );
         store.insert_in(&g, iri("http://e/s"), iri("http://e/p"), iri("http://e/o"));
         materialize(&store);
-        assert!(store.contains(&Quad::new(iri("http://e/s"), iri("http://e/q"), iri("http://e/o"), g)));
+        assert!(store.contains(&Quad::new(
+            iri("http://e/s"),
+            iri("http://e/q"),
+            iri("http://e/o"),
+            g
+        )));
     }
 
     #[test]
     fn instances_of_covers_subclasses() {
         let store = setup_taxonomy();
         let g = GraphName::Default;
-        store.insert_in(&g, iri("http://e/x"), (*rdf::TYPE).clone(), iri("http://e/monitorId"));
-        store.insert_in(&g, iri("http://e/y"), (*rdf::TYPE).clone(), iri("http://e/toolId"));
-        let instances = instances_of(&store, &iri("http://schema.org/identifier"), &GraphPattern::Any);
+        store.insert_in(
+            &g,
+            iri("http://e/x"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/monitorId"),
+        );
+        store.insert_in(
+            &g,
+            iri("http://e/y"),
+            (*rdf::TYPE).clone(),
+            iri("http://e/toolId"),
+        );
+        let instances = instances_of(
+            &store,
+            &iri("http://schema.org/identifier"),
+            &GraphPattern::Any,
+        );
         assert_eq!(instances.len(), 2);
     }
 
@@ -385,9 +472,18 @@ mod tests {
         let store = QuadStore::new();
         let g = GraphName::Default;
         let blank = Term::Blank(crate::model::BlankNode::new("b0"));
-        store.insert_in(&g, iri("http://e/A"), (*rdfs::SUB_CLASS_OF).clone(), blank.clone());
+        store.insert_in(
+            &g,
+            iri("http://e/A"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            blank.clone(),
+        );
         store.insert_in(&g, blank, (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/C"));
-        assert!(is_subclass_of(&store, &iri("http://e/A"), &iri("http://e/C")));
+        assert!(is_subclass_of(
+            &store,
+            &iri("http://e/A"),
+            &iri("http://e/C")
+        ));
         let closure = subclass_closure(&store, &iri("http://e/A"));
         assert!(closure.contains(&iri("http://e/C")));
         assert_eq!(closure.len(), 2); // A and C only; the blank is dropped
@@ -397,10 +493,28 @@ mod tests {
     fn cyclic_taxonomy_terminates() {
         let store = QuadStore::new();
         let g = GraphName::Default;
-        store.insert_in(&g, iri("http://e/A"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/B"));
-        store.insert_in(&g, iri("http://e/B"), (*rdfs::SUB_CLASS_OF).clone(), iri("http://e/A"));
+        store.insert_in(
+            &g,
+            iri("http://e/A"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            iri("http://e/B"),
+        );
+        store.insert_in(
+            &g,
+            iri("http://e/B"),
+            (*rdfs::SUB_CLASS_OF).clone(),
+            iri("http://e/A"),
+        );
         materialize(&store);
-        assert!(is_subclass_of(&store, &iri("http://e/A"), &iri("http://e/B")));
-        assert!(is_subclass_of(&store, &iri("http://e/B"), &iri("http://e/A")));
+        assert!(is_subclass_of(
+            &store,
+            &iri("http://e/A"),
+            &iri("http://e/B")
+        ));
+        assert!(is_subclass_of(
+            &store,
+            &iri("http://e/B"),
+            &iri("http://e/A")
+        ));
     }
 }

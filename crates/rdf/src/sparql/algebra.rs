@@ -100,9 +100,12 @@ mod tests {
         assert!(algebra.starts_with("(project (?x ?y)"));
         assert!(algebra.contains("(join"));
         assert!(algebra.contains("(table (vars ?x ?y)"));
-        assert!(algebra.contains("(row [?x <http://e/sup/applicationId>] [?y <http://e/sup/lagRatio>])"));
+        assert!(algebra
+            .contains("(row [?x <http://e/sup/applicationId>] [?y <http://e/sup/lagRatio>])"));
         assert!(algebra.contains("(bgp"));
-        assert!(algebra.contains("(triple <http://e/sup/App> <http://e/G/hasFeature> <http://e/sup/applicationId>)"));
+        assert!(algebra.contains(
+            "(triple <http://e/sup/App> <http://e/G/hasFeature> <http://e/sup/applicationId>)"
+        ));
     }
 
     #[test]

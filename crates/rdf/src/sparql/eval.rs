@@ -297,14 +297,15 @@ fn solve(reader: &StoreReader<'_>, query: &SelectQuery, options: &EvalOptions) -
     // ---- Variable table: slot index per variable, first-appearance order.
     let mut vars: Vec<Variable> = Vec::new();
     let mut slot_of = HashMap::new();
-    let slot = |v: &Variable, vars: &mut Vec<Variable>, slot_of: &mut HashMap<Variable, usize>| -> usize {
-        if let Some(&s) = slot_of.get(v) {
-            return s;
-        }
-        vars.push(v.clone());
-        slot_of.insert(v.clone(), vars.len() - 1);
-        vars.len() - 1
-    };
+    let slot =
+        |v: &Variable, vars: &mut Vec<Variable>, slot_of: &mut HashMap<Variable, usize>| -> usize {
+            if let Some(&s) = slot_of.get(v) {
+                return s;
+            }
+            vars.push(v.clone());
+            slot_of.insert(v.clone(), vars.len() - 1);
+            vars.len() - 1
+        };
     if let Some(values) = &query.values {
         for v in &values.vars {
             slot(v, &mut vars, &mut slot_of);
@@ -502,10 +503,30 @@ mod tests {
         let s = QuadStore::new();
         let g = GraphName::named(Iri::new("http://e/G"));
         let w1 = GraphName::named(Iri::new("http://e/w1"));
-        s.insert_in(&g, Iri::new("http://e/App"), Iri::new("http://e/hasMonitor"), Iri::new("http://e/Monitor"));
-        s.insert_in(&g, Iri::new("http://e/App"), Iri::new("http://e/hasFeature"), Iri::new("http://e/appId"));
-        s.insert_in(&g, Iri::new("http://e/Monitor"), Iri::new("http://e/hasFeature"), Iri::new("http://e/monitorId"));
-        s.insert_in(&w1, Iri::new("http://e/Monitor"), Iri::new("http://e/hasFeature"), Iri::new("http://e/monitorId"));
+        s.insert_in(
+            &g,
+            Iri::new("http://e/App"),
+            Iri::new("http://e/hasMonitor"),
+            Iri::new("http://e/Monitor"),
+        );
+        s.insert_in(
+            &g,
+            Iri::new("http://e/App"),
+            Iri::new("http://e/hasFeature"),
+            Iri::new("http://e/appId"),
+        );
+        s.insert_in(
+            &g,
+            Iri::new("http://e/Monitor"),
+            Iri::new("http://e/hasFeature"),
+            Iri::new("http://e/monitorId"),
+        );
+        s.insert_in(
+            &w1,
+            Iri::new("http://e/Monitor"),
+            Iri::new("http://e/hasFeature"),
+            Iri::new("http://e/monitorId"),
+        );
         s
     }
 
@@ -682,8 +703,18 @@ mod tests {
         let g1 = GraphName::named(Iri::new("http://e/g1"));
         let g2 = GraphName::named(Iri::new("http://e/g2"));
         // g1 contains a triple pointing at g1 (self-describing); g2 points at g1.
-        s.insert_in(&g1, Iri::new("http://e/x"), Iri::new("http://e/inGraph"), Iri::new("http://e/g1"));
-        s.insert_in(&g2, Iri::new("http://e/y"), Iri::new("http://e/inGraph"), Iri::new("http://e/g1"));
+        s.insert_in(
+            &g1,
+            Iri::new("http://e/x"),
+            Iri::new("http://e/inGraph"),
+            Iri::new("http://e/g1"),
+        );
+        s.insert_in(
+            &g2,
+            Iri::new("http://e/y"),
+            Iri::new("http://e/inGraph"),
+            Iri::new("http://e/g1"),
+        );
         let q = parse_query(
             "SELECT ?s ?g WHERE { GRAPH ?g { ?s e:inGraph ?g } }",
             &prefixes(),

@@ -65,7 +65,9 @@ pub enum LexError {
     Unterminated(&'static str),
 }
 
-const KEYWORDS: &[&str] = &["SELECT", "FROM", "WHERE", "VALUES", "PREFIX", "GRAPH", "DISTINCT"];
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "VALUES", "PREFIX", "GRAPH", "DISTINCT",
+];
 
 /// Tokenizes a query string.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
@@ -185,7 +187,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     return Err(LexError::UnexpectedChar('^', i));
                 }
             }
-            _ if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+            _ if c.is_ascii_digit()
+                || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
                 let start = i;
                 i += 1;
                 while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
@@ -200,12 +204,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             _ if c.is_alphanumeric() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_alphanumeric() || matches!(bytes[i], '_' | '-' | ':' | '.' | '/' | '~'))
+                    && (bytes[i].is_alphanumeric()
+                        || matches!(bytes[i], '_' | '-' | ':' | '.' | '/' | '~'))
                 {
                     // A trailing dot is statement punctuation, not name.
                     if bytes[i] == '.'
                         && (i + 1 >= bytes.len()
-                            || !(bytes[i + 1].is_alphanumeric() || matches!(bytes[i + 1], '_' | '-' | '/')))
+                            || !(bytes[i + 1].is_alphanumeric()
+                                || matches!(bytes[i + 1], '_' | '-' | '/')))
                     {
                         break;
                     }
@@ -279,7 +285,10 @@ mod tests {
 
     #[test]
     fn unterminated_iri_is_an_error() {
-        assert!(matches!(tokenize("<http://e/x"), Err(LexError::Unterminated("IRI"))));
+        assert!(matches!(
+            tokenize("<http://e/x"),
+            Err(LexError::Unterminated("IRI"))
+        ));
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub mod lexer;
 pub mod parser;
 
 pub use algebra::to_algebra;
-pub use ast::{GraphSpec, QuadPattern, SelectQuery, TermOrVar, TriplePattern, ValuesClause, Variable};
+pub use ast::{
+    GraphSpec, QuadPattern, SelectQuery, TermOrVar, TriplePattern, ValuesClause, Variable,
+};
 pub use eval::{evaluate, evaluate_count, Binding, EvalOptions, Solutions};
 pub use parser::{parse_query, ParseError};

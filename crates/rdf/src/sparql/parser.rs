@@ -27,7 +27,10 @@ pub enum ParseError {
     #[error("unexpected end of query while parsing {0}")]
     UnexpectedEof(&'static str),
     #[error("expected {expected}, found `{found}`")]
-    Unexpected { expected: &'static str, found: String },
+    Unexpected {
+        expected: &'static str,
+        found: String,
+    },
     #[error("unknown prefix in `{0}`")]
     UnknownPrefix(String),
     #[error("VALUES row has {found} terms but {expected} variables are declared")]
@@ -246,7 +249,9 @@ impl Parser {
         self.expect_keyword("GRAPH")?;
         let spec = match self.peek() {
             Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                let Some(Token::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
                 GraphSpec::Var(Variable::new(v))
             }
             _ => GraphSpec::Named(self.parse_iri()?),
@@ -279,7 +284,9 @@ impl Parser {
             )),
             Some(Token::Literal(value)) => match self.peek() {
                 Some(Token::LangTag(_)) => {
-                    let Some(Token::LangTag(lang)) = self.bump() else { unreachable!() };
+                    let Some(Token::LangTag(lang)) = self.bump() else {
+                        unreachable!()
+                    };
                     Ok(Term::Literal(Literal::lang_string(value, lang)))
                 }
                 Some(Token::DatatypeMarker) => {
@@ -291,9 +298,15 @@ impl Parser {
             },
             Some(Token::Number(n)) => {
                 if n.contains('.') {
-                    Ok(Term::Literal(Literal::typed(n, (*crate::vocab::xsd::DOUBLE).clone())))
+                    Ok(Term::Literal(Literal::typed(
+                        n,
+                        (*crate::vocab::xsd::DOUBLE).clone(),
+                    )))
                 } else {
-                    Ok(Term::Literal(Literal::typed(n, (*crate::vocab::xsd::INTEGER).clone())))
+                    Ok(Term::Literal(Literal::typed(
+                        n,
+                        (*crate::vocab::xsd::INTEGER).clone(),
+                    )))
                 }
             }
             Some(t) => Err(ParseError::Unexpected {
@@ -307,12 +320,16 @@ impl Parser {
     fn parse_node(&mut self) -> Result<TermOrVar, ParseError> {
         match self.peek() {
             Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                let Some(Token::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(TermOrVar::Var(Variable::new(v)))
             }
             Some(Token::PrefixedName(name)) if name == "a" => {
                 self.bump();
-                Ok(TermOrVar::Term(Term::Iri((*crate::vocab::rdf::TYPE).clone())))
+                Ok(TermOrVar::Term(Term::Iri(
+                    (*crate::vocab::rdf::TYPE).clone(),
+                )))
             }
             _ => Ok(TermOrVar::Term(self.parse_constant_term()?)),
         }
@@ -399,10 +416,7 @@ mod tests {
         let values = q.values.unwrap();
         assert_eq!(values.vars.len(), 2);
         assert_eq!(values.rows.len(), 1);
-        assert_eq!(
-            values.rows[0][0],
-            Term::iri("http://e/sup/applicationId")
-        );
+        assert_eq!(values.rows[0][0], Term::iri("http://e/sup/applicationId"));
         assert_eq!(q.patterns.len(), 4);
         // All template patterns are constant.
         assert!(q.patterns.iter().all(|p| p.pattern.bound_count() == 3));
@@ -450,7 +464,13 @@ mod tests {
             &prefixes(),
         )
         .unwrap_err();
-        assert!(matches!(err, ParseError::ValuesArity { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            ParseError::ValuesArity {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]

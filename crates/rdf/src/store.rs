@@ -585,8 +585,10 @@ impl QuadStore {
     /// lookup. The fast path for the ontology layer's `G`/`S`/`M` walks.
     pub fn iri_objects(&self, subject: &Iri, predicate: &Iri, graph: &GraphPattern) -> Vec<Iri> {
         let inner = self.inner.read();
-        let (Some(s), Some(p)) = (inner.interner.get_iri(subject), inner.interner.get_iri(predicate))
-        else {
+        let (Some(s), Some(p)) = (
+            inner.interner.get_iri(subject),
+            inner.interner.get_iri(predicate),
+        ) else {
             return Vec::new();
         };
         let Some(pattern) = Self::encode_graph_only(
@@ -614,8 +616,10 @@ impl QuadStore {
     /// see [`QuadStore::iri_objects`].
     pub fn iri_subjects(&self, predicate: &Iri, object: &Iri, graph: &GraphPattern) -> Vec<Iri> {
         let inner = self.inner.read();
-        let (Some(p), Some(o)) = (inner.interner.get_iri(predicate), inner.interner.get_iri(object))
-        else {
+        let (Some(p), Some(o)) = (
+            inner.interner.get_iri(predicate),
+            inner.interner.get_iri(object),
+        ) else {
             return Vec::new();
         };
         let Some(pattern) = Self::encode_graph_only(
@@ -737,9 +741,24 @@ mod tests {
     fn match_all_sixteen_binding_combinations() {
         let store = QuadStore::new();
         let g = GraphName::named(iri("http://e/g"));
-        store.insert(&Quad::new(iri("http://e/s1"), iri("http://e/p1"), iri("http://e/o1"), g.clone()));
-        store.insert(&Quad::new(iri("http://e/s1"), iri("http://e/p2"), iri("http://e/o2"), g.clone()));
-        store.insert(&Quad::new(iri("http://e/s2"), iri("http://e/p1"), iri("http://e/o1"), GraphName::Default));
+        store.insert(&Quad::new(
+            iri("http://e/s1"),
+            iri("http://e/p1"),
+            iri("http://e/o1"),
+            g.clone(),
+        ));
+        store.insert(&Quad::new(
+            iri("http://e/s1"),
+            iri("http://e/p2"),
+            iri("http://e/o2"),
+            g.clone(),
+        ));
+        store.insert(&Quad::new(
+            iri("http://e/s2"),
+            iri("http://e/p1"),
+            iri("http://e/o1"),
+            GraphName::Default,
+        ));
 
         let s1 = Term::iri("http://e/s1");
         let p1 = iri("http://e/p1");
@@ -747,7 +766,12 @@ mod tests {
         let gp = GraphPattern::Named(iri("http://e/g"));
 
         // fully bound
-        assert_eq!(store.match_quads(Some(&s1), Some(&p1), Some(&o1), &gp).len(), 1);
+        assert_eq!(
+            store
+                .match_quads(Some(&s1), Some(&p1), Some(&o1), &gp)
+                .len(),
+            1
+        );
         // g+s+p
         assert_eq!(store.match_quads(Some(&s1), Some(&p1), None, &gp).len(), 1);
         // g+s
@@ -763,21 +787,61 @@ mod tests {
         // g only
         assert_eq!(store.match_quads(None, None, None, &gp).len(), 2);
         // s+p+o across graphs
-        assert_eq!(store.match_quads(Some(&s1), Some(&p1), Some(&o1), &GraphPattern::Any).len(), 1);
+        assert_eq!(
+            store
+                .match_quads(Some(&s1), Some(&p1), Some(&o1), &GraphPattern::Any)
+                .len(),
+            1
+        );
         // s+p
-        assert_eq!(store.match_quads(Some(&s1), Some(&p1), None, &GraphPattern::Any).len(), 1);
+        assert_eq!(
+            store
+                .match_quads(Some(&s1), Some(&p1), None, &GraphPattern::Any)
+                .len(),
+            1
+        );
         // s
-        assert_eq!(store.match_quads(Some(&s1), None, None, &GraphPattern::Any).len(), 2);
+        assert_eq!(
+            store
+                .match_quads(Some(&s1), None, None, &GraphPattern::Any)
+                .len(),
+            2
+        );
         // s+o
-        assert_eq!(store.match_quads(Some(&s1), None, Some(&o1), &GraphPattern::Any).len(), 1);
+        assert_eq!(
+            store
+                .match_quads(Some(&s1), None, Some(&o1), &GraphPattern::Any)
+                .len(),
+            1
+        );
         // p+o
-        assert_eq!(store.match_quads(None, Some(&p1), Some(&o1), &GraphPattern::Any).len(), 2);
+        assert_eq!(
+            store
+                .match_quads(None, Some(&p1), Some(&o1), &GraphPattern::Any)
+                .len(),
+            2
+        );
         // p
-        assert_eq!(store.match_quads(None, Some(&p1), None, &GraphPattern::Any).len(), 2);
+        assert_eq!(
+            store
+                .match_quads(None, Some(&p1), None, &GraphPattern::Any)
+                .len(),
+            2
+        );
         // o
-        assert_eq!(store.match_quads(None, None, Some(&o1), &GraphPattern::Any).len(), 2);
+        assert_eq!(
+            store
+                .match_quads(None, None, Some(&o1), &GraphPattern::Any)
+                .len(),
+            2
+        );
         // everything
-        assert_eq!(store.match_quads(None, None, None, &GraphPattern::Any).len(), 3);
+        assert_eq!(
+            store
+                .match_quads(None, None, None, &GraphPattern::Any)
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -800,7 +864,9 @@ mod tests {
         let store = QuadStore::new();
         store.insert(&quad("http://e/s", "http://e/p", "http://e/o"));
         let unknown = Term::iri("http://e/zzz");
-        assert!(store.match_quads(Some(&unknown), None, None, &GraphPattern::Any).is_empty());
+        assert!(store
+            .match_quads(Some(&unknown), None, None, &GraphPattern::Any)
+            .is_empty());
     }
 
     #[test]
@@ -808,11 +874,30 @@ mod tests {
         let store = QuadStore::new();
         let g1 = GraphName::named(iri("http://e/g1"));
         let g2 = GraphName::named(iri("http://e/g2"));
-        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g1.clone()));
-        store.insert(&Quad::new(iri("http://e/c"), iri("http://e/p"), iri("http://e/d"), g1.clone()));
-        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g2));
+        store.insert(&Quad::new(
+            iri("http://e/a"),
+            iri("http://e/p"),
+            iri("http://e/b"),
+            g1.clone(),
+        ));
+        store.insert(&Quad::new(
+            iri("http://e/c"),
+            iri("http://e/p"),
+            iri("http://e/d"),
+            g1.clone(),
+        ));
+        store.insert(&Quad::new(
+            iri("http://e/a"),
+            iri("http://e/p"),
+            iri("http://e/b"),
+            g2,
+        ));
         store.insert(&quad("http://e/x", "http://e/p", "http://e/y"));
-        let mut names: Vec<String> = store.named_graphs().iter().map(|i| i.as_str().to_owned()).collect();
+        let mut names: Vec<String> = store
+            .named_graphs()
+            .iter()
+            .map(|i| i.as_str().to_owned())
+            .collect();
         names.sort();
         assert_eq!(names, vec!["http://e/g1", "http://e/g2"]);
     }
@@ -821,7 +906,12 @@ mod tests {
     fn clear_graph_only_touches_that_graph() {
         let store = QuadStore::new();
         let g1 = GraphName::named(iri("http://e/g1"));
-        store.insert(&Quad::new(iri("http://e/a"), iri("http://e/p"), iri("http://e/b"), g1.clone()));
+        store.insert(&Quad::new(
+            iri("http://e/a"),
+            iri("http://e/p"),
+            iri("http://e/b"),
+            g1.clone(),
+        ));
         store.insert(&quad("http://e/x", "http://e/p", "http://e/y"));
         assert_eq!(store.clear_graph(&g1), 1);
         assert_eq!(store.len(), 1);
@@ -838,9 +928,16 @@ mod tests {
             GraphName::Default,
         ));
         let as_iri = Term::iri("http://e/o");
-        assert!(store.match_quads(None, None, Some(&as_iri), &GraphPattern::Any).is_empty());
+        assert!(store
+            .match_quads(None, None, Some(&as_iri), &GraphPattern::Any)
+            .is_empty());
         let as_lit = Term::Literal(Literal::string("http://e/o"));
-        assert_eq!(store.match_quads(None, None, Some(&as_lit), &GraphPattern::Any).len(), 1);
+        assert_eq!(
+            store
+                .match_quads(None, None, Some(&as_lit), &GraphPattern::Any)
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -858,9 +955,17 @@ mod tests {
         let store = QuadStore::new();
         store.insert(&quad("http://e/s", "http://e/p", "http://e/o1"));
         store.insert(&quad("http://e/s", "http://e/p", "http://e/o2"));
-        let objs = store.objects(&Term::iri("http://e/s"), &iri("http://e/p"), &GraphPattern::Any);
+        let objs = store.objects(
+            &Term::iri("http://e/s"),
+            &iri("http://e/p"),
+            &GraphPattern::Any,
+        );
         assert_eq!(objs.len(), 2);
-        let subs = store.subjects(&iri("http://e/p"), &Term::iri("http://e/o1"), &GraphPattern::Any);
+        let subs = store.subjects(
+            &iri("http://e/p"),
+            &Term::iri("http://e/o1"),
+            &GraphPattern::Any,
+        );
         assert_eq!(subs, vec![Term::iri("http://e/s")]);
     }
 
@@ -902,10 +1007,20 @@ mod tests {
         for q in &quads {
             assert!(bulk.contains(q));
             assert!(!bulk
-                .match_quads(Some(&q.subject), Some(&q.predicate), None, &GraphPattern::from(&q.graph))
+                .match_quads(
+                    Some(&q.subject),
+                    Some(&q.predicate),
+                    None,
+                    &GraphPattern::from(&q.graph)
+                )
                 .is_empty());
             assert!(!bulk
-                .match_quads(None, Some(&q.predicate), Some(&q.object), &GraphPattern::Any)
+                .match_quads(
+                    None,
+                    Some(&q.predicate),
+                    Some(&q.object),
+                    &GraphPattern::Any
+                )
                 .is_empty());
             assert!(!bulk
                 .match_quads(Some(&q.subject), None, Some(&q.object), &GraphPattern::Any)
@@ -929,7 +1044,12 @@ mod tests {
     fn reader_exposes_consistent_id_space() {
         let store = QuadStore::new();
         let g = GraphName::named(iri("http://e/g"));
-        store.insert(&Quad::new(iri("http://e/s"), iri("http://e/p"), iri("http://e/o"), g.clone()));
+        store.insert(&Quad::new(
+            iri("http://e/s"),
+            iri("http://e/p"),
+            iri("http://e/o"),
+            g.clone(),
+        ));
         store.insert(&quad("http://e/s", "http://e/p", "http://e/o2"));
 
         let reader = store.reader();

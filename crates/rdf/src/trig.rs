@@ -111,8 +111,9 @@ pub fn parse_trig(input: &str) -> Result<Vec<Quad>, TrigError> {
         // @prefix directive.
         if input[offset(&chars, i)..].starts_with("@prefix") {
             let start = i;
-            let end = statement_end(&chars, i)
-                .ok_or(TrigError::Turtle(TurtleError::UnexpectedEof("@prefix directive")))?;
+            let end = statement_end(&chars, i).ok_or(TrigError::Turtle(
+                TurtleError::UnexpectedEof("@prefix directive"),
+            ))?;
             i = end + 1; // consume '.'
             prefix_header.push_str(&slice(&chars, start, i));
             prefix_header.push('\n');
@@ -348,7 +349,10 @@ mod tests {
         let quads = parse_trig(doc).unwrap();
         assert_eq!(quads.len(), 3);
         assert_eq!(
-            quads.iter().filter(|q| q.graph == GraphName::Default).count(),
+            quads
+                .iter()
+                .filter(|q| q.graph == GraphName::Default)
+                .count(),
             1
         );
         assert!(quads

@@ -60,7 +60,10 @@ pub enum TurtleError {
     #[error("invalid escape sequence: \\{0}")]
     BadEscape(char),
     #[error("expected {expected} but found {found:?}")]
-    Expected { expected: &'static str, found: String },
+    Expected {
+        expected: &'static str,
+        found: String,
+    },
     #[error("literal is not a valid subject")]
     LiteralSubject,
     #[error("invalid IRI: {0}")]
@@ -134,7 +137,10 @@ impl PrefixMap {
 }
 
 /// Serializes triples as Turtle, grouping by subject and using `;` lists.
-pub fn write_turtle<'a>(triples: impl IntoIterator<Item = &'a Triple>, prefixes: &PrefixMap) -> String {
+pub fn write_turtle<'a>(
+    triples: impl IntoIterator<Item = &'a Triple>,
+    prefixes: &PrefixMap,
+) -> String {
     let mut by_subject: BTreeMap<String, Vec<&Triple>> = BTreeMap::new();
     let mut subject_terms: BTreeMap<String, &Term> = BTreeMap::new();
     for t in triples {
@@ -155,7 +161,10 @@ pub fn write_turtle<'a>(triples: impl IntoIterator<Item = &'a Triple>, prefixes:
         let _ = write!(out, "{}", render_term(subject, prefixes));
         let mut grouped: BTreeMap<String, Vec<&Triple>> = BTreeMap::new();
         for t in triples {
-            grouped.entry(t.predicate.as_str().to_owned()).or_default().push(t);
+            grouped
+                .entry(t.predicate.as_str().to_owned())
+                .or_default()
+                .push(t);
         }
         let n = grouped.len();
         for (i, (_, ts)) in grouped.iter().enumerate() {
@@ -504,7 +513,10 @@ mod tests {
         "#;
         let (triples, prefixes) = parse_turtle(doc).unwrap();
         assert_eq!(triples.len(), 2);
-        assert_eq!(prefixes.expand("ex:a").unwrap().as_str(), "http://example.org/a");
+        assert_eq!(
+            prefixes.expand("ex:a").unwrap().as_str(),
+            "http://example.org/a"
+        );
     }
 
     #[test]
@@ -516,7 +528,9 @@ mod tests {
         "#;
         let (triples, _) = parse_turtle(doc).unwrap();
         assert_eq!(triples.len(), 3);
-        assert!(triples.iter().all(|t| t.subject == Term::iri("http://example.org/a")));
+        assert!(triples
+            .iter()
+            .all(|t| t.subject == Term::iri("http://example.org/a")));
     }
 
     #[test]
@@ -529,7 +543,10 @@ mod tests {
         let (triples, _) = parse_turtle(doc).unwrap();
         assert_eq!(triples.len(), 3);
         let type_triple = &triples[0];
-        assert_eq!(type_triple.predicate.as_str(), crate::vocab::rdf::TYPE.as_str());
+        assert_eq!(
+            type_triple.predicate.as_str(),
+            crate::vocab::rdf::TYPE.as_str()
+        );
         let int = triples[1].object.as_literal().unwrap();
         assert_eq!(int.as_integer(), Some(12));
         let lang = triples[2].object.as_literal().unwrap();
@@ -561,8 +578,16 @@ mod tests {
                 Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
                 Iri::new("http://e/C"),
             ),
-            Triple::new(Iri::new("http://e/s"), Iri::new("http://e/p"), Literal::string("x \"y\"")),
-            Triple::new(Iri::new("http://e/s"), Iri::new("http://e/p"), Literal::integer(5)),
+            Triple::new(
+                Iri::new("http://e/s"),
+                Iri::new("http://e/p"),
+                Literal::string("x \"y\""),
+            ),
+            Triple::new(
+                Iri::new("http://e/s"),
+                Iri::new("http://e/p"),
+                Literal::integer(5),
+            ),
         ];
         let mut prefixes = PrefixMap::with_common_vocabularies();
         prefixes.insert("e", "http://e/");

@@ -106,7 +106,10 @@ fn concurrent_identical_inserts_are_idempotent() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("joins")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("joins"))
+            .collect()
     })
     .expect("no thread panicked");
 

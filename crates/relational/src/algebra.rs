@@ -75,7 +75,12 @@ impl RelExpr {
         }
     }
 
-    pub fn join(self, right: RelExpr, left_attr: impl Into<String>, right_attr: impl Into<String>) -> Self {
+    pub fn join(
+        self,
+        right: RelExpr,
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+    ) -> Self {
         RelExpr::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -182,8 +187,7 @@ impl fmt::Display for RelExpr {
                 write!(f, "{}", rendered.join(" ∪ "))
             }
             RelExpr::Rename { input, renames } => {
-                let pairs: Vec<String> =
-                    renames.iter().map(|(a, b)| format!("{a}→{b}")).collect();
+                let pairs: Vec<String> = renames.iter().map(|(a, b)| format!("{a}→{b}")).collect();
                 write!(f, "ρ[{}]({input})", pairs.join(", "))
             }
         }
@@ -222,14 +226,22 @@ mod tests {
     #[test]
     fn running_example_walk_evaluates() {
         // Π̃[lagRatio](w1) ⋈̃ Π̃[](w3)
-        let walk = RelExpr::source("w1")
-            .project(vec!["lagRatio".into()])
-            .join(RelExpr::source("w3").project(vec![]), "VoDmonitorId", "MonitorId");
+        let walk = RelExpr::source("w1").project(vec!["lagRatio".into()]).join(
+            RelExpr::source("w3").project(vec![]),
+            "VoDmonitorId",
+            "MonitorId",
+        );
         let rel = walk.eval(&resolver).unwrap();
         assert_eq!(rel.len(), 3);
         assert_eq!(
             rel.schema().names(),
-            vec!["VoDmonitorId", "lagRatio", "TargetApp", "MonitorId", "FeedbackId"]
+            vec![
+                "VoDmonitorId",
+                "lagRatio",
+                "TargetApp",
+                "MonitorId",
+                "FeedbackId"
+            ]
         );
     }
 
@@ -242,9 +254,11 @@ mod tests {
 
     #[test]
     fn display_uses_paper_notation() {
-        let walk = RelExpr::source("w1")
-            .project(vec!["lagRatio".into()])
-            .join(RelExpr::source("w3"), "VoDmonitorId", "MonitorId");
+        let walk = RelExpr::source("w1").project(vec!["lagRatio".into()]).join(
+            RelExpr::source("w3"),
+            "VoDmonitorId",
+            "MonitorId",
+        );
         assert_eq!(
             walk.to_string(),
             "(Π̃[lagRatio](w1) ⋈̃[VoDmonitorId=MonitorId] w3)"

@@ -122,7 +122,11 @@ impl Expr {
                 }
             }
             Expr::Lit(_) => {}
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Concat(a, b) => {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Concat(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);
             }
@@ -220,7 +224,10 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         let e = Expr::col("name").add(Expr::lit(1));
-        assert!(matches!(e.eval(&row()).unwrap_err(), ExprError::TypeError { .. }));
+        assert!(matches!(
+            e.eval(&row()).unwrap_err(),
+            ExprError::TypeError { .. }
+        ));
     }
 
     #[test]
@@ -232,7 +239,10 @@ mod tests {
     #[test]
     fn unknown_column_is_an_error() {
         let e = Expr::col("zz");
-        assert_eq!(e.eval(&row()).unwrap_err(), ExprError::UnknownColumn("zz".into()));
+        assert_eq!(
+            e.eval(&row()).unwrap_err(),
+            ExprError::UnknownColumn("zz".into())
+        );
     }
 
     #[test]

@@ -8,17 +8,22 @@
 //! * scalar [`expr`]essions for wrapper-computed attributes (`lagRatio =
 //!   waitTime / watchTime`),
 //! * the [`algebra::RelExpr`] expression tree that walks compile to, with a
-//!   paper-notation pretty printer and an evaluator.
+//!   paper-notation pretty printer and an evaluator,
+//! * the [`plan`] module: compiled [`plan::PhysicalPlan`]s and the streaming
+//!   batch executor over interned values — the engine production queries run
+//!   on, with the eager [`ops`] kept as its executable reference.
 
 pub mod algebra;
 pub mod expr;
 pub mod ops;
+pub mod plan;
 pub mod relation;
 pub mod schema;
 pub mod value;
 
 pub use algebra::{AlgebraError, RelExpr, SourceResolver};
 pub use expr::{Expr, ExprError};
+pub use plan::{ExecContext, PhysicalPlan, PlanError, PlanSource, ScanRequest};
 pub use relation::{Relation, RelationError, Tuple};
 pub use schema::{Attribute, Schema, SchemaError};
 pub use value::Value;

@@ -11,7 +11,7 @@
 use crate::relation::{Relation, RelationError, Tuple};
 use crate::schema::{Attribute, Schema};
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Π̃: keeps `keep_non_ids` (each must exist) and all ID attributes, in
 /// schema order. Requesting an ID attribute explicitly is allowed (it is kept
@@ -30,6 +30,11 @@ pub fn project(input: &Relation, keep_non_ids: &[&str]) -> Result<Relation, Rela
         }
     }
     let out_schema = Schema::new(kept_attrs)?;
+    // Full-width projection: clone rows wholesale instead of rebuilding them
+    // cell by cell.
+    if kept_indices.len() == schema.len() {
+        return Relation::new(out_schema, input.rows().to_vec());
+    }
     let rows: Vec<Tuple> = input
         .rows()
         .iter()
@@ -101,19 +106,41 @@ pub fn join(
     Relation::new(out_schema, rows)
 }
 
-/// Set union: operands must have identical schemas; result is deduplicated.
+/// Set union: operands must have identical schemas; the result is
+/// deduplicated and sorted (the canonical set form).
+///
+/// Duplicates are detected with a `HashSet` over row *references* so only
+/// surviving rows are ever cloned — the old implementation cloned every
+/// input row and then sorted the duplicates away.
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
-    if !left.schema().same_shape(right.schema()) {
-        return Err(RelationError::UnionShape {
-            left: left.schema().to_string(),
-            right: right.schema().to_string(),
-        });
+    union_all(left.schema(), [left, right])
+}
+
+/// N-ary set union in a single pass: one dedup, one sort, survivors cloned
+/// once. This is what keeps the eager reference engine linear in the number
+/// of walks — folding the binary [`union`] re-sorts (and used to re-clone)
+/// the whole accumulator at every step.
+pub fn union_all<'a>(
+    schema: &Schema,
+    inputs: impl IntoIterator<Item = &'a Relation>,
+) -> Result<Relation, RelationError> {
+    let mut seen: HashSet<&Tuple> = HashSet::new();
+    let mut rows: Vec<Tuple> = Vec::new();
+    for input in inputs {
+        if !input.schema().same_shape(schema) {
+            return Err(RelationError::UnionShape {
+                left: schema.to_string(),
+                right: input.schema().to_string(),
+            });
+        }
+        for row in input.rows() {
+            if seen.insert(row) {
+                rows.push(row.clone());
+            }
+        }
     }
-    let mut rows = left.rows().to_vec();
-    rows.extend(right.rows().iter().cloned());
-    let mut rel = Relation::new(left.schema().clone(), rows)?;
-    rel.distinct();
-    Ok(rel)
+    rows.sort();
+    Relation::new(schema.clone(), rows)
 }
 
 /// Renames attributes according to `(from, to)` pairs, preserving ID flags.
@@ -263,6 +290,17 @@ mod tests {
 
         let err = union(&a, &w3()).unwrap_err();
         assert!(matches!(err, RelationError::UnionShape { .. }));
+    }
+
+    #[test]
+    fn union_all_equals_folded_binary_union() {
+        let a = project(&w1(), &["lagRatio"]).unwrap();
+        let b = project(&w1(), &[]).unwrap();
+        let folded = union(&union(&a, &a).unwrap(), &a).unwrap();
+        let n_ary = union_all(a.schema(), [&a, &a, &a]).unwrap();
+        assert_eq!(folded, n_ary);
+        assert_eq!(folded.rows(), n_ary.rows());
+        assert!(union_all(a.schema(), [&a, &b]).is_err());
     }
 
     #[test]

@@ -1,0 +1,1364 @@
+//! Physical plans and the streaming batch executor.
+//!
+//! The logical layer ([`crate::algebra::RelExpr`] evaluated through
+//! [`crate::ops`]) stays the executable specification of §2.2: eager,
+//! tuple-at-a-time, cloning every surviving row at every operator. This
+//! module is the engine production queries actually run on:
+//!
+//! * a [`PhysicalPlan`] of **scan / rename / project / hash-join / union**
+//!   nodes, with attribute renames fused into the scans' [`ScanRequest`]s so
+//!   they cost nothing at run time;
+//! * a [`ValuePool`] interning every scalar once, so operators move rows of
+//!   `u32` ids instead of cloning [`Value`]s — interning respects `Value`
+//!   equality (`Int(2)` and `Float(2.0)` share an id), which makes id
+//!   comparison exactly value comparison for joins and dedup;
+//! * pull-based [`Operator`]s yielding bounded [`Batch`]es of interned rows;
+//! * an [`ExecContext`] that caches interned scans and hash-join build sides
+//!   keyed by `(scan, key attribute)`, so plans sharing a wrapper — walks in
+//!   one rewriting almost always do — pay for each scan and build once. The
+//!   context is `Sync`; per-walk plans can execute on scoped threads against
+//!   a shared context.
+//!
+//! ## The pushdown contract
+//!
+//! A [`PlanSource`] receives a [`ScanRequest`] and must return a relation
+//! with **exactly** the request's output schema, rows in the source's stable
+//! scan order, surfacing only the requested columns and — when the request
+//! carries an ID-equality [`ColumnFilter`] — only the matching rows.
+//! [`ScanRequest::apply`] is the reference implementation that sources
+//! without native pushdown fall back to (scan everything, then project,
+//! rename and filter in the mediator).
+
+use crate::relation::{Relation, RelationError, Tuple};
+use crate::schema::{Attribute, Schema};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// FNV-1a. The executor hashes interned `u32` ids and small scalars by the
+/// hundreds of thousands per query and never faces adversarial keys, so a
+/// two-instruction multiplicative hash beats SipHash's DoS resistance.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    /// FNV's raw state has weak low-bit avalanche (integral-float bit
+    /// patterns differ only in their high bits), and both the hash maps and
+    /// the pool's shard selector key on low bits — finish with a
+    /// murmur3-style mixer to spread the entropy.
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FnvBuild = BuildHasherDefault<Fnv>;
+
+/// Upper bound on rows per [`Batch`] yielded by the streaming operators.
+pub const BATCH_ROWS: usize = 1024;
+
+/// Errors raised while building or executing physical plans.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum PlanError {
+    #[error(transparent)]
+    Relation(#[from] RelationError),
+    #[error("scan of {source} returned schema {found}, expected {expected}")]
+    ScanShape {
+        source: String,
+        expected: String,
+        found: String,
+    },
+    #[error("projection index {index} out of range for schema {schema}")]
+    ProjectionRange { index: usize, schema: String },
+    #[error("union of zero plans")]
+    EmptyUnion,
+    #[error("union inputs have incompatible schemas: {left} vs {right}")]
+    UnionShape { left: String, right: String },
+}
+
+/// An ID-equality selection pushed into a scan: `column = value`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnFilter {
+    /// Source-local column name.
+    pub column: String,
+    /// The value rows must equal ([`Value`] equality, so `Int(2)` matches
+    /// `Float(2.0)`).
+    pub value: Value,
+}
+
+impl fmt::Display for ColumnFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[{}={}]", self.column, self.value)
+    }
+}
+
+/// What a [`PlanSource`] is asked to surface: a projection over its
+/// source-local columns (already renamed to the mediator's output
+/// attributes) and an optional ID-equality filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// Source-local column names, in output order.
+    columns: Vec<String>,
+    /// Output attributes, positionally aligned with `columns` — the fused
+    /// rename.
+    output: Schema,
+    /// Optional pushed-down selection (on a source-local column, which need
+    /// not be in `columns`).
+    filter: Option<ColumnFilter>,
+}
+
+impl ScanRequest {
+    /// Builds a request; `columns` and `output` must have equal arity.
+    pub fn new(columns: Vec<String>, output: Schema) -> Result<Self, PlanError> {
+        if columns.len() != output.len() {
+            return Err(PlanError::Relation(RelationError::Arity {
+                expected: output.len(),
+                found: columns.len(),
+            }));
+        }
+        Ok(Self {
+            columns,
+            output,
+            filter: None,
+        })
+    }
+
+    /// The identity request over a source schema: every column, unrenamed,
+    /// unfiltered — what a pushdown-disabled plan asks for.
+    pub fn full(schema: &Schema) -> Self {
+        Self {
+            columns: schema.names().into_iter().map(str::to_owned).collect(),
+            output: schema.clone(),
+            filter: None,
+        }
+    }
+
+    /// Attaches an ID-equality filter.
+    pub fn with_filter(mut self, column: impl Into<String>, value: Value) -> Self {
+        self.filter = Some(ColumnFilter {
+            column: column.into(),
+            value,
+        });
+        self
+    }
+
+    /// Source-local column names, in output order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The schema the scan must produce.
+    pub fn output(&self) -> &Schema {
+        &self.output
+    }
+
+    /// The pushed-down selection, if any.
+    pub fn filter(&self) -> Option<&ColumnFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Reference semantics of a request: project / rename / filter an
+    /// eagerly scanned relation. Sources without native pushdown call this
+    /// on their full scan; the differential tests pin native
+    /// implementations against it.
+    pub fn apply(&self, input: &Relation) -> Result<Relation, RelationError> {
+        let mut indices = Vec::with_capacity(self.columns.len());
+        for column in &self.columns {
+            indices.push(input.schema().require(column)?);
+        }
+        let filter = match &self.filter {
+            Some(f) => Some((input.schema().require(&f.column)?, &f.value)),
+            None => None,
+        };
+        let mut rows = Vec::new();
+        for row in input.rows() {
+            if let Some((idx, value)) = filter {
+                if &row[idx] != value {
+                    continue;
+                }
+            }
+            rows.push(indices.iter().map(|&i| row[i].clone()).collect());
+        }
+        Relation::new(self.output.clone(), rows)
+    }
+}
+
+impl fmt::Display for ScanRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(filter) = &self.filter {
+            write!(f, "{filter} ")?;
+        }
+        f.write_str("[")?;
+        for (i, (col, attr)) in self
+            .columns
+            .iter()
+            .zip(self.output.attributes())
+            .enumerate()
+        {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if col == attr.name() {
+                f.write_str(col)?;
+            } else {
+                write!(f, "{col}→{}", attr.name())?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// Resolves a source name and a pushed-down [`ScanRequest`] to a relation.
+///
+/// `Sync` is a supertrait so a shared [`ExecContext`] can fan walk plans out
+/// across scoped threads.
+pub trait PlanSource: Sync {
+    /// Scans `source`, honouring the request (see the module docs for the
+    /// contract).
+    fn scan(&self, source: &str, request: &ScanRequest) -> Result<Relation, RelationError>;
+}
+
+/// Blanket impl so closures can act as plan sources in tests.
+impl<F> PlanSource for F
+where
+    F: Fn(&str, &ScanRequest) -> Result<Relation, RelationError> + Sync,
+{
+    fn scan(&self, source: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        self(source, request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+/// A compiled physical query plan.
+///
+/// Built through the checked constructors ([`PhysicalPlan::scan`],
+/// [`PhysicalPlan::project`], [`PhysicalPlan::hash_join`], …), which compute
+/// and validate every node's output schema once, at compile time. The
+/// physical layer is deliberately more permissive than the §2.2 logical
+/// operators: Π̃/⋈̃ restrictions are enforced when walks are *built*, not
+/// re-checked per batch here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalPlan {
+    /// Pushdown-aware source scan; renames are fused into the request.
+    Scan {
+        source: String,
+        request: ScanRequest,
+    },
+    /// Pure relabeling — free at run time (batches pass through untouched).
+    Rename {
+        input: Box<PhysicalPlan>,
+        schema: Schema,
+    },
+    /// Positional projection.
+    Project {
+        input: Box<PhysicalPlan>,
+        indices: Vec<usize>,
+        schema: Schema,
+    },
+    /// Equi-join; the executor builds a hash table over the smaller input
+    /// (matching the eager [`crate::ops::join`] ordering contract) and
+    /// streams the other side.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: usize,
+        right_key: usize,
+        schema: Schema,
+    },
+    /// Set union of schema-identical inputs; the executor deduplicates,
+    /// emitting rows in first-occurrence order.
+    Union { inputs: Vec<PhysicalPlan> },
+}
+
+impl PhysicalPlan {
+    /// A scan leaf.
+    pub fn scan(source: impl Into<String>, request: ScanRequest) -> Self {
+        PhysicalPlan::Scan {
+            source: source.into(),
+            request,
+        }
+    }
+
+    /// Relabels attributes (`(from, to)` pairs), preserving ID flags.
+    pub fn rename(self, renames: &[(&str, &str)]) -> Result<Self, PlanError> {
+        for (from, _) in renames {
+            self.schema().require(from).map_err(RelationError::Schema)?;
+        }
+        let attrs = self
+            .schema()
+            .attributes()
+            .iter()
+            .map(|attr| {
+                let name = renames
+                    .iter()
+                    .find(|(from, _)| from == &attr.name())
+                    .map(|(_, to)| *to)
+                    .unwrap_or(attr.name());
+                if attr.is_id() {
+                    Attribute::id(name)
+                } else {
+                    Attribute::non_id(name)
+                }
+            })
+            .collect();
+        let schema = Schema::new(attrs).map_err(RelationError::Schema)?;
+        Ok(PhysicalPlan::Rename {
+            input: Box::new(self),
+            schema,
+        })
+    }
+
+    /// Projects `indices` of the input, labelling them with `schema`.
+    pub fn project(self, indices: Vec<usize>, schema: Schema) -> Result<Self, PlanError> {
+        if indices.len() != schema.len() {
+            return Err(PlanError::Relation(RelationError::Arity {
+                expected: schema.len(),
+                found: indices.len(),
+            }));
+        }
+        for &index in &indices {
+            if index >= self.schema().len() {
+                return Err(PlanError::ProjectionRange {
+                    index,
+                    schema: self.schema().to_string(),
+                });
+            }
+        }
+        Ok(PhysicalPlan::Project {
+            input: Box::new(self),
+            indices,
+            schema,
+        })
+    }
+
+    /// Projects columns by name, labelling them with `schema` (positional).
+    pub fn project_columns(self, columns: &[&str], schema: Schema) -> Result<Self, PlanError> {
+        let mut indices = Vec::with_capacity(columns.len());
+        for column in columns {
+            indices.push(
+                self.schema()
+                    .require(column)
+                    .map_err(RelationError::Schema)?,
+            );
+        }
+        self.project(indices, schema)
+    }
+
+    /// Equi-joins with `right` on `left_attr = right_attr`. The output
+    /// schema is left's attributes followed by right's; name collisions are
+    /// rejected (walk compilation source-prefixes every attribute, so they
+    /// cannot occur there).
+    pub fn hash_join(
+        self,
+        right: PhysicalPlan,
+        left_attr: &str,
+        right_attr: &str,
+    ) -> Result<Self, PlanError> {
+        let left_key = self
+            .schema()
+            .require(left_attr)
+            .map_err(RelationError::Schema)?;
+        let right_key = right
+            .schema()
+            .require(right_attr)
+            .map_err(RelationError::Schema)?;
+        let mut attrs: Vec<Attribute> = self.schema().attributes().to_vec();
+        attrs.extend(right.schema().attributes().iter().cloned());
+        let schema = Schema::new(attrs).map_err(RelationError::Schema)?;
+        Ok(PhysicalPlan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+            schema,
+        })
+    }
+
+    /// Set union of schema-identical plans.
+    pub fn union(inputs: Vec<PhysicalPlan>) -> Result<Self, PlanError> {
+        let first = inputs.first().ok_or(PlanError::EmptyUnion)?;
+        for input in &inputs[1..] {
+            if !input.schema().same_shape(first.schema()) {
+                return Err(PlanError::UnionShape {
+                    left: first.schema().to_string(),
+                    right: input.schema().to_string(),
+                });
+            }
+        }
+        Ok(PhysicalPlan::Union { inputs })
+    }
+
+    /// The node's output schema (computed at construction).
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysicalPlan::Scan { request, .. } => request.output(),
+            PhysicalPlan::Rename { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. } => schema,
+            PhysicalPlan::Union { inputs } => inputs[0].schema(),
+        }
+    }
+
+    /// The cache key of a scan leaf (`None` for interior nodes).
+    fn scan_key(&self) -> Option<ScanKey> {
+        match self {
+            PhysicalPlan::Scan { source, request } => Some(ScanKey {
+                source: source.clone(),
+                columns: request.columns.clone(),
+                filter: request.filter.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    /// Renders the plan in a compact physical notation, e.g.
+    /// `(scan w1 [monitorId→D1/VoDmonitorId] ⋈H[0=1] scan w3 [...])`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalPlan::Scan { source, request } => write!(f, "scan {source} {request}"),
+            PhysicalPlan::Rename { input, schema } => write!(f, "ρ{schema}({input})"),
+            PhysicalPlan::Project {
+                input,
+                indices,
+                schema,
+            } => {
+                write!(f, "Π{schema}#{indices:?}({input})")
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                ..
+            } => write!(f, "({left} ⋈H[{left_key}={right_key}] {right})"),
+            PhysicalPlan::Union { inputs } => {
+                let rendered: Vec<String> = inputs.iter().map(|p| p.to_string()).collect();
+                write!(f, "∪({})", rendered.join(", "))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interning
+// ---------------------------------------------------------------------------
+
+const POOL_SHARD_BITS: u32 = 4;
+const POOL_SHARDS: usize = 1 << POOL_SHARD_BITS;
+
+/// Interns [`Value`]s to `u32` ids. Interning respects `Value` equality and
+/// hashing (which are cross-type for numerics), so id equality is exactly
+/// value equality — joins and dedup never touch the values themselves.
+///
+/// The pool is sharded by value hash (an id is `local_index << 4 | shard`):
+/// interning takes `&self` and only locks one shard briefly, so parallel
+/// walk executors intern concurrently instead of serializing on one mutex.
+pub struct ValuePool {
+    hasher: FnvBuild,
+    shards: Vec<Mutex<PoolShard>>,
+}
+
+#[derive(Default)]
+struct PoolShard {
+    values: Vec<Value>,
+    index: HashMap<Value, u32, FnvBuild>,
+}
+
+impl Default for ValuePool {
+    fn default() -> Self {
+        Self {
+            hasher: FnvBuild::default(),
+            shards: (0..POOL_SHARDS)
+                .map(|_| Mutex::new(PoolShard::default()))
+                .collect(),
+        }
+    }
+}
+
+impl ValuePool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a value (one clone on first occurrence only).
+    pub fn intern(&self, value: &Value) -> u32 {
+        let shard_index = (self.hasher.hash_one(value) as usize) & (POOL_SHARDS - 1);
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("value pool poisoned");
+        if let Some(&local) = shard.index.get(value) {
+            return (local << POOL_SHARD_BITS) | shard_index as u32;
+        }
+        let local = shard.values.len() as u32;
+        // Ids pack as `local << 4 | shard`; overflowing the 28 local bits
+        // would silently alias two distinct values — fail loudly instead.
+        assert!(
+            local < 1 << (32 - POOL_SHARD_BITS),
+            "value pool shard overflow: more than 2^28 distinct values in one shard"
+        );
+        shard.values.push(value.clone());
+        shard.index.insert(value.clone(), local);
+        (local << POOL_SHARD_BITS) | shard_index as u32
+    }
+
+    /// A read handle decoding ids without re-locking per value. Shards are
+    /// locked in index order (the only multi-shard acquisition, so lock
+    /// ordering is consistent); drop the reader before interning again on
+    /// the same thread.
+    pub fn reader(&self) -> PoolReader<'_> {
+        PoolReader {
+            guards: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("value pool poisoned"))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("value pool poisoned").values.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A locked view of a [`ValuePool`] for bulk decoding.
+pub struct PoolReader<'a> {
+    guards: Vec<MutexGuard<'a, PoolShard>>,
+}
+
+impl PoolReader<'_> {
+    /// The value behind an id.
+    pub fn decode(&self, id: u32) -> &Value {
+        let shard = (id as usize) & (POOL_SHARDS - 1);
+        &self.guards[shard].values[(id >> POOL_SHARD_BITS) as usize]
+    }
+}
+
+/// A block of rows in interned id space. `arity` may be zero, so the row
+/// count is tracked explicitly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    arity: usize,
+    len: usize,
+    data: Vec<u32>,
+}
+
+impl Batch {
+    /// An empty batch of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            len: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the iterator must yield exactly `arity` ids.
+    pub fn push(&mut self, row: impl IntoIterator<Item = u32>) {
+        let before = self.data.len();
+        self.data.extend(row);
+        debug_assert_eq!(self.data.len() - before, self.arity);
+        self.len += 1;
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i` as an id slice.
+    pub fn row(&self, i: usize) -> &[u32] {
+        debug_assert!(i < self.len);
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// All rows, in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len).map(move |i| self.row(i))
+    }
+
+    /// Appends every row of `other` (equal arity).
+    pub fn append(&mut self, other: &Batch) {
+        debug_assert_eq!(self.arity, other.arity);
+        self.data.extend_from_slice(&other.data);
+        self.len += other.len;
+    }
+
+    /// A copy of rows `[start, start + len)`.
+    fn slice(&self, start: usize, len: usize) -> Batch {
+        Batch {
+            arity: self.arity,
+            len,
+            data: self.data[start * self.arity..(start + len) * self.arity].to_vec(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution context: shared pool + scan/build caches
+// ---------------------------------------------------------------------------
+
+/// Identity of a scan's *data* (output attribute labels excluded — two
+/// requests differing only in labels read the same rows).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ScanKey {
+    source: String,
+    columns: Vec<String>,
+    filter: Option<ColumnFilter>,
+}
+
+type ScanCell = Arc<OnceLock<Result<Arc<Batch>, PlanError>>>;
+
+/// A hash-join build side: interned key id → build-row indices, in row
+/// order (so probe output preserves build insertion order, matching the
+/// eager join).
+#[derive(Debug, Default)]
+pub struct JoinIndex {
+    groups: HashMap<u32, Vec<u32>, FnvBuild>,
+}
+
+impl JoinIndex {
+    fn matches(&self, key: u32) -> Option<&[u32]> {
+        self.groups.get(&key).map(Vec::as_slice)
+    }
+}
+
+/// Shared state for executing one query's worth of plans: the value pool,
+/// the interned-scan cache and the hash-join build cache. `Sync` — walk
+/// plans for one rewriting run against a single shared context, possibly
+/// from scoped threads.
+pub struct ExecContext<'a> {
+    source: &'a dyn PlanSource,
+    pool: ValuePool,
+    null_id: u32,
+    scans: Mutex<HashMap<ScanKey, ScanCell>>,
+    builds: Mutex<HashMap<(ScanKey, usize), Arc<JoinIndex>>>,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(source: &'a dyn PlanSource) -> Self {
+        let pool = ValuePool::new();
+        let null_id = pool.intern(&Value::Null);
+        Self {
+            source,
+            pool,
+            null_id,
+            scans: Mutex::new(HashMap::new()),
+            builds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The id `Value::Null` interns to (join keys equal to it never match).
+    pub fn null_id(&self) -> u32 {
+        self.null_id
+    }
+
+    /// Interns an entire relation.
+    pub fn intern_relation(&self, relation: &Relation) -> Batch {
+        let mut batch = Batch::new(relation.schema().len());
+        for row in relation.rows() {
+            batch.push(row.iter().map(|v| self.pool.intern(v)));
+        }
+        batch
+    }
+
+    /// Decodes a batch back to owned tuples under one pool read handle.
+    pub fn decode_batch(&self, batch: &Batch) -> Vec<Tuple> {
+        let reader = self.pool.reader();
+        batch
+            .rows()
+            .map(|row| row.iter().map(|&id| reader.decode(id).clone()).collect())
+            .collect()
+    }
+
+    /// Decodes arbitrary id rows back to owned tuples under one pool read
+    /// handle.
+    pub fn decode_rows<'b>(&self, rows: impl IntoIterator<Item = &'b [u32]>) -> Vec<Tuple> {
+        let reader = self.pool.reader();
+        rows.into_iter()
+            .map(|row| row.iter().map(|&id| reader.decode(id).clone()).collect())
+            .collect()
+    }
+
+    /// The interned rows of a scan, computed once per distinct
+    /// `(source, columns, filter)` and shared by every plan in the context.
+    fn scan(&self, source: &str, request: &ScanRequest) -> Result<Arc<Batch>, PlanError> {
+        let key = ScanKey {
+            source: source.to_owned(),
+            columns: request.columns.clone(),
+            filter: request.filter.clone(),
+        };
+        let cell = self
+            .scans
+            .lock()
+            .expect("scan cache poisoned")
+            .entry(key)
+            .or_default()
+            .clone();
+        cell.get_or_init(|| -> Result<Arc<Batch>, PlanError> {
+            let relation = self.source.scan(source, request)?;
+            if relation.schema().len() != request.output().len() {
+                return Err(PlanError::ScanShape {
+                    source: source.to_owned(),
+                    expected: request.output().to_string(),
+                    found: relation.schema().to_string(),
+                });
+            }
+            Ok(Arc::new(self.intern_relation(&relation)))
+        })
+        .clone()
+    }
+
+    /// A hash-join build index over `table[key]`, cached when the build side
+    /// is a scan (`cache_key`), so walks joining the same wrapper on the
+    /// same ID attribute build it once.
+    fn build_index(
+        &self,
+        cache_key: Option<(ScanKey, usize)>,
+        table: &Batch,
+        key: usize,
+    ) -> Arc<JoinIndex> {
+        if let Some(k) = &cache_key {
+            if let Some(index) = self.builds.lock().expect("build cache poisoned").get(k) {
+                return index.clone();
+            }
+        }
+        let mut groups: HashMap<u32, Vec<u32>, FnvBuild> = HashMap::default();
+        for (i, row) in table.rows().enumerate() {
+            let key_id = row[key];
+            if key_id == self.null_id {
+                continue; // null keys never join
+            }
+            groups.entry(key_id).or_default().push(i as u32);
+        }
+        let index = Arc::new(JoinIndex { groups });
+        if let Some(k) = cache_key {
+            self.builds
+                .lock()
+                .expect("build cache poisoned")
+                .insert(k, index.clone());
+        }
+        index
+    }
+}
+
+/// An arena-backed set of interned rows: unique rows live concatenated in
+/// one `Vec<u32>`, membership goes through a row-hash index — no per-row
+/// allocation, unlike a `HashSet<Box<[u32]>>`. Used by the streamed union's
+/// dedup.
+pub struct RowSet {
+    arity: usize,
+    len: usize,
+    data: Vec<u32>,
+    hasher: FnvBuild,
+    /// Row hash → ordinal of the first row with that hash.
+    index: HashMap<u64, u32, FnvBuild>,
+    /// Rare same-hash-different-row entries, scanned linearly.
+    overflow: Vec<(u64, u32)>,
+}
+
+impl RowSet {
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            len: 0,
+            data: Vec::new(),
+            hasher: FnvBuild::default(),
+            index: HashMap::default(),
+            overflow: Vec::new(),
+        }
+    }
+
+    fn row(&self, ordinal: usize) -> &[u32] {
+        &self.data[ordinal * self.arity..(ordinal + 1) * self.arity]
+    }
+
+    fn push_row(&mut self, row: &[u32]) -> u32 {
+        let ordinal = self.len as u32;
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        ordinal
+    }
+
+    /// Inserts a row; returns whether it was new.
+    pub fn insert(&mut self, row: &[u32]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let hash = self.hasher.hash_one(row);
+        match self.index.get(&hash) {
+            None => {
+                let ordinal = self.push_row(row);
+                self.index.insert(hash, ordinal);
+                true
+            }
+            Some(&ordinal) => {
+                if self.row(ordinal as usize) == row {
+                    return false;
+                }
+                if self
+                    .overflow
+                    .iter()
+                    .any(|&(h, o)| h == hash && self.row(o as usize) == row)
+                {
+                    return false;
+                }
+                let ordinal = self.push_row(row);
+                self.overflow.push((hash, ordinal));
+                true
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The unique rows, in first-insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len).map(move |i| self.row(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// A pull-based streaming operator tree compiled from a [`PhysicalPlan`].
+/// Each [`Operator::next_batch`] call yields at most [`BATCH_ROWS`] rows.
+pub struct Operator {
+    node: OpNode,
+}
+
+enum OpNode {
+    Scan {
+        source: String,
+        request: ScanRequest,
+        table: Option<Arc<Batch>>,
+        cursor: usize,
+    },
+    Rename {
+        input: Box<OpNode>,
+    },
+    Project {
+        input: Box<OpNode>,
+        indices: Vec<usize>,
+    },
+    HashJoin {
+        left: Box<OpNode>,
+        right: Box<OpNode>,
+        left_key: usize,
+        right_key: usize,
+        left_scan: Option<ScanKey>,
+        right_scan: Option<ScanKey>,
+        arity: usize,
+        state: Option<JoinState>,
+    },
+    Union {
+        inputs: Vec<OpNode>,
+        current: usize,
+        seen: RowSet,
+        arity: usize,
+    },
+}
+
+struct JoinState {
+    build: Arc<Batch>,
+    probe: Arc<Batch>,
+    index: Arc<JoinIndex>,
+    build_is_left: bool,
+    probe_key: usize,
+    probe_cursor: usize,
+}
+
+impl Operator {
+    /// Compiles a plan into its operator tree.
+    pub fn new(plan: &PhysicalPlan) -> Self {
+        Self {
+            node: OpNode::compile(plan),
+        }
+    }
+
+    /// Pulls the next batch, or `None` when exhausted.
+    pub fn next_batch(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Batch>, PlanError> {
+        self.node.next_batch(ctx)
+    }
+}
+
+impl OpNode {
+    fn compile(plan: &PhysicalPlan) -> OpNode {
+        match plan {
+            PhysicalPlan::Scan { source, request } => OpNode::Scan {
+                source: source.clone(),
+                request: request.clone(),
+                table: None,
+                cursor: 0,
+            },
+            PhysicalPlan::Rename { input, .. } => OpNode::Rename {
+                input: Box::new(OpNode::compile(input)),
+            },
+            PhysicalPlan::Project { input, indices, .. } => OpNode::Project {
+                input: Box::new(OpNode::compile(input)),
+                indices: indices.clone(),
+            },
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                schema,
+            } => OpNode::HashJoin {
+                left_scan: left.scan_key(),
+                right_scan: right.scan_key(),
+                left: Box::new(OpNode::compile(left)),
+                right: Box::new(OpNode::compile(right)),
+                left_key: *left_key,
+                right_key: *right_key,
+                arity: schema.len(),
+                state: None,
+            },
+            PhysicalPlan::Union { inputs } => OpNode::Union {
+                arity: inputs[0].schema().len(),
+                inputs: inputs.iter().map(OpNode::compile).collect(),
+                current: 0,
+                seen: RowSet::new(inputs[0].schema().len()),
+            },
+        }
+    }
+
+    fn arity(&self) -> usize {
+        match self {
+            OpNode::Scan { request, .. } => request.output().len(),
+            OpNode::Rename { input } => input.arity(),
+            OpNode::Project { indices, .. } => indices.len(),
+            OpNode::HashJoin { arity, .. } | OpNode::Union { arity, .. } => *arity,
+        }
+    }
+
+    /// Drains the subtree into one table. Scan leaves hand back the shared
+    /// interned table without copying.
+    fn materialize(&mut self, ctx: &ExecContext<'_>) -> Result<Arc<Batch>, PlanError> {
+        if let OpNode::Scan {
+            source, request, ..
+        } = self
+        {
+            return ctx.scan(source, request);
+        }
+        let mut out = Batch::new(self.arity());
+        while let Some(batch) = self.next_batch(ctx)? {
+            out.append(&batch);
+        }
+        Ok(Arc::new(out))
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Batch>, PlanError> {
+        match self {
+            OpNode::Scan {
+                source,
+                request,
+                table,
+                cursor,
+            } => {
+                if table.is_none() {
+                    *table = Some(ctx.scan(source, request)?);
+                }
+                let t = table.as_ref().expect("scan table just initialized");
+                if *cursor >= t.len() {
+                    return Ok(None);
+                }
+                let take = BATCH_ROWS.min(t.len() - *cursor);
+                let out = t.slice(*cursor, take);
+                *cursor += take;
+                Ok(Some(out))
+            }
+            OpNode::Rename { input } => input.next_batch(ctx),
+            OpNode::Project { input, indices } => {
+                let Some(batch) = input.next_batch(ctx)? else {
+                    return Ok(None);
+                };
+                let mut out = Batch::new(indices.len());
+                for row in batch.rows() {
+                    out.push(indices.iter().map(|&i| row[i]));
+                }
+                Ok(Some(out))
+            }
+            OpNode::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_scan,
+                right_scan,
+                arity,
+                state,
+            } => {
+                if state.is_none() {
+                    let left_table = left.materialize(ctx)?;
+                    let right_table = right.materialize(ctx)?;
+                    // Build on the smaller side — the same rule (and thus the
+                    // same output row order) as the eager `ops::join`.
+                    let build_is_left = left_table.len() <= right_table.len();
+                    let (build, probe, build_key, probe_key, build_cache) = if build_is_left {
+                        (left_table, right_table, *left_key, *right_key, left_scan)
+                    } else {
+                        (right_table, left_table, *right_key, *left_key, right_scan)
+                    };
+                    let cache_key = build_cache.clone().map(|k| (k, build_key));
+                    let index = ctx.build_index(cache_key, &build, build_key);
+                    *state = Some(JoinState {
+                        build,
+                        probe,
+                        index,
+                        build_is_left,
+                        probe_key,
+                        probe_cursor: 0,
+                    });
+                }
+                let st = state.as_mut().expect("join state just initialized");
+                let mut out = Batch::new(*arity);
+                while st.probe_cursor < st.probe.len() && out.len() < BATCH_ROWS {
+                    let probe_row = st.probe.row(st.probe_cursor);
+                    st.probe_cursor += 1;
+                    let key = probe_row[st.probe_key];
+                    if key == ctx.null_id() {
+                        continue;
+                    }
+                    if let Some(matches) = st.index.matches(key) {
+                        for &bi in matches {
+                            let build_row = st.build.row(bi as usize);
+                            let (l, r) = if st.build_is_left {
+                                (build_row, probe_row)
+                            } else {
+                                (probe_row, build_row)
+                            };
+                            out.push(l.iter().chain(r.iter()).copied());
+                        }
+                    }
+                }
+                if out.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(out))
+                }
+            }
+            OpNode::Union {
+                inputs,
+                current,
+                seen,
+                arity,
+            } => loop {
+                let Some(input) = inputs.get_mut(*current) else {
+                    return Ok(None);
+                };
+                match input.next_batch(ctx)? {
+                    None => *current += 1,
+                    Some(batch) => {
+                        let mut out = Batch::new(*arity);
+                        for row in batch.rows() {
+                            if seen.insert(row) {
+                                out.push(row.iter().copied());
+                            }
+                        }
+                        if !out.is_empty() {
+                            return Ok(Some(out));
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Runs a plan to completion against a fresh context, decoding the result.
+///
+/// Union nodes deduplicate (set semantics) and emit rows in first-occurrence
+/// order; every other operator preserves its input order. Callers wanting
+/// the canonical sorted form apply [`Relation::distinct`] themselves.
+pub fn execute_plan(plan: &PhysicalPlan, source: &dyn PlanSource) -> Result<Relation, PlanError> {
+    let ctx = ExecContext::new(source);
+    execute_plan_in(plan, &ctx)
+}
+
+/// Runs a plan to completion against an existing (possibly shared) context.
+pub fn execute_plan_in(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Relation, PlanError> {
+    let mut op = Operator::new(plan);
+    let mut rows: Vec<Tuple> = Vec::new();
+    while let Some(batch) = op.next_batch(ctx)? {
+        rows.extend(ctx.decode_batch(&batch));
+    }
+    Ok(Relation::new(plan.schema().clone(), rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn w1() -> Relation {
+        Relation::new(
+            Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).unwrap(),
+            vec![
+                vec![Value::Int(12), Value::Float(0.75)],
+                vec![Value::Int(12), Value::Float(0.90)],
+                vec![Value::Int(18), Value::Float(0.1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn w3() -> Relation {
+        Relation::new(
+            Schema::from_parts::<&str>(&["TargetApp", "MonitorId", "FeedbackId"], &[]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Int(12), Value::Int(77)],
+                vec![Value::Int(2), Value::Int(18), Value::Int(45)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn source(name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        match name {
+            "w1" => request.apply(&w1()),
+            "w3" => request.apply(&w3()),
+            other => Err(RelationError::Source(format!("unknown source {other}"))),
+        }
+    }
+
+    fn scan_all(name: &str, rel: &Relation) -> PhysicalPlan {
+        PhysicalPlan::scan(name, ScanRequest::full(rel.schema()))
+    }
+
+    #[test]
+    fn scan_request_apply_projects_renames_filters() {
+        let request = ScanRequest::new(
+            vec!["lagRatio".into(), "VoDmonitorId".into()],
+            Schema::new(vec![
+                Attribute::non_id("D1/lagRatio"),
+                Attribute::id("D1/VoDmonitorId"),
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+        .with_filter("VoDmonitorId", Value::Int(12));
+        let out = request.apply(&w1()).unwrap();
+        assert_eq!(out.schema().names(), vec!["D1/lagRatio", "D1/VoDmonitorId"]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, "D1/lagRatio"), Some(&Value::Float(0.75)));
+    }
+
+    #[test]
+    fn streamed_join_matches_eager_join_byte_for_byte() {
+        let plan = scan_all("w1", &w1())
+            .hash_join(scan_all("w3", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap();
+        let streamed = execute_plan(&plan, &source).unwrap();
+        let eager = ops::join(&w1(), &w3(), "VoDmonitorId", "MonitorId").unwrap();
+        assert_eq!(streamed, eager);
+        assert_eq!(streamed.rows(), eager.rows()); // identical order too
+    }
+
+    #[test]
+    fn join_build_side_follows_the_eager_size_rule() {
+        // w3 (2 rows) < w1 (3 rows): eager builds on w3 when it is the left
+        // operand; the plan executor must emit the same probe-major order.
+        let plan = scan_all("w3", &w3())
+            .hash_join(scan_all("w1", &w1()), "MonitorId", "VoDmonitorId")
+            .unwrap();
+        let streamed = execute_plan(&plan, &source).unwrap();
+        let eager = ops::join(&w3(), &w1(), "MonitorId", "VoDmonitorId").unwrap();
+        assert_eq!(streamed.rows(), eager.rows());
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let left = Relation::new(
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Int(5), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let right = Relation::new(
+            Schema::from_parts::<&str>(&["rid"], &[]).unwrap(),
+            vec![vec![Value::Null], vec![Value::Int(5)]],
+        )
+        .unwrap();
+        let src = move |name: &str, request: &ScanRequest| match name {
+            "l" => request.apply(&left),
+            "r" => request.apply(&right),
+            _ => Err(RelationError::Source("unknown".into())),
+        };
+        let plan = PhysicalPlan::scan(
+            "l",
+            ScanRequest::full(&Schema::from_parts(&["id"], &["x"]).unwrap()),
+        )
+        .hash_join(
+            PhysicalPlan::scan(
+                "r",
+                ScanRequest::full(&Schema::from_parts::<&str>(&["rid"], &[]).unwrap()),
+            ),
+            "id",
+            "rid",
+        )
+        .unwrap();
+        let out = execute_plan(&plan, &src).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn union_dedups_in_first_occurrence_order() {
+        let a = scan_all("w1", &w1());
+        let plan = PhysicalPlan::union(vec![a.clone(), a]).unwrap();
+        let out = execute_plan(&plan, &source).unwrap();
+        assert_eq!(out.len(), 3); // both inputs identical → one copy each
+        assert_eq!(out.rows()[0], w1().rows()[0]); // original order kept
+    }
+
+    #[test]
+    fn union_rejects_shape_mismatch_and_emptiness() {
+        assert!(matches!(
+            PhysicalPlan::union(vec![]),
+            Err(PlanError::EmptyUnion)
+        ));
+        let err = PhysicalPlan::union(vec![scan_all("w1", &w1()), scan_all("w3", &w3())]);
+        assert!(matches!(err, Err(PlanError::UnionShape { .. })));
+    }
+
+    #[test]
+    fn scans_are_cached_per_request_across_plans() {
+        let scans = AtomicUsize::new(0);
+        let counting = |name: &str, request: &ScanRequest| {
+            scans.fetch_add(1, Ordering::SeqCst);
+            source(name, request)
+        };
+        let ctx = ExecContext::new(&counting);
+        let plan = scan_all("w1", &w1());
+        execute_plan_in(&plan, &ctx).unwrap();
+        execute_plan_in(&plan, &ctx).unwrap();
+        assert_eq!(scans.load(Ordering::SeqCst), 1);
+
+        // A different request (a filter) is a different cache entry.
+        let filtered = PhysicalPlan::scan(
+            "w1",
+            ScanRequest::full(w1().schema()).with_filter("VoDmonitorId", Value::Int(18)),
+        );
+        let out = execute_plan_in(&filtered, &ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(scans.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn interning_respects_cross_type_numeric_equality() {
+        let ctx = ExecContext::new(&source);
+        let rel = Relation::new(
+            Schema::from_parts::<&str>(&[], &["x"]).unwrap(),
+            vec![vec![Value::Int(2)], vec![Value::Float(2.0)]],
+        )
+        .unwrap();
+        let batch = ctx.intern_relation(&rel);
+        assert_eq!(batch.row(0), batch.row(1));
+    }
+
+    #[test]
+    fn rename_is_free_and_relabels() {
+        let plan = scan_all("w1", &w1())
+            .rename(&[("VoDmonitorId", "monitorId")])
+            .unwrap();
+        assert!(plan.schema().attribute("monitorId").unwrap().is_id());
+        let out = execute_plan(&plan, &source).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(scan_all("w1", &w1()).rename(&[("zz", "x")]).is_err());
+    }
+
+    #[test]
+    fn project_by_indices_and_columns() {
+        let plan = scan_all("w1", &w1())
+            .project_columns(
+                &["lagRatio"],
+                Schema::from_parts::<&str>(&[], &["lagRatio"]).unwrap(),
+            )
+            .unwrap();
+        let out = execute_plan(&plan, &source).unwrap();
+        assert_eq!(out.schema().names(), vec!["lagRatio"]);
+        assert_eq!(out.len(), 3);
+
+        let err = scan_all("w1", &w1())
+            .project(vec![7], Schema::from_parts::<&str>(&[], &["x"]).unwrap());
+        assert!(matches!(err, Err(PlanError::ProjectionRange { .. })));
+    }
+
+    #[test]
+    fn batches_bound_row_counts() {
+        // 3000 rows → 1024 + 1024 + 952.
+        let schema = Schema::from_parts::<&str>(&["id"], &[]).unwrap();
+        let big = Relation::new(
+            schema.clone(),
+            (0..3000).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        let src = move |_: &str, request: &ScanRequest| request.apply(&big);
+        let ctx = ExecContext::new(&src);
+        let mut op = Operator::new(&PhysicalPlan::scan("big", ScanRequest::full(&schema)));
+        let mut sizes = Vec::new();
+        while let Some(batch) = op.next_batch(&ctx).unwrap() {
+            sizes.push(batch.len());
+        }
+        assert_eq!(sizes, vec![1024, 1024, 952]);
+    }
+}

@@ -22,6 +22,8 @@ pub enum RelationError {
     UnionShape { left: String, right: String },
     #[error("attribute name collision in join output: {0}")]
     JoinNameCollision(String),
+    #[error("source error: {0}")]
+    Source(String),
 }
 
 /// An in-memory relation (bag semantics; [`Relation::distinct`] dedups).
@@ -97,6 +99,12 @@ impl Relation {
     pub fn distinct(&mut self) {
         self.rows.sort();
         self.rows.dedup();
+    }
+
+    /// Sorts rows into the canonical total order **without** deduplicating
+    /// (bag semantics preserved).
+    pub fn sort_rows(&mut self) {
+        self.rows.sort();
     }
 
     /// Returns a sorted/deduplicated copy.
@@ -175,7 +183,13 @@ mod tests {
     fn arity_is_checked() {
         let schema = Schema::from_parts(&["id"], &["x"]).unwrap();
         let err = Relation::new(schema, vec![vec![Value::Int(1)]]).unwrap_err();
-        assert!(matches!(err, RelationError::Arity { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            RelationError::Arity {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]

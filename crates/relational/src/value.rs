@@ -94,14 +94,13 @@ impl Ord for Value {
             // Cross-type numerics compare as doubles; NaN sorts greatest.
             (a, b) if a.rank() == 2 && b.rank() == 2 => {
                 let (x, y) = (a.as_f64().expect("rank 2"), b.as_f64().expect("rank 2"));
-                x.partial_cmp(&y).unwrap_or_else(|| {
-                    match (x.is_nan(), y.is_nan()) {
+                x.partial_cmp(&y)
+                    .unwrap_or_else(|| match (x.is_nan(), y.is_nan()) {
                         (true, true) => Ordering::Equal,
                         (true, false) => Ordering::Greater,
                         (false, true) => Ordering::Less,
                         (false, false) => unreachable!("non-NaN incomparable floats"),
-                    }
-                })
+                    })
             }
             (a, b) => a.rank().cmp(&b.rank()),
         }
@@ -114,12 +113,27 @@ impl std::hash::Hash for Value {
         match self {
             Value::Null => {}
             Value::Bool(b) => b.hash(state),
-            // Numerics hash through their f64 bit pattern so Int(2) and
-            // Float(2.0) — which compare equal — hash equally too.
-            Value::Int(i) => (*i as f64).to_bits().hash(state),
-            Value::Float(f) => f.to_bits().hash(state),
+            // Numerics hash through a normalized f64 bit pattern so every
+            // Eq class hashes equally: Int(2) with Float(2.0), -0.0 with
+            // 0.0, and all NaN payloads with each other (Eq goes through the
+            // total order, which unifies those pairs while raw to_bits does
+            // not). Hash-based dedup must agree with Eq.
+            Value::Int(i) => normalized_bits(*i as f64).hash(state),
+            Value::Float(f) => normalized_bits(*f).hash(state),
             Value::Str(s) => s.hash(state),
         }
+    }
+}
+
+/// The f64 bit pattern with Eq-equal values collapsed: `-0.0` → `0.0`, any
+/// NaN → the canonical NaN.
+fn normalized_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0.0f64.to_bits()
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
     }
 }
 
@@ -191,12 +205,33 @@ mod tests {
     }
 
     #[test]
+    fn hash_is_consistent_with_eq_on_zero_and_nan() {
+        // -0.0 == 0.0 and NaN == NaN under the total order; hash-based
+        // dedup (ops::union, the plan executor's value pool) relies on the
+        // hashes agreeing too.
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
+        let quiet = f64::NAN;
+        let payload = f64::from_bits(quiet.to_bits() ^ 1);
+        assert!(payload.is_nan());
+        assert_eq!(Value::Float(quiet), Value::Float(payload));
+        assert_eq!(
+            hash_of(&Value::Float(quiet)),
+            hash_of(&Value::Float(payload))
+        );
+    }
+
+    #[test]
     fn total_order_across_kinds() {
-        let mut values = [Value::Str("a".into()),
+        let mut values = [
+            Value::Str("a".into()),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::Float(0.5)];
+            Value::Float(0.5),
+        ];
         values.sort();
         assert_eq!(
             values.iter().map(Value::kind).collect::<Vec<_>>(),

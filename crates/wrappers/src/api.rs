@@ -42,11 +42,18 @@ pub enum ApiError {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldKind {
     /// Integer drawn from `[min, max]`.
-    Int { min: i64, max: i64 },
+    Int {
+        min: i64,
+        max: i64,
+    },
     /// Double in `[0, 1)` scaled by `scale`.
-    Float { scale: u32 },
+    Float {
+        scale: u32,
+    },
     /// Short string with this prefix plus a counter.
-    Str { prefix: &'static str },
+    Str {
+        prefix: &'static str,
+    },
     Bool,
     /// Unix-epoch seconds.
     Timestamp,
@@ -193,8 +200,15 @@ impl VersionBuilder {
 pub enum SchemaDelta {
     AddField(FieldSpec),
     DeleteField(String),
-    RenameField { from: String, to: String },
-    RetypeField { name: String, from: FieldKind, to: FieldKind },
+    RenameField {
+        from: String,
+        to: String,
+    },
+    RetypeField {
+        name: String,
+        from: FieldKind,
+        to: FieldKind,
+    },
 }
 
 /// Computes the delta `from → to`, honouring `to`'s rename provenance.
@@ -338,10 +352,12 @@ impl ApiSimulator {
         count: usize,
         seed: u64,
     ) -> Result<usize, ApiError> {
-        let endpoint = self.endpoint(api, method).ok_or_else(|| ApiError::UnknownEndpoint {
-            api: api.to_owned(),
-            method: method.to_owned(),
-        })?;
+        let endpoint = self
+            .endpoint(api, method)
+            .ok_or_else(|| ApiError::UnknownEndpoint {
+                api: api.to_owned(),
+                method: method.to_owned(),
+            })?;
         let schema = endpoint
             .version(version)
             .ok_or_else(|| ApiError::UnknownVersion {
@@ -351,10 +367,12 @@ impl ApiSimulator {
             })?;
         let collection = endpoint.collection(version);
         let mut rng = StdRng::seed_from_u64(seed);
-        let docs: Vec<Value> = (0..count).map(|i| generate_doc(schema, &mut rng, i)).collect();
-        self.store
-            .insert_many(&collection, docs)
-            .map_err(|e| ApiError::Wrapper(WrapperError::SourceQuery(collection.clone(), e.to_string())))
+        let docs: Vec<Value> = (0..count)
+            .map(|i| generate_doc(schema, &mut rng, i))
+            .collect();
+        self.store.insert_many(&collection, docs).map_err(|e| {
+            ApiError::Wrapper(WrapperError::SourceQuery(collection.clone(), e.to_string()))
+        })
     }
 
     /// Builds a full-projection [`JsonWrapper`] over one version — the
@@ -367,10 +385,12 @@ impl ApiSimulator {
         version: &str,
         wrapper_name: &str,
     ) -> Result<JsonWrapper, ApiError> {
-        let endpoint = self.endpoint(api, method).ok_or_else(|| ApiError::UnknownEndpoint {
-            api: api.to_owned(),
-            method: method.to_owned(),
-        })?;
+        let endpoint = self
+            .endpoint(api, method)
+            .ok_or_else(|| ApiError::UnknownEndpoint {
+                api: api.to_owned(),
+                method: method.to_owned(),
+            })?;
         let schema = endpoint
             .version(version)
             .ok_or_else(|| ApiError::UnknownVersion {
@@ -378,17 +398,55 @@ impl ApiSimulator {
                 method: method.to_owned(),
                 version: version.to_owned(),
             })?;
-        let pipeline = Pipeline::new().project(
-            schema
-                .fields
-                .iter()
-                .map(|f| Projection::field(&f.name, &f.name))
-                .collect(),
-        );
+        let fields: Vec<&str> = schema.fields.iter().map(|f| f.name.as_str()).collect();
+        self.wrapper_for_projection(api, method, version, wrapper_name, &fields)
+    }
+
+    /// Builds a [`JsonWrapper`] over one version that exposes **only** the
+    /// requested fields — the wrapper-side half of the projection-pushdown
+    /// contract: the aggregation pipeline projects nothing but `fields`, so
+    /// the exposed relation (and every scan of it) never carries unused
+    /// attributes. Field order is preserved; ID flags come from the version
+    /// schema.
+    pub fn wrapper_for_projection(
+        &self,
+        api: &str,
+        method: &str,
+        version: &str,
+        wrapper_name: &str,
+        fields: &[&str],
+    ) -> Result<JsonWrapper, ApiError> {
+        let endpoint = self
+            .endpoint(api, method)
+            .ok_or_else(|| ApiError::UnknownEndpoint {
+                api: api.to_owned(),
+                method: method.to_owned(),
+            })?;
+        let schema = endpoint
+            .version(version)
+            .ok_or_else(|| ApiError::UnknownVersion {
+                api: api.to_owned(),
+                method: method.to_owned(),
+                version: version.to_owned(),
+            })?;
+        let mut attrs = Vec::with_capacity(fields.len());
+        for name in fields {
+            let field = schema
+                .field(name)
+                .ok_or_else(|| ApiError::UnknownField((*name).to_owned()))?;
+            attrs.push(if field.is_id {
+                Attribute::id(&field.name)
+            } else {
+                Attribute::non_id(&field.name)
+            });
+        }
+        let relational_schema = Schema::new(attrs).expect("field names are unique by construction");
+        let pipeline =
+            Pipeline::new().project(fields.iter().map(|f| Projection::field(*f, *f)).collect());
         Ok(JsonWrapper::new(
             wrapper_name,
             &endpoint.api,
-            schema.relational_schema(),
+            relational_schema,
             self.store.clone(),
             endpoint.collection(version),
             pipeline,
@@ -453,8 +511,14 @@ mod tests {
         sim_b.release("vod", "m", vod_v1()).unwrap();
         sim_b.ingest("vod", "m", "v1", 5, 7).unwrap();
 
-        let a = sim_a.store().aggregate("vod/m/v1", &Pipeline::new()).unwrap();
-        let b = sim_b.store().aggregate("vod/m/v1", &Pipeline::new()).unwrap();
+        let a = sim_a
+            .store()
+            .aggregate("vod/m/v1", &Pipeline::new())
+            .unwrap();
+        let b = sim_b
+            .store()
+            .aggregate("vod/m/v1", &Pipeline::new())
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -471,6 +535,24 @@ mod tests {
     }
 
     #[test]
+    fn wrapper_for_projection_exposes_only_requested_fields() {
+        let mut sim = ApiSimulator::new();
+        sim.add_endpoint("vod", "m");
+        sim.release("vod", "m", vod_v1()).unwrap();
+        sim.ingest("vod", "m", "v1", 3, 1).unwrap();
+        let w = sim
+            .wrapper_for_projection("vod", "m", "v1", "w_narrow", &["monitorId", "bitrate"])
+            .unwrap();
+        assert_eq!(w.schema().names(), vec!["monitorId", "bitrate"]);
+        assert_eq!(w.schema().id_names(), vec!["monitorId"]);
+        assert_eq!(w.scan().unwrap().len(), 3);
+        assert!(matches!(
+            sim.wrapper_for_projection("vod", "m", "v1", "w_bad", &["zz"]),
+            Err(ApiError::UnknownField(_))
+        ));
+    }
+
+    #[test]
     fn evolve_builder_applies_operations() {
         let v2 = vod_v1()
             .evolve("v2")
@@ -478,14 +560,20 @@ mod tests {
             .unwrap()
             .remove("bitrate")
             .unwrap()
-            .add(FieldSpec::data("resolution", FieldKind::Str { prefix: "r" }))
+            .add(FieldSpec::data(
+                "resolution",
+                FieldKind::Str { prefix: "r" },
+            ))
             .unwrap()
             .build();
         assert!(v2.field("bufferTime").is_some());
         assert!(v2.field("waitTime").is_none());
         assert!(v2.field("bitrate").is_none());
         assert!(v2.field("resolution").is_some());
-        assert_eq!(v2.renames, vec![("waitTime".to_owned(), "bufferTime".to_owned())]);
+        assert_eq!(
+            v2.renames,
+            vec![("waitTime".to_owned(), "bufferTime".to_owned())]
+        );
     }
 
     #[test]
@@ -497,7 +585,10 @@ mod tests {
             .unwrap()
             .remove("bitrate")
             .unwrap()
-            .add(FieldSpec::data("resolution", FieldKind::Str { prefix: "r" }))
+            .add(FieldSpec::data(
+                "resolution",
+                FieldKind::Str { prefix: "r" },
+            ))
             .unwrap()
             .retype("watchTime", FieldKind::Float { scale: 1 })
             .unwrap()
@@ -508,8 +599,12 @@ mod tests {
             to: "bufferTime".into()
         }));
         assert!(deltas.contains(&SchemaDelta::DeleteField("bitrate".into())));
-        assert!(deltas.iter().any(|d| matches!(d, SchemaDelta::AddField(f) if f.name == "resolution")));
-        assert!(deltas.iter().any(|d| matches!(d, SchemaDelta::RetypeField { name, .. } if name == "watchTime")));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, SchemaDelta::AddField(f) if f.name == "resolution")));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, SchemaDelta::RetypeField { name, .. } if name == "watchTime")));
         assert_eq!(deltas.len(), 4);
     }
 
@@ -523,7 +618,9 @@ mod tests {
             Err(ApiError::DuplicateVersion(_))
         ));
         assert!(matches!(
-            vod_v1().evolve("v2").add(FieldSpec::data("bitrate", FieldKind::Bool)),
+            vod_v1()
+                .evolve("v2")
+                .add(FieldSpec::data("bitrate", FieldKind::Bool)),
             Err(ApiError::DuplicateField(_))
         ));
     }

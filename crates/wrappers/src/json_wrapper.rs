@@ -5,8 +5,9 @@
 //! relation the ontology layer expects.
 
 use crate::wrapper::{Wrapper, WrapperError};
-use bdi_docstore::{DocStore, Pipeline};
-use bdi_relational::{Relation, Schema, Value};
+use bdi_docstore::{DocStore, Pipeline, Projection};
+use bdi_relational::plan::ScanRequest;
+use bdi_relational::{Relation, RelationError, Schema, Value};
 
 /// A wrapper backed by a document-store aggregation query.
 pub struct JsonWrapper {
@@ -119,6 +120,61 @@ impl Wrapper for JsonWrapper {
         }
         Ok(rel)
     }
+
+    /// Native pushdown: a trailing `$project` of only the requested fields
+    /// is appended to the wrapper's pipeline, so the document store never
+    /// surfaces unused attributes. The ID-equality filter is applied after
+    /// JSON→[`Value`] conversion — relational equality (cross-type numeric)
+    /// differs from JSON equality, and the contract is relational.
+    fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+        // The filter column rides along when it is not among the requested
+        // columns, and is dropped from the output rows afterwards.
+        let mut fetch: Vec<&str> = request.columns().iter().map(String::as_str).collect();
+        let filter = match request.filter() {
+            Some(f) => {
+                self.schema
+                    .require(&f.column)
+                    .map_err(RelationError::Schema)?;
+                let idx = match fetch.iter().position(|c| *c == f.column) {
+                    Some(idx) => idx,
+                    None => {
+                        fetch.push(&f.column);
+                        fetch.len() - 1
+                    }
+                };
+                Some((idx, &f.value))
+            }
+            None => None,
+        };
+        for column in request.columns() {
+            self.schema.require(column).map_err(RelationError::Schema)?;
+        }
+        let pipeline = self
+            .pipeline
+            .clone()
+            .project(fetch.iter().map(|c| Projection::field(*c, *c)).collect());
+        let docs = self
+            .store
+            .aggregate(&self.collection, &pipeline)
+            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+        let arity = request.columns().len();
+        let mut rel = Relation::empty(request.output().clone());
+        for doc in docs {
+            let mut row = Vec::with_capacity(fetch.len());
+            for column in &fetch {
+                let json_value = doc.get(column).unwrap_or(&serde_json::Value::Null);
+                row.push(self.convert(column, json_value)?);
+            }
+            if let Some((idx, value)) = filter {
+                if &row[idx] != value {
+                    continue;
+                }
+            }
+            row.truncate(arity);
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
 }
 
 #[cfg(test)]
@@ -203,12 +259,32 @@ mod tests {
     }
 
     #[test]
+    fn scan_request_narrows_pipeline_and_filters() {
+        let w = code2_wrapper(vod_store());
+        let request = ScanRequest::new(
+            vec!["lagRatio".into()],
+            Schema::from_parts::<&str>(&[], &["D1/lagRatio"]).unwrap(),
+        )
+        .unwrap()
+        .with_filter("VoDmonitorId", Value::Int(12));
+        let native = w.scan_request(&request).unwrap();
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(native, reference);
+        assert_eq!(native.len(), 2);
+        assert_eq!(native.schema().names(), vec!["D1/lagRatio"]);
+        assert_eq!(native.value(0, "D1/lagRatio"), Some(&Value::Float(0.75)));
+    }
+
+    #[test]
     fn new_source_documents_appear_on_next_scan() {
         let store = vod_store();
         let w = code2_wrapper(store.clone());
         assert_eq!(w.scan().unwrap().len(), 3);
         store
-            .insert("vod", json!({"monitorId": 20, "waitTime": 5, "watchTime": 8}))
+            .insert(
+                "vod",
+                json!({"monitorId": 20, "waitTime": 5, "watchTime": 8}),
+            )
             .unwrap();
         assert_eq!(w.scan().unwrap().len(), 4);
     }

@@ -115,8 +115,18 @@ impl JsonWrapper {
         WrapperSpec::Json {
             name: self.name().to_owned(),
             source: self.source().to_owned(),
-            id_attributes: self.schema().id_names().iter().map(|s| s.to_string()).collect(),
-            non_id_attributes: self.schema().non_id_names().iter().map(|s| s.to_string()).collect(),
+            id_attributes: self
+                .schema()
+                .id_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            non_id_attributes: self
+                .schema()
+                .non_id_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             collection: self.collection().to_owned(),
             pipeline: self.pipeline().clone(),
         }
@@ -130,8 +140,18 @@ impl TableWrapper {
         Ok(WrapperSpec::Table {
             name: self.name().to_owned(),
             source: self.source().to_owned(),
-            id_attributes: self.schema().id_names().iter().map(|s| s.to_string()).collect(),
-            non_id_attributes: self.schema().non_id_names().iter().map(|s| s.to_string()).collect(),
+            id_attributes: self
+                .schema()
+                .id_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            non_id_attributes: self
+                .schema()
+                .non_id_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             rows: relation
                 .rows()
                 .iter()

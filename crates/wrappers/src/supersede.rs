@@ -121,7 +121,8 @@ pub fn wrapper_w3(store: DocStore) -> JsonWrapper {
     JsonWrapper::new(
         "w3",
         D3,
-        Schema::from_parts::<&str>(&["TargetApp", "MonitorId", "FeedbackId"], &[]).expect("static schema"),
+        Schema::from_parts::<&str>(&["TargetApp", "MonitorId", "FeedbackId"], &[])
+            .expect("static schema"),
         store,
         RELATION_COLLECTION,
         Pipeline::new().project(vec![
@@ -169,7 +170,10 @@ mod tests {
     fn w1_reproduces_table1() {
         let rel = wrapper_w1(sample_docstore()).scan().unwrap();
         assert_eq!(rel.len(), 3);
-        assert_eq!(rel.column("VoDmonitorId").unwrap(), vec![Value::Int(12), Value::Int(12), Value::Int(18)]);
+        assert_eq!(
+            rel.column("VoDmonitorId").unwrap(),
+            vec![Value::Int(12), Value::Int(12), Value::Int(18)]
+        );
         assert_eq!(
             rel.column("lagRatio").unwrap(),
             vec![Value::Float(0.75), Value::Float(0.9), Value::Float(0.1)]
@@ -190,7 +194,10 @@ mod tests {
     fn w3_reproduces_table1() {
         let rel = wrapper_w3(sample_docstore()).scan().unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.schema().id_names(), vec!["TargetApp", "MonitorId", "FeedbackId"]);
+        assert_eq!(
+            rel.schema().id_names(),
+            vec!["TargetApp", "MonitorId", "FeedbackId"]
+        );
         assert!(rel.schema().non_id_names().is_empty());
     }
 

@@ -3,6 +3,7 @@
 //! natively tabular.
 
 use crate::wrapper::{Wrapper, WrapperError};
+use bdi_relational::plan::ScanRequest;
 use bdi_relational::{Relation, Schema, Tuple};
 use parking_lot::RwLock;
 
@@ -61,7 +62,44 @@ impl Wrapper for TableWrapper {
     }
 
     fn scan(&self) -> Result<Relation, WrapperError> {
-        Ok(Relation::new(self.schema.clone(), self.rows.read().clone())?)
+        Ok(Relation::new(
+            self.schema.clone(),
+            self.rows.read().clone(),
+        )?)
+    }
+
+    /// Native pushdown: only the requested cells are ever cloned, and
+    /// filtered-out rows are skipped under the read lock instead of being
+    /// materialized first.
+    fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+        let mut indices = Vec::with_capacity(request.columns().len());
+        for column in request.columns() {
+            indices.push(
+                self.schema
+                    .require(column)
+                    .map_err(bdi_relational::RelationError::Schema)?,
+            );
+        }
+        let filter = match request.filter() {
+            Some(f) => Some((
+                self.schema
+                    .require(&f.column)
+                    .map_err(bdi_relational::RelationError::Schema)?,
+                &f.value,
+            )),
+            None => None,
+        };
+        let rows = self.rows.read();
+        let mut out = Vec::with_capacity(if filter.is_none() { rows.len() } else { 0 });
+        for row in rows.iter() {
+            if let Some((idx, value)) = filter {
+                if &row[idx] != value {
+                    continue;
+                }
+            }
+            out.push(indices.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(Relation::new(request.output().clone(), out)?)
     }
 
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
@@ -97,6 +135,43 @@ mod tests {
             vec![vec![Value::Int(1)]],
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn scan_request_matches_reference_apply() {
+        let w = TableWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts(&["id"], &["x", "y"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Str("a".into()), Value::Int(10)],
+                vec![Value::Int(2), Value::Str("b".into()), Value::Int(20)],
+                vec![Value::Int(1), Value::Str("c".into()), Value::Int(30)],
+            ],
+        )
+        .unwrap();
+        let request = ScanRequest::new(
+            vec!["y".into(), "id".into()],
+            Schema::new(vec![
+                bdi_relational::Attribute::non_id("D/y"),
+                bdi_relational::Attribute::id("D/id"),
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+        .with_filter("id", Value::Int(1));
+        let native = w.scan_request(&request).unwrap();
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(native, reference);
+        assert_eq!(native.len(), 2);
+        assert_eq!(native.value(1, "D/y"), Some(&Value::Int(30)));
+        // Unknown columns are rejected, as in the reference.
+        let bad = ScanRequest::new(
+            vec!["zz".into()],
+            Schema::from_parts::<&str>(&[], &["zz"]).unwrap(),
+        )
+        .unwrap();
+        assert!(w.scan_request(&bad).is_err());
     }
 
     #[test]

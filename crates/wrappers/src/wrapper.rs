@@ -6,6 +6,7 @@
 //! same data source represent different **schema versions** (§2); the
 //! ontology layer never talks to a source directly.
 
+use bdi_relational::plan::{PlanSource, ScanRequest};
 use bdi_relational::{Relation, RelationError, Schema, SourceResolver};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -15,7 +16,9 @@ use std::sync::Arc;
 pub enum WrapperError {
     #[error("wrapper {0} failed to query its source: {1}")]
     SourceQuery(String, String),
-    #[error("wrapper {wrapper} produced a value of unsupported JSON shape for attribute {attribute}")]
+    #[error(
+        "wrapper {wrapper} produced a value of unsupported JSON shape for attribute {attribute}"
+    )]
     UnsupportedShape { wrapper: String, attribute: String },
     #[error(transparent)]
     Relation(#[from] RelationError),
@@ -39,6 +42,21 @@ pub trait Wrapper: Send + Sync {
 
     /// Executes the wrapper's underlying query, producing the current rows.
     fn scan(&self) -> Result<Relation, WrapperError>;
+
+    /// Pushdown-aware scan: surfaces only the columns the mediator's plan
+    /// requests (renamed to the request's output attributes) and, when the
+    /// request carries an ID-equality filter, only the matching rows — in
+    /// the same stable order [`Wrapper::scan`] would produce them.
+    ///
+    /// The default implementation scans everything and applies the request
+    /// in the mediator ([`ScanRequest::apply`], the reference semantics).
+    /// Wrapper kinds that can do better override it: [`crate::TableWrapper`]
+    /// copies only the requested cells, [`crate::JsonWrapper`] narrows its
+    /// aggregation pipeline so the document store never materializes unused
+    /// fields.
+    fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+        Ok(request.apply(&self.scan()?)?)
+    }
 
     /// The wrapper's serializable definition, when it has one (used by
     /// deployment snapshots). Defaults to `None` for wrapper kinds that
@@ -101,6 +119,21 @@ impl std::fmt::Debug for WrapperRegistry {
         f.debug_struct("WrapperRegistry")
             .field("wrappers", &self.wrappers.keys().collect::<Vec<_>>())
             .finish()
+    }
+}
+
+/// The registry is the plan executor's pushdown-aware source catalog: each
+/// [`bdi_relational::plan::PhysicalPlan`] scan resolves a wrapper by name
+/// and hands it the requested projection/filter.
+impl PlanSource for WrapperRegistry {
+    fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        let wrapper = self
+            .wrappers
+            .get(name)
+            .ok_or_else(|| RelationError::Source(format!("unknown wrapper {name}")))?;
+        wrapper
+            .scan_request(request)
+            .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
     }
 }
 

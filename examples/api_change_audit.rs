@@ -21,7 +21,13 @@ fn main() {
     let v1 = VersionSchema::new(
         "1.0",
         vec![
-            FieldSpec::id("statusId", FieldKind::Int { min: 1, max: 1_000_000 }),
+            FieldSpec::id(
+                "statusId",
+                FieldKind::Int {
+                    min: 1,
+                    max: 1_000_000,
+                },
+            ),
             FieldSpec::data("text", FieldKind::Str { prefix: "status" }),
             FieldSpec::data("created", FieldKind::Timestamp),
             FieldSpec::data("favourites", FieldKind::Int { min: 0, max: 5000 }),
@@ -41,14 +47,19 @@ fn main() {
         .expect("static series")
         .retype("created", FieldKind::Str { prefix: "iso8601" })
         .expect("static series")
-        .add(FieldSpec::data("replyCount", FieldKind::Int { min: 0, max: 1000 }))
+        .add(FieldSpec::data(
+            "replyCount",
+            FieldKind::Int { min: 0, max: 1000 },
+        ))
         .expect("static series")
         .build();
 
     for v in [&v1, &v2, &v3] {
-        sim.release("socialgram", "GET/statuses", v.clone()).expect("fresh version");
+        sim.release("socialgram", "GET/statuses", v.clone())
+            .expect("fresh version");
     }
-    sim.ingest("socialgram", "GET/statuses", "1.0", 5, 42).expect("ingests");
+    sim.ingest("socialgram", "GET/statuses", "1.0", 5, 42)
+        .expect("ingests");
 
     // --- Audit each release's structural delta. ---
     println!("Change audit for socialgram /GET statuses\n");

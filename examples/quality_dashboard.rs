@@ -19,7 +19,11 @@ use bdi::core::vocab;
 use bdi::rdf::model::Triple;
 
 fn has_feature(c: &bdi::rdf::Iri, f: &bdi::rdf::Iri) -> Triple {
-    Triple::new(c.clone(), bdi::rdf::Iri::new(vocab::g::HAS_FEATURE.as_str()), f.clone())
+    Triple::new(
+        c.clone(),
+        bdi::rdf::Iri::new(vocab::g::HAS_FEATURE.as_str()),
+        f.clone(),
+    )
 }
 
 fn main() {
@@ -35,8 +39,16 @@ fn main() {
             concepts::feedback_gathering(),
         ],
         vec![
-            Triple::new(concepts::software_application(), supersede::sup("hasMonitor"), concepts::monitor()),
-            Triple::new(concepts::software_application(), supersede::sup("hasFGTool"), concepts::feedback_gathering()),
+            Triple::new(
+                concepts::software_application(),
+                supersede::sup("hasMonitor"),
+                concepts::monitor(),
+            ),
+            Triple::new(
+                concepts::software_application(),
+                supersede::sup("hasFGTool"),
+                concepts::feedback_gathering(),
+            ),
         ],
     );
     let answer = system.answer_omq(inventory).expect("inventory answers");
@@ -47,14 +59,30 @@ fn main() {
     let feedback = Omq::new(
         vec![features::application_id(), features::description()],
         vec![
-            has_feature(&concepts::software_application(), &features::application_id()),
-            Triple::new(concepts::software_application(), supersede::sup("hasFGTool"), concepts::feedback_gathering()),
-            Triple::new(concepts::feedback_gathering(), supersede::sup("generatesUF"), concepts::user_feedback()),
+            has_feature(
+                &concepts::software_application(),
+                &features::application_id(),
+            ),
+            Triple::new(
+                concepts::software_application(),
+                supersede::sup("hasFGTool"),
+                concepts::feedback_gathering(),
+            ),
+            Triple::new(
+                concepts::feedback_gathering(),
+                supersede::sup("generatesUF"),
+                concepts::user_feedback(),
+            ),
             has_feature(&concepts::user_feedback(), &features::description()),
         ],
     );
-    let answer = system.answer_omq(feedback.clone()).expect("feedback answers");
-    println!("Panel 2 — user feedback per app (walk: {}):", answer.walk_exprs[0]);
+    let answer = system
+        .answer_omq(feedback.clone())
+        .expect("feedback answers");
+    println!(
+        "Panel 2 — user feedback per app (walk: {}):",
+        answer.walk_exprs[0]
+    );
     println!("{}\n", answer.relation);
 
     // --- The VoD API evolves mid-flight. ---------------------------------
@@ -66,7 +94,10 @@ fn main() {
     for (label, scope) in [
         ("all versions (historical + current)", VersionScope::All),
         ("latest version per source", VersionScope::Latest),
-        ("as of release #2 (before v2 existed)", VersionScope::UpToRelease(2)),
+        (
+            "as of release #2 (before v2 existed)",
+            VersionScope::UpToRelease(2),
+        ),
     ] {
         let answer = system
             .answer_scoped(qos.clone(), &scope)

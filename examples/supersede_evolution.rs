@@ -18,7 +18,9 @@ fn main() {
     let (mut system, store) = supersede::build_running_example_with_store();
 
     println!("=== Before evolution ===");
-    let before = system.answer(&supersede::exemplary_query()).expect("answers");
+    let before = system
+        .answer(&supersede::exemplary_query())
+        .expect("answers");
     println!(
         "walks: {}  → {} rows",
         before.rewriting.walks.len(),
@@ -43,7 +45,9 @@ fn main() {
     );
 
     println!("=== After evolution: the SAME query, untouched ===");
-    let after = system.answer(&supersede::exemplary_query()).expect("answers");
+    let after = system
+        .answer(&supersede::exemplary_query())
+        .expect("answers");
     println!(
         "walks: {}  → {} rows (union of both schema versions)",
         after.rewriting.walks.len(),

@@ -15,7 +15,10 @@ use bdi::evolution::wordpress;
 fn main() {
     let records = wordpress::replay();
 
-    println!("Wordpress GET-Posts: {} releases replayed through Algorithm 1\n", records.len());
+    println!(
+        "Wordpress GET-Posts: {} releases replayed through Algorithm 1\n",
+        records.len()
+    );
     for r in &records {
         println!(
             "v{:<5} — {} fields, +{} triples in S (cumulative {})",
@@ -45,8 +48,11 @@ fn main() {
 
     let total: usize = records.iter().map(|r| r.stats.source_triples_added).sum();
     let minors = &records[2..];
-    let avg_minor: f64 =
-        minors.iter().map(|r| r.stats.source_triples_added as f64).sum::<f64>() / minors.len() as f64;
+    let avg_minor: f64 = minors
+        .iter()
+        .map(|r| r.stats.source_triples_added as f64)
+        .sum::<f64>()
+        / minors.len() as f64;
     println!("\nTotals: {total} triples added to S across the series.");
     println!(
         "Major releases dominate attribute creation; minor releases settle to a \

@@ -83,19 +83,32 @@ fn help() {
 fn demo(evolved: bool) {
     let system = build(evolved);
     let o = system.ontology();
-    println!("SUPERSEDE deployment{}", if evolved { " (evolved with w4)" } else { "" });
+    println!(
+        "SUPERSEDE deployment{}",
+        if evolved { " (evolved with w4)" } else { "" }
+    );
     println!("  concepts in G:        {}", o.concepts().len());
-    println!("  |G| / |S| / |M|:      {} / {} / {} triples", o.global_graph_len(), o.source_graph_len(), o.mapping_graph_len());
+    println!(
+        "  |G| / |S| / |M|:      {} / {} / {} triples",
+        o.global_graph_len(),
+        o.source_graph_len(),
+        o.mapping_graph_len()
+    );
     println!("  wrappers:             {}", system.registry().len());
     println!("  release log:");
     for entry in system.release_log() {
-        println!("    #{} {} (source {})", entry.seq, entry.wrapper, entry.source);
+        println!(
+            "    #{} {} (source {})",
+            entry.seq, entry.wrapper, entry.source
+        );
     }
 }
 
 fn query(evolved: bool, q: Option<&str>) {
     let system = build(evolved);
-    let sparql = q.map(str::to_owned).unwrap_or_else(supersede::exemplary_query);
+    let sparql = q
+        .map(str::to_owned)
+        .unwrap_or_else(supersede::exemplary_query);
     match system.answer(&sparql) {
         Ok(answer) => {
             println!("walks ({}):", answer.walk_exprs.len());
@@ -150,8 +163,8 @@ fn dump(evolved: bool) {
 fn validate_cmd(evolved: bool) -> ExitCode {
     let system = build(evolved);
     let violations = validate::check_ontology(system.ontology());
-    let typing = typing::validate_all(system.ontology(), system.registry())
-        .expect("all wrappers scan");
+    let typing =
+        typing::validate_all(system.ontology(), system.registry()).expect("all wrappers scan");
     println!("consistency violations: {}", violations.len());
     for v in &violations {
         println!("  {v}");
@@ -227,7 +240,10 @@ fn load_cmd(path: Option<&str>) -> ExitCode {
     );
     match system.answer(&supersede::exemplary_query()) {
         Ok(answer) => {
-            println!("Code 8 query over the restored deployment:\n{}", answer.relation);
+            println!(
+                "Code 8 query over the restored deployment:\n{}",
+                answer.relation
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

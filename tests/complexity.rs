@@ -20,7 +20,10 @@ fn worst_case_walk_count_is_w_to_the_c() {
             "C={c}, W={w}"
         );
         // No candidate was wasted: generation already matches the bound.
-        assert_eq!(rewriting.candidates as u64, synthetic::predicted_walks(c, w));
+        assert_eq!(
+            rewriting.candidates as u64,
+            synthetic::predicted_walks(c, w)
+        );
     }
 }
 
@@ -84,8 +87,16 @@ fn rewriting_time_grows_superlinearly_in_w() {
     // produce 6^3 / 2^3 = 27× more walks than W=2 for C=3.
     let small = synthetic::build_chain_system(3, 2, 0);
     let large = synthetic::build_chain_system(3, 6, 0);
-    let walks_small = small.rewrite(synthetic::chain_query(3)).unwrap().walks.len();
-    let walks_large = large.rewrite(synthetic::chain_query(3)).unwrap().walks.len();
+    let walks_small = small
+        .rewrite(synthetic::chain_query(3))
+        .unwrap()
+        .walks
+        .len();
+    let walks_large = large
+        .rewrite(synthetic::chain_query(3))
+        .unwrap()
+        .walks
+        .len();
     assert_eq!(walks_small, 8);
     assert_eq!(walks_large, 216);
 }

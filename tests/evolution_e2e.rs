@@ -20,7 +20,11 @@ fn iri(s: &str) -> Iri {
 }
 
 fn has_feature(c: &Iri, f: &Iri) -> Triple {
-    Triple::new(c.clone(), Iri::new(vocab::g::HAS_FEATURE.as_str()), f.clone())
+    Triple::new(
+        c.clone(),
+        Iri::new(vocab::g::HAS_FEATURE.as_str()),
+        f.clone(),
+    )
 }
 
 /// Builds a system over a simulated metrics API with two versions:
@@ -62,7 +66,8 @@ fn simulated_system() -> (BdiSystem, ApiSimulator) {
     o.attach_feature(&sample, &cpu).unwrap();
     o.add_feature(&mem);
     o.attach_feature(&sample, &mem).unwrap();
-    o.add_object_property(&iri("reports"), &device, &sample).unwrap();
+    o.add_object_property(&iri("reports"), &device, &sample)
+        .unwrap();
 
     (system, sim)
 }
@@ -79,7 +84,9 @@ fn lav_v1() -> Vec<Triple> {
 fn simulator_releases_flow_through_algorithm1() {
     let (mut system, sim) = simulated_system();
 
-    let w_v1 = sim.wrapper_for("metrics", "GET/samples", "v1", "m_v1").unwrap();
+    let w_v1 = sim
+        .wrapper_for("metrics", "GET/samples", "v1", "m_v1")
+        .unwrap();
     let stats1 = system
         .register_release(Release::new(
             Arc::new(w_v1),
@@ -93,7 +100,9 @@ fn simulator_releases_flow_through_algorithm1() {
     assert!(stats1.new_source);
     assert_eq!(stats1.attributes_created, 2);
 
-    let w_v2 = sim.wrapper_for("metrics", "GET/samples", "v2", "m_v2").unwrap();
+    let w_v2 = sim
+        .wrapper_for("metrics", "GET/samples", "v2", "m_v2")
+        .unwrap();
     let stats2 = system
         .register_release(Release::new(
             Arc::new(w_v2),
@@ -146,7 +155,10 @@ fn simulator_releases_flow_through_algorithm1() {
 fn deltas_classify_per_table5() {
     let (_, sim) = simulated_system();
     let endpoint = sim.endpoint("metrics", "GET/samples").unwrap();
-    let deltas = diff_versions(endpoint.version("v1").unwrap(), endpoint.version("v2").unwrap());
+    let deltas = diff_versions(
+        endpoint.version("v1").unwrap(),
+        endpoint.version("v2").unwrap(),
+    );
     let kinds: Vec<ParameterLevelChange> = deltas.iter().map(classify_delta).collect();
     assert!(kinds.contains(&ParameterLevelChange::RenameResponseParameter));
     assert!(kinds.contains(&ParameterLevelChange::AddParameter));
@@ -160,14 +172,21 @@ fn wordpress_replay_matches_figure11_shape() {
 
     // v1 is the largest single batch (initial overhead).
     let v1_added = records[0].stats.source_triples_added;
-    assert!(records[1..].iter().all(|r| r.stats.source_triples_added < v1_added));
+    assert!(records[1..]
+        .iter()
+        .all(|r| r.stats.source_triples_added < v1_added));
 
     // v2 creates more attributes than any minor release (major rewrite).
     let v2_created = records[1].stats.attributes_created;
-    assert!(records[2..].iter().all(|r| r.stats.attributes_created < v2_created));
+    assert!(records[2..]
+        .iter()
+        .all(|r| r.stats.attributes_created < v2_created));
 
     // Minor releases cluster tightly: linear growth.
-    let minors: Vec<usize> = records[2..].iter().map(|r| r.stats.source_triples_added).collect();
+    let minors: Vec<usize> = records[2..]
+        .iter()
+        .map(|r| r.stats.source_triples_added)
+        .collect();
     let (min, max) = (minors.iter().min().unwrap(), minors.iter().max().unwrap());
     assert!(max - min <= 10, "minor spread too wide: {min}..{max}");
 

@@ -37,7 +37,10 @@ fn latest_scope_uses_only_the_newest_version_per_source() {
         .iter()
         .map(|v| v.to_string())
         .collect();
-    assert_eq!(ratios, BTreeSet::from(["0.42".to_owned(), "0.05".to_owned()]));
+    assert_eq!(
+        ratios,
+        BTreeSet::from(["0.42".to_owned(), "0.05".to_owned()])
+    );
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn up_to_release_reconstructs_the_past() {
     assert!(answer.rewriting.walks.is_empty());
     assert!(answer.relation.is_empty());
     // The empty answer still carries the right schema.
-    assert_eq!(answer.relation.schema().names(), vec!["applicationId", "lagRatio"]);
+    assert_eq!(
+        answer.relation.schema().names(),
+        vec!["applicationId", "lagRatio"]
+    );
 }
 
 #[test]

@@ -65,16 +65,20 @@ fn arb_graph_spec() -> impl Strategy<Value = GraphSpec> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = QuadPattern> {
-    (arb_term_or_var(), arb_iri_or_var(), arb_term_or_var(), arb_graph_spec()).prop_map(
-        |(s, p, o, g)| QuadPattern {
+    (
+        arb_term_or_var(),
+        arb_iri_or_var(),
+        arb_term_or_var(),
+        arb_graph_spec(),
+    )
+        .prop_map(|(s, p, o, g)| QuadPattern {
             pattern: TriplePattern {
                 subject: s,
                 predicate: p,
                 object: o,
             },
             graph: g,
-        },
-    )
+        })
 }
 
 /// Predicates are IRIs or variables (the parser never produces literal
@@ -144,11 +148,7 @@ fn ref_bind(b: &mut RefBinding, var: &Variable, term: Term) -> bool {
     }
 }
 
-fn ref_evaluate(
-    quads: &[Quad],
-    query: &SelectQuery,
-    options: &EvalOptions,
-) -> Vec<RefBinding> {
+fn ref_evaluate(quads: &[Quad], query: &SelectQuery, options: &EvalOptions) -> Vec<RefBinding> {
     let mut solutions: Vec<RefBinding> = match &query.values {
         Some(values) => values
             .rows
@@ -236,7 +236,9 @@ fn ref_evaluate(
 
 /// Canonical form of a solution multiset: each binding rendered as a sorted
 /// `var=term` list, the whole multiset sorted.
-fn canonicalize(bindings: impl IntoIterator<Item = Vec<(String, String)>>) -> Vec<Vec<(String, String)>> {
+fn canonicalize(
+    bindings: impl IntoIterator<Item = Vec<(String, String)>>,
+) -> Vec<Vec<(String, String)>> {
     let mut out: Vec<Vec<(String, String)>> = bindings
         .into_iter()
         .map(|mut b| {

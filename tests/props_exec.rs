@@ -1,0 +1,251 @@
+//! Differential property test for walk execution: the streaming physical
+//! plan engine (`Engine::Streaming`, with and without projection pushdown
+//! and parallelism) must return **byte-identical** answers — same rows, same
+//! order — to the eager `ops::*` reference engine (`Engine::Eager`), over
+//! randomized chain systems with randomized wrapper data (null join keys,
+//! cross-typed numerics, duplicate rows) and every `VersionScope`, with and
+//! without a pushed-down ID-equality filter.
+
+use bdi::core::exec::{Engine, ExecOptions, FeatureFilter};
+use bdi::core::system::VersionScope;
+use bdi::relational::Value;
+use bdi_bench::synthetic;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A generated wrapper row: optional own id, optional next id, one datum.
+/// Ids come from a tiny pool so joins both hit and miss; `None` becomes
+/// `Value::Null` (null keys never join).
+type RawRow = (Option<i64>, Option<i64>, u8);
+
+/// Ids 0..=4 or (one case in six) a null.
+fn arb_id() -> impl Strategy<Value = Option<i64>> {
+    (0i64..6).prop_map(|i| if i == 5 { None } else { Some(i) })
+}
+
+fn arb_raw_row() -> impl Strategy<Value = RawRow> {
+    (arb_id(), arb_id(), 0u8..9)
+}
+
+/// The datum selector exercises every Eq-class hazard: cross-type numeric
+/// equality (`Int(2)` = `Float(2.0)`), signed zero (`-0.0` = `0.0` = `Int(0)`),
+/// NaN (self-equal under the total order), and plain duplicates — all of
+/// which must dedup identically in both engines.
+fn datum(selector: u8) -> Value {
+    match selector {
+        0 => Value::Int(2),
+        1 => Value::Float(2.0),
+        2 => Value::Null,
+        3 => Value::Str("x".into()),
+        4 => Value::Int(7),
+        5 => Value::Float(-0.0),
+        6 => Value::Float(0.0),
+        7 => Value::Float(f64::NAN),
+        _ => Value::Float(0.5),
+    }
+}
+
+fn id_value(id: Option<i64>) -> Value {
+    id.map(Value::Int).unwrap_or(Value::Null)
+}
+
+/// Materializes a generated data cube into a chain system.
+fn build_system(
+    concepts: usize,
+    wrappers: usize,
+    data: &[Vec<RawRow>],
+) -> bdi::core::system::BdiSystem {
+    synthetic::build_chain_system_with(concepts, wrappers, 0, |i, j, schema| {
+        let wrapper_index = (i - 1) * wrappers + (j - 1);
+        let last = schema.index_of("next_id").is_none();
+        data.get(wrapper_index)
+            .map(|rows| {
+                rows.iter()
+                    .map(|(id, next, d)| {
+                        let mut row = vec![id_value(*id)];
+                        if !last {
+                            row.push(id_value(*next));
+                        }
+                        row.push(datum(*d));
+                        row
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    })
+}
+
+fn streaming(pushdown: bool, parallel: bool) -> ExecOptions {
+    ExecOptions {
+        engine: Engine::Streaming,
+        pushdown,
+        parallel,
+        filter: None,
+    }
+}
+
+fn eager() -> ExecOptions {
+    ExecOptions {
+        engine: Engine::Eager,
+        ..ExecOptions::default()
+    }
+}
+
+/// Regression: pushing σ below a join can flip the hash-join build side
+/// (the filtered side shrinks), so filtered answers follow the canonical
+/// sorted-order contract — both engines must emit identical rows anyway.
+#[test]
+fn filtered_join_build_side_flip_is_order_stable() {
+    // w1: 3 rows, two with id1=1, all joining both w2 rows via next_id=0.
+    // Unfiltered the join builds on w2 (2 < 3); with σ[id1=1] pushed down,
+    // w1 shrinks to 2 rows and the tie builds on w1 — different natural
+    // orders, same multiset.
+    let data = vec![
+        vec![
+            (Some(1), Some(0), 0u8),
+            (Some(2), Some(0), 4),
+            (Some(1), Some(0), 8),
+        ],
+        vec![(Some(0), Some(0), 3), (Some(0), Some(0), 5)],
+    ];
+    let system = build_system(2, 1, &data);
+    let filter = Some(FeatureFilter {
+        feature: synthetic::chain_id_feature(1),
+        value: Value::Int(1),
+    });
+    let reference = system
+        .answer_with(
+            synthetic::chain_query_with_id(2),
+            &VersionScope::All,
+            &ExecOptions {
+                filter: filter.clone(),
+                ..eager()
+            },
+        )
+        .unwrap();
+    assert_eq!(reference.relation.len(), 4); // 2 filtered w1 rows × 2 w2 rows
+    for pushdown in [true, false] {
+        let streamed = system
+            .answer_with(
+                synthetic::chain_query_with_id(2),
+                &VersionScope::All,
+                &ExecOptions {
+                    filter: filter.clone(),
+                    ..streaming(pushdown, false)
+                },
+            )
+            .unwrap();
+        assert_eq!(streamed.relation.rows(), reference.relation.rows());
+    }
+}
+
+proptest! {
+    // Building whole systems per case is comparatively heavy; keep the case
+    // count moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_engine_matches_eager_reference(
+        concepts in 1usize..4,
+        wrappers in 1usize..4,
+        data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..10),
+        scope_seed in 0usize..4,
+        upto in 0usize..6,
+    ) {
+        let system = build_system(concepts, wrappers, &data);
+
+        let scope = match scope_seed {
+            0 => VersionScope::All,
+            1 => VersionScope::Latest,
+            2 => VersionScope::UpToRelease(upto % (concepts * wrappers)),
+            _ => VersionScope::Only(
+                // An arbitrary allow-list: every even-indexed release.
+                system
+                    .release_log()
+                    .iter()
+                    .filter(|e| e.seq % 2 == 0)
+                    .map(|e| e.wrapper.clone())
+                    .collect::<BTreeSet<_>>(),
+            ),
+        };
+
+        let reference = system
+            .answer_with(synthetic::chain_query(concepts), &scope, &eager())
+            .unwrap();
+
+        for (pushdown, parallel) in [(true, true), (true, false), (false, true), (false, false)] {
+            let streamed = system
+                .answer_with(
+                    synthetic::chain_query(concepts),
+                    &scope,
+                    &streaming(pushdown, parallel),
+                )
+                .unwrap();
+            // Byte-identical: same schema, same rows, same order.
+            prop_assert!(
+                streamed.relation.rows() == reference.relation.rows(),
+                "mismatch (pushdown={} parallel={} scope={:?}):\n streamed {:?}\n reference {:?}",
+                pushdown,
+                parallel,
+                &scope,
+                streamed.relation.rows(),
+                reference.relation.rows()
+            );
+            prop_assert!(streamed.relation.schema().same_shape(reference.relation.schema()));
+            // Diagnostics are engine-independent.
+            prop_assert_eq!(&streamed.walk_exprs, &reference.walk_exprs);
+            prop_assert_eq!(
+                streamed.rewriting.walks.len(),
+                reference.rewriting.walks.len()
+            );
+            // Multi-walk answers are sets: no Eq-duplicate rows may survive
+            // (an oracle independent of the engine comparison, since both
+            // engines share the hash-based dedup machinery).
+            if streamed.rewriting.walks.len() > 1 {
+                let rows = streamed.relation.rows();
+                for pair in rows.windows(2) {
+                    prop_assert!(pair[0] != pair[1], "duplicate row {:?}", &pair[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pushed_down_id_filter_matches_eager_selection(
+        concepts in 1usize..3,
+        wrappers in 1usize..4,
+        data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..8),
+        filter_id in 0i64..6,
+    ) {
+        let system = build_system(concepts, wrappers, &data);
+        let filter = Some(FeatureFilter {
+            feature: synthetic::chain_id_feature(1),
+            value: Value::Int(filter_id),
+        });
+
+        let reference = system
+            .answer_with(
+                synthetic::chain_query_with_id(concepts),
+                &VersionScope::All,
+                &ExecOptions { filter: filter.clone(), ..eager() },
+            )
+            .unwrap();
+        for pushdown in [true, false] {
+            let streamed = system
+                .answer_with(
+                    synthetic::chain_query_with_id(concepts),
+                    &VersionScope::All,
+                    &ExecOptions {
+                        filter: filter.clone(),
+                        ..streaming(pushdown, true)
+                    },
+                )
+                .unwrap();
+            prop_assert_eq!(streamed.relation.rows(), reference.relation.rows());
+            // Every surviving row satisfies the selection.
+            for row in streamed.relation.rows() {
+                prop_assert_eq!(&row[0], &Value::Int(filter_id));
+            }
+        }
+    }
+}

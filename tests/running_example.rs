@@ -24,7 +24,10 @@ fn table1_wrapper_outputs() {
     );
 
     let w3 = system.registry().resolve("w3").unwrap();
-    assert_eq!(w3.schema().id_names(), vec!["TargetApp", "MonitorId", "FeedbackId"]);
+    assert_eq!(
+        w3.schema().id_names(),
+        vec!["TargetApp", "MonitorId", "FeedbackId"]
+    );
     assert_eq!(w3.len(), 2);
 }
 
@@ -33,7 +36,10 @@ fn table2_exemplary_query() {
     let system = supersede::build_running_example();
     let answer = system.answer(&supersede::exemplary_query()).unwrap();
 
-    assert_eq!(answer.relation.schema().names(), vec!["applicationId", "lagRatio"]);
+    assert_eq!(
+        answer.relation.schema().names(),
+        vec!["applicationId", "lagRatio"]
+    );
     let mut rows: Vec<(i64, f64)> = answer
         .relation
         .rows()

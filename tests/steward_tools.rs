@@ -28,13 +28,8 @@ fn a_release_can_be_assembled_almost_automatically() {
         features::feedback_gathering_id(),
     ];
     let schema = Schema::from_parts(&["VoDmonitorId"], &["bufferingRatio"]).unwrap();
-    let suggested = align::suggest_mappings(
-        system.ontology(),
-        &schema,
-        &candidates,
-        &[None, None],
-        1,
-    );
+    let suggested =
+        align::suggest_mappings(system.ontology(), &schema, &candidates, &[None, None], 1);
     let mappings: BTreeMap<String, _> = suggested
         .into_iter()
         .map(|mut per_attr| {

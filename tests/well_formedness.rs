@@ -8,7 +8,11 @@ use bdi::core::wellformed::{well_formed_query, WellFormedError};
 use bdi::rdf::model::Triple;
 
 fn has_feature(c: &bdi::rdf::Iri, f: &bdi::rdf::Iri) -> Triple {
-    Triple::new(c.clone(), bdi::rdf::Iri::new(vocab::g::HAS_FEATURE.as_str()), f.clone())
+    Triple::new(
+        c.clone(),
+        bdi::rdf::Iri::new(vocab::g::HAS_FEATURE.as_str()),
+        f.clone(),
+    )
 }
 
 /// The non-well-formed query of Code 9: projects three *concepts*.
@@ -49,7 +53,10 @@ fn code9_is_repaired_into_code10_and_answers() {
         ]
     );
     // φ gained the three hasFeature triples.
-    assert!(wf.omq.phi.contains(&has_feature(&concepts::monitor(), &features::monitor_id())));
+    assert!(wf
+        .omq
+        .phi
+        .contains(&has_feature(&concepts::monitor(), &features::monitor_id())));
     assert_eq!(wf.replacements.len(), 3);
 
     // And the repaired query actually executes: w3 provides all three IDs.
@@ -67,9 +74,20 @@ fn cyclic_queries_are_rejected() {
     let cyclic = Omq::new(
         vec![features::application_id()],
         vec![
-            Triple::new(concepts::software_application(), supersede::sup("hasMonitor"), concepts::monitor()),
-            Triple::new(concepts::monitor(), supersede::sup("loops"), concepts::software_application()),
-            has_feature(&concepts::software_application(), &features::application_id()),
+            Triple::new(
+                concepts::software_application(),
+                supersede::sup("hasMonitor"),
+                concepts::monitor(),
+            ),
+            Triple::new(
+                concepts::monitor(),
+                supersede::sup("loops"),
+                concepts::software_application(),
+            ),
+            has_feature(
+                &concepts::software_application(),
+                &features::application_id(),
+            ),
         ],
     );
     assert!(matches!(
@@ -86,13 +104,16 @@ fn projecting_a_concept_without_id_is_rejected() {
     // InfoMonitor has only lagRatio (not an ID).
     let q = Omq::new(
         vec![concepts::info_monitor()],
-        vec![has_feature(&concepts::info_monitor(), &features::lag_ratio())],
+        vec![has_feature(
+            &concepts::info_monitor(),
+            &features::lag_ratio(),
+        )],
     );
     assert!(matches!(
         system.answer_omq(q),
-        Err(bdi::core::SystemError::Rewrite(bdi::core::RewriteError::WellFormed(
-            WellFormedError::ConceptWithoutId(_)
-        )))
+        Err(bdi::core::SystemError::Rewrite(
+            bdi::core::RewriteError::WellFormed(WellFormedError::ConceptWithoutId(_))
+        ))
     ));
 }
 

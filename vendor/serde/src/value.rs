@@ -351,7 +351,9 @@ impl From<String> for Value {
 
 impl From<f64> for Value {
     fn from(value: f64) -> Self {
-        Number::from_f64(value).map(Value::Number).unwrap_or(Value::Null)
+        Number::from_f64(value)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
     }
 }
 

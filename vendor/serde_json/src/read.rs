@@ -18,10 +18,7 @@ pub fn from_str_value(s: &str) -> Result<Value, Error> {
     let v = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
 }
@@ -60,10 +57,7 @@ impl<'a> Parser<'a> {
             self.pos += text.len();
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -165,8 +159,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(Error::new("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(code)

@@ -68,11 +68,15 @@ fn tokens_to_string(tokens: &[TokenTree]) -> String {
 fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<Attr> {
     let mut attrs = Vec::new();
     while *pos + 1 < tokens.len() {
-        let TokenTree::Punct(p) = &tokens[*pos] else { break };
+        let TokenTree::Punct(p) = &tokens[*pos] else {
+            break;
+        };
         if p.as_char() != '#' {
             break;
         }
-        let TokenTree::Group(g) = &tokens[*pos + 1] else { break };
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
         if g.delimiter() != Delimiter::Bracket {
             break;
         }
@@ -305,9 +309,7 @@ pub fn derive_error(input: TokenStream) -> TokenStream {
             .unwrap_or_else(|| panic!("variant {vname} is missing #[error(…)]"));
         match (&v.fields, err) {
             (Fields::Unit, Some(fmt)) => {
-                display_arms.push_str(&format!(
-                    "{name}::{vname} => ::std::write!(f, {fmt}),\n"
-                ));
+                display_arms.push_str(&format!("{name}::{vname} => ::std::write!(f, {fmt}),\n"));
             }
             (Fields::Unit, None) => panic!("#[error(transparent)] needs a field ({vname})"),
             (Fields::Tuple(fields), spec) => {
@@ -457,7 +459,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             body.push_str("::serde::Value::Object(m)");
             impl_serialize(name, &body)
         }
-        Input::Struct { name, .. } => panic!("derive(Serialize) shim: {name} must have named fields"),
+        Input::Struct { name, .. } => {
+            panic!("derive(Serialize) shim: {name} must have named fields")
+        }
         Input::Enum {
             name,
             variants,
@@ -533,7 +537,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             impl_serialize(name, &format!("match self {{\n{arms}}}"))
         }
     };
-    code.parse().expect("derive(Serialize) generated invalid code")
+    code.parse()
+        .expect("derive(Serialize) generated invalid code")
 }
 
 fn impl_serialize(name: &str, body: &str) -> String {
@@ -617,9 +622,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         let vname = &v.name;
                         let wire = variant_wire_name(v, &c);
                         match &v.fields {
-                            Fields::Unit => unit_arms.push_str(&format!(
-                                "\"{wire}\" => return Ok({name}::{vname}),\n"
-                            )),
+                            Fields::Unit => unit_arms
+                                .push_str(&format!("\"{wire}\" => return Ok({name}::{vname}),\n")),
                             Fields::Tuple(fields) if fields.len() == 1 => {
                                 keyed_arms.push_str(&format!(
                                     "\"{wire}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
@@ -629,9 +633,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                                 let n = fields.len();
                                 let elems: String = (0..n)
                                     .map(|i| {
-                                        format!(
-                                            "::serde::Deserialize::from_value(&items[{i}])?,\n"
-                                        )
+                                        format!("::serde::Deserialize::from_value(&items[{i}])?,\n")
                                     })
                                     .collect();
                                 keyed_arms.push_str(&format!(
