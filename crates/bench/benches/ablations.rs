@@ -29,7 +29,7 @@ fn iri(i: usize, kind: &str) -> Iri {
 /// quads and filtering.
 fn bench_index_vs_scan(c: &mut Criterion) {
     let store = QuadStore::new();
-    for s in 0..5_000 {
+    for s in 0..bdi_bench::scaled(5_000, 25) {
         for p in 0..4 {
             store.insert(&Quad::new(
                 iri(s, "s"),
@@ -179,7 +179,7 @@ fn bench_pruning(c: &mut Criterion) {
 /// Ablation 4: interned `u32` quad keys vs a string-tuple set (what the
 /// store would look like without an interner).
 fn bench_interning(c: &mut Criterion) {
-    let n = 20_000usize;
+    let n = bdi_bench::scaled(20_000, 50);
     c.bench_function("ablation/interning/interned_store_insert", |b| {
         b.iter(|| {
             let store = QuadStore::new();

@@ -16,58 +16,12 @@
 //! track the trajectory.
 
 use bdi_bench::synthetic;
+use bdi_bench::{measure, Measurement};
 use bdi_rdf::model::{GraphName, Iri, Quad, Term};
 use bdi_rdf::sparql::{self, EvalOptions, GraphSpec, SelectQuery, TermOrVar, Variable};
 use bdi_rdf::store::{GraphPattern, QuadStore};
 use std::collections::HashMap;
-use std::hint::black_box;
 use std::io::Write;
-use std::time::{Duration, Instant};
-
-// ---------------------------------------------------------------------------
-// Measurement scaffolding
-// ---------------------------------------------------------------------------
-
-struct Record {
-    id: &'static str,
-    ns_per_iter: f64,
-    iters: u64,
-}
-
-/// Times `routine` adaptively: warm up briefly, then run batches until
-/// ~400 ms of measured time accumulates. Returns mean ns/iter.
-fn measure<O>(id: &'static str, records: &mut Vec<Record>, mut routine: impl FnMut() -> O) -> f64 {
-    const WARMUP: Duration = Duration::from_millis(80);
-    const TARGET: Duration = Duration::from_millis(400);
-
-    let warm_start = Instant::now();
-    let mut warm_iters = 0u64;
-    while warm_start.elapsed() < WARMUP {
-        black_box(routine());
-        warm_iters += 1;
-    }
-    let est_ns = (warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
-    let batch = (TARGET.as_nanos() as u64 / 10 / est_ns).clamp(1, 1 << 22);
-
-    let mut elapsed = Duration::ZERO;
-    let mut iters = 0u64;
-    while elapsed < TARGET {
-        let t = Instant::now();
-        for _ in 0..batch {
-            black_box(routine());
-        }
-        elapsed += t.elapsed();
-        iters += batch;
-    }
-    let ns = elapsed.as_nanos() as f64 / iters as f64;
-    println!("bench: {id:<42} {ns:>14.1} ns/iter  ({iters} iters)");
-    records.push(Record {
-        id,
-        ns_per_iter: ns,
-        iters,
-    });
-    ns
-}
 
 // ---------------------------------------------------------------------------
 // Workload: n subjects × 5 predicates over 4 named graphs (100k quads).
@@ -159,13 +113,14 @@ fn reference_evaluate(
 }
 
 fn main() {
-    let mut records: Vec<Record> = Vec::new();
-    const N: usize = 20_000; // 20k subjects × 5 predicates = 100k quads
+    let mut records: Vec<Measurement> = Vec::new();
+    // 20k subjects × 5 predicates = 100k quads (scaled down in fast mode).
+    let n: usize = bdi_bench::scaled(20_000, 50);
 
-    let quads = make_quads(N);
+    let quads = make_quads(n);
     let store = QuadStore::new();
     store.extend(quads.iter().cloned());
-    assert_eq!(store.len(), 100_000);
+    assert_eq!(store.len(), n * 5);
 
     // ---- BGP matching: two-pattern join, predicate-bound scans.
     let mut prefixes = bdi_rdf::turtle::PrefixMap::new();
@@ -182,7 +137,7 @@ fn main() {
     let expected = sparql::evaluate(&store, &query, &union).len();
     assert_eq!(reference_evaluate(&store, &query, &union).len(), expected);
     assert_eq!(sparql::evaluate_count(&store, &query, &union), expected);
-    assert_eq!(expected, N);
+    assert_eq!(expected, n);
 
     // BGP matching proper: the join runs in id space end to end;
     // `evaluate_count` never decodes, the reference must build its
@@ -250,7 +205,12 @@ fn main() {
     println!("speedup: BGP matching (term-space / id-space) = {bgp_speedup:.2}x");
     println!("speedup: bulk load (insert-loop / extend)     = {load_speedup:.2}x");
 
-    // ---- Persist machine-readable results at the workspace root.
+    // ---- Persist machine-readable results at the workspace root — but not
+    // from a smoke run, whose timings are meaningless.
+    if bdi_bench::fast_mode() {
+        println!("fast mode: skipping BENCH_eval.json");
+        return;
+    }
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let mut json = String::from("{\n  \"bench\": \"eval\",\n  \"workload\": \"100k quads (20k subjects x 5 predicates, 4 named graphs)\",\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {

@@ -18,63 +18,20 @@
 //! track the trajectory.
 
 use bdi_bench::synthetic;
+use bdi_bench::{measure, Measurement};
 use bdi_core::exec::{Engine, ExecOptions, FeatureFilter};
 use bdi_core::system::{BdiSystem, VersionScope};
 use bdi_relational::Value;
-use std::hint::black_box;
 use std::io::Write;
-use std::time::{Duration, Instant};
-
-// ---------------------------------------------------------------------------
-// Measurement scaffolding (same adaptive scheme as benches/eval.rs)
-// ---------------------------------------------------------------------------
-
-struct Record {
-    id: String,
-    ns_per_iter: f64,
-    iters: u64,
-}
-
-/// Times `routine` adaptively: warm up briefly, then run batches until
-/// ~400 ms of measured time accumulates. Returns mean ns/iter.
-fn measure<O>(id: String, records: &mut Vec<Record>, mut routine: impl FnMut() -> O) -> f64 {
-    const WARMUP: Duration = Duration::from_millis(80);
-    const TARGET: Duration = Duration::from_millis(400);
-
-    let warm_start = Instant::now();
-    let mut warm_iters = 0u64;
-    while warm_start.elapsed() < WARMUP {
-        black_box(routine());
-        warm_iters += 1;
-    }
-    let est_ns = (warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
-    let batch = (TARGET.as_nanos() as u64 / 10 / est_ns).clamp(1, 1 << 22);
-
-    let mut elapsed = Duration::ZERO;
-    let mut iters = 0u64;
-    while elapsed < TARGET {
-        let t = Instant::now();
-        for _ in 0..batch {
-            black_box(routine());
-        }
-        elapsed += t.elapsed();
-        iters += batch;
-    }
-    let ns = elapsed.as_nanos() as f64 / iters as f64;
-    println!("bench: {id:<48} {ns:>14.1} ns/iter  ({iters} iters)");
-    records.push(Record {
-        id,
-        ns_per_iter: ns,
-        iters,
-    });
-    ns
-}
 
 // ---------------------------------------------------------------------------
 // Workloads
 // ---------------------------------------------------------------------------
 
-const ROWS: usize = 10_000;
+/// 10k rows per wrapper in a full run; a few hundred under fast mode.
+fn rows() -> usize {
+    bdi_bench::scaled(10_000, 50)
+}
 const NOISE: usize = 8;
 
 /// A chain system of 10k-row wrappers with `NOISE` wide columns no query
@@ -88,14 +45,14 @@ const NOISE: usize = 8;
 fn workload(concepts: usize, wrappers: usize, distinct: bool) -> BdiSystem {
     synthetic::build_chain_system_with(concepts, wrappers, NOISE, |i, j, schema| {
         let last = schema.index_of("next_id").is_none();
-        (0..ROWS)
+        (0..rows())
             .map(|r| {
                 let mut row = vec![Value::Int(r as i64)];
                 if !last {
                     row.push(Value::Int(r as i64));
                 }
                 row.push(if distinct {
-                    Value::Float((i * 100 + j) as f64 * ROWS as f64 + r as f64)
+                    Value::Float((i * 100 + j) as f64 * rows() as f64 + r as f64)
                 } else {
                     Value::Float((((i * 31 + j) * 7919 + r) % 4096) as f64 / 16.0)
                 });
@@ -111,7 +68,10 @@ fn options(engine: Engine, pushdown: bool, parallel: bool) -> ExecOptions {
         engine,
         pushdown,
         parallel,
-        filter: None,
+        // Measure raw engine work, not cache hits: the plan cache gets its
+        // own benchmark (benches/pushdown.rs).
+        cache_plans: false,
+        ..ExecOptions::default()
     }
 }
 
@@ -124,7 +84,7 @@ fn answer_len(system: &BdiSystem, concepts: usize, opts: &ExecOptions) -> usize 
 }
 
 fn main() {
-    let mut records: Vec<Record> = Vec::new();
+    let mut records: Vec<Measurement> = Vec::new();
     let eager = options(Engine::Eager, true, true);
     let stream_full = options(Engine::Streaming, true, true);
     let stream_no_pushdown = options(Engine::Streaming, false, true);
@@ -198,10 +158,10 @@ fn main() {
 
     // ---- Filter workload: pushed-down ID-equality selection, 4 wrappers.
     let filter_system = workload(1, 4, false);
-    let filter = Some(FeatureFilter {
-        feature: synthetic::chain_id_feature(1),
-        value: Value::Int(7),
-    });
+    let filters = vec![FeatureFilter::eq(
+        synthetic::chain_id_feature(1),
+        Value::Int(7),
+    )];
     let filtered = |opts: &ExecOptions| {
         filter_system
             .answer_with(synthetic::chain_query_with_id(1), &VersionScope::All, opts)
@@ -210,11 +170,11 @@ fn main() {
             .len()
     };
     let eager_filtered = ExecOptions {
-        filter: filter.clone(),
+        filters: filters.clone(),
         ..eager.clone()
     };
     let stream_filtered = ExecOptions {
-        filter: filter.clone(),
+        filters: filters.clone(),
         ..stream_full.clone()
     };
     assert_eq!(filtered(&eager_filtered), filtered(&stream_filtered));
@@ -242,7 +202,12 @@ fn main() {
         "speedup: ID filter (eager post-select / pushed-down)             = {filter_speedup:.2}x"
     );
 
-    // ---- Persist machine-readable results at the workspace root.
+    // ---- Persist machine-readable results at the workspace root — but not
+    // from a smoke run, whose timings are meaningless.
+    if bdi_bench::fast_mode() {
+        println!("fast mode: skipping BENCH_exec.json");
+        return;
+    }
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
     let mut json = String::from(
         "{\n  \"bench\": \"exec\",\n  \"workload\": \"walk execution: W wrappers x 10k rows x 10 cols (8 noise), 2-concept join, ID filter\",\n  \"results\": [\n",

@@ -33,7 +33,7 @@ fn populate(n: usize) -> QuadStore {
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("store/insert");
-    for n in [1_000usize, 10_000] {
+    for n in [bdi_bench::scaled(1_000, 10), bdi_bench::scaled(10_000, 50)] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| black_box(populate(n).len()))
         });
@@ -42,7 +42,7 @@ fn bench_insert(c: &mut Criterion) {
 }
 
 fn bench_match(c: &mut Criterion) {
-    let store = populate(10_000);
+    let store = populate(bdi_bench::scaled(10_000, 50));
     let p2 = iri(2, "p");
     let s5 = Term::Iri(iri(5, "s"));
 
@@ -77,7 +77,7 @@ fn bench_match(c: &mut Criterion) {
 }
 
 fn bench_sparql(c: &mut Criterion) {
-    let store = populate(5_000);
+    let store = populate(bdi_bench::scaled(5_000, 25));
     let mut prefixes = PrefixMap::new();
     prefixes.insert("b", "http://bench.example/");
     let query = sparql::parse_query(

@@ -159,6 +159,35 @@ pub fn build_chain_system_with(
     system
 }
 
+/// Registers one more disjoint wrapper for (terminal) concept `i` under the
+/// fresh index `j` — used to exercise release-driven cache invalidation
+/// after a system is built. The wrapper exposes `id{i}` and `f{i}` only
+/// (no chain edge), so it only joins chains where `c_i` is the last hop.
+pub fn register_extra_chain_wrapper(
+    system: &mut BdiSystem,
+    i: usize,
+    j: usize,
+    rows: Vec<Vec<Value>>,
+) {
+    let schema = Schema::from_parts(&[format!("id{i}")], &[format!("f{i}")])
+        .expect("synthetic names are unique");
+    let wrapper = Arc::new(
+        TableWrapper::new(format!("w_{i}_{j}"), format!("D_{i}_{j}"), schema, rows)
+            .expect("synthetic rows match schema"),
+    );
+    let lav = vec![
+        has_feature(&concept(i), &id_feature(i)),
+        has_feature(&concept(i), &data_feature(i)),
+    ];
+    let mappings = BTreeMap::from([
+        (format!("id{i}"), id_feature(i)),
+        (format!("f{i}"), data_feature(i)),
+    ]);
+    system
+        .register_release(Release::new(wrapper, lav, mappings))
+        .expect("synthetic releases are valid");
+}
+
 /// The query navigating the whole chain and projecting every concept's data
 /// feature (the "artificial query navigating through 5 concepts" of §5.3).
 pub fn chain_query(concepts: usize) -> Omq {
@@ -184,10 +213,16 @@ pub fn chain_query_with_id(concepts: usize) -> Omq {
     omq
 }
 
-/// The URI of concept `i`'s ID feature (for building [`FeatureFilter`]s
-/// against chain systems).
+/// The URI of concept `i`'s ID feature (for building
+/// [`bdi_core::exec::FeatureFilter`]s against chain systems).
 pub fn chain_id_feature(i: usize) -> Iri {
     id_feature(i)
+}
+
+/// The URI of concept `i`'s data feature (for predicate filters on non-ID
+/// features).
+pub fn chain_data_feature(i: usize) -> Iri {
+    data_feature(i)
 }
 
 /// `W^C` — the §5.3 prediction for the number of generated walks.

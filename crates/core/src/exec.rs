@@ -12,8 +12,10 @@
 //! * **Streaming** (the default, [`Engine::Streaming`]): every walk compiles
 //!   to a [`PhysicalPlan`] — projection pushdown computed from the walk's
 //!   projection sets, renames fused into the [`bdi_relational::ScanRequest`]s,
-//!   an optional ID-equality filter pushed to the providing wrapper's scan.
-//!   The per-walk plans execute in parallel on `crossbeam` scoped threads
+//!   and each [`FeatureFilter`] predicate (equality, IN-set, range) pushed
+//!   to the providing wrapper's scan when the wrapper claims it, or kept as
+//!   a mediator-side residual filter directly above that scan when it does
+//!   not. The per-walk plans execute in parallel on `crossbeam` scoped threads
 //!   against one shared [`ExecContext`] (so wrappers appearing in many walks
 //!   are scanned and interned once, and hash-join build sides are reused per
 //!   ID attribute), streaming their aligned batches into the final
@@ -35,7 +37,9 @@
 use crate::ontology::BdiOntology;
 use crate::rewrite::{walk::prefixed_attr_name, Rewriting, Walk};
 use bdi_rdf::model::Iri;
-use bdi_relational::plan::{self, Batch, ExecContext, Operator, PhysicalPlan, PlanError, RowSet};
+use bdi_relational::plan::{
+    self, Batch, ColumnFilter, ExecContext, Operator, PhysicalPlan, PlanError, Predicate, RowSet,
+};
 use bdi_relational::{
     ops, AlgebraError, Attribute, PlanSource, Relation, RelationError, ScanRequest, Schema,
     SourceResolver, Tuple, Value,
@@ -57,16 +61,12 @@ pub enum ExecError {
     MissingFeature { wrappers: String, feature: String },
     #[error("query projects no features")]
     EmptyProjection,
-    #[error(
-        "filter feature {0} is not an ID feature; pushed-down selections are ID-equality only"
-    )]
-    FilterOnNonId(String),
     #[error("filter feature {0} is not in the query's projection π")]
     FilterNotProjected(String),
 }
 
 /// Which execution engine answers the query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Compiled physical plans, pushdown, interned batches, parallel walks.
     #[default]
@@ -75,18 +75,34 @@ pub enum Engine {
     Eager,
 }
 
-/// An ID-equality selection `feature = value`, pushed down to the wrapper
-/// providing the feature in each walk. The feature must be an ID feature
-/// and must appear in the query's π.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A selection `predicate(feature)`, pushed down to the wrapper providing
+/// the feature in each walk (when that wrapper claims it — otherwise it
+/// runs as a mediator-side residual filter directly above the scan). The
+/// feature must appear in the query's π; any feature qualifies, ID or not,
+/// and any [`Predicate`] (equality, IN-set, range).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FeatureFilter {
     pub feature: Iri,
-    pub value: Value,
+    pub predicate: Predicate,
+}
+
+impl FeatureFilter {
+    pub fn new(feature: Iri, predicate: Predicate) -> Self {
+        Self { feature, predicate }
+    }
+
+    /// Equality sugar — the PR 2 `FeatureFilter` shape.
+    pub fn eq(feature: Iri, value: Value) -> Self {
+        Self {
+            feature,
+            predicate: Predicate::Eq(value),
+        }
+    }
 }
 
 /// Execution knobs. [`ExecOptions::default`] is what [`crate::system`] uses:
 /// the streaming engine with projection pushdown and parallel walks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     pub engine: Engine,
     /// Push each walk's projection set into the wrappers' scans. When off,
@@ -95,8 +111,18 @@ pub struct ExecOptions {
     pub pushdown: bool,
     /// Execute per-walk plans on scoped threads (streaming engine only).
     pub parallel: bool,
-    /// Optional ID-equality selection pushed into the scans.
-    pub filter: Option<FeatureFilter>,
+    /// Selections pushed into the scans (conjunction; empty = unfiltered).
+    pub filters: Vec<FeatureFilter>,
+    /// Reuse compiled plans across queries through the system's release-seq
+    /// keyed cache (default on; plans never depend on wrapper data, so this
+    /// is always sound).
+    pub cache_plans: bool,
+    /// Reuse the system's persistent [`ExecContext`] — interned scans and
+    /// join build sides — across queries, until the next release
+    /// invalidates it. Off by default: cached scans are data snapshots, so
+    /// turn this on only when wrapper data changes exclusively through
+    /// [`crate::system::BdiSystem::register_release`].
+    pub reuse_scans: bool,
 }
 
 impl Default for ExecOptions {
@@ -105,7 +131,9 @@ impl Default for ExecOptions {
             engine: Engine::Streaming,
             pushdown: true,
             parallel: true,
-            filter: None,
+            filters: Vec::new(),
+            cache_plans: true,
+            reuse_scans: false,
         }
     }
 }
@@ -178,24 +206,22 @@ fn walk_feature_attr<'w>(
         .find(|(_, attr)| ontology.feature_of_attribute(attr).as_ref() == Some(feature))
 }
 
-/// Validates a [`FeatureFilter`] against the ontology and π, resolving it to
-/// the π position it selects on.
-fn resolve_filter(
-    ontology: &BdiOntology,
+/// Validates [`FeatureFilter`]s against π, resolving each to the π position
+/// it selects on.
+fn resolve_filters(
     features: &[Iri],
-    filter: Option<&FeatureFilter>,
-) -> Result<Option<(usize, FeatureFilter)>, ExecError> {
-    let Some(filter) = filter else {
-        return Ok(None);
-    };
-    if !ontology.is_id_feature(&filter.feature) {
-        return Err(ExecError::FilterOnNonId(filter.feature.as_str().to_owned()));
-    }
-    let index = features
+    filters: &[FeatureFilter],
+) -> Result<Vec<(usize, FeatureFilter)>, ExecError> {
+    filters
         .iter()
-        .position(|f| f == &filter.feature)
-        .ok_or_else(|| ExecError::FilterNotProjected(filter.feature.as_str().to_owned()))?;
-    Ok(Some((index, filter.clone())))
+        .map(|filter| {
+            let index = features
+                .iter()
+                .position(|f| f == &filter.feature)
+                .ok_or_else(|| ExecError::FilterNotProjected(filter.feature.as_str().to_owned()))?;
+            Ok((index, filter.clone()))
+        })
+        .collect()
 }
 
 /// Evaluates the rewriting and projects the final feature columns with the
@@ -211,7 +237,10 @@ where
     execute_with(ontology, source, rewriting, &ExecOptions::default())
 }
 
-/// Evaluates the rewriting with explicit [`ExecOptions`].
+/// Evaluates the rewriting with explicit [`ExecOptions`] (compile +
+/// execute, no caching — [`crate::system::BdiSystem::answer_with`] layers
+/// the cross-query plan cache on top of [`compile_query`] /
+/// [`execute_compiled`]).
 pub fn execute_with<S>(
     ontology: &BdiOntology,
     source: &S,
@@ -221,10 +250,8 @@ pub fn execute_with<S>(
 where
     S: SourceResolver + PlanSource,
 {
-    match options.engine {
-        Engine::Streaming => execute_streaming(ontology, source, rewriting, options),
-        Engine::Eager => execute_eager(ontology, source, rewriting, options.filter.as_ref()),
-    }
+    let compiled = compile_query(ontology, source, rewriting.clone(), options)?;
+    execute_compiled(ontology, source, &compiled, None)
 }
 
 // ---------------------------------------------------------------------------
@@ -238,11 +265,11 @@ pub fn execute_eager(
     ontology: &BdiOntology,
     resolver: &dyn SourceResolver,
     rewriting: &Rewriting,
-    filter: Option<&FeatureFilter>,
+    filters: &[FeatureFilter],
 ) -> Result<QueryAnswer, ExecError> {
     let features = &rewriting.well_formed.omq.pi;
     let schema = target_schema(ontology, features)?;
-    let filter = resolve_filter(ontology, features, filter)?;
+    let filters = resolve_filters(features, filters)?;
 
     if rewriting.walks.is_empty() {
         return Ok(QueryAnswer {
@@ -260,8 +287,8 @@ pub fn execute_eager(
         let columns = walk_columns(ontology, walk, features)?;
         let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
         let mut aligned = ops::align_to(&rel, &column_refs, &schema)?;
-        if let Some((index, filter)) = &filter {
-            aligned = select_eq(&aligned, *index, &filter.value)?;
+        if !filters.is_empty() {
+            aligned = select_where(&aligned, &filters)?;
         }
         aligned_walks.push(aligned);
     }
@@ -271,7 +298,7 @@ pub fn execute_eager(
     } else {
         ops::union_all(&schema, &aligned_walks)?
     };
-    if filter.is_some() {
+    if !filters.is_empty() {
         // Filtered answers are always canonical-sorted (see the module docs'
         // row-order contract): pushing σ below a join legitimately changes
         // build-side choices and thus natural row order, so the order-stable
@@ -284,13 +311,20 @@ pub fn execute_eager(
     })
 }
 
-/// Reference semantics of the pushed-down filter: σ column#index = value,
-/// preserving row order.
-fn select_eq(input: &Relation, index: usize, value: &Value) -> Result<Relation, RelationError> {
+/// Reference semantics of the pushed-down filters: σ over the answer's π
+/// columns (conjunction), preserving row order.
+fn select_where(
+    input: &Relation,
+    filters: &[(usize, FeatureFilter)],
+) -> Result<Relation, RelationError> {
     let rows: Vec<Tuple> = input
         .rows()
         .iter()
-        .filter(|row| &row[index] == value)
+        .filter(|row| {
+            filters
+                .iter()
+                .all(|(index, f)| f.predicate.matches(&row[*index]))
+        })
         .cloned()
         .collect();
     Relation::new(input.schema().clone(), rows)
@@ -300,12 +334,15 @@ fn select_eq(input: &Relation, index: usize, value: &Value) -> Result<Relation, 
 // Walk → physical plan compilation
 // ---------------------------------------------------------------------------
 
-/// Compiles one wrapper of a walk to its (pushdown-aware) scan leaf.
+/// Compiles one wrapper of a walk to its (pushdown-aware) scan leaf —
+/// possibly topped by a residual [`PhysicalPlan::Filter`] holding the
+/// predicates the source did not claim.
 fn leaf_plan(
     ontology: &BdiOntology,
+    source: &dyn PlanSource,
     wrapper: &Iri,
     needed: Option<&BTreeSet<&Iri>>,
-    filter_target: Option<(&Iri, &Iri, &Value)>,
+    filter_targets: &[(&Iri, &Iri, &Predicate)],
 ) -> Result<PhysicalPlan, ExecError> {
     let wrapper_name = crate::vocab::wrapper_name_of(wrapper)
         .unwrap_or_else(|| wrapper.as_str())
@@ -340,15 +377,34 @@ fn leaf_plan(
     }
     let schema = Schema::new(out_attrs).map_err(RelationError::Schema)?;
     let mut request = ScanRequest::new(columns, schema)?;
-    if let Some((target_wrapper, target_attr, value)) = filter_target {
-        if target_wrapper == wrapper {
-            let local = crate::vocab::attribute_parts_of(target_attr)
-                .map(|(_, local)| local)
-                .unwrap_or_else(|| target_attr.as_str());
-            request = request.with_filter(local, value.clone());
+    // Filters on this wrapper: claimed ones ride inside the scan request,
+    // the residue becomes a mediator-side Filter over the scan's (prefixed)
+    // output columns. Either way the wrapper's answer contribution is
+    // identical — only the evaluation site moves.
+    let mut residue: Vec<(String, Predicate)> = Vec::new();
+    for (target_wrapper, target_attr, predicate) in filter_targets {
+        if target_wrapper != &wrapper {
+            continue;
+        }
+        let local = crate::vocab::attribute_parts_of(target_attr)
+            .map(|(_, local)| local)
+            .unwrap_or_else(|| target_attr.as_str());
+        let filter = ColumnFilter::new(local, (*predicate).clone());
+        if source.claims(&wrapper_name, &filter) {
+            request = request.with_column_filter(filter);
+        } else {
+            residue.push((prefixed_attr_name(target_attr), (*predicate).clone()));
         }
     }
-    Ok(PhysicalPlan::scan(wrapper_name, request))
+    let mut plan = PhysicalPlan::scan(wrapper_name, request);
+    if !residue.is_empty() {
+        let predicates: Vec<(&str, Predicate)> = residue
+            .iter()
+            .map(|(column, p)| (column.as_str(), p.clone()))
+            .collect();
+        plan = plan.filter(predicates)?;
+    }
+    Ok(plan)
 }
 
 /// Compiles a walk to its aligned physical plan: pushdown-aware scans with
@@ -357,17 +413,22 @@ fn leaf_plan(
 /// eager engine), topped by the projection aligning to the target schema.
 fn compile_walk(
     ontology: &BdiOntology,
+    source: &dyn PlanSource,
     walk: &Walk,
     features: &[Iri],
     columns: &[String],
     target: &Schema,
     options: &ExecOptions,
-    filter: Option<&FeatureFilter>,
 ) -> Result<PhysicalPlan, ExecError> {
-    let filter_target = match filter {
-        Some(f) => walk_feature_attr(ontology, walk, &f.feature).map(|(w, a)| (w, a, &f.value)),
-        None => None,
-    };
+    // Each filter lands on the (wrapper, attribute) providing its feature
+    // in this walk — the same choice `walk_columns` aligns on.
+    let filter_targets: Vec<(&Iri, &Iri, &Predicate)> = options
+        .filters
+        .iter()
+        .filter_map(|f| {
+            walk_feature_attr(ontology, walk, &f.feature).map(|(w, a)| (w, a, &f.predicate))
+        })
+        .collect();
     // Per wrapper, the columns the plan actually consumes: the attribute
     // chosen for each requested feature (the one `walk_columns` aligns on)
     // plus both sides of every ⋈̃ condition.
@@ -396,7 +457,7 @@ fn compile_walk(
         let wrapper_needed = needed.as_ref().map(|n| n.get(wrapper).unwrap_or(&empty));
         leaves.insert(
             wrapper,
-            leaf_plan(ontology, wrapper, wrapper_needed, filter_target)?,
+            leaf_plan(ontology, source, wrapper, wrapper_needed, &filter_targets)?,
         );
     }
 
@@ -509,49 +570,136 @@ fn compile_walk(
 }
 
 // ---------------------------------------------------------------------------
-// The streaming engine
+// The streaming engine: compile once, execute many times
 // ---------------------------------------------------------------------------
 
 /// Upper bound on walk-executor threads.
 const MAX_WORKERS: usize = 16;
 
-fn execute_streaming<S>(
+/// A query compiled once and executable many times: the (scope-filtered)
+/// rewriting, the target schema, the rendered walk algebra and — for the
+/// streaming engine — one physical plan per walk. Plans depend only on the
+/// ontology, the options and the sources' *capabilities* (never their
+/// data), so a `CompiledQuery` stays valid until the next release; the
+/// system's cross-query plan cache keys on exactly that.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The rewriting the plans were compiled from. Shared (`Arc`) so
+    /// cache-hit answers hand it out without deep-cloning the walks.
+    pub rewriting: std::sync::Arc<Rewriting>,
+    options: ExecOptions,
+    schema: Schema,
+    walk_exprs: Vec<String>,
+    /// One plan per walk (left empty under [`Engine::Eager`], which
+    /// interprets the walks directly).
+    plans: Vec<PhysicalPlan>,
+}
+
+impl CompiledQuery {
+    /// The options the query was compiled under.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// Rendered physical plans (diagnostics).
+    pub fn plan_strings(&self) -> Vec<String> {
+        self.plans.iter().map(|p| p.to_string()).collect()
+    }
+}
+
+/// Compiles a rewriting into an executable [`CompiledQuery`]: validates π
+/// and the filters, renders the walk algebra, and (streaming engine) builds
+/// each walk's physical plan with claimed filters pushed into the scans and
+/// unclaimed residues kept as mediator-side filters.
+pub fn compile_query<S>(
     ontology: &BdiOntology,
     source: &S,
-    rewriting: &Rewriting,
+    rewriting: Rewriting,
     options: &ExecOptions,
-) -> Result<QueryAnswer, ExecError>
+) -> Result<CompiledQuery, ExecError>
 where
     S: SourceResolver + PlanSource,
 {
     let features = &rewriting.well_formed.omq.pi;
     let schema = target_schema(ontology, features)?;
-    resolve_filter(ontology, features, options.filter.as_ref())?;
-
-    if rewriting.walks.is_empty() {
-        return Ok(QueryAnswer {
-            relation: Relation::empty(schema),
-            walk_exprs: Vec::new(),
-        });
-    }
+    resolve_filters(features, &options.filters)?;
 
     let mut walk_exprs = Vec::with_capacity(rewriting.walks.len());
     let mut plans = Vec::with_capacity(rewriting.walks.len());
-    for walk in &rewriting.walks {
-        walk_exprs.push(walk.to_rel_expr_full(ontology).to_string());
-        let columns = walk_columns(ontology, walk, features)?;
-        plans.push(compile_walk(
+    // The eager engine renders its own walk_exprs while interpreting the
+    // walks (`execute_eager`), so compiling them here would be wasted work.
+    if matches!(options.engine, Engine::Streaming) {
+        for walk in &rewriting.walks {
+            walk_exprs.push(walk.to_rel_expr_full(ontology).to_string());
+            let columns = walk_columns(ontology, walk, features)?;
+            plans.push(compile_walk(
+                ontology, source, walk, features, &columns, &schema, options,
+            )?);
+        }
+    }
+    Ok(CompiledQuery {
+        rewriting: std::sync::Arc::new(rewriting),
+        options: options.clone(),
+        schema,
+        walk_exprs,
+        plans,
+    })
+}
+
+/// Executes a compiled query. `ctx` lets callers thread a persistent
+/// [`ExecContext`] through (reusing interned scans and join build sides
+/// across queries); `None` executes against a fresh context, re-scanning
+/// every wrapper — the right default when source data may have changed.
+pub fn execute_compiled<S>(
+    ontology: &BdiOntology,
+    source: &S,
+    compiled: &CompiledQuery,
+    ctx: Option<&ExecContext>,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: SourceResolver + PlanSource,
+{
+    match compiled.options.engine {
+        Engine::Eager => execute_eager(
             ontology,
-            walk,
-            features,
-            &columns,
-            &schema,
-            options,
-            options.filter.as_ref(),
-        )?);
+            source,
+            &compiled.rewriting,
+            &compiled.options.filters,
+        ),
+        Engine::Streaming => run_streaming(source, compiled, ctx),
+    }
+}
+
+fn run_streaming<S>(
+    source: &S,
+    compiled: &CompiledQuery,
+    external: Option<&ExecContext>,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: PlanSource,
+{
+    let schema = compiled.schema.clone();
+    let walk_exprs = compiled.walk_exprs.clone();
+    let plans = &compiled.plans;
+    let options = &compiled.options;
+    let filtered = !options.filters.is_empty();
+    let src: &dyn PlanSource = source;
+
+    if plans.is_empty() {
+        return Ok(QueryAnswer {
+            relation: Relation::empty(schema),
+            walk_exprs,
+        });
     }
 
-    let ctx = ExecContext::new(source);
+    let owned;
+    let ctx: &ExecContext = match external {
+        Some(shared) => shared,
+        None => {
+            owned = ExecContext::new();
+            &owned
+        }
+    };
 
     // A single walk keeps its natural evaluation order (no union → no set
     // canonicalization), exactly like the eager engine — except under a
@@ -559,8 +707,8 @@ where
     // order (σ below a join changes build-side choices and thus the
     // natural order).
     if plans.len() == 1 {
-        let mut relation = plan::execute_plan_in(&plans[0], &ctx)?;
-        if options.filter.is_some() {
+        let mut relation = plan::execute_plan_in(&plans[0], ctx, src)?;
+        if filtered {
             relation.sort_rows();
         }
         return Ok(QueryAnswer {
@@ -594,7 +742,7 @@ where
         for (index, walk_plan) in plans.iter().enumerate() {
             let mut op = Operator::new(walk_plan);
             loop {
-                match op.next_batch(&ctx) {
+                match op.next_batch(ctx, src) {
                     Ok(Some(batch)) => merge_batch(&batch, &mut seen),
                     Ok(None) => break,
                     Err(e) => {
@@ -611,7 +759,8 @@ where
         // the whole result set queueing up ahead of the dedup thread. The
         // consumer never sends, so a full channel cannot deadlock.
         let (tx, rx) = mpsc::sync_channel::<(usize, Result<Option<Batch>, PlanError>)>(workers * 4);
-        let ctx_ref = &ctx;
+        let ctx_ref = ctx;
+        let src_ref = src;
         let plans_ref = &plans;
         let next_ref = &next;
         crossbeam::scope(|s| {
@@ -624,7 +773,7 @@ where
                     }
                     let mut op = Operator::new(&plans_ref[index]);
                     loop {
-                        match op.next_batch(ctx_ref) {
+                        match op.next_batch(ctx_ref, src_ref) {
                             Ok(Some(batch)) => {
                                 if tx.send((index, Ok(Some(batch)))).is_err() {
                                     return;

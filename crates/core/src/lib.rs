@@ -8,7 +8,7 @@
 //!   (`NewRelease`), the semi-automatic evolution of `T`;
 //! * [`omq`] + [`wellformed`] — ontology-mediated queries `⟨π, φ⟩` and
 //!   **Algorithm 2** (well-formedness repair);
-//! * [`rewrite`] — **Algorithms 3–5**: query expansion, intra-concept and
+//! * [`mod@rewrite`] — **Algorithms 3–5**: query expansion, intra-concept and
 //!   inter-concept generation, producing covering & minimal walks;
 //! * [`exec`] + [`system`] — execution of the union of walks over the
 //!   wrapper registry, and the assembled [`system::BdiSystem`] facade.

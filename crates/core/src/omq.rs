@@ -29,7 +29,7 @@ pub enum OmqError {
 }
 
 /// An ontology-mediated query `⟨π, φ⟩`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Omq {
     /// π — the projected attribute IRIs.
     pub pi: Vec<Iri>,

@@ -17,7 +17,7 @@ pub enum ExpandError {
     #[error("query pattern has no topological order (cycle)")]
     Cyclic,
     /// A navigation concept with neither queried features nor an ID cannot
-    /// be joined through (see the module docs of [`crate::rewrite`]).
+    /// be joined through (see the module docs of [`mod@crate::rewrite`]).
     #[error("concept {0} occurs in the query but has no queried features and no ID feature")]
     UnjoinableConcept(String),
 }

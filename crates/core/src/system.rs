@@ -4,14 +4,16 @@
 //! the data steward registers releases; analysts pose OMQs which are
 //! rewritten (Algorithms 2–5) and executed over the wrappers.
 
-use crate::exec::{self, ExecError, ExecOptions, QueryAnswer};
+use crate::exec::{self, CompiledQuery, ExecError, ExecOptions, QueryAnswer};
 use crate::omq::{Omq, OmqError};
 use crate::ontology::BdiOntology;
 use crate::release::{self, Release, ReleaseError, ReleaseStats};
 use crate::rewrite::{self, RewriteError, Rewriting};
 use crate::vocab;
+use bdi_relational::ExecContext;
 use bdi_wrappers::WrapperRegistry;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Errors surfaced by the system facade.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
@@ -40,7 +42,7 @@ pub struct ReleaseLogEntry {
 /// The rewriting always *finds* every wrapper that can answer; the scope
 /// then filters the union — this is how the paper's "correctness in
 /// historical queries" (§1) and most-recent-version queries coexist.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum VersionScope {
     /// All registered versions (the paper's default union semantics).
     #[default]
@@ -54,12 +56,158 @@ pub enum VersionScope {
     Only(BTreeSet<String>),
 }
 
+/// Upper bound on cached compiled queries; beyond it the least-recently-hit
+/// entry is evicted.
+const PLAN_CACHE_ENTRIES: usize = 64;
+
+/// What a cached plan is valid against: the release log length (bumped by
+/// every [`BdiSystem::register_release`]) and the ontology store's
+/// monotonic mutation stamp (catching direct [`BdiSystem::ontology_mut`]
+/// edits, including count-neutral remove+insert pairs). Plans depend only
+/// on the ontology and wrapper capabilities — never on wrapper *data* — so
+/// this is exactly the compiled-plan lifetime. The persistent
+/// [`ExecContext`] shares the validity stamp: its interned scans *are*
+/// data snapshots, which is why scan reuse is opt-in
+/// ([`ExecOptions::reuse_scans`]) while plan reuse is the default.
+type CacheValidity = (usize, u64);
+
+/// Cache key: the full query identity — OMQ fingerprint, version scope and
+/// execution options (engine, pushdown, filters all shape the plan).
+type PlanKey = (Omq, VersionScope, ExecOptions);
+
+/// Cross-query compiled-plan cache + persistent execution context. Interior
+/// mutability (a mutex held only for lookups/inserts, never during
+/// execution) keeps [`BdiSystem::answer_with`] callable through `&self`.
+struct ExecCache {
+    inner: Mutex<ExecCacheState>,
+}
+
+struct ExecCacheState {
+    validity: CacheValidity,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    plans: HashMap<PlanKey, (Arc<CompiledQuery>, u64)>,
+    ctx: Arc<ExecContext>,
+}
+
+impl Default for ExecCache {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(ExecCacheState {
+                validity: (usize::MAX, u64::MAX), // never matches → first use invalidates
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                plans: HashMap::new(),
+                ctx: Arc::new(ExecContext::new()),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.lock().expect("plan cache poisoned");
+        f.debug_struct("ExecCache")
+            .field("entries", &state.plans.len())
+            .field("hits", &state.hits)
+            .field("misses", &state.misses)
+            .finish()
+    }
+}
+
+impl ExecCache {
+    /// Drops every cached plan and the shared context (release registered,
+    /// or ontology visibly changed).
+    fn invalidate(&self, validity: CacheValidity) {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        state.validity = validity;
+        state.plans.clear();
+        state.ctx = Arc::new(ExecContext::new());
+    }
+
+    /// The cached compiled query for `key`, if still valid, plus the shared
+    /// context. A stale validity stamp flushes everything first.
+    fn lookup(
+        &self,
+        validity: CacheValidity,
+        key: &PlanKey,
+    ) -> (Option<Arc<CompiledQuery>>, Arc<ExecContext>) {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        if state.validity != validity {
+            state.validity = validity;
+            state.plans.clear();
+            state.ctx = Arc::new(ExecContext::new());
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        let hit = match state.plans.get_mut(key) {
+            Some((compiled, last_used)) => {
+                *last_used = tick;
+                Some(compiled.clone())
+            }
+            None => None,
+        };
+        if hit.is_some() {
+            state.hits += 1;
+        } else {
+            state.misses += 1;
+        }
+        (hit, state.ctx.clone())
+    }
+
+    /// The shared context alone (revalidating first), without touching the
+    /// hit/miss counters — for `cache_plans: false` queries.
+    fn context(&self, validity: CacheValidity) -> Arc<ExecContext> {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        if state.validity != validity {
+            state.validity = validity;
+            state.plans.clear();
+            state.ctx = Arc::new(ExecContext::new());
+        }
+        state.ctx.clone()
+    }
+
+    /// Inserts a freshly compiled query, evicting the least-recently-hit
+    /// entry at capacity. Racing compilers of the same key both insert; the
+    /// loser's entry simply replaces an identical one.
+    fn insert(&self, validity: CacheValidity, key: PlanKey, compiled: Arc<CompiledQuery>) {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        if state.validity != validity {
+            return; // a release slipped in while compiling — don't cache stale plans
+        }
+        if state.plans.len() >= PLAN_CACHE_ENTRIES && !state.plans.contains_key(&key) {
+            if let Some(oldest) = state
+                .plans
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.plans.remove(&oldest);
+            }
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        state.plans.insert(key, (compiled, tick));
+    }
+}
+
+/// Plan-cache observability (tests, benches, ops dashboards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
 /// A complete, queryable BDI deployment.
 #[derive(Debug, Default)]
 pub struct BdiSystem {
     ontology: BdiOntology,
     registry: WrapperRegistry,
     release_log: Vec<ReleaseLogEntry>,
+    cache: ExecCache,
 }
 
 /// A query answer together with the rewriting that produced it.
@@ -67,8 +215,9 @@ pub struct BdiSystem {
 pub struct Answer {
     /// The result relation (feature-named columns, π order).
     pub relation: bdi_relational::Relation,
-    /// The rewriting artefacts (walks, expansion, candidates).
-    pub rewriting: Rewriting,
+    /// The rewriting artefacts (walks, expansion, candidates). Shared with
+    /// the plan cache, so repeated queries don't deep-clone the walks.
+    pub rewriting: Arc<Rewriting>,
     /// Rendered relational algebra per executed walk.
     pub walk_exprs: Vec<String>,
 }
@@ -95,7 +244,16 @@ impl BdiSystem {
             ontology,
             registry,
             release_log,
+            cache: ExecCache::default(),
         }
+    }
+
+    /// The cache validity stamp for the system's current state.
+    fn cache_validity(&self) -> CacheValidity {
+        (
+            self.release_log.len(),
+            self.ontology.store().mutation_count(),
+        )
     }
 
     pub fn ontology(&self) -> &BdiOntology {
@@ -111,6 +269,10 @@ impl BdiSystem {
     }
 
     /// Applies Algorithm 1 for a new release and registers its wrapper.
+    /// Every registration bumps the release sequence, which invalidates the
+    /// cross-query plan cache and the persistent execution context — the
+    /// new wrapper changes what queries rewrite to, and its data was never
+    /// scanned.
     pub fn register_release(&mut self, release: Release) -> Result<ReleaseStats, SystemError> {
         let stats = release::apply_release(&self.ontology, &mut self.registry, release)?;
         self.release_log.push(ReleaseLogEntry {
@@ -118,6 +280,7 @@ impl BdiSystem {
             wrapper: stats.wrapper.clone(),
             source: stats.source.clone(),
         });
+        self.cache.invalidate(self.cache_validity());
         Ok(stats)
     }
 
@@ -130,6 +293,18 @@ impl BdiSystem {
     /// deployment whose log must survive verbatim.
     pub fn set_release_log(&mut self, log: Vec<ReleaseLogEntry>) {
         self.release_log = log;
+        self.cache.invalidate(self.cache_validity());
+    }
+
+    /// Plan-cache counters (entries reflect the current validity window;
+    /// hits/misses accumulate over the system's lifetime).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let state = self.cache.inner.lock().expect("plan cache poisoned");
+        PlanCacheStats {
+            entries: state.plans.len(),
+            hits: state.hits,
+            misses: state.misses,
+        }
     }
 
     /// The wrapper names admitted by a scope.
@@ -180,33 +355,77 @@ impl BdiSystem {
 
     /// Rewrites and executes an OMQ with explicit [`ExecOptions`]: engine
     /// selection (streaming plans vs the eager reference), projection
-    /// pushdown, parallel walk execution, and an optional pushed-down
-    /// ID-equality filter. Scope filtering is identical to
+    /// pushdown, parallel walk execution, and pushed-down predicate
+    /// filters. Scope filtering is identical to
     /// [`BdiSystem::answer_scoped`].
+    ///
+    /// Repeated queries skip the rewriting-to-plan pipeline entirely: the
+    /// compiled form is cached under `(OMQ, scope, options)` and stays
+    /// valid until the next [`BdiSystem::register_release`]. With
+    /// [`ExecOptions::reuse_scans`] the persistent [`ExecContext`] also
+    /// carries interned wrapper scans and join build sides across queries
+    /// within that validity window.
     pub fn answer_with(
         &self,
         omq: Omq,
         scope: &VersionScope,
         options: &ExecOptions,
     ) -> Result<Answer, SystemError> {
-        let mut rewriting = rewrite::rewrite(&self.ontology, omq)?;
-        if !matches!(scope, VersionScope::All) {
-            let allowed = self.wrappers_in_scope(scope);
-            rewriting.walks.retain(|walk| {
-                walk.wrappers().iter().all(|uri| {
-                    vocab::wrapper_name_of(uri)
-                        .map(|name| allowed.contains(name))
-                        .unwrap_or(false)
-                })
-            });
-        }
+        let validity = self.cache_validity();
+        // Normalize the key to the plan-shaping options: `cache_plans` and
+        // `reuse_scans` steer *this* method, never the compiled plan, so
+        // queries differing only in them share one cache entry.
+        let key_options = ExecOptions {
+            cache_plans: true,
+            reuse_scans: false,
+            ..options.clone()
+        };
+        let key = (omq, scope.clone(), key_options);
+        let (cached, ctx) = if options.cache_plans {
+            self.cache.lookup(validity, &key)
+        } else {
+            (None, self.cache.context(validity))
+        };
+        let compiled = match cached {
+            Some(compiled) => compiled,
+            None => {
+                let (omq, scope, key_options) = &key;
+                let mut rewriting = rewrite::rewrite(&self.ontology, omq.clone())?;
+                if !matches!(scope, VersionScope::All) {
+                    let allowed = self.wrappers_in_scope(scope);
+                    rewriting.walks.retain(|walk| {
+                        walk.wrappers().iter().all(|uri| {
+                            vocab::wrapper_name_of(uri)
+                                .map(|name| allowed.contains(name))
+                                .unwrap_or(false)
+                        })
+                    });
+                }
+                let compiled = Arc::new(exec::compile_query(
+                    &self.ontology,
+                    &self.registry,
+                    rewriting,
+                    key_options,
+                )?);
+                if options.cache_plans {
+                    self.cache.insert(validity, key.clone(), compiled.clone());
+                }
+                compiled
+            }
+        };
+        let shared_ctx = options.reuse_scans.then_some(ctx);
         let QueryAnswer {
             relation,
             walk_exprs,
-        } = exec::execute_with(&self.ontology, &self.registry, &rewriting, options)?;
+        } = exec::execute_compiled(
+            &self.ontology,
+            &self.registry,
+            &compiled,
+            shared_ctx.as_deref(),
+        )?;
         Ok(Answer {
             relation,
-            rewriting,
+            rewriting: compiled.rewriting.clone(),
             walk_exprs,
         })
     }

@@ -148,6 +148,85 @@ fn arith(
     Ok(json_f64(f(x, y)))
 }
 
+/// Total order over JSON values mirroring the relational layer's
+/// `Value` order, so `$match` predicates pushed down by wrappers agree with
+/// the mediator's reference semantics: `Null < Bool < Number < String`
+/// (< Array < Object, which wrappers reject as non-1NF but which stay
+/// ordered here for totality). Numbers compare cross-representation — two
+/// `i64`-representable numbers exactly, anything else as `f64` — exactly
+/// like the relational `Int`/`Float` comparison after JSON conversion.
+/// JSON numbers cannot be NaN, so the comparison is total.
+pub fn json_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Number(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Number(x), Value::Number(y)) => match (x.as_i64(), y.as_i64()) {
+            (Some(i), Some(j)) => i.cmp(&j),
+            _ => {
+                let (fx, fy) = (x.as_f64().unwrap_or(0.0), y.as_f64().unwrap_or(0.0));
+                fx.partial_cmp(&fy).unwrap_or(Ordering::Equal)
+            }
+        },
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// A per-field `$match` predicate over JSON values, compared through
+/// [`json_cmp`] — the fragment of MongoDB's `$eq`/`$in`/`$gte`/`$lt` family
+/// the mediator's predicate pushdown compiles to.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DocPredicate {
+    /// `{field: {$eq: v}}`.
+    Eq(Value),
+    /// `{field: {$in: [..]}}`. An empty set matches nothing.
+    In(Vec<Value>),
+    /// `{field: {$gt(e): min, $lt(e): max}}`; each bound is `(value,
+    /// inclusive)`.
+    Range {
+        min: Option<(Value, bool)>,
+        max: Option<(Value, bool)>,
+    },
+}
+
+impl DocPredicate {
+    /// Whether a field value satisfies the predicate.
+    pub fn matches(&self, value: &Value) -> bool {
+        use std::cmp::Ordering;
+        match self {
+            DocPredicate::Eq(v) => json_cmp(value, v) == Ordering::Equal,
+            DocPredicate::In(vs) => vs.iter().any(|v| json_cmp(value, v) == Ordering::Equal),
+            DocPredicate::Range { min, max } => {
+                if let Some((v, inclusive)) = min {
+                    match json_cmp(value, v) {
+                        Ordering::Less => return false,
+                        Ordering::Equal if !inclusive => return false,
+                        _ => {}
+                    }
+                }
+                if let Some((v, inclusive)) = max {
+                    match json_cmp(value, v) {
+                        Ordering::Greater => return false,
+                        Ordering::Equal if !inclusive => return false,
+                        _ => {}
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
 /// One projected output field.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Projection {
@@ -178,8 +257,14 @@ impl Projection {
 /// A pipeline stage.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Stage {
-    /// `$match` with field-equality predicates (conjunctive).
+    /// `$match` with field-equality predicates (conjunctive). Equality here
+    /// is strict JSON equality and a missing field never matches — the
+    /// historical wrapper-authored form, kept verbatim for persisted specs.
     Match(Vec<(String, Value)>),
+    /// `$match` with [`DocPredicate`]s (conjunctive), compared through
+    /// [`json_cmp`] with a missing field read as `Null` — the form predicate
+    /// pushdown appends, mirroring the mediator's relational semantics.
+    MatchPred(Vec<(String, DocPredicate)>),
     /// `$project` producing exactly the listed fields.
     Project(Vec<Projection>),
     /// `$limit`.
@@ -203,6 +288,18 @@ impl Pipeline {
             _ => self
                 .stages
                 .push(Stage::Match(vec![(field.into(), value.into())])),
+        }
+        self
+    }
+
+    /// Appends a predicate `$match` conjunct (merged into a trailing
+    /// [`Stage::MatchPred`] when one exists).
+    pub fn match_pred(mut self, field: impl Into<String>, predicate: DocPredicate) -> Self {
+        match self.stages.last_mut() {
+            Some(Stage::MatchPred(preds)) => preds.push((field.into(), predicate)),
+            _ => self
+                .stages
+                .push(Stage::MatchPred(vec![(field.into(), predicate)])),
         }
         self
     }
@@ -231,6 +328,14 @@ impl Pipeline {
                         preds
                             .iter()
                             .all(|(path, expected)| get_path(doc, path) == Some(expected))
+                    })
+                    .collect(),
+                Stage::MatchPred(preds) => current
+                    .into_iter()
+                    .filter(|doc| {
+                        preds.iter().all(|(path, predicate)| {
+                            predicate.matches(get_path(doc, path).unwrap_or(&Value::Null))
+                        })
                     })
                     .collect(),
                 Stage::Project(projections) => {
@@ -368,6 +473,48 @@ mod tests {
             p.run(&docs),
             Err(PipelineError::NonNumeric { .. })
         ));
+    }
+
+    #[test]
+    fn match_pred_ranges_and_sets_follow_json_cmp() {
+        let docs = vec![
+            json!({"a": 1}),
+            json!({"a": 2.0}),
+            json!({"a": 3}),
+            json!({"a": "x"}),
+            json!({}),
+        ];
+        // Range [1, 3): matches 1 and 2.0 (cross-representation), not 3,
+        // not the string (String > Number), not the missing field (Null).
+        let p = Pipeline::new().match_pred(
+            "a",
+            DocPredicate::Range {
+                min: Some((json!(1), true)),
+                max: Some((json!(3), false)),
+            },
+        );
+        assert_eq!(p.run(&docs).unwrap().len(), 2);
+        // IN: the 2.0 document matches the integer member 2 (cross-
+        // representation equality); the "x" document matches the string.
+        let p = Pipeline::new().match_pred("a", DocPredicate::In(vec![json!(2), json!("x")]));
+        assert_eq!(p.run(&docs).unwrap().len(), 2);
+        // Empty IN matches nothing.
+        let p = Pipeline::new().match_pred("a", DocPredicate::In(vec![]));
+        assert!(p.run(&docs).unwrap().is_empty());
+        // Eq(Null) matches the missing field, mirroring wrapper conversion.
+        let p = Pipeline::new().match_pred("a", DocPredicate::Eq(Value::Null));
+        assert_eq!(p.run(&docs).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn json_cmp_is_exact_for_large_integers() {
+        use std::cmp::Ordering;
+        let big = i64::MAX - 1;
+        assert_eq!(json_cmp(&json!(big), &json!(big + 1)), Ordering::Less);
+        assert_eq!(json_cmp(&json!(2), &json!(2.0)), Ordering::Equal);
+        assert_eq!(json_cmp(&json!(null), &json!(false)), Ordering::Less);
+        assert_eq!(json_cmp(&json!(true), &json!(0)), Ordering::Less);
+        assert_eq!(json_cmp(&json!(1e300), &json!("")), Ordering::Less);
     }
 
     #[test]

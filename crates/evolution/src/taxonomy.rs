@@ -1,4 +1,4 @@
-//! The REST API change taxonomy of §6.2 (after Wang et al. [27]) and its
+//! The REST API change taxonomy of §6.2 (after Wang et al. \[27\]) and its
 //! handler classification — Tables 3, 4 and 5 of the paper.
 //!
 //! Changes occur at three levels (API, method, parameter). Each change is

@@ -5,7 +5,7 @@
 //! releases, with a new full-projection wrapper per release. It measures
 //! the number of triples added to `S` per release and cumulatively.
 //!
-//! The original changelog analysis file (ref. [19]) is no longer available,
+//! The original changelog analysis file (ref. \[19\]) is no longer available,
 //! so the series here is **reconstructed** from the actual Wordpress REST
 //! API v1/v2 response schemas and the shape the paper reports: a big initial
 //! batch (v1), a steep major release reusing few attributes (v2), then

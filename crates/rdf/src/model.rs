@@ -202,7 +202,7 @@ pub enum Term {
 
 /// `Term`'s hash is written out manually (not derived) so the interner can
 /// hash an `Iri` *as if* it were wrapped in `Term::Iri` without building the
-/// wrapper — see [`hash_term_iri`]. The variant tag is a fixed `u8`.
+/// wrapper — see `hash_term_iri` below. The variant tag is a fixed `u8`.
 impl std::hash::Hash for Term {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         match self {

@@ -108,6 +108,11 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct QuadStore {
     inner: RwLock<Inner>,
+    /// Monotonic count of successful mutations (inserts, removes, graph
+    /// clears) — a change stamp for caches layered above the store, which
+    /// quad *count* alone cannot provide (a remove+insert pair is
+    /// count-neutral but invalidates derived state).
+    mutations: std::sync::atomic::AtomicU64,
 }
 
 impl Inner {
@@ -349,7 +354,26 @@ impl QuadStore {
     pub fn insert(&self, quad: &Quad) -> bool {
         let mut inner = self.inner.write();
         let [g, s, p, o] = inner.encode_quad(quad);
-        inner.insert_ids(g, s, p, o)
+        let added = inner.insert_ids(g, s, p, o);
+        if added {
+            self.bump_mutations(1);
+        }
+        added
+    }
+
+    /// Monotonic mutation stamp: advances on every successful insert,
+    /// remove or graph clear. Equal stamps ⇒ identical contents (the
+    /// converse need not hold), so caches over the store can use it as a
+    /// cheap validity check.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_mutations(&self, by: u64) {
+        // Called while holding the write lock, so Release/Acquire pairs
+        // with readers sampling the stamp.
+        self.mutations
+            .fetch_add(by, std::sync::atomic::Ordering::Release);
     }
 
     /// Inserts a triple into the given graph.
@@ -407,6 +431,7 @@ impl QuadStore {
                 permuted.sort_unstable();
                 *dest = permuted.into_iter().collect();
             }
+            self.bump_mutations(added as u64);
             added
         } else {
             let mut added = 0;
@@ -416,6 +441,7 @@ impl QuadStore {
                     added += 1;
                 }
             }
+            self.bump_mutations(added as u64);
             added
         }
     }
@@ -426,7 +452,11 @@ impl QuadStore {
         let Some([g, s, p, o]) = inner.encode_quad_existing(quad) else {
             return false;
         };
-        inner.remove_ids(g, s, p, o)
+        let removed = inner.remove_ids(g, s, p, o);
+        if removed {
+            self.bump_mutations(1);
+        }
+        removed
     }
 
     /// True when the exact quad is present.
@@ -671,6 +701,7 @@ impl QuadStore {
         for &[g, s, p, o] in &keys {
             inner.remove_ids(g, s, p, o);
         }
+        self.bump_mutations(keys.len() as u64);
         keys.len()
     }
 

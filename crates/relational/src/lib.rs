@@ -23,7 +23,9 @@ pub mod value;
 
 pub use algebra::{AlgebraError, RelExpr, SourceResolver};
 pub use expr::{Expr, ExprError};
-pub use plan::{ExecContext, PhysicalPlan, PlanError, PlanSource, ScanRequest};
+pub use plan::{
+    Bound, ColumnFilter, ExecContext, PhysicalPlan, PlanError, PlanSource, Predicate, ScanRequest,
+};
 pub use relation::{Relation, RelationError, Tuple};
 pub use schema::{Attribute, Schema, SchemaError};
 pub use value::Value;

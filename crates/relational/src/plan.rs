@@ -24,10 +24,17 @@
 //! A [`PlanSource`] receives a [`ScanRequest`] and must return a relation
 //! with **exactly** the request's output schema, rows in the source's stable
 //! scan order, surfacing only the requested columns and — when the request
-//! carries an ID-equality [`ColumnFilter`] — only the matching rows.
-//! [`ScanRequest::apply`] is the reference implementation that sources
-//! without native pushdown fall back to (scan everything, then project,
-//! rename and filter in the mediator).
+//! carries [`ColumnFilter`]s — only the rows satisfying *every* filter's
+//! [`Predicate`] (equality, IN-set, or an ordered range over [`Value`]'s
+//! total order). [`ScanRequest::apply`] is the reference implementation that
+//! sources without native pushdown fall back to (scan everything, then
+//! project, rename and filter in the mediator).
+//!
+//! Sources advertise per-filter capability through [`PlanSource::claims`]:
+//! plan compilers hand a source only the filters it claims, and evaluate
+//! the *residue* — whatever was not claimed — in a mediator-side
+//! [`PhysicalPlan::Filter`] above the scan, so answers are identical
+//! whatever a source can natively honour.
 
 use crate::relation::{Relation, RelationError, Tuple};
 use crate::schema::{Attribute, Schema};
@@ -35,6 +42,7 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// FNV-1a. The executor hashes interned `u32` ids and small scalars by the
@@ -108,25 +116,183 @@ pub enum PlanError {
     UnionShape { left: String, right: String },
 }
 
-/// An ID-equality selection pushed into a scan: `column = value`.
+/// One endpoint of a [`Predicate::Range`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bound {
+    pub value: Value,
+    /// Whether the endpoint itself is admitted (`>=`/`<=` vs `>`/`<`).
+    pub inclusive: bool,
+}
+
+impl Bound {
+    pub fn inclusive(value: Value) -> Self {
+        Self {
+            value,
+            inclusive: true,
+        }
+    }
+
+    pub fn exclusive(value: Value) -> Self {
+        Self {
+            value,
+            inclusive: false,
+        }
+    }
+}
+
+/// A per-column selection predicate a scan can push down.
+///
+/// All comparisons go through [`Value`]'s *total* order, so the semantics
+/// are uniform across kinds: cross-type numerics compare as numbers
+/// (`Int(2)` = `Float(2.0)`), `-0.0` = `0.0`, NaN is self-equal and sorts
+/// greatest, and `Null < Bool < numerics < Str`. An empty IN-set matches
+/// nothing. [`Predicate::matches`] is the normative semantics every
+/// pushdown implementation must reproduce.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `column = value` (Value equality).
+    Eq(Value),
+    /// `column ∈ set`. Kept sorted and deduplicated (see
+    /// [`Predicate::in_set`]) so equal sets compare and hash equal.
+    In(Vec<Value>),
+    /// `column` within an (optionally half-open) interval of the total
+    /// order.
+    Range {
+        min: Option<Bound>,
+        max: Option<Bound>,
+    },
+}
+
+impl Predicate {
+    pub fn eq(value: impl Into<Value>) -> Self {
+        Predicate::Eq(value.into())
+    }
+
+    /// Builds a canonical IN-set: sorted, deduplicated.
+    pub fn in_set(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut values: Vec<Value> = values.into_iter().collect();
+        values.sort();
+        values.dedup();
+        Predicate::In(values)
+    }
+
+    pub fn range(min: Option<Bound>, max: Option<Bound>) -> Self {
+        Predicate::Range { min, max }
+    }
+
+    /// `column >= value`.
+    pub fn at_least(value: impl Into<Value>) -> Self {
+        Predicate::Range {
+            min: Some(Bound::inclusive(value.into())),
+            max: None,
+        }
+    }
+
+    /// `column <= value`.
+    pub fn at_most(value: impl Into<Value>) -> Self {
+        Predicate::Range {
+            min: None,
+            max: Some(Bound::inclusive(value.into())),
+        }
+    }
+
+    /// `low <= column <= high`.
+    pub fn between(low: impl Into<Value>, high: impl Into<Value>) -> Self {
+        Predicate::Range {
+            min: Some(Bound::inclusive(low.into())),
+            max: Some(Bound::inclusive(high.into())),
+        }
+    }
+
+    /// Whether a value satisfies the predicate — the reference semantics.
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            Predicate::Eq(v) => value == v,
+            // Linear membership: IN-sets are small, and the variant is
+            // public — a directly-built (unsorted) vec must match the same
+            // rows as the canonical [`Predicate::in_set`] form.
+            Predicate::In(vs) => vs.contains(value),
+            Predicate::Range { min, max } => {
+                if let Some(b) = min {
+                    match value.cmp(&b.value) {
+                        std::cmp::Ordering::Less => return false,
+                        std::cmp::Ordering::Equal if !b.inclusive => return false,
+                        _ => {}
+                    }
+                }
+                if let Some(b) = max {
+                    match value.cmp(&b.value) {
+                        std::cmp::Ordering::Greater => return false,
+                        std::cmp::Ordering::Equal if !b.inclusive => return false,
+                        _ => {}
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq(v) => write!(f, "={v}"),
+            Predicate::In(vs) => {
+                f.write_str("∈{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+            Predicate::Range { min, max } => {
+                if let Some(b) = min {
+                    write!(f, "{}{}", if b.inclusive { "≥" } else { ">" }, b.value)?;
+                }
+                if min.is_some() && max.is_some() {
+                    f.write_str(" ")?;
+                }
+                if let Some(b) = max {
+                    write!(f, "{}{}", if b.inclusive { "≤" } else { "<" }, b.value)?;
+                }
+                if min.is_none() && max.is_none() {
+                    f.write_str("∈(-∞,∞)")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A selection pushed into a scan: `predicate(column)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnFilter {
     /// Source-local column name.
     pub column: String,
-    /// The value rows must equal ([`Value`] equality, so `Int(2)` matches
-    /// `Float(2.0)`).
-    pub value: Value,
+    /// The predicate rows must satisfy.
+    pub predicate: Predicate,
+}
+
+impl ColumnFilter {
+    pub fn new(column: impl Into<String>, predicate: Predicate) -> Self {
+        Self {
+            column: column.into(),
+            predicate,
+        }
+    }
 }
 
 impl fmt::Display for ColumnFilter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "σ[{}={}]", self.column, self.value)
+        write!(f, "σ[{}{}]", self.column, self.predicate)
     }
 }
 
 /// What a [`PlanSource`] is asked to surface: a projection over its
 /// source-local columns (already renamed to the mediator's output
-/// attributes) and an optional ID-equality filter.
+/// attributes) and a conjunction of pushed-down per-column predicates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanRequest {
     /// Source-local column names, in output order.
@@ -134,9 +300,9 @@ pub struct ScanRequest {
     /// Output attributes, positionally aligned with `columns` — the fused
     /// rename.
     output: Schema,
-    /// Optional pushed-down selection (on a source-local column, which need
-    /// not be in `columns`).
-    filter: Option<ColumnFilter>,
+    /// Pushed-down selections, all of which must hold (conjunction). Each
+    /// is on a source-local column, which need not be in `columns`.
+    filters: Vec<ColumnFilter>,
 }
 
 impl ScanRequest {
@@ -151,7 +317,7 @@ impl ScanRequest {
         Ok(Self {
             columns,
             output,
-            filter: None,
+            filters: Vec::new(),
         })
     }
 
@@ -161,16 +327,28 @@ impl ScanRequest {
         Self {
             columns: schema.names().into_iter().map(str::to_owned).collect(),
             output: schema.clone(),
-            filter: None,
+            filters: Vec::new(),
         }
     }
 
-    /// Attaches an ID-equality filter.
-    pub fn with_filter(mut self, column: impl Into<String>, value: Value) -> Self {
-        self.filter = Some(ColumnFilter {
+    /// Appends an equality conjunct (sugar for
+    /// [`ScanRequest::with_predicate`] with [`Predicate::Eq`]).
+    pub fn with_filter(self, column: impl Into<String>, value: Value) -> Self {
+        self.with_predicate(column, Predicate::Eq(value))
+    }
+
+    /// Appends a predicate conjunct on a source-local column.
+    pub fn with_predicate(mut self, column: impl Into<String>, predicate: Predicate) -> Self {
+        self.filters.push(ColumnFilter {
             column: column.into(),
-            value,
+            predicate,
         });
+        self
+    }
+
+    /// Appends an already-built filter conjunct.
+    pub fn with_column_filter(mut self, filter: ColumnFilter) -> Self {
+        self.filters.push(filter);
         self
     }
 
@@ -184,9 +362,9 @@ impl ScanRequest {
         &self.output
     }
 
-    /// The pushed-down selection, if any.
-    pub fn filter(&self) -> Option<&ColumnFilter> {
-        self.filter.as_ref()
+    /// The pushed-down selection conjuncts (empty = unfiltered).
+    pub fn filters(&self) -> &[ColumnFilter] {
+        &self.filters
     }
 
     /// Reference semantics of a request: project / rename / filter an
@@ -198,16 +376,14 @@ impl ScanRequest {
         for column in &self.columns {
             indices.push(input.schema().require(column)?);
         }
-        let filter = match &self.filter {
-            Some(f) => Some((input.schema().require(&f.column)?, &f.value)),
-            None => None,
-        };
+        let mut filters = Vec::with_capacity(self.filters.len());
+        for f in &self.filters {
+            filters.push((input.schema().require(&f.column)?, &f.predicate));
+        }
         let mut rows = Vec::new();
         for row in input.rows() {
-            if let Some((idx, value)) = filter {
-                if &row[idx] != value {
-                    continue;
-                }
+            if !filters.iter().all(|(idx, p)| p.matches(&row[*idx])) {
+                continue;
             }
             rows.push(indices.iter().map(|&i| row[i].clone()).collect());
         }
@@ -217,7 +393,7 @@ impl ScanRequest {
 
 impl fmt::Display for ScanRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if let Some(filter) = &self.filter {
+        for filter in &self.filters {
             write!(f, "{filter} ")?;
         }
         f.write_str("[")?;
@@ -248,6 +424,17 @@ pub trait PlanSource: Sync {
     /// Scans `source`, honouring the request (see the module docs for the
     /// contract).
     fn scan(&self, source: &str, request: &ScanRequest) -> Result<Relation, RelationError>;
+
+    /// Whether the source natively honours `filter` on scans of `source`.
+    ///
+    /// Plan compilers put only *claimed* filters into [`ScanRequest`]s;
+    /// unclaimed predicates stay in the mediator as a post-scan
+    /// [`PhysicalPlan::Filter`] residue, so answers never depend on what a
+    /// source can or cannot evaluate. The default claims everything — the
+    /// [`ScanRequest::apply`] fallback evaluates any predicate.
+    fn claims(&self, _source: &str, _filter: &ColumnFilter) -> bool {
+        true
+    }
 }
 
 /// Blanket impl so closures can act as plan sources in tests.
@@ -289,6 +476,12 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
         indices: Vec<usize>,
         schema: Schema,
+    },
+    /// Residual selection: predicates a source did not claim, evaluated in
+    /// the mediator over the input's columns (by position).
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicates: Vec<(usize, Predicate)>,
     },
     /// Equi-join; the executor builds a hash table over the smaller input
     /// (matching the eager [`crate::ops::join`] ordering contract) and
@@ -366,6 +559,23 @@ impl PhysicalPlan {
         })
     }
 
+    /// Filters by named-column predicates (conjunction), resolving the
+    /// names against the input schema at build time.
+    pub fn filter(self, predicates: Vec<(&str, Predicate)>) -> Result<Self, PlanError> {
+        let mut resolved = Vec::with_capacity(predicates.len());
+        for (column, predicate) in predicates {
+            let index = self
+                .schema()
+                .require(column)
+                .map_err(RelationError::Schema)?;
+            resolved.push((index, predicate));
+        }
+        Ok(PhysicalPlan::Filter {
+            input: Box::new(self),
+            predicates: resolved,
+        })
+    }
+
     /// Projects columns by name, labelling them with `schema` (positional).
     pub fn project_columns(self, columns: &[&str], schema: Schema) -> Result<Self, PlanError> {
         let mut indices = Vec::with_capacity(columns.len());
@@ -430,6 +640,7 @@ impl PhysicalPlan {
             PhysicalPlan::Rename { schema, .. }
             | PhysicalPlan::Project { schema, .. }
             | PhysicalPlan::HashJoin { schema, .. } => schema,
+            PhysicalPlan::Filter { input, .. } => input.schema(),
             PhysicalPlan::Union { inputs } => inputs[0].schema(),
         }
     }
@@ -440,7 +651,7 @@ impl PhysicalPlan {
             PhysicalPlan::Scan { source, request } => Some(ScanKey {
                 source: source.clone(),
                 columns: request.columns.clone(),
-                filter: request.filter.clone(),
+                filters: request.filters.clone(),
             }),
             _ => None,
         }
@@ -460,6 +671,16 @@ impl fmt::Display for PhysicalPlan {
                 schema,
             } => {
                 write!(f, "Π{schema}#{indices:?}({input})")
+            }
+            PhysicalPlan::Filter { input, predicates } => {
+                f.write_str("σ̂[")?;
+                for (i, (index, predicate)) in predicates.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "#{index}{predicate}")?;
+                }
+                write!(f, "]({input})")
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -536,6 +757,17 @@ impl ValuePool {
         shard.values.push(value.clone());
         shard.index.insert(value.clone(), local);
         (local << POOL_SHARD_BITS) | shard_index as u32
+    }
+
+    /// Decodes one id, locking only its shard. Prefer [`ValuePool::reader`]
+    /// for bulk decoding.
+    pub fn get(&self, id: u32) -> Value {
+        let shard = (id as usize) & (POOL_SHARDS - 1);
+        self.shards[shard]
+            .lock()
+            .expect("value pool poisoned")
+            .values[(id >> POOL_SHARD_BITS) as usize]
+            .clone()
     }
 
     /// A read handle decoding ids without re-locking per value. Shards are
@@ -655,7 +887,7 @@ impl Batch {
 struct ScanKey {
     source: String,
     columns: Vec<String>,
-    filter: Option<ColumnFilter>,
+    filters: Vec<ColumnFilter>,
 }
 
 type ScanCell = Arc<OnceLock<Result<Arc<Batch>, PlanError>>>;
@@ -674,26 +906,82 @@ impl JoinIndex {
     }
 }
 
-/// Shared state for executing one query's worth of plans: the value pool,
-/// the interned-scan cache and the hash-join build cache. `Sync` — walk
-/// plans for one rewriting run against a single shared context, possibly
-/// from scoped threads.
-pub struct ExecContext<'a> {
-    source: &'a dyn PlanSource,
+/// Default bound on cached scan entries (and, independently, cached join
+/// build sides) in an [`ExecContext`].
+pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// Shared state for executing plans: the value pool, the interned-scan
+/// cache and the hash-join build cache. `Sync` — walk plans for one
+/// rewriting run against a single shared context, possibly from scoped
+/// threads.
+///
+/// The context does **not** hold the [`PlanSource`]; execution entry points
+/// take both, so a context can outlive any single source borrow and serve
+/// as a cross-query cache (the scans it holds are data snapshots — reuse
+/// them only while the underlying sources are known unchanged, and drop the
+/// context when they are not).
+///
+/// Both caches are bounded ([`ExecContext::with_capacity`]); when full, the
+/// least-recently-touched entry is evicted (an approximate LRU: each access
+/// stamps a monotonic tick, eviction removes the minimum).
+pub struct ExecContext {
     pool: ValuePool,
     null_id: u32,
-    scans: Mutex<HashMap<ScanKey, ScanCell>>,
-    builds: Mutex<HashMap<(ScanKey, usize), Arc<JoinIndex>>>,
+    max_entries: usize,
+    tick: AtomicU64,
+    scans: Mutex<HashMap<ScanKey, Stamped<ScanCell>>>,
+    builds: Mutex<BuildCache>,
 }
 
-impl<'a> ExecContext<'a> {
-    pub fn new(source: &'a dyn PlanSource) -> Self {
+/// `(scan, key column)` → stamped shared build index.
+type BuildCache = HashMap<(ScanKey, usize), Stamped<Arc<JoinIndex>>>;
+
+/// A cache payload with its last-touched tick.
+struct Stamped<T> {
+    value: T,
+    last_used: u64,
+}
+
+/// Evicts the least-recently-used entry when the map is at capacity and
+/// `key` is not already present.
+fn evict_for<K: Eq + std::hash::Hash + Clone, T>(
+    map: &mut HashMap<K, Stamped<T>>,
+    key: &K,
+    max_entries: usize,
+) {
+    if map.len() < max_entries || map.contains_key(key) {
+        return;
+    }
+    if let Some(oldest) = map
+        .iter()
+        .min_by_key(|(_, s)| s.last_used)
+        .map(|(k, _)| k.clone())
+    {
+        map.remove(&oldest);
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_ENTRIES)
+    }
+
+    /// A context whose scan cache and build cache each hold at most
+    /// `max_entries` entries (minimum 1).
+    pub fn with_capacity(max_entries: usize) -> Self {
         let pool = ValuePool::new();
         let null_id = pool.intern(&Value::Null);
         Self {
-            source,
             pool,
             null_id,
+            max_entries: max_entries.max(1),
+            tick: AtomicU64::new(0),
             scans: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
         }
@@ -702,6 +990,20 @@ impl<'a> ExecContext<'a> {
     /// The id `Value::Null` interns to (join keys equal to it never match).
     pub fn null_id(&self) -> u32 {
         self.null_id
+    }
+
+    /// Number of cached scan entries (diagnostics / eviction tests).
+    pub fn cached_scans(&self) -> usize {
+        self.scans.lock().expect("scan cache poisoned").len()
+    }
+
+    /// Number of cached join build sides (diagnostics / eviction tests).
+    pub fn cached_builds(&self) -> usize {
+        self.builds.lock().expect("build cache poisoned").len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Interns an entire relation.
@@ -731,26 +1033,46 @@ impl<'a> ExecContext<'a> {
             .collect()
     }
 
+    /// Decodes one id (locks a single pool shard briefly).
+    pub fn decode_value(&self, id: u32) -> Value {
+        self.pool.get(id)
+    }
+
+    /// Interns one value.
+    pub fn intern_value(&self, value: &Value) -> u32 {
+        self.pool.intern(value)
+    }
+
     /// The interned rows of a scan, computed once per distinct
-    /// `(source, columns, filter)` and shared by every plan in the context.
-    fn scan(&self, source: &str, request: &ScanRequest) -> Result<Arc<Batch>, PlanError> {
+    /// `(source, columns, filters)` and shared by every plan run against
+    /// the context — across queries, until the entry is evicted.
+    fn scan(
+        &self,
+        source: &dyn PlanSource,
+        name: &str,
+        request: &ScanRequest,
+    ) -> Result<Arc<Batch>, PlanError> {
         let key = ScanKey {
-            source: source.to_owned(),
+            source: name.to_owned(),
             columns: request.columns.clone(),
-            filter: request.filter.clone(),
+            filters: request.filters.clone(),
         };
-        let cell = self
-            .scans
-            .lock()
-            .expect("scan cache poisoned")
-            .entry(key)
-            .or_default()
-            .clone();
+        let cell = {
+            let mut scans = self.scans.lock().expect("scan cache poisoned");
+            evict_for(&mut scans, &key, self.max_entries);
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let entry = scans.entry(key).or_insert_with(|| Stamped {
+                value: ScanCell::default(),
+                last_used: tick,
+            });
+            entry.last_used = tick;
+            entry.value.clone()
+        };
         cell.get_or_init(|| -> Result<Arc<Batch>, PlanError> {
-            let relation = self.source.scan(source, request)?;
+            let relation = source.scan(name, request)?;
             if relation.schema().len() != request.output().len() {
                 return Err(PlanError::ScanShape {
-                    source: source.to_owned(),
+                    source: name.to_owned(),
                     expected: request.output().to_string(),
                     found: relation.schema().to_string(),
                 });
@@ -770,8 +1092,10 @@ impl<'a> ExecContext<'a> {
         key: usize,
     ) -> Arc<JoinIndex> {
         if let Some(k) = &cache_key {
-            if let Some(index) = self.builds.lock().expect("build cache poisoned").get(k) {
-                return index.clone();
+            let mut builds = self.builds.lock().expect("build cache poisoned");
+            if let Some(stamped) = builds.get_mut(k) {
+                stamped.last_used = self.next_tick();
+                return stamped.value.clone();
             }
         }
         let mut groups: HashMap<u32, Vec<u32>, FnvBuild> = HashMap::default();
@@ -784,10 +1108,15 @@ impl<'a> ExecContext<'a> {
         }
         let index = Arc::new(JoinIndex { groups });
         if let Some(k) = cache_key {
-            self.builds
-                .lock()
-                .expect("build cache poisoned")
-                .insert(k, index.clone());
+            let mut builds = self.builds.lock().expect("build cache poisoned");
+            evict_for(&mut builds, &k, self.max_entries);
+            builds.insert(
+                k,
+                Stamped {
+                    value: index.clone(),
+                    last_used: self.next_tick(),
+                },
+            );
         }
         index
     }
@@ -897,6 +1226,12 @@ enum OpNode {
         input: Box<OpNode>,
         indices: Vec<usize>,
     },
+    Filter {
+        input: Box<OpNode>,
+        predicates: Vec<(usize, Predicate)>,
+        /// Id-space forms of `predicates`, interned lazily on first pull.
+        compiled: Option<Vec<(usize, CompiledPredicate)>>,
+    },
     HashJoin {
         left: Box<OpNode>,
         right: Box<OpNode>,
@@ -924,6 +1259,46 @@ struct JoinState {
     probe_cursor: usize,
 }
 
+/// A residual predicate lowered into interned-id space.
+enum CompiledPredicate {
+    /// Eq / IN: the interned ids of the predicate values — id equality *is*
+    /// value equality, so membership is an integer compare.
+    Ids(Vec<u32>),
+    /// Range: evaluated on the decoded value, memoized per id (each distinct
+    /// id is decoded and compared at most once per operator).
+    Range {
+        predicate: Predicate,
+        memo: HashMap<u32, bool, FnvBuild>,
+    },
+}
+
+impl CompiledPredicate {
+    fn compile(predicate: &Predicate, ctx: &ExecContext) -> Self {
+        match predicate {
+            Predicate::Eq(v) => CompiledPredicate::Ids(vec![ctx.intern_value(v)]),
+            Predicate::In(vs) => {
+                let mut ids: Vec<u32> = vs.iter().map(|v| ctx.intern_value(v)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                CompiledPredicate::Ids(ids)
+            }
+            range @ Predicate::Range { .. } => CompiledPredicate::Range {
+                predicate: range.clone(),
+                memo: HashMap::default(),
+            },
+        }
+    }
+
+    fn matches(&mut self, id: u32, ctx: &ExecContext) -> bool {
+        match self {
+            CompiledPredicate::Ids(ids) => ids.binary_search(&id).is_ok(),
+            CompiledPredicate::Range { predicate, memo } => *memo
+                .entry(id)
+                .or_insert_with(|| predicate.matches(&ctx.decode_value(id))),
+        }
+    }
+}
+
 impl Operator {
     /// Compiles a plan into its operator tree.
     pub fn new(plan: &PhysicalPlan) -> Self {
@@ -933,8 +1308,12 @@ impl Operator {
     }
 
     /// Pulls the next batch, or `None` when exhausted.
-    pub fn next_batch(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Batch>, PlanError> {
-        self.node.next_batch(ctx)
+    pub fn next_batch(
+        &mut self,
+        ctx: &ExecContext,
+        source: &dyn PlanSource,
+    ) -> Result<Option<Batch>, PlanError> {
+        self.node.next_batch(ctx, source)
     }
 }
 
@@ -953,6 +1332,11 @@ impl OpNode {
             PhysicalPlan::Project { input, indices, .. } => OpNode::Project {
                 input: Box::new(OpNode::compile(input)),
                 indices: indices.clone(),
+            },
+            PhysicalPlan::Filter { input, predicates } => OpNode::Filter {
+                input: Box::new(OpNode::compile(input)),
+                predicates: predicates.clone(),
+                compiled: None,
             },
             PhysicalPlan::HashJoin {
                 left,
@@ -984,27 +1368,36 @@ impl OpNode {
             OpNode::Scan { request, .. } => request.output().len(),
             OpNode::Rename { input } => input.arity(),
             OpNode::Project { indices, .. } => indices.len(),
+            OpNode::Filter { input, .. } => input.arity(),
             OpNode::HashJoin { arity, .. } | OpNode::Union { arity, .. } => *arity,
         }
     }
 
     /// Drains the subtree into one table. Scan leaves hand back the shared
     /// interned table without copying.
-    fn materialize(&mut self, ctx: &ExecContext<'_>) -> Result<Arc<Batch>, PlanError> {
+    fn materialize(
+        &mut self,
+        ctx: &ExecContext,
+        plan_source: &dyn PlanSource,
+    ) -> Result<Arc<Batch>, PlanError> {
         if let OpNode::Scan {
             source, request, ..
         } = self
         {
-            return ctx.scan(source, request);
+            return ctx.scan(plan_source, source, request);
         }
         let mut out = Batch::new(self.arity());
-        while let Some(batch) = self.next_batch(ctx)? {
+        while let Some(batch) = self.next_batch(ctx, plan_source)? {
             out.append(&batch);
         }
         Ok(Arc::new(out))
     }
 
-    fn next_batch(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Batch>, PlanError> {
+    fn next_batch(
+        &mut self,
+        ctx: &ExecContext,
+        plan_source: &dyn PlanSource,
+    ) -> Result<Option<Batch>, PlanError> {
         match self {
             OpNode::Scan {
                 source,
@@ -1013,7 +1406,7 @@ impl OpNode {
                 cursor,
             } => {
                 if table.is_none() {
-                    *table = Some(ctx.scan(source, request)?);
+                    *table = Some(ctx.scan(plan_source, source, request)?);
                 }
                 let t = table.as_ref().expect("scan table just initialized");
                 if *cursor >= t.len() {
@@ -1024,9 +1417,9 @@ impl OpNode {
                 *cursor += take;
                 Ok(Some(out))
             }
-            OpNode::Rename { input } => input.next_batch(ctx),
+            OpNode::Rename { input } => input.next_batch(ctx, plan_source),
             OpNode::Project { input, indices } => {
-                let Some(batch) = input.next_batch(ctx)? else {
+                let Some(batch) = input.next_batch(ctx, plan_source)? else {
                     return Ok(None);
                 };
                 let mut out = Batch::new(indices.len());
@@ -1034,6 +1427,35 @@ impl OpNode {
                     out.push(indices.iter().map(|&i| row[i]));
                 }
                 Ok(Some(out))
+            }
+            OpNode::Filter {
+                input,
+                predicates,
+                compiled,
+            } => {
+                let compiled = compiled.get_or_insert_with(|| {
+                    predicates
+                        .iter()
+                        .map(|(index, p)| (*index, CompiledPredicate::compile(p, ctx)))
+                        .collect()
+                });
+                loop {
+                    let Some(batch) = input.next_batch(ctx, plan_source)? else {
+                        return Ok(None);
+                    };
+                    let mut out = Batch::new(batch.arity());
+                    for row in batch.rows() {
+                        if compiled
+                            .iter_mut()
+                            .all(|(index, p)| p.matches(row[*index], ctx))
+                        {
+                            out.push(row.iter().copied());
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(out));
+                    }
+                }
             }
             OpNode::HashJoin {
                 left,
@@ -1046,8 +1468,8 @@ impl OpNode {
                 state,
             } => {
                 if state.is_none() {
-                    let left_table = left.materialize(ctx)?;
-                    let right_table = right.materialize(ctx)?;
+                    let left_table = left.materialize(ctx, plan_source)?;
+                    let right_table = right.materialize(ctx, plan_source)?;
                     // Build on the smaller side — the same rule (and thus the
                     // same output row order) as the eager `ops::join`.
                     let build_is_left = left_table.len() <= right_table.len();
@@ -1103,7 +1525,7 @@ impl OpNode {
                 let Some(input) = inputs.get_mut(*current) else {
                     return Ok(None);
                 };
-                match input.next_batch(ctx)? {
+                match input.next_batch(ctx, plan_source)? {
                     None => *current += 1,
                     Some(batch) => {
                         let mut out = Batch::new(*arity);
@@ -1128,15 +1550,19 @@ impl OpNode {
 /// order; every other operator preserves its input order. Callers wanting
 /// the canonical sorted form apply [`Relation::distinct`] themselves.
 pub fn execute_plan(plan: &PhysicalPlan, source: &dyn PlanSource) -> Result<Relation, PlanError> {
-    let ctx = ExecContext::new(source);
-    execute_plan_in(plan, &ctx)
+    let ctx = ExecContext::new();
+    execute_plan_in(plan, &ctx, source)
 }
 
 /// Runs a plan to completion against an existing (possibly shared) context.
-pub fn execute_plan_in(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Relation, PlanError> {
+pub fn execute_plan_in(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+) -> Result<Relation, PlanError> {
     let mut op = Operator::new(plan);
     let mut rows: Vec<Tuple> = Vec::new();
-    while let Some(batch) = op.next_batch(ctx)? {
+    while let Some(batch) = op.next_batch(ctx, source)? {
         rows.extend(ctx.decode_batch(&batch));
     }
     Ok(Relation::new(plan.schema().clone(), rows)?)
@@ -1287,10 +1713,10 @@ mod tests {
             scans.fetch_add(1, Ordering::SeqCst);
             source(name, request)
         };
-        let ctx = ExecContext::new(&counting);
+        let ctx = ExecContext::new();
         let plan = scan_all("w1", &w1());
-        execute_plan_in(&plan, &ctx).unwrap();
-        execute_plan_in(&plan, &ctx).unwrap();
+        execute_plan_in(&plan, &ctx, &counting).unwrap();
+        execute_plan_in(&plan, &ctx, &counting).unwrap();
         assert_eq!(scans.load(Ordering::SeqCst), 1);
 
         // A different request (a filter) is a different cache entry.
@@ -1298,14 +1724,14 @@ mod tests {
             "w1",
             ScanRequest::full(w1().schema()).with_filter("VoDmonitorId", Value::Int(18)),
         );
-        let out = execute_plan_in(&filtered, &ctx).unwrap();
+        let out = execute_plan_in(&filtered, &ctx, &counting).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(scans.load(Ordering::SeqCst), 2);
     }
 
     #[test]
     fn interning_respects_cross_type_numeric_equality() {
-        let ctx = ExecContext::new(&source);
+        let ctx = ExecContext::new();
         let rel = Relation::new(
             Schema::from_parts::<&str>(&[], &["x"]).unwrap(),
             vec![vec![Value::Int(2)], vec![Value::Float(2.0)]],
@@ -1353,12 +1779,163 @@ mod tests {
         )
         .unwrap();
         let src = move |_: &str, request: &ScanRequest| request.apply(&big);
-        let ctx = ExecContext::new(&src);
+        let ctx = ExecContext::new();
         let mut op = Operator::new(&PhysicalPlan::scan("big", ScanRequest::full(&schema)));
         let mut sizes = Vec::new();
-        while let Some(batch) = op.next_batch(&ctx).unwrap() {
+        while let Some(batch) = op.next_batch(&ctx, &src).unwrap() {
             sizes.push(batch.len());
         }
         assert_eq!(sizes, vec![1024, 1024, 952]);
+    }
+
+    #[test]
+    fn predicate_matches_follow_the_total_order() {
+        // Cross-type numeric equality.
+        assert!(Predicate::eq(2).matches(&Value::Float(2.0)));
+        // Empty IN-set matches nothing — not even null.
+        let empty = Predicate::in_set([]);
+        assert!(!empty.matches(&Value::Null));
+        assert!(!empty.matches(&Value::Int(0)));
+        // IN canonicalizes: order and duplicates don't matter.
+        assert_eq!(
+            Predicate::in_set([Value::Int(3), Value::Int(1), Value::Int(3)]),
+            Predicate::in_set([Value::Int(1), Value::Int(3)])
+        );
+        assert!(Predicate::in_set([Value::Int(1), Value::Int(3)]).matches(&Value::Float(3.0)));
+        // A directly-built (unsorted) In variant matches the same rows as
+        // the canonical form — the variant is public, so `matches` must not
+        // assume sortedness.
+        assert!(Predicate::In(vec![Value::Int(3), Value::Int(1)]).matches(&Value::Int(3)));
+        assert!(Predicate::In(vec![Value::Int(3), Value::Int(1)]).matches(&Value::Float(1.0)));
+        // Ranges: inclusive/exclusive endpoints.
+        let r = Predicate::range(
+            Some(Bound::inclusive(Value::Int(1))),
+            Some(Bound::exclusive(Value::Int(5))),
+        );
+        assert!(r.matches(&Value::Int(1)));
+        assert!(r.matches(&Value::Float(4.999)));
+        assert!(!r.matches(&Value::Int(5)));
+        assert!(!r.matches(&Value::Int(0)));
+        // Null sorts below numerics: excluded by any numeric lower bound.
+        assert!(!r.matches(&Value::Null));
+        // Strings sort above numerics: a min-only numeric range admits them
+        // (total-order semantics — documented, and pinned differentially).
+        assert!(Predicate::at_least(5).matches(&Value::Str("x".into())));
+        // NaN is greatest and self-equal; -0.0 equals 0.0.
+        assert!(Predicate::at_least(5).matches(&Value::Float(f64::NAN)));
+        assert!(!Predicate::at_most(1e308).matches(&Value::Float(f64::NAN)));
+        assert!(Predicate::between(f64::NAN, f64::NAN).matches(&Value::Float(f64::NAN)));
+        assert!(Predicate::eq(Value::Float(-0.0)).matches(&Value::Int(0)));
+        assert!(Predicate::between(Value::Float(-0.0), Value::Float(0.0)).matches(&Value::Int(0)));
+    }
+
+    #[test]
+    fn scan_request_applies_conjunctions() {
+        let request = ScanRequest::full(w1().schema())
+            .with_predicate("VoDmonitorId", Predicate::at_least(12))
+            .with_predicate("lagRatio", Predicate::between(0.5, 0.8));
+        let out = request.apply(&w1()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, "lagRatio"), Some(&Value::Float(0.75)));
+    }
+
+    #[test]
+    fn residual_filter_operator_matches_reference_apply() {
+        // The same predicates, once pushed into the scan request (claimed)
+        // and once as a mediator-side Filter residue, agree byte-for-byte.
+        let predicates = vec![
+            ("VoDmonitorId", Predicate::in_set([Value::Int(12)])),
+            ("lagRatio", Predicate::at_most(0.8)),
+        ];
+        let pushed = PhysicalPlan::scan(
+            "w1",
+            ScanRequest::full(w1().schema())
+                .with_predicate("VoDmonitorId", predicates[0].1.clone())
+                .with_predicate("lagRatio", predicates[1].1.clone()),
+        );
+        let residual = scan_all("w1", &w1()).filter(predicates).unwrap();
+        let a = execute_plan(&pushed, &source).unwrap();
+        let b = execute_plan(&residual, &source).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        // Unknown filter columns are rejected at build time.
+        assert!(scan_all("w1", &w1())
+            .filter(vec![("zz", Predicate::eq(1))])
+            .is_err());
+    }
+
+    #[test]
+    fn predicates_on_columns_dropped_by_projection_still_filter() {
+        // The filter column (VoDmonitorId) is not among the requested
+        // columns: it must still select rows, ride along internally, and
+        // never appear in the output schema — in the reference, in a pushed
+        // scan, and in an executed plan.
+        let request = ScanRequest::new(
+            vec!["lagRatio".into()],
+            Schema::from_parts::<&str>(&[], &["lagRatio"]).unwrap(),
+        )
+        .unwrap()
+        .with_predicate("VoDmonitorId", Predicate::between(12, 17));
+        let reference = request.apply(&w1()).unwrap();
+        assert_eq!(reference.schema().names(), vec!["lagRatio"]);
+        assert_eq!(reference.len(), 2); // both monitor-12 rows, not monitor-18
+        let out = execute_plan(&PhysicalPlan::scan("w1", request), &source).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn scan_cache_evicts_least_recently_used() {
+        let scans = AtomicUsize::new(0);
+        let counting = |name: &str, request: &ScanRequest| {
+            scans.fetch_add(1, Ordering::SeqCst);
+            source(name, request)
+        };
+        let ctx = ExecContext::with_capacity(2);
+        let w1_plan = scan_all("w1", &w1());
+        let w3_plan = scan_all("w3", &w3());
+        let filtered = PhysicalPlan::scan(
+            "w1",
+            ScanRequest::full(w1().schema()).with_filter("VoDmonitorId", Value::Int(18)),
+        );
+        execute_plan_in(&w1_plan, &ctx, &counting).unwrap(); // cache: w1
+        execute_plan_in(&w3_plan, &ctx, &counting).unwrap(); // cache: w1, w3
+        execute_plan_in(&w1_plan, &ctx, &counting).unwrap(); // touch w1
+        assert_eq!(scans.load(Ordering::SeqCst), 2);
+        assert_eq!(ctx.cached_scans(), 2);
+        // Third distinct scan evicts the LRU entry (w3, not the re-touched w1).
+        execute_plan_in(&filtered, &ctx, &counting).unwrap();
+        assert_eq!(ctx.cached_scans(), 2);
+        assert_eq!(scans.load(Ordering::SeqCst), 3);
+        execute_plan_in(&w1_plan, &ctx, &counting).unwrap(); // still cached
+        assert_eq!(scans.load(Ordering::SeqCst), 3);
+        execute_plan_in(&w3_plan, &ctx, &counting).unwrap(); // was evicted → rescans
+        assert_eq!(scans.load(Ordering::SeqCst), 4);
+    }
+
+    /// A plan source that claims nothing — used to pin the full-residue path.
+    struct NoClaims;
+
+    impl PlanSource for NoClaims {
+        fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+            // A claims-nothing source must never be handed a filter.
+            assert!(request.filters().is_empty());
+            source(name, request)
+        }
+
+        fn claims(&self, _source: &str, _filter: &ColumnFilter) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn claims_defaults_to_true_and_can_be_declined() {
+        assert!(source.claims("w1", &ColumnFilter::new("x", Predicate::eq(1))));
+        assert!(!NoClaims.claims("w1", &ColumnFilter::new("x", Predicate::eq(1))));
+        // Residual filtering over an unclaimed source still selects.
+        let plan = scan_all("w1", &w1())
+            .filter(vec![("VoDmonitorId", Predicate::eq(12))])
+            .unwrap();
+        let out = execute_plan(&plan, &NoClaims).unwrap();
+        assert_eq!(out.len(), 2);
     }
 }

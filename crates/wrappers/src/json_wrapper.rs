@@ -5,9 +5,55 @@
 //! relation the ontology layer expects.
 
 use crate::wrapper::{Wrapper, WrapperError};
-use bdi_docstore::{DocStore, Pipeline, Projection};
-use bdi_relational::plan::ScanRequest;
+use bdi_docstore::{DocPredicate, DocStore, Pipeline, Projection};
+use bdi_relational::plan::{Bound, ColumnFilter, Predicate, ScanRequest};
 use bdi_relational::{Relation, RelationError, Schema, Value};
+
+/// Converts a relational [`Value`] to its JSON image, or `None` when JSON
+/// cannot represent it faithfully (NaN and infinite floats — JSON numbers
+/// are finite). Predicates containing unrepresentable values are simply not
+/// claimed, so they fall back to the mediator's residual filter.
+fn to_json(value: &Value) -> Option<serde_json::Value> {
+    Some(match value {
+        Value::Null => serde_json::Value::Null,
+        Value::Bool(b) => serde_json::Value::Bool(*b),
+        Value::Int(i) => serde_json::Value::Number((*i).into()),
+        Value::Float(f) => serde_json::Value::Number(serde_json::Number::from_f64(*f)?),
+        Value::Str(s) => serde_json::Value::String(s.clone()),
+    })
+}
+
+/// Whether a filter column can be addressed by a `$match` stage appended
+/// after the wrapper's `$project`: the projected output holds the column
+/// name as a *literal* key, but `$match` resolves fields through dotted
+/// path traversal — a dot in the name would make the stage read `Null`
+/// instead of the projected value, so such columns stay residual.
+fn match_addressable(column: &str) -> bool {
+    !column.contains('.')
+}
+
+/// Translates a relational predicate into its docstore `$match` form, or
+/// `None` when some constituent value has no JSON image. The docstore's
+/// [`bdi_docstore::json_cmp`] mirrors the relational total order, so the
+/// translation preserves [`Predicate::matches`] semantics exactly for every
+/// value a JSON document can hold.
+fn to_doc_predicate(predicate: &Predicate) -> Option<DocPredicate> {
+    let bound = |b: &Bound| to_json(&b.value).map(|v| (v, b.inclusive));
+    Some(match predicate {
+        Predicate::Eq(v) => DocPredicate::Eq(to_json(v)?),
+        Predicate::In(vs) => DocPredicate::In(vs.iter().map(to_json).collect::<Option<_>>()?),
+        Predicate::Range { min, max } => DocPredicate::Range {
+            min: match min {
+                Some(b) => Some(bound(b)?),
+                None => None,
+            },
+            max: match max {
+                Some(b) => Some(bound(b)?),
+                None => None,
+            },
+        },
+    })
+}
 
 /// A wrapper backed by a document-store aggregation query.
 pub struct JsonWrapper {
@@ -121,38 +167,73 @@ impl Wrapper for JsonWrapper {
         Ok(rel)
     }
 
+    /// The wrapper claims every filter it can translate into the docstore
+    /// pipeline: the column must exist, be addressable by a `$match` stage
+    /// (no dots in the name), and each predicate value must have a faithful
+    /// JSON image (NaN range bounds, for instance, do not — those filters
+    /// stay in the mediator as residues).
+    fn claims_filter(&self, filter: &ColumnFilter) -> bool {
+        self.schema.index_of(&filter.column).is_some()
+            && match_addressable(&filter.column)
+            && to_doc_predicate(&filter.predicate).is_some()
+    }
+
     /// Native pushdown: a trailing `$project` of only the requested fields
-    /// is appended to the wrapper's pipeline, so the document store never
-    /// surfaces unused attributes. The ID-equality filter is applied after
-    /// JSON→[`Value`] conversion — relational equality (cross-type numeric)
-    /// differs from JSON equality, and the contract is relational.
+    /// is appended to the wrapper's pipeline, followed by a `$match` of
+    /// every translatable predicate, so the document store never surfaces
+    /// unused attributes or filtered-out documents. The docstore compares
+    /// through [`bdi_docstore::json_cmp`], which mirrors relational
+    /// [`Value`] ordering (cross-type numeric equality included) — the
+    /// contract is relational. Untranslatable predicates are evaluated here
+    /// after JSON→[`Value`] conversion, so the method honours *any* request
+    /// whether or not its filters were claimed.
     fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
-        // The filter column rides along when it is not among the requested
-        // columns, and is dropped from the output rows afterwards.
+        // The narrowing `$project` (and any `$match`) resolves fields by
+        // dotted-path traversal, while this wrapper's own projection output
+        // holds column names as literal keys — a dotted column name cannot
+        // be re-addressed through the pipeline, so such requests take the
+        // reference path wholesale.
+        if request.columns().iter().any(|c| !match_addressable(c))
+            || request
+                .filters()
+                .iter()
+                .any(|f| !match_addressable(&f.column))
+        {
+            return Ok(request.apply(&self.scan()?)?);
+        }
+        // Filter columns ride along when not among the requested columns,
+        // and are dropped from the output rows afterwards.
         let mut fetch: Vec<&str> = request.columns().iter().map(String::as_str).collect();
-        let filter = match request.filter() {
-            Some(f) => {
-                self.schema
-                    .require(&f.column)
-                    .map_err(RelationError::Schema)?;
-                let idx = match fetch.iter().position(|c| *c == f.column) {
-                    Some(idx) => idx,
-                    None => {
-                        fetch.push(&f.column);
-                        fetch.len() - 1
-                    }
-                };
-                Some((idx, &f.value))
-            }
-            None => None,
-        };
         for column in request.columns() {
             self.schema.require(column).map_err(RelationError::Schema)?;
         }
-        let pipeline = self
+        // (ride-along index, residual predicate) pairs evaluated post-
+        // conversion; translatable predicates go into the `$match` stage.
+        let mut residual: Vec<(usize, &Predicate)> = Vec::new();
+        let mut matched: Vec<(&str, DocPredicate)> = Vec::new();
+        for f in request.filters() {
+            self.schema
+                .require(&f.column)
+                .map_err(RelationError::Schema)?;
+            let idx = match fetch.iter().position(|c| *c == f.column) {
+                Some(idx) => idx,
+                None => {
+                    fetch.push(&f.column);
+                    fetch.len() - 1
+                }
+            };
+            match to_doc_predicate(&f.predicate).filter(|_| match_addressable(&f.column)) {
+                Some(doc_predicate) => matched.push((&f.column, doc_predicate)),
+                None => residual.push((idx, &f.predicate)),
+            }
+        }
+        let mut pipeline = self
             .pipeline
             .clone()
             .project(fetch.iter().map(|c| Projection::field(*c, *c)).collect());
+        for (column, doc_predicate) in matched {
+            pipeline = pipeline.match_pred(column, doc_predicate);
+        }
         let docs = self
             .store
             .aggregate(&self.collection, &pipeline)
@@ -165,10 +246,8 @@ impl Wrapper for JsonWrapper {
                 let json_value = doc.get(column).unwrap_or(&serde_json::Value::Null);
                 row.push(self.convert(column, json_value)?);
             }
-            if let Some((idx, value)) = filter {
-                if &row[idx] != value {
-                    continue;
-                }
+            if !residual.iter().all(|(idx, p)| p.matches(&row[*idx])) {
+                continue;
             }
             row.truncate(arity);
             rel.push(row)?;
@@ -273,6 +352,91 @@ mod tests {
         assert_eq!(native.len(), 2);
         assert_eq!(native.schema().names(), vec!["D1/lagRatio"]);
         assert_eq!(native.value(0, "D1/lagRatio"), Some(&Value::Float(0.75)));
+    }
+
+    #[test]
+    fn predicate_pushdown_matches_reference_and_reconciles_numerics() {
+        let store = vod_store();
+        // A float-typed monitor id: relational equality is cross-type, so a
+        // pushed Int(12) filter must match it through the $match stage.
+        store
+            .insert(
+                "vod",
+                json!({"monitorId": 12.0, "waitTime": 1, "watchTime": 2}),
+            )
+            .unwrap();
+        let w = code2_wrapper(store);
+        let eq = ScanRequest::new(
+            vec!["lagRatio".into()],
+            Schema::from_parts::<&str>(&[], &["D1/lagRatio"]).unwrap(),
+        )
+        .unwrap()
+        .with_filter("VoDmonitorId", Value::Int(12));
+        let native = w.scan_request(&eq).unwrap();
+        assert_eq!(native, eq.apply(&w.scan().unwrap()).unwrap());
+        assert_eq!(native.len(), 3); // both Int(12) docs and the Float(12.0) doc
+
+        let range = ScanRequest::full(w.schema())
+            .with_predicate("lagRatio", Predicate::between(0.1, 0.8))
+            .with_predicate(
+                "VoDmonitorId",
+                Predicate::in_set([Value::Int(12), Value::Int(18)]),
+            );
+        assert!(w.claims_filter(&range.filters()[0]));
+        let native = w.scan_request(&range).unwrap();
+        assert_eq!(native, range.apply(&w.scan().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn nan_bounds_are_not_claimed_but_still_honoured() {
+        let w = code2_wrapper(vod_store());
+        // NaN has no JSON image: the wrapper declines the claim…
+        let filter = ColumnFilter::new("lagRatio", Predicate::at_most(f64::NAN));
+        assert!(!w.claims_filter(&filter));
+        assert!(!w.claims_filter(&ColumnFilter::new(
+            "lagRatio",
+            Predicate::in_set([Value::Float(f64::NAN)])
+        )));
+        // …and unknown columns are never claimed.
+        assert!(!w.claims_filter(&ColumnFilter::new("zz", Predicate::eq(1))));
+        // Dotted column names are not $match-addressable after $project (a
+        // $match would traverse the path while the projected doc holds the
+        // literal key): declined, evaluated residually — and the residual
+        // answer equals the reference.
+        let store = DocStore::new();
+        store
+            .insert_many(
+                "c",
+                vec![
+                    serde_json::json!({"a": {"b": 1}}),
+                    serde_json::json!({"a": {"b": 2}}),
+                ],
+            )
+            .unwrap();
+        let dotted = JsonWrapper::new(
+            "wd",
+            "D",
+            Schema::from_parts::<&str>(&[], &["a.b"]).unwrap(),
+            store,
+            "c",
+            Pipeline::new().project(vec![Projection::field("a.b", "a.b")]),
+        )
+        .unwrap();
+        let dotted_filter = ColumnFilter::new("a.b", Predicate::eq(1));
+        assert!(!dotted.claims_filter(&dotted_filter));
+        let dotted_request = ScanRequest::full(dotted.schema()).with_column_filter(dotted_filter);
+        let dotted_native = dotted.scan_request(&dotted_request).unwrap();
+        assert_eq!(
+            dotted_native,
+            dotted_request.apply(&dotted.scan().unwrap()).unwrap()
+        );
+        assert_eq!(dotted_native.len(), 1);
+        // …but a request carrying one anyway is evaluated residually, with
+        // reference semantics (everything is ≤ NaN: it sorts greatest).
+        let request = ScanRequest::full(w.schema()).with_column_filter(filter);
+        let native = w.scan_request(&request).unwrap();
+        assert_eq!(native, request.apply(&w.scan().unwrap()).unwrap());
+        assert_eq!(native.len(), 3);
     }
 
     #[test]

@@ -68,9 +68,11 @@ impl Wrapper for TableWrapper {
         )?)
     }
 
-    /// Native pushdown: only the requested cells are ever cloned, and
-    /// filtered-out rows are skipped under the read lock instead of being
-    /// materialized first.
+    /// Native pushdown: only the requested cells are ever cloned, and rows
+    /// failing any pushed predicate are skipped under the read lock instead
+    /// of being materialized first. Every predicate kind is evaluated
+    /// in-scan ([`bdi_relational::Predicate::matches`]), so the wrapper
+    /// claims all filters (the [`crate::Wrapper::claims_filter`] default).
     fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
         let mut indices = Vec::with_capacity(request.columns().len());
         for column in request.columns() {
@@ -80,22 +82,20 @@ impl Wrapper for TableWrapper {
                     .map_err(bdi_relational::RelationError::Schema)?,
             );
         }
-        let filter = match request.filter() {
-            Some(f) => Some((
+        let mut filters = Vec::with_capacity(request.filters().len());
+        for f in request.filters() {
+            filters.push((
                 self.schema
                     .require(&f.column)
                     .map_err(bdi_relational::RelationError::Schema)?,
-                &f.value,
-            )),
-            None => None,
-        };
+                &f.predicate,
+            ));
+        }
         let rows = self.rows.read();
-        let mut out = Vec::with_capacity(if filter.is_none() { rows.len() } else { 0 });
+        let mut out = Vec::with_capacity(if filters.is_empty() { rows.len() } else { 0 });
         for row in rows.iter() {
-            if let Some((idx, value)) = filter {
-                if &row[idx] != value {
-                    continue;
-                }
+            if !filters.iter().all(|(idx, p)| p.matches(&row[*idx])) {
+                continue;
             }
             out.push(indices.iter().map(|&i| row[i].clone()).collect());
         }
@@ -172,6 +172,33 @@ mod tests {
         )
         .unwrap();
         assert!(w.scan_request(&bad).is_err());
+    }
+
+    #[test]
+    fn scan_request_evaluates_predicate_conjunctions() {
+        use bdi_relational::Predicate;
+        let w = TableWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Float(0.25)],
+                vec![Value::Int(2), Value::Float(0.75)],
+                vec![Value::Int(3), Value::Float(0.5)],
+                vec![Value::Null, Value::Float(0.9)],
+            ],
+        )
+        .unwrap();
+        let request = ScanRequest::full(w.schema())
+            .with_predicate("id", Predicate::between(1, 3))
+            .with_predicate(
+                "x",
+                Predicate::in_set([Value::Float(0.25), Value::Float(0.5)]),
+            );
+        let native = w.scan_request(&request).unwrap();
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(native, reference);
+        assert_eq!(native.len(), 2);
     }
 
     #[test]

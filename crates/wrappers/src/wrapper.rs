@@ -1,12 +1,12 @@
 //! The wrapper abstraction.
 //!
-//! Following the mediator/wrapper architecture the paper adopts (§1, [7]),
+//! Following the mediator/wrapper architecture the paper adopts (§1, \[7\]),
 //! a **wrapper** hides all source-side query complexity and exposes a flat
 //! first-normal-form relation `w(a_ID, a_nID)`. Different wrappers over the
 //! same data source represent different **schema versions** (§2); the
 //! ontology layer never talks to a source directly.
 
-use bdi_relational::plan::{PlanSource, ScanRequest};
+use bdi_relational::plan::{ColumnFilter, PlanSource, ScanRequest};
 use bdi_relational::{Relation, RelationError, Schema, SourceResolver};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -45,17 +45,30 @@ pub trait Wrapper: Send + Sync {
 
     /// Pushdown-aware scan: surfaces only the columns the mediator's plan
     /// requests (renamed to the request's output attributes) and, when the
-    /// request carries an ID-equality filter, only the matching rows — in
-    /// the same stable order [`Wrapper::scan`] would produce them.
+    /// request carries filters, only the rows satisfying every predicate —
+    /// in the same stable order [`Wrapper::scan`] would produce them.
     ///
     /// The default implementation scans everything and applies the request
     /// in the mediator ([`ScanRequest::apply`], the reference semantics).
     /// Wrapper kinds that can do better override it: [`crate::TableWrapper`]
-    /// copies only the requested cells, [`crate::JsonWrapper`] narrows its
-    /// aggregation pipeline so the document store never materializes unused
-    /// fields.
+    /// copies only the requested cells and evaluates predicates under its
+    /// read lock, [`crate::JsonWrapper`] narrows its aggregation pipeline
+    /// and pushes translatable predicates into a `$match` stage so the
+    /// document store never materializes unused fields or filtered-out
+    /// documents.
     fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
         Ok(request.apply(&self.scan()?)?)
+    }
+
+    /// Whether the wrapper natively honours `filter` inside
+    /// [`Wrapper::scan_request`]. Plan compilers push only claimed filters
+    /// into the scan request; unclaimed predicates are re-applied in the
+    /// mediator as a residual selection, so declining never changes
+    /// answers — only where the work happens. The default claims
+    /// everything, which is correct for any wrapper whose `scan_request`
+    /// falls back to [`ScanRequest::apply`].
+    fn claims_filter(&self, _filter: &ColumnFilter) -> bool {
+        true
     }
 
     /// The wrapper's serializable definition, when it has one (used by
@@ -134,6 +147,16 @@ impl PlanSource for WrapperRegistry {
         wrapper
             .scan_request(request)
             .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
+    }
+
+    /// Delegates to the wrapper's own capability declaration. Unknown
+    /// wrappers claim everything — the error surfaces at scan time either
+    /// way.
+    fn claims(&self, name: &str, filter: &ColumnFilter) -> bool {
+        self.wrappers
+            .get(name)
+            .map(|w| w.claims_filter(filter))
+            .unwrap_or(true)
     }
 }
 

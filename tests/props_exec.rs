@@ -4,11 +4,14 @@
 //! order — to the eager `ops::*` reference engine (`Engine::Eager`), over
 //! randomized chain systems with randomized wrapper data (null join keys,
 //! cross-typed numerics, duplicate rows) and every `VersionScope`, with and
-//! without a pushed-down ID-equality filter.
+//! without pushed-down predicate filters — randomized equality, IN-set and
+//! range conjunctions over the same hazard-laden value domain, including the
+//! full-residue path of a source that claims no filters at all.
 
-use bdi::core::exec::{Engine, ExecOptions, FeatureFilter};
+use bdi::core::exec::{self, Engine, ExecOptions, FeatureFilter};
 use bdi::core::system::VersionScope;
-use bdi::relational::Value;
+use bdi::relational::plan::{Bound, ColumnFilter, Predicate};
+use bdi::relational::{PlanSource, Relation, RelationError, ScanRequest, SourceResolver, Value};
 use bdi_bench::synthetic;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -43,6 +46,50 @@ fn datum(selector: u8) -> Value {
         7 => Value::Float(f64::NAN),
         _ => Value::Float(0.5),
     }
+}
+
+/// Random predicates over the same hazard domain the data is drawn from, so
+/// every filter kind collides with NaN, signed zero, nulls and cross-typed
+/// numerics: equalities, IN-sets (possibly empty), and ranges with random
+/// open/closed/missing bounds.
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0u8..9).prop_map(|s| Predicate::Eq(datum(s))),
+        prop::collection::vec(0u8..9, 0..4)
+            .prop_map(|ss| Predicate::in_set(ss.into_iter().map(datum))),
+        (
+            prop::option::of((0u8..9, any::<bool>())),
+            prop::option::of((0u8..9, any::<bool>())),
+        )
+            .prop_map(|(min, max)| {
+                let bound = |(s, inclusive): (u8, bool)| Bound {
+                    value: datum(s),
+                    inclusive,
+                };
+                Predicate::range(min.map(bound), max.map(bound))
+            }),
+    ]
+}
+
+/// Predicates over the (integer, sometimes-null) ID domain.
+fn arb_id_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0i64..6).prop_map(Predicate::eq),
+        prop::collection::vec(0i64..6, 0..4)
+            .prop_map(|is| Predicate::in_set(is.into_iter().map(Value::Int))),
+        ((0i64..6, any::<bool>()), (0i64..6, any::<bool>())).prop_map(|((lo, li), (hi, hi_i))| {
+            Predicate::range(
+                Some(Bound {
+                    value: Value::Int(lo),
+                    inclusive: li,
+                }),
+                Some(Bound {
+                    value: Value::Int(hi),
+                    inclusive: hi_i,
+                }),
+            )
+        }),
+    ]
 }
 
 fn id_value(id: Option<i64>) -> Value {
@@ -80,7 +127,7 @@ fn streaming(pushdown: bool, parallel: bool) -> ExecOptions {
         engine: Engine::Streaming,
         pushdown,
         parallel,
-        filter: None,
+        ..ExecOptions::default()
     }
 }
 
@@ -88,6 +135,55 @@ fn eager() -> ExecOptions {
     ExecOptions {
         engine: Engine::Eager,
         ..ExecOptions::default()
+    }
+}
+
+fn scope_for(
+    seed: usize,
+    upto: usize,
+    concepts: usize,
+    wrappers: usize,
+    system: &bdi::core::system::BdiSystem,
+) -> VersionScope {
+    match seed {
+        0 => VersionScope::All,
+        1 => VersionScope::Latest,
+        2 => VersionScope::UpToRelease(upto % (concepts * wrappers)),
+        _ => VersionScope::Only(
+            // An arbitrary allow-list: every even-indexed release.
+            system
+                .release_log()
+                .iter()
+                .filter(|e| e.seq % 2 == 0)
+                .map(|e| e.wrapper.clone())
+                .collect::<BTreeSet<_>>(),
+        ),
+    }
+}
+
+/// A plan source over the system's registry that claims **no** filters, so
+/// every predicate survives only as a mediator-side residual `Filter` — the
+/// worst-capability wrapper a deployment could contain.
+struct NoClaims<'a>(&'a bdi_wrappers::WrapperRegistry);
+
+impl PlanSource for NoClaims<'_> {
+    fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        // The compiler must never hand a claims-nothing source a filter.
+        assert!(
+            request.filters().is_empty(),
+            "unclaimed filter reached the source: {request}"
+        );
+        self.0.scan(name, request)
+    }
+
+    fn claims(&self, _source: &str, _filter: &ColumnFilter) -> bool {
+        false
+    }
+}
+
+impl SourceResolver for NoClaims<'_> {
+    fn resolve(&self, name: &str) -> Result<Relation, RelationError> {
+        self.0.resolve(name)
     }
 }
 
@@ -109,16 +205,16 @@ fn filtered_join_build_side_flip_is_order_stable() {
         vec![(Some(0), Some(0), 3), (Some(0), Some(0), 5)],
     ];
     let system = build_system(2, 1, &data);
-    let filter = Some(FeatureFilter {
-        feature: synthetic::chain_id_feature(1),
-        value: Value::Int(1),
-    });
+    let filters = vec![FeatureFilter::eq(
+        synthetic::chain_id_feature(1),
+        Value::Int(1),
+    )];
     let reference = system
         .answer_with(
             synthetic::chain_query_with_id(2),
             &VersionScope::All,
             &ExecOptions {
-                filter: filter.clone(),
+                filters: filters.clone(),
                 ..eager()
             },
         )
@@ -130,13 +226,114 @@ fn filtered_join_build_side_flip_is_order_stable() {
                 synthetic::chain_query_with_id(2),
                 &VersionScope::All,
                 &ExecOptions {
-                    filter: filter.clone(),
+                    filters: filters.clone(),
                     ..streaming(pushdown, false)
                 },
             )
             .unwrap();
         assert_eq!(streamed.relation.rows(), reference.relation.rows());
     }
+}
+
+/// An empty IN-set matches nothing: the answer is empty however the data
+/// looks, on every engine.
+#[test]
+fn empty_in_set_selects_nothing() {
+    let data = vec![vec![(Some(1), None, 0u8), (Some(2), None, 3)]];
+    let system = build_system(1, 1, &data);
+    let filters = vec![FeatureFilter::new(
+        synthetic::chain_id_feature(1),
+        Predicate::in_set([]),
+    )];
+    for options in [
+        ExecOptions {
+            filters: filters.clone(),
+            ..eager()
+        },
+        ExecOptions {
+            filters: filters.clone(),
+            ..streaming(true, true)
+        },
+        ExecOptions {
+            filters: filters.clone(),
+            ..streaming(false, false)
+        },
+    ] {
+        let answer = system
+            .answer_with(
+                synthetic::chain_query_with_id(1),
+                &VersionScope::All,
+                &options,
+            )
+            .unwrap();
+        assert!(answer.relation.is_empty());
+    }
+}
+
+/// NaN bounds follow the total order (NaN sorts greatest, self-equal): a
+/// `≤ NaN` range admits everything non-null-ranked, `≥ NaN` admits only
+/// NaN — and both engines agree, including through `JsonWrapper`-style
+/// unclaimed residues (NaN has no JSON image).
+#[test]
+fn nan_and_signed_zero_range_bounds_agree_across_engines() {
+    let data = vec![vec![
+        (Some(0), None, 5u8), // -0.0
+        (Some(1), None, 6),   // 0.0
+        (Some(2), None, 7),   // NaN
+        (Some(3), None, 0),   // Int(2)
+        (Some(4), None, 3),   // "x"
+    ]];
+    let system = build_system(1, 1, &data);
+    let nan_cases = vec![
+        Predicate::at_most(f64::NAN),
+        Predicate::at_least(f64::NAN),
+        Predicate::between(f64::NAN, f64::NAN),
+        // Signed zero: the [-0.0, 0.0] interval is the single Eq class of 0.
+        Predicate::between(Value::Float(-0.0), Value::Float(0.0)),
+        Predicate::range(
+            Some(Bound::exclusive(Value::Float(-0.0))),
+            Some(Bound::inclusive(Value::Float(0.0))),
+        ),
+    ];
+    for predicate in nan_cases {
+        let filters = vec![FeatureFilter::new(
+            synthetic::chain_data_feature(1),
+            predicate.clone(),
+        )];
+        let reference = system
+            .answer_with(
+                synthetic::chain_query(1),
+                &VersionScope::All,
+                &ExecOptions {
+                    filters: filters.clone(),
+                    ..eager()
+                },
+            )
+            .unwrap();
+        let streamed = system
+            .answer_with(
+                synthetic::chain_query(1),
+                &VersionScope::All,
+                &ExecOptions {
+                    filters,
+                    ..streaming(true, false)
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            streamed.relation.rows(),
+            reference.relation.rows(),
+            "predicate {predicate:?}"
+        );
+    }
+    // Sanity on the semantics themselves: [-0.0, 0.0] admits both zeros,
+    // (-0.0, 0.0] admits neither (the interval is empty past the Eq class).
+    assert!(Predicate::between(Value::Float(-0.0), Value::Float(0.0)).matches(&Value::Float(0.0)));
+    assert!(!Predicate::range(
+        Some(Bound::exclusive(Value::Float(-0.0))),
+        Some(Bound::inclusive(Value::Float(0.0))),
+    )
+    .matches(&Value::Float(0.0)));
 }
 
 proptest! {
@@ -153,21 +350,7 @@ proptest! {
         upto in 0usize..6,
     ) {
         let system = build_system(concepts, wrappers, &data);
-
-        let scope = match scope_seed {
-            0 => VersionScope::All,
-            1 => VersionScope::Latest,
-            2 => VersionScope::UpToRelease(upto % (concepts * wrappers)),
-            _ => VersionScope::Only(
-                // An arbitrary allow-list: every even-indexed release.
-                system
-                    .release_log()
-                    .iter()
-                    .filter(|e| e.seq % 2 == 0)
-                    .map(|e| e.wrapper.clone())
-                    .collect::<BTreeSet<_>>(),
-            ),
-        };
+        let scope = scope_for(scope_seed, upto, concepts, wrappers, &system);
 
         let reference = system
             .answer_with(synthetic::chain_query(concepts), &scope, &eager())
@@ -210,42 +393,118 @@ proptest! {
         }
     }
 
+    // The widened pushdown suite: random conjunctions of an ID predicate
+    // and a data-feature predicate (equality / IN / range, hazard-laden
+    // value domain), on every scope — streaming with and without pushdown
+    // and parallelism must match the eager post-selection byte for byte.
     #[test]
-    fn pushed_down_id_filter_matches_eager_selection(
+    fn randomized_predicate_conjunctions_match_eager(
         concepts in 1usize..3,
         wrappers in 1usize..4,
         data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..8),
-        filter_id in 0i64..6,
+        id_pred in prop::option::of(arb_id_predicate()),
+        data_pred in prop::option::of(arb_predicate()),
+        scope_seed in 0usize..4,
+        upto in 0usize..6,
     ) {
         let system = build_system(concepts, wrappers, &data);
-        let filter = Some(FeatureFilter {
-            feature: synthetic::chain_id_feature(1),
-            value: Value::Int(filter_id),
-        });
+        let scope = scope_for(scope_seed, upto, concepts, wrappers, &system);
+        let mut filters = Vec::new();
+        if let Some(p) = id_pred {
+            filters.push(FeatureFilter::new(synthetic::chain_id_feature(1), p));
+        }
+        if let Some(p) = data_pred {
+            filters.push(FeatureFilter::new(synthetic::chain_data_feature(1), p));
+        }
 
         let reference = system
             .answer_with(
                 synthetic::chain_query_with_id(concepts),
-                &VersionScope::All,
-                &ExecOptions { filter: filter.clone(), ..eager() },
+                &scope,
+                &ExecOptions { filters: filters.clone(), ..eager() },
             )
             .unwrap();
-        for pushdown in [true, false] {
+        for (pushdown, parallel) in [(true, true), (true, false), (false, false)] {
             let streamed = system
                 .answer_with(
                     synthetic::chain_query_with_id(concepts),
-                    &VersionScope::All,
+                    &scope,
                     &ExecOptions {
-                        filter: filter.clone(),
-                        ..streaming(pushdown, true)
+                        filters: filters.clone(),
+                        ..streaming(pushdown, parallel)
                     },
                 )
                 .unwrap();
-            prop_assert_eq!(streamed.relation.rows(), reference.relation.rows());
-            // Every surviving row satisfies the selection.
+            prop_assert!(
+                streamed.relation.rows() == reference.relation.rows(),
+                "mismatch (pushdown={} parallel={} scope={:?} filters={:?}):\n streamed {:?}\n reference {:?}",
+                pushdown,
+                parallel,
+                &scope,
+                &filters,
+                streamed.relation.rows(),
+                reference.relation.rows()
+            );
+            // Every surviving row satisfies the conjunction on its π columns.
             for row in streamed.relation.rows() {
-                prop_assert_eq!(&row[0], &Value::Int(filter_id));
+                for f in &filters {
+                    let idx = if f.feature == synthetic::chain_id_feature(1) { 0 } else { 1 };
+                    prop_assert!(f.predicate.matches(&row[idx]));
+                }
             }
+        }
+    }
+
+    // The full-residue path: a source claiming no filters receives none —
+    // every predicate is evaluated by the mediator's residual `Filter`
+    // operator — and the answer still matches the eager reference exactly.
+    #[test]
+    fn claims_nothing_source_takes_the_residue_path(
+        wrappers in 1usize..4,
+        data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..4),
+        id_pred in arb_id_predicate(),
+        data_pred in arb_predicate(),
+    ) {
+        let system = build_system(1, wrappers, &data);
+        let rewriting = system.rewrite(synthetic::chain_query_with_id(1)).unwrap();
+        let filters = vec![
+            FeatureFilter::new(synthetic::chain_id_feature(1), id_pred),
+            FeatureFilter::new(synthetic::chain_data_feature(1), data_pred),
+        ];
+        let no_claims = NoClaims(system.registry());
+        let reference = exec::execute_with(
+            system.ontology(),
+            &no_claims,
+            &rewriting,
+            &ExecOptions { filters: filters.clone(), ..eager() },
+        )
+        .unwrap();
+        // Against the claims-nothing source *and* the normal registry (which
+        // claims everything): three ways to evaluate, one answer.
+        for source_claims in [false, true] {
+            let streamed = if source_claims {
+                exec::execute_with(
+                    system.ontology(),
+                    system.registry(),
+                    &rewriting,
+                    &ExecOptions { filters: filters.clone(), ..streaming(true, false) },
+                )
+            } else {
+                exec::execute_with(
+                    system.ontology(),
+                    &no_claims,
+                    &rewriting,
+                    &ExecOptions { filters: filters.clone(), ..streaming(true, false) },
+                )
+            }
+            .unwrap();
+            prop_assert!(
+                streamed.relation.rows() == reference.relation.rows(),
+                "mismatch (source_claims={}):\n streamed {:?}\n reference {:?}",
+                source_claims,
+                streamed.relation.rows(),
+                reference.relation.rows()
+            );
         }
     }
 }

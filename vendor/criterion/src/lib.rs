@@ -13,9 +13,33 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-const WARMUP: Duration = Duration::from_millis(60);
-const TARGET: Duration = Duration::from_millis(300);
 const MAX_ITERS_PER_BATCH: u64 = 1 << 20;
+
+/// `BDI_BENCH_FAST=1` shrinks the measurement windows to smoke-test
+/// proportions: CI runs every bench end-to-end to catch harness rot without
+/// paying for statistically meaningful timings.
+fn fast_mode() -> bool {
+    static FAST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FAST.get_or_init(|| {
+        std::env::var_os("BDI_BENCH_FAST").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+fn warmup_window() -> Duration {
+    if fast_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(60)
+    }
+}
+
+fn target_window() -> Duration {
+    if fast_mode() {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(300)
+    }
+}
 
 /// One measured result.
 #[derive(Debug, Clone)]
@@ -49,15 +73,16 @@ impl Bencher {
         // Warmup and per-iteration estimate.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP && warm_iters < MAX_ITERS_PER_BATCH {
+        while warm_start.elapsed() < warmup_window() && warm_iters < MAX_ITERS_PER_BATCH {
             black_box(routine());
             warm_iters += 1;
         }
         let est = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
 
-        let batch = (TARGET.as_nanos() as u64 / 10 / est.max(1)).clamp(1, MAX_ITERS_PER_BATCH);
+        let batch =
+            (target_window().as_nanos() as u64 / 10 / est.max(1)).clamp(1, MAX_ITERS_PER_BATCH);
         let run_start = Instant::now();
-        while run_start.elapsed() < TARGET {
+        while run_start.elapsed() < target_window() {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -76,7 +101,7 @@ impl Bencher {
         // One warmup pass.
         black_box(routine(setup()));
         let run_start = Instant::now();
-        while run_start.elapsed() < TARGET && self.iters < MAX_ITERS_PER_BATCH {
+        while run_start.elapsed() < target_window() && self.iters < MAX_ITERS_PER_BATCH {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
