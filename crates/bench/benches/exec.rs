@@ -12,6 +12,9 @@
 //!   context's caches.
 //! * **Filter workload** — a pushed-down ID-equality selection vs. the
 //!   eager post-selection.
+//! * **Prefetch workload** — ONE walk joining 4 wrappers (the common
+//!   analyst query): eager vs serial streaming vs streaming with the
+//!   walk's scans prefetched concurrently through the batch-scan contract.
 //!
 //! Run with `cargo bench -p bdi_bench --bench exec`. Results are printed and
 //! written to `BENCH_exec.json` at the workspace root so future PRs can
@@ -69,8 +72,12 @@ fn options(engine: Engine, pushdown: bool, parallel: bool) -> ExecOptions {
         pushdown,
         parallel,
         // Measure raw engine work, not cache hits: the plan cache gets its
-        // own benchmark (benches/pushdown.rs).
+        // own benchmark (benches/pushdown.rs), and scan reuse — the
+        // production default — is exercised here only by the
+        // BDI_BENCH_REUSE_SCANS=1 smoke run so timed iterations keep
+        // re-scanning.
         cache_plans: false,
+        reuse_scans: bdi_bench::reuse_scans_mode(),
         ..ExecOptions::default()
     }
 }
@@ -190,6 +197,33 @@ fn main() {
     );
     let filter_speedup = filter_eager_ns / filter_stream_ns;
 
+    // ---- Prefetch workload: ONE walk joining 4 wrappers (1 per concept) —
+    // the common analyst query the ROADMAP called out as fully serial. The
+    // parallel variant prefetches the walk's 4 scans concurrently on scoped
+    // threads through the streaming batch contract before (and while) the
+    // join pipeline pulls.
+    let prefetch_system = workload(4, 1, false);
+    let expected = answer_len(&prefetch_system, 4, &eager);
+    assert_eq!(answer_len(&prefetch_system, 4, &stream_full), expected);
+    assert_eq!(answer_len(&prefetch_system, 4, &stream_serial), expected);
+    let prefetch_eager_ns = measure(
+        "exec/single_walk_c4_10k/eager".to_owned(),
+        &mut records,
+        || answer_len(&prefetch_system, 4, &eager),
+    );
+    let prefetch_serial_ns = measure(
+        "exec/single_walk_c4_10k/stream_serial".to_owned(),
+        &mut records,
+        || answer_len(&prefetch_system, 4, &stream_serial),
+    );
+    let prefetch_ns = measure(
+        "exec/single_walk_c4_10k/stream_prefetch".to_owned(),
+        &mut records,
+        || answer_len(&prefetch_system, 4, &stream_full),
+    );
+    let prefetch_speedup = prefetch_eager_ns / prefetch_ns;
+    let prefetch_vs_serial = prefetch_serial_ns / prefetch_ns;
+
     println!();
     println!("speedup: union 16 wrappers (eager / streaming+pushdown+parallel) = {speedup_16:.2}x");
     println!(
@@ -200,6 +234,9 @@ fn main() {
     );
     println!(
         "speedup: ID filter (eager post-select / pushed-down)             = {filter_speedup:.2}x"
+    );
+    println!(
+        "speedup: single walk x 4 scans (eager / streaming+prefetch)      = {prefetch_speedup:.2}x (vs serial streaming: {prefetch_vs_serial:.2}x)"
     );
 
     // ---- Persist machine-readable results at the workspace root — but not
@@ -222,7 +259,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}}}\n}}\n"
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}}}\n}}\n"
     ));
     let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
     f.write_all(json.as_bytes()).expect("write BENCH_exec.json");

@@ -170,11 +170,19 @@ fn main() {
     // ---- Cached plan vs recompile: rewriting-heavy, data-light.
     let cache_system = synthetic::build_chain_system(3, 4, 10); // 64 walks
     let query = || synthetic::chain_query(3);
+    // reuse_scans defaults on in production; the timed variants pin it so
+    // `cached_plans` measures plan reuse alone and `cached_plans_and_scans`
+    // adds scan reuse on top. The smoke-only BDI_BENCH_REUSE_SCANS=1 run
+    // flips the first two on to cover the default-on path.
     let uncached = ExecOptions {
         cache_plans: false,
+        reuse_scans: bdi_bench::reuse_scans_mode(),
         ..ExecOptions::default()
     };
-    let cached = ExecOptions::default();
+    let cached = ExecOptions {
+        reuse_scans: bdi_bench::reuse_scans_mode(),
+        ..ExecOptions::default()
+    };
     let cached_reuse = ExecOptions {
         reuse_scans: true,
         ..ExecOptions::default()

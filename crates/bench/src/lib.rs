@@ -25,6 +25,16 @@ pub fn fast_mode() -> bool {
     std::env::var_os("BDI_BENCH_FAST").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Whether `BDI_BENCH_REUSE_SCANS=1` (or any non-empty value other than
+/// `0`) is set: the bench-smoke variant that runs the execution workloads
+/// with `ExecOptions::reuse_scans` on — the production default — so the
+/// persistent-context path (data-version scan keys, pool watermark
+/// recycling) is exercised by the perf-rot gate. Timed full runs leave it
+/// off so per-query numbers measure raw engine work, not cache hits.
+pub fn reuse_scans_mode() -> bool {
+    std::env::var_os("BDI_BENCH_REUSE_SCANS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// `n` in a full run, `n / divisor` (at least 1) in fast mode — the one-line
 /// workload scaler benches use for their setup sizes.
 pub fn scaled(n: usize, divisor: usize) -> usize {

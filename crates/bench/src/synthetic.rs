@@ -169,6 +169,18 @@ pub fn register_extra_chain_wrapper(
     j: usize,
     rows: Vec<Vec<Value>>,
 ) {
+    register_extra_chain_wrapper_handle(system, i, j, rows);
+}
+
+/// [`register_extra_chain_wrapper`], returning the concrete wrapper handle
+/// so tests can mutate its data (`TableWrapper::push`) after registration —
+/// the scenario the stale-scan-reuse regression suite drives.
+pub fn register_extra_chain_wrapper_handle(
+    system: &mut BdiSystem,
+    i: usize,
+    j: usize,
+    rows: Vec<Vec<Value>>,
+) -> Arc<TableWrapper> {
     let schema = Schema::from_parts(&[format!("id{i}")], &[format!("f{i}")])
         .expect("synthetic names are unique");
     let wrapper = Arc::new(
@@ -184,8 +196,9 @@ pub fn register_extra_chain_wrapper(
         (format!("f{i}"), data_feature(i)),
     ]);
     system
-        .register_release(Release::new(wrapper, lav, mappings))
+        .register_release(Release::new(wrapper.clone(), lav, mappings))
         .expect("synthetic releases are valid");
+    wrapper
 }
 
 /// The query navigating the whole chain and projecting every concept's data

@@ -15,11 +15,17 @@
 //!   and each [`FeatureFilter`] predicate (equality, IN-set, range) pushed
 //!   to the providing wrapper's scan when the wrapper claims it, or kept as
 //!   a mediator-side residual filter directly above that scan when it does
-//!   not. The per-walk plans execute in parallel on `crossbeam` scoped threads
-//!   against one shared [`ExecContext`] (so wrappers appearing in many walks
-//!   are scanned and interned once, and hash-join build sides are reused per
-//!   ID attribute), streaming their aligned batches into the final
-//!   deduplicated union.
+//!   not. Wrapper rows arrive through the streaming batch-scan contract
+//!   ([`bdi_relational::plan::PlanSource::scan_batches`]) — interned one
+//!   bounded batch at a time, never materialized as a whole value-space
+//!   relation. The per-walk plans execute in parallel on `crossbeam` scoped
+//!   threads against one shared [`ExecContext`] (so wrappers appearing in
+//!   many walks are scanned and interned once, and hash-join build sides are
+//!   reused per ID attribute); each walk emits a deduplicated *sorted run*
+//!   and the runs are k-way merged into the canonical union. A single-walk
+//!   query prefetches its scans concurrently
+//!   ([`bdi_relational::plan::execute_plan_prefetched`]) so source reads
+//!   overlap each other and the join pipeline.
 //! * **Eager** ([`Engine::Eager`]): the original §2.2 operator-at-a-time
 //!   evaluation through [`bdi_relational::RelExpr`] / [`ops`]. It stays as
 //!   the executable reference the streaming engine is differentially tested
@@ -38,7 +44,7 @@ use crate::ontology::BdiOntology;
 use crate::rewrite::{walk::prefixed_attr_name, Rewriting, Walk};
 use bdi_rdf::model::Iri;
 use bdi_relational::plan::{
-    self, Batch, ColumnFilter, ExecContext, Operator, PhysicalPlan, PlanError, Predicate, RowSet,
+    self, ColumnFilter, ExecContext, Operator, PhysicalPlan, PlanError, Predicate, RowSet,
 };
 use bdi_relational::{
     ops, AlgebraError, Attribute, PlanSource, Relation, RelationError, ScanRequest, Schema,
@@ -118,10 +124,14 @@ pub struct ExecOptions {
     /// is always sound).
     pub cache_plans: bool,
     /// Reuse the system's persistent [`ExecContext`] — interned scans and
-    /// join build sides — across queries, until the next release
-    /// invalidates it. Off by default: cached scans are data snapshots, so
-    /// turn this on only when wrapper data changes exclusively through
-    /// [`crate::system::BdiSystem::register_release`].
+    /// join build sides — across queries. On by default: cached scans are
+    /// keyed by each wrapper's
+    /// [`data_version`](bdi_wrappers::Wrapper::data_version) (and the
+    /// system's cache validity stamp folds the data fingerprint in), so
+    /// wrapper-data mutations between releases — `TableWrapper::push`,
+    /// document inserts — can never be served stale. Turn it off to force a
+    /// fresh context per query, e.g. for custom wrapper kinds that mutate
+    /// without implementing `data_version`.
     pub reuse_scans: bool,
 }
 
@@ -133,7 +143,7 @@ impl Default for ExecOptions {
             parallel: true,
             filters: Vec::new(),
             cache_plans: true,
-            reuse_scans: false,
+            reuse_scans: true,
         }
     }
 }
@@ -705,9 +715,21 @@ where
     // canonicalization), exactly like the eager engine — except under a
     // pushed-down filter, where both engines emit the canonical sorted
     // order (σ below a join changes build-side choices and thus the
-    // natural order).
+    // natural order). Under `parallel`, the walk's scans are prefetched
+    // concurrently on scoped threads ahead of the pulling join pipeline —
+    // sized to the machine, so a single-core host (where prefetch threads
+    // could only convoy on the pool's shard locks) degrades to the serial
+    // pull without spawning.
     if plans.len() == 1 {
-        let mut relation = plan::execute_plan_in(&plans[0], ctx, src)?;
+        let prefetch_workers = if options.parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_WORKERS)
+        } else {
+            1
+        };
+        let mut relation = plan::execute_plan_prefetched(&plans[0], ctx, src, prefetch_workers)?;
         if filtered {
             relation.sort_rows();
         }
@@ -717,10 +739,20 @@ where
         });
     }
 
-    // Multi-walk: stream every plan's aligned batches into one deduplicated
-    // union, then emit the canonical sorted set form (the final sort makes
-    // the batch arrival order irrelevant).
-    let mut seen = RowSet::new(schema.len());
+    // Multi-walk: each walk streams into its own id-space dedup set, claims
+    // the rows no earlier-finishing walk already produced (one shared
+    // id-space set — so every duplicate dies as a u32-row hash probe, never
+    // as a decoded-value comparison), then decodes and sorts only its
+    // *novel* rows into a sorted run. The value-disjoint runs are k-way
+    // merged into the canonical sorted set form. Compared to one global set
+    // plus one big final sort, the per-walk sorts are smaller
+    // (cache-friendlier) and run on the worker threads, so sorting overlaps
+    // with other walks' scans and joins instead of serializing after them —
+    // the all-distinct worst case, where the final sort used to dominate,
+    // is exactly what this buys back.
+    let global_seen = std::sync::Mutex::new(RowSet::new(schema.len()));
+    let mut runs: Vec<Vec<Tuple>> = Vec::with_capacity(plans.len());
+    runs.resize_with(plans.len(), Vec::new);
     let mut first_error: Option<(usize, PlanError)> = None;
     let record_error = |slot: &mut Option<(usize, PlanError)>, index: usize, e: PlanError| {
         if slot.as_ref().is_none_or(|(i, _)| index < *i) {
@@ -740,29 +772,22 @@ where
 
     if workers <= 1 {
         for (index, walk_plan) in plans.iter().enumerate() {
-            let mut op = Operator::new(walk_plan);
-            loop {
-                match op.next_batch(ctx, src) {
-                    Ok(Some(batch)) => merge_batch(&batch, &mut seen),
-                    Ok(None) => break,
-                    Err(e) => {
-                        record_error(&mut first_error, index, e);
-                        break;
-                    }
-                }
+            match walk_sorted_run(walk_plan, ctx, src, &global_seen) {
+                Ok(run) => runs[index] = run,
+                Err(e) => record_error(&mut first_error, index, e),
             }
         }
     } else {
         let next = AtomicUsize::new(0);
-        // Bounded: workers block once a few batches per worker are in
-        // flight, so peak memory stays O(workers × BATCH_ROWS) instead of
-        // the whole result set queueing up ahead of the dedup thread. The
-        // consumer never sends, so a full channel cannot deadlock.
-        let (tx, rx) = mpsc::sync_channel::<(usize, Result<Option<Batch>, PlanError>)>(workers * 4);
+        // One message per walk; the channel is a completion queue, not a
+        // row pipe — per-walk memory is bounded by that walk's distinct
+        // output, which the merged answer holds anyway.
+        let (tx, rx) = mpsc::sync_channel::<(usize, Result<Vec<Tuple>, PlanError>)>(workers);
         let ctx_ref = ctx;
         let src_ref = src;
         let plans_ref = &plans;
         let next_ref = &next;
+        let seen_ref = &global_seen;
         crossbeam::scope(|s| {
             for _ in 0..workers {
                 let tx = tx.clone();
@@ -771,31 +796,16 @@ where
                     if index >= plans_ref.len() {
                         break;
                     }
-                    let mut op = Operator::new(&plans_ref[index]);
-                    loop {
-                        match op.next_batch(ctx_ref, src_ref) {
-                            Ok(Some(batch)) => {
-                                if tx.send((index, Ok(Some(batch)))).is_err() {
-                                    return;
-                                }
-                            }
-                            Ok(None) => {
-                                let _ = tx.send((index, Ok(None)));
-                                break;
-                            }
-                            Err(e) => {
-                                let _ = tx.send((index, Err(e)));
-                                break;
-                            }
-                        }
+                    let run = walk_sorted_run(&plans_ref[index], ctx_ref, src_ref, seen_ref);
+                    if tx.send((index, run)).is_err() {
+                        return;
                     }
                 });
             }
             drop(tx);
             for (index, message) in rx {
                 match message {
-                    Ok(Some(batch)) => merge_batch(&batch, &mut seen),
-                    Ok(None) => {}
+                    Ok(run) => runs[index] = run,
                     Err(e) => record_error(&mut first_error, index, e),
                 }
             }
@@ -807,17 +817,78 @@ where
         return Err(e.into());
     }
 
-    let mut rows = ctx.decode_rows(seen.rows());
-    rows.sort();
     Ok(QueryAnswer {
-        relation: Relation::new(schema, rows)?,
+        relation: Relation::new(schema, merge_sorted_runs(runs))?,
         walk_exprs,
     })
 }
 
-/// Folds one aligned batch into the streamed union's dedup set.
-fn merge_batch(batch: &Batch, seen: &mut RowSet) {
-    for row in batch.rows() {
-        seen.insert(row);
+/// Runs one walk's plan to exhaustion, claiming each batch's rows against
+/// the cross-walk `global_seen` set — every duplicate, intra- or
+/// cross-walk, dies as a single `u32`-row hash probe before any value is
+/// decoded — and returns the walk's *novel* rows decoded and sorted: one
+/// sorted run of the streamed union. Batches are bounded, so the set is
+/// locked in short holds (and the claim work it serializes is exactly what
+/// the previous design serialized on the coordinator thread). Interning
+/// canonicalizes `Value`-equal rows to identical ids, so id-disjoint runs
+/// are value-disjoint too.
+fn walk_sorted_run(
+    walk_plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    src: &dyn PlanSource,
+    global_seen: &std::sync::Mutex<RowSet>,
+) -> Result<Vec<Tuple>, PlanError> {
+    let arity = walk_plan.schema().len();
+    let mut op = Operator::new(walk_plan);
+    let mut novel: Vec<u32> = Vec::new();
+    let mut count = 0usize;
+    while let Some(batch) = op.next_batch(ctx, src)? {
+        let mut seen = global_seen.lock().expect("union dedup set poisoned");
+        for row in batch.rows() {
+            if seen.insert(row) {
+                novel.extend_from_slice(row);
+                count += 1;
+            }
+        }
     }
+    // Decode in bounded chunks: `decode_rows` holds every pool shard for
+    // the duration of a call, so one walk decoding a huge novel set must
+    // not starve the other workers' interning for the whole decode.
+    const DECODE_CHUNK_ROWS: usize = 16 * 1024;
+    let mut rows: Vec<Tuple> = Vec::with_capacity(count);
+    let mut start = 0usize;
+    while start < count {
+        let end = count.min(start + DECODE_CHUNK_ROWS);
+        rows.extend(ctx.decode_rows((start..end).map(|i| &novel[i * arity..(i + 1) * arity])));
+        start = end;
+    }
+    rows.sort_unstable();
+    Ok(rows)
+}
+
+/// K-way merge of the per-walk sorted runs into the canonical sorted set
+/// form. Runs are pairwise disjoint by construction (the shared id-space
+/// set), so this is a pure merge; the equality check against the last
+/// emitted row is a defensive no-op kept for clarity of the set contract.
+fn merge_sorted_runs(runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<Tuple>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(Tuple, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (index, iter) in iters.iter_mut().enumerate() {
+        if let Some(row) = iter.next() {
+            heap.push(Reverse((row, index)));
+        }
+    }
+    let mut out: Vec<Tuple> = Vec::with_capacity(total);
+    while let Some(Reverse((row, index))) = heap.pop() {
+        if let Some(next) = iters[index].next() {
+            heap.push(Reverse((next, index)));
+        }
+        if out.last() != Some(&row) {
+            out.push(row);
+        }
+    }
+    out
 }

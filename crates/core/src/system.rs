@@ -60,16 +60,32 @@ pub enum VersionScope {
 /// entry is evicted.
 const PLAN_CACHE_ENTRIES: usize = 64;
 
-/// What a cached plan is valid against: the release log length (bumped by
-/// every [`BdiSystem::register_release`]) and the ontology store's
-/// monotonic mutation stamp (catching direct [`BdiSystem::ontology_mut`]
-/// edits, including count-neutral remove+insert pairs). Plans depend only
-/// on the ontology and wrapper capabilities — never on wrapper *data* — so
-/// this is exactly the compiled-plan lifetime. The persistent
-/// [`ExecContext`] shares the validity stamp: its interned scans *are*
-/// data snapshots, which is why scan reuse is opt-in
-/// ([`ExecOptions::reuse_scans`]) while plan reuse is the default.
-type CacheValidity = (usize, u64);
+/// What the cache is valid against, in two tiers.
+///
+/// The first element guards the **compiled plans**: the release log length
+/// (bumped by every [`BdiSystem::register_release`]) and the ontology
+/// store's monotonic mutation stamp (catching direct
+/// [`BdiSystem::ontology_mut`] edits, including count-neutral
+/// remove+insert pairs). Plans depend only on the ontology and wrapper
+/// *capabilities* — never on wrapper data — so this is exactly the
+/// compiled-plan lifetime.
+///
+/// The second element additionally guards the **persistent
+/// [`ExecContext`]**: the registry's *data fingerprint* — the sum of every
+/// wrapper's [`data_version`](bdi_wrappers::Wrapper::data_version), which
+/// moves on every wrapper-data mutation between releases
+/// (`TableWrapper::push`, document inserts). A fingerprint change retires
+/// the context (whose interned scans *are* data snapshots) while the
+/// compiled plans survive, so append-heavy workloads keep their plan-cache
+/// hits; the per-scan `data_version` cache keys catch the same staleness
+/// one level down. This two-tier stamp is what lets
+/// [`ExecOptions::reuse_scans`] default on.
+type CacheValidity = ((usize, u64), u64);
+
+/// Default watermark on the persistent context's interned-value pool; past
+/// it the context is retired after the current query (see
+/// [`BdiSystem::set_context_value_cap`]).
+const DEFAULT_CTX_VALUE_CAP: usize = 1 << 20;
 
 /// Cache key: the full query identity — OMQ fingerprint, version scope and
 /// execution options (engine, pushdown, filters all shape the plan).
@@ -88,19 +104,43 @@ struct ExecCacheState {
     hits: u64,
     misses: u64,
     plans: HashMap<PlanKey, (Arc<CompiledQuery>, u64)>,
+    /// Pool watermark handed to every fresh context (see
+    /// [`BdiSystem::set_context_value_cap`]).
+    value_cap: usize,
     ctx: Arc<ExecContext>,
+}
+
+impl ExecCacheState {
+    fn fresh_ctx(&self) -> Arc<ExecContext> {
+        Arc::new(ExecContext::new().with_value_cap(self.value_cap))
+    }
+
+    /// Brings the cache up to `validity`: a plan-tier change flushes plans
+    /// and context; a data-fingerprint-only change retires just the
+    /// context (compiled plans never depend on wrapper data).
+    fn revalidate(&mut self, validity: CacheValidity) {
+        if self.validity.0 != validity.0 {
+            self.validity = validity;
+            self.plans.clear();
+            self.ctx = self.fresh_ctx();
+        } else if self.validity.1 != validity.1 {
+            self.validity = validity;
+            self.ctx = self.fresh_ctx();
+        }
+    }
 }
 
 impl Default for ExecCache {
     fn default() -> Self {
         Self {
             inner: Mutex::new(ExecCacheState {
-                validity: (usize::MAX, u64::MAX), // never matches → first use invalidates
+                validity: ((usize::MAX, u64::MAX), u64::MAX), // never matches → first use invalidates
                 tick: 0,
                 hits: 0,
                 misses: 0,
                 plans: HashMap::new(),
-                ctx: Arc::new(ExecContext::new()),
+                value_cap: DEFAULT_CTX_VALUE_CAP,
+                ctx: Arc::new(ExecContext::new().with_value_cap(DEFAULT_CTX_VALUE_CAP)),
             }),
         }
     }
@@ -124,7 +164,18 @@ impl ExecCache {
         let mut state = self.inner.lock().expect("plan cache poisoned");
         state.validity = validity;
         state.plans.clear();
-        state.ctx = Arc::new(ExecContext::new());
+        state.ctx = state.fresh_ctx();
+    }
+
+    /// Retires the shared context when its value pool has outgrown the
+    /// watermark — queries in flight keep the old context alive through
+    /// their `Arc` until they finish; new queries intern into the fresh
+    /// pool and re-scan on demand.
+    fn recycle_if_over_cap(&self) {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        if state.ctx.over_value_cap() {
+            state.ctx = state.fresh_ctx();
+        }
     }
 
     /// The cached compiled query for `key`, if still valid, plus the shared
@@ -135,11 +186,7 @@ impl ExecCache {
         key: &PlanKey,
     ) -> (Option<Arc<CompiledQuery>>, Arc<ExecContext>) {
         let mut state = self.inner.lock().expect("plan cache poisoned");
-        if state.validity != validity {
-            state.validity = validity;
-            state.plans.clear();
-            state.ctx = Arc::new(ExecContext::new());
-        }
+        state.revalidate(validity);
         state.tick += 1;
         let tick = state.tick;
         let hit = match state.plans.get_mut(key) {
@@ -161,11 +208,7 @@ impl ExecCache {
     /// hit/miss counters — for `cache_plans: false` queries.
     fn context(&self, validity: CacheValidity) -> Arc<ExecContext> {
         let mut state = self.inner.lock().expect("plan cache poisoned");
-        if state.validity != validity {
-            state.validity = validity;
-            state.plans.clear();
-            state.ctx = Arc::new(ExecContext::new());
-        }
+        state.revalidate(validity);
         state.ctx.clone()
     }
 
@@ -174,8 +217,11 @@ impl ExecCache {
     /// loser's entry simply replaces an identical one.
     fn insert(&self, validity: CacheValidity, key: PlanKey, compiled: Arc<CompiledQuery>) {
         let mut state = self.inner.lock().expect("plan cache poisoned");
-        if state.validity != validity {
-            return; // a release slipped in while compiling — don't cache stale plans
+        // Compare the plan tier only: a release or ontology edit slipping
+        // in while compiling must discard the plan, but a mere data
+        // mutation cannot stale it (plans are data-independent).
+        if state.validity.0 != validity.0 {
+            return;
         }
         if state.plans.len() >= PLAN_CACHE_ENTRIES && !state.plans.contains_key(&key) {
             if let Some(oldest) = state
@@ -199,6 +245,17 @@ pub struct PlanCacheStats {
     pub entries: usize,
     pub hits: u64,
     pub misses: u64,
+}
+
+/// Persistent-context size observability (see
+/// [`BdiSystem::context_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Distinct values interned into the shared pool.
+    pub pooled_values: usize,
+    /// Rough resident bytes: pool + cached interned scans + cached join
+    /// build sides.
+    pub approx_bytes: usize,
 }
 
 /// A complete, queryable BDI deployment.
@@ -248,11 +305,20 @@ impl BdiSystem {
         }
     }
 
-    /// The cache validity stamp for the system's current state.
+    /// The cache validity stamp for the system's current state. The data
+    /// fingerprint sums per-wrapper data versions — each counter only ever
+    /// grows, so any wrapper-data mutation strictly advances the sum.
     fn cache_validity(&self) -> CacheValidity {
+        let data_fingerprint = self
+            .registry
+            .iter()
+            .fold(0u64, |acc, w| acc.wrapping_add(w.data_version()));
         (
-            self.release_log.len(),
-            self.ontology.store().mutation_count(),
+            (
+                self.release_log.len(),
+                self.ontology.store().mutation_count(),
+            ),
+            data_fingerprint,
         )
     }
 
@@ -304,6 +370,33 @@ impl BdiSystem {
             entries: state.plans.len(),
             hits: state.hits,
             misses: state.misses,
+        }
+    }
+
+    /// Sets the watermark on the persistent execution context's
+    /// interned-value pool (default 2²⁰ distinct values). When a query
+    /// leaves the pool above the watermark the context is retired and the
+    /// next query starts against a fresh one, so a long-lived system's
+    /// memory stays bounded however much distinct data flows through it.
+    /// Takes effect immediately: the current context is replaced (cached
+    /// scans flush; compiled plans survive).
+    pub fn set_context_value_cap(&self, cap: usize) {
+        let mut state = self.cache.inner.lock().expect("plan cache poisoned");
+        state.value_cap = cap.max(1);
+        state.ctx = state.fresh_ctx();
+    }
+
+    /// Size diagnostics of the persistent execution context (pool +
+    /// scan/build caches) — what [`BdiSystem::set_context_value_cap`]
+    /// bounds.
+    pub fn context_stats(&self) -> ContextStats {
+        let ctx = {
+            let state = self.cache.inner.lock().expect("plan cache poisoned");
+            state.ctx.clone()
+        };
+        ContextStats {
+            pooled_values: ctx.pooled_values(),
+            approx_bytes: ctx.memory_estimate(),
         }
     }
 
@@ -423,6 +516,11 @@ impl BdiSystem {
             &compiled,
             shared_ctx.as_deref(),
         )?;
+        // Bound the long-lived pool: if this query pushed it past the
+        // watermark, retire the context before the next query reuses it.
+        if options.reuse_scans {
+            self.cache.recycle_if_over_cap();
+        }
         Ok(Answer {
             relation,
             rewriting: compiled.rewriting.clone(),

@@ -4,6 +4,7 @@ use crate::pipeline::{Pipeline, PipelineError};
 use parking_lot::RwLock;
 use serde_json::Value;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors raised by store operations.
@@ -61,6 +62,11 @@ impl Collection {
 #[derive(Debug, Default, Clone)]
 pub struct DocStore {
     collections: Arc<RwLock<BTreeMap<String, Collection>>>,
+    /// Bumped by every mutation ([`DocStore::insert`],
+    /// [`DocStore::insert_many`], [`DocStore::clear`], [`DocStore::restore`]) —
+    /// shared by clones, surfaced as [`DocStore::data_version`] so wrappers
+    /// over this store can stamp their scans.
+    version: Arc<AtomicU64>,
 }
 
 impl DocStore {
@@ -68,13 +74,31 @@ impl DocStore {
         Self::default()
     }
 
+    /// Monotonic data-generation counter: any value change means some
+    /// collection's documents changed since the smaller value was observed.
+    /// Store-wide (not per-collection) — deliberately conservative.
+    pub fn data_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
     /// Inserts a document, creating the collection if needed.
     pub fn insert(&self, collection: &str, doc: Value) -> Result<(), StoreError> {
         let mut guard = self.collections.write();
-        guard.entry(collection.to_owned()).or_default().insert(doc)
+        let result = guard.entry(collection.to_owned()).or_default().insert(doc);
+        drop(guard);
+        // Bump on every write access, success or not: a rejected document
+        // may still have created its (empty) collection, and a spurious
+        // bump only costs a cache re-scan, never correctness.
+        self.bump_version();
+        result
     }
 
-    /// Inserts many documents.
+    /// Inserts many documents. On a rejected document the preceding ones
+    /// stay inserted (append semantics), and the version still bumps.
     pub fn insert_many<I: IntoIterator<Item = Value>>(
         &self,
         collection: &str,
@@ -83,11 +107,17 @@ impl DocStore {
         let mut guard = self.collections.write();
         let coll = guard.entry(collection.to_owned()).or_default();
         let mut n = 0;
+        let mut result = Ok(());
         for doc in docs {
-            coll.insert(doc)?;
+            if let Err(e) = coll.insert(doc) {
+                result = Err(e);
+                break;
+            }
             n += 1;
         }
-        Ok(n)
+        drop(guard);
+        self.bump_version();
+        result.map(|()| n)
     }
 
     /// Runs a pipeline against a collection (`db.getCollection(name)
@@ -111,6 +141,35 @@ impl DocStore {
             .get(collection)
             .map(Collection::len)
             .unwrap_or(0)
+    }
+
+    /// Number of documents in a collection, erring when it does not exist —
+    /// the existence-checking entry point chunked scans start from.
+    pub fn collection_len(&self, collection: &str) -> Result<usize, StoreError> {
+        self.collections
+            .read()
+            .get(collection)
+            .map(Collection::len)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_owned()))
+    }
+
+    /// Clones documents `[start, start + max)` of a collection — one short
+    /// read-lock hold per chunk, so batch-at-a-time consumers (wrapper
+    /// streaming scans) never block writers for the duration of a full
+    /// scan. Ranges past the current end are clamped; an absent collection
+    /// errs.
+    pub fn docs_chunk(
+        &self,
+        collection: &str,
+        start: usize,
+        max: usize,
+    ) -> Result<Vec<Value>, StoreError> {
+        let guard = self.collections.read();
+        let coll = guard
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_owned()))?;
+        let end = coll.docs.len().min(start.saturating_add(max));
+        Ok(coll.docs.get(start..end).unwrap_or(&[]).to_vec())
     }
 
     /// Names of all collections.
@@ -141,10 +200,13 @@ impl DocStore {
     /// Removes all documents of a collection, returning how many there were.
     pub fn clear(&self, collection: &str) -> usize {
         let mut guard = self.collections.write();
-        match guard.get_mut(collection) {
+        let n = match guard.get_mut(collection) {
             Some(coll) => std::mem::take(&mut coll.docs).len(),
             None => 0,
-        }
+        };
+        drop(guard);
+        self.bump_version();
+        n
     }
 }
 
@@ -236,5 +298,47 @@ mod tests {
         let view = store.clone();
         store.insert("c", json!({"a": 1})).unwrap();
         assert_eq!(view.count("c"), 1);
+    }
+
+    #[test]
+    fn mutations_bump_the_shared_data_version() {
+        let store = DocStore::new();
+        let view = store.clone();
+        let v0 = store.data_version();
+        store.insert("c", json!({"a": 1})).unwrap();
+        let v1 = view.data_version(); // clones share the counter
+        assert!(v1 > v0);
+        store
+            .insert_many("c", vec![json!({"a": 2}), json!({"a": 3})])
+            .unwrap();
+        let v2 = store.data_version();
+        assert!(v2 > v1);
+        store.clear("c");
+        assert!(store.data_version() > v2);
+        // Reads don't bump.
+        let v3 = store.data_version();
+        let _ = store.count("c");
+        let _ = store.docs_chunk("c", 0, 10);
+        assert_eq!(store.data_version(), v3);
+    }
+
+    #[test]
+    fn docs_chunk_reads_windows_and_checks_existence() {
+        let store = DocStore::new();
+        store
+            .insert_many("c", (0..5).map(|i| json!({"a": i})).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(store.collection_len("c").unwrap(), 5);
+        assert!(matches!(
+            store.collection_len("zz"),
+            Err(StoreError::UnknownCollection(_))
+        ));
+        assert_eq!(
+            store.docs_chunk("c", 0, 2).unwrap(),
+            vec![json!({"a": 0}), json!({"a": 1})]
+        );
+        assert_eq!(store.docs_chunk("c", 4, 10).unwrap(), vec![json!({"a": 4})]);
+        assert!(store.docs_chunk("c", 9, 2).unwrap().is_empty());
+        assert!(store.docs_chunk("zz", 0, 1).is_err());
     }
 }

@@ -12,4 +12,6 @@ pub mod path;
 pub mod pipeline;
 
 pub use collection::{Collection, DocStore, StoreError};
-pub use pipeline::{json_cmp, AggExpr, DocPredicate, Pipeline, PipelineError, Projection, Stage};
+pub use pipeline::{
+    json_cmp, AggExpr, DocPredicate, Pipeline, PipelineError, PipelineRun, Projection, Stage,
+};

@@ -319,43 +319,26 @@ impl Pipeline {
     where
         I: IntoIterator<Item = &'a Value>,
     {
-        let mut current: Vec<Value> = docs.into_iter().cloned().collect();
-        for stage in &self.stages {
-            current = match stage {
-                Stage::Match(preds) => current
-                    .into_iter()
-                    .filter(|doc| {
-                        preds
-                            .iter()
-                            .all(|(path, expected)| get_path(doc, path) == Some(expected))
-                    })
-                    .collect(),
-                Stage::MatchPred(preds) => current
-                    .into_iter()
-                    .filter(|doc| {
-                        preds.iter().all(|(path, predicate)| {
-                            predicate.matches(get_path(doc, path).unwrap_or(&Value::Null))
-                        })
-                    })
-                    .collect(),
-                Stage::Project(projections) => {
-                    let mut out = Vec::with_capacity(current.len());
-                    for doc in &current {
-                        let mut map = Map::with_capacity(projections.len());
-                        for p in projections {
-                            map.insert(p.name.clone(), p.expr.eval(doc)?);
-                        }
-                        out.push(Value::Object(map));
-                    }
-                    out
-                }
-                Stage::Limit(n) => {
-                    current.truncate(*n);
-                    current
-                }
-            };
+        let mut limits = limit_budgets(&self.stages);
+        apply_stages(
+            &self.stages,
+            &mut limits,
+            docs.into_iter().cloned().collect(),
+        )
+    }
+
+    /// Starts an incremental, batch-at-a-time run of the pipeline —
+    /// [`PipelineRun::push_batch`] feeds document chunks through the same
+    /// stages [`Pipeline::run`] applies eagerly, with `$limit` budgets
+    /// carried across chunks, so concatenating the per-chunk outputs equals
+    /// one eager run over the concatenated input. Takes the pipeline by
+    /// value; callers batching a shared pipeline clone it once per run.
+    pub fn start(self) -> PipelineRun {
+        let limits = limit_budgets(&self.stages);
+        PipelineRun {
+            pipeline: self,
+            limits,
         }
-        Ok(current)
     }
 
     /// The output field names, when the final stage is a `$project`.
@@ -364,6 +347,90 @@ impl Pipeline {
             Some(Stage::Project(ps)) => Some(ps.iter().map(|p| p.name.as_str()).collect()),
             _ => None,
         }
+    }
+}
+
+/// Per-stage remaining `$limit` budgets (`None` for non-limit stages).
+fn limit_budgets(stages: &[Stage]) -> Vec<Option<usize>> {
+    stages
+        .iter()
+        .map(|stage| match stage {
+            Stage::Limit(n) => Some(*n),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One pass of a document set through the stages, decrementing `$limit`
+/// budgets in `limits` — the shared core of the eager [`Pipeline::run`] and
+/// the chunked [`PipelineRun`]. `$match` and `$project` are per-document
+/// (stateless), so chunking cannot change their output; `$limit` is the one
+/// stage whose state must span chunks.
+fn apply_stages(
+    stages: &[Stage],
+    limits: &mut [Option<usize>],
+    mut current: Vec<Value>,
+) -> Result<Vec<Value>, PipelineError> {
+    for (stage_index, stage) in stages.iter().enumerate() {
+        current = match stage {
+            Stage::Match(preds) => current
+                .into_iter()
+                .filter(|doc| {
+                    preds
+                        .iter()
+                        .all(|(path, expected)| get_path(doc, path) == Some(expected))
+                })
+                .collect(),
+            Stage::MatchPred(preds) => current
+                .into_iter()
+                .filter(|doc| {
+                    preds.iter().all(|(path, predicate)| {
+                        predicate.matches(get_path(doc, path).unwrap_or(&Value::Null))
+                    })
+                })
+                .collect(),
+            Stage::Project(projections) => {
+                let mut out = Vec::with_capacity(current.len());
+                for doc in &current {
+                    let mut map = Map::with_capacity(projections.len());
+                    for p in projections {
+                        map.insert(p.name.clone(), p.expr.eval(doc)?);
+                    }
+                    out.push(Value::Object(map));
+                }
+                out
+            }
+            Stage::Limit(_) => {
+                let budget = limits[stage_index]
+                    .as_mut()
+                    .expect("limit budget aligned with stage");
+                current.truncate(*budget);
+                *budget -= current.len();
+                current
+            }
+        };
+    }
+    Ok(current)
+}
+
+/// An in-progress chunked pipeline run (see [`Pipeline::start`]).
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    pipeline: Pipeline,
+    limits: Vec<Option<usize>>,
+}
+
+impl PipelineRun {
+    /// Feeds the next chunk of input documents through the stages,
+    /// returning that chunk's output documents.
+    pub fn push_batch(&mut self, docs: Vec<Value>) -> Result<Vec<Value>, PipelineError> {
+        apply_stages(&self.pipeline.stages, &mut self.limits, docs)
+    }
+
+    /// Whether some `$limit` budget has run out — no further input can
+    /// produce output, so producers may stop pulling documents early.
+    pub fn exhausted(&self) -> bool {
+        self.limits.contains(&Some(0))
     }
 }
 
@@ -515,6 +582,48 @@ mod tests {
         assert_eq!(json_cmp(&json!(null), &json!(false)), Ordering::Less);
         assert_eq!(json_cmp(&json!(true), &json!(0)), Ordering::Less);
         assert_eq!(json_cmp(&json!(1e300), &json!("")), Ordering::Less);
+    }
+
+    #[test]
+    fn chunked_run_equals_eager_run() {
+        // $match + $project + $limit over 7 docs, pushed through in chunks
+        // of every size: concatenated chunk outputs must equal one eager
+        // run — $limit budgets span chunks.
+        let docs: Vec<Value> = (0..7)
+            .map(|i| {
+                let b = i * 10;
+                json!({"a": i, "b": b})
+            })
+            .collect();
+        let pipeline = Pipeline::new()
+            .match_pred(
+                "a",
+                DocPredicate::Range {
+                    min: Some((json!(1), true)),
+                    max: None,
+                },
+            )
+            .limit(3)
+            .project(vec![Projection::field("b", "b")]);
+        let eager = pipeline.run(&docs).unwrap();
+        assert_eq!(eager.len(), 3);
+        for chunk_size in [1usize, 2, 7] {
+            let mut run = pipeline.clone().start();
+            let mut out = Vec::new();
+            for chunk in docs.chunks(chunk_size) {
+                if run.exhausted() {
+                    break;
+                }
+                out.extend(run.push_batch(chunk.to_vec()).unwrap());
+            }
+            assert_eq!(out, eager, "chunk_size={chunk_size}");
+        }
+        // Exhaustion: after the limit budget drains, no input can produce
+        // output, and the producer is told to stop pulling.
+        let mut run = pipeline.start();
+        run.push_batch(docs.clone()).unwrap();
+        assert!(run.exhausted());
+        assert!(run.push_batch(docs).unwrap().is_empty());
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod value;
 pub use algebra::{AlgebraError, RelExpr, SourceResolver};
 pub use expr::{Expr, ExprError};
 pub use plan::{
-    Bound, ColumnFilter, ExecContext, PhysicalPlan, PlanError, PlanSource, Predicate, ScanRequest,
+    BatchIter, Bound, ColumnFilter, ExecContext, PhysicalPlan, PlanError, PlanSource, Predicate,
+    ScanRequest,
 };
 pub use relation::{Relation, RelationError, Tuple};
 pub use schema::{Attribute, Schema, SchemaError};

@@ -35,6 +35,20 @@
 //! the *residue* — whatever was not claimed — in a mediator-side
 //! [`PhysicalPlan::Filter`] above the scan, so answers are identical
 //! whatever a source can natively honour.
+//!
+//! ## The streaming scan contract
+//!
+//! Scans reach sources through [`PlanSource::scan_batches`]: a stream of
+//! bounded value-space row batches, interned one batch at a time, so the
+//! whole-relation `Vec` the eager [`PlanSource::scan`] contract implies
+//! never materializes in the mediator. The default implementation is a
+//! one-shot adapter over `scan` (third-party sources keep working
+//! unchanged); native sources yield one batch of projected cells at a time
+//! under short lock holds. [`PlanSource::data_version`] stamps each scan
+//! with the source's data generation — the [`ExecContext`] scan cache keys
+//! on it, so contexts reused across queries can never serve rows scanned
+//! before a source mutation. [`execute_plan_prefetched`] issues a plan's
+//! scans concurrently on scoped threads ahead of the pulling pipeline.
 
 use crate::relation::{Relation, RelationError, Tuple};
 use crate::schema::{Attribute, Schema};
@@ -416,6 +430,34 @@ impl fmt::Display for ScanRequest {
     }
 }
 
+/// A stream of value-space row batches produced by a [`PlanSource`] scan.
+///
+/// Each item is one batch of rows already projected, renamed and filtered
+/// per the originating [`ScanRequest`] (so every row has the request's
+/// output arity), in the source's stable scan order. Batches are bounded by
+/// the `batch_rows` hint the consumer passed, so peak value-space memory is
+/// one batch — never the whole relation.
+pub type BatchIter<'a> = Box<dyn Iterator<Item = Result<Vec<Tuple>, RelationError>> + Send + 'a>;
+
+/// One-shot adapter from the eager scan contract to the streaming one:
+/// consumes an already-materialized relation and re-yields its rows in
+/// `batch_rows`-sized chunks (without cloning). This is what the default
+/// [`PlanSource::scan_batches`] wraps around [`PlanSource::scan`], so
+/// sources that only implement the eager entry point keep working
+/// unchanged.
+pub fn batches_from_relation(relation: Relation, batch_rows: usize) -> BatchIter<'static> {
+    let batch_rows = batch_rows.max(1);
+    let mut rows = relation.into_rows().into_iter();
+    Box::new(std::iter::from_fn(move || {
+        let batch: Vec<Tuple> = rows.by_ref().take(batch_rows).collect();
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }))
+}
+
 /// Resolves a source name and a pushed-down [`ScanRequest`] to a relation.
 ///
 /// `Sync` is a supertrait so a shared [`ExecContext`] can fan walk plans out
@@ -424,6 +466,47 @@ pub trait PlanSource: Sync {
     /// Scans `source`, honouring the request (see the module docs for the
     /// contract).
     fn scan(&self, source: &str, request: &ScanRequest) -> Result<Relation, RelationError>;
+
+    /// Streaming scan: yields the same rows [`PlanSource::scan`] would, in
+    /// the same order, but as a sequence of at-most-`batch_rows`-row batches
+    /// so the consumer (the interning layer) never holds the whole
+    /// value-space relation at once.
+    ///
+    /// The default is a one-shot adapter over [`PlanSource::scan`] — it
+    /// materializes eagerly and re-chunks, so third-party sources keep
+    /// working unchanged. Sources that can produce rows incrementally
+    /// (e.g. `bdi_wrappers`' table and JSON wrappers) override it to clone
+    /// only one batch of projected cells at a time under short lock holds.
+    fn scan_batches<'a>(
+        &'a self,
+        source: &str,
+        request: &ScanRequest,
+        batch_rows: usize,
+    ) -> Result<BatchIter<'a>, RelationError> {
+        let relation = self.scan(source, request)?;
+        // Reject a mis-shaped scan up front — even an *empty* relation with
+        // the wrong arity is a source misconfiguration, and it must not be
+        // masked just because no row exists to fail the per-row check.
+        if relation.schema().len() != request.output().len() {
+            return Err(RelationError::Arity {
+                expected: request.output().len(),
+                found: relation.schema().len(),
+            });
+        }
+        Ok(batches_from_relation(relation, batch_rows))
+    }
+
+    /// Monotonic counter identifying the current *data* of `source`. A
+    /// source whose data can change between scans bumps it on every
+    /// mutation; the [`ExecContext`] folds it into its scan-cache key, so a
+    /// persistent context never serves rows scanned before the mutation.
+    /// The default (`0`, constant) declares the data immutable for the
+    /// lifetime of the source registration — correct for snapshot-style
+    /// sources, and the pre-existing contract for sources predating the
+    /// counter.
+    fn data_version(&self, _source: &str) -> u64 {
+        0
+    }
 
     /// Whether the source natively honours `filter` on scans of `source`.
     ///
@@ -645,13 +728,16 @@ impl PhysicalPlan {
         }
     }
 
-    /// The cache key of a scan leaf (`None` for interior nodes).
+    /// The cache key of a scan leaf (`None` for interior nodes). The
+    /// `data_version` is a placeholder — plans are compiled before any data
+    /// is read — and is filled in from the live source at execution time.
     fn scan_key(&self) -> Option<ScanKey> {
         match self {
             PhysicalPlan::Scan { source, request } => Some(ScanKey {
                 source: source.clone(),
                 columns: request.columns.clone(),
                 filters: request.filters.clone(),
+                data_version: 0,
             }),
             _ => None,
         }
@@ -795,6 +881,31 @@ impl ValuePool {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Rough resident-size estimate in bytes: the interned values (counted
+    /// twice — once in the slab, once as index keys), string heap storage,
+    /// and index slots. An accounting aid for pool watermarks, not an exact
+    /// allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let value_size = std::mem::size_of::<Value>();
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("value pool poisoned");
+                let heap: usize = shard
+                    .values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => 2 * s.capacity(),
+                        _ => 0,
+                    })
+                    .sum();
+                shard.values.capacity() * value_size
+                    + shard.index.capacity() * (value_size + std::mem::size_of::<u32>())
+                    + heap
+            })
+            .sum()
+    }
 }
 
 /// A locked view of a [`ValuePool`] for bulk decoding.
@@ -875,6 +986,11 @@ impl Batch {
             data: self.data[start * self.arity..(start + len) * self.arity].to_vec(),
         }
     }
+
+    /// Rough resident size of the id arena, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -882,12 +998,17 @@ impl Batch {
 // ---------------------------------------------------------------------------
 
 /// Identity of a scan's *data* (output attribute labels excluded — two
-/// requests differing only in labels read the same rows).
+/// requests differing only in labels read the same rows). The source's
+/// [`PlanSource::data_version`] at scan time is part of the identity: a
+/// mutation bumps it, so a persistent context re-scans instead of serving
+/// rows from before the mutation (stale entries age out through the LRU
+/// cap).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ScanKey {
     source: String,
     columns: Vec<String>,
     filters: Vec<ColumnFilter>,
+    data_version: u64,
 }
 
 type ScanCell = Arc<OnceLock<Result<Arc<Batch>, PlanError>>>;
@@ -903,6 +1024,17 @@ pub struct JoinIndex {
 impl JoinIndex {
     fn matches(&self, key: u32) -> Option<&[u32]> {
         self.groups.get(&key).map(Vec::as_slice)
+    }
+
+    /// Rough resident size in bytes (key slots plus row-index arenas).
+    fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<(u32, Vec<u32>)>();
+        self.groups.capacity() * slot
+            + self
+                .groups
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
     }
 }
 
@@ -924,10 +1056,24 @@ pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
 /// Both caches are bounded ([`ExecContext::with_capacity`]); when full, the
 /// least-recently-touched entry is evicted (an approximate LRU: each access
 /// stamps a monotonic tick, eviction removes the minimum).
+///
+/// Scans go through the streaming contract ([`PlanSource::scan_batches`]):
+/// the context pulls one value-space batch at a time ([`ExecContext::
+/// scan_batch_rows`] rows, [`BATCH_ROWS`] by default) and interns it before
+/// pulling the next, so the full `Vec<Tuple>` relation the eager contract
+/// materialized never exists here — peak value-space memory per scan is one
+/// batch. The cache stores only the interned result.
 pub struct ExecContext {
     pool: ValuePool,
     null_id: u32,
     max_entries: usize,
+    /// Rows per batch pulled from [`PlanSource::scan_batches`].
+    scan_batch_rows: usize,
+    /// Pool watermark: when [`ExecContext::pooled_values`] exceeds it, the
+    /// context reports [`ExecContext::over_value_cap`] so a long-lived owner
+    /// can retire it (the pool itself never shrinks in place — live
+    /// executions hold interned ids).
+    value_cap: Option<usize>,
     tick: AtomicU64,
     scans: Mutex<HashMap<ScanKey, Stamped<ScanCell>>>,
     builds: Mutex<BuildCache>,
@@ -981,10 +1127,75 @@ impl ExecContext {
             pool,
             null_id,
             max_entries: max_entries.max(1),
+            scan_batch_rows: BATCH_ROWS,
+            value_cap: None,
             tick: AtomicU64::new(0),
             scans: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the number of rows per batch pulled from
+    /// [`PlanSource::scan_batches`] (minimum 1; default [`BATCH_ROWS`]).
+    /// Exposed mainly so the differential tests can drive the batch path at
+    /// adversarial sizes.
+    pub fn with_scan_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.scan_batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// Sets the pool watermark (see [`ExecContext::over_value_cap`]).
+    pub fn with_value_cap(mut self, cap: usize) -> Self {
+        self.value_cap = Some(cap);
+        self
+    }
+
+    /// Rows per batch this context pulls from sources.
+    pub fn scan_batch_rows(&self) -> usize {
+        self.scan_batch_rows
+    }
+
+    /// The configured pool watermark, if any.
+    pub fn value_cap(&self) -> Option<usize> {
+        self.value_cap
+    }
+
+    /// Whether the shared pool has grown past the configured watermark.
+    /// Interned values can never be dropped in place (executions in flight
+    /// hold their ids), so a long-lived owner reacts by *replacing* the
+    /// context with a fresh one — in-flight queries keep the old context
+    /// alive through their `Arc` until they finish.
+    pub fn over_value_cap(&self) -> bool {
+        self.value_cap.is_some_and(|cap| self.pool.len() > cap)
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn pooled_values(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Rough resident-size estimate of the context in bytes: the value
+    /// pool, the cached interned scans and the cached join build sides. An
+    /// accounting aid for watermark policies, not an allocator measurement.
+    pub fn memory_estimate(&self) -> usize {
+        let scans: usize = self
+            .scans
+            .lock()
+            .expect("scan cache poisoned")
+            .values()
+            .map(|stamped| match stamped.value.get() {
+                Some(Ok(batch)) => batch.approx_bytes(),
+                _ => 0,
+            })
+            .sum();
+        let builds: usize = self
+            .builds
+            .lock()
+            .expect("build cache poisoned")
+            .values()
+            .map(|stamped| stamped.value.approx_bytes())
+            .sum();
+        self.pool.approx_bytes() + scans + builds
     }
 
     /// The id `Value::Null` interns to (join keys equal to it never match).
@@ -1044,18 +1255,40 @@ impl ExecContext {
     }
 
     /// The interned rows of a scan, computed once per distinct
-    /// `(source, columns, filters)` and shared by every plan run against
-    /// the context — across queries, until the entry is evicted.
+    /// `(source, columns, filters, data version)` and shared by every plan
+    /// run against the context — across queries, until the entry is evicted
+    /// or the source's [`PlanSource::data_version`] moves on.
+    ///
+    /// The computation streams: source batches are pulled through
+    /// [`PlanSource::scan_batches`] and interned one at a time, so the
+    /// value-space high-water mark is a single batch regardless of the
+    /// scan's size.
     fn scan(
         &self,
         source: &dyn PlanSource,
         name: &str,
         request: &ScanRequest,
     ) -> Result<Arc<Batch>, PlanError> {
+        self.scan_versioned(source, name, request).map(|(b, _)| b)
+    }
+
+    /// [`ExecContext::scan`] plus the data version the result was keyed
+    /// under — consumers deriving further cached state from the batch (the
+    /// hash-join build cache) must stamp it with *this* version, not a
+    /// re-read one, or a mutation landing between the scan and the
+    /// derivation would cache old-batch state under the new version.
+    fn scan_versioned(
+        &self,
+        source: &dyn PlanSource,
+        name: &str,
+        request: &ScanRequest,
+    ) -> Result<(Arc<Batch>, u64), PlanError> {
+        let data_version = source.data_version(name);
         let key = ScanKey {
             source: name.to_owned(),
             columns: request.columns.clone(),
             filters: request.filters.clone(),
+            data_version,
         };
         let cell = {
             let mut scans = self.scans.lock().expect("scan cache poisoned");
@@ -1069,17 +1302,42 @@ impl ExecContext {
             entry.value.clone()
         };
         cell.get_or_init(|| -> Result<Arc<Batch>, PlanError> {
-            let relation = source.scan(name, request)?;
-            if relation.schema().len() != request.output().len() {
-                return Err(PlanError::ScanShape {
-                    source: name.to_owned(),
-                    expected: request.output().to_string(),
-                    found: relation.schema().to_string(),
-                });
+            let arity = request.output().len();
+            let mut interned = Batch::new(arity);
+            for batch in source.scan_batches(name, request, self.scan_batch_rows)? {
+                for row in &batch? {
+                    if row.len() != arity {
+                        return Err(PlanError::ScanShape {
+                            source: name.to_owned(),
+                            expected: request.output().to_string(),
+                            found: format!("a row of arity {}", row.len()),
+                        });
+                    }
+                    interned.push(row.iter().map(|v| self.pool.intern(v)));
+                }
             }
-            Ok(Arc::new(self.intern_relation(&relation)))
+            Ok(Arc::new(interned))
         })
         .clone()
+        .map(|batch| (batch, data_version))
+    }
+
+    /// Whether a scan's cache cell is already resolved for the source's
+    /// current data version — the prefetcher skips spawning threads for
+    /// warm scans (a repeated query on a persistent context would otherwise
+    /// pay thread spawns just to find every cell filled).
+    fn scan_resolved(&self, source: &dyn PlanSource, name: &str, request: &ScanRequest) -> bool {
+        let key = ScanKey {
+            source: name.to_owned(),
+            columns: request.columns.clone(),
+            filters: request.filters.clone(),
+            data_version: source.data_version(name),
+        };
+        self.scans
+            .lock()
+            .expect("scan cache poisoned")
+            .get(&key)
+            .is_some_and(|stamped| stamped.value.get().is_some())
     }
 
     /// A hash-join build index over `table[key]`, cached when the build side
@@ -1374,23 +1632,26 @@ impl OpNode {
     }
 
     /// Drains the subtree into one table. Scan leaves hand back the shared
-    /// interned table without copying.
+    /// interned table without copying, together with the data version their
+    /// cache entry was keyed under (`None` for interior nodes) — derived
+    /// caches must be stamped with exactly that version.
     fn materialize(
         &mut self,
         ctx: &ExecContext,
         plan_source: &dyn PlanSource,
-    ) -> Result<Arc<Batch>, PlanError> {
+    ) -> Result<(Arc<Batch>, Option<u64>), PlanError> {
         if let OpNode::Scan {
             source, request, ..
         } = self
         {
-            return ctx.scan(plan_source, source, request);
+            let (batch, version) = ctx.scan_versioned(plan_source, source, request)?;
+            return Ok((batch, Some(version)));
         }
         let mut out = Batch::new(self.arity());
         while let Some(batch) = self.next_batch(ctx, plan_source)? {
             out.append(&batch);
         }
-        Ok(Arc::new(out))
+        Ok((Arc::new(out), None))
     }
 
     fn next_batch(
@@ -1468,17 +1729,41 @@ impl OpNode {
                 state,
             } => {
                 if state.is_none() {
-                    let left_table = left.materialize(ctx, plan_source)?;
-                    let right_table = right.materialize(ctx, plan_source)?;
+                    let (left_table, left_version) = left.materialize(ctx, plan_source)?;
+                    let (right_table, right_version) = right.materialize(ctx, plan_source)?;
                     // Build on the smaller side — the same rule (and thus the
                     // same output row order) as the eager `ops::join`.
                     let build_is_left = left_table.len() <= right_table.len();
-                    let (build, probe, build_key, probe_key, build_cache) = if build_is_left {
-                        (left_table, right_table, *left_key, *right_key, left_scan)
-                    } else {
-                        (right_table, left_table, *right_key, *left_key, right_scan)
-                    };
-                    let cache_key = build_cache.clone().map(|k| (k, build_key));
+                    let (build, probe, build_key, probe_key, build_cache, build_version) =
+                        if build_is_left {
+                            (
+                                left_table,
+                                right_table,
+                                *left_key,
+                                *right_key,
+                                left_scan,
+                                left_version,
+                            )
+                        } else {
+                            (
+                                right_table,
+                                left_table,
+                                *right_key,
+                                *left_key,
+                                right_scan,
+                                right_version,
+                            )
+                        };
+                    // Scan keys are compiled with a placeholder data
+                    // version; stamp the version the build side's scan was
+                    // actually keyed under (never a re-read one — a
+                    // mutation landing between the scan and this point
+                    // would otherwise cache an old-batch index under the
+                    // new version).
+                    let cache_key = build_cache.clone().zip(build_version).map(|(mut k, v)| {
+                        k.data_version = v;
+                        (k, build_key)
+                    });
                     let index = ctx.build_index(cache_key, &build, build_key);
                     *state = Some(JoinState {
                         build,
@@ -1566,6 +1851,80 @@ pub fn execute_plan_in(
         rows.extend(ctx.decode_batch(&batch));
     }
     Ok(Relation::new(plan.schema().clone(), rows)?)
+}
+
+/// Collects the distinct scan leaves of a plan tree.
+fn collect_scans<'p>(plan: &'p PhysicalPlan, out: &mut Vec<(&'p str, &'p ScanRequest)>) {
+    match plan {
+        PhysicalPlan::Scan { source, request } => {
+            if !out
+                .iter()
+                .any(|(s, r)| *s == source.as_str() && *r == request)
+            {
+                out.push((source, request));
+            }
+        }
+        PhysicalPlan::Rename { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Filter { input, .. } => collect_scans(input, out),
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            collect_scans(left, out);
+            collect_scans(right, out);
+        }
+        PhysicalPlan::Union { inputs } => {
+            for input in inputs {
+                collect_scans(input, out);
+            }
+        }
+    }
+}
+
+/// Runs a plan like [`execute_plan_in`], but first issues every distinct
+/// scan leaf concurrently on `crossbeam` scoped prefetch threads (bounded by
+/// `max_workers`), so a plan over several sources overlaps their scans with
+/// each other — and with the join pipeline, which starts pulling on the
+/// caller's thread immediately and blocks per scan only until *that* scan's
+/// shared cache cell is filled.
+///
+/// Memory stays bounded: each in-flight prefetch streams through
+/// [`PlanSource::scan_batches`] and holds at most one value-space batch;
+/// what accumulates is the interned (4-bytes-per-cell) form in the shared
+/// scan cache, which the plan's operators would have materialized anyway.
+/// Plans with fewer than two distinct scans skip the threads entirely.
+pub fn execute_plan_prefetched(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    max_workers: usize,
+) -> Result<Relation, PlanError> {
+    let mut scans = Vec::new();
+    collect_scans(plan, &mut scans);
+    // Warm scans need no prefetch — on a persistent context a repeated
+    // query would otherwise spawn threads just to find every cell filled.
+    scans.retain(|(name, request)| !ctx.scan_resolved(source, name, request));
+    if scans.len() < 2 || max_workers < 2 {
+        return execute_plan_in(plan, ctx, source);
+    }
+    let next = AtomicU64::new(0);
+    let workers = scans.len().min(max_workers);
+    let scans = &scans;
+    let next = &next;
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move |_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some((name, request)) = scans.get(index) else {
+                    break;
+                };
+                // Warm the shared cache cell; an error is re-surfaced
+                // (deterministically, from the same cell) when the plan's
+                // own scan operator pulls it.
+                let _ = ctx.scan(source, name, request);
+            });
+        }
+        execute_plan_in(plan, ctx, source)
+    })
+    .expect("prefetch thread panicked")
 }
 
 #[cfg(test)]
@@ -1910,6 +2269,204 @@ mod tests {
         assert_eq!(scans.load(Ordering::SeqCst), 3);
         execute_plan_in(&w3_plan, &ctx, &counting).unwrap(); // was evicted → rescans
         assert_eq!(scans.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn batches_from_relation_chunks_in_order() {
+        for batch_rows in [1usize, 3, 1 << 20] {
+            let mut rows: Vec<Tuple> = Vec::new();
+            for batch in batches_from_relation(w1(), batch_rows) {
+                let batch = batch.unwrap();
+                assert!(batch.len() <= batch_rows);
+                assert!(!batch.is_empty());
+                rows.extend(batch);
+            }
+            assert_eq!(rows, w1().rows());
+        }
+    }
+
+    #[test]
+    fn adversarial_batch_sizes_change_nothing() {
+        let plan = scan_all("w1", &w1())
+            .hash_join(scan_all("w3", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap();
+        let reference = execute_plan(&plan, &source).unwrap();
+        for batch_rows in [1usize, 3, 1 << 20] {
+            let ctx = ExecContext::new().with_scan_batch_rows(batch_rows);
+            assert_eq!(ctx.scan_batch_rows(), batch_rows);
+            let out = execute_plan_in(&plan, &ctx, &source).unwrap();
+            assert_eq!(out.rows(), reference.rows());
+        }
+    }
+
+    #[test]
+    fn prefetched_execution_matches_plain_and_scans_once() {
+        let scans = AtomicUsize::new(0);
+        let counting = |name: &str, request: &ScanRequest| {
+            scans.fetch_add(1, Ordering::SeqCst);
+            source(name, request)
+        };
+        let plan = scan_all("w1", &w1())
+            .hash_join(scan_all("w3", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap();
+        let reference = execute_plan(&plan, &source).unwrap();
+        let ctx = ExecContext::new();
+        let out = execute_plan_prefetched(&plan, &ctx, &counting, 8).unwrap();
+        assert_eq!(out.rows(), reference.rows());
+        // Prefetch threads and the pulling pipeline share the cache cells:
+        // each distinct scan ran exactly once.
+        assert_eq!(scans.load(Ordering::SeqCst), 2);
+        // Errors surface through the shared cell, prefetched or not.
+        let bad = scan_all("w1", &w1())
+            .hash_join(scan_all("zz", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap();
+        assert!(execute_plan_prefetched(&bad, &ExecContext::new(), &source, 8).is_err());
+    }
+
+    /// A mutable source whose `data_version` moves with its rows — the
+    /// contract that makes persistent contexts safe to reuse.
+    struct Versioned {
+        rows: std::sync::Mutex<Relation>,
+        version: AtomicU64,
+        scans: AtomicUsize,
+    }
+
+    impl PlanSource for Versioned {
+        fn scan(&self, _: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+            self.scans.fetch_add(1, Ordering::SeqCst);
+            request.apply(&self.rows.lock().unwrap())
+        }
+
+        fn data_version(&self, _: &str) -> u64 {
+            self.version.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn scan_cache_keys_on_data_version() {
+        let source = Versioned {
+            rows: std::sync::Mutex::new(w1()),
+            version: AtomicU64::new(0),
+            scans: AtomicUsize::new(0),
+        };
+        let ctx = ExecContext::new();
+        let plan = scan_all("w1", &w1());
+        assert_eq!(execute_plan_in(&plan, &ctx, &source).unwrap().len(), 3);
+        assert_eq!(execute_plan_in(&plan, &ctx, &source).unwrap().len(), 3);
+        assert_eq!(source.scans.load(Ordering::SeqCst), 1); // cached
+
+        // Mutate the data and bump the version: the same context must
+        // re-scan instead of serving the stale snapshot.
+        let mut bigger = w1();
+        bigger
+            .push(vec![Value::Int(99), Value::Float(0.5)])
+            .unwrap();
+        *source.rows.lock().unwrap() = bigger;
+        source.version.fetch_add(1, Ordering::SeqCst);
+        let fresh = execute_plan_in(&plan, &ctx, &source).unwrap();
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(source.scans.load(Ordering::SeqCst), 2);
+    }
+
+    /// A source whose data version advances *between* a query's build-side
+    /// scan and any later version read in that query (the adversarial
+    /// interleaving a concurrent `push` produces under short lock holds —
+    /// the scan reads rows+version before the push, anything after the
+    /// push sees the bumped counter): the cached build index must be keyed
+    /// by the version the scan was keyed under, never by a re-read of the
+    /// live counter — or the next query at the new version would join
+    /// through an index built over the old batch.
+    #[test]
+    fn build_cache_is_stamped_with_the_scanned_version() {
+        let one_row = || {
+            Relation::new(
+                Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).unwrap(),
+                vec![vec![Value::Int(12), Value::Float(0.75)]],
+            )
+            .unwrap()
+        };
+
+        struct Racy {
+            rows: std::sync::Mutex<Relation>,
+            version: AtomicU64,
+            reads: AtomicUsize,
+        }
+
+        impl PlanSource for Racy {
+            fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+                match name {
+                    "wr" => request.apply(&self.rows.lock().unwrap()),
+                    "w3" => request.apply(&w3()),
+                    other => Err(RelationError::Source(format!("unknown source {other}"))),
+                }
+            }
+
+            fn data_version(&self, name: &str) -> u64 {
+                if name == "wr" {
+                    // The concurrent push lands right after the first read
+                    // (the scan's): the second read — whatever re-reads the
+                    // counter later in the same query — already sees v1.
+                    if self.reads.fetch_add(1, Ordering::SeqCst) == 1 {
+                        self.version.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                self.version.load(Ordering::SeqCst)
+            }
+        }
+
+        let source = Racy {
+            rows: std::sync::Mutex::new(one_row()),
+            version: AtomicU64::new(0),
+            reads: AtomicUsize::new(0),
+        };
+        let ctx = ExecContext::new();
+        // wr (1 row) is smaller than w3 (2 rows): wr is the build side, so
+        // its cached JoinIndex is what the stamping protects.
+        let plan = scan_all("wr", &one_row())
+            .hash_join(scan_all("w3", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap();
+        let first = execute_plan_in(&plan, &ctx, &source).unwrap();
+        assert_eq!(first.len(), 1); // monitor 12 matches one w3 row
+
+        // The push's rows become visible (its version bump was already
+        // observed mid-query above): monitor 18 now also joins.
+        let mut pushed = one_row();
+        pushed
+            .push(vec![Value::Int(18), Value::Float(0.4)])
+            .unwrap();
+        *source.rows.lock().unwrap() = pushed.clone();
+        let second = execute_plan_in(&plan, &ctx, &source).unwrap();
+        let eager = ops::join(&pushed, &w3(), "VoDmonitorId", "MonitorId").unwrap();
+        assert_eq!(second.rows(), eager.rows(), "stale build index served");
+        assert_eq!(second.len(), 2);
+    }
+
+    #[test]
+    fn empty_misshapen_scan_still_errors() {
+        // A source answering with an empty relation of the WRONG arity is a
+        // misconfiguration, and must error even though no row exists to
+        // fail the per-row check.
+        let misshapen = |_: &str, _: &ScanRequest| {
+            Relation::new(Schema::from_parts::<&str>(&[], &["only"]).unwrap(), vec![])
+        };
+        let plan = scan_all("w1", &w1()); // requests w1's 2-column shape
+        let err = execute_plan(&plan, &misshapen);
+        assert!(err.is_err(), "empty wrong-shape scan was silently accepted");
+    }
+
+    #[test]
+    fn value_cap_watermark_reports_overflow() {
+        let ctx = ExecContext::new().with_value_cap(4);
+        assert_eq!(ctx.value_cap(), Some(4));
+        assert!(!ctx.over_value_cap());
+        for i in 0..8 {
+            ctx.intern_value(&Value::Int(i));
+        }
+        assert!(ctx.over_value_cap());
+        assert!(ctx.pooled_values() >= 8);
+        assert!(ctx.memory_estimate() > 0);
+        // Uncapped contexts never report overflow.
+        assert!(!ExecContext::new().over_value_cap());
     }
 
     /// A plan source that claims nothing — used to pin the full-residue path.

@@ -63,6 +63,12 @@ impl Relation {
         &self.rows
     }
 
+    /// Consumes the relation, yielding its rows (used by the batch-scan
+    /// adapters, which re-chunk an eagerly scanned relation without cloning).
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
     pub fn len(&self) -> usize {
         self.rows.len()
     }

@@ -4,10 +4,10 @@
 //! collection and flattens the resulting JSON objects into the flat 1NF
 //! relation the ontology layer expects.
 
-use crate::wrapper::{Wrapper, WrapperError};
+use crate::wrapper::{RowBatches, Wrapper, WrapperError};
 use bdi_docstore::{DocPredicate, DocStore, Pipeline, Projection};
-use bdi_relational::plan::{Bound, ColumnFilter, Predicate, ScanRequest};
-use bdi_relational::{Relation, RelationError, Schema, Value};
+use bdi_relational::plan::{batches_from_relation, Bound, ColumnFilter, Predicate, ScanRequest};
+use bdi_relational::{Relation, RelationError, Schema, Tuple, Value};
 
 /// Converts a relational [`Value`] to its JSON image, or `None` when JSON
 /// cannot represent it faithfully (NaN and infinite floats — JSON numbers
@@ -109,6 +109,84 @@ impl JsonWrapper {
         &self.pipeline
     }
 
+    /// The narrowed pipeline for a request: the fetch list (requested
+    /// columns plus ride-along filter columns), the residual predicates
+    /// (indexed into the fetch list) and the wrapper pipeline with the
+    /// trailing `$project` / `$match` stages appended. `None` when a dotted
+    /// column forces the wholesale reference path (see
+    /// [`JsonWrapper::scan_request`]).
+    #[allow(clippy::type_complexity)]
+    fn narrowed_pipeline(
+        &self,
+        request: &ScanRequest,
+    ) -> Result<Option<(Vec<String>, Vec<(usize, Predicate)>, Pipeline)>, WrapperError> {
+        if request.columns().iter().any(|c| !match_addressable(c))
+            || request
+                .filters()
+                .iter()
+                .any(|f| !match_addressable(&f.column))
+        {
+            return Ok(None);
+        }
+        for column in request.columns() {
+            self.schema.require(column).map_err(RelationError::Schema)?;
+        }
+        // Filter columns ride along when not among the requested columns,
+        // and are dropped from the output rows afterwards.
+        let mut fetch: Vec<String> = request.columns().to_vec();
+        // (ride-along index, residual predicate) pairs evaluated post-
+        // conversion; translatable predicates go into the `$match` stage.
+        let mut residual: Vec<(usize, Predicate)> = Vec::new();
+        let mut matched: Vec<(&str, DocPredicate)> = Vec::new();
+        for f in request.filters() {
+            self.schema
+                .require(&f.column)
+                .map_err(RelationError::Schema)?;
+            let idx = match fetch.iter().position(|c| *c == f.column) {
+                Some(idx) => idx,
+                None => {
+                    fetch.push(f.column.clone());
+                    fetch.len() - 1
+                }
+            };
+            match to_doc_predicate(&f.predicate) {
+                Some(doc_predicate) => matched.push((&f.column, doc_predicate)),
+                None => residual.push((idx, f.predicate.clone())),
+            }
+        }
+        let mut pipeline = self.pipeline.clone().project(
+            fetch
+                .iter()
+                .map(|c| Projection::field(c.clone(), c.clone()))
+                .collect(),
+        );
+        for (column, doc_predicate) in matched {
+            pipeline = pipeline.match_pred(column, doc_predicate);
+        }
+        Ok(Some((fetch, residual, pipeline)))
+    }
+
+    /// Converts one pipeline output document into a row of the request's
+    /// arity, or `None` when a residual predicate rejects it.
+    fn convert_row(
+        &self,
+        fetch: &[String],
+        arity: usize,
+        residual: &[(usize, Predicate)],
+        doc: &serde_json::Value,
+    ) -> Result<Option<Tuple>, WrapperError> {
+        let mut row = Vec::with_capacity(fetch.len());
+        for column in fetch {
+            let json_value = doc.get(column).unwrap_or(&serde_json::Value::Null);
+            row.push(self.convert(column, json_value)?);
+        }
+        if !residual.iter().all(|(idx, p)| p.matches(&row[*idx])) {
+            return Ok(None);
+        }
+        row.truncate(arity);
+        Ok(Some(row))
+    }
+
     /// Converts a JSON scalar into a relational [`Value`].
     fn convert(&self, attribute: &str, v: &serde_json::Value) -> Result<Value, WrapperError> {
         Ok(match v {
@@ -193,47 +271,9 @@ impl Wrapper for JsonWrapper {
         // holds column names as literal keys — a dotted column name cannot
         // be re-addressed through the pipeline, so such requests take the
         // reference path wholesale.
-        if request.columns().iter().any(|c| !match_addressable(c))
-            || request
-                .filters()
-                .iter()
-                .any(|f| !match_addressable(&f.column))
-        {
+        let Some((fetch, residual, pipeline)) = self.narrowed_pipeline(request)? else {
             return Ok(request.apply(&self.scan()?)?);
-        }
-        // Filter columns ride along when not among the requested columns,
-        // and are dropped from the output rows afterwards.
-        let mut fetch: Vec<&str> = request.columns().iter().map(String::as_str).collect();
-        for column in request.columns() {
-            self.schema.require(column).map_err(RelationError::Schema)?;
-        }
-        // (ride-along index, residual predicate) pairs evaluated post-
-        // conversion; translatable predicates go into the `$match` stage.
-        let mut residual: Vec<(usize, &Predicate)> = Vec::new();
-        let mut matched: Vec<(&str, DocPredicate)> = Vec::new();
-        for f in request.filters() {
-            self.schema
-                .require(&f.column)
-                .map_err(RelationError::Schema)?;
-            let idx = match fetch.iter().position(|c| *c == f.column) {
-                Some(idx) => idx,
-                None => {
-                    fetch.push(&f.column);
-                    fetch.len() - 1
-                }
-            };
-            match to_doc_predicate(&f.predicate).filter(|_| match_addressable(&f.column)) {
-                Some(doc_predicate) => matched.push((&f.column, doc_predicate)),
-                None => residual.push((idx, &f.predicate)),
-            }
-        }
-        let mut pipeline = self
-            .pipeline
-            .clone()
-            .project(fetch.iter().map(|c| Projection::field(*c, *c)).collect());
-        for (column, doc_predicate) in matched {
-            pipeline = pipeline.match_pred(column, doc_predicate);
-        }
+        };
         let docs = self
             .store
             .aggregate(&self.collection, &pipeline)
@@ -241,18 +281,102 @@ impl Wrapper for JsonWrapper {
         let arity = request.columns().len();
         let mut rel = Relation::empty(request.output().clone());
         for doc in docs {
-            let mut row = Vec::with_capacity(fetch.len());
-            for column in &fetch {
-                let json_value = doc.get(column).unwrap_or(&serde_json::Value::Null);
-                row.push(self.convert(column, json_value)?);
+            if let Some(row) = self.convert_row(&fetch, arity, &residual, &doc)? {
+                rel.push(row)?;
             }
-            if !residual.iter().all(|(idx, p)| p.matches(&row[*idx])) {
-                continue;
-            }
-            row.truncate(arity);
-            rel.push(row)?;
         }
         Ok(rel)
+    }
+
+    /// Native streaming pushdown: pulls `batch_rows`-document chunks from
+    /// the backing collection (one short read-lock hold each, via
+    /// [`DocStore::docs_chunk`]) and feeds them through a batch-aware
+    /// pipeline cursor ([`Pipeline::start`]) whose `$limit` budgets span
+    /// chunks — so neither the store's full document set nor the full
+    /// result relation is ever materialized in one piece. A
+    /// `$limit`-exhausted cursor stops pulling chunks early.
+    ///
+    /// Unlike the eager [`Wrapper::scan_request`] (one lock across the
+    /// whole aggregate), this is a *cursor*, not a point snapshot: it is
+    /// bounded to the documents present when it started and shrink-safe
+    /// (a concurrent [`DocStore::clear`] ends it early), but a clear
+    /// followed by re-inserts mid-scan can surface a mix of the two
+    /// generations within one result — the same consistency any paging
+    /// source gives. Every mutation bumps [`Wrapper::data_version`], so
+    /// cached results of such a scan are invalidated either way; consumers
+    /// needing single-lock snapshot semantics use the eager entry point.
+    fn scan_request_batches<'a>(
+        &'a self,
+        request: &ScanRequest,
+        batch_rows: usize,
+    ) -> Result<RowBatches<'a>, WrapperError> {
+        let Some((fetch, residual, pipeline)) = self.narrowed_pipeline(request)? else {
+            // Dotted columns cannot be re-addressed through the narrowing
+            // pipeline: chunk the wholesale reference result instead.
+            let relation = self.scan_request(request)?;
+            return Ok(Box::new(
+                batches_from_relation(relation, batch_rows).map(|r| r.map_err(WrapperError::from)),
+            ));
+        };
+        let total = self
+            .store
+            .collection_len(&self.collection)
+            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+        let arity = request.columns().len();
+        let batch_rows = batch_rows.max(1);
+        let mut run = pipeline.start();
+        let mut cursor = 0usize;
+        let mut failed = false;
+        Ok(Box::new(std::iter::from_fn(move || {
+            loop {
+                if failed || cursor >= total || run.exhausted() {
+                    return None;
+                }
+                let docs = match self.store.docs_chunk(&self.collection, cursor, batch_rows) {
+                    Ok(docs) => docs,
+                    Err(e) => {
+                        failed = true;
+                        return Some(Err(WrapperError::SourceQuery(
+                            self.name.clone(),
+                            e.to_string(),
+                        )));
+                    }
+                };
+                if docs.is_empty() {
+                    return None; // the collection shrank mid-scan
+                }
+                cursor += docs.len();
+                let outs = match run.push_batch(docs) {
+                    Ok(outs) => outs,
+                    Err(e) => {
+                        failed = true;
+                        return Some(Err(WrapperError::SourceQuery(
+                            self.name.clone(),
+                            e.to_string(),
+                        )));
+                    }
+                };
+                let mut rows: Vec<Tuple> = Vec::with_capacity(outs.len());
+                for doc in &outs {
+                    match self.convert_row(&fetch, arity, &residual, doc) {
+                        Ok(Some(row)) => rows.push(row),
+                        Ok(None) => {}
+                        Err(e) => {
+                            failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                if !rows.is_empty() {
+                    return Some(Ok(rows));
+                }
+            }
+        })))
+    }
+
+    /// The backing [`DocStore`]'s store-wide mutation counter.
+    fn data_version(&self) -> u64 {
+        self.store.data_version()
     }
 }
 
@@ -437,6 +561,101 @@ mod tests {
         let native = w.scan_request(&request).unwrap();
         assert_eq!(native, request.apply(&w.scan().unwrap()).unwrap());
         assert_eq!(native.len(), 3);
+    }
+
+    #[test]
+    fn native_batches_match_reference_at_every_size() {
+        let w = code2_wrapper(vod_store());
+        // Projection + claimed filter + ride-along filter column.
+        let request = ScanRequest::new(
+            vec!["lagRatio".into()],
+            Schema::from_parts::<&str>(&[], &["D1/lagRatio"]).unwrap(),
+        )
+        .unwrap()
+        .with_filter("VoDmonitorId", Value::Int(12));
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(reference.len(), 2);
+        for batch_rows in [1usize, 2, usize::MAX] {
+            let mut rows = Vec::new();
+            for batch in w.scan_request_batches(&request, batch_rows).unwrap() {
+                let batch = batch.unwrap();
+                assert!(!batch.is_empty());
+                assert!(batch.len() <= batch_rows);
+                rows.extend(batch);
+            }
+            assert_eq!(rows, reference.rows(), "batch_rows={batch_rows}");
+        }
+    }
+
+    #[test]
+    fn batched_scan_honours_limit_stages_across_chunks() {
+        // A wrapper pipeline with $limit: the budget must span pulled
+        // chunks (2 docs surface however small the batches are).
+        let store = vod_store();
+        let w = JsonWrapper::new(
+            "w1",
+            "D1",
+            Schema::from_parts(&["VoDmonitorId"], &[]).unwrap(),
+            store,
+            "vod",
+            Pipeline::new()
+                .limit(2)
+                .project(vec![Projection::field("VoDmonitorId", "monitorId")]),
+        )
+        .unwrap();
+        let request = ScanRequest::full(w.schema());
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(reference.len(), 2);
+        for batch_rows in [1usize, 3] {
+            let rows: Vec<_> = w
+                .scan_request_batches(&request, batch_rows)
+                .unwrap()
+                .flat_map(|b| b.unwrap())
+                .collect();
+            assert_eq!(rows, reference.rows());
+        }
+    }
+
+    #[test]
+    fn dotted_columns_fall_back_to_chunked_reference_path() {
+        let store = DocStore::new();
+        store
+            .insert_many("c", vec![json!({"a": {"b": 1}}), json!({"a": {"b": 2}})])
+            .unwrap();
+        let w = JsonWrapper::new(
+            "wd",
+            "D",
+            Schema::from_parts::<&str>(&[], &["a.b"]).unwrap(),
+            store,
+            "c",
+            Pipeline::new().project(vec![Projection::field("a.b", "a.b")]),
+        )
+        .unwrap();
+        let request = ScanRequest::full(w.schema());
+        let reference = w.scan_request(&request).unwrap();
+        let rows: Vec<_> = w
+            .scan_request_batches(&request, 1)
+            .unwrap()
+            .flat_map(|b| b.unwrap())
+            .collect();
+        assert_eq!(rows, reference.rows());
+    }
+
+    #[test]
+    fn store_mutations_bump_data_version() {
+        let store = vod_store();
+        let w = code2_wrapper(store.clone());
+        let v0 = w.data_version();
+        store
+            .insert(
+                "vod",
+                json!({"monitorId": 7, "waitTime": 1, "watchTime": 2}),
+            )
+            .unwrap();
+        assert!(w.data_version() > v0);
+        let v1 = w.data_version();
+        store.clear("vod");
+        assert!(w.data_version() > v1);
     }
 
     #[test]

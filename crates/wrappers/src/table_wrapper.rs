@@ -2,10 +2,11 @@
 //! benchmarks (Figure 8's disjoint-wrapper generator) and sources that are
 //! natively tabular.
 
-use crate::wrapper::{Wrapper, WrapperError};
-use bdi_relational::plan::ScanRequest;
+use crate::wrapper::{RowBatches, Wrapper, WrapperError};
+use bdi_relational::plan::{Predicate, ScanRequest};
 use bdi_relational::{Relation, Schema, Tuple};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A static (but appendable) in-memory wrapper.
 pub struct TableWrapper {
@@ -13,6 +14,9 @@ pub struct TableWrapper {
     source: String,
     schema: Schema,
     rows: RwLock<Vec<Tuple>>,
+    /// Bumped by every [`TableWrapper::push`] — the wrapper's
+    /// [`Wrapper::data_version`].
+    version: AtomicU64,
 }
 
 impl TableWrapper {
@@ -30,10 +34,11 @@ impl TableWrapper {
             source: source.into(),
             schema,
             rows: RwLock::new(rows),
+            version: AtomicU64::new(0),
         })
     }
 
-    /// Appends a row (new source data arriving).
+    /// Appends a row (new source data arriving) and bumps the data version.
     pub fn push(&self, row: Tuple) -> Result<(), WrapperError> {
         if row.len() != self.schema.len() {
             return Err(WrapperError::Relation(
@@ -44,6 +49,7 @@ impl TableWrapper {
             ));
         }
         self.rows.write().push(row);
+        self.version.fetch_add(1, Ordering::Release);
         Ok(())
     }
 }
@@ -74,6 +80,31 @@ impl Wrapper for TableWrapper {
     /// in-scan ([`bdi_relational::Predicate::matches`]), so the wrapper
     /// claims all filters (the [`crate::Wrapper::claims_filter`] default).
     fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+        // One maximal batch — a single lock hold, like the pre-streaming
+        // implementation.
+        let mut rel = Relation::empty(request.output().clone());
+        for batch in self.scan_request_batches(request, usize::MAX)? {
+            for row in batch? {
+                rel.push(row)?;
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Native streaming pushdown: each pulled batch re-acquires the read
+    /// lock, examines at most `batch_rows` rows under it — the bound is on
+    /// rows *examined*, so even a predicate matching almost nothing never
+    /// stretches one hold across the table — and clones only the projected
+    /// cells of the survivors. The lock is never held across batches, so
+    /// appends interleave with long scans instead of blocking behind them.
+    /// The scan covers the rows present when it started (appends landing
+    /// mid-scan surface on the next scan, which also carries a new
+    /// [`Wrapper::data_version`]).
+    fn scan_request_batches<'a>(
+        &'a self,
+        request: &ScanRequest,
+        batch_rows: usize,
+    ) -> Result<RowBatches<'a>, WrapperError> {
         let mut indices = Vec::with_capacity(request.columns().len());
         for column in request.columns() {
             indices.push(
@@ -82,24 +113,50 @@ impl Wrapper for TableWrapper {
                     .map_err(bdi_relational::RelationError::Schema)?,
             );
         }
-        let mut filters = Vec::with_capacity(request.filters().len());
+        let mut filters: Vec<(usize, Predicate)> = Vec::with_capacity(request.filters().len());
         for f in request.filters() {
             filters.push((
                 self.schema
                     .require(&f.column)
                     .map_err(bdi_relational::RelationError::Schema)?,
-                &f.predicate,
+                f.predicate.clone(),
             ));
         }
-        let rows = self.rows.read();
-        let mut out = Vec::with_capacity(if filters.is_empty() { rows.len() } else { 0 });
-        for row in rows.iter() {
-            if !filters.iter().all(|(idx, p)| p.matches(&row[*idx])) {
-                continue;
+        let batch_rows = batch_rows.max(1);
+        let total = self.rows.read().len();
+        let mut cursor = 0usize;
+        Ok(Box::new(std::iter::from_fn(move || {
+            while cursor < total {
+                let rows = self.rows.read();
+                // `total` can only have grown (push appends); the prefix the
+                // scan covers is immutable, so re-locking is consistent.
+                // The min is shrink-defensive anyway — and if the vec ever
+                // shrank below the cursor, end the scan rather than spin.
+                let end = total.min(rows.len());
+                if end <= cursor {
+                    return None;
+                }
+                // Examine at most `batch_rows` rows under this hold.
+                let window_end = end.min(cursor.saturating_add(batch_rows));
+                let mut out: Vec<Tuple> = Vec::new();
+                while cursor < window_end {
+                    let row = &rows[cursor];
+                    cursor += 1;
+                    if filters.iter().all(|(idx, p)| p.matches(&row[*idx])) {
+                        out.push(indices.iter().map(|&i| row[i].clone()).collect());
+                    }
+                }
+                if !out.is_empty() {
+                    return Some(Ok(out));
+                }
+                // Whole window filtered out: release the lock, keep going.
             }
-            out.push(indices.iter().map(|&i| row[i].clone()).collect());
-        }
-        Ok(Relation::new(request.output().clone(), out)?)
+            None
+        })))
+    }
+
+    fn data_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
@@ -213,5 +270,62 @@ mod tests {
         w.push(vec![Value::Int(1), Value::Null]).unwrap();
         assert!(w.push(vec![Value::Int(1)]).is_err());
         assert_eq!(w.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn push_bumps_data_version() {
+        let w = TableWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(w.data_version(), 0);
+        w.push(vec![Value::Int(1), Value::Null]).unwrap();
+        w.push(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(w.data_version(), 2);
+        // A rejected row mutates nothing and stamps nothing.
+        assert!(w.push(vec![Value::Int(3)]).is_err());
+        assert_eq!(w.data_version(), 2);
+    }
+
+    #[test]
+    fn native_batches_match_reference_at_every_size() {
+        use bdi_relational::Predicate;
+        let w = TableWrapper::new(
+            "w",
+            "D",
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+            (0..10)
+                .map(|i| vec![Value::Int(i % 4), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        let request = ScanRequest::new(
+            vec!["x".into()],
+            Schema::from_parts::<&str>(&[], &["D/x"]).unwrap(),
+        )
+        .unwrap()
+        .with_predicate("id", Predicate::between(1, 2));
+        let reference = request.apply(&w.scan().unwrap()).unwrap();
+        assert_eq!(reference.len(), 5);
+        for batch_rows in [1usize, 3, usize::MAX] {
+            let mut rows: Vec<Tuple> = Vec::new();
+            for batch in w.scan_request_batches(&request, batch_rows).unwrap() {
+                let batch = batch.unwrap();
+                assert!(!batch.is_empty());
+                assert!(batch.len() <= batch_rows);
+                rows.extend(batch);
+            }
+            assert_eq!(rows, reference.rows(), "batch_rows={batch_rows}");
+        }
+        // Unknown columns fail at iterator construction, like the eager path.
+        let bad = ScanRequest::new(
+            vec!["zz".into()],
+            Schema::from_parts::<&str>(&[], &["zz"]).unwrap(),
+        )
+        .unwrap();
+        assert!(w.scan_request_batches(&bad, 4).is_err());
     }
 }

@@ -6,8 +6,10 @@
 //! same data source represent different **schema versions** (§2); the
 //! ontology layer never talks to a source directly.
 
-use bdi_relational::plan::{ColumnFilter, PlanSource, ScanRequest};
-use bdi_relational::{Relation, RelationError, Schema, SourceResolver};
+use bdi_relational::plan::{
+    batches_from_relation, BatchIter, ColumnFilter, PlanSource, ScanRequest,
+};
+use bdi_relational::{Relation, RelationError, Schema, SourceResolver, Tuple};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -25,6 +27,12 @@ pub enum WrapperError {
     #[error("unknown wrapper: {0}")]
     UnknownWrapper(String),
 }
+
+/// A stream of row batches from a wrapper's pushdown-aware scan — the
+/// wrapper-level image of [`bdi_relational::plan::BatchIter`]. Every row
+/// already has the originating request's output arity; batches respect the
+/// consumer's `batch_rows` bound.
+pub type RowBatches<'a> = Box<dyn Iterator<Item = Result<Vec<Tuple>, WrapperError>> + Send + 'a>;
 
 /// A queryable view over one schema version of one data source.
 pub trait Wrapper: Send + Sync {
@@ -58,6 +66,51 @@ pub trait Wrapper: Send + Sync {
     /// documents.
     fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
         Ok(request.apply(&self.scan()?)?)
+    }
+
+    /// Streaming form of [`Wrapper::scan_request`]: the same rows in the
+    /// same order, yielded as batches of at most `batch_rows` rows so the
+    /// mediator's interning layer never holds the whole value-space
+    /// relation.
+    ///
+    /// The default is a one-shot adapter over [`Wrapper::scan_request`] —
+    /// existing wrapper kinds keep working unchanged. Wrappers that can
+    /// produce rows incrementally override it: [`crate::TableWrapper`]
+    /// clones only the projected cells of one batch at a time under short
+    /// read-lock holds, [`crate::JsonWrapper`] pulls document chunks from
+    /// its store and runs them through a batch-aware pipeline cursor.
+    fn scan_request_batches<'a>(
+        &'a self,
+        request: &ScanRequest,
+        batch_rows: usize,
+    ) -> Result<RowBatches<'a>, WrapperError> {
+        let relation = self.scan_request(request)?;
+        // A mis-shaped scan — wrong arity — must error even when empty
+        // (same precheck as the `PlanSource::scan_batches` default: no row
+        // exists to fail the consumer's per-row check, and the
+        // misconfiguration must not be masked).
+        if relation.schema().len() != request.output().len() {
+            return Err(WrapperError::Relation(RelationError::Arity {
+                expected: request.output().len(),
+                found: relation.schema().len(),
+            }));
+        }
+        Ok(Box::new(
+            batches_from_relation(relation, batch_rows).map(|r| r.map_err(WrapperError::from)),
+        ))
+    }
+
+    /// Monotonic counter over the wrapper's *source data*: bumped by every
+    /// mutation visible to [`Wrapper::scan`] (row appends, document
+    /// inserts). The mediator folds it into its scan-cache keys and the
+    /// system's cache validity stamp, so persistent execution contexts
+    /// (`reuse_scans`-style reuse) can never serve rows scanned before a
+    /// mutation. The default (`0`, constant) declares the
+    /// data immutable between releases — only correct for wrapper kinds
+    /// whose data genuinely cannot change outside
+    /// [`crate::spec::WrapperSpec`]-level re-registration.
+    fn data_version(&self) -> u64 {
+        0
     }
 
     /// Whether the wrapper natively honours `filter` inside
@@ -149,6 +202,37 @@ impl PlanSource for WrapperRegistry {
             .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
     }
 
+    /// Streams through the wrapper's own [`Wrapper::scan_request_batches`]
+    /// (native for table and JSON wrappers, the one-shot adapter
+    /// otherwise).
+    fn scan_batches<'a>(
+        &'a self,
+        name: &str,
+        request: &ScanRequest,
+        batch_rows: usize,
+    ) -> Result<BatchIter<'a>, RelationError> {
+        let wrapper = self
+            .wrappers
+            .get(name)
+            .ok_or_else(|| RelationError::Source(format!("unknown wrapper {name}")))?;
+        let name = name.to_owned();
+        let batches = wrapper
+            .scan_request_batches(request, batch_rows)
+            .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))?;
+        Ok(Box::new(batches.map(move |r| {
+            r.map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
+        })))
+    }
+
+    /// The wrapper's own data-generation counter (unknown wrappers report a
+    /// constant — the error surfaces at scan time either way).
+    fn data_version(&self, name: &str) -> u64 {
+        self.wrappers
+            .get(name)
+            .map(|w| w.data_version())
+            .unwrap_or(0)
+    }
+
     /// Delegates to the wrapper's own capability declaration. Unknown
     /// wrappers claim everything — the error surfaces at scan time either
     /// way.
@@ -225,6 +309,49 @@ mod tests {
         assert_eq!(reg.by_source("D1").len(), 1);
         assert_eq!(reg.by_source("D2").len(), 1);
         assert_eq!(reg.by_source("D3").len(), 0);
+    }
+
+    /// A wrapper whose `scan_request` override answers with an empty
+    /// relation of the wrong arity (a misconfiguration): the default batch
+    /// adapter must reject it even though no row exists to fail the
+    /// consumer's per-row check.
+    #[test]
+    fn misshapen_empty_scan_errors_through_the_batch_adapter() {
+        struct Misshapen(Schema);
+
+        impl Wrapper for Misshapen {
+            fn name(&self) -> &str {
+                "bad"
+            }
+
+            fn source(&self) -> &str {
+                "D"
+            }
+
+            fn schema(&self) -> &Schema {
+                &self.0
+            }
+
+            fn scan(&self) -> Result<Relation, WrapperError> {
+                self.scan_request(&ScanRequest::full(&self.0))
+            }
+
+            fn scan_request(&self, _request: &ScanRequest) -> Result<Relation, WrapperError> {
+                // Always one column, whatever was asked for.
+                Ok(Relation::empty(
+                    Schema::from_parts::<&str>(&[], &["only"]).unwrap(),
+                ))
+            }
+        }
+
+        let wrapper = Misshapen(Schema::from_parts(&["id"], &["x"]).unwrap());
+        let request = ScanRequest::full(wrapper.schema()); // two columns
+        assert!(wrapper.scan_request_batches(&request, 64).is_err());
+        let mut reg = WrapperRegistry::new();
+        reg.register(Arc::new(Misshapen(
+            Schema::from_parts(&["id"], &["x"]).unwrap(),
+        )));
+        assert!(reg.scan_batches("bad", &request, 64).is_err());
     }
 
     #[test]

@@ -391,6 +391,39 @@ proptest! {
                 }
             }
         }
+
+        // The streaming batch-scan path at adversarial batch sizes —
+        // one-row batches, tiny batches, one giant batch — executed with
+        // the scan prefetcher on (parallel), pinned to the same eager
+        // reference. Batch size is an ExecContext knob, so this goes
+        // through compile/execute with an explicit context.
+        let all_scope_reference = system
+            .answer_with(synthetic::chain_query(concepts), &VersionScope::All, &eager())
+            .unwrap();
+        let compiled = exec::compile_query(
+            system.ontology(),
+            system.registry(),
+            system.rewrite(synthetic::chain_query(concepts)).unwrap(),
+            &streaming(true, true),
+        )
+        .unwrap();
+        for batch_rows in [1usize, 3, 1 << 20] {
+            let ctx = bdi::relational::ExecContext::new().with_scan_batch_rows(batch_rows);
+            let streamed = exec::execute_compiled(
+                system.ontology(),
+                system.registry(),
+                &compiled,
+                Some(&ctx),
+            )
+            .unwrap();
+            prop_assert!(
+                streamed.relation.rows() == all_scope_reference.relation.rows(),
+                "batch path mismatch (batch_rows={}):\n streamed {:?}\n reference {:?}",
+                batch_rows,
+                streamed.relation.rows(),
+                all_scope_reference.relation.rows()
+            );
+        }
     }
 
     // The widened pushdown suite: random conjunctions of an ID predicate

@@ -1,0 +1,269 @@
+//! Streaming-scan era regression suite: wrapper-data mutations between
+//! releases must be visible to the (now default-on) persistent scan
+//! context, and a long-lived system's interned-value pool must stay
+//! bounded under its watermark.
+
+use bdi::core::exec::{Engine, ExecOptions, FeatureFilter};
+use bdi::core::system::{BdiSystem, VersionScope};
+use bdi::relational::Value;
+use bdi_bench::synthetic;
+
+fn rows(n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|r| vec![Value::Int(r as i64), Value::Float(r as f64 / 10.0)])
+        .collect()
+}
+
+/// A one-concept system whose single data-bearing wrapper we keep a
+/// concrete handle to (the chain builder's own wrapper is registered
+/// empty), so tests can mutate source data after registration.
+fn system_with_handle(
+    data: Vec<Vec<Value>>,
+) -> (BdiSystem, std::sync::Arc<bdi::wrappers::TableWrapper>) {
+    let mut system = synthetic::build_chain_system_with(1, 1, 0, |_, _, _| Vec::new());
+    let wrapper = synthetic::register_extra_chain_wrapper_handle(&mut system, 1, 2, data);
+    (system, wrapper)
+}
+
+/// The PR 3 `reuse_scans` staleness bug, now fixed by per-wrapper data
+/// versions: a `TableWrapper::push` between two queries of one system must
+/// surface in the second answer even though the persistent context cached
+/// the first query's interned scan. (On the pre-fix code this test fails:
+/// the mutation is invisible to the validity stamp and the scan-cache key,
+/// so the second answer silently repeats the first.)
+#[test]
+fn wrapper_push_between_queries_is_never_served_stale() {
+    let (system, wrapper) = system_with_handle(rows(3));
+    let options = ExecOptions {
+        reuse_scans: true,
+        ..ExecOptions::default()
+    };
+    let before = system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(before.relation.len(), 3);
+
+    // New source data arrives *without* a release.
+    wrapper
+        .push(vec![Value::Int(77), Value::Float(7.7)])
+        .unwrap();
+
+    let after = system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(after.relation.len(), 4, "stale scan served after push");
+    assert!(after
+        .relation
+        .rows()
+        .iter()
+        .any(|row| row == &vec![Value::Float(7.7)]));
+
+    // The same holds on the eager engine (shared reference semantics) and
+    // across further pushes.
+    wrapper
+        .push(vec![Value::Int(78), Value::Float(7.8)])
+        .unwrap();
+    for engine in [Engine::Streaming, Engine::Eager] {
+        let answer = system
+            .answer_with(
+                synthetic::chain_query(1),
+                &VersionScope::All,
+                &ExecOptions {
+                    engine,
+                    ..options.clone()
+                },
+            )
+            .unwrap();
+        assert_eq!(answer.relation.len(), 5, "engine {engine:?}");
+    }
+}
+
+/// The validity stamp is two-tier: a wrapper-data mutation retires the
+/// persistent scan context (fresh rows, as above) but must NOT flush the
+/// compiled-plan cache — plans are data-independent, and append-heavy
+/// workloads keep their plan-cache hits.
+#[test]
+fn data_mutations_keep_compiled_plans_while_retiring_scans() {
+    let (system, wrapper) = system_with_handle(rows(3));
+    let options = ExecOptions::default();
+    system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    let baseline = system.plan_cache_stats();
+
+    wrapper
+        .push(vec![Value::Int(90), Value::Float(9.0)])
+        .unwrap();
+    let after = system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(after.relation.len(), 4); // fresh data…
+    let stats = system.plan_cache_stats();
+    assert_eq!(stats.misses, baseline.misses); // …without a recompile
+    assert_eq!(stats.hits, baseline.hits + 1);
+    assert_eq!(stats.entries, baseline.entries);
+}
+
+/// A one-concept system over a [`bdi::docstore::DocStore`]-backed
+/// `JsonWrapper`, plus the OMQ projecting its data feature — shared by the
+/// docstore staleness and pool-bound tests.
+fn json_system() -> (BdiSystem, bdi::docstore::DocStore, bdi::core::omq::Omq) {
+    use bdi::core::release::Release;
+    use bdi::core::vocab as core_vocab;
+    use bdi::docstore::{DocStore, Pipeline, Projection};
+    use bdi::rdf::model::{Iri, Triple};
+    use bdi::relational::Schema;
+    use bdi::wrappers::JsonWrapper;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let ns = "http://example.org/stream/";
+    let concept = Iri::new(format!("{ns}C"));
+    let feature = Iri::new(format!("{ns}val"));
+    let id_feature = Iri::new(format!("{ns}id"));
+
+    let mut system = BdiSystem::new();
+    {
+        let ontology = system.ontology();
+        ontology.add_concept(&concept);
+        ontology.add_id_feature(&id_feature);
+        ontology.attach_feature(&concept, &id_feature).unwrap();
+        ontology.add_feature(&feature);
+        ontology.attach_feature(&concept, &feature).unwrap();
+    }
+
+    let store = DocStore::new();
+    store
+        .insert_many(
+            "c",
+            vec![
+                serde_json::json!({"id": 1, "val": 10}),
+                serde_json::json!({"id": 2, "val": 20}),
+            ],
+        )
+        .unwrap();
+    let wrapper = Arc::new(
+        JsonWrapper::new(
+            "wj",
+            "DJ",
+            Schema::from_parts(&["id"], &["val"]).unwrap(),
+            store.clone(),
+            "c",
+            Pipeline::new().project(vec![
+                Projection::field("id", "id"),
+                Projection::field("val", "val"),
+            ]),
+        )
+        .unwrap(),
+    );
+    let has_feature = |f: &Iri| {
+        Triple::new(
+            concept.clone(),
+            (*core_vocab::g::HAS_FEATURE).clone(),
+            f.clone(),
+        )
+    };
+    let lav = vec![has_feature(&id_feature), has_feature(&feature)];
+    let mappings = BTreeMap::from([
+        ("id".to_owned(), id_feature.clone()),
+        ("val".to_owned(), feature.clone()),
+    ]);
+    system
+        .register_release(Release::new(wrapper, lav, mappings))
+        .unwrap();
+
+    let omq = bdi::core::omq::Omq::new(vec![feature.clone()], vec![has_feature(&feature)]);
+    (system, store, omq)
+}
+
+/// Document-store inserts behind a `JsonWrapper` carry the same guarantee:
+/// the wrapper's `data_version` tracks the store, so default-option
+/// (scan-reusing) queries see every insert.
+#[test]
+fn docstore_insert_between_queries_is_never_served_stale() {
+    let (system, store, omq) = json_system();
+    let options = ExecOptions::default(); // reuse_scans is the default now
+    let before = system
+        .answer_with(omq.clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(before.relation.len(), 2);
+
+    store
+        .insert("c", serde_json::json!({"id": 3, "val": 30}))
+        .unwrap();
+    let after = system
+        .answer_with(omq, &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(after.relation.len(), 3, "stale scan served after insert");
+}
+
+/// The unbounded-`ValuePool` fix: over *static* data (mutations already
+/// retire the context through the validity stamp), a long stream of
+/// queries can still grow the shared pool without bound — each residual
+/// (source-declined) filter interns its constants; here, NaN-bearing
+/// IN-sets with a fresh member per query, which `JsonWrapper` never claims
+/// (NaN has no JSON image). The watermark recycles the persistent context,
+/// keeping the pool and the memory estimate bounded across 1k queries.
+#[test]
+fn capped_context_pool_stays_bounded_across_1k_queries() {
+    use bdi::relational::Predicate;
+
+    /// Answers the query under a fresh never-claimed filter constant,
+    /// returning the post-query pool size.
+    fn round(system: &BdiSystem, omq: &bdi::core::omq::Omq, r: usize) -> usize {
+        let filter = FeatureFilter::new(
+            omq.pi[0].clone(),
+            Predicate::in_set([Value::Float(f64::NAN), Value::Float(r as f64 + 0.5)]),
+        );
+        let answer = system
+            .answer_with(
+                omq.clone(),
+                &VersionScope::All,
+                &ExecOptions {
+                    filters: vec![filter],
+                    // A distinct filter is a distinct plan-cache key; plan
+                    // caching is orthogonal to what this test pins.
+                    cache_plans: false,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(answer.relation.is_empty()); // fractional/NaN never match
+        system.context_stats().pooled_values
+    }
+
+    let cap = 64usize;
+    let (system, _store, omq) = json_system();
+    system.set_context_value_cap(cap);
+    let mut peak_values = 0usize;
+    let mut peak_bytes = 0usize;
+    for r in 0..1000 {
+        peak_values = peak_values.max(round(&system, &omq, r));
+        peak_bytes = peak_bytes.max(system.context_stats().approx_bytes);
+    }
+    // The pool may overshoot the watermark by one query's worth of interned
+    // values (recycling happens after the query), never by the ~1000 an
+    // uncapped run accumulates.
+    let one_query_slack = 64;
+    assert!(
+        peak_values <= cap + one_query_slack,
+        "pool grew unbounded: peak {peak_values} values (cap {cap})"
+    );
+    assert!(
+        peak_bytes < 1 << 20,
+        "estimate grew unbounded: {peak_bytes}"
+    );
+
+    // Control: with the watermark effectively off, the same workload grows
+    // the pool past every bound above — the cap is what held it.
+    let (uncapped, _store, omq) = json_system();
+    uncapped.set_context_value_cap(usize::MAX);
+    let mut last = 0;
+    for r in 0..1000 {
+        last = round(&uncapped, &omq, r);
+    }
+    assert!(
+        last > cap + one_query_slack,
+        "control failed to grow: {last}"
+    );
+}
