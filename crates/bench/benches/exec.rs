@@ -15,6 +15,12 @@
 //! * **Prefetch workload** — ONE walk joining 4 wrappers (the common
 //!   analyst query): eager vs serial streaming vs streaming with the
 //!   walk's scans prefetched concurrently through the batch-scan contract.
+//! * **Semi-join workload** — a selective join (100-key build × 100k-row
+//!   probe): semi-join sideways passing on vs off, i.e. whether the build
+//!   keys reach the probe wrapper as an IN-set before its scan is issued.
+//! * **Cursor workload** — a scan of a source 10× the context's value-cap
+//!   watermark: cached (`ScanCache::Always`) vs cursor-only (`Never`),
+//!   comparing both time and the batch-granular resident peak.
 //!
 //! Run with `cargo bench -p bdi_bench --bench exec`. Results are printed and
 //! written to `BENCH_exec.json` at the workspace root so future PRs can
@@ -24,8 +30,11 @@ use bdi_bench::synthetic;
 use bdi_bench::{measure, Measurement};
 use bdi_core::exec::{Engine, ExecOptions, FeatureFilter};
 use bdi_core::system::{BdiSystem, VersionScope};
-use bdi_relational::Value;
+use bdi_relational::plan::{execute_plan_in_with, ExecPolicy, ScanCache};
+use bdi_relational::{ExecContext, PhysicalPlan, ScanRequest, Schema, Value};
+use bdi_wrappers::{TableWrapper, WrapperRegistry};
 use std::io::Write;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Workloads
@@ -224,6 +233,126 @@ fn main() {
     let prefetch_speedup = prefetch_eager_ns / prefetch_ns;
     let prefetch_vs_serial = prefetch_serial_ns / prefetch_ns;
 
+    // ---- Semi-join workload: selective join — a 100-key build side whose
+    // distinct keys reduce a 100k-row probe scan to the ~100 rows that
+    // actually join. On vs off isolates sideways information passing; the
+    // probe wrapper (TableWrapper) claims the IN-set and evaluates it
+    // in-scan by binary search.
+    let build_rows = bdi_bench::scaled(100, 10);
+    let probe_rows = bdi_bench::scaled(100_000, 500);
+    let stride = (probe_rows / build_rows).max(1);
+    let semijoin_system = synthetic::build_chain_system_with(2, 1, 0, |i, _, _| {
+        if i == 1 {
+            (0..build_rows)
+                .map(|r| {
+                    vec![
+                        Value::Int(r as i64),
+                        Value::Int((r * stride) as i64),
+                        Value::Float(r as f64),
+                    ]
+                })
+                .collect()
+        } else {
+            (0..probe_rows)
+                .map(|r| vec![Value::Int(r as i64), Value::Float((r % 4096) as f64 / 16.0)])
+                .collect()
+        }
+    });
+    let semijoin_on = stream_full.clone();
+    let semijoin_off = ExecOptions {
+        semijoin_max_keys: 0,
+        ..stream_full.clone()
+    };
+    let expected = answer_len(&semijoin_system, 2, &eager);
+    assert_eq!(expected, build_rows); // each build key hits exactly one probe row
+    assert_eq!(answer_len(&semijoin_system, 2, &semijoin_on), expected);
+    assert_eq!(answer_len(&semijoin_system, 2, &semijoin_off), expected);
+    let semijoin_off_ns = measure(
+        "exec/semijoin_b100_p100k/off".to_owned(),
+        &mut records,
+        || answer_len(&semijoin_system, 2, &semijoin_off),
+    );
+    let semijoin_on_ns = measure(
+        "exec/semijoin_b100_p100k/on".to_owned(),
+        &mut records,
+        || answer_len(&semijoin_system, 2, &semijoin_on),
+    );
+    let semijoin_speedup = semijoin_off_ns / semijoin_on_ns;
+
+    // ---- Cursor workload: one scan of a source 10× the value-cap
+    // watermark, cached vs cursor-only. Identical rows; the cursor run's
+    // batch-granular resident peak must undercut the cached run's (whose
+    // peak includes the full interned table).
+    // Even the fast-mode source must span several interning batches, or the
+    // cursor's single in-flight batch IS the whole table and the peaks tie.
+    let cap = bdi_bench::scaled(50_000, 100);
+    let source_rows = cap * 10;
+    let big_schema = Schema::from_parts(&["id"], &["x"]).unwrap();
+    let mut registry = WrapperRegistry::new();
+    registry.register(Arc::new(
+        TableWrapper::new(
+            "big",
+            "DBIG",
+            big_schema.clone(),
+            (0..source_rows)
+                .map(|r| {
+                    vec![
+                        Value::Int((r % cap) as i64),
+                        Value::Int(((r * 7) % cap) as i64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap(),
+    ));
+    let big_plan = PhysicalPlan::scan("big", ScanRequest::full(&big_schema));
+    let cached_policy = ExecPolicy {
+        scan_cache: ScanCache::Always,
+        ..ExecPolicy::default()
+    };
+    let cursor_policy = ExecPolicy {
+        scan_cache: ScanCache::Never,
+        ..ExecPolicy::default()
+    };
+    let cached_ctx = ExecContext::new();
+    let cached_rows = execute_plan_in_with(&big_plan, &cached_ctx, &registry, cached_policy)
+        .expect("cached scan answers");
+    let cursor_ctx = ExecContext::new();
+    let cursor_rows = execute_plan_in_with(&big_plan, &cursor_ctx, &registry, cursor_policy)
+        .expect("cursor scan answers");
+    assert_eq!(cursor_rows.rows(), cached_rows.rows());
+    let (cached_peak, cursor_peak) = (cached_ctx.peak_bytes(), cursor_ctx.peak_bytes());
+    assert!(
+        cursor_peak < cached_peak,
+        "cursor-only peak {cursor_peak} did not undercut the cached peak {cached_peak}"
+    );
+    let cursor_peak_ratio = cached_peak as f64 / cursor_peak as f64;
+    // Auto on a capped context routes the over-cap source cursor-only.
+    let auto_ctx = ExecContext::new().with_value_cap(cap);
+    execute_plan_in_with(&big_plan, &auto_ctx, &registry, ExecPolicy::default())
+        .expect("auto scan answers");
+    assert_eq!(auto_ctx.cached_scans(), 0, "Auto cached an over-cap source");
+    let cursor_cached_ns = measure(
+        "exec/cursor_scan_10x_cap/cached".to_owned(),
+        &mut records,
+        || {
+            let ctx = ExecContext::new();
+            execute_plan_in_with(&big_plan, &ctx, &registry, cached_policy)
+                .expect("cached scan answers")
+                .len()
+        },
+    );
+    let cursor_only_ns = measure(
+        "exec/cursor_scan_10x_cap/cursor_only".to_owned(),
+        &mut records,
+        || {
+            let ctx = ExecContext::new();
+            execute_plan_in_with(&big_plan, &ctx, &registry, cursor_policy)
+                .expect("cursor scan answers")
+                .len()
+        },
+    );
+
     println!();
     println!("speedup: union 16 wrappers (eager / streaming+pushdown+parallel) = {speedup_16:.2}x");
     println!(
@@ -237,6 +366,13 @@ fn main() {
     );
     println!(
         "speedup: single walk x 4 scans (eager / streaming+prefetch)      = {prefetch_speedup:.2}x (vs serial streaming: {prefetch_vs_serial:.2}x)"
+    );
+    println!(
+        "speedup: selective join 100x100k (semi-join off / on)            = {semijoin_speedup:.2}x"
+    );
+    println!(
+        "cursor-only scan 10x value cap: peak {cursor_peak} B vs cached {cached_peak} B ({cursor_peak_ratio:.2}x smaller), {:.2}x slower",
+        cursor_only_ns / cursor_cached_ns
     );
 
     // ---- Persist machine-readable results at the workspace root — but not
@@ -259,7 +395,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}}}\n}}\n"
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}}}\n}}\n"
     ));
     let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
     f.write_all(json.as_bytes()).expect("write BENCH_exec.json");

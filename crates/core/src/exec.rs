@@ -15,7 +15,13 @@
 //!   and each [`FeatureFilter`] predicate (equality, IN-set, range) pushed
 //!   to the providing wrapper's scan when the wrapper claims it, or kept as
 //!   a mediator-side residual filter directly above that scan when it does
-//!   not. Wrapper rows arrive through the streaming batch-scan contract
+//!   not. At run time, hash joins pass information sideways: a small,
+//!   selective build-side key set is injected into the probe wrapper's
+//!   scan as an IN-set before that scan is issued
+//!   ([`ExecOptions::semijoin_max_keys`]), and scans can run cursor-only
+//!   instead of materializing in the scan cache
+//!   ([`ExecOptions::scan_cache`]). Wrapper rows arrive through the
+//!   streaming batch-scan contract
 //!   ([`bdi_relational::plan::PlanSource::scan_batches`]) — interned one
 //!   bounded batch at a time, never materialized as a whole value-space
 //!   relation. The per-walk plans execute in parallel on `crossbeam` scoped
@@ -44,7 +50,8 @@ use crate::ontology::BdiOntology;
 use crate::rewrite::{walk::prefixed_attr_name, Rewriting, Walk};
 use bdi_rdf::model::Iri;
 use bdi_relational::plan::{
-    self, ColumnFilter, ExecContext, Operator, PhysicalPlan, PlanError, Predicate, RowSet,
+    self, ColumnFilter, ExecContext, ExecPolicy, Operator, PhysicalPlan, PlanError, Predicate,
+    RowSet, ScanCache, DEFAULT_SEMIJOIN_MAX_KEYS,
 };
 use bdi_relational::{
     ops, AlgebraError, Attribute, PlanSource, Relation, RelationError, ScanRequest, Schema,
@@ -126,13 +133,31 @@ pub struct ExecOptions {
     /// Reuse the system's persistent [`ExecContext`] — interned scans and
     /// join build sides — across queries. On by default: cached scans are
     /// keyed by each wrapper's
-    /// [`data_version`](bdi_wrappers::Wrapper::data_version) (and the
-    /// system's cache validity stamp folds the data fingerprint in), so
+    /// [`data_version`](bdi_wrappers::Wrapper::data_version), so
     /// wrapper-data mutations between releases — `TableWrapper::push`,
     /// document inserts — can never be served stale. Turn it off to force a
     /// fresh context per query, e.g. for custom wrapper kinds that mutate
     /// without implementing `data_version`.
     pub reuse_scans: bool,
+    /// Semi-join sideways information passing: when a hash join's build
+    /// side finishes with at most this many distinct keys, they are
+    /// injected as an IN-set filter into the probe wrapper's scan request —
+    /// rows the join would discard are never shipped out of the source.
+    /// Wrappers that claim the IN-set ([`bdi_wrappers::Wrapper::
+    /// claims_filter`]) filter natively (`TableWrapper` in-scan,
+    /// `JsonWrapper` through its `$match` translation); for ones that do
+    /// not, the join's own hash probe is the residual semi-join, so answers
+    /// are engine-independent either way. `0` disables the pass. A
+    /// runtime-only knob: it never shapes the compiled plan, so the
+    /// system's plan cache normalizes it out of the cache key.
+    pub semijoin_max_keys: usize,
+    /// How scans materialize through the execution context (see
+    /// [`ScanCache`]): `Auto` (default) caches unless a source's size hint
+    /// exceeds the context's value-cap watermark, `Always` forces the
+    /// pre-cursor behaviour, `Never` pulls every scan cursor-only — the
+    /// mode for one-shot queries over sources larger than RAM. Runtime-only
+    /// (normalized out of the plan-cache key) like `semijoin_max_keys`.
+    pub scan_cache: ScanCache,
 }
 
 impl Default for ExecOptions {
@@ -144,6 +169,22 @@ impl Default for ExecOptions {
             filters: Vec::new(),
             cache_plans: true,
             reuse_scans: true,
+            semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
+            scan_cache: ScanCache::Auto,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The relational-layer runtime [`ExecPolicy`] these options select —
+    /// read at execution time from the *caller's* options, never from a
+    /// cached [`CompiledQuery`] (the plan cache normalizes runtime knobs
+    /// out of its keys, so a cached entry's stored options may not carry
+    /// them).
+    pub fn policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            semijoin_max_keys: self.semijoin_max_keys,
+            scan_cache: self.scan_cache,
         }
     }
 }
@@ -660,11 +701,32 @@ where
 /// [`ExecContext`] through (reusing interned scans and join build sides
 /// across queries); `None` executes against a fresh context, re-scanning
 /// every wrapper — the right default when source data may have changed.
+/// The runtime policy (semi-join passing, scan-cache mode) is derived from
+/// the options the query was compiled under; use
+/// [`execute_compiled_with`] to execute the same compiled query under a
+/// different policy.
 pub fn execute_compiled<S>(
     ontology: &BdiOntology,
     source: &S,
     compiled: &CompiledQuery,
     ctx: Option<&ExecContext>,
+) -> Result<QueryAnswer, ExecError>
+where
+    S: SourceResolver + PlanSource,
+{
+    execute_compiled_with(ontology, source, compiled, ctx, compiled.options.policy())
+}
+
+/// [`execute_compiled`] under an explicit runtime [`ExecPolicy`] — the
+/// entry point [`crate::system::BdiSystem::answer_with`] uses, since its
+/// plan cache normalizes runtime knobs out of the cache key and must
+/// execute each hit under the *caller's* policy, not the cached one.
+pub fn execute_compiled_with<S>(
+    ontology: &BdiOntology,
+    source: &S,
+    compiled: &CompiledQuery,
+    ctx: Option<&ExecContext>,
+    policy: ExecPolicy,
 ) -> Result<QueryAnswer, ExecError>
 where
     S: SourceResolver + PlanSource,
@@ -676,7 +738,7 @@ where
             &compiled.rewriting,
             &compiled.options.filters,
         ),
-        Engine::Streaming => run_streaming(source, compiled, ctx),
+        Engine::Streaming => run_streaming(source, compiled, ctx, policy),
     }
 }
 
@@ -684,6 +746,7 @@ fn run_streaming<S>(
     source: &S,
     compiled: &CompiledQuery,
     external: Option<&ExecContext>,
+    policy: ExecPolicy,
 ) -> Result<QueryAnswer, ExecError>
 where
     S: PlanSource,
@@ -729,7 +792,8 @@ where
         } else {
             1
         };
-        let mut relation = plan::execute_plan_prefetched(&plans[0], ctx, src, prefetch_workers)?;
+        let mut relation =
+            plan::execute_plan_prefetched_with(&plans[0], ctx, src, prefetch_workers, policy)?;
         if filtered {
             relation.sort_rows();
         }
@@ -772,7 +836,7 @@ where
 
     if workers <= 1 {
         for (index, walk_plan) in plans.iter().enumerate() {
-            match walk_sorted_run(walk_plan, ctx, src, &global_seen) {
+            match walk_sorted_run(walk_plan, ctx, src, policy, &global_seen) {
                 Ok(run) => runs[index] = run,
                 Err(e) => record_error(&mut first_error, index, e),
             }
@@ -796,7 +860,8 @@ where
                     if index >= plans_ref.len() {
                         break;
                     }
-                    let run = walk_sorted_run(&plans_ref[index], ctx_ref, src_ref, seen_ref);
+                    let run =
+                        walk_sorted_run(&plans_ref[index], ctx_ref, src_ref, policy, seen_ref);
                     if tx.send((index, run)).is_err() {
                         return;
                     }
@@ -836,13 +901,14 @@ fn walk_sorted_run(
     walk_plan: &PhysicalPlan,
     ctx: &ExecContext,
     src: &dyn PlanSource,
+    policy: ExecPolicy,
     global_seen: &std::sync::Mutex<RowSet>,
 ) -> Result<Vec<Tuple>, PlanError> {
     let arity = walk_plan.schema().len();
-    let mut op = Operator::new(walk_plan);
+    let mut op = Operator::new(walk_plan, ctx, src, policy);
     let mut novel: Vec<u32> = Vec::new();
     let mut count = 0usize;
-    while let Some(batch) = op.next_batch(ctx, src)? {
+    while let Some(batch) = op.next_batch()? {
         let mut seen = global_seen.lock().expect("union dedup set poisoned");
         for row in batch.rows() {
             if seen.insert(row) {

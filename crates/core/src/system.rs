@@ -60,27 +60,31 @@ pub enum VersionScope {
 /// entry is evicted.
 const PLAN_CACHE_ENTRIES: usize = 64;
 
-/// What the cache is valid against, in two tiers.
+/// What the compiled-plan cache (and the persistent context) is valid
+/// against: the release log length (bumped by every
+/// [`BdiSystem::register_release`]), the ontology store's monotonic
+/// mutation stamp (catching direct [`BdiSystem::ontology_mut`] edits,
+/// including count-neutral remove+insert pairs), and the registry's
+/// **capability fingerprint** — a hash of every wrapper's
+/// [`claims_filter`](bdi_wrappers::Wrapper::claims_filter) answers
+/// ([`bdi_wrappers::WrapperRegistry::capabilities_fingerprint`]). Plans
+/// depend on the ontology and wrapper *capabilities* (claims decide the
+/// pushed-vs-residual filter split compiled into each plan) — never on
+/// wrapper data — so this triple is exactly the compiled-plan lifetime,
+/// now robust even to wrapper kinds whose claims change without a release.
 ///
-/// The first element guards the **compiled plans**: the release log length
-/// (bumped by every [`BdiSystem::register_release`]) and the ontology
-/// store's monotonic mutation stamp (catching direct
-/// [`BdiSystem::ontology_mut`] edits, including count-neutral
-/// remove+insert pairs). Plans depend only on the ontology and wrapper
-/// *capabilities* — never on wrapper data — so this is exactly the
-/// compiled-plan lifetime.
-///
-/// The second element additionally guards the **persistent
-/// [`ExecContext`]**: the registry's *data fingerprint* — the sum of every
-/// wrapper's [`data_version`](bdi_wrappers::Wrapper::data_version), which
-/// moves on every wrapper-data mutation between releases
-/// (`TableWrapper::push`, document inserts). A fingerprint change retires
-/// the context (whose interned scans *are* data snapshots) while the
-/// compiled plans survive, so append-heavy workloads keep their plan-cache
-/// hits; the per-scan `data_version` cache keys catch the same staleness
-/// one level down. This two-tier stamp is what lets
-/// [`ExecOptions::reuse_scans`] default on.
-type CacheValidity = ((usize, u64), u64);
+/// Wrapper **data** mutations deliberately do not appear here: every cached
+/// scan is keyed by its wrapper's live
+/// [`data_version`](bdi_wrappers::Wrapper::data_version) at scan time, so a
+/// mutation makes the stale entry unreachable and the next query re-scans
+/// just the mutated wrapper — sibling wrappers' (and sibling docstore
+/// collections') cached scans survive. Stale entries age out through the
+/// context's LRU caps, and the value-cap watermark retires a context whose
+/// pool has outgrown its bound ([`BdiSystem::set_context_value_cap`] — the
+/// context-retirement tier). This is what lets
+/// [`ExecOptions::reuse_scans`] default on without one wrapper's appends
+/// flushing every other wrapper's interned scans.
+type CacheValidity = (usize, u64, u64);
 
 /// Default watermark on the persistent context's interned-value pool; past
 /// it the context is retired after the current query (see
@@ -108,24 +112,32 @@ struct ExecCacheState {
     /// [`BdiSystem::set_context_value_cap`]).
     value_cap: usize,
     ctx: Arc<ExecContext>,
+    /// High-water marks carried across retired contexts, so
+    /// [`BdiSystem::context_stats`] reports lifetime streaming peaks even
+    /// after the watermark (or a release) replaced the context they
+    /// occurred in.
+    retired_peak_values: usize,
+    retired_peak_bytes: usize,
 }
 
 impl ExecCacheState {
-    fn fresh_ctx(&self) -> Arc<ExecContext> {
-        Arc::new(ExecContext::new().with_value_cap(self.value_cap))
+    /// Replaces the shared context with a fresh one, folding the retiring
+    /// context's peaks into the lifetime high-water marks.
+    fn replace_ctx(&mut self) {
+        self.retired_peak_values = self.retired_peak_values.max(self.ctx.pooled_values());
+        self.retired_peak_bytes = self.retired_peak_bytes.max(self.ctx.peak_bytes());
+        self.ctx = Arc::new(ExecContext::new().with_value_cap(self.value_cap));
     }
 
-    /// Brings the cache up to `validity`: a plan-tier change flushes plans
-    /// and context; a data-fingerprint-only change retires just the
-    /// context (compiled plans never depend on wrapper data).
+    /// Brings the cache up to `validity`: any change (release registered,
+    /// ontology edited, wrapper capabilities moved) flushes the plans and
+    /// retires the context. Wrapper *data* mutations never reach this —
+    /// per-scan `data_version` cache keys handle them one level down.
     fn revalidate(&mut self, validity: CacheValidity) {
-        if self.validity.0 != validity.0 {
+        if self.validity != validity {
             self.validity = validity;
             self.plans.clear();
-            self.ctx = self.fresh_ctx();
-        } else if self.validity.1 != validity.1 {
-            self.validity = validity;
-            self.ctx = self.fresh_ctx();
+            self.replace_ctx();
         }
     }
 }
@@ -134,13 +146,15 @@ impl Default for ExecCache {
     fn default() -> Self {
         Self {
             inner: Mutex::new(ExecCacheState {
-                validity: ((usize::MAX, u64::MAX), u64::MAX), // never matches → first use invalidates
+                validity: (usize::MAX, u64::MAX, u64::MAX), // never matches → first use invalidates
                 tick: 0,
                 hits: 0,
                 misses: 0,
                 plans: HashMap::new(),
                 value_cap: DEFAULT_CTX_VALUE_CAP,
                 ctx: Arc::new(ExecContext::new().with_value_cap(DEFAULT_CTX_VALUE_CAP)),
+                retired_peak_values: 0,
+                retired_peak_bytes: 0,
             }),
         }
     }
@@ -164,7 +178,7 @@ impl ExecCache {
         let mut state = self.inner.lock().expect("plan cache poisoned");
         state.validity = validity;
         state.plans.clear();
-        state.ctx = state.fresh_ctx();
+        state.replace_ctx();
     }
 
     /// Retires the shared context when its value pool has outgrown the
@@ -174,7 +188,7 @@ impl ExecCache {
     fn recycle_if_over_cap(&self) {
         let mut state = self.inner.lock().expect("plan cache poisoned");
         if state.ctx.over_value_cap() {
-            state.ctx = state.fresh_ctx();
+            state.replace_ctx();
         }
     }
 
@@ -217,10 +231,10 @@ impl ExecCache {
     /// loser's entry simply replaces an identical one.
     fn insert(&self, validity: CacheValidity, key: PlanKey, compiled: Arc<CompiledQuery>) {
         let mut state = self.inner.lock().expect("plan cache poisoned");
-        // Compare the plan tier only: a release or ontology edit slipping
-        // in while compiling must discard the plan, but a mere data
-        // mutation cannot stale it (plans are data-independent).
-        if state.validity.0 != validity.0 {
+        // A release, ontology edit or capability change slipping in while
+        // compiling must discard the plan (data mutations don't appear in
+        // the validity at all — plans are data-independent).
+        if state.validity != validity {
             return;
         }
         if state.plans.len() >= PLAN_CACHE_ENTRIES && !state.plans.contains_key(&key) {
@@ -256,6 +270,15 @@ pub struct ContextStats {
     /// Rough resident bytes: pool + cached interned scans + cached join
     /// build sides.
     pub approx_bytes: usize,
+    /// Cached interned-scan entries currently held (semi-join-reduced probe
+    /// scans and cursor-only scans never appear here).
+    pub cached_scans: usize,
+    /// Batch-granular high-water mark of the resident estimate, across
+    /// retired contexts too — cursor-only streaming peaks register here
+    /// even though nothing of them remains cached after the query.
+    pub peak_bytes: usize,
+    /// High-water mark of `pooled_values`, across retired contexts too.
+    pub peak_pooled_values: usize,
 }
 
 /// A complete, queryable BDI deployment.
@@ -305,20 +328,15 @@ impl BdiSystem {
         }
     }
 
-    /// The cache validity stamp for the system's current state. The data
-    /// fingerprint sums per-wrapper data versions — each counter only ever
-    /// grows, so any wrapper-data mutation strictly advances the sum.
+    /// The cache validity stamp for the system's current state: release
+    /// seq, ontology mutation stamp, and the registry's wrapper-capability
+    /// fingerprint (see [`CacheValidity`] for why wrapper *data* versions
+    /// are deliberately absent).
     fn cache_validity(&self) -> CacheValidity {
-        let data_fingerprint = self
-            .registry
-            .iter()
-            .fold(0u64, |acc, w| acc.wrapping_add(w.data_version()));
         (
-            (
-                self.release_log.len(),
-                self.ontology.store().mutation_count(),
-            ),
-            data_fingerprint,
+            self.release_log.len(),
+            self.ontology.store().mutation_count(),
+            self.registry.capabilities_fingerprint(),
         )
     }
 
@@ -383,20 +401,29 @@ impl BdiSystem {
     pub fn set_context_value_cap(&self, cap: usize) {
         let mut state = self.cache.inner.lock().expect("plan cache poisoned");
         state.value_cap = cap.max(1);
-        state.ctx = state.fresh_ctx();
+        state.replace_ctx();
     }
 
     /// Size diagnostics of the persistent execution context (pool +
     /// scan/build caches) — what [`BdiSystem::set_context_value_cap`]
-    /// bounds.
+    /// bounds — plus lifetime high-water marks that survive context
+    /// retirement, so streaming (cursor-only) peaks are observable after
+    /// the fact.
     pub fn context_stats(&self) -> ContextStats {
-        let ctx = {
+        let (ctx, retired_peak_values, retired_peak_bytes) = {
             let state = self.cache.inner.lock().expect("plan cache poisoned");
-            state.ctx.clone()
+            (
+                state.ctx.clone(),
+                state.retired_peak_values,
+                state.retired_peak_bytes,
+            )
         };
         ContextStats {
             pooled_values: ctx.pooled_values(),
             approx_bytes: ctx.memory_estimate(),
+            cached_scans: ctx.cached_scans(),
+            peak_bytes: retired_peak_bytes.max(ctx.peak_bytes()),
+            peak_pooled_values: retired_peak_values.max(ctx.pooled_values()),
         }
     }
 
@@ -466,11 +493,15 @@ impl BdiSystem {
     ) -> Result<Answer, SystemError> {
         let validity = self.cache_validity();
         // Normalize the key to the plan-shaping options: `cache_plans` and
-        // `reuse_scans` steer *this* method, never the compiled plan, so
-        // queries differing only in them share one cache entry.
+        // `reuse_scans` steer *this* method, and `semijoin_max_keys` /
+        // `scan_cache` steer only the executor — never the compiled plan —
+        // so queries differing only in them share one cache entry (and each
+        // execution reads those knobs from the caller's options, below).
         let key_options = ExecOptions {
             cache_plans: true,
             reuse_scans: false,
+            semijoin_max_keys: bdi_relational::plan::DEFAULT_SEMIJOIN_MAX_KEYS,
+            scan_cache: bdi_relational::ScanCache::Auto,
             ..options.clone()
         };
         let key = (omq, scope.clone(), key_options);
@@ -510,11 +541,12 @@ impl BdiSystem {
         let QueryAnswer {
             relation,
             walk_exprs,
-        } = exec::execute_compiled(
+        } = exec::execute_compiled_with(
             &self.ontology,
             &self.registry,
             &compiled,
             shared_ctx.as_deref(),
+            options.policy(),
         )?;
         // Bound the long-lived pool: if this query pushed it past the
         // watermark, retire the context before the next query reuses it.

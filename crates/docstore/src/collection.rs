@@ -18,10 +18,15 @@ pub enum StoreError {
     NotAnObject(String),
 }
 
-/// A single collection: an append-ordered list of JSON objects.
+/// A single collection: an append-ordered list of JSON objects, carrying
+/// its own monotonic data-generation counter.
 #[derive(Debug, Default, Clone)]
 pub struct Collection {
     docs: Vec<Value>,
+    /// Bumped by every write access to *this* collection (insert attempts,
+    /// clears) — the per-collection granularity wrapper scan caches key on,
+    /// so mutating one collection never invalidates siblings' cached scans.
+    version: u64,
 }
 
 impl Collection {
@@ -29,8 +34,17 @@ impl Collection {
         Self::default()
     }
 
-    /// Inserts one document (must be a JSON object).
+    /// This collection's data-generation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Inserts one document (must be a JSON object). The version bumps on
+    /// every attempt, success or not — a rejected document proves a writer
+    /// touched the collection, and a spurious bump only costs a cache
+    /// re-scan, never correctness.
     pub fn insert(&mut self, doc: Value) -> Result<(), StoreError> {
+        self.version += 1;
         if !doc.is_object() {
             return Err(StoreError::NotAnObject(doc.to_string()));
         }
@@ -74,11 +88,26 @@ impl DocStore {
         Self::default()
     }
 
-    /// Monotonic data-generation counter: any value change means some
-    /// collection's documents changed since the smaller value was observed.
-    /// Store-wide (not per-collection) — deliberately conservative.
+    /// Monotonic *store-wide* data-generation counter: any value change
+    /// means some collection's documents changed since the smaller value
+    /// was observed. This is the summed coarse stamp for consumers that
+    /// watch the whole store; wrappers over a single collection key their
+    /// scan caches on the finer [`DocStore::collection_version`] instead,
+    /// so one collection's inserts never invalidate siblings' cached scans.
     pub fn data_version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// Monotonic data-generation counter of one collection (`0` if and
+    /// only if it does not exist yet — creation always bumps, even through
+    /// an empty [`DocStore::insert_many`]). Mutations to *other*
+    /// collections never move it.
+    pub fn collection_version(&self, collection: &str) -> u64 {
+        self.collections
+            .read()
+            .get(collection)
+            .map(Collection::version)
+            .unwrap_or(0)
     }
 
     fn bump_version(&self) {
@@ -106,6 +135,12 @@ impl DocStore {
     ) -> Result<usize, StoreError> {
         let mut guard = self.collections.write();
         let coll = guard.entry(collection.to_owned()).or_default();
+        // Bump once for the call itself, beyond the per-document bumps: an
+        // *empty* insert_many still creates the collection, and its version
+        // must leave 0 — the value reserved for "does not exist" — or a
+        // consumer that cached a scan error at version 0 would keep serving
+        // it after the collection exists.
+        coll.version += 1;
         let mut n = 0;
         let mut result = Ok(());
         for doc in docs {
@@ -201,7 +236,10 @@ impl DocStore {
     pub fn clear(&self, collection: &str) -> usize {
         let mut guard = self.collections.write();
         let n = match guard.get_mut(collection) {
-            Some(coll) => std::mem::take(&mut coll.docs).len(),
+            Some(coll) => {
+                coll.version += 1;
+                std::mem::take(&mut coll.docs).len()
+            }
             None => 0,
         };
         drop(guard);
@@ -320,6 +358,42 @@ mod tests {
         let _ = store.count("c");
         let _ = store.docs_chunk("c", 0, 10);
         assert_eq!(store.data_version(), v3);
+    }
+
+    #[test]
+    fn collection_versions_are_independent() {
+        let store = DocStore::new();
+        assert_eq!(store.collection_version("a"), 0);
+        store.insert("a", json!({"x": 1})).unwrap();
+        store.insert("b", json!({"y": 1})).unwrap();
+        let (a1, b1) = (store.collection_version("a"), store.collection_version("b"));
+        assert!(a1 > 0 && b1 > 0);
+        // Mutating `b` moves only `b`'s counter — `a`'s cached scans stay
+        // keyed valid — while the store-wide stamp still observes it.
+        let store_wide = store.data_version();
+        store.insert("b", json!({"y": 2})).unwrap();
+        assert_eq!(store.collection_version("a"), a1);
+        assert!(store.collection_version("b") > b1);
+        assert!(store.data_version() > store_wide);
+        // Clears and rejected inserts also count as writes to their target.
+        store.clear("b");
+        assert!(store.collection_version("b") > b1 + 1);
+        let b3 = store.collection_version("b");
+        let _ = store.insert("b", json!([1]));
+        assert!(store.collection_version("b") > b3);
+        assert_eq!(store.collection_version("a"), a1);
+    }
+
+    #[test]
+    fn empty_insert_many_still_creates_at_a_nonzero_version() {
+        // Version 0 is reserved for "does not exist": a consumer that
+        // cached an unknown-collection outcome at version 0 must see a new
+        // version once the collection exists, even created empty.
+        let store = DocStore::new();
+        assert_eq!(store.collection_version("c"), 0);
+        store.insert_many("c", Vec::new()).unwrap();
+        assert!(store.collection_version("c") > 0);
+        assert_eq!(store.count("c"), 0);
     }
 
     #[test]

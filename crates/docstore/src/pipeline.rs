@@ -314,6 +314,18 @@ impl Pipeline {
         self
     }
 
+    /// Whether the pipeline emits exactly one output document per input
+    /// document — true when no stage can drop or bound documents, i.e. the
+    /// pipeline is `$project`-only. Wrappers use this to decide whether the
+    /// backing collection's length is an *exact* scan-size hint (a `$match`
+    /// or `$limit` makes it merely an upper bound, which disqualifies it
+    /// from hint-driven join scheduling).
+    pub fn preserves_doc_count(&self) -> bool {
+        self.stages
+            .iter()
+            .all(|stage| matches!(stage, Stage::Project(_)))
+    }
+
     /// Runs the pipeline over a document set.
     pub fn run<'a, I>(&self, docs: I) -> Result<Vec<Value>, PipelineError>
     where

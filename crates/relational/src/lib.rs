@@ -24,8 +24,8 @@ pub mod value;
 pub use algebra::{AlgebraError, RelExpr, SourceResolver};
 pub use expr::{Expr, ExprError};
 pub use plan::{
-    BatchIter, Bound, ColumnFilter, ExecContext, PhysicalPlan, PlanError, PlanSource, Predicate,
-    ScanRequest,
+    BatchIter, Bound, ColumnFilter, ExecContext, ExecPolicy, PhysicalPlan, PlanError, PlanSource,
+    Predicate, ScanCache, ScanRequest,
 };
 pub use relation::{Relation, RelationError, Tuple};
 pub use schema::{Attribute, Schema, SchemaError};

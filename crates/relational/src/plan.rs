@@ -49,6 +49,31 @@
 //! on it, so contexts reused across queries can never serve rows scanned
 //! before a source mutation. [`execute_plan_prefetched`] issues a plan's
 //! scans concurrently on scoped threads ahead of the pulling pipeline.
+//!
+//! ## Runtime policy: semi-join sideways passing & cursor-only scans
+//!
+//! Execution entry points take an [`ExecPolicy`] (separate from the plan —
+//! the same compiled plan runs under any policy):
+//!
+//! * **Semi-join sideways information passing**
+//!   ([`ExecPolicy::semijoin_max_keys`]): a hash join schedules its build
+//!   side first — chosen by the sources' [`PlanSource::scan_hint`] row
+//!   estimates, mirroring the eager smaller-side rule when hints are exact —
+//!   and, when the build side's distinct key set is small enough, injects it
+//!   as an IN-set [`ColumnFilter`] into the probe child's scan request
+//!   *before* the probe scan is issued. Rows the join would discard are then
+//!   never shipped out of the source at all. The IN-set is injected only
+//!   when the source claims it ([`PlanSource::claims`]); otherwise the probe
+//!   scan runs unreduced and the join's own hash probe is the residual
+//!   semi-join, so answers are identical either way. A key-reduced probe
+//!   scan is query-specific and always bypasses the scan cache.
+//! * **Cursor-only scans** ([`ExecPolicy::scan_cache`]): instead of
+//!   materializing the whole interned table in the [`ExecContext`] cache, a
+//!   scan can pull interned batches straight through
+//!   ([`ScanCache::Never`], or [`ScanCache::Auto`] when the source's size
+//!   hint exceeds the context's value-cap watermark) — the mediator's
+//!   resident footprint for such a scan is one batch, making sources larger
+//!   than RAM (even in id space) queryable.
 
 use crate::relation::{Relation, RelationError, Tuple};
 use crate::schema::{Attribute, Schema};
@@ -56,7 +81,7 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// FNV-1a. The executor hashes interned `u32` ids and small scalars by the
@@ -110,6 +135,62 @@ type FnvBuild = BuildHasherDefault<Fnv>;
 
 /// Upper bound on rows per [`Batch`] yielded by the streaming operators.
 pub const BATCH_ROWS: usize = 1024;
+
+/// Default [`ExecPolicy::semijoin_max_keys`]: IN-sets beyond this are more
+/// expensive to evaluate source-side than the rows they would save.
+pub const DEFAULT_SEMIJOIN_MAX_KEYS: usize = 16 * 1024;
+
+/// Selectivity gate for the sideways pass: the build-key IN-set is
+/// injected only when it promises at least this reduction factor over the
+/// probe's hinted row count (`keys × factor ≤ probe rows`). A
+/// non-selective join — every probe row surviving — would pay the
+/// source-side membership probes *and* forfeit probe-scan cache sharing
+/// across walks, for zero rows saved.
+const SEMIJOIN_SELECTIVITY: u64 = 4;
+
+/// How scans materialize through the [`ExecContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanCache {
+    /// Cache interned scans, except when a scan's estimated interned size —
+    /// [`PlanSource::scan_hint`] rows × output arity, i.e. the cells the
+    /// cached table would hold — exceeds the context's
+    /// [`ExecContext::value_cap`] watermark: such scans run cursor-only
+    /// rather than blow the memory bound the cap promises. An uncapped
+    /// context caches everything (the pre-cursor behaviour).
+    #[default]
+    Auto,
+    /// Always cache, whatever the hints say.
+    Always,
+    /// Never cache: every scan pulls interned batches straight through
+    /// ("cursor-only"). Peak resident memory per scan is one batch, at the
+    /// cost of re-reading sources on every execution — the right trade for
+    /// one-shot queries over sources larger than RAM.
+    Never,
+}
+
+/// Runtime execution policy, orthogonal to the compiled [`PhysicalPlan`]:
+/// the same plan executes under any policy, and answers never depend on it
+/// (pinned differentially against the eager engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecPolicy {
+    /// Semi-join sideways passing: when a hash join's build side has at most
+    /// this many distinct keys, they are injected as an IN-set filter into
+    /// the probe child's scan request (when the source claims it). `0`
+    /// disables the sideways pass entirely, including the hint-driven build
+    /// scheduling that enables it.
+    pub semijoin_max_keys: usize,
+    /// How scans materialize through the shared context (see [`ScanCache`]).
+    pub scan_cache: ScanCache,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self {
+            semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
+            scan_cache: ScanCache::Auto,
+        }
+    }
+}
 
 /// Errors raised while building or executing physical plans.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
@@ -366,6 +447,13 @@ impl ScanRequest {
         self
     }
 
+    /// Appends a filter conjunct in place — the runtime form semi-join
+    /// sideways passing uses to inject build-key IN-sets into an
+    /// already-compiled probe scan.
+    pub fn add_column_filter(&mut self, filter: ColumnFilter) {
+        self.filters.push(filter);
+    }
+
     /// Source-local column names, in output order.
     pub fn columns(&self) -> &[String] {
         &self.columns
@@ -517,6 +605,24 @@ pub trait PlanSource: Sync {
     /// [`ScanRequest::apply`] fallback evaluates any predicate.
     fn claims(&self, _source: &str, _filter: &ColumnFilter) -> bool {
         true
+    }
+
+    /// A cheap estimate of how many rows a scan of `source` under `request`
+    /// would yield, or `None` when the source cannot produce one. Used for
+    /// execution-time *scheduling* only — choosing a hash join's build side
+    /// before any scan is issued (semi-join sideways passing) and gating
+    /// [`ScanCache::Auto`] — never for correctness.
+    ///
+    /// Contract: for an unfiltered request, return the exact row count or
+    /// `None` (an exact hint is what keeps the hint-driven build-side
+    /// choice identical to the eager smaller-side rule, and thus row order
+    /// engine-independent). Requests carrying filters may be estimated by
+    /// their unfiltered count — answers under pushed-down predicates follow
+    /// the canonical sorted-order contract, so build-side flips are
+    /// unobservable there. The default (`None`) opts the source out of
+    /// hint-driven scheduling.
+    fn scan_hint(&self, _source: &str, _request: &ScanRequest) -> Option<u64> {
+        None
     }
 }
 
@@ -806,6 +912,10 @@ pub struct ValuePool {
 struct PoolShard {
     values: Vec<Value>,
     index: HashMap<Value, u32, FnvBuild>,
+    /// Running string-heap estimate (counted twice: slab + index key), so
+    /// [`ValuePool::approx_bytes`] — polled after every interned batch for
+    /// the high-water mark — never walks the interned values.
+    str_heap: usize,
 }
 
 impl Default for ValuePool {
@@ -840,6 +950,11 @@ impl ValuePool {
             local < 1 << (32 - POOL_SHARD_BITS),
             "value pool shard overflow: more than 2^28 distinct values in one shard"
         );
+        if let Value::Str(s) = value {
+            // The stored clones allocate exactly `len` bytes each (clone
+            // capacity is length, whatever the caller's buffer held).
+            shard.str_heap += 2 * s.len();
+        }
         shard.values.push(value.clone());
         shard.index.insert(value.clone(), local);
         (local << POOL_SHARD_BITS) | shard_index as u32
@@ -885,24 +1000,18 @@ impl ValuePool {
     /// Rough resident-size estimate in bytes: the interned values (counted
     /// twice — once in the slab, once as index keys), string heap storage,
     /// and index slots. An accounting aid for pool watermarks, not an exact
-    /// allocator measurement.
+    /// allocator measurement. O(shards): the string heap is a running
+    /// counter, so the batch-granular high-water mark can poll this without
+    /// walking the pool.
     pub fn approx_bytes(&self) -> usize {
         let value_size = std::mem::size_of::<Value>();
         self.shards
             .iter()
             .map(|s| {
                 let shard = s.lock().expect("value pool poisoned");
-                let heap: usize = shard
-                    .values
-                    .iter()
-                    .map(|v| match v {
-                        Value::Str(s) => 2 * s.capacity(),
-                        _ => 0,
-                    })
-                    .sum();
                 shard.values.capacity() * value_size
                     + shard.index.capacity() * (value_size + std::mem::size_of::<u32>())
-                    + heap
+                    + shard.str_heap
             })
             .sum()
     }
@@ -1026,6 +1135,17 @@ impl JoinIndex {
         self.groups.get(&key).map(Vec::as_slice)
     }
 
+    /// Number of distinct (non-null) build keys — what
+    /// [`ExecPolicy::semijoin_max_keys`] gates on.
+    fn distinct_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The distinct build-key ids, in arbitrary order.
+    fn keys(&self) -> impl Iterator<Item = u32> + '_ {
+        self.groups.keys().copied()
+    }
+
     /// Rough resident size in bytes (key slots plus row-index arenas).
     fn approx_bytes(&self) -> usize {
         let slot = std::mem::size_of::<(u32, Vec<u32>)>();
@@ -1074,6 +1194,19 @@ pub struct ExecContext {
     /// can retire it (the pool itself never shrinks in place — live
     /// executions hold interned ids).
     value_cap: Option<usize>,
+    /// Batch-granular high-water mark of [`ExecContext::memory_estimate`]
+    /// plus in-flight (not-yet-cached) interned batches — noted after every
+    /// interned batch, so cursor-only streaming peaks register even though
+    /// they never land in a cache.
+    peak_bytes: AtomicUsize,
+    /// Running byte totals of the two caches, maintained on insert/evict so
+    /// [`ExecContext::memory_estimate`] — polled once per interned batch
+    /// for the high-water mark — never walks the cache maps. A cell
+    /// evicted while its scan is still in flight leaks its eventual bytes
+    /// into the counter (the filler has nothing to subtract from); an
+    /// accepted drift in what is documented as an estimate.
+    scan_cache_bytes: AtomicUsize,
+    build_cache_bytes: AtomicUsize,
     tick: AtomicU64,
     scans: Mutex<HashMap<ScanKey, Stamped<ScanCell>>>,
     builds: Mutex<BuildCache>,
@@ -1089,22 +1222,21 @@ struct Stamped<T> {
 }
 
 /// Evicts the least-recently-used entry when the map is at capacity and
-/// `key` is not already present.
+/// `key` is not already present, handing the removed payload back so the
+/// caller can unaccount its bytes.
 fn evict_for<K: Eq + std::hash::Hash + Clone, T>(
     map: &mut HashMap<K, Stamped<T>>,
     key: &K,
     max_entries: usize,
-) {
+) -> Option<T> {
     if map.len() < max_entries || map.contains_key(key) {
-        return;
+        return None;
     }
-    if let Some(oldest) = map
+    let oldest = map
         .iter()
         .min_by_key(|(_, s)| s.last_used)
-        .map(|(k, _)| k.clone())
-    {
-        map.remove(&oldest);
-    }
+        .map(|(k, _)| k.clone())?;
+    map.remove(&oldest).map(|stamped| stamped.value)
 }
 
 impl Default for ExecContext {
@@ -1129,6 +1261,9 @@ impl ExecContext {
             max_entries: max_entries.max(1),
             scan_batch_rows: BATCH_ROWS,
             value_cap: None,
+            peak_bytes: AtomicUsize::new(0),
+            scan_cache_bytes: AtomicUsize::new(0),
+            build_cache_bytes: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
             scans: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
@@ -1177,25 +1312,30 @@ impl ExecContext {
     /// Rough resident-size estimate of the context in bytes: the value
     /// pool, the cached interned scans and the cached join build sides. An
     /// accounting aid for watermark policies, not an allocator measurement.
+    /// O(pool shards): the cache halves are running counters maintained on
+    /// insert/evict, so the per-batch high-water poll never walks a cache.
     pub fn memory_estimate(&self) -> usize {
-        let scans: usize = self
-            .scans
-            .lock()
-            .expect("scan cache poisoned")
-            .values()
-            .map(|stamped| match stamped.value.get() {
-                Some(Ok(batch)) => batch.approx_bytes(),
-                _ => 0,
-            })
-            .sum();
-        let builds: usize = self
-            .builds
-            .lock()
-            .expect("build cache poisoned")
-            .values()
-            .map(|stamped| stamped.value.approx_bytes())
-            .sum();
-        self.pool.approx_bytes() + scans + builds
+        self.pool.approx_bytes()
+            + self.scan_cache_bytes.load(Ordering::Relaxed)
+            + self.build_cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Batch-granular high-water mark of the context's resident estimate
+    /// ([`ExecContext::memory_estimate`] plus any in-flight interned batch):
+    /// noted after *every* interned batch, cached or cursor-only, so the
+    /// watermark reflects streaming peaks — not just the cached residue a
+    /// post-query [`ExecContext::memory_estimate`] would show.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+            .load(Ordering::Relaxed)
+            .max(self.memory_estimate())
+    }
+
+    /// Folds the current resident estimate (plus `in_flight_bytes` of
+    /// not-yet-cached batch data) into the high-water mark.
+    fn note_high_water(&self, in_flight_bytes: usize) {
+        let current = self.memory_estimate() + in_flight_bytes;
+        self.peak_bytes.fetch_max(current, Ordering::Relaxed);
     }
 
     /// The id `Value::Null` interns to (join keys equal to it never match).
@@ -1215,6 +1355,32 @@ impl ExecContext {
 
     fn next_tick(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Interns one value-space scan batch into `into`, enforcing the
+    /// scan-shape contract (every row must have the request's output
+    /// arity). The single implementation of the per-row scan contract,
+    /// shared by the cache-fill and cursor-only paths so they can never
+    /// diverge.
+    fn intern_scan_rows(
+        &self,
+        name: &str,
+        output: &Schema,
+        rows: &[Tuple],
+        into: &mut Batch,
+    ) -> Result<(), PlanError> {
+        let arity = output.len();
+        for row in rows {
+            if row.len() != arity {
+                return Err(PlanError::ScanShape {
+                    source: name.to_owned(),
+                    expected: output.to_string(),
+                    found: format!("a row of arity {}", row.len()),
+                });
+            }
+            into.push(row.iter().map(|v| self.pool.intern(v)));
+        }
+        Ok(())
     }
 
     /// Interns an entire relation.
@@ -1247,6 +1413,15 @@ impl ExecContext {
     /// Decodes one id (locks a single pool shard briefly).
     pub fn decode_value(&self, id: u32) -> Value {
         self.pool.get(id)
+    }
+
+    /// Decodes a set of ids under one pool read handle (the semi-join pass
+    /// decodes build-key sets through this).
+    pub fn decode_ids(&self, ids: impl IntoIterator<Item = u32>) -> Vec<Value> {
+        let reader = self.pool.reader();
+        ids.into_iter()
+            .map(|id| reader.decode(id).clone())
+            .collect()
     }
 
     /// Interns one value.
@@ -1292,7 +1467,12 @@ impl ExecContext {
         };
         let cell = {
             let mut scans = self.scans.lock().expect("scan cache poisoned");
-            evict_for(&mut scans, &key, self.max_entries);
+            if let Some(evicted) = evict_for(&mut scans, &key, self.max_entries) {
+                if let Some(Ok(batch)) = evicted.get() {
+                    self.scan_cache_bytes
+                        .fetch_sub(batch.approx_bytes(), Ordering::Relaxed);
+                }
+            }
             let tick = self.tick.fetch_add(1, Ordering::Relaxed);
             let entry = scans.entry(key).or_insert_with(|| Stamped {
                 value: ScanCell::default(),
@@ -1301,25 +1481,23 @@ impl ExecContext {
             entry.last_used = tick;
             entry.value.clone()
         };
-        cell.get_or_init(|| -> Result<Arc<Batch>, PlanError> {
-            let arity = request.output().len();
-            let mut interned = Batch::new(arity);
-            for batch in source.scan_batches(name, request, self.scan_batch_rows)? {
-                for row in &batch? {
-                    if row.len() != arity {
-                        return Err(PlanError::ScanShape {
-                            source: name.to_owned(),
-                            expected: request.output().to_string(),
-                            found: format!("a row of arity {}", row.len()),
-                        });
-                    }
-                    interned.push(row.iter().map(|v| self.pool.intern(v)));
+        let result = cell
+            .get_or_init(|| -> Result<Arc<Batch>, PlanError> {
+                let mut interned = Batch::new(request.output().len());
+                for batch in source.scan_batches(name, request, self.scan_batch_rows)? {
+                    self.intern_scan_rows(name, request.output(), &batch?, &mut interned)?;
+                    // Note the growing (not-yet-cached) table batch by
+                    // batch, so peak accounting is streaming-accurate even
+                    // for a scan that errors before caching.
+                    self.note_high_water(interned.approx_bytes());
                 }
-            }
-            Ok(Arc::new(interned))
-        })
-        .clone()
-        .map(|batch| (batch, data_version))
+                self.scan_cache_bytes
+                    .fetch_add(interned.approx_bytes(), Ordering::Relaxed);
+                Ok(Arc::new(interned))
+            })
+            .clone();
+        self.note_high_water(0);
+        result.map(|batch| (batch, data_version))
     }
 
     /// Whether a scan's cache cell is already resolved for the source's
@@ -1367,14 +1545,25 @@ impl ExecContext {
         let index = Arc::new(JoinIndex { groups });
         if let Some(k) = cache_key {
             let mut builds = self.builds.lock().expect("build cache poisoned");
-            evict_for(&mut builds, &k, self.max_entries);
-            builds.insert(
+            if let Some(evicted) = evict_for(&mut builds, &k, self.max_entries) {
+                self.build_cache_bytes
+                    .fetch_sub(evicted.approx_bytes(), Ordering::Relaxed);
+            }
+            self.build_cache_bytes
+                .fetch_add(index.approx_bytes(), Ordering::Relaxed);
+            let replaced = builds.insert(
                 k,
                 Stamped {
                     value: index.clone(),
                     last_used: self.next_tick(),
                 },
             );
+            if let Some(previous) = replaced {
+                // A racing builder of the same key got here first; keep the
+                // byte counter matched to what the map actually holds.
+                self.build_cache_bytes
+                    .fetch_sub(previous.value.approx_bytes(), Ordering::Relaxed);
+            }
         }
         index
     }
@@ -1464,35 +1653,166 @@ impl RowSet {
 // Operators
 // ---------------------------------------------------------------------------
 
-/// A pull-based streaming operator tree compiled from a [`PhysicalPlan`].
-/// Each [`Operator::next_batch`] call yields at most [`BATCH_ROWS`] rows.
-pub struct Operator {
-    node: OpNode,
+/// Whether a scan materializes through the context cache under `policy`.
+/// The prefetcher and the scan operator must agree on this, so it is the
+/// single decision point: [`ScanCache::Auto`] caches unless the scan's
+/// estimated interned size — hinted rows × output arity, the cells the
+/// cached table would hold — exceeds the context's value-cap watermark.
+fn scan_uses_cache(
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    policy: &ExecPolicy,
+    name: &str,
+    request: &ScanRequest,
+) -> bool {
+    match policy.scan_cache {
+        ScanCache::Always => true,
+        ScanCache::Never => false,
+        ScanCache::Auto => match (ctx.value_cap(), source.scan_hint(name, request)) {
+            (Some(cap), Some(hint)) => {
+                let cells = hint.saturating_mul(request.output().len().max(1) as u64);
+                cells <= cap as u64
+            }
+            _ => true,
+        },
+    }
 }
 
-enum OpNode {
-    Scan {
-        source: String,
-        request: ScanRequest,
-        table: Option<Arc<Batch>>,
-        cursor: usize,
-    },
+/// Estimated output rows of a plan subtree: defined for scan-leaf chains
+/// (Rename/Project/Filter over one Scan — none of which grow the row
+/// count), `None` for joins and unions.
+fn plan_hint(plan: &PhysicalPlan, source: &dyn PlanSource) -> Option<u64> {
+    match plan {
+        PhysicalPlan::Scan {
+            source: name,
+            request,
+        } => source.scan_hint(name, request),
+        PhysicalPlan::Rename { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Filter { input, .. } => plan_hint(input, source),
+        _ => None,
+    }
+}
+
+/// Maps output column `index` of a scan-leaf chain down to its scan:
+/// `(source name, source-local column)` — the site a semi-join IN-set
+/// would be injected at. `None` when the subtree is not such a chain.
+fn plan_scan_site(plan: &PhysicalPlan, index: usize) -> Option<(&str, &str)> {
+    match plan {
+        PhysicalPlan::Scan {
+            source: name,
+            request,
+        } => Some((name.as_str(), request.columns().get(index)?.as_str())),
+        PhysicalPlan::Rename { input, .. } | PhysicalPlan::Filter { input, .. } => {
+            plan_scan_site(input, index)
+        }
+        PhysicalPlan::Project { input, indices, .. } => plan_scan_site(input, *indices.get(index)?),
+        _ => None,
+    }
+}
+
+/// The probe-side subtree of a hash join that semi-join sideways passing
+/// would reduce (both children hinted, probe key maps to a scan site).
+/// Mirrored by the prefetcher so it never warms — and caches — a scan the
+/// executor is about to issue reduced or cache-bypassed.
+fn semijoin_probe_plan<'p>(
+    left: &'p PhysicalPlan,
+    right: &'p PhysicalPlan,
+    left_key: usize,
+    right_key: usize,
+    source: &dyn PlanSource,
+    policy: &ExecPolicy,
+) -> Option<&'p PhysicalPlan> {
+    if policy.semijoin_max_keys == 0 {
+        return None;
+    }
+    let left_hint = plan_hint(left, source)?;
+    let right_hint = plan_hint(right, source)?;
+    let (probe, probe_key, build_hint, probe_hint) = if left_hint <= right_hint {
+        (right, right_key, left_hint, right_hint)
+    } else {
+        (left, left_key, right_hint, left_hint)
+    };
+    // Mirror of the operator's selectivity gate, approximated with the
+    // build *row* hint (an upper bound on its distinct keys): the probe is
+    // only skipped here when the operator will certainly reduce it. A
+    // duplicate-heavy build may still reduce a probe the prefetcher
+    // warmed — a wasted warm, never a wrong answer.
+    if build_hint.saturating_mul(SEMIJOIN_SELECTIVITY) > probe_hint {
+        return None;
+    }
+    // Distinct build keys never exceed the build's row hint, so requiring
+    // the hint itself under the threshold makes the skip certain: the
+    // operator will find keys <= max_keys and inject. Without this, a
+    // build hinted past the threshold would cost the probe its prefetch
+    // and then run it unreduced anyway.
+    if build_hint > policy.semijoin_max_keys as u64 {
+        return None;
+    }
+    let (scan_name, column) = plan_scan_site(probe, probe_key)?;
+    // A source that declines IN-sets will be scanned unreduced (the join's
+    // hash probe is the residual semi-join), so its probe scan should keep
+    // its prefetch overlap — probe the claim with a canonical one-element
+    // set. A value-sensitive claimer may still diverge from the real
+    // injected set; either way the cost is one wasted (or missed) warm,
+    // never a wrong answer.
+    let canonical = ColumnFilter::new(column, Predicate::in_set([Value::Int(0)]));
+    if !source.claims(scan_name, &canonical) {
+        return None;
+    }
+    Some(probe)
+}
+
+/// A pull-based streaming operator tree compiled from a [`PhysicalPlan`],
+/// bound to the context and source it executes against (cursor-only scans
+/// hold live source batch iterators, so the borrow lives in the operator).
+/// Each [`Operator::next_batch`] call yields at most [`BATCH_ROWS`] rows.
+pub struct Operator<'r> {
+    ctx: &'r ExecContext,
+    source: &'r dyn PlanSource,
+    policy: ExecPolicy,
+    node: OpNode<'r>,
+}
+
+/// A scan leaf's execution state.
+struct ScanOp<'r> {
+    source: String,
+    request: ScanRequest,
+    /// Set when the semi-join pass injected a build-key IN-set: the scan is
+    /// query-specific and must bypass (not pollute) the shared scan cache.
+    semijoin_reduced: bool,
+    state: ScanState<'r>,
+}
+
+enum ScanState<'r> {
+    /// Mode not yet decided — the first pull (or a sideways injection
+    /// before it) settles cached vs cursor-only.
+    Pending,
+    /// Serving slices of the shared cached interned table.
+    Cached { table: Arc<Batch>, cursor: usize },
+    /// Cursor-only: interned batches pulled straight from the source, one
+    /// at a time — nothing is cached, peak residency is one batch.
+    Cursor { batches: BatchIter<'r>, done: bool },
+}
+
+enum OpNode<'r> {
+    Scan(ScanOp<'r>),
     Rename {
-        input: Box<OpNode>,
+        input: Box<OpNode<'r>>,
     },
     Project {
-        input: Box<OpNode>,
+        input: Box<OpNode<'r>>,
         indices: Vec<usize>,
     },
     Filter {
-        input: Box<OpNode>,
+        input: Box<OpNode<'r>>,
         predicates: Vec<(usize, Predicate)>,
         /// Id-space forms of `predicates`, interned lazily on first pull.
         compiled: Option<Vec<(usize, CompiledPredicate)>>,
     },
     HashJoin {
-        left: Box<OpNode>,
-        right: Box<OpNode>,
+        left: Box<OpNode<'r>>,
+        right: Box<OpNode<'r>>,
         left_key: usize,
         right_key: usize,
         left_scan: Option<ScanKey>,
@@ -1501,7 +1821,7 @@ enum OpNode {
         state: Option<JoinState>,
     },
     Union {
-        inputs: Vec<OpNode>,
+        inputs: Vec<OpNode<'r>>,
         current: usize,
         seen: RowSet,
         arity: usize,
@@ -1510,11 +1830,50 @@ enum OpNode {
 
 struct JoinState {
     build: Arc<Batch>,
-    probe: Arc<Batch>,
     index: Arc<JoinIndex>,
     build_is_left: bool,
     probe_key: usize,
-    probe_cursor: usize,
+    feed: ProbeFeed,
+}
+
+/// Where a join's probe rows come from.
+enum ProbeFeed {
+    /// Legacy scheduling (no hints): the probe side was materialized to
+    /// compare sizes, iterate it in place.
+    Materialized { table: Arc<Batch>, cursor: usize },
+    /// Hint-scheduled: probe batches are pulled through the child operator
+    /// as the join emits — the probe side never materializes in the join.
+    Streamed {
+        pending: Option<(Batch, usize)>,
+        done: bool,
+    },
+}
+
+/// Emits the join rows for one probe row.
+fn join_emit(
+    out: &mut Batch,
+    probe_row: &[u32],
+    build: &Batch,
+    index: &JoinIndex,
+    build_is_left: bool,
+    probe_key: usize,
+    null_id: u32,
+) {
+    let key = probe_row[probe_key];
+    if key == null_id {
+        return; // null keys never join
+    }
+    if let Some(matches) = index.matches(key) {
+        for &bi in matches {
+            let build_row = build.row(bi as usize);
+            let (l, r) = if build_is_left {
+                (build_row, probe_row)
+            } else {
+                (probe_row, build_row)
+            };
+            out.push(l.iter().chain(r.iter()).copied());
+        }
+    }
 }
 
 /// A residual predicate lowered into interned-id space.
@@ -1557,33 +1916,111 @@ impl CompiledPredicate {
     }
 }
 
-impl Operator {
-    /// Compiles a plan into its operator tree.
-    pub fn new(plan: &PhysicalPlan) -> Self {
+impl<'r> Operator<'r> {
+    /// Compiles a plan into its operator tree, bound to the context and
+    /// source it will pull from under the given runtime policy.
+    pub fn new(
+        plan: &PhysicalPlan,
+        ctx: &'r ExecContext,
+        source: &'r dyn PlanSource,
+        policy: ExecPolicy,
+    ) -> Self {
         Self {
+            ctx,
+            source,
+            policy,
             node: OpNode::compile(plan),
         }
     }
 
     /// Pulls the next batch, or `None` when exhausted.
-    pub fn next_batch(
-        &mut self,
-        ctx: &ExecContext,
-        source: &dyn PlanSource,
-    ) -> Result<Option<Batch>, PlanError> {
-        self.node.next_batch(ctx, source)
+    pub fn next_batch(&mut self) -> Result<Option<Batch>, PlanError> {
+        self.node.next_batch(self.ctx, self.source, &self.policy)
     }
 }
 
-impl OpNode {
-    fn compile(plan: &PhysicalPlan) -> OpNode {
+impl<'r> ScanOp<'r> {
+    fn next_batch(
+        &mut self,
+        ctx: &ExecContext,
+        source: &'r dyn PlanSource,
+        policy: &ExecPolicy,
+    ) -> Result<Option<Batch>, PlanError> {
+        let ScanOp {
+            source: name,
+            request,
+            semijoin_reduced,
+            state,
+        } = self;
+        if matches!(state, ScanState::Pending) {
+            *state = if !*semijoin_reduced && scan_uses_cache(ctx, source, policy, name, request) {
+                ScanState::Cached {
+                    table: ctx.scan(source, name, request)?,
+                    cursor: 0,
+                }
+            } else {
+                ScanState::Cursor {
+                    batches: source
+                        .scan_batches(name, request, ctx.scan_batch_rows())
+                        .map_err(PlanError::Relation)?,
+                    done: false,
+                }
+            };
+        }
+        match state {
+            ScanState::Pending => unreachable!("scan state decided above"),
+            ScanState::Cached { table, cursor } => {
+                if *cursor >= table.len() {
+                    return Ok(None);
+                }
+                let take = BATCH_ROWS.min(table.len() - *cursor);
+                let out = table.slice(*cursor, take);
+                *cursor += take;
+                Ok(Some(out))
+            }
+            ScanState::Cursor { batches, done } => {
+                if *done {
+                    return Ok(None);
+                }
+                loop {
+                    match batches.next() {
+                        None => {
+                            *done = true;
+                            return Ok(None);
+                        }
+                        Some(Err(e)) => {
+                            *done = true;
+                            return Err(e.into());
+                        }
+                        Some(Ok(rows)) => {
+                            let mut out = Batch::new(request.output().len());
+                            if let Err(e) =
+                                ctx.intern_scan_rows(name, request.output(), &rows, &mut out)
+                            {
+                                *done = true;
+                                return Err(e);
+                            }
+                            if !out.is_empty() {
+                                ctx.note_high_water(out.approx_bytes());
+                                return Ok(Some(out));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'r> OpNode<'r> {
+    fn compile(plan: &PhysicalPlan) -> OpNode<'r> {
         match plan {
-            PhysicalPlan::Scan { source, request } => OpNode::Scan {
+            PhysicalPlan::Scan { source, request } => OpNode::Scan(ScanOp {
                 source: source.clone(),
                 request: request.clone(),
-                table: None,
-                cursor: 0,
-            },
+                semijoin_reduced: false,
+                state: ScanState::Pending,
+            }),
             PhysicalPlan::Rename { input, .. } => OpNode::Rename {
                 input: Box::new(OpNode::compile(input)),
             },
@@ -1623,7 +2060,7 @@ impl OpNode {
 
     fn arity(&self) -> usize {
         match self {
-            OpNode::Scan { request, .. } => request.output().len(),
+            OpNode::Scan(op) => op.request.output().len(),
             OpNode::Rename { input } => input.arity(),
             OpNode::Project { indices, .. } => indices.len(),
             OpNode::Filter { input, .. } => input.arity(),
@@ -1631,56 +2068,195 @@ impl OpNode {
         }
     }
 
-    /// Drains the subtree into one table. Scan leaves hand back the shared
-    /// interned table without copying, together with the data version their
-    /// cache entry was keyed under (`None` for interior nodes) — derived
-    /// caches must be stamped with exactly that version.
+    /// Estimated output rows of the subtree (mirror of [`plan_hint`] over
+    /// the compiled tree).
+    fn size_hint(&self, source: &dyn PlanSource) -> Option<u64> {
+        match self {
+            OpNode::Scan(op) => source.scan_hint(&op.source, &op.request),
+            OpNode::Rename { input } => input.size_hint(source),
+            OpNode::Project { input, .. } | OpNode::Filter { input, .. } => input.size_hint(source),
+            _ => None,
+        }
+    }
+
+    /// Maps output column `index` down a Rename/Project/Filter chain to the
+    /// scan leaf it originates from — the semi-join injection site.
+    fn scan_site(&mut self, index: usize) -> Option<(usize, &mut ScanOp<'r>)> {
+        match self {
+            OpNode::Scan(op) => Some((index, op)),
+            OpNode::Rename { input } | OpNode::Filter { input, .. } => input.scan_site(index),
+            OpNode::Project { input, indices, .. } => {
+                let mapped = *indices.get(index)?;
+                input.scan_site(mapped)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drains the subtree into one table. Cached-mode scan leaves hand back
+    /// the shared interned table without copying, together with the data
+    /// version their cache entry was keyed under (`None` for interior nodes
+    /// and cursor-only scans) — derived caches must be stamped with exactly
+    /// that version, and never created without one.
     fn materialize(
         &mut self,
         ctx: &ExecContext,
-        plan_source: &dyn PlanSource,
+        plan_source: &'r dyn PlanSource,
+        policy: &ExecPolicy,
     ) -> Result<(Arc<Batch>, Option<u64>), PlanError> {
-        if let OpNode::Scan {
-            source, request, ..
-        } = self
-        {
-            let (batch, version) = ctx.scan_versioned(plan_source, source, request)?;
-            return Ok((batch, Some(version)));
+        if let OpNode::Scan(op) = self {
+            if !op.semijoin_reduced
+                && scan_uses_cache(ctx, plan_source, policy, &op.source, &op.request)
+            {
+                let (batch, version) = ctx.scan_versioned(plan_source, &op.source, &op.request)?;
+                return Ok((batch, Some(version)));
+            }
         }
         let mut out = Batch::new(self.arity());
-        while let Some(batch) = self.next_batch(ctx, plan_source)? {
+        while let Some(batch) = self.next_batch(ctx, plan_source, policy)? {
             out.append(&batch);
         }
         Ok((Arc::new(out), None))
     }
 
+    /// First-pull scheduling of a hash join.
+    ///
+    /// With semi-join passing enabled and both children hinted, the build
+    /// side (hinted-smaller; ties build left, like the eager rule on equal
+    /// sizes) completes **before** the probe scan is requested, and its
+    /// distinct key set — the build index's key set, free to derive — is
+    /// injected into the probe scan as an IN-set when it is small enough
+    /// and the source claims it. An unclaimed or over-threshold key set
+    /// changes nothing: the join's own hash probe is the residual
+    /// semi-join, so answers are identical wherever the filtering runs.
+    ///
+    /// Without hints (or with the pass disabled), both sides materialize
+    /// and the build goes on the actual smaller side — the legacy schedule,
+    /// byte-compatible with the eager `ops::join`.
+    #[allow(clippy::too_many_arguments)]
+    fn init_join(
+        left: &mut OpNode<'r>,
+        right: &mut OpNode<'r>,
+        left_key: usize,
+        right_key: usize,
+        left_scan: &Option<ScanKey>,
+        right_scan: &Option<ScanKey>,
+        ctx: &ExecContext,
+        source: &'r dyn PlanSource,
+        policy: &ExecPolicy,
+    ) -> Result<JoinState, PlanError> {
+        let hints = (policy.semijoin_max_keys > 0)
+            .then(|| left.size_hint(source).zip(right.size_hint(source)))
+            .flatten();
+        if let Some((left_hint, right_hint)) = hints {
+            let build_is_left = left_hint <= right_hint;
+            let (build_node, probe_node, build_key, probe_key, build_scan, probe_hint) =
+                if build_is_left {
+                    (left, right, left_key, right_key, left_scan, right_hint)
+                } else {
+                    (right, left, right_key, left_key, right_scan, left_hint)
+                };
+            let (build, build_version) = build_node.materialize(ctx, source, policy)?;
+            let cache_key = build_scan.clone().zip(build_version).map(|(mut k, v)| {
+                k.data_version = v;
+                (k, build_key)
+            });
+            let index = ctx.build_index(cache_key, &build, build_key);
+            // Inject only when the key set is both small enough to
+            // evaluate source-side and selective enough to actually shrink
+            // the probe (see SEMIJOIN_SELECTIVITY).
+            if index.distinct_keys() <= policy.semijoin_max_keys
+                && (index.distinct_keys() as u64).saturating_mul(SEMIJOIN_SELECTIVITY) <= probe_hint
+            {
+                if let Some((column_index, scan)) = probe_node.scan_site(probe_key) {
+                    // A warm cached unreduced scan beats a reduced re-read
+                    // of the source: serve it and let the join's hash probe
+                    // be the semi-join (answer-identical, strictly cheaper).
+                    if matches!(scan.state, ScanState::Pending)
+                        && !ctx.scan_resolved(source, &scan.source, &scan.request)
+                    {
+                        if let Some(column) = scan.request.columns().get(column_index) {
+                            let filter = ColumnFilter::new(
+                                column.clone(),
+                                Predicate::in_set(ctx.decode_ids(index.keys())),
+                            );
+                            if source.claims(&scan.source, &filter) {
+                                scan.request.add_column_filter(filter);
+                                scan.semijoin_reduced = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(JoinState {
+                build,
+                index,
+                build_is_left,
+                probe_key,
+                feed: ProbeFeed::Streamed {
+                    pending: None,
+                    done: false,
+                },
+            })
+        } else {
+            let (left_table, left_version) = left.materialize(ctx, source, policy)?;
+            let (right_table, right_version) = right.materialize(ctx, source, policy)?;
+            // Build on the smaller side — the same rule (and thus the same
+            // output row order) as the eager `ops::join`.
+            let build_is_left = left_table.len() <= right_table.len();
+            let (build, probe, build_key, probe_key, build_scan, build_version) = if build_is_left {
+                (
+                    left_table,
+                    right_table,
+                    left_key,
+                    right_key,
+                    left_scan,
+                    left_version,
+                )
+            } else {
+                (
+                    right_table,
+                    left_table,
+                    right_key,
+                    left_key,
+                    right_scan,
+                    right_version,
+                )
+            };
+            // Scan keys are compiled with a placeholder data version; stamp
+            // the version the build side's scan was actually keyed under
+            // (never a re-read one — a mutation landing between the scan
+            // and this point would otherwise cache an old-batch index under
+            // the new version).
+            let cache_key = build_scan.clone().zip(build_version).map(|(mut k, v)| {
+                k.data_version = v;
+                (k, build_key)
+            });
+            let index = ctx.build_index(cache_key, &build, build_key);
+            Ok(JoinState {
+                build,
+                index,
+                build_is_left,
+                probe_key,
+                feed: ProbeFeed::Materialized {
+                    table: probe,
+                    cursor: 0,
+                },
+            })
+        }
+    }
+
     fn next_batch(
         &mut self,
         ctx: &ExecContext,
-        plan_source: &dyn PlanSource,
+        plan_source: &'r dyn PlanSource,
+        policy: &ExecPolicy,
     ) -> Result<Option<Batch>, PlanError> {
         match self {
-            OpNode::Scan {
-                source,
-                request,
-                table,
-                cursor,
-            } => {
-                if table.is_none() {
-                    *table = Some(ctx.scan(plan_source, source, request)?);
-                }
-                let t = table.as_ref().expect("scan table just initialized");
-                if *cursor >= t.len() {
-                    return Ok(None);
-                }
-                let take = BATCH_ROWS.min(t.len() - *cursor);
-                let out = t.slice(*cursor, take);
-                *cursor += take;
-                Ok(Some(out))
-            }
-            OpNode::Rename { input } => input.next_batch(ctx, plan_source),
+            OpNode::Scan(op) => op.next_batch(ctx, plan_source, policy),
+            OpNode::Rename { input } => input.next_batch(ctx, plan_source, policy),
             OpNode::Project { input, indices } => {
-                let Some(batch) = input.next_batch(ctx, plan_source)? else {
+                let Some(batch) = input.next_batch(ctx, plan_source, policy)? else {
                     return Ok(None);
                 };
                 let mut out = Batch::new(indices.len());
@@ -1701,7 +2277,7 @@ impl OpNode {
                         .collect()
                 });
                 loop {
-                    let Some(batch) = input.next_batch(ctx, plan_source)? else {
+                    let Some(batch) = input.next_batch(ctx, plan_source, policy)? else {
                         return Ok(None);
                     };
                     let mut out = Batch::new(batch.arity());
@@ -1729,71 +2305,77 @@ impl OpNode {
                 state,
             } => {
                 if state.is_none() {
-                    let (left_table, left_version) = left.materialize(ctx, plan_source)?;
-                    let (right_table, right_version) = right.materialize(ctx, plan_source)?;
-                    // Build on the smaller side — the same rule (and thus the
-                    // same output row order) as the eager `ops::join`.
-                    let build_is_left = left_table.len() <= right_table.len();
-                    let (build, probe, build_key, probe_key, build_cache, build_version) =
-                        if build_is_left {
-                            (
-                                left_table,
-                                right_table,
-                                *left_key,
-                                *right_key,
-                                left_scan,
-                                left_version,
-                            )
-                        } else {
-                            (
-                                right_table,
-                                left_table,
-                                *right_key,
-                                *left_key,
-                                right_scan,
-                                right_version,
-                            )
-                        };
-                    // Scan keys are compiled with a placeholder data
-                    // version; stamp the version the build side's scan was
-                    // actually keyed under (never a re-read one — a
-                    // mutation landing between the scan and this point
-                    // would otherwise cache an old-batch index under the
-                    // new version).
-                    let cache_key = build_cache.clone().zip(build_version).map(|(mut k, v)| {
-                        k.data_version = v;
-                        (k, build_key)
-                    });
-                    let index = ctx.build_index(cache_key, &build, build_key);
-                    *state = Some(JoinState {
-                        build,
-                        probe,
-                        index,
-                        build_is_left,
-                        probe_key,
-                        probe_cursor: 0,
-                    });
+                    *state = Some(Self::init_join(
+                        left.as_mut(),
+                        right.as_mut(),
+                        *left_key,
+                        *right_key,
+                        left_scan,
+                        right_scan,
+                        ctx,
+                        plan_source,
+                        policy,
+                    )?);
                 }
-                let st = state.as_mut().expect("join state just initialized");
+                let JoinState {
+                    build,
+                    index,
+                    build_is_left,
+                    probe_key,
+                    feed,
+                } = state.as_mut().expect("join state just initialized");
                 let mut out = Batch::new(*arity);
-                while st.probe_cursor < st.probe.len() && out.len() < BATCH_ROWS {
-                    let probe_row = st.probe.row(st.probe_cursor);
-                    st.probe_cursor += 1;
-                    let key = probe_row[st.probe_key];
-                    if key == ctx.null_id() {
-                        continue;
-                    }
-                    if let Some(matches) = st.index.matches(key) {
-                        for &bi in matches {
-                            let build_row = st.build.row(bi as usize);
-                            let (l, r) = if st.build_is_left {
-                                (build_row, probe_row)
-                            } else {
-                                (probe_row, build_row)
-                            };
-                            out.push(l.iter().chain(r.iter()).copied());
+                match feed {
+                    ProbeFeed::Materialized { table, cursor } => {
+                        while *cursor < table.len() && out.len() < BATCH_ROWS {
+                            let probe_row = table.row(*cursor);
+                            *cursor += 1;
+                            join_emit(
+                                &mut out,
+                                probe_row,
+                                build,
+                                index,
+                                *build_is_left,
+                                *probe_key,
+                                ctx.null_id(),
+                            );
                         }
                     }
+                    ProbeFeed::Streamed { pending, done } => loop {
+                        let exhausted = if let Some((batch, cursor)) = pending.as_mut() {
+                            while *cursor < batch.len() && out.len() < BATCH_ROWS {
+                                let probe_row = batch.row(*cursor);
+                                *cursor += 1;
+                                join_emit(
+                                    &mut out,
+                                    probe_row,
+                                    build,
+                                    index,
+                                    *build_is_left,
+                                    *probe_key,
+                                    ctx.null_id(),
+                                );
+                            }
+                            *cursor >= batch.len()
+                        } else {
+                            false
+                        };
+                        if exhausted {
+                            *pending = None;
+                        }
+                        if out.len() >= BATCH_ROWS || *done {
+                            break;
+                        }
+                        let probe_node = if *build_is_left {
+                            right.as_mut()
+                        } else {
+                            left.as_mut()
+                        };
+                        match probe_node.next_batch(ctx, plan_source, policy)? {
+                            Some(batch) => *pending = Some((batch, 0)),
+                            None => *done = true,
+                        }
+                    },
                 }
                 if out.is_empty() {
                     Ok(None)
@@ -1810,7 +2392,7 @@ impl OpNode {
                 let Some(input) = inputs.get_mut(*current) else {
                     return Ok(None);
                 };
-                match input.next_batch(ctx, plan_source)? {
+                match input.next_batch(ctx, plan_source, policy)? {
                     None => *current += 1,
                     Some(batch) => {
                         let mut out = Batch::new(*arity);
@@ -1839,71 +2421,126 @@ pub fn execute_plan(plan: &PhysicalPlan, source: &dyn PlanSource) -> Result<Rela
     execute_plan_in(plan, &ctx, source)
 }
 
-/// Runs a plan to completion against an existing (possibly shared) context.
+/// Runs a plan to completion against an existing (possibly shared) context,
+/// under the default [`ExecPolicy`].
 pub fn execute_plan_in(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     source: &dyn PlanSource,
 ) -> Result<Relation, PlanError> {
-    let mut op = Operator::new(plan);
+    execute_plan_in_with(plan, ctx, source, ExecPolicy::default())
+}
+
+/// Runs a plan to completion against an existing context under an explicit
+/// runtime [`ExecPolicy`] (semi-join sideways passing, scan-cache mode).
+pub fn execute_plan_in_with(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    policy: ExecPolicy,
+) -> Result<Relation, PlanError> {
+    let mut op = Operator::new(plan, ctx, source, policy);
     let mut rows: Vec<Tuple> = Vec::new();
-    while let Some(batch) = op.next_batch(ctx, source)? {
+    while let Some(batch) = op.next_batch()? {
         rows.extend(ctx.decode_batch(&batch));
     }
     Ok(Relation::new(plan.schema().clone(), rows)?)
 }
 
-/// Collects the distinct scan leaves of a plan tree.
-fn collect_scans<'p>(plan: &'p PhysicalPlan, out: &mut Vec<(&'p str, &'p ScanRequest)>) {
+/// Collects the distinct scan leaves of a plan tree that the executor will
+/// materialize through the context cache — skipping cursor-only scans
+/// (nothing to warm) and the probe scans semi-join passing is about to
+/// reduce (warming those would issue the full unreduced scan the sideways
+/// pass exists to avoid, *and* pollute the cache with it).
+fn collect_prefetch_scans<'p>(
+    plan: &'p PhysicalPlan,
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    policy: &ExecPolicy,
+    out: &mut Vec<(&'p str, &'p ScanRequest)>,
+) {
     match plan {
-        PhysicalPlan::Scan { source, request } => {
-            if !out
-                .iter()
-                .any(|(s, r)| *s == source.as_str() && *r == request)
+        PhysicalPlan::Scan {
+            source: name,
+            request,
+        } => {
+            if scan_uses_cache(ctx, source, policy, name, request)
+                && !out
+                    .iter()
+                    .any(|(s, r)| *s == name.as_str() && *r == request)
             {
-                out.push((source, request));
+                out.push((name, request));
             }
         }
         PhysicalPlan::Rename { input, .. }
         | PhysicalPlan::Project { input, .. }
-        | PhysicalPlan::Filter { input, .. } => collect_scans(input, out),
-        PhysicalPlan::HashJoin { left, right, .. } => {
-            collect_scans(left, out);
-            collect_scans(right, out);
+        | PhysicalPlan::Filter { input, .. } => {
+            collect_prefetch_scans(input, ctx, source, policy, out)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
+            let probe = semijoin_probe_plan(left, right, *left_key, *right_key, source, policy);
+            for child in [&**left, &**right] {
+                if probe.is_some_and(|p| std::ptr::eq(p, child)) {
+                    // The probe chain holds exactly one scan (its injection
+                    // site); the executor issues it reduced or
+                    // cache-bypassed after the build completes.
+                    continue;
+                }
+                collect_prefetch_scans(child, ctx, source, policy, out);
+            }
         }
         PhysicalPlan::Union { inputs } => {
             for input in inputs {
-                collect_scans(input, out);
+                collect_prefetch_scans(input, ctx, source, policy, out);
             }
         }
     }
 }
 
-/// Runs a plan like [`execute_plan_in`], but first issues every distinct
-/// scan leaf concurrently on `crossbeam` scoped prefetch threads (bounded by
-/// `max_workers`), so a plan over several sources overlaps their scans with
-/// each other — and with the join pipeline, which starts pulling on the
-/// caller's thread immediately and blocks per scan only until *that* scan's
-/// shared cache cell is filled.
-///
-/// Memory stays bounded: each in-flight prefetch streams through
-/// [`PlanSource::scan_batches`] and holds at most one value-space batch;
-/// what accumulates is the interned (4-bytes-per-cell) form in the shared
-/// scan cache, which the plan's operators would have materialized anyway.
-/// Plans with fewer than two distinct scans skip the threads entirely.
+/// [`execute_plan_prefetched_with`] under the default [`ExecPolicy`].
 pub fn execute_plan_prefetched(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     source: &dyn PlanSource,
     max_workers: usize,
 ) -> Result<Relation, PlanError> {
+    execute_plan_prefetched_with(plan, ctx, source, max_workers, ExecPolicy::default())
+}
+
+/// Runs a plan like [`execute_plan_in_with`], but first issues every
+/// cache-destined scan leaf concurrently on `crossbeam` scoped prefetch
+/// threads (bounded by `max_workers`), so a plan over several sources
+/// overlaps their scans with each other — and with the join pipeline, which
+/// starts pulling on the caller's thread immediately and blocks per scan
+/// only until *that* scan's shared cache cell is filled. Scans the policy
+/// routes cursor-only, and probe scans the semi-join pass is about to
+/// reduce, are deliberately not prefetched.
+///
+/// Memory stays bounded: each in-flight prefetch streams through
+/// [`PlanSource::scan_batches`] and holds at most one value-space batch;
+/// what accumulates is the interned (4-bytes-per-cell) form in the shared
+/// scan cache, which the plan's operators would have materialized anyway.
+/// Plans with fewer than two prefetchable scans skip the threads entirely.
+pub fn execute_plan_prefetched_with(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    max_workers: usize,
+    policy: ExecPolicy,
+) -> Result<Relation, PlanError> {
     let mut scans = Vec::new();
-    collect_scans(plan, &mut scans);
+    collect_prefetch_scans(plan, ctx, source, &policy, &mut scans);
     // Warm scans need no prefetch — on a persistent context a repeated
     // query would otherwise spawn threads just to find every cell filled.
     scans.retain(|(name, request)| !ctx.scan_resolved(source, name, request));
     if scans.len() < 2 || max_workers < 2 {
-        return execute_plan_in(plan, ctx, source);
+        return execute_plan_in_with(plan, ctx, source, policy);
     }
     let next = AtomicU64::new(0);
     let workers = scans.len().min(max_workers);
@@ -1922,7 +2559,7 @@ pub fn execute_plan_prefetched(
                 let _ = ctx.scan(source, name, request);
             });
         }
-        execute_plan_in(plan, ctx, source)
+        execute_plan_in_with(plan, ctx, source, policy)
     })
     .expect("prefetch thread panicked")
 }
@@ -2139,9 +2776,10 @@ mod tests {
         .unwrap();
         let src = move |_: &str, request: &ScanRequest| request.apply(&big);
         let ctx = ExecContext::new();
-        let mut op = Operator::new(&PhysicalPlan::scan("big", ScanRequest::full(&schema)));
+        let plan = PhysicalPlan::scan("big", ScanRequest::full(&schema));
+        let mut op = Operator::new(&plan, &ctx, &src, ExecPolicy::default());
         let mut sizes = Vec::new();
-        while let Some(batch) = op.next_batch(&ctx, &src).unwrap() {
+        while let Some(batch) = op.next_batch().unwrap() {
             sizes.push(batch.len());
         }
         assert_eq!(sizes, vec![1024, 1024, 952]);
@@ -2494,5 +3132,295 @@ mod tests {
             .unwrap();
         let out = execute_plan(&plan, &NoClaims).unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    /// A source with exact row hints that records every scan request it
+    /// receives — the instrument pinning the semi-join sideways pass.
+    struct Hinted {
+        requests: std::sync::Mutex<Vec<(String, ScanRequest)>>,
+        claim_in_sets: bool,
+    }
+
+    impl Hinted {
+        fn new(claim_in_sets: bool) -> Self {
+            Self {
+                requests: std::sync::Mutex::new(Vec::new()),
+                claim_in_sets,
+            }
+        }
+
+        fn requests_for(&self, name: &str) -> Vec<ScanRequest> {
+            self.requests
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(n, _)| n == name)
+                .map(|(_, r)| r.clone())
+                .collect()
+        }
+
+        fn relation(name: &str) -> Relation {
+            match name {
+                "w1" => w1(),
+                "w3" => w3(),
+                "wbig" => wbig(),
+                // An empty source sharing w3's join column.
+                "w_empty" => Relation::empty(w3().schema().clone()),
+                other => panic!("unknown source {other}"),
+            }
+        }
+    }
+
+    impl PlanSource for Hinted {
+        fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+            self.requests
+                .lock()
+                .unwrap()
+                .push((name.to_owned(), request.clone()));
+            request.apply(&Self::relation(name))
+        }
+
+        fn scan_hint(&self, name: &str, _request: &ScanRequest) -> Option<u64> {
+            Some(Self::relation(name).len() as u64)
+        }
+
+        fn claims(&self, _source: &str, filter: &ColumnFilter) -> bool {
+            self.claim_in_sets || !matches!(filter.predicate, Predicate::In(_))
+        }
+    }
+
+    fn w1_w3_join() -> PhysicalPlan {
+        scan_all("w1", &w1())
+            .hash_join(scan_all("w3", &w3()), "VoDmonitorId", "MonitorId")
+            .unwrap()
+    }
+
+    /// A 12-row probe relation (`BigId` 10..=21) sharing w3's key domain —
+    /// big enough that w3's two build keys pass the selectivity gate.
+    fn wbig() -> Relation {
+        Relation::new(
+            Schema::from_parts(&["BigId"], &["load"]).unwrap(),
+            (0..12)
+                .map(|r| vec![Value::Int(10 + r), Value::Float(r as f64 / 4.0)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn w3_wbig_join() -> PhysicalPlan {
+        scan_all("w3", &w3())
+            .hash_join(scan_all("wbig", &wbig()), "MonitorId", "BigId")
+            .unwrap()
+    }
+
+    #[test]
+    fn semijoin_reduces_probe_scan_and_bypasses_cache() {
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        let out = execute_plan_in(&w3_wbig_join(), &ctx, &src).unwrap();
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        assert_eq!(out.len(), 2);
+        // w3 (2 rows) is the hinted-smaller build side; its two distinct
+        // MonitorId keys were pushed into wbig's scan as a canonical IN-set.
+        let probe_requests = src.requests_for("wbig");
+        assert_eq!(probe_requests.len(), 1);
+        assert_eq!(probe_requests[0].filters().len(), 1);
+        let filter = &probe_requests[0].filters()[0];
+        assert_eq!(filter.column, "BigId");
+        assert_eq!(
+            filter.predicate,
+            Predicate::in_set([Value::Int(12), Value::Int(18)])
+        );
+        // The key-reduced probe scan is query-specific: only the build
+        // side's scan landed in the shared cache.
+        assert_eq!(ctx.cached_scans(), 1);
+    }
+
+    #[test]
+    fn semijoin_respects_disable_and_threshold() {
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        // 0 disables the pass outright; 1 is under the build's 2 distinct
+        // keys, so the probe runs unreduced (and cache-normally) either way.
+        for max_keys in [0usize, 1] {
+            let src = Hinted::new(true);
+            let ctx = ExecContext::new();
+            let policy = ExecPolicy {
+                semijoin_max_keys: max_keys,
+                ..ExecPolicy::default()
+            };
+            let out = execute_plan_in_with(&w3_wbig_join(), &ctx, &src, policy).unwrap();
+            assert_eq!(out.rows(), eager.rows(), "max_keys={max_keys}");
+            assert!(src
+                .requests_for("wbig")
+                .iter()
+                .all(|r| r.filters().is_empty()));
+            assert_eq!(ctx.cached_scans(), 2);
+        }
+    }
+
+    #[test]
+    fn non_selective_joins_skip_the_sideways_pass() {
+        // w1 (3 rows) probed by w3's 2 keys: 2 x SELECTIVITY > 3, so the
+        // IN-set would not meaningfully shrink the probe — no injection,
+        // and the probe scan stays shared/cacheable.
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        let out = execute_plan_in(&w1_w3_join(), &ctx, &src).unwrap();
+        let eager = ops::join(&w1(), &w3(), "VoDmonitorId", "MonitorId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        assert!(src
+            .requests_for("w1")
+            .iter()
+            .all(|r| r.filters().is_empty()));
+        assert_eq!(ctx.cached_scans(), 2);
+    }
+
+    #[test]
+    fn unclaimed_in_set_falls_back_to_the_join_probe() {
+        // The source declines IN-sets: the probe scan stays unreduced (and
+        // cached), and the join's own hash probe is the residual semi-join.
+        let src = Hinted::new(false);
+        let ctx = ExecContext::new();
+        let out = execute_plan_in(&w3_wbig_join(), &ctx, &src).unwrap();
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        assert!(src
+            .requests_for("wbig")
+            .iter()
+            .all(|r| r.filters().is_empty()));
+        assert_eq!(ctx.cached_scans(), 2);
+    }
+
+    #[test]
+    fn empty_build_side_reduces_probe_to_nothing() {
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        let plan = PhysicalPlan::scan("w_empty", ScanRequest::full(w3().schema()))
+            .hash_join(scan_all("wbig", &wbig()), "MonitorId", "BigId")
+            .unwrap();
+        let out = execute_plan_in(&plan, &ctx, &src).unwrap();
+        assert!(out.is_empty());
+        // The injected IN-set is the canonical empty set — the probe source
+        // ships no rows at all.
+        let probe_requests = src.requests_for("wbig");
+        assert_eq!(probe_requests.len(), 1);
+        assert_eq!(
+            probe_requests[0].filters()[0].predicate,
+            Predicate::in_set([])
+        );
+    }
+
+    #[test]
+    fn warm_cached_probe_scan_beats_injection() {
+        // A prior query already cached wbig's unreduced scan on this
+        // context: injecting the IN-set would force a source re-read, so
+        // the pass stands down and the join probes the warm table.
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        execute_plan_in(&scan_all("wbig", &wbig()), &ctx, &src).unwrap();
+        assert_eq!(src.requests_for("wbig").len(), 1);
+        let out = execute_plan_in(&w3_wbig_join(), &ctx, &src).unwrap();
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        // No second wbig read happened, filtered or otherwise.
+        let probe_requests = src.requests_for("wbig");
+        assert_eq!(probe_requests.len(), 1);
+        assert!(probe_requests[0].filters().is_empty());
+        assert_eq!(ctx.cached_scans(), 2);
+    }
+
+    #[test]
+    fn semijoin_survives_prefetched_execution() {
+        // The prefetcher must not warm (and cache) the probe scan the
+        // sideways pass is about to reduce: wbig is scanned exactly once,
+        // already carrying the IN-set.
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        let out =
+            execute_plan_prefetched_with(&w3_wbig_join(), &ctx, &src, 8, ExecPolicy::default())
+                .unwrap();
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        let probe_requests = src.requests_for("wbig");
+        assert_eq!(probe_requests.len(), 1);
+        assert_eq!(probe_requests[0].filters().len(), 1);
+        assert_eq!(ctx.cached_scans(), 1);
+    }
+
+    #[test]
+    fn cursor_only_mode_never_caches() {
+        let scans = AtomicUsize::new(0);
+        let counting = |name: &str, request: &ScanRequest| {
+            scans.fetch_add(1, Ordering::SeqCst);
+            source(name, request)
+        };
+        let ctx = ExecContext::new();
+        let policy = ExecPolicy {
+            scan_cache: ScanCache::Never,
+            ..ExecPolicy::default()
+        };
+        let plan = w1_w3_join();
+        let reference = execute_plan(&plan, &source).unwrap();
+        let first = execute_plan_in_with(&plan, &ctx, &counting, policy).unwrap();
+        assert_eq!(first.rows(), reference.rows());
+        assert_eq!(ctx.cached_scans(), 0);
+        let scans_after_first = scans.load(Ordering::SeqCst);
+        assert_eq!(scans_after_first, 2);
+        // A second execution re-reads the sources — nothing was cached.
+        let second = execute_plan_in_with(&plan, &ctx, &counting, policy).unwrap();
+        assert_eq!(second.rows(), reference.rows());
+        assert_eq!(scans.load(Ordering::SeqCst), 2 * scans_after_first);
+        assert_eq!(ctx.cached_builds(), 0); // no version → no build caching
+    }
+
+    #[test]
+    fn auto_mode_gates_on_value_cap_and_hint() {
+        // w1's hint (3 rows) exceeds a cap of 2 → cursor-only under Auto.
+        let src = Hinted::new(true);
+        let capped = ExecContext::new().with_value_cap(2);
+        let plan = scan_all("w1", &w1());
+        let out = execute_plan_in_with(&plan, &capped, &src, ExecPolicy::default()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(capped.cached_scans(), 0);
+        // An uncapped context caches as before.
+        let uncapped = ExecContext::new();
+        execute_plan_in_with(&plan, &uncapped, &src, ExecPolicy::default()).unwrap();
+        assert_eq!(uncapped.cached_scans(), 1);
+        // A hintless source always caches under Auto, capped or not.
+        let hintless = ExecContext::new().with_value_cap(2);
+        execute_plan_in_with(&plan, &hintless, &source, ExecPolicy::default()).unwrap();
+        assert_eq!(hintless.cached_scans(), 1);
+    }
+
+    #[test]
+    fn cursor_mode_peaks_below_cached_mode() {
+        // A 5000-row scan over a 16-value domain: the cached interned table
+        // dominates the resident estimate; cursor-only holds one batch.
+        let schema = Schema::from_parts::<&str>(&["id"], &[]).unwrap();
+        let big = Relation::new(
+            schema.clone(),
+            (0..5000).map(|i| vec![Value::Int(i % 16)]).collect(),
+        )
+        .unwrap();
+        let src = move |_: &str, request: &ScanRequest| request.apply(&big);
+        let plan = PhysicalPlan::scan("big", ScanRequest::full(&schema));
+
+        let cached_ctx = ExecContext::new();
+        let cached = execute_plan_in(&plan, &cached_ctx, &src).unwrap();
+        let cursor_ctx = ExecContext::new();
+        let policy = ExecPolicy {
+            scan_cache: ScanCache::Never,
+            ..ExecPolicy::default()
+        };
+        let streamed = execute_plan_in_with(&plan, &cursor_ctx, &src, policy).unwrap();
+        assert_eq!(streamed.rows(), cached.rows());
+        assert!(cursor_ctx.peak_bytes() > 0);
+        assert!(
+            cursor_ctx.peak_bytes() < cached_ctx.peak_bytes(),
+            "cursor peak {} >= cached peak {}",
+            cursor_ctx.peak_bytes(),
+            cached_ctx.peak_bytes()
+        );
     }
 }

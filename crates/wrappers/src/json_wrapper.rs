@@ -63,6 +63,10 @@ pub struct JsonWrapper {
     store: DocStore,
     collection: String,
     pipeline: Pipeline,
+    /// Capability fingerprint, computed once — this wrapper's claims
+    /// depend only on its immutable schema (column presence, dotted
+    /// names) and the predicate shape.
+    claims_fp: u64,
 }
 
 impl JsonWrapper {
@@ -89,14 +93,19 @@ impl JsonWrapper {
                 }
             }
         }
-        Ok(Self {
+        let mut wrapper = Self {
             name,
             source: source.into(),
             schema,
             store,
             collection: collection.into(),
             pipeline,
-        })
+            claims_fp: 0,
+        };
+        wrapper.claims_fp = crate::wrapper::probe_claims_fingerprint(&wrapper.schema, |f| {
+            Wrapper::claims_filter(&wrapper, f)
+        });
+        Ok(wrapper)
     }
 
     /// The backing collection's name.
@@ -374,9 +383,33 @@ impl Wrapper for JsonWrapper {
         })))
     }
 
-    /// The backing [`DocStore`]'s store-wide mutation counter.
+    /// The backing *collection*'s mutation counter
+    /// ([`DocStore::collection_version`]): inserts into sibling collections
+    /// of the same store never move it, so this wrapper's cached scans
+    /// survive them.
     fn data_version(&self) -> u64 {
-        self.store.data_version()
+        self.store.collection_version(&self.collection)
+    }
+
+    /// Exact only when the wrapper's own pipeline cannot change the
+    /// document count (`$project`-only): one output row per stored
+    /// document. Pipelines with `$match`/`$limit` stages return `None` —
+    /// an inexact hint could flip hint-driven join scheduling away from
+    /// the eager build-side choice and perturb unfiltered row order.
+    fn scan_hint(&self, _request: &ScanRequest) -> Option<u64> {
+        if self.pipeline.preserves_doc_count() {
+            self.store
+                .collection_len(&self.collection)
+                .ok()
+                .map(|n| n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Construction-time probe hash (claims never change at run time).
+    fn claims_fingerprint(&self) -> u64 {
+        self.claims_fp
     }
 }
 

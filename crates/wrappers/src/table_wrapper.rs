@@ -4,9 +4,46 @@
 
 use crate::wrapper::{RowBatches, Wrapper, WrapperError};
 use bdi_relational::plan::{Predicate, ScanRequest};
-use bdi_relational::{Relation, Schema, Tuple};
+use bdi_relational::{Relation, Schema, Tuple, Value};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest IN-set the scan loop pre-sorts for binary-search membership:
+/// below this, the linear `Predicate::matches` scan wins on constant cost.
+const SORTED_IN_MIN: usize = 9;
+
+/// A pushed-down predicate compiled for the scan's hot loop. Semi-join
+/// sideways passing injects IN-sets of up to thousands of build keys;
+/// evaluating those linearly per row would cost more than the shipped rows
+/// saved, so large sets are sorted once and probed by binary search —
+/// `Value`'s total order is consistent with its equality (cross-type
+/// numerics compare `Equal`), so the membership answers are identical to
+/// [`Predicate::matches`].
+enum CompiledFilter {
+    Pred(Predicate),
+    SortedIn(Vec<Value>),
+}
+
+impl CompiledFilter {
+    fn new(predicate: &Predicate) -> Self {
+        match predicate {
+            Predicate::In(values) if values.len() >= SORTED_IN_MIN => {
+                let mut sorted = values.clone();
+                sorted.sort();
+                sorted.dedup();
+                CompiledFilter::SortedIn(sorted)
+            }
+            other => CompiledFilter::Pred(other.clone()),
+        }
+    }
+
+    fn matches(&self, value: &Value) -> bool {
+        match self {
+            CompiledFilter::Pred(predicate) => predicate.matches(value),
+            CompiledFilter::SortedIn(values) => values.binary_search(value).is_ok(),
+        }
+    }
+}
 
 /// A static (but appendable) in-memory wrapper.
 pub struct TableWrapper {
@@ -17,6 +54,9 @@ pub struct TableWrapper {
     /// Bumped by every [`TableWrapper::push`] — the wrapper's
     /// [`Wrapper::data_version`].
     version: AtomicU64,
+    /// Capability fingerprint, computed once — this wrapper's claims
+    /// depend only on its immutable schema.
+    claims_fp: u64,
 }
 
 impl TableWrapper {
@@ -29,13 +69,18 @@ impl TableWrapper {
     ) -> Result<Self, WrapperError> {
         // Validate arity once up front.
         Relation::new(schema.clone(), rows.clone())?;
-        Ok(Self {
+        let mut wrapper = Self {
             name: name.into(),
             source: source.into(),
             schema,
             rows: RwLock::new(rows),
             version: AtomicU64::new(0),
-        })
+            claims_fp: 0,
+        };
+        wrapper.claims_fp = crate::wrapper::probe_claims_fingerprint(&wrapper.schema, |f| {
+            Wrapper::claims_filter(&wrapper, f)
+        });
+        Ok(wrapper)
     }
 
     /// Appends a row (new source data arriving) and bumps the data version.
@@ -113,13 +158,13 @@ impl Wrapper for TableWrapper {
                     .map_err(bdi_relational::RelationError::Schema)?,
             );
         }
-        let mut filters: Vec<(usize, Predicate)> = Vec::with_capacity(request.filters().len());
+        let mut filters: Vec<(usize, CompiledFilter)> = Vec::with_capacity(request.filters().len());
         for f in request.filters() {
             filters.push((
                 self.schema
                     .require(&f.column)
                     .map_err(bdi_relational::RelationError::Schema)?,
-                f.predicate.clone(),
+                CompiledFilter::new(&f.predicate),
             ));
         }
         let batch_rows = batch_rows.max(1);
@@ -157,6 +202,17 @@ impl Wrapper for TableWrapper {
 
     fn data_version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// Exact for unfiltered requests (the projection never changes the row
+    /// count); an upper bound when the request carries filters.
+    fn scan_hint(&self, _request: &ScanRequest) -> Option<u64> {
+        Some(self.rows.read().len() as u64)
+    }
+
+    /// Construction-time probe hash (claims never change at run time).
+    fn claims_fingerprint(&self) -> u64 {
+        self.claims_fp
     }
 
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {

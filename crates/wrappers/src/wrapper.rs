@@ -7,10 +7,11 @@
 //! ontology layer never talks to a source directly.
 
 use bdi_relational::plan::{
-    batches_from_relation, BatchIter, ColumnFilter, PlanSource, ScanRequest,
+    batches_from_relation, BatchIter, ColumnFilter, PlanSource, Predicate, ScanRequest,
 };
-use bdi_relational::{Relation, RelationError, Schema, SourceResolver, Tuple};
+use bdi_relational::{Relation, RelationError, Schema, SourceResolver, Tuple, Value};
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Errors raised by wrapper execution.
@@ -124,12 +125,60 @@ pub trait Wrapper: Send + Sync {
         true
     }
 
+    /// A cheap estimate of how many rows [`Wrapper::scan_request`] would
+    /// yield, or `None` when the wrapper cannot produce one. The mediator
+    /// uses it for execution-time scheduling only (hash-join build-side
+    /// choice for semi-join sideways passing, cursor-only gating) — never
+    /// for correctness. Return the exact count for unfiltered requests or
+    /// `None` rather than guess; filtered requests may be estimated by
+    /// their unfiltered count.
+    fn scan_hint(&self, _request: &ScanRequest) -> Option<u64> {
+        None
+    }
+
+    /// A fingerprint of the wrapper's [`Wrapper::claims_filter`] answers:
+    /// every schema column probed with one canonical predicate per
+    /// [`Predicate`] kind (equality, IN-set, range) — see
+    /// [`probe_claims_fingerprint`]. The system folds it into the
+    /// plan-cache validity stamp, so a wrapper whose claim answers change
+    /// at run time invalidates compiled plans — whose residual filter
+    /// split was derived from the old answers. This default re-probes on
+    /// every call (correct for any claims behaviour); the built-in wrapper
+    /// kinds, whose claims depend only on their immutable schema and the
+    /// predicate shape, override it with a value computed once at
+    /// construction so the per-query validity stamp costs a load. Wrapper
+    /// kinds whose claims depend on predicate *values* beyond the
+    /// canonical probes should override this to reflect those dynamics.
+    fn claims_fingerprint(&self) -> u64 {
+        probe_claims_fingerprint(self.schema(), |filter| self.claims_filter(filter))
+    }
+
     /// The wrapper's serializable definition, when it has one (used by
     /// deployment snapshots). Defaults to `None` for wrapper kinds that
     /// cannot be persisted.
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
         None
     }
+}
+
+/// The probe-hash behind [`Wrapper::claims_fingerprint`]: every schema
+/// column × one canonical predicate per [`Predicate`] kind, hashed with the
+/// claim answer. Exposed so wrapper kinds with static claims can compute it
+/// once at construction instead of re-probing per query.
+pub fn probe_claims_fingerprint(schema: &Schema, claims: impl Fn(&ColumnFilter) -> bool) -> u64 {
+    let probes = [
+        Predicate::eq(0),
+        Predicate::in_set([Value::Int(0)]),
+        Predicate::between(0, 1),
+    ];
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for (column_index, column) in schema.names().iter().enumerate() {
+        for (kind, predicate) in probes.iter().enumerate() {
+            let claimed = claims(&ColumnFilter::new(*column, predicate.clone()));
+            (column_index, kind, claimed).hash(&mut hasher);
+        }
+    }
+    hasher.finish()
 }
 
 /// A shared, name-indexed set of wrappers. Implements
@@ -177,6 +226,18 @@ impl WrapperRegistry {
             .values()
             .filter(|w| w.source() == source)
             .collect()
+    }
+
+    /// Order-independent combination of every wrapper's name and
+    /// [`Wrapper::claims_fingerprint`] — the registry-wide capability
+    /// fingerprint the system folds into its plan-cache validity stamp.
+    pub fn capabilities_fingerprint(&self) -> u64 {
+        self.wrappers.values().fold(0u64, |acc, w| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            w.name().hash(&mut hasher);
+            w.claims_fingerprint().hash(&mut hasher);
+            acc.wrapping_add(hasher.finish())
+        })
     }
 }
 
@@ -241,6 +302,12 @@ impl PlanSource for WrapperRegistry {
             .get(name)
             .map(|w| w.claims_filter(filter))
             .unwrap_or(true)
+    }
+
+    /// The wrapper's own scan-size estimate (`None` for unknown wrappers —
+    /// the error surfaces at scan time).
+    fn scan_hint(&self, name: &str, request: &ScanRequest) -> Option<u64> {
+        self.wrappers.get(name)?.scan_hint(request)
     }
 }
 

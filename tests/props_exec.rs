@@ -10,7 +10,7 @@
 
 use bdi::core::exec::{self, Engine, ExecOptions, FeatureFilter};
 use bdi::core::system::VersionScope;
-use bdi::relational::plan::{Bound, ColumnFilter, Predicate};
+use bdi::relational::plan::{Bound, ColumnFilter, Predicate, ScanCache};
 use bdi::relational::{PlanSource, Relation, RelationError, ScanRequest, SourceResolver, Value};
 use bdi_bench::synthetic;
 use proptest::prelude::*;
@@ -484,6 +484,52 @@ proptest! {
                     let idx = if f.feature == synthetic::chain_id_feature(1) { 0 } else { 1 };
                     prop_assert!(f.predicate.matches(&row[idx]));
                 }
+            }
+        }
+    }
+
+    // The semi-join sideways pass and the cursor-only scan modes are pure
+    // execution-time policies: over random join shapes (multi-concept
+    // chains with null keys, cross-typed numerics and duplicate rows),
+    // every (semijoin_max_keys, scan_cache) combination must reproduce the
+    // eager reference byte for byte — 0 disables the pass, 1 exercises
+    // hint scheduling whose threshold almost never admits injection, 8
+    // fires on small builds, ∞ always fires; Never re-reads every source
+    // cursor-only. All combinations share one system (and its persistent
+    // context), so cache-policy cross-talk would surface here too.
+    #[test]
+    fn semijoin_and_cursor_modes_match_eager(
+        concepts in 1usize..4,
+        wrappers in 1usize..3,
+        data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..10),
+        parallel in any::<bool>(),
+    ) {
+        let system = build_system(concepts, wrappers, &data);
+        let reference = system
+            .answer_with(synthetic::chain_query(concepts), &VersionScope::All, &eager())
+            .unwrap();
+        for max_keys in [0usize, 1, 8, usize::MAX] {
+            for scan_cache in [ScanCache::Always, ScanCache::Never] {
+                let streamed = system
+                    .answer_with(
+                        synthetic::chain_query(concepts),
+                        &VersionScope::All,
+                        &ExecOptions {
+                            semijoin_max_keys: max_keys,
+                            scan_cache,
+                            ..streaming(true, parallel)
+                        },
+                    )
+                    .unwrap();
+                prop_assert!(
+                    streamed.relation.rows() == reference.relation.rows(),
+                    "mismatch (max_keys={} scan_cache={:?} parallel={}):\n streamed {:?}\n reference {:?}",
+                    max_keys,
+                    scan_cache,
+                    parallel,
+                    streamed.relation.rows(),
+                    reference.relation.rows()
+                );
             }
         }
     }

@@ -78,10 +78,10 @@ fn wrapper_push_between_queries_is_never_served_stale() {
     }
 }
 
-/// The validity stamp is two-tier: a wrapper-data mutation retires the
-/// persistent scan context (fresh rows, as above) but must NOT flush the
-/// compiled-plan cache — plans are data-independent, and append-heavy
-/// workloads keep their plan-cache hits.
+/// A wrapper-data mutation must NOT flush the compiled-plan cache — plans
+/// are data-independent, and append-heavy workloads keep their plan-cache
+/// hits (staleness is handled one level down by per-scan data-version
+/// keys).
 #[test]
 fn data_mutations_keep_compiled_plans_while_retiring_scans() {
     let (system, wrapper) = system_with_handle(rows(3));
@@ -102,6 +102,36 @@ fn data_mutations_keep_compiled_plans_while_retiring_scans() {
     assert_eq!(stats.misses, baseline.misses); // …without a recompile
     assert_eq!(stats.hits, baseline.hits + 1);
     assert_eq!(stats.entries, baseline.entries);
+}
+
+/// Sibling-wrapper isolation: a push into one wrapper must not flush the
+/// other wrappers' cached scans — the persistent context survives data
+/// mutations (per-scan data-version keys carry correctness), so only the
+/// mutated wrapper re-scans.
+#[test]
+fn sibling_wrapper_scans_survive_a_push() {
+    let (system, wrapper) = system_with_handle(rows(3));
+    let options = ExecOptions::default();
+    // The 1-concept system has two wrappers providing f1: the chain
+    // builder's (empty) and the handle's. One query scans and caches both.
+    let before = system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(before.relation.len(), 3);
+    assert_eq!(system.context_stats().cached_scans, 2);
+
+    wrapper
+        .push(vec![Value::Int(77), Value::Float(7.7)])
+        .unwrap();
+    let after = system
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(after.relation.len(), 4);
+    // Only the pushed wrapper re-scanned (one new version-keyed entry; the
+    // stale one ages out through the LRU cap). The sibling's entry — and
+    // the whole context — survived: on the pre-fix code the context was
+    // retired wholesale and this reads 2 again.
+    assert_eq!(system.context_stats().cached_scans, 3);
 }
 
 /// A one-concept system over a [`bdi::docstore::DocStore`]-backed
@@ -266,4 +296,306 @@ fn capped_context_pool_stays_bounded_across_1k_queries() {
         last > cap + one_query_slack,
         "control failed to grow: {last}"
     );
+}
+
+/// Per-collection docstore versions: two `JsonWrapper`s over two
+/// collections of ONE store. Inserting into one collection re-scans only
+/// its own wrapper — the sibling's cached scan (and the whole persistent
+/// context) survives.
+#[test]
+fn sibling_collection_scans_survive_inserts() {
+    use bdi::core::release::Release;
+    use bdi::core::vocab as core_vocab;
+    use bdi::docstore::{DocStore, Pipeline, Projection};
+    use bdi::rdf::model::{Iri, Triple};
+    use bdi::relational::Schema;
+    use bdi::wrappers::JsonWrapper;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let ns = "http://example.org/sibling/";
+    let store = DocStore::new();
+    store
+        .insert_many("c1", vec![serde_json::json!({"id": 1, "val": 10})])
+        .unwrap();
+    store
+        .insert_many("c2", vec![serde_json::json!({"id": 2, "val": 20})])
+        .unwrap();
+
+    let mut system = BdiSystem::new();
+    let mut omqs = Vec::new();
+    for (n, collection) in [(1usize, "c1"), (2, "c2")] {
+        let concept = Iri::new(format!("{ns}C{n}"));
+        let feature = Iri::new(format!("{ns}val{n}"));
+        let id_feature = Iri::new(format!("{ns}id{n}"));
+        {
+            let ontology = system.ontology();
+            ontology.add_concept(&concept);
+            ontology.add_id_feature(&id_feature);
+            ontology.attach_feature(&concept, &id_feature).unwrap();
+            ontology.add_feature(&feature);
+            ontology.attach_feature(&concept, &feature).unwrap();
+        }
+        let wrapper = Arc::new(
+            JsonWrapper::new(
+                format!("wj{n}"),
+                format!("DJ{n}"),
+                Schema::from_parts(&["id"], &["val"]).unwrap(),
+                store.clone(),
+                collection,
+                Pipeline::new().project(vec![
+                    Projection::field("id", "id"),
+                    Projection::field("val", "val"),
+                ]),
+            )
+            .unwrap(),
+        );
+        let has_feature = |f: &Iri| {
+            Triple::new(
+                concept.clone(),
+                (*core_vocab::g::HAS_FEATURE).clone(),
+                f.clone(),
+            )
+        };
+        let lav = vec![has_feature(&id_feature), has_feature(&feature)];
+        let mappings = BTreeMap::from([
+            ("id".to_owned(), id_feature.clone()),
+            ("val".to_owned(), feature.clone()),
+        ]);
+        system
+            .register_release(Release::new(wrapper, lav, mappings))
+            .unwrap();
+        omqs.push(bdi::core::omq::Omq::new(
+            vec![feature.clone()],
+            vec![has_feature(&feature)],
+        ));
+    }
+
+    let options = ExecOptions::default();
+    let c1_before = system
+        .answer_with(omqs[0].clone(), &VersionScope::All, &options)
+        .unwrap();
+    let c2_before = system
+        .answer_with(omqs[1].clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(system.context_stats().cached_scans, 2);
+    let pooled = system.context_stats().pooled_values;
+
+    store
+        .insert("c2", serde_json::json!({"id": 9, "val": 90}))
+        .unwrap();
+
+    // c1's wrapper keys its scans on c1's collection version, which did not
+    // move: re-answering is a pure cache hit — same rows, no new scan
+    // entry, nothing freshly interned. (On the store-wide counter this
+    // insert flushed c1's scan too.)
+    let c1_after = system
+        .answer_with(omqs[0].clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(c1_after.relation.rows(), c1_before.relation.rows());
+    assert_eq!(
+        system.context_stats().cached_scans,
+        2,
+        "sibling collection's cached scan was flushed"
+    );
+    assert_eq!(system.context_stats().pooled_values, pooled);
+
+    // c2's wrapper sees a new collection version: it re-scans and surfaces
+    // the insert.
+    let c2_after = system
+        .answer_with(omqs[1].clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(c2_after.relation.len(), c2_before.relation.len() + 1);
+    assert_eq!(system.context_stats().cached_scans, 3);
+}
+
+/// The semi-join sideways pass on a 2-concept chain: the small first
+/// wrapper is the build side, and its key set reduces the big second
+/// wrapper's probe scan. A key-reduced probe scan is query-specific and
+/// must never land in the persistent `reuse_scans` cache.
+#[test]
+fn semijoin_reduced_probe_scan_never_lands_in_the_reuse_cache() {
+    let system = synthetic::build_chain_system_with(2, 1, 0, |i, _, _| {
+        if i == 1 {
+            // 2 rows → 2 distinct join keys, well under the threshold.
+            (0..2)
+                .map(|r| {
+                    vec![
+                        Value::Int(r as i64),
+                        Value::Int(r as i64),
+                        Value::Float(r as f64),
+                    ]
+                })
+                .collect()
+        } else {
+            (0..64)
+                .map(|r| vec![Value::Int(r as i64), Value::Float(r as f64)])
+                .collect()
+        }
+    });
+    let reference = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions {
+                engine: Engine::Eager,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(reference.relation.len(), 2);
+
+    // Default options: the pass fires, the probe scan is issued reduced
+    // and bypasses the cache — only the build side's scan is cached.
+    let answer = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(answer.relation.rows(), reference.relation.rows());
+    assert_eq!(
+        system.context_stats().cached_scans,
+        1,
+        "key-reduced probe scan polluted the persistent cache"
+    );
+
+    // With the pass disabled the probe scan runs unreduced and caches
+    // normally (the build side's entry is reused).
+    let off = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions {
+                semijoin_max_keys: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(off.relation.rows(), reference.relation.rows());
+    assert_eq!(system.context_stats().cached_scans, 2);
+}
+
+/// A wrapper whose `claims_filter` answers flip at run time: the
+/// capability fingerprint folds into the plan-cache validity stamp, so
+/// cached plans — whose pushed-vs-residual filter split was compiled
+/// against the old answers — are discarded, and the answers stay
+/// identical across the flip.
+#[test]
+fn capability_flips_recompile_cached_plans() {
+    use bdi::core::release::Release;
+    use bdi::core::vocab as core_vocab;
+    use bdi::rdf::model::{Iri, Triple};
+    use bdi::relational::plan::{ColumnFilter, ScanRequest};
+    use bdi::relational::{Relation, Schema};
+    use bdi::wrappers::{TableWrapper, Wrapper, WrapperError};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    struct Moody {
+        inner: TableWrapper,
+        claiming: AtomicBool,
+    }
+
+    impl Wrapper for Moody {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn source(&self) -> &str {
+            self.inner.source()
+        }
+
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+
+        fn scan(&self) -> Result<Relation, WrapperError> {
+            self.inner.scan()
+        }
+
+        fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+            self.inner.scan_request(request)
+        }
+
+        fn claims_filter(&self, _filter: &ColumnFilter) -> bool {
+            self.claiming.load(Ordering::SeqCst)
+        }
+    }
+
+    let ns = "http://example.org/moody/";
+    let concept = Iri::new(format!("{ns}C"));
+    let feature = Iri::new(format!("{ns}val"));
+    let id_feature = Iri::new(format!("{ns}id"));
+    let mut system = BdiSystem::new();
+    {
+        let ontology = system.ontology();
+        ontology.add_concept(&concept);
+        ontology.add_id_feature(&id_feature);
+        ontology.attach_feature(&concept, &id_feature).unwrap();
+        ontology.add_feature(&feature);
+        ontology.attach_feature(&concept, &feature).unwrap();
+    }
+    let wrapper = Arc::new(Moody {
+        inner: TableWrapper::new(
+            "wm",
+            "DM",
+            Schema::from_parts(&["id"], &["val"]).unwrap(),
+            vec![
+                vec![Value::Int(1), Value::Float(1.5)],
+                vec![Value::Int(2), Value::Float(2.5)],
+            ],
+        )
+        .unwrap(),
+        claiming: AtomicBool::new(true),
+    });
+    let moody = wrapper.clone();
+    let has_feature = |f: &Iri| {
+        Triple::new(
+            concept.clone(),
+            (*core_vocab::g::HAS_FEATURE).clone(),
+            f.clone(),
+        )
+    };
+    let lav = vec![has_feature(&id_feature), has_feature(&feature)];
+    let mappings = BTreeMap::from([
+        ("id".to_owned(), id_feature.clone()),
+        ("val".to_owned(), feature.clone()),
+    ]);
+    system
+        .register_release(Release::new(wrapper, lav, mappings))
+        .unwrap();
+
+    let omq = bdi::core::omq::Omq::new(
+        vec![id_feature.clone(), feature.clone()],
+        vec![has_feature(&feature), has_feature(&id_feature)],
+    );
+    let options = ExecOptions {
+        filters: vec![FeatureFilter::eq(id_feature.clone(), Value::Int(2))],
+        ..ExecOptions::default()
+    };
+
+    let first = system
+        .answer_with(omq.clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(first.relation.len(), 1);
+    let baseline = system.plan_cache_stats();
+    system
+        .answer_with(omq.clone(), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(system.plan_cache_stats().hits, baseline.hits + 1);
+
+    // The wrapper stops claiming filters: the fingerprint moves, the
+    // cached plan (which pushed the filter into the scan) is recompiled
+    // with a residual split — and the answer is unchanged.
+    moody.claiming.store(false, Ordering::SeqCst);
+    let after = system
+        .answer_with(omq, &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(after.relation.rows(), first.relation.rows());
+    let stats = system.plan_cache_stats();
+    assert_eq!(stats.misses, baseline.misses + 1, "stale plan served");
+    assert_eq!(stats.hits, baseline.hits + 1);
 }
