@@ -21,6 +21,12 @@
 //! * **Cursor workload** — a scan of a source 10× the context's value-cap
 //!   watermark: cached (`ScanCache::Always`) vs cursor-only (`Never`),
 //!   comparing both time and the batch-granular resident peak.
+//! * **Paged-remote workload** — a hash join whose both sides are
+//!   [`bdi_wrappers::RemoteWrapper`]s over 50 ms/page simulated endpoints:
+//!   serial execution (one scan's pages after the other's) vs the
+//!   prefetcher overlapping both sources' page latency with the join, and
+//!   the retry overhead of the same join at a 10% injected transient-fault
+//!   rate vs fault-free.
 //!
 //! Run with `cargo bench -p bdi_bench --bench exec`. Results are printed and
 //! written to `BENCH_exec.json` at the workspace root so future PRs can
@@ -30,9 +36,13 @@ use bdi_bench::synthetic;
 use bdi_bench::{measure, Measurement};
 use bdi_core::exec::{Engine, ExecOptions, FeatureFilter};
 use bdi_core::system::{BdiSystem, VersionScope};
-use bdi_relational::plan::{execute_plan_in_with, ExecPolicy, ScanCache};
-use bdi_relational::{ExecContext, PhysicalPlan, ScanRequest, Schema, Value};
-use bdi_wrappers::{TableWrapper, WrapperRegistry};
+use bdi_relational::plan::{
+    execute_plan_in_with, execute_plan_prefetched_with, ExecPolicy, ScanCache,
+};
+use bdi_relational::{Attribute, ExecContext, PhysicalPlan, Relation, ScanRequest, Schema, Value};
+use bdi_wrappers::{
+    FaultProfile, RemoteWrapper, RetryPolicy, SimulatedEndpoint, TableWrapper, WrapperRegistry,
+};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -353,6 +363,99 @@ fn main() {
         },
     );
 
+    // ---- Paged-remote workload: a hash join whose BOTH sides are remote
+    // wrappers over 50 ms/page endpoints. Serially, one source's pages are
+    // fetched after the other's; the prefetcher fetches both concurrently
+    // and the join pulls as pages land, so wall-clock approaches the slower
+    // single source instead of the sum. The 10% variant re-runs the
+    // prefetched join against endpoints injecting seeded transient faults,
+    // isolating what the retry loop costs when it has work to do.
+    let page_ms = if bdi_bench::fast_mode() { 2 } else { 50 };
+    let remote_rows = bdi_bench::scaled(1024, 16);
+    let remote_relation = |side: u64| {
+        Relation::new(
+            Schema::from_parts(&["id"], &["val"]).unwrap(),
+            (0..remote_rows as i64)
+                .map(|r| vec![Value::Int(r), Value::Float((side * 1000) as f64 + r as f64)])
+                .collect(),
+        )
+        .unwrap()
+    };
+    let remote_registry = |fault_rate: f64| {
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(4),
+            attempt_timeout: std::time::Duration::from_secs(10),
+        };
+        let mut registry = WrapperRegistry::new();
+        for (side, name) in [(0u64, "ra"), (1, "rb")] {
+            let profile = FaultProfile {
+                page_latency: std::time::Duration::from_millis(page_ms),
+                transient_error_rate: fault_rate,
+                seed: side + 1,
+                ..FaultProfile::default()
+            };
+            // 256-row pages: 4 pages per side in a full run.
+            let endpoint = Arc::new(SimulatedEndpoint::new(remote_relation(side), 256, profile));
+            registry.register(Arc::new(RemoteWrapper::new(
+                name,
+                format!("D{}", name.to_uppercase()),
+                endpoint,
+                retry,
+            )));
+        }
+        registry
+    };
+    let remote_plan = {
+        let side_request = |prefix: &str| {
+            ScanRequest::new(
+                vec!["id".to_owned(), "val".to_owned()],
+                Schema::new(vec![
+                    Attribute::id(format!("{prefix}_id")),
+                    Attribute::non_id(format!("{prefix}_val")),
+                ])
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        PhysicalPlan::scan("ra", side_request("a"))
+            .hash_join(PhysicalPlan::scan("rb", side_request("b")), "a_id", "b_id")
+            .unwrap()
+    };
+    let remote_run = |registry: &WrapperRegistry, prefetch: bool| {
+        let ctx = ExecContext::new();
+        let relation = if prefetch {
+            execute_plan_prefetched_with(&remote_plan, &ctx, registry, 4, ExecPolicy::default())
+        } else {
+            execute_plan_in_with(&remote_plan, &ctx, registry, ExecPolicy::default())
+        }
+        .expect("remote join answers");
+        relation.len()
+    };
+    let clean_registry = remote_registry(0.0);
+    let faulty_registry = remote_registry(0.1);
+    assert_eq!(remote_run(&clean_registry, false), remote_rows);
+    assert_eq!(remote_run(&clean_registry, true), remote_rows);
+    assert_eq!(remote_run(&faulty_registry, true), remote_rows);
+    let remote_serial_ns = measure(
+        format!("exec/remote_join_{page_ms}ms_page/serial"),
+        &mut records,
+        || remote_run(&clean_registry, false),
+    );
+    let remote_overlap_ns = measure(
+        format!("exec/remote_join_{page_ms}ms_page/prefetch_overlap"),
+        &mut records,
+        || remote_run(&clean_registry, true),
+    );
+    let remote_fault_ns = measure(
+        format!("exec/remote_join_{page_ms}ms_page/prefetch_fault10"),
+        &mut records,
+        || remote_run(&faulty_registry, true),
+    );
+    let remote_overlap = remote_serial_ns / remote_overlap_ns;
+    let remote_retry_overhead = remote_fault_ns / remote_overlap_ns;
+
     println!();
     println!("speedup: union 16 wrappers (eager / streaming+pushdown+parallel) = {speedup_16:.2}x");
     println!(
@@ -373,6 +476,12 @@ fn main() {
     println!(
         "cursor-only scan 10x value cap: peak {cursor_peak} B vs cached {cached_peak} B ({cursor_peak_ratio:.2}x smaller), {:.2}x slower",
         cursor_only_ns / cursor_cached_ns
+    );
+    println!(
+        "speedup: remote join, {page_ms}ms pages (serial / prefetch overlap)    = {remote_overlap:.2}x"
+    );
+    println!(
+        "overhead: remote join at 10% transient faults (vs fault-free)    = {remote_retry_overhead:.2}x"
     );
 
     // ---- Persist machine-readable results at the workspace root — but not
@@ -395,7 +504,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}}}\n}}\n"
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}, \"remote_latency_overlap\": {remote_overlap:.2}, \"remote_retry_overhead_10pct\": {remote_retry_overhead:.2}}}\n}}\n"
     ));
     let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
     f.write_all(json.as_bytes()).expect("write BENCH_exec.json");

@@ -60,6 +60,7 @@ use bdi_relational::{
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
@@ -113,6 +114,38 @@ impl FeatureFilter {
     }
 }
 
+/// What to do when a source fails permanently mid-query (its wrapper's
+/// scan raised a [`RelationError::SourceFailure`] that retries could not
+/// cure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SourceFailurePolicy {
+    /// Abort the query with the source's error (the default — identical to
+    /// the pre-fault-tolerance behaviour).
+    #[default]
+    Fail,
+    /// Drop every walk that touches the failed source and answer from the
+    /// surviving walks, reporting the degradation through
+    /// [`QueryAnswer::source_failures`] — graceful, never silent. Only
+    /// source failures degrade; plan bugs, arity violations and deadline
+    /// expiry still abort.
+    Degrade,
+}
+
+/// One degraded source in a partial answer: which wrapper failed, how it
+/// was classified, and how many walks the answer lost to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFailure {
+    /// The failing wrapper's name.
+    pub wrapper: String,
+    /// Whether every failure of this wrapper was transient (retryable); a
+    /// single permanent failure makes the whole report permanent.
+    pub transient: bool,
+    /// Human-readable cause of the first failure observed for this wrapper.
+    pub cause: String,
+    /// Walks dropped from the answer because they touch this wrapper.
+    pub walks_dropped: usize,
+}
+
 /// Execution knobs. [`ExecOptions::default`] is what [`crate::system`] uses:
 /// the streaming engine with projection pushdown and parallel walks.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -158,6 +191,20 @@ pub struct ExecOptions {
     /// mode for one-shot queries over sources larger than RAM. Runtime-only
     /// (normalized out of the plan-cache key) like `semijoin_max_keys`.
     pub scan_cache: ScanCache,
+    /// Per-query deadline, measured from [`ExecOptions::policy`] (i.e. from
+    /// when execution starts). Every operator, scan fill and prefetch queue
+    /// wait checks it, so a stalled source aborts the query with
+    /// [`bdi_relational::plan::PlanError::DeadlineExceeded`] within one
+    /// page-fetch budget of the deadline instead of hanging. `None` (the
+    /// default) never expires. Runtime-only (normalized out of the
+    /// plan-cache key); the eager reference engine ignores it.
+    pub deadline: Option<Duration>,
+    /// What a permanently failed source does to the answer: abort
+    /// ([`SourceFailurePolicy::Fail`], the default) or drop that source's
+    /// walks and return a partial answer with a [`SourceFailure`] report
+    /// ([`SourceFailurePolicy::Degrade`]). Runtime-only (normalized out of
+    /// the plan-cache key); the eager reference engine ignores it.
+    pub on_source_failure: SourceFailurePolicy,
 }
 
 impl Default for ExecOptions {
@@ -171,6 +218,8 @@ impl Default for ExecOptions {
             reuse_scans: true,
             semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
             scan_cache: ScanCache::Auto,
+            deadline: None,
+            on_source_failure: SourceFailurePolicy::Fail,
         }
     }
 }
@@ -185,6 +234,7 @@ impl ExecOptions {
         ExecPolicy {
             semijoin_max_keys: self.semijoin_max_keys,
             scan_cache: self.scan_cache,
+            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
         }
     }
 }
@@ -197,6 +247,11 @@ pub struct QueryAnswer {
     pub relation: Relation,
     /// Rendered relational algebra of each executed walk (diagnostics).
     pub walk_exprs: Vec<String>,
+    /// Sources the answer degraded around, one report per failed wrapper
+    /// (empty unless the query ran under [`SourceFailurePolicy::Degrade`]
+    /// and a source failed). A non-empty list means the relation is a
+    /// *partial* answer: exactly the surviving walks' rows.
+    pub source_failures: Vec<SourceFailure>,
 }
 
 /// The output schema for a feature projection: one column per feature,
@@ -326,6 +381,7 @@ pub fn execute_eager(
         return Ok(QueryAnswer {
             relation: Relation::empty(schema),
             walk_exprs: Vec::new(),
+            source_failures: Vec::new(),
         });
     }
 
@@ -359,6 +415,7 @@ pub fn execute_eager(
     Ok(QueryAnswer {
         relation,
         walk_exprs,
+        source_failures: Vec::new(),
     })
 }
 
@@ -714,19 +771,29 @@ pub fn execute_compiled<S>(
 where
     S: SourceResolver + PlanSource,
 {
-    execute_compiled_with(ontology, source, compiled, ctx, compiled.options.policy())
+    execute_compiled_with(
+        ontology,
+        source,
+        compiled,
+        ctx,
+        compiled.options.policy(),
+        compiled.options.on_source_failure,
+    )
 }
 
-/// [`execute_compiled`] under an explicit runtime [`ExecPolicy`] — the
-/// entry point [`crate::system::BdiSystem::answer_with`] uses, since its
-/// plan cache normalizes runtime knobs out of the cache key and must
-/// execute each hit under the *caller's* policy, not the cached one.
+/// [`execute_compiled`] under an explicit runtime [`ExecPolicy`] and
+/// source-failure policy — the entry point
+/// [`crate::system::BdiSystem::answer_with`] uses, since its plan cache
+/// normalizes runtime knobs (semi-join keys, scan-cache mode, deadline,
+/// degrade policy) out of the cache key and must execute each hit under the
+/// *caller's* knobs, not the cached ones.
 pub fn execute_compiled_with<S>(
     ontology: &BdiOntology,
     source: &S,
     compiled: &CompiledQuery,
     ctx: Option<&ExecContext>,
     policy: ExecPolicy,
+    on_source_failure: SourceFailurePolicy,
 ) -> Result<QueryAnswer, ExecError>
 where
     S: SourceResolver + PlanSource,
@@ -738,8 +805,46 @@ where
             &compiled.rewriting,
             &compiled.options.filters,
         ),
-        Engine::Streaming => run_streaming(source, compiled, ctx, policy),
+        Engine::Streaming => run_streaming(source, compiled, ctx, policy, on_source_failure),
     }
+}
+
+/// The [`SourceFailure`] a plan error degrades into, when it is a
+/// degradable source failure (a wrapper's scan failed) rather than a plan
+/// bug, arity violation or deadline expiry.
+fn source_failure_of(error: &PlanError) -> Option<SourceFailure> {
+    match error {
+        PlanError::Relation(RelationError::SourceFailure {
+            source,
+            transient,
+            cause,
+        }) => Some(SourceFailure {
+            wrapper: source.clone(),
+            transient: *transient,
+            cause: cause.clone(),
+            walks_dropped: 1,
+        }),
+        _ => None,
+    }
+}
+
+/// Folds per-walk failure reports into one report per wrapper (name order):
+/// `walks_dropped` accumulates, the first observed cause is kept, and the
+/// wrapper counts as transient only if *every* failure was.
+fn aggregate_failures(failures: Vec<SourceFailure>) -> Vec<SourceFailure> {
+    let mut by_wrapper: BTreeMap<String, SourceFailure> = BTreeMap::new();
+    for failure in failures {
+        match by_wrapper.get_mut(&failure.wrapper) {
+            Some(report) => {
+                report.walks_dropped += failure.walks_dropped;
+                report.transient &= failure.transient;
+            }
+            None => {
+                by_wrapper.insert(failure.wrapper.clone(), failure);
+            }
+        }
+    }
+    by_wrapper.into_values().collect()
 }
 
 fn run_streaming<S>(
@@ -747,10 +852,12 @@ fn run_streaming<S>(
     compiled: &CompiledQuery,
     external: Option<&ExecContext>,
     policy: ExecPolicy,
+    on_source_failure: SourceFailurePolicy,
 ) -> Result<QueryAnswer, ExecError>
 where
     S: PlanSource,
 {
+    let degrade = matches!(on_source_failure, SourceFailurePolicy::Degrade);
     let schema = compiled.schema.clone();
     let walk_exprs = compiled.walk_exprs.clone();
     let plans = &compiled.plans;
@@ -762,6 +869,7 @@ where
         return Ok(QueryAnswer {
             relation: Relation::empty(schema),
             walk_exprs,
+            source_failures: Vec::new(),
         });
     }
 
@@ -793,13 +901,27 @@ where
             1
         };
         let mut relation =
-            plan::execute_plan_prefetched_with(&plans[0], ctx, src, prefetch_workers, policy)?;
+            match plan::execute_plan_prefetched_with(&plans[0], ctx, src, prefetch_workers, policy)
+            {
+                Ok(relation) => relation,
+                // A one-walk query degrading around its only source is an
+                // empty (but honest) answer: the report says what was lost.
+                Err(e) if degrade && source_failure_of(&e).is_some() => {
+                    return Ok(QueryAnswer {
+                        relation: Relation::empty(schema),
+                        walk_exprs,
+                        source_failures: source_failure_of(&e).into_iter().collect(),
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            };
         if filtered {
             relation.sort_rows();
         }
         return Ok(QueryAnswer {
             relation,
             walk_exprs,
+            source_failures: Vec::new(),
         });
     }
 
@@ -823,6 +945,20 @@ where
             *slot = Some((index, e));
         }
     };
+    // Under Degrade a failed walk becomes a dropped-walk report instead of
+    // a query error; anything that is not a source failure still aborts.
+    let mut dropped: Vec<SourceFailure> = Vec::new();
+    let settle = |runs: &mut Vec<Vec<Tuple>>,
+                  first_error: &mut Option<(usize, PlanError)>,
+                  dropped: &mut Vec<SourceFailure>,
+                  index: usize,
+                  result: Result<Vec<Tuple>, PlanError>| match result {
+        Ok(run) => runs[index] = run,
+        Err(e) => match source_failure_of(&e) {
+            Some(failure) if degrade => dropped.push(failure),
+            _ => record_error(first_error, index, e),
+        },
+    };
 
     let workers = if options.parallel {
         std::thread::available_parallelism()
@@ -836,10 +972,8 @@ where
 
     if workers <= 1 {
         for (index, walk_plan) in plans.iter().enumerate() {
-            match walk_sorted_run(walk_plan, ctx, src, policy, &global_seen) {
-                Ok(run) => runs[index] = run,
-                Err(e) => record_error(&mut first_error, index, e),
-            }
+            let result = walk_sorted_run(walk_plan, ctx, src, policy, &global_seen, degrade);
+            settle(&mut runs, &mut first_error, &mut dropped, index, result);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -860,8 +994,14 @@ where
                     if index >= plans_ref.len() {
                         break;
                     }
-                    let run =
-                        walk_sorted_run(&plans_ref[index], ctx_ref, src_ref, policy, seen_ref);
+                    let run = walk_sorted_run(
+                        &plans_ref[index],
+                        ctx_ref,
+                        src_ref,
+                        policy,
+                        seen_ref,
+                        degrade,
+                    );
                     if tx.send((index, run)).is_err() {
                         return;
                     }
@@ -869,10 +1009,7 @@ where
             }
             drop(tx);
             for (index, message) in rx {
-                match message {
-                    Ok(run) => runs[index] = run,
-                    Err(e) => record_error(&mut first_error, index, e),
-                }
+                settle(&mut runs, &mut first_error, &mut dropped, index, message);
             }
         })
         .expect("walk executor thread panicked");
@@ -885,6 +1022,7 @@ where
     Ok(QueryAnswer {
         relation: Relation::new(schema, merge_sorted_runs(runs))?,
         walk_exprs,
+        source_failures: aggregate_failures(dropped),
     })
 }
 
@@ -897,23 +1035,56 @@ where
 /// the previous design serialized on the coordinator thread). Interning
 /// canonicalizes `Value`-equal rows to identical ids, so id-disjoint runs
 /// are value-disjoint too.
+///
+/// `claim_late` (the Degrade mode): the walk dedups against a *local* set
+/// while streaming and claims against the shared set only once its plan ran
+/// to exhaustion. Claiming as rows stream would let a walk that later
+/// *fails* (and is dropped from the answer) have already suppressed rows a
+/// surviving walk also produces — those rows would silently vanish from the
+/// partial answer. The price is one extra probe per row and losing the
+/// streaming overlap of the claim work; it is paid only under Degrade.
 fn walk_sorted_run(
     walk_plan: &PhysicalPlan,
     ctx: &ExecContext,
     src: &dyn PlanSource,
     policy: ExecPolicy,
     global_seen: &std::sync::Mutex<RowSet>,
+    claim_late: bool,
 ) -> Result<Vec<Tuple>, PlanError> {
     let arity = walk_plan.schema().len();
     let mut op = Operator::new(walk_plan, ctx, src, policy);
     let mut novel: Vec<u32> = Vec::new();
     let mut count = 0usize;
-    while let Some(batch) = op.next_batch()? {
+    if claim_late {
+        let mut local_seen = RowSet::new(arity);
+        let mut staged: Vec<u32> = Vec::new();
+        let mut staged_count = 0usize;
+        while let Some(batch) = op.next_batch()? {
+            for row in batch.rows() {
+                if local_seen.insert(row) {
+                    staged.extend_from_slice(row);
+                    staged_count += 1;
+                }
+            }
+        }
+        // The walk is known good past this point; only now may its rows
+        // suppress other walks' duplicates.
         let mut seen = global_seen.lock().expect("union dedup set poisoned");
-        for row in batch.rows() {
+        for i in 0..staged_count {
+            let row = &staged[i * arity..(i + 1) * arity];
             if seen.insert(row) {
                 novel.extend_from_slice(row);
                 count += 1;
+            }
+        }
+    } else {
+        while let Some(batch) = op.next_batch()? {
+            let mut seen = global_seen.lock().expect("union dedup set poisoned");
+            for row in batch.rows() {
+                if seen.insert(row) {
+                    novel.extend_from_slice(row);
+                    count += 1;
+                }
             }
         }
     }

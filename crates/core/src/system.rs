@@ -4,7 +4,7 @@
 //! the data steward registers releases; analysts pose OMQs which are
 //! rewritten (Algorithms 2–5) and executed over the wrappers.
 
-use crate::exec::{self, CompiledQuery, ExecError, ExecOptions, QueryAnswer};
+use crate::exec::{self, CompiledQuery, ExecError, ExecOptions, QueryAnswer, SourceFailure};
 use crate::omq::{Omq, OmqError};
 use crate::ontology::BdiOntology;
 use crate::release::{self, Release, ReleaseError, ReleaseStats};
@@ -300,6 +300,12 @@ pub struct Answer {
     pub rewriting: Arc<Rewriting>,
     /// Rendered relational algebra per executed walk.
     pub walk_exprs: Vec<String>,
+    /// Sources degraded around under
+    /// [`crate::exec::SourceFailurePolicy::Degrade`], one report per failed
+    /// wrapper. Non-empty means [`Answer::relation`] is a partial answer —
+    /// exactly the surviving walks' rows (see
+    /// [`crate::exec::QueryAnswer::source_failures`]).
+    pub source_failures: Vec<SourceFailure>,
 }
 
 impl BdiSystem {
@@ -494,14 +500,17 @@ impl BdiSystem {
         let validity = self.cache_validity();
         // Normalize the key to the plan-shaping options: `cache_plans` and
         // `reuse_scans` steer *this* method, and `semijoin_max_keys` /
-        // `scan_cache` steer only the executor — never the compiled plan —
-        // so queries differing only in them share one cache entry (and each
-        // execution reads those knobs from the caller's options, below).
+        // `scan_cache` / `deadline` / `on_source_failure` steer only the
+        // executor — never the compiled plan — so queries differing only in
+        // them share one cache entry (and each execution reads those knobs
+        // from the caller's options, below).
         let key_options = ExecOptions {
             cache_plans: true,
             reuse_scans: false,
             semijoin_max_keys: bdi_relational::plan::DEFAULT_SEMIJOIN_MAX_KEYS,
             scan_cache: bdi_relational::ScanCache::Auto,
+            deadline: None,
+            on_source_failure: exec::SourceFailurePolicy::Fail,
             ..options.clone()
         };
         let key = (omq, scope.clone(), key_options);
@@ -541,12 +550,14 @@ impl BdiSystem {
         let QueryAnswer {
             relation,
             walk_exprs,
+            source_failures,
         } = exec::execute_compiled_with(
             &self.ontology,
             &self.registry,
             &compiled,
             shared_ctx.as_deref(),
             options.policy(),
+            options.on_source_failure,
         )?;
         // Bound the long-lived pool: if this query pushed it past the
         // watermark, retire the context before the next query reuses it.
@@ -557,6 +568,16 @@ impl BdiSystem {
             relation,
             rewriting: compiled.rewriting.clone(),
             walk_exprs,
+            source_failures,
         })
+    }
+
+    /// Aggregated retry/fault counters across every registered wrapper that
+    /// reports them (today the fault-tolerant
+    /// [`bdi_wrappers::RemoteWrapper`]; wrappers without a retry loop
+    /// contribute nothing) — the system-level observability for the
+    /// fault-tolerance layer, alongside [`BdiSystem::context_stats`].
+    pub fn retry_stats(&self) -> bdi_wrappers::RetryStats {
+        self.registry.retry_stats()
     }
 }

@@ -82,7 +82,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 /// FNV-1a. The executor hashes interned `u32` ids and small scalars by the
 /// hundreds of thousands per query and never faces adversarial keys, so a
@@ -181,6 +183,14 @@ pub struct ExecPolicy {
     pub semijoin_max_keys: usize,
     /// How scans materialize through the shared context (see [`ScanCache`]).
     pub scan_cache: ScanCache,
+    /// Absolute wall-clock deadline for the execution. Checked at every
+    /// batch boundary (operator pulls, scan-cache fills, cursor pulls) and
+    /// while waiting on a queued prefetch feed, so a stalled or slow source
+    /// surfaces [`PlanError::DeadlineExceeded`] instead of hanging the
+    /// query. The worst-case overshoot is one source batch fetch — the
+    /// executor never cancels a fetch already in flight. `None` (the
+    /// default) never times out.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ExecPolicy {
@@ -188,7 +198,15 @@ impl Default for ExecPolicy {
         Self {
             semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
             scan_cache: ScanCache::Auto,
+            deadline: None,
         }
+    }
+}
+
+impl ExecPolicy {
+    /// Whether this policy's deadline (if any) has already passed.
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -197,12 +215,10 @@ impl Default for ExecPolicy {
 pub enum PlanError {
     #[error(transparent)]
     Relation(#[from] RelationError),
-    #[error("scan of {source} returned schema {found}, expected {expected}")]
-    ScanShape {
-        source: String,
-        expected: String,
-        found: String,
-    },
+    /// The execution ran past [`ExecPolicy::deadline`] and was aborted at
+    /// the next batch boundary.
+    #[error("query deadline exceeded")]
+    DeadlineExceeded,
     #[error("projection index {index} out of range for schema {schema}")]
     ProjectionRange { index: usize, schema: String },
     #[error("union of zero plans")]
@@ -1210,7 +1226,17 @@ pub struct ExecContext {
     tick: AtomicU64,
     scans: Mutex<HashMap<ScanKey, Stamped<ScanCell>>>,
     builds: Mutex<BuildCache>,
+    /// Bounded batch feeds registered by the prefetcher for cursor-routed
+    /// scans (see [`execute_plan_prefetched_with`]): the scan operator that
+    /// owns the matching request takes its feed here instead of opening a
+    /// second source cursor. Feeds are per-execution and always drained or
+    /// dropped before the prefetch scope joins.
+    queued: Mutex<HashMap<ScanKey, QueuedFeed>>,
 }
+
+/// The receiving end of a bounded queue of interned batches produced by a
+/// dedicated prefetch thread for one cursor-routed scan.
+type QueuedFeed = Receiver<Result<Batch, PlanError>>;
 
 /// `(scan, key column)` → stamped shared build index.
 type BuildCache = HashMap<(ScanKey, usize), Stamped<Arc<JoinIndex>>>;
@@ -1267,6 +1293,7 @@ impl ExecContext {
             tick: AtomicU64::new(0),
             scans: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
+            queued: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1357,6 +1384,35 @@ impl ExecContext {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Registers a prefetch feed for a cursor-routed scan. At most one feed
+    /// per key; a duplicate registration is dropped (its producer exits on
+    /// the first failed send).
+    fn offer_queued_scan(&self, key: ScanKey, feed: QueuedFeed) {
+        self.queued
+            .lock()
+            .expect("queued-scan registry poisoned")
+            .entry(key)
+            .or_insert(feed);
+    }
+
+    /// Claims the prefetch feed registered for a scan, if any. The feed
+    /// leaves the registry so exactly one operator consumes it.
+    fn take_queued_scan(&self, key: &ScanKey) -> Option<QueuedFeed> {
+        self.queued
+            .lock()
+            .expect("queued-scan registry poisoned")
+            .remove(key)
+    }
+
+    /// Drops any still-unclaimed feeds among `keys`, disconnecting their
+    /// producers (which would otherwise block forever on a full queue).
+    fn drop_queued_scans(&self, keys: &[ScanKey]) {
+        let mut queued = self.queued.lock().expect("queued-scan registry poisoned");
+        for key in keys {
+            queued.remove(key);
+        }
+    }
+
     /// Interns one value-space scan batch into `into`, enforcing the
     /// scan-shape contract (every row must have the request's output
     /// arity). The single implementation of the per-row scan contract,
@@ -1364,7 +1420,6 @@ impl ExecContext {
     /// diverge.
     fn intern_scan_rows(
         &self,
-        name: &str,
         output: &Schema,
         rows: &[Tuple],
         into: &mut Batch,
@@ -1372,11 +1427,14 @@ impl ExecContext {
         let arity = output.len();
         for row in rows {
             if row.len() != arity {
-                return Err(PlanError::ScanShape {
-                    source: name.to_owned(),
-                    expected: output.to_string(),
-                    found: format!("a row of arity {}", row.len()),
-                });
+                // Same error the first-batch precheck in the default
+                // `PlanSource::scan_batches` produces, so a wrapper that
+                // turns misshapen *mid-stream* (after a well-formed first
+                // batch) surfaces identically on every operator path.
+                return Err(PlanError::Relation(RelationError::Arity {
+                    expected: arity,
+                    found: row.len(),
+                }));
             }
             into.push(row.iter().map(|v| self.pool.intern(v)));
         }
@@ -1443,8 +1501,10 @@ impl ExecContext {
         source: &dyn PlanSource,
         name: &str,
         request: &ScanRequest,
+        deadline: Option<Instant>,
     ) -> Result<Arc<Batch>, PlanError> {
-        self.scan_versioned(source, name, request).map(|(b, _)| b)
+        self.scan_versioned(source, name, request, deadline)
+            .map(|(b, _)| b)
     }
 
     /// [`ExecContext::scan`] plus the data version the result was keyed
@@ -1457,14 +1517,10 @@ impl ExecContext {
         source: &dyn PlanSource,
         name: &str,
         request: &ScanRequest,
+        deadline: Option<Instant>,
     ) -> Result<(Arc<Batch>, u64), PlanError> {
-        let data_version = source.data_version(name);
-        let key = ScanKey {
-            source: name.to_owned(),
-            columns: request.columns.clone(),
-            filters: request.filters.clone(),
-            data_version,
-        };
+        let key = versioned_scan_key(source, name, request);
+        let data_version = key.data_version;
         let cell = {
             let mut scans = self.scans.lock().expect("scan cache poisoned");
             if let Some(evicted) = evict_for(&mut scans, &key, self.max_entries) {
@@ -1474,7 +1530,7 @@ impl ExecContext {
                 }
             }
             let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-            let entry = scans.entry(key).or_insert_with(|| Stamped {
+            let entry = scans.entry(key.clone()).or_insert_with(|| Stamped {
                 value: ScanCell::default(),
                 last_used: tick,
             });
@@ -1485,7 +1541,10 @@ impl ExecContext {
             .get_or_init(|| -> Result<Arc<Batch>, PlanError> {
                 let mut interned = Batch::new(request.output().len());
                 for batch in source.scan_batches(name, request, self.scan_batch_rows)? {
-                    self.intern_scan_rows(name, request.output(), &batch?, &mut interned)?;
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(PlanError::DeadlineExceeded);
+                    }
+                    self.intern_scan_rows(request.output(), &batch?, &mut interned)?;
                     // Note the growing (not-yet-cached) table batch by
                     // batch, so peak accounting is streaming-accurate even
                     // for a scan that errors before caching.
@@ -1497,6 +1556,20 @@ impl ExecContext {
             })
             .clone();
         self.note_high_water(0);
+        if result.is_err() {
+            // Failures are never cached: a transient source error or an
+            // expired per-query deadline must not poison the cell for later
+            // queries, which should retry the scan from scratch. Remove the
+            // entry only if it still holds this very cell — a concurrent
+            // eviction/refill may have already replaced it.
+            let mut scans = self.scans.lock().expect("scan cache poisoned");
+            if scans
+                .get(&key)
+                .is_some_and(|stamped| Arc::ptr_eq(&stamped.value, &cell))
+            {
+                scans.remove(&key);
+            }
+        }
         result.map(|batch| (batch, data_version))
     }
 
@@ -1505,12 +1578,7 @@ impl ExecContext {
     /// warm scans (a repeated query on a persistent context would otherwise
     /// pay thread spawns just to find every cell filled).
     fn scan_resolved(&self, source: &dyn PlanSource, name: &str, request: &ScanRequest) -> bool {
-        let key = ScanKey {
-            source: name.to_owned(),
-            columns: request.columns.clone(),
-            filters: request.filters.clone(),
-            data_version: source.data_version(name),
-        };
+        let key = versioned_scan_key(source, name, request);
         self.scans
             .lock()
             .expect("scan cache poisoned")
@@ -1653,6 +1721,18 @@ impl RowSet {
 // Operators
 // ---------------------------------------------------------------------------
 
+/// The cache/registry key of a scan against the source's *current* data
+/// version — the single place the key is assembled, shared by the scan
+/// cache, the warm check and the queued-feed registry.
+fn versioned_scan_key(source: &dyn PlanSource, name: &str, request: &ScanRequest) -> ScanKey {
+    ScanKey {
+        source: name.to_owned(),
+        columns: request.columns.clone(),
+        filters: request.filters.clone(),
+        data_version: source.data_version(name),
+    }
+}
+
 /// Whether a scan materializes through the context cache under `policy`.
 /// The prefetcher and the scan operator must agree on this, so it is the
 /// single decision point: [`ScanCache::Auto`] caches unless the scan's
@@ -1793,6 +1873,11 @@ enum ScanState<'r> {
     /// Cursor-only: interned batches pulled straight from the source, one
     /// at a time — nothing is cached, peak residency is one batch.
     Cursor { batches: BatchIter<'r>, done: bool },
+    /// Cursor-only through a prefetch feed: a dedicated producer thread
+    /// pulls and interns source batches into a bounded queue
+    /// ([`PREFETCH_QUEUE_BATCHES`]), overlapping source latency with the
+    /// pipeline while backpressure keeps residency bounded.
+    Queued { feed: QueuedFeed, done: bool },
 }
 
 enum OpNode<'r> {
@@ -1933,8 +2018,13 @@ impl<'r> Operator<'r> {
         }
     }
 
-    /// Pulls the next batch, or `None` when exhausted.
+    /// Pulls the next batch, or `None` when exhausted. With an
+    /// [`ExecPolicy::deadline`] set, an expired deadline surfaces as
+    /// [`PlanError::DeadlineExceeded`] at the next pull.
     pub fn next_batch(&mut self) -> Result<Option<Batch>, PlanError> {
+        if self.policy.deadline_passed() {
+            return Err(PlanError::DeadlineExceeded);
+        }
         self.node.next_batch(self.ctx, self.source, &self.policy)
     }
 }
@@ -1955,9 +2045,19 @@ impl<'r> ScanOp<'r> {
         if matches!(state, ScanState::Pending) {
             *state = if !*semijoin_reduced && scan_uses_cache(ctx, source, policy, name, request) {
                 ScanState::Cached {
-                    table: ctx.scan(source, name, request)?,
+                    table: ctx.scan(source, name, request, policy.deadline)?,
                     cursor: 0,
                 }
+            } else if let Some(feed) = (!*semijoin_reduced)
+                .then(|| ctx.take_queued_scan(&versioned_scan_key(source, name, request)))
+                .flatten()
+            {
+                // The prefetcher registered a bounded feed for this scan —
+                // consume it instead of opening a second source cursor. A
+                // semi-join-reduced request never matches a registered key
+                // (the injected IN-set changes the key), and is skipped
+                // outright for clarity.
+                ScanState::Queued { feed, done: false }
             } else {
                 ScanState::Cursor {
                     batches: source
@@ -1983,6 +2083,10 @@ impl<'r> ScanOp<'r> {
                     return Ok(None);
                 }
                 loop {
+                    if policy.deadline_passed() {
+                        *done = true;
+                        return Err(PlanError::DeadlineExceeded);
+                    }
                     match batches.next() {
                         None => {
                             *done = true;
@@ -1994,8 +2098,7 @@ impl<'r> ScanOp<'r> {
                         }
                         Some(Ok(rows)) => {
                             let mut out = Batch::new(request.output().len());
-                            if let Err(e) =
-                                ctx.intern_scan_rows(name, request.output(), &rows, &mut out)
+                            if let Err(e) = ctx.intern_scan_rows(request.output(), &rows, &mut out)
                             {
                                 *done = true;
                                 return Err(e);
@@ -2003,6 +2106,46 @@ impl<'r> ScanOp<'r> {
                             if !out.is_empty() {
                                 ctx.note_high_water(out.approx_bytes());
                                 return Ok(Some(out));
+                            }
+                        }
+                    }
+                }
+            }
+            ScanState::Queued { feed, done } => {
+                if *done {
+                    return Ok(None);
+                }
+                loop {
+                    // A sender dropping without an error message is the
+                    // normal end of stream; an expired deadline surfaces
+                    // here rather than blocking on a stalled producer.
+                    let message = match policy.deadline {
+                        Some(d) => {
+                            let wait = d.saturating_duration_since(Instant::now());
+                            match feed.recv_timeout(wait) {
+                                Ok(message) => Some(message),
+                                Err(RecvTimeoutError::Timeout) => {
+                                    *done = true;
+                                    return Err(PlanError::DeadlineExceeded);
+                                }
+                                Err(RecvTimeoutError::Disconnected) => None,
+                            }
+                        }
+                        None => feed.recv().ok(),
+                    };
+                    match message {
+                        None => {
+                            *done = true;
+                            return Ok(None);
+                        }
+                        Some(Err(e)) => {
+                            *done = true;
+                            return Err(e);
+                        }
+                        Some(Ok(batch)) => {
+                            if !batch.is_empty() {
+                                ctx.note_high_water(batch.approx_bytes());
+                                return Ok(Some(batch));
                             }
                         }
                     }
@@ -2108,7 +2251,8 @@ impl<'r> OpNode<'r> {
             if !op.semijoin_reduced
                 && scan_uses_cache(ctx, plan_source, policy, &op.source, &op.request)
             {
-                let (batch, version) = ctx.scan_versioned(plan_source, &op.source, &op.request)?;
+                let (batch, version) =
+                    ctx.scan_versioned(plan_source, &op.source, &op.request, policy.deadline)?;
                 return Ok((batch, Some(version)));
             }
         }
@@ -2447,29 +2591,31 @@ pub fn execute_plan_in_with(
     Ok(Relation::new(plan.schema().clone(), rows)?)
 }
 
-/// Collects the distinct scan leaves of a plan tree that the executor will
-/// materialize through the context cache — skipping cursor-only scans
-/// (nothing to warm) and the probe scans semi-join passing is about to
-/// reduce (warming those would issue the full unreduced scan the sideways
-/// pass exists to avoid, *and* pollute the cache with it).
+/// Collects the distinct scan leaves of a plan tree the prefetcher can
+/// work ahead on — each tagged with whether the executor will materialize
+/// it through the context cache (`true`: warm the shared cell) or pull it
+/// cursor-only (`false`: feed it through a bounded queue). Probe scans
+/// semi-join passing is about to reduce are skipped entirely (prefetching
+/// those would issue the full unreduced scan the sideways pass exists to
+/// avoid, *and* pollute the cache with it).
 fn collect_prefetch_scans<'p>(
     plan: &'p PhysicalPlan,
     ctx: &ExecContext,
     source: &dyn PlanSource,
     policy: &ExecPolicy,
-    out: &mut Vec<(&'p str, &'p ScanRequest)>,
+    out: &mut Vec<(&'p str, &'p ScanRequest, bool)>,
 ) {
     match plan {
         PhysicalPlan::Scan {
             source: name,
             request,
         } => {
-            if scan_uses_cache(ctx, source, policy, name, request)
-                && !out
-                    .iter()
-                    .any(|(s, r)| *s == name.as_str() && *r == request)
+            if !out
+                .iter()
+                .any(|(s, r, _)| *s == name.as_str() && *r == request)
             {
-                out.push((name, request));
+                let cached = scan_uses_cache(ctx, source, policy, name, request);
+                out.push((name, request, cached));
             }
         }
         PhysicalPlan::Rename { input, .. }
@@ -2513,20 +2659,36 @@ pub fn execute_plan_prefetched(
     execute_plan_prefetched_with(plan, ctx, source, max_workers, ExecPolicy::default())
 }
 
-/// Runs a plan like [`execute_plan_in_with`], but first issues every
-/// cache-destined scan leaf concurrently on `crossbeam` scoped prefetch
-/// threads (bounded by `max_workers`), so a plan over several sources
-/// overlaps their scans with each other — and with the join pipeline, which
-/// starts pulling on the caller's thread immediately and blocks per scan
-/// only until *that* scan's shared cache cell is filled. Scans the policy
-/// routes cursor-only, and probe scans the semi-join pass is about to
-/// reduce, are deliberately not prefetched.
+/// Batches a queued-scan producer may run ahead of its consumer: the
+/// bounded queue is the backpressure that keeps one slow (or huge) source
+/// from buffering unboundedly while siblings and the pipeline proceed.
+pub const PREFETCH_QUEUE_BATCHES: usize = 4;
+
+/// Runs a plan like [`execute_plan_in_with`], but works ahead of the
+/// pulling pipeline on `crossbeam` scoped prefetch threads:
 ///
-/// Memory stays bounded: each in-flight prefetch streams through
-/// [`PlanSource::scan_batches`] and holds at most one value-space batch;
-/// what accumulates is the interned (4-bytes-per-cell) form in the shared
-/// scan cache, which the plan's operators would have materialized anyway.
-/// Plans with fewer than two prefetchable scans skip the threads entirely.
+/// * **Cache-destined** scan leaves are warmed concurrently by a worker
+///   pool (bounded by `max_workers`), so a plan over several sources
+///   overlaps their scans with each other — and with the join pipeline,
+///   which starts pulling on the caller's thread immediately and blocks
+///   per scan only until *that* scan's shared cache cell is filled.
+/// * **Cursor-routed** scan leaves (scans the policy keeps out of the
+///   cache) each get a *dedicated* producer thread feeding interned
+///   batches through a bounded queue of [`PREFETCH_QUEUE_BATCHES`]
+///   batches; the scan operator consumes the queue instead of opening its
+///   own cursor. Source latency (a remote source's page fetches) overlaps
+///   with execution, while the bounded queue exerts backpressure — a slow
+///   source can stall only its own producer, never a sibling's, and never
+///   buffers more than the queue holds. Producers beyond `max_workers`
+///   are not spawned; the overflow scans just run as plain cursors.
+///
+/// Probe scans the semi-join pass is about to reduce are deliberately not
+/// prefetched on either path. Memory stays bounded: each in-flight
+/// prefetch streams through [`PlanSource::scan_batches`] and holds at most
+/// one value-space batch plus (for queued feeds) the bounded queue; what
+/// accumulates is the interned (4-bytes-per-cell) form in the shared scan
+/// cache, which the plan's operators would have materialized anyway.
+/// Plans with nothing to work ahead on skip the threads entirely.
 pub fn execute_plan_prefetched_with(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
@@ -2538,28 +2700,85 @@ pub fn execute_plan_prefetched_with(
     collect_prefetch_scans(plan, ctx, source, &policy, &mut scans);
     // Warm scans need no prefetch — on a persistent context a repeated
     // query would otherwise spawn threads just to find every cell filled.
-    scans.retain(|(name, request)| !ctx.scan_resolved(source, name, request));
-    if scans.len() < 2 || max_workers < 2 {
+    let cached: Vec<(&str, &ScanRequest)> = scans
+        .iter()
+        .filter(|(name, request, cached)| *cached && !ctx.scan_resolved(source, name, request))
+        .map(|(name, request, _)| (*name, *request))
+        .collect();
+    let mut queued: Vec<(&str, &ScanRequest)> = scans
+        .iter()
+        .filter(|(_, _, cached)| !cached)
+        .map(|(name, request, _)| (*name, *request))
+        .collect();
+    queued.truncate(max_workers);
+    if max_workers < 2 || (cached.len() < 2 && queued.is_empty()) {
         return execute_plan_in_with(plan, ctx, source, policy);
     }
+    let warm_workers = if cached.len() >= 2 {
+        cached.len().min(max_workers)
+    } else {
+        0
+    };
     let next = AtomicU64::new(0);
-    let workers = scans.len().min(max_workers);
-    let scans = &scans;
+    let cached = &cached;
     let next = &next;
+    let deadline = policy.deadline;
     crossbeam::scope(|s| {
-        for _ in 0..workers {
+        let mut queued_keys = Vec::new();
+        for (name, request) in &queued {
+            let key = versioned_scan_key(source, name, request);
+            let (tx, rx): (SyncSender<Result<Batch, PlanError>>, _) =
+                std::sync::mpsc::sync_channel(PREFETCH_QUEUE_BATCHES);
+            ctx.offer_queued_scan(key.clone(), rx);
+            queued_keys.push(key);
+            let (name, request) = (*name, *request);
+            s.spawn(move |_| {
+                let batches = match source.scan_batches(name, request, ctx.scan_batch_rows()) {
+                    Ok(batches) => batches,
+                    Err(e) => {
+                        let _ = tx.send(Err(e.into()));
+                        return;
+                    }
+                };
+                for rows in batches {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        let _ = tx.send(Err(PlanError::DeadlineExceeded));
+                        return;
+                    }
+                    let message = rows.map_err(PlanError::from).and_then(|rows| {
+                        let mut out = Batch::new(request.output().len());
+                        ctx.intern_scan_rows(request.output(), &rows, &mut out)?;
+                        ctx.note_high_water(out.approx_bytes());
+                        Ok(out)
+                    });
+                    let failed = message.is_err();
+                    // A failed send means the consumer (or the cleanup
+                    // below) dropped the feed — stop fetching.
+                    if tx.send(message).is_err() || failed {
+                        return;
+                    }
+                }
+            });
+        }
+        for _ in 0..warm_workers {
             s.spawn(move |_| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed) as usize;
-                let Some((name, request)) = scans.get(index) else {
+                let Some((name, request)) = cached.get(index) else {
                     break;
                 };
                 // Warm the shared cache cell; an error is re-surfaced
                 // (deterministically, from the same cell) when the plan's
                 // own scan operator pulls it.
-                let _ = ctx.scan(source, name, request);
+                let _ = ctx.scan(source, name, request, deadline);
             });
         }
-        execute_plan_in_with(plan, ctx, source, policy)
+        let result = execute_plan_in_with(plan, ctx, source, policy);
+        // Feeds nobody claimed (a probe scan reduced after registration, an
+        // execution that errored before reaching its scan) would leave
+        // their producers blocked on a full queue: drop them so the
+        // senders disconnect before the scope joins.
+        ctx.drop_queued_scans(&queued_keys);
+        result
     })
     .expect("prefetch thread panicked")
 }

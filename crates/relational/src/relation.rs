@@ -24,6 +24,21 @@ pub enum RelationError {
     JoinNameCollision(String),
     #[error("source error: {0}")]
     Source(String),
+    /// A structured source failure: a named wrapper's scan failed, with the
+    /// transient/permanent classification preserved so the mediator can tell
+    /// "retry this scan" (or degrade around it) from a plan-shape bug. The
+    /// `Display` form is byte-identical to the stringly [`Self::Source`]
+    /// message this variant replaced on the wrapper path.
+    #[error("source error: wrapper {source} failed: {cause}")]
+    SourceFailure {
+        /// The failing wrapper's name.
+        source: String,
+        /// Whether the failure is worth retrying (see
+        /// `bdi_wrappers::FailureKind`).
+        transient: bool,
+        /// Human-readable cause, as the wrapper reported it.
+        cause: String,
+    },
 }
 
 /// An in-memory relation (bag semantics; [`Relation::distinct`] dedups).

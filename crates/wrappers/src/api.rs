@@ -371,7 +371,7 @@ impl ApiSimulator {
             .map(|i| generate_doc(schema, &mut rng, i))
             .collect();
         self.store.insert_many(&collection, docs).map_err(|e| {
-            ApiError::Wrapper(WrapperError::SourceQuery(collection.clone(), e.to_string()))
+            ApiError::Wrapper(WrapperError::permanent(collection.clone(), e.to_string()))
         })
     }
 

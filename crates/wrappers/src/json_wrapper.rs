@@ -86,7 +86,7 @@ impl JsonWrapper {
         if let Some(fields) = pipeline.output_fields() {
             for attr in schema.names() {
                 if !fields.contains(&attr) {
-                    return Err(WrapperError::SourceQuery(
+                    return Err(WrapperError::permanent(
                         name,
                         format!("pipeline does not project attribute {attr}"),
                     ));
@@ -241,7 +241,7 @@ impl Wrapper for JsonWrapper {
         let docs = self
             .store
             .aggregate(&self.collection, &self.pipeline)
-            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+            .map_err(|e| WrapperError::permanent(self.name.clone(), e.to_string()))?;
         let mut rel = Relation::empty(self.schema.clone());
         for doc in docs {
             let mut row = Vec::with_capacity(self.schema.len());
@@ -286,7 +286,7 @@ impl Wrapper for JsonWrapper {
         let docs = self
             .store
             .aggregate(&self.collection, &pipeline)
-            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+            .map_err(|e| WrapperError::permanent(self.name.clone(), e.to_string()))?;
         let arity = request.columns().len();
         let mut rel = Relation::empty(request.output().clone());
         for doc in docs {
@@ -330,7 +330,7 @@ impl Wrapper for JsonWrapper {
         let total = self
             .store
             .collection_len(&self.collection)
-            .map_err(|e| WrapperError::SourceQuery(self.name.clone(), e.to_string()))?;
+            .map_err(|e| WrapperError::permanent(self.name.clone(), e.to_string()))?;
         let arity = request.columns().len();
         let batch_rows = batch_rows.max(1);
         let mut run = pipeline.start();
@@ -345,7 +345,7 @@ impl Wrapper for JsonWrapper {
                     Ok(docs) => docs,
                     Err(e) => {
                         failed = true;
-                        return Some(Err(WrapperError::SourceQuery(
+                        return Some(Err(WrapperError::permanent(
                             self.name.clone(),
                             e.to_string(),
                         )));
@@ -359,7 +359,7 @@ impl Wrapper for JsonWrapper {
                     Ok(outs) => outs,
                     Err(e) => {
                         failed = true;
-                        return Some(Err(WrapperError::SourceQuery(
+                        return Some(Err(WrapperError::permanent(
                             self.name.clone(),
                             e.to_string(),
                         )));
@@ -472,7 +472,7 @@ mod tests {
             "vod",
             Pipeline::new().project(vec![Projection::field("id", "monitorId")]),
         );
-        assert!(matches!(err, Err(WrapperError::SourceQuery(_, _))));
+        assert!(matches!(err, Err(WrapperError::SourceQuery { .. })));
     }
 
     #[test]

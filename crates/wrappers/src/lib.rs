@@ -10,6 +10,9 @@
 //!   pipelines over JSON collections (the paper's Code 2),
 //! * [`table_wrapper::TableWrapper`] — in-memory wrappers for synthetic
 //!   workloads (Figure 8),
+//! * [`remote::RemoteWrapper`] — a fault-tolerant wrapper over a paged,
+//!   fallible [`remote::SimulatedEndpoint`], with retries, backoff, and
+//!   per-attempt timeouts ([`remote::RetryPolicy`]),
 //! * [`api`] — a versioned REST API simulator with deterministic event
 //!   generation and schema diffing, standing in for the live third-party
 //!   APIs the paper evaluates against,
@@ -18,6 +21,7 @@
 
 pub mod api;
 pub mod json_wrapper;
+pub mod remote;
 pub mod spec;
 pub mod supersede;
 pub mod table_wrapper;
@@ -25,6 +29,9 @@ pub mod wrapper;
 
 pub use api::{ApiError, ApiSimulator, Endpoint, FieldKind, FieldSpec, SchemaDelta, VersionSchema};
 pub use json_wrapper::JsonWrapper;
+pub use remote::{
+    FaultProfile, RemotePage, RemoteWrapper, RetryPolicy, SimulatedEndpoint, TransportError,
+};
 pub use spec::WrapperSpec;
 pub use table_wrapper::TableWrapper;
-pub use wrapper::{Wrapper, WrapperError, WrapperRegistry};
+pub use wrapper::{FailureKind, RetryStats, Wrapper, WrapperError, WrapperRegistry};

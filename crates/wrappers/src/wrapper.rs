@@ -14,11 +14,45 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Whether a source failure is worth retrying.
+///
+/// The retry loop in a fault-tolerant wrapper (see `RemoteWrapper`) retries
+/// only [`FailureKind::Transient`] failures; a [`FailureKind::Permanent`]
+/// failure aborts immediately. The mediator's
+/// degrade policy (`ExecOptions::on_source_failure`) receives the
+/// classification through [`bdi_relational::RelationError::SourceFailure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// Momentary: a timeout, a dropped connection, an overloaded endpoint.
+    /// Retrying the same page may well succeed.
+    Transient,
+    /// Definitive: the source rejected the query or went away. Retrying
+    /// cannot help.
+    Permanent,
+}
+
+impl FailureKind {
+    /// `true` for [`FailureKind::Transient`].
+    pub fn is_transient(self) -> bool {
+        matches!(self, FailureKind::Transient)
+    }
+}
+
 /// Errors raised by wrapper execution.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
 pub enum WrapperError {
-    #[error("wrapper {0} failed to query its source: {1}")]
-    SourceQuery(String, String),
+    /// The wrapper's underlying source query failed. `kind` classifies the
+    /// failure for retry/degrade decisions; the `Display` form is identical
+    /// to the historical stringly variant this replaced.
+    #[error("wrapper {source} failed to query its source: {cause}")]
+    SourceQuery {
+        /// The failing wrapper's name.
+        source: String,
+        /// Transient (retry may help) vs permanent (it cannot).
+        kind: FailureKind,
+        /// Human-readable failure cause.
+        cause: String,
+    },
     #[error(
         "wrapper {wrapper} produced a value of unsupported JSON shape for attribute {attribute}"
     )]
@@ -27,6 +61,57 @@ pub enum WrapperError {
     Relation(#[from] RelationError),
     #[error("unknown wrapper: {0}")]
     UnknownWrapper(String),
+}
+
+impl WrapperError {
+    /// A transient [`WrapperError::SourceQuery`].
+    pub fn transient(source: impl Into<String>, cause: impl Into<String>) -> Self {
+        WrapperError::SourceQuery {
+            source: source.into(),
+            kind: FailureKind::Transient,
+            cause: cause.into(),
+        }
+    }
+
+    /// A permanent [`WrapperError::SourceQuery`].
+    pub fn permanent(source: impl Into<String>, cause: impl Into<String>) -> Self {
+        WrapperError::SourceQuery {
+            source: source.into(),
+            kind: FailureKind::Permanent,
+            cause: cause.into(),
+        }
+    }
+}
+
+/// Counters over a fault-tolerant wrapper's retry loop, merged across
+/// wrappers by [`WrapperRegistry::retry_stats`] and surfaced per system
+/// through `BdiSystem::retry_stats`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Page fetches attempted (including retries).
+    pub attempts: u64,
+    /// Attempts that were retries of a previously failed fetch.
+    pub retries: u64,
+    /// Pages fetched successfully.
+    pub pages: u64,
+    /// Transient failures observed (each may have triggered a retry).
+    pub transient_errors: u64,
+    /// Permanent failures observed (each aborted its scan).
+    pub permanent_failures: u64,
+    /// Attempts abandoned for exceeding the per-attempt timeout.
+    pub timeouts: u64,
+}
+
+impl RetryStats {
+    /// Adds another wrapper's counters into this one.
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.pages += other.pages;
+        self.transient_errors += other.transient_errors;
+        self.permanent_failures += other.permanent_failures;
+        self.timeouts += other.timeouts;
+    }
 }
 
 /// A stream of row batches from a wrapper's pushdown-aware scan — the
@@ -159,6 +244,13 @@ pub trait Wrapper: Send + Sync {
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
         None
     }
+
+    /// Retry-loop counters for wrapper kinds that talk to fallible sources
+    /// (see [`crate::RemoteWrapper`]). `None` — the default — for wrapper
+    /// kinds without a retry loop.
+    fn retry_stats(&self) -> Option<RetryStats> {
+        None
+    }
 }
 
 /// The probe-hash behind [`Wrapper::claims_fingerprint`]: every schema
@@ -228,6 +320,18 @@ impl WrapperRegistry {
             .collect()
     }
 
+    /// Aggregated [`RetryStats`] across every registered wrapper that
+    /// reports them (wrappers without a retry loop contribute nothing).
+    pub fn retry_stats(&self) -> RetryStats {
+        let mut total = RetryStats::default();
+        for wrapper in self.wrappers.values() {
+            if let Some(stats) = wrapper.retry_stats() {
+                total.merge(&stats);
+            }
+        }
+        total
+    }
+
     /// Order-independent combination of every wrapper's name and
     /// [`Wrapper::claims_fingerprint`] — the registry-wide capability
     /// fingerprint the system folds into its plan-cache validity stamp.
@@ -249,6 +353,40 @@ impl std::fmt::Debug for WrapperRegistry {
     }
 }
 
+/// Lowers a wrapper failure into the mediator's relational error space,
+/// preserving structure where the mediator acts on it: a structured
+/// relational error (e.g. an arity violation from a misbehaving stream)
+/// passes through *unchanged*, so every operator path surfaces the same
+/// [`RelationError::Arity`] the first-batch precheck produces; a
+/// [`WrapperError::SourceQuery`] keeps its transient/permanent
+/// classification in [`RelationError::SourceFailure`], so the degrade
+/// policy can tell a retryable outage from a gone source. Every mapping
+/// renders exactly the message the historical stringly form produced.
+fn relation_error(name: &str, error: WrapperError) -> RelationError {
+    match error {
+        WrapperError::Relation(inner) => inner,
+        WrapperError::SourceQuery {
+            source,
+            kind,
+            cause,
+        } => {
+            let transient = kind.is_transient();
+            let cause = WrapperError::SourceQuery {
+                source,
+                kind,
+                cause,
+            }
+            .to_string();
+            RelationError::SourceFailure {
+                source: name.to_owned(),
+                transient,
+                cause,
+            }
+        }
+        other => RelationError::Source(format!("wrapper {name} failed: {other}")),
+    }
+}
+
 /// The registry is the plan executor's pushdown-aware source catalog: each
 /// [`bdi_relational::plan::PhysicalPlan`] scan resolves a wrapper by name
 /// and hands it the requested projection/filter.
@@ -260,7 +398,7 @@ impl PlanSource for WrapperRegistry {
             .ok_or_else(|| RelationError::Source(format!("unknown wrapper {name}")))?;
         wrapper
             .scan_request(request)
-            .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
+            .map_err(|e| relation_error(name, e))
     }
 
     /// Streams through the wrapper's own [`Wrapper::scan_request_batches`]
@@ -279,10 +417,10 @@ impl PlanSource for WrapperRegistry {
         let name = name.to_owned();
         let batches = wrapper
             .scan_request_batches(request, batch_rows)
-            .map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))?;
-        Ok(Box::new(batches.map(move |r| {
-            r.map_err(|e| RelationError::Source(format!("wrapper {name} failed: {e}")))
-        })))
+            .map_err(|e| relation_error(&name, e))?;
+        Ok(Box::new(
+            batches.map(move |r| r.map_err(|e| relation_error(&name, e))),
+        ))
     }
 
     /// The wrapper's own data-generation counter (unknown wrappers report a

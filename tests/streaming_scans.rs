@@ -599,3 +599,436 @@ fn capability_flips_recompile_cached_plans() {
     assert_eq!(stats.misses, baseline.misses + 1, "stale plan served");
     assert_eq!(stats.hits, baseline.hits + 1);
 }
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: retrying remote wrappers, degrade policy, deadlines
+// ---------------------------------------------------------------------------
+
+mod fault_tolerance {
+    use super::*;
+    use bdi::core::exec::{SourceFailure, SourceFailurePolicy};
+    use bdi::core::release::Release;
+    use bdi::core::vocab as core_vocab;
+    use bdi::rdf::model::{Iri, Triple};
+    use bdi::relational::{Relation, Schema};
+    use bdi::wrappers::{
+        FaultProfile, RemoteWrapper, RetryPolicy, SimulatedEndpoint, TableWrapper, Wrapper,
+    };
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// A retry policy quick enough for tests: 4 attempts, 1–2 ms backoff.
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            attempt_timeout: Duration::from_secs(1),
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::from_parts(&["id"], &["val"]).unwrap()
+    }
+
+    fn relation_of(ids: std::ops::Range<i64>) -> Relation {
+        Relation::new(
+            schema(),
+            ids.map(|i| vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// A one-concept system over the given wrappers (all providing the same
+    /// `id`/`val` features, so each becomes its own walk) and the OMQ
+    /// projecting both features.
+    fn system_over(wrappers: Vec<Arc<dyn Wrapper>>) -> (BdiSystem, bdi::core::omq::Omq) {
+        let ns = "http://example.org/fault/";
+        let concept = Iri::new(format!("{ns}C"));
+        let feature = Iri::new(format!("{ns}val"));
+        let id_feature = Iri::new(format!("{ns}id"));
+        let mut system = BdiSystem::new();
+        {
+            let ontology = system.ontology();
+            ontology.add_concept(&concept);
+            ontology.add_id_feature(&id_feature);
+            ontology.attach_feature(&concept, &id_feature).unwrap();
+            ontology.add_feature(&feature);
+            ontology.attach_feature(&concept, &feature).unwrap();
+        }
+        let has_feature = |f: &Iri| {
+            Triple::new(
+                concept.clone(),
+                (*core_vocab::g::HAS_FEATURE).clone(),
+                f.clone(),
+            )
+        };
+        let lav = vec![has_feature(&id_feature), has_feature(&feature)];
+        let mappings = BTreeMap::from([
+            ("id".to_owned(), id_feature.clone()),
+            ("val".to_owned(), feature.clone()),
+        ]);
+        for wrapper in wrappers {
+            system
+                .register_release(Release::new(wrapper, lav.clone(), mappings.clone()))
+                .unwrap();
+        }
+        let omq = bdi::core::omq::Omq::new(
+            vec![id_feature.clone(), feature.clone()],
+            vec![has_feature(&feature), has_feature(&id_feature)],
+        );
+        (system, omq)
+    }
+
+    /// A remote wrapper named `wr` over 12 rows served 4 per page (pages 0,
+    /// 1, 2), failing per `profile`, plus a healthy table wrapper `wt`
+    /// overlapping it on ids 8..16 — two walks, shared rows, so dedup and
+    /// degrade interplay are both exercised.
+    fn remote_plus_table(
+        profile: FaultProfile,
+        retry: RetryPolicy,
+    ) -> (BdiSystem, bdi::core::omq::Omq) {
+        let endpoint = Arc::new(SimulatedEndpoint::new(relation_of(0..12), 4, profile));
+        let remote = Arc::new(RemoteWrapper::new("wr", "DR", endpoint, retry));
+        let table = Arc::new(
+            TableWrapper::new("wt", "DT", schema(), relation_of(8..16).into_rows()).unwrap(),
+        );
+        system_over(vec![remote, table])
+    }
+
+    /// The fault-free reference: what the eager §2.2 engine answers over
+    /// the same data with no faults injected.
+    fn eager_reference(omq: &bdi::core::omq::Omq, system: &BdiSystem) -> Relation {
+        system
+            .answer_with(
+                omq.clone(),
+                &VersionScope::All,
+                &ExecOptions {
+                    engine: Engine::Eager,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+            .relation
+    }
+
+    /// The satellite fault matrix: (error on page 0 / mid / last) ×
+    /// (retries succeed / exhaust) × (`Fail` / `Degrade`). Whenever the
+    /// query succeeds its rows must be identical to the fault-free eager
+    /// engine's; an exhausted source aborts under `Fail` and degrades to
+    /// exactly the surviving walk's rows (with an accurate report) under
+    /// `Degrade`.
+    #[test]
+    fn fault_matrix_is_differential_against_the_eager_engine() {
+        let (clean_system, omq) = remote_plus_table(FaultProfile::default(), fast_retry());
+        let reference = eager_reference(&omq, &clean_system);
+        assert_eq!(reference.len(), 16, "12 remote + 8 table − 4 shared");
+        // What survives when the remote source is dropped: the table walk.
+        let (table_only, _) = system_over(vec![Arc::new(
+            TableWrapper::new("wt", "DT", schema(), relation_of(8..16).into_rows()).unwrap(),
+        ) as Arc<dyn Wrapper>]);
+        let surviving = eager_reference(&omq, &table_only).to_distinct();
+
+        for fail_page in [0u64, 1, 2] {
+            for (failures, succeeds) in [(2u64, true), (u64::MAX, false)] {
+                for policy in [SourceFailurePolicy::Fail, SourceFailurePolicy::Degrade] {
+                    let mut profile = FaultProfile::default();
+                    profile.transient_failures.insert(fail_page, failures);
+                    let (system, omq) = remote_plus_table(profile, fast_retry());
+                    let result = system.answer_with(
+                        omq,
+                        &VersionScope::All,
+                        &ExecOptions {
+                            on_source_failure: policy,
+                            ..ExecOptions::default()
+                        },
+                    );
+                    let label = format!(
+                        "page {fail_page}, {} leading failures, {policy:?}",
+                        if succeeds { "2" } else { "∞" }
+                    );
+                    if succeeds {
+                        let answer = result.unwrap_or_else(|e| panic!("{label}: {e}"));
+                        assert_eq!(
+                            answer.relation.rows(),
+                            reference.rows(),
+                            "{label}: retried answer diverged from the eager engine"
+                        );
+                        assert!(answer.source_failures.is_empty(), "{label}");
+                    } else if matches!(policy, SourceFailurePolicy::Fail) {
+                        let err = result.expect_err(&label).to_string();
+                        assert!(
+                            err.contains("wrapper wr failed"),
+                            "{label}: unexpected error {err}"
+                        );
+                    } else {
+                        let answer = result.unwrap_or_else(|e| panic!("{label}: {e}"));
+                        assert_eq!(
+                            answer.relation.rows(),
+                            surviving.rows(),
+                            "{label}: partial answer is not exactly the surviving walk"
+                        );
+                        assert_eq!(
+                            answer.source_failures,
+                            vec![SourceFailure {
+                                wrapper: "wr".to_owned(),
+                                transient: true,
+                                cause: answer.source_failures[0].cause.clone(),
+                                walks_dropped: 1,
+                            }],
+                            "{label}"
+                        );
+                        assert!(
+                            answer.source_failures[0]
+                                .cause
+                                .contains("retries exhausted"),
+                            "{label}: cause {:?}",
+                            answer.source_failures[0].cause
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A permanently failed source (gone after one page) under `Degrade`:
+    /// the report is classified permanent, and the partial answer still
+    /// contains every surviving row — including the rows the failed walk
+    /// *also* produced before dying, which late claiming keeps available to
+    /// the surviving walk.
+    #[test]
+    fn permanent_failure_degrades_with_an_accurate_report() {
+        let profile = FaultProfile {
+            hard_fail_after: Some(1),
+            ..FaultProfile::default()
+        };
+        let (system, omq) = remote_plus_table(profile, fast_retry());
+        let (table_only, _) = system_over(vec![Arc::new(
+            TableWrapper::new("wt", "DT", schema(), relation_of(8..16).into_rows()).unwrap(),
+        ) as Arc<dyn Wrapper>]);
+        let surviving = eager_reference(&omq, &table_only).to_distinct();
+        let answer = system
+            .answer_with(
+                omq,
+                &VersionScope::All,
+                &ExecOptions {
+                    on_source_failure: SourceFailurePolicy::Degrade,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(answer.relation.rows(), surviving.rows());
+        assert_eq!(answer.source_failures.len(), 1);
+        let report = &answer.source_failures[0];
+        assert_eq!(report.wrapper, "wr");
+        assert!(!report.transient, "hard failure must classify permanent");
+        assert_eq!(report.walks_dropped, 1);
+    }
+
+    /// A single-walk query degrading around its only source returns an
+    /// empty — but honest — answer.
+    #[test]
+    fn single_walk_degrade_is_empty_with_a_report() {
+        let profile = FaultProfile {
+            hard_fail_after: Some(0),
+            ..FaultProfile::default()
+        };
+        let endpoint = Arc::new(SimulatedEndpoint::new(relation_of(0..12), 4, profile));
+        let (system, omq) =
+            system_over(vec![
+                Arc::new(RemoteWrapper::new("wr", "DR", endpoint, fast_retry()))
+                    as Arc<dyn Wrapper>,
+            ]);
+        let answer = system
+            .answer_with(
+                omq,
+                &VersionScope::All,
+                &ExecOptions {
+                    on_source_failure: SourceFailurePolicy::Degrade,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(answer.relation.is_empty());
+        assert_eq!(answer.source_failures.len(), 1);
+        assert_eq!(answer.source_failures[0].wrapper, "wr");
+        assert_eq!(answer.source_failures[0].walks_dropped, 1);
+    }
+
+    /// The per-query deadline on a slow-dripping source: pages keep
+    /// arriving (50 ms each, ~1 s total), so only the deadline can stop the
+    /// query — and it must, within 2× the deadline, with a deadline error
+    /// rather than a hang.
+    #[test]
+    fn deadline_aborts_a_slow_source_within_twice_the_deadline() {
+        let profile = FaultProfile {
+            page_latency: Duration::from_millis(50),
+            ..FaultProfile::default()
+        };
+        let endpoint = Arc::new(SimulatedEndpoint::new(relation_of(0..40), 2, profile));
+        let (system, omq) =
+            system_over(vec![
+                Arc::new(RemoteWrapper::new("wr", "DR", endpoint, fast_retry()))
+                    as Arc<dyn Wrapper>,
+            ]);
+        let deadline = Duration::from_millis(300);
+        let started = Instant::now();
+        let err = system
+            .answer_with(
+                omq,
+                &VersionScope::All,
+                &ExecOptions {
+                    deadline: Some(deadline),
+                    ..ExecOptions::default()
+                },
+            )
+            .expect_err("a 20-page, 50 ms/page scan cannot finish in 300 ms");
+        let elapsed = started.elapsed();
+        assert!(
+            err.to_string().contains("deadline"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            elapsed <= deadline * 2,
+            "deadline overshoot: {elapsed:?} for a {deadline:?} deadline"
+        );
+    }
+
+    /// A *stalled* source (first page slower than the whole retry budget)
+    /// surfaces as a transport-timeout error within the page budget — never
+    /// a hang — even with a generous query deadline racing it.
+    #[test]
+    fn stalled_source_times_out_instead_of_hanging() {
+        let profile = FaultProfile {
+            page_latency: Duration::from_secs(30),
+            ..FaultProfile::default()
+        };
+        let endpoint = Arc::new(SimulatedEndpoint::new(relation_of(0..12), 4, profile));
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+            attempt_timeout: Duration::from_millis(100),
+        };
+        let budget = retry.page_budget();
+        let (system, omq) =
+            system_over(vec![
+                Arc::new(RemoteWrapper::new("wr", "DR", endpoint, retry)) as Arc<dyn Wrapper>,
+            ]);
+        let started = Instant::now();
+        let err = system
+            .answer_with(
+                omq,
+                &VersionScope::All,
+                &ExecOptions {
+                    deadline: Some(Duration::from_secs(10)),
+                    ..ExecOptions::default()
+                },
+            )
+            .expect_err("a 30 s/page endpoint cannot satisfy a 100 ms attempt budget");
+        let elapsed = started.elapsed();
+        assert!(
+            err.to_string().contains("timed out"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            elapsed <= budget * 2 + Duration::from_secs(1),
+            "stall detection too slow: {elapsed:?} (budget {budget:?})"
+        );
+    }
+
+    /// The mid-stream arity satellite: a misbehaving wrapper whose batch
+    /// stream yields a wrong-arity row *after* the first batch must surface
+    /// the same `RelationError::Arity` the first-batch precheck produces —
+    /// on every operator path, not a late panic or a garbled join.
+    #[test]
+    fn mid_stream_arity_violation_errors_like_the_precheck() {
+        use bdi::relational::plan::ScanRequest;
+        use bdi::relational::Tuple;
+        use bdi::wrappers::WrapperError;
+
+        struct Misbehaving {
+            inner: TableWrapper,
+        }
+
+        impl Wrapper for Misbehaving {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+
+            fn source(&self) -> &str {
+                self.inner.source()
+            }
+
+            fn schema(&self) -> &Schema {
+                self.inner.schema()
+            }
+
+            fn scan(&self) -> Result<Relation, WrapperError> {
+                self.inner.scan()
+            }
+
+            fn scan_request(&self, request: &ScanRequest) -> Result<Relation, WrapperError> {
+                self.inner.scan_request(request)
+            }
+
+            /// A good first batch, then a wrong-arity row.
+            fn scan_request_batches<'a>(
+                &'a self,
+                request: &ScanRequest,
+                _batch_rows: usize,
+            ) -> Result<bdi::wrappers::wrapper::RowBatches<'a>, WrapperError> {
+                let good: Vec<Tuple> = self.inner.scan_request(request)?.into_rows();
+                let bad: Vec<Tuple> = vec![vec![Value::Int(99)]]; // arity 1, schema wants 2
+                Ok(Box::new(vec![Ok(good), Ok(bad)].into_iter()))
+            }
+        }
+
+        let (system, omq) = system_over(vec![Arc::new(Misbehaving {
+            inner: TableWrapper::new("wb", "DB", schema(), relation_of(0..4).into_rows()).unwrap(),
+        }) as Arc<dyn Wrapper>]);
+        let err = system
+            .answer_with(omq, &VersionScope::All, &ExecOptions::default())
+            .expect_err("mid-stream arity violation must error")
+            .to_string();
+        assert!(
+            err.contains("values but the schema has"),
+            "expected the Arity error, got: {err}"
+        );
+    }
+
+    /// Chaos smoke: under a high seeded random transient-fault rate (CI
+    /// sweeps `BDI_FAULT_SEED` across several seeds), generous retries must
+    /// make the streaming answer identical to the fault-free eager engine —
+    /// faults perturb timing, never answers.
+    #[test]
+    fn chaos_random_faults_never_change_answers() {
+        let (clean_system, omq) = remote_plus_table(FaultProfile::default(), fast_retry());
+        let reference = eager_reference(&omq, &clean_system);
+        let profile = FaultProfile {
+            transient_error_rate: 0.4,
+            seed: FaultProfile::env_seed(42),
+            ..FaultProfile::default()
+        };
+        let retry = RetryPolicy {
+            max_attempts: 30,
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            attempt_timeout: Duration::from_secs(5),
+        };
+        let (system, omq) = remote_plus_table(profile, retry);
+        for _ in 0..3 {
+            let answer = system
+                .answer_with(omq.clone(), &VersionScope::All, &ExecOptions::default())
+                .unwrap();
+            assert_eq!(answer.relation.rows(), reference.rows());
+            assert!(answer.source_failures.is_empty());
+        }
+        assert!(
+            system.retry_stats().attempts >= system.retry_stats().pages,
+            "retry stats must count every attempt"
+        );
+    }
+}
