@@ -18,6 +18,15 @@
 //! * **Semi-join workload** — a selective join (100-key build × 100k-row
 //!   probe): semi-join sideways passing on vs off, i.e. whether the build
 //!   keys reach the probe wrapper as an IN-set before its scan is issued.
+//! * **Bloom semi-join workload** — the selective join at 50k build keys
+//!   (over the IN-set budget): the pass degrading to a sideways bloom
+//!   filter vs disabling itself, PR 4's behaviour at this key count.
+//! * **Cardinality-ordering workload** — a 3-join chain in the worst
+//!   syntactic order (20k × 20k × 20k × 2 rows, the first join fanning
+//!   out 8×): cost-based join ordering from the wrappers' sketches vs
+//!   syntactic order, plus the same plan priced against sketches wrong by
+//!   100× in both directions (estimates steer choice only, so
+//!   misestimates must stay cheap — and rows never move).
 //! * **Cursor workload** — a scan of a source 10× the context's value-cap
 //!   watermark: cached (`ScanCache::Always`) vs cursor-only (`Never`),
 //!   comparing both time and the batch-granular resident peak.
@@ -289,6 +298,243 @@ fn main() {
     );
     let semijoin_speedup = semijoin_off_ns / semijoin_on_ns;
 
+    // ---- Bloom semi-join workload: the same selective-join shape, but the
+    // build side carries 50k distinct keys — far past the 16k IN-set budget,
+    // where PR 4's pass simply disabled itself. With sketches the pass
+    // degrades to shipping a bloom filter sideways, so the 500k-row probe
+    // still gets reduced at the source. Fast mode shrinks the data, so it
+    // forces a tiny key budget to keep exercising the bloom branch.
+    let bloom_build = bdi_bench::scaled(50_000, 500);
+    let bloom_probe = bdi_bench::scaled(500_000, 500);
+    let bloom_stride = (bloom_probe / bloom_build).max(1);
+    let bloom_system = synthetic::build_chain_system_with(2, 1, 0, |i, _, _| {
+        if i == 1 {
+            (0..bloom_build)
+                .map(|r| {
+                    vec![
+                        Value::Int(r as i64),
+                        Value::Int((r * bloom_stride) as i64),
+                        Value::Float(r as f64),
+                    ]
+                })
+                .collect()
+        } else {
+            (0..bloom_probe)
+                .map(|r| vec![Value::Int(r as i64), Value::Float((r % 4096) as f64 / 16.0)])
+                .collect()
+        }
+    });
+    // Full runs keep the production 16k budget (50k keys blow it); the
+    // shrunk fast workload forces a tiny budget so the bloom branch still
+    // runs in bench-smoke.
+    let bloom_budget = bdi_bench::scaled(bdi_relational::plan::DEFAULT_SEMIJOIN_MAX_KEYS, 2048);
+    let bloom_on = ExecOptions {
+        semijoin_max_keys: bloom_budget,
+        ..stream_full.clone()
+    };
+    // The PR 4 behaviour at this key count: over budget, pass disabled.
+    let bloom_off = ExecOptions {
+        semijoin_max_keys: bloom_budget,
+        bloom_semijoins: false,
+        ..stream_full.clone()
+    };
+    let expected = answer_len(&bloom_system, 2, &eager);
+    assert_eq!(expected, bloom_build); // each build key hits exactly one probe row
+    assert_eq!(answer_len(&bloom_system, 2, &bloom_on), expected);
+    assert_eq!(answer_len(&bloom_system, 2, &bloom_off), expected);
+    let bloom_off_ns = measure(
+        "exec/bloom_semijoin_b50k_p500k/pass_disabled".to_owned(),
+        &mut records,
+        || answer_len(&bloom_system, 2, &bloom_off),
+    );
+    let bloom_on_ns = measure(
+        "exec/bloom_semijoin_b50k_p500k/bloom".to_owned(),
+        &mut records,
+        || answer_len(&bloom_system, 2, &bloom_on),
+    );
+    let bloom_speedup = bloom_off_ns / bloom_on_ns;
+
+    // ---- Cardinality-ordering workload: a 3-join chain written in the
+    // WORST syntactic order. The first join's keys are 8x-duplicated on
+    // both sides, so the syntactic plan's intermediates fan out to 8x the
+    // inputs (160k rows) and drag through a second 20k-row join before the
+    // 2-row tail concept kills almost everything. Cost-based ordering
+    // seeds from the (c3, c4) pair the sketches price at 2 rows and keeps
+    // every intermediate single-digit. The pass-everything filter puts the
+    // answer under the sorted-order contract, which is what licenses
+    // reordering; semi-joins are off so the measurement isolates join
+    // order.
+    let order_rows = bdi_bench::scaled(20_000, 100);
+    let order_dup = 8;
+    let order_keys = (order_rows / order_dup).max(1);
+    let order_system = synthetic::build_chain_system_with(4, 1, 0, |i, _, schema| {
+        let last = schema.index_of("next_id").is_none();
+        let rows = if i == 4 { 2 } else { order_rows };
+        (0..rows)
+            .map(|r| {
+                // c1.next_id and c2.id2 share a duplicated key space; every
+                // other column stays distinct.
+                let dup_key = (r % order_keys) as i64;
+                let mut row = vec![Value::Int(if i == 2 { dup_key } else { r as i64 })];
+                if !last {
+                    row.push(Value::Int(if i == 1 { dup_key } else { r as i64 }));
+                }
+                row.push(Value::Float(r as f64));
+                row
+            })
+            .collect()
+    });
+    let order_filters = vec![FeatureFilter::new(
+        synthetic::chain_data_feature(1),
+        bdi_relational::plan::Predicate::range(None, None),
+    )];
+    let order_answer = |cost_based: bool| {
+        let opts = ExecOptions {
+            filters: order_filters.clone(),
+            semijoin_max_keys: 0,
+            cost_based_joins: cost_based,
+            ..stream_full.clone()
+        };
+        order_system
+            .answer_with(synthetic::chain_query(4), &VersionScope::All, &opts)
+            .expect("ordering query answers")
+            .relation
+            .len()
+    };
+    let order_eager = ExecOptions {
+        filters: order_filters.clone(),
+        ..eager.clone()
+    };
+    let expected = order_system
+        .answer_with(synthetic::chain_query(4), &VersionScope::All, &order_eager)
+        .expect("ordering query answers")
+        .relation
+        .len();
+    // Keys {0, 1} survive the 2-row tail, each matching `order_dup` c1 rows.
+    let survivors = (0..order_rows).filter(|r| r % order_keys <= 1).count();
+    assert_eq!(expected, survivors);
+    assert_eq!(survivors, 2 * order_dup);
+    assert_eq!(order_answer(true), expected);
+    assert_eq!(order_answer(false), expected);
+    let order_syntactic_ns = measure(
+        "exec/join_order_c4_worst/syntactic".to_owned(),
+        &mut records,
+        || order_answer(false),
+    );
+    let order_cost_ns = measure(
+        "exec/join_order_c4_worst/cost_based".to_owned(),
+        &mut records,
+        || order_answer(true),
+    );
+    let order_speedup = order_syntactic_ns / order_cost_ns;
+
+    // ---- Misestimation workload: the same worst-order chain planned
+    // against sketches that are wrong by up to four orders of magnitude
+    // relative (the big concepts inflated 100×, the small ones deflated
+    // 100×). Estimates steer *choice only* — every candidate plan is
+    // correct — so even adversarial misestimates must cost little next to
+    // well-estimated planning (and nothing in rows).
+    struct MisestimatedStats<'a>(&'a bdi_wrappers::WrapperRegistry);
+
+    impl bdi_relational::PlanSource for MisestimatedStats<'_> {
+        fn scan(
+            &self,
+            name: &str,
+            request: &ScanRequest,
+        ) -> Result<Relation, bdi_relational::RelationError> {
+            bdi_relational::PlanSource::scan(self.0, name, request)
+        }
+
+        // Forward batch streaming too — the comparison must isolate the
+        // sketch distortion, not degrade the scan path.
+        fn scan_batches<'b>(
+            &'b self,
+            source: &str,
+            request: &ScanRequest,
+            batch_rows: usize,
+        ) -> Result<bdi_relational::plan::BatchIter<'b>, bdi_relational::RelationError> {
+            self.0.scan_batches(source, request, batch_rows)
+        }
+
+        fn data_version(&self, name: &str) -> u64 {
+            self.0.data_version(name)
+        }
+
+        fn claims(&self, source: &str, filter: &bdi_relational::plan::ColumnFilter) -> bool {
+            bdi_relational::PlanSource::claims(self.0, source, filter)
+        }
+
+        fn scan_hint(&self, name: &str, request: &ScanRequest) -> Option<u64> {
+            bdi_relational::PlanSource::scan_hint(self.0, name, request)
+        }
+
+        fn stats(&self, name: &str) -> Option<Arc<bdi_relational::TableStats>> {
+            // w_1/w_2 (20k rows) inflate 100×; w_3/w_4 deflate 100×.
+            let factor = if name.starts_with("w_1") || name.starts_with("w_2") {
+                100.0
+            } else {
+                0.01
+            };
+            self.0.stats(name).map(|s| Arc::new(s.scaled(factor)))
+        }
+    }
+
+    impl bdi_relational::SourceResolver for MisestimatedStats<'_> {
+        fn resolve(&self, name: &str) -> Result<Relation, bdi_relational::RelationError> {
+            bdi_relational::SourceResolver::resolve(self.0, name)
+        }
+    }
+
+    let order_rewriting = order_system
+        .rewrite(synthetic::chain_query(4))
+        .expect("ordering query rewrites");
+    let order_opts = ExecOptions {
+        filters: order_filters.clone(),
+        semijoin_max_keys: 0,
+        // Pin the scan mode: inflated sketches would (correctly) push the
+        // big scans cursor-only through the adaptive Auto arm, and with no
+        // scan reuse in this harness that happens to *win* — pinning keeps
+        // the comparison about join ordering alone.
+        scan_cache: ScanCache::Always,
+        ..stream_full.clone()
+    };
+    let misestimated = MisestimatedStats(order_system.registry());
+    let estimated_run = || {
+        bdi_core::exec::execute_with(
+            order_system.ontology(),
+            order_system.registry(),
+            &order_rewriting,
+            &order_opts,
+        )
+        .expect("well-estimated run answers")
+        .relation
+        .len()
+    };
+    let misestimated_run = || {
+        bdi_core::exec::execute_with(
+            order_system.ontology(),
+            &misestimated,
+            &order_rewriting,
+            &order_opts,
+        )
+        .expect("misestimated run answers")
+        .relation
+        .len()
+    };
+    assert_eq!(estimated_run(), expected);
+    assert_eq!(misestimated_run(), expected); // wrong sketches never change rows
+    let estimated_ns = measure(
+        "exec/join_order_c4_worst/stats_exact".to_owned(),
+        &mut records,
+        estimated_run,
+    );
+    let misestimated_ns = measure(
+        "exec/join_order_c4_worst/stats_wrong_100x".to_owned(),
+        &mut records,
+        misestimated_run,
+    );
+    let misestimate_overhead = misestimated_ns / estimated_ns;
+
     // ---- Cursor workload: one scan of a source 10× the value-cap
     // watermark, cached vs cursor-only. Identical rows; the cursor run's
     // batch-granular resident peak must undercut the cached run's (whose
@@ -297,6 +543,11 @@ fn main() {
     // cursor's single in-flight batch IS the whole table and the peaks tie.
     let cap = bdi_bench::scaled(50_000, 100);
     let source_rows = cap * 10;
+    // Pin the interning batch size explicitly: adaptive sizing would batch
+    // the whole fast-mode source in one go and the peaks would trivially
+    // tie. Eight in-flight batches keeps the cursor peak meaningful at
+    // every scale.
+    let scan_batch = (source_rows / 8).max(1);
     let big_schema = Schema::from_parts(&["id"], &["x"]).unwrap();
     let mut registry = WrapperRegistry::new();
     registry.register(Arc::new(
@@ -324,10 +575,10 @@ fn main() {
         scan_cache: ScanCache::Never,
         ..ExecPolicy::default()
     };
-    let cached_ctx = ExecContext::new();
+    let cached_ctx = ExecContext::new().with_scan_batch_rows(scan_batch);
     let cached_rows = execute_plan_in_with(&big_plan, &cached_ctx, &registry, cached_policy)
         .expect("cached scan answers");
-    let cursor_ctx = ExecContext::new();
+    let cursor_ctx = ExecContext::new().with_scan_batch_rows(scan_batch);
     let cursor_rows = execute_plan_in_with(&big_plan, &cursor_ctx, &registry, cursor_policy)
         .expect("cursor scan answers");
     assert_eq!(cursor_rows.rows(), cached_rows.rows());
@@ -338,7 +589,9 @@ fn main() {
     );
     let cursor_peak_ratio = cached_peak as f64 / cursor_peak as f64;
     // Auto on a capped context routes the over-cap source cursor-only.
-    let auto_ctx = ExecContext::new().with_value_cap(cap);
+    let auto_ctx = ExecContext::new()
+        .with_value_cap(cap)
+        .with_scan_batch_rows(scan_batch);
     execute_plan_in_with(&big_plan, &auto_ctx, &registry, ExecPolicy::default())
         .expect("auto scan answers");
     assert_eq!(auto_ctx.cached_scans(), 0, "Auto cached an over-cap source");
@@ -346,7 +599,7 @@ fn main() {
         "exec/cursor_scan_10x_cap/cached".to_owned(),
         &mut records,
         || {
-            let ctx = ExecContext::new();
+            let ctx = ExecContext::new().with_scan_batch_rows(scan_batch);
             execute_plan_in_with(&big_plan, &ctx, &registry, cached_policy)
                 .expect("cached scan answers")
                 .len()
@@ -356,7 +609,7 @@ fn main() {
         "exec/cursor_scan_10x_cap/cursor_only".to_owned(),
         &mut records,
         || {
-            let ctx = ExecContext::new();
+            let ctx = ExecContext::new().with_scan_batch_rows(scan_batch);
             execute_plan_in_with(&big_plan, &ctx, &registry, cursor_policy)
                 .expect("cursor scan answers")
                 .len()
@@ -474,6 +727,15 @@ fn main() {
         "speedup: selective join 100x100k (semi-join off / on)            = {semijoin_speedup:.2}x"
     );
     println!(
+        "speedup: bloom semi-join 50kx500k (pass disabled / bloom)        = {bloom_speedup:.2}x"
+    );
+    println!(
+        "speedup: 3-join worst order (syntactic / cost-based)             = {order_speedup:.2}x"
+    );
+    println!(
+        "overhead: cost-based planning at 100x-wrong sketches             = {misestimate_overhead:.2}x"
+    );
+    println!(
         "cursor-only scan 10x value cap: peak {cursor_peak} B vs cached {cached_peak} B ({cursor_peak_ratio:.2}x smaller), {:.2}x slower",
         cursor_only_ns / cursor_cached_ns
     );
@@ -504,7 +766,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}, \"remote_latency_overlap\": {remote_overlap:.2}, \"remote_retry_overhead_10pct\": {remote_retry_overhead:.2}}}\n}}\n"
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"bloom_semijoin_50k_keys\": {bloom_speedup:.2}, \"join_order_cost_based\": {order_speedup:.2}, \"misestimate_overhead_100x\": {misestimate_overhead:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}, \"remote_latency_overlap\": {remote_overlap:.2}, \"remote_retry_overhead_10pct\": {remote_retry_overhead:.2}}}\n}}\n"
     ));
     let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
     f.write_all(json.as_bytes()).expect("write BENCH_exec.json");

@@ -184,6 +184,23 @@ pub struct ExecOptions {
     /// runtime-only knob: it never shapes the compiled plan, so the
     /// system's plan cache normalizes it out of the cache key.
     pub semijoin_max_keys: usize,
+    /// Degrade the semi-join pass to a Bloom filter instead of disabling it
+    /// when the build side's distinct keys exceed `semijoin_max_keys` (up
+    /// to [`bdi_relational::plan::BLOOM_SEMIJOIN_MAX_KEYS`]). False
+    /// positives only ship extra probe rows the join then discards, so
+    /// answers are identical either way. Runtime-only (normalized out of
+    /// the plan-cache key) like `semijoin_max_keys`.
+    pub bloom_semijoins: bool,
+    /// Order each walk's joins by estimated output cardinality (from the
+    /// wrappers' column sketches, [`bdi_wrappers::Wrapper::column_stats`])
+    /// instead of their syntactic order. Only engaged where the row-order
+    /// contract already sorts the answer (multi-walk rewritings or filtered
+    /// queries — a single unfiltered walk keeps its natural order and its
+    /// syntactic join tree), and only when every wrapper in the walk offers
+    /// a row estimate; otherwise the syntactic order is kept. A
+    /// *compile-time* knob: it shapes the plan, so it stays in the
+    /// plan-cache key.
+    pub cost_based_joins: bool,
     /// How scans materialize through the execution context (see
     /// [`ScanCache`]): `Auto` (default) caches unless a source's size hint
     /// exceeds the context's value-cap watermark, `Always` forces the
@@ -217,6 +234,8 @@ impl Default for ExecOptions {
             cache_plans: true,
             reuse_scans: true,
             semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
+            bloom_semijoins: true,
+            cost_based_joins: true,
             scan_cache: ScanCache::Auto,
             deadline: None,
             on_source_failure: SourceFailurePolicy::Fail,
@@ -233,6 +252,7 @@ impl ExecOptions {
     pub fn policy(&self) -> ExecPolicy {
         ExecPolicy {
             semijoin_max_keys: self.semijoin_max_keys,
+            bloom_semijoins: self.bloom_semijoins,
             scan_cache: self.scan_cache,
             deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
         }
@@ -252,6 +272,35 @@ pub struct QueryAnswer {
     /// and a source failed). A non-empty list means the relation is a
     /// *partial* answer: exactly the surviving walks' rows.
     pub source_failures: Vec<SourceFailure>,
+    /// One planner note per walk (streaming engine only; empty under
+    /// [`Engine::Eager`]): the join order chosen, whether it was
+    /// cost-based, and the estimated vs. actual row counts — the
+    /// observability surface for the statistics layer.
+    pub plan_notes: Vec<PlanNote>,
+}
+
+/// How one walk was planned and how the estimate compared to reality.
+/// Compiled into the plan ([`CompiledQuery::plan_notes`]) with
+/// `actual_rows: None`; execution clones the notes into
+/// [`QueryAnswer::plan_notes`] with the actuals filled in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNote {
+    /// Index of the walk within the rewriting.
+    pub walk: usize,
+    /// Whether the join order was chosen by estimated cardinality
+    /// ([`ExecOptions::cost_based_joins`] engaged and every wrapper
+    /// offered an estimate) rather than syntactic order.
+    pub cost_based: bool,
+    /// Wrapper names in the order they were attached to the join tree.
+    pub join_order: Vec<String>,
+    /// Estimated output rows of the walk's join tree (`None` when the
+    /// walk was planned syntactically without estimates).
+    pub estimated_rows: Option<u64>,
+    /// Rows the walk actually contributed at run time: the answer's row
+    /// count for a single-walk query, the walk's novel (pre-merge) row
+    /// count for a multi-walk union. `None` until executed, and for walks
+    /// dropped by a degraded answer.
+    pub actual_rows: Option<u64>,
 }
 
 /// The output schema for a feature projection: one column per feature,
@@ -382,6 +431,7 @@ pub fn execute_eager(
             relation: Relation::empty(schema),
             walk_exprs: Vec::new(),
             source_failures: Vec::new(),
+            plan_notes: Vec::new(),
         });
     }
 
@@ -416,6 +466,7 @@ pub fn execute_eager(
         relation,
         walk_exprs,
         source_failures: Vec::new(),
+        plan_notes: Vec::new(),
     })
 }
 
@@ -442,16 +493,27 @@ fn select_where(
 // Walk → physical plan compilation
 // ---------------------------------------------------------------------------
 
+/// Cost facts gathered while compiling a leaf: the estimated row count of
+/// its (filtered) scan and the distinct-count estimate per output column,
+/// keyed by the *prefixed* attribute name the walk's join conditions use.
+/// `rows: None` means the source offered neither sketches nor a hint —
+/// cost-based ordering stands down for the walk.
+struct LeafCost {
+    rows: Option<u64>,
+    distinct: BTreeMap<String, u64>,
+}
+
 /// Compiles one wrapper of a walk to its (pushdown-aware) scan leaf —
 /// possibly topped by a residual [`PhysicalPlan::Filter`] holding the
-/// predicates the source did not claim.
+/// predicates the source did not claim — plus the [`LeafCost`] facts the
+/// walk's join ordering consumes.
 fn leaf_plan(
     ontology: &BdiOntology,
     source: &dyn PlanSource,
     wrapper: &Iri,
     needed: Option<&BTreeSet<&Iri>>,
     filter_targets: &[(&Iri, &Iri, &Predicate)],
-) -> Result<PhysicalPlan, ExecError> {
+) -> Result<(PhysicalPlan, LeafCost), ExecError> {
     let wrapper_name = crate::vocab::wrapper_name_of(wrapper)
         .unwrap_or_else(|| wrapper.as_str())
         .to_owned();
@@ -467,6 +529,9 @@ fn leaf_plan(
     };
     let mut columns = Vec::with_capacity(attrs.len());
     let mut out_attrs = Vec::with_capacity(attrs.len());
+    // (local, prefixed) column-name pairs — sketches key on local names,
+    // join conditions on prefixed ones.
+    let mut col_pairs = Vec::with_capacity(attrs.len());
     for attr in &attrs {
         let (local, prefixed) = match crate::vocab::attribute_parts_of(attr) {
             Some((_, local)) => (local.to_owned(), prefixed_attr_name(attr)),
@@ -476,6 +541,7 @@ fn leaf_plan(
             .feature_of_attribute(attr)
             .map(|f| ontology.is_id_feature(&f))
             .unwrap_or(false);
+        col_pairs.push((local.clone(), prefixed.clone()));
         columns.push(local);
         out_attrs.push(if is_id {
             Attribute::id(prefixed)
@@ -490,6 +556,8 @@ fn leaf_plan(
     // output columns. Either way the wrapper's answer contribution is
     // identical — only the evaluation site moves.
     let mut residue: Vec<(String, Predicate)> = Vec::new();
+    // Residues again under their *local* names, for estimation only.
+    let mut residue_cost: Vec<(String, Predicate)> = Vec::new();
     for (target_wrapper, target_attr, predicate) in filter_targets {
         if target_wrapper != &wrapper {
             continue;
@@ -501,9 +569,33 @@ fn leaf_plan(
         if source.claims(&wrapper_name, &filter) {
             request = request.with_column_filter(filter);
         } else {
+            residue_cost.push((local.to_owned(), (*predicate).clone()));
             residue.push((prefixed_attr_name(target_attr), (*predicate).clone()));
         }
     }
+    // Cost facts: sketch-estimated rows (claimed filters through
+    // `TableStats::estimate_rows`, residues by per-column selectivity —
+    // both filter the same rows, only the evaluation site differs), or the
+    // source's scan hint when it keeps no sketches.
+    let stats = source.stats(&wrapper_name);
+    let mut distinct = BTreeMap::new();
+    let est_rows = match &stats {
+        Some(stats) => {
+            let mut est = stats.estimate_rows(request.filters()) as f64;
+            for (local, predicate) in &residue_cost {
+                if let Some(column) = stats.column(local) {
+                    est *= column.selectivity(predicate, stats.rows());
+                }
+            }
+            for (local, prefixed) in &col_pairs {
+                if let Some(column) = stats.column(local) {
+                    distinct.insert(prefixed.clone(), column.distinct);
+                }
+            }
+            Some(est.round() as u64)
+        }
+        None => source.scan_hint(&wrapper_name, &request),
+    };
     let mut plan = PhysicalPlan::scan(wrapper_name, request);
     if !residue.is_empty() {
         let predicates: Vec<(&str, Predicate)> = residue
@@ -512,22 +604,36 @@ fn leaf_plan(
             .collect();
         plan = plan.filter(predicates)?;
     }
-    Ok(plan)
+    Ok((
+        plan,
+        LeafCost {
+            rows: est_rows,
+            distinct,
+        },
+    ))
 }
 
 /// Compiles a walk to its aligned physical plan: pushdown-aware scans with
 /// fused renames, the walk's ⋈̃ conditions as hash joins (the same left-deep
 /// construction as [`Walk::to_rel_expr_full`], so row order matches the
-/// eager engine), topped by the projection aligning to the target schema.
+/// eager engine — unless cost-based ordering is engaged, see
+/// [`ExecOptions::cost_based_joins`]), topped by the projection aligning to
+/// the target schema. Also returns the walk's [`PlanNote`] (with
+/// `actual_rows` unset). `order_safe` says whether the answer's row-order
+/// contract already sorts this walk's output, making join reordering
+/// invisible.
+#[allow(clippy::too_many_arguments)]
 fn compile_walk(
     ontology: &BdiOntology,
     source: &dyn PlanSource,
     walk: &Walk,
+    walk_index: usize,
     features: &[Iri],
     columns: &[String],
     target: &Schema,
     options: &ExecOptions,
-) -> Result<PhysicalPlan, ExecError> {
+    order_safe: bool,
+) -> Result<(PhysicalPlan, PlanNote), ExecError> {
     // Each filter lands on the (wrapper, attribute) providing its feature
     // in this walk — the same choice `walk_columns` aligns on.
     let filter_targets: Vec<(&Iri, &Iri, &Predicate)> = options
@@ -561,17 +667,142 @@ fn compile_walk(
     });
     let empty = BTreeSet::new();
     let mut leaves: BTreeMap<&Iri, PhysicalPlan> = BTreeMap::new();
+    let mut costs: BTreeMap<&Iri, LeafCost> = BTreeMap::new();
     for wrapper in walk.wrappers() {
         let wrapper_needed = needed.as_ref().map(|n| n.get(wrapper).unwrap_or(&empty));
-        leaves.insert(
-            wrapper,
-            leaf_plan(ontology, source, wrapper, wrapper_needed, &filter_targets)?,
-        );
+        let (plan, cost) = leaf_plan(ontology, source, wrapper, wrapper_needed, &filter_targets)?;
+        leaves.insert(wrapper, plan);
+        costs.insert(wrapper, cost);
+    }
+    let name_of = |w: &Iri| {
+        crate::vocab::wrapper_name_of(w)
+            .unwrap_or_else(|| w.as_str())
+            .to_owned()
+    };
+
+    // Cost-based ordering: when engaged (knob on, the answer's row-order
+    // contract already sorts this walk — `order_safe` — and every wrapper
+    // offers a row estimate), reorder the pending ⋈̃ conditions so the
+    // cheapest-estimate pair joins first and every later condition keeps
+    // the estimated intermediate result smallest. The join estimate is
+    // |L ⋈ R| = |L|·|R| / max(d_L(a), d_R(b)) over the condition
+    // attributes' distinct-count sketches (distinct defaulting to the
+    // side's row count — unique keys — when unsketched). The reordered
+    // list stays connected, so the left-deep growth below consumes it
+    // verbatim; a wrong estimate can therefore change only the plan's
+    // cost, never its rows.
+    let mut cost_based = options.cost_based_joins
+        && order_safe
+        && !walk.joins().is_empty()
+        && walk
+            .wrappers()
+            .iter()
+            .all(|w| costs.get(w).is_some_and(|c| c.rows.is_some()));
+    let mut estimated_rows: Option<u64> = None;
+    let mut pending: Vec<_> = walk.joins().iter().collect();
+    if cost_based {
+        let rows_of = |w: &Iri| costs[w].rows.unwrap_or(1).max(1) as f64;
+        let distinct_of = |w: &Iri, attr: &Iri| {
+            let rows = rows_of(w);
+            costs[w]
+                .distinct
+                .get(&prefixed_attr_name(attr))
+                .map_or(rows, |d| (*d as f64).min(rows))
+                .max(1.0)
+        };
+        let mut remaining = pending.clone();
+        let mut ordered = Vec::with_capacity(remaining.len());
+        let seed = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let d = distinct_of(&j.left_wrapper, &j.left_attribute)
+                    .max(distinct_of(&j.right_wrapper, &j.right_attribute));
+                (i, rows_of(&j.left_wrapper) * rows_of(&j.right_wrapper) / d)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((seed_index, seed_rows)) = seed {
+            let first = remaining.remove(seed_index);
+            let mut included: BTreeSet<&Iri> = [&first.left_wrapper, &first.right_wrapper]
+                .into_iter()
+                .collect();
+            let mut sub_rows = seed_rows;
+            let mut sub_distinct: BTreeMap<String, f64> = BTreeMap::new();
+            for w in [&first.left_wrapper, &first.right_wrapper] {
+                for (prefixed, d) in &costs[w].distinct {
+                    sub_distinct.entry(prefixed.clone()).or_insert(*d as f64);
+                }
+            }
+            ordered.push(first);
+            while !remaining.is_empty() {
+                let best = remaining
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, j)| {
+                        let j = *j;
+                        let l_in = included.contains(&j.left_wrapper);
+                        let r_in = included.contains(&j.right_wrapper);
+                        match (l_in, r_in) {
+                            // Redundant condition over already-joined
+                            // wrappers (the growth below drops it): free.
+                            (true, true) => Some((i, sub_rows, None)),
+                            (true, false) => {
+                                let d_sub = sub_distinct
+                                    .get(&prefixed_attr_name(&j.left_attribute))
+                                    .map_or(sub_rows, |d| d.min(sub_rows))
+                                    .max(1.0);
+                                let d_leaf = distinct_of(&j.right_wrapper, &j.right_attribute);
+                                Some((
+                                    i,
+                                    sub_rows * rows_of(&j.right_wrapper) / d_sub.max(d_leaf),
+                                    Some(&j.right_wrapper),
+                                ))
+                            }
+                            (false, true) => {
+                                let d_sub = sub_distinct
+                                    .get(&prefixed_attr_name(&j.right_attribute))
+                                    .map_or(sub_rows, |d| d.min(sub_rows))
+                                    .max(1.0);
+                                let d_leaf = distinct_of(&j.left_wrapper, &j.left_attribute);
+                                Some((
+                                    i,
+                                    sub_rows * rows_of(&j.left_wrapper) / d_sub.max(d_leaf),
+                                    Some(&j.left_wrapper),
+                                ))
+                            }
+                            (false, false) => None,
+                        }
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+                let Some((index, new_rows, attached)) = best else {
+                    // Disconnected join graph — such walks fail coverage
+                    // upstream; keep the syntactic order.
+                    cost_based = false;
+                    break;
+                };
+                if let Some(wrapper) = attached {
+                    for (prefixed, d) in &costs[wrapper].distinct {
+                        sub_distinct.entry(prefixed.clone()).or_insert(*d as f64);
+                    }
+                    included.insert(wrapper);
+                    sub_rows = new_rows;
+                }
+                ordered.push(remaining.remove(index));
+            }
+            if cost_based {
+                estimated_rows = Some(sub_rows.round() as u64);
+                pending = ordered;
+            }
+        }
     }
 
+    // Wrapper names in the order the growth below attaches them.
+    let mut attach_order: Vec<String> = Vec::new();
     let joined = if walk.joins().is_empty() {
         // Single-wrapper walk (degenerate multi-wrapper walks without joins
         // are rejected upstream by coverage/minimality filtering).
+        attach_order.extend(walk.wrappers().iter().map(|w| name_of(w)));
+        estimated_rows = costs.values().next().and_then(|c| c.rows);
         leaves.into_values().next().unwrap_or_else(|| {
             PhysicalPlan::scan(
                 "∅",
@@ -593,7 +824,6 @@ fn compile_walk(
         };
         let mut included: BTreeSet<&Iri> = BTreeSet::new();
         let mut expr: Option<PhysicalPlan> = None;
-        let mut pending: Vec<_> = walk.joins().iter().collect();
         while !pending.is_empty() {
             let before = pending.len();
             let mut error: Option<ExecError> = None;
@@ -616,6 +846,8 @@ fn compile_walk(
                                 expr = Some(joined);
                                 included.insert(&j.left_wrapper);
                                 included.insert(&j.right_wrapper);
+                                attach_order.push(name_of(&j.left_wrapper));
+                                attach_order.push(name_of(&j.right_wrapper));
                                 Ok(false)
                             }
                             Err(e) => Err(e),
@@ -632,6 +864,7 @@ fn compile_walk(
                             Ok(joined) => {
                                 *e = joined;
                                 included.insert(&j.right_wrapper);
+                                attach_order.push(name_of(&j.right_wrapper));
                                 Ok(false)
                             }
                             Err(err) => Err(err),
@@ -647,6 +880,7 @@ fn compile_walk(
                             Ok(joined) => {
                                 *e = joined;
                                 included.insert(&j.left_wrapper);
+                                attach_order.push(name_of(&j.left_wrapper));
                                 Ok(false)
                             }
                             Err(err) => Err(err),
@@ -674,7 +908,17 @@ fn compile_walk(
     };
 
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    Ok(joined.project_columns(&column_refs, target.clone())?)
+    let plan = joined.project_columns(&column_refs, target.clone())?;
+    Ok((
+        plan,
+        PlanNote {
+            walk: walk_index,
+            cost_based,
+            join_order: attach_order,
+            estimated_rows,
+            actual_rows: None,
+        },
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -701,6 +945,8 @@ pub struct CompiledQuery {
     /// One plan per walk (left empty under [`Engine::Eager`], which
     /// interprets the walks directly).
     plans: Vec<PhysicalPlan>,
+    /// One [`PlanNote`] per plan, `actual_rows` unset.
+    plan_notes: Vec<PlanNote>,
 }
 
 impl CompiledQuery {
@@ -712,6 +958,13 @@ impl CompiledQuery {
     /// Rendered physical plans (diagnostics).
     pub fn plan_strings(&self) -> Vec<String> {
         self.plans.iter().map(|p| p.to_string()).collect()
+    }
+
+    /// Planner notes, one per walk (empty under [`Engine::Eager`]).
+    /// `actual_rows` is `None` here — execution clones the notes into
+    /// [`QueryAnswer::plan_notes`] with the actuals filled in.
+    pub fn plan_notes(&self) -> &[PlanNote] {
+        &self.plan_notes
     }
 }
 
@@ -734,15 +987,23 @@ where
 
     let mut walk_exprs = Vec::with_capacity(rewriting.walks.len());
     let mut plans = Vec::with_capacity(rewriting.walks.len());
+    let mut plan_notes = Vec::with_capacity(rewriting.walks.len());
     // The eager engine renders its own walk_exprs while interpreting the
     // walks (`execute_eager`), so compiling them here would be wasted work.
     if matches!(options.engine, Engine::Streaming) {
-        for walk in &rewriting.walks {
+        // Join reordering is invisible exactly where the row-order contract
+        // already sorts the answer: multi-walk unions and filtered queries.
+        // A single unfiltered walk keeps its natural (syntactic) order.
+        let order_safe = rewriting.walks.len() > 1 || !options.filters.is_empty();
+        for (walk_index, walk) in rewriting.walks.iter().enumerate() {
             walk_exprs.push(walk.to_rel_expr_full(ontology).to_string());
             let columns = walk_columns(ontology, walk, features)?;
-            plans.push(compile_walk(
-                ontology, source, walk, features, &columns, &schema, options,
-            )?);
+            let (plan, note) = compile_walk(
+                ontology, source, walk, walk_index, features, &columns, &schema, options,
+                order_safe,
+            )?;
+            plans.push(plan);
+            plan_notes.push(note);
         }
     }
     Ok(CompiledQuery {
@@ -751,6 +1012,7 @@ where
         schema,
         walk_exprs,
         plans,
+        plan_notes,
     })
 }
 
@@ -870,6 +1132,7 @@ where
             relation: Relation::empty(schema),
             walk_exprs,
             source_failures: Vec::new(),
+            plan_notes: compiled.plan_notes.clone(),
         });
     }
 
@@ -911,6 +1174,8 @@ where
                         relation: Relation::empty(schema),
                         walk_exprs,
                         source_failures: source_failure_of(&e).into_iter().collect(),
+                        // The walk was dropped: its actual stays unset.
+                        plan_notes: compiled.plan_notes.clone(),
                     });
                 }
                 Err(e) => return Err(e.into()),
@@ -918,10 +1183,15 @@ where
         if filtered {
             relation.sort_rows();
         }
+        let mut plan_notes = compiled.plan_notes.clone();
+        if let Some(note) = plan_notes.first_mut() {
+            note.actual_rows = Some(relation.len() as u64);
+        }
         return Ok(QueryAnswer {
             relation,
             walk_exprs,
             source_failures: Vec::new(),
+            plan_notes,
         });
     }
 
@@ -947,15 +1217,16 @@ where
     };
     // Under Degrade a failed walk becomes a dropped-walk report instead of
     // a query error; anything that is not a source failure still aborts.
-    let mut dropped: Vec<SourceFailure> = Vec::new();
+    // The walk index rides along so its planner note keeps an unset actual.
+    let mut dropped: Vec<(usize, SourceFailure)> = Vec::new();
     let settle = |runs: &mut Vec<Vec<Tuple>>,
                   first_error: &mut Option<(usize, PlanError)>,
-                  dropped: &mut Vec<SourceFailure>,
+                  dropped: &mut Vec<(usize, SourceFailure)>,
                   index: usize,
                   result: Result<Vec<Tuple>, PlanError>| match result {
         Ok(run) => runs[index] = run,
         Err(e) => match source_failure_of(&e) {
-            Some(failure) if degrade => dropped.push(failure),
+            Some(failure) if degrade => dropped.push((index, failure)),
             _ => record_error(first_error, index, e),
         },
     };
@@ -1019,10 +1290,22 @@ where
         return Err(e.into());
     }
 
+    // A multi-walk actual is the walk's *novel* (pre-merge) contribution:
+    // rows an earlier-finishing walk already claimed count for that walk,
+    // not this one. Dropped walks keep an unset actual.
+    let mut plan_notes = compiled.plan_notes.clone();
+    let dropped_walks: BTreeSet<usize> = dropped.iter().map(|(index, _)| *index).collect();
+    for (index, note) in plan_notes.iter_mut().enumerate() {
+        if !dropped_walks.contains(&index) {
+            note.actual_rows = Some(runs.get(index).map_or(0, Vec::len) as u64);
+        }
+    }
+
     Ok(QueryAnswer {
         relation: Relation::new(schema, merge_sorted_runs(runs))?,
         walk_exprs,
-        source_failures: aggregate_failures(dropped),
+        source_failures: aggregate_failures(dropped.into_iter().map(|(_, f)| f).collect()),
+        plan_notes,
     })
 }
 

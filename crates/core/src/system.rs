@@ -4,7 +4,9 @@
 //! the data steward registers releases; analysts pose OMQs which are
 //! rewritten (Algorithms 2–5) and executed over the wrappers.
 
-use crate::exec::{self, CompiledQuery, ExecError, ExecOptions, QueryAnswer, SourceFailure};
+use crate::exec::{
+    self, CompiledQuery, ExecError, ExecOptions, PlanNote, QueryAnswer, SourceFailure,
+};
 use crate::omq::{Omq, OmqError};
 use crate::ontology::BdiOntology;
 use crate::release::{self, Release, ReleaseError, ReleaseStats};
@@ -70,11 +72,17 @@ const PLAN_CACHE_ENTRIES: usize = 64;
 /// ([`bdi_wrappers::WrapperRegistry::capabilities_fingerprint`]). Plans
 /// depend on the ontology and wrapper *capabilities* (claims decide the
 /// pushed-vs-residual filter split compiled into each plan) — never on
-/// wrapper data — so this triple is exactly the compiled-plan lifetime,
-/// now robust even to wrapper kinds whose claims change without a release.
+/// wrapper data — plus, fourth, the registry's **stats epoch**
+/// ([`bdi_wrappers::WrapperRegistry::stats_epoch`], a digest of every
+/// wrapper's `data_version`): since cost-based join ordering compiles
+/// sketch-derived estimates *into* the plan shape, a wrapper-data mutation
+/// must recompile plans even though their answers would still be correct
+/// (only possibly slower).
 ///
-/// Wrapper **data** mutations deliberately do not appear here: every cached
-/// scan is keyed by its wrapper's live
+/// The two halves invalidate differently ([`ExecCacheState::revalidate`]):
+/// a change in the leading triple flushes the plans **and** retires the
+/// persistent context, while a stats-epoch-only change flushes just the
+/// plans — every cached scan is keyed by its wrapper's live
 /// [`data_version`](bdi_wrappers::Wrapper::data_version) at scan time, so a
 /// mutation makes the stale entry unreachable and the next query re-scans
 /// just the mutated wrapper — sibling wrappers' (and sibling docstore
@@ -84,7 +92,7 @@ const PLAN_CACHE_ENTRIES: usize = 64;
 /// context-retirement tier). This is what lets
 /// [`ExecOptions::reuse_scans`] default on without one wrapper's appends
 /// flushing every other wrapper's interned scans.
-type CacheValidity = (usize, u64, u64);
+type CacheValidity = (usize, u64, u64, u64);
 
 /// Default watermark on the persistent context's interned-value pool; past
 /// it the context is retired after the current query (see
@@ -118,6 +126,13 @@ struct ExecCacheState {
     /// occurred in.
     retired_peak_values: usize,
     retired_peak_bytes: usize,
+    /// Semi-join pass counters folded out of retired contexts, so
+    /// [`BdiSystem::planner_stats`] reports lifetime totals.
+    retired_semijoin_insets: u64,
+    retired_semijoin_blooms: u64,
+    /// Fresh compiles by planning kind (cache hits don't recount).
+    cost_based_plans: u64,
+    syntactic_plans: u64,
 }
 
 impl ExecCacheState {
@@ -126,17 +141,28 @@ impl ExecCacheState {
     fn replace_ctx(&mut self) {
         self.retired_peak_values = self.retired_peak_values.max(self.ctx.pooled_values());
         self.retired_peak_bytes = self.retired_peak_bytes.max(self.ctx.peak_bytes());
+        self.retired_semijoin_insets += self.ctx.semijoin_insets();
+        self.retired_semijoin_blooms += self.ctx.semijoin_blooms();
         self.ctx = Arc::new(ExecContext::new().with_value_cap(self.value_cap));
     }
 
-    /// Brings the cache up to `validity`: any change (release registered,
-    /// ontology edited, wrapper capabilities moved) flushes the plans and
-    /// retires the context. Wrapper *data* mutations never reach this —
-    /// per-scan `data_version` cache keys handle them one level down.
+    /// Brings the cache up to `validity`. A change in the leading triple
+    /// (release registered, ontology edited, wrapper capabilities moved)
+    /// flushes the plans and retires the context. A **stats-epoch-only**
+    /// change — wrapper data mutated — flushes just the plans: cost-based
+    /// join orders compiled from the old sketches may no longer be the
+    /// cheapest, but the context's cached scans are keyed by live
+    /// `data_version` one level down and stay valid for every unmutated
+    /// sibling wrapper.
     fn revalidate(&mut self, validity: CacheValidity) {
-        if self.validity != validity {
-            self.validity = validity;
-            self.plans.clear();
+        if self.validity == validity {
+            return;
+        }
+        let core_changed = (self.validity.0, self.validity.1, self.validity.2)
+            != (validity.0, validity.1, validity.2);
+        self.validity = validity;
+        self.plans.clear();
+        if core_changed {
             self.replace_ctx();
         }
     }
@@ -146,7 +172,8 @@ impl Default for ExecCache {
     fn default() -> Self {
         Self {
             inner: Mutex::new(ExecCacheState {
-                validity: (usize::MAX, u64::MAX, u64::MAX), // never matches → first use invalidates
+                // Never matches → first use invalidates.
+                validity: (usize::MAX, u64::MAX, u64::MAX, u64::MAX),
                 tick: 0,
                 hits: 0,
                 misses: 0,
@@ -155,6 +182,10 @@ impl Default for ExecCache {
                 ctx: Arc::new(ExecContext::new().with_value_cap(DEFAULT_CTX_VALUE_CAP)),
                 retired_peak_values: 0,
                 retired_peak_bytes: 0,
+                retired_semijoin_insets: 0,
+                retired_semijoin_blooms: 0,
+                cost_based_plans: 0,
+                syntactic_plans: 0,
             }),
         }
     }
@@ -251,6 +282,19 @@ impl ExecCache {
         let tick = state.tick;
         state.plans.insert(key, (compiled, tick));
     }
+
+    /// Tallies a fresh compile's planning kinds (one count per walk) for
+    /// [`BdiSystem::planner_stats`].
+    fn record_compile(&self, notes: &[PlanNote]) {
+        let mut state = self.inner.lock().expect("plan cache poisoned");
+        for note in notes {
+            if note.cost_based {
+                state.cost_based_plans += 1;
+            } else {
+                state.syntactic_plans += 1;
+            }
+        }
+    }
 }
 
 /// Plan-cache observability (tests, benches, ops dashboards).
@@ -259,6 +303,26 @@ pub struct PlanCacheStats {
     pub entries: usize,
     pub hits: u64,
     pub misses: u64,
+}
+
+/// Planner observability (see [`BdiSystem::planner_stats`]): how walks were
+/// planned and how often the semi-join pass fired, lifetime totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Walks whose join order was chosen by estimated cardinality
+    /// (fresh compiles only — plan-cache hits don't recount).
+    pub cost_based_plans: u64,
+    /// Walks planned in syntactic join order (knob off, single unfiltered
+    /// walk, or a wrapper without estimates).
+    pub syntactic_plans: u64,
+    /// Semi-join reductions shipped as exact IN-set filters, through the
+    /// persistent context (queries run with
+    /// [`ExecOptions::reuse_scans`]` = false` execute against a private
+    /// context and don't register).
+    pub semijoin_insets: u64,
+    /// Semi-join reductions shipped as Bloom filters (build side too large
+    /// for an IN-set), same caveat.
+    pub semijoin_blooms: u64,
 }
 
 /// Persistent-context size observability (see
@@ -306,6 +370,10 @@ pub struct Answer {
     /// exactly the surviving walks' rows (see
     /// [`crate::exec::QueryAnswer::source_failures`]).
     pub source_failures: Vec<SourceFailure>,
+    /// One planner note per walk — chosen join order, whether it was
+    /// cost-based, estimated vs. actual rows (see
+    /// [`crate::exec::QueryAnswer::plan_notes`]).
+    pub plan_notes: Vec<PlanNote>,
 }
 
 impl BdiSystem {
@@ -335,14 +403,15 @@ impl BdiSystem {
     }
 
     /// The cache validity stamp for the system's current state: release
-    /// seq, ontology mutation stamp, and the registry's wrapper-capability
-    /// fingerprint (see [`CacheValidity`] for why wrapper *data* versions
-    /// are deliberately absent).
+    /// seq, ontology mutation stamp, the registry's wrapper-capability
+    /// fingerprint, and the registry's stats epoch (see [`CacheValidity`]
+    /// for how the halves invalidate differently).
     fn cache_validity(&self) -> CacheValidity {
         (
             self.release_log.len(),
             self.ontology.store().mutation_count(),
             self.registry.capabilities_fingerprint(),
+            self.registry.stats_epoch(),
         )
     }
 
@@ -500,14 +569,17 @@ impl BdiSystem {
         let validity = self.cache_validity();
         // Normalize the key to the plan-shaping options: `cache_plans` and
         // `reuse_scans` steer *this* method, and `semijoin_max_keys` /
-        // `scan_cache` / `deadline` / `on_source_failure` steer only the
-        // executor — never the compiled plan — so queries differing only in
-        // them share one cache entry (and each execution reads those knobs
-        // from the caller's options, below).
+        // `bloom_semijoins` / `scan_cache` / `deadline` /
+        // `on_source_failure` steer only the executor — never the compiled
+        // plan — so queries differing only in them share one cache entry
+        // (and each execution reads those knobs from the caller's options,
+        // below). `cost_based_joins` is *not* normalized: it shapes the
+        // compiled join tree.
         let key_options = ExecOptions {
             cache_plans: true,
             reuse_scans: false,
             semijoin_max_keys: bdi_relational::plan::DEFAULT_SEMIJOIN_MAX_KEYS,
+            bloom_semijoins: true,
             scan_cache: bdi_relational::ScanCache::Auto,
             deadline: None,
             on_source_failure: exec::SourceFailurePolicy::Fail,
@@ -540,6 +612,7 @@ impl BdiSystem {
                     rewriting,
                     key_options,
                 )?);
+                self.cache.record_compile(compiled.plan_notes());
                 if options.cache_plans {
                     self.cache.insert(validity, key.clone(), compiled.clone());
                 }
@@ -551,6 +624,7 @@ impl BdiSystem {
             relation,
             walk_exprs,
             source_failures,
+            plan_notes,
         } = exec::execute_compiled_with(
             &self.ontology,
             &self.registry,
@@ -569,7 +643,25 @@ impl BdiSystem {
             rewriting: compiled.rewriting.clone(),
             walk_exprs,
             source_failures,
+            plan_notes,
         })
+    }
+
+    /// Planner observability: walks compiled cost-based vs. syntactically
+    /// (lifetime, fresh compiles only) and semi-join reductions shipped as
+    /// IN-sets vs. Bloom filters through the persistent context (retired
+    /// contexts' counts are folded in; `reuse_scans: false` queries run on
+    /// private contexts and don't register). Per-query detail — the chosen
+    /// join order and estimated-vs-actual rows — rides on each answer as
+    /// [`Answer::plan_notes`].
+    pub fn planner_stats(&self) -> PlannerStats {
+        let state = self.cache.inner.lock().expect("plan cache poisoned");
+        PlannerStats {
+            cost_based_plans: state.cost_based_plans,
+            syntactic_plans: state.syntactic_plans,
+            semijoin_insets: state.retired_semijoin_insets + state.ctx.semijoin_insets(),
+            semijoin_blooms: state.retired_semijoin_blooms + state.ctx.semijoin_blooms(),
+        }
     }
 
     /// Aggregated retry/fault counters across every registered wrapper that

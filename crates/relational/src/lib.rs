@@ -11,7 +11,10 @@
 //!   paper-notation pretty printer and an evaluator,
 //! * the [`plan`] module: compiled [`plan::PhysicalPlan`]s and the streaming
 //!   batch executor over interned values — the engine production queries run
-//!   on, with the eager [`ops`] kept as its executable reference.
+//!   on, with the eager [`ops`] kept as its executable reference,
+//! * the [`stats`] module: per-column sketches ([`stats::TableStats`])
+//!   wrappers maintain at write time and the planner uses for selectivity
+//!   estimates, bloom semi-joins and adaptive scan modes.
 
 pub mod algebra;
 pub mod expr;
@@ -19,6 +22,7 @@ pub mod ops;
 pub mod plan;
 pub mod relation;
 pub mod schema;
+pub mod stats;
 pub mod value;
 
 pub use algebra::{AlgebraError, RelExpr, SourceResolver};
@@ -29,4 +33,5 @@ pub use plan::{
 };
 pub use relation::{Relation, RelationError, Tuple};
 pub use schema::{Attribute, Schema, SchemaError};
+pub use stats::{BloomFilter, ColumnStats, DistinctSketch, StatsBuilder, TableStats};
 pub use value::Value;

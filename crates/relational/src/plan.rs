@@ -66,7 +66,13 @@
 //!   when the source claims it ([`PlanSource::claims`]); otherwise the probe
 //!   scan runs unreduced and the join's own hash probe is the residual
 //!   semi-join, so answers are identical either way. A key-reduced probe
-//!   scan is query-specific and always bypasses the scan cache.
+//!   scan is query-specific and always bypasses the scan cache. When the
+//!   build side's key set exceeds `semijoin_max_keys`, the pass degrades to
+//!   a **bloom semi-join** ([`ExecPolicy::bloom_semijoins`]): a compact
+//!   [`Predicate::Bloom`] membership filter built from the live build keys
+//!   is injected instead of the IN-set. Its false positives only admit
+//!   extra probe rows the join's hash probe then discards, so answers stay
+//!   identical to the eager reference.
 //! * **Cursor-only scans** ([`ExecPolicy::scan_cache`]): instead of
 //!   materializing the whole interned table in the [`ExecContext`] cache, a
 //!   scan can pull interned batches straight through
@@ -77,6 +83,7 @@
 
 use crate::relation::{Relation, RelationError, Tuple};
 use crate::schema::{Attribute, Schema};
+use crate::stats::{BloomFilter, TableStats};
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
@@ -150,6 +157,22 @@ pub const DEFAULT_SEMIJOIN_MAX_KEYS: usize = 16 * 1024;
 /// across walks, for zero rows saved.
 const SEMIJOIN_SELECTIVITY: u64 = 4;
 
+/// Upper bound on build-side distinct keys for the *bloom* degradation of
+/// the sideways pass. A bloom filter over this many keys is ~1.25 MiB —
+/// past that, shipping and probing the filter stops paying for itself.
+pub const BLOOM_SEMIJOIN_MAX_KEYS: usize = 1 << 20;
+
+/// Target interned payload per adaptively-sized scan batch, in bytes.
+/// When a source publishes [`TableStats`] with row-width estimates, scans
+/// size their batches as `target / row width` (clamped) instead of the
+/// flat [`BATCH_ROWS`] — wide rows batch smaller (bounding resident
+/// memory), narrow rows batch larger (fewer lock acquisitions per row).
+const ADAPTIVE_BATCH_BYTES: u64 = 256 * 1024;
+
+/// Clamp bounds for adaptively-sized scan batches, in rows.
+const ADAPTIVE_BATCH_MIN_ROWS: usize = 256;
+const ADAPTIVE_BATCH_MAX_ROWS: usize = 8 * 1024;
+
 /// How scans materialize through the [`ExecContext`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScanCache {
@@ -181,6 +204,13 @@ pub struct ExecPolicy {
     /// disables the sideways pass entirely, including the hint-driven build
     /// scheduling that enables it.
     pub semijoin_max_keys: usize,
+    /// Bloom degradation of the sideways pass: when the build side's
+    /// distinct keys exceed `semijoin_max_keys` (but stay within
+    /// [`BLOOM_SEMIJOIN_MAX_KEYS`]), inject a [`Predicate::Bloom`]
+    /// membership filter over the live build keys instead of disabling the
+    /// pass. False positives only admit extra probe rows that the join's
+    /// own hash probe discards, so answers are unaffected either way.
+    pub bloom_semijoins: bool,
     /// How scans materialize through the shared context (see [`ScanCache`]).
     pub scan_cache: ScanCache,
     /// Absolute wall-clock deadline for the execution. Checked at every
@@ -197,6 +227,7 @@ impl Default for ExecPolicy {
     fn default() -> Self {
         Self {
             semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
+            bloom_semijoins: true,
             scan_cache: ScanCache::Auto,
             deadline: None,
         }
@@ -272,6 +303,15 @@ pub enum Predicate {
         min: Option<Bound>,
         max: Option<Bound>,
     },
+    /// `column` *probably* in a key set: a one-sided [`BloomFilter`]
+    /// membership test. Unlike the other kinds this predicate is
+    /// intentionally approximate — `matches` admits every inserted key
+    /// plus a tunable fraction of false positives — so it is only ever
+    /// generated where over-admission is harmless: the semi-join sideways
+    /// pass, whose downstream join discards the extras. Sources that
+    /// cannot evaluate it natively simply decline the claim and the
+    /// mediator evaluates it as a residual filter.
+    Bloom(BloomFilter),
 }
 
 impl Predicate {
@@ -340,6 +380,7 @@ impl Predicate {
                 }
                 true
             }
+            Predicate::Bloom(filter) => filter.may_contain(value),
         }
     }
 }
@@ -373,6 +414,7 @@ impl fmt::Display for Predicate {
                 }
                 Ok(())
             }
+            Predicate::Bloom(filter) => write!(f, "∈bloom({} keys)", filter.items()),
         }
     }
 }
@@ -638,6 +680,22 @@ pub trait PlanSource: Sync {
     /// unobservable there. The default (`None`) opts the source out of
     /// hint-driven scheduling.
     fn scan_hint(&self, _source: &str, _request: &ScanRequest) -> Option<u64> {
+        None
+    }
+
+    /// The source's current per-column statistics snapshot for `source`,
+    /// or `None` when it does not maintain sketches. The snapshot's
+    /// [`TableStats::data_version`] must match
+    /// [`PlanSource::data_version`] at the time of the call, so the
+    /// planner never prices a plan against sketches of rows that no
+    /// longer exist.
+    ///
+    /// Statistics steer *plans only* — join order, build-side choice, scan
+    /// batching, cache admission. No estimate decides row membership, so a
+    /// wrong (even adversarially wrong) snapshot can slow a query but can
+    /// never change its answer. The default (`None`) keeps third-party
+    /// sources on today's heuristics.
+    fn stats(&self, _source: &str) -> Option<Arc<TableStats>> {
         None
     }
 }
@@ -1224,6 +1282,11 @@ pub struct ExecContext {
     scan_cache_bytes: AtomicUsize,
     build_cache_bytes: AtomicUsize,
     tick: AtomicU64,
+    /// Lifetime counts of semi-join sideways passes this context executed,
+    /// by kind (IN-set vs bloom) — observability for
+    /// `BdiSystem::planner_stats`, never consulted by the executor.
+    semijoin_insets: AtomicU64,
+    semijoin_blooms: AtomicU64,
     scans: Mutex<HashMap<ScanKey, Stamped<ScanCell>>>,
     builds: Mutex<BuildCache>,
     /// Bounded batch feeds registered by the prefetcher for cursor-routed
@@ -1291,6 +1354,8 @@ impl ExecContext {
             scan_cache_bytes: AtomicUsize::new(0),
             build_cache_bytes: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
+            semijoin_insets: AtomicU64::new(0),
+            semijoin_blooms: AtomicU64::new(0),
             scans: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
             queued: Mutex::new(HashMap::new()),
@@ -1320,6 +1385,18 @@ impl ExecContext {
     /// The configured pool watermark, if any.
     pub fn value_cap(&self) -> Option<usize> {
         self.value_cap
+    }
+
+    /// Lifetime count of IN-set semi-join sideways passes executed through
+    /// this context (see [`ExecPolicy::semijoin_max_keys`]).
+    pub fn semijoin_insets(&self) -> u64 {
+        self.semijoin_insets.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of bloom semi-join sideways passes executed through
+    /// this context (see [`ExecPolicy::bloom_semijoins`]).
+    pub fn semijoin_blooms(&self) -> u64 {
+        self.semijoin_blooms.load(Ordering::Relaxed)
     }
 
     /// Whether the shared pool has grown past the configured watermark.
@@ -1540,7 +1617,11 @@ impl ExecContext {
         let result = cell
             .get_or_init(|| -> Result<Arc<Batch>, PlanError> {
                 let mut interned = Batch::new(request.output().len());
-                for batch in source.scan_batches(name, request, self.scan_batch_rows)? {
+                for batch in source.scan_batches(
+                    name,
+                    request,
+                    adaptive_batch_rows(self, source, name, request),
+                )? {
                     if deadline.is_some_and(|d| Instant::now() >= d) {
                         return Err(PlanError::DeadlineExceeded);
                     }
@@ -1736,8 +1817,14 @@ fn versioned_scan_key(source: &dyn PlanSource, name: &str, request: &ScanRequest
 /// Whether a scan materializes through the context cache under `policy`.
 /// The prefetcher and the scan operator must agree on this, so it is the
 /// single decision point: [`ScanCache::Auto`] caches unless the scan's
-/// estimated interned size — hinted rows × output arity, the cells the
-/// cached table would hold — exceeds the context's value-cap watermark.
+/// estimated interned size exceeds the context's value-cap watermark.
+///
+/// The estimate prefers the source's [`PlanSource::stats`] snapshot when
+/// one exists: the cached table's cell count is post-filter rows × arity,
+/// but the *pool* growth a cache admission risks is bounded per column by
+/// the column's distinct count — a million-row scan of a hundred-value
+/// enum column interns a hundred values, not a million. Without stats the
+/// flat hinted-rows × arity gate is kept.
 fn scan_uses_cache(
     ctx: &ExecContext,
     source: &dyn PlanSource,
@@ -1748,13 +1835,58 @@ fn scan_uses_cache(
     match policy.scan_cache {
         ScanCache::Always => true,
         ScanCache::Never => false,
-        ScanCache::Auto => match (ctx.value_cap(), source.scan_hint(name, request)) {
-            (Some(cap), Some(hint)) => {
-                let cells = hint.saturating_mul(request.output().len().max(1) as u64);
-                cells <= cap as u64
+        ScanCache::Auto => {
+            let Some(cap) = ctx.value_cap() else {
+                return true;
+            };
+            if let Some(stats) = source.stats(name) {
+                let rows = stats.estimate_rows(request.filters());
+                let cells: u64 = request
+                    .columns()
+                    .iter()
+                    .map(|column| {
+                        stats
+                            .column(column)
+                            .map(|c| c.distinct.min(rows))
+                            .unwrap_or(rows)
+                    })
+                    .sum();
+                return cells <= cap as u64;
             }
-            _ => true,
-        },
+            match source.scan_hint(name, request) {
+                Some(hint) => {
+                    let cells = hint.saturating_mul(request.output().len().max(1) as u64);
+                    cells <= cap as u64
+                }
+                None => true,
+            }
+        }
+    }
+}
+
+/// Rows per batch for one scan: the context's configured batch size,
+/// unless it is the untouched default *and* the source publishes
+/// row-width statistics — then the batch is sized to roughly
+/// [`ADAPTIVE_BATCH_BYTES`] of value payload (clamped), so wide rows
+/// batch smaller and narrow rows batch larger. An explicit
+/// [`ExecContext::with_scan_batch_rows`] override always wins.
+fn adaptive_batch_rows(
+    ctx: &ExecContext,
+    source: &dyn PlanSource,
+    name: &str,
+    request: &ScanRequest,
+) -> usize {
+    let configured = ctx.scan_batch_rows();
+    if configured != BATCH_ROWS {
+        return configured;
+    }
+    match source.stats(name) {
+        Some(stats) => {
+            let width = stats.avg_row_bytes(request.columns());
+            ((ADAPTIVE_BATCH_BYTES / width) as usize)
+                .clamp(ADAPTIVE_BATCH_MIN_ROWS, ADAPTIVE_BATCH_MAX_ROWS)
+        }
+        None => configured,
     }
 }
 
@@ -1821,22 +1953,24 @@ fn semijoin_probe_plan<'p>(
     if build_hint.saturating_mul(SEMIJOIN_SELECTIVITY) > probe_hint {
         return None;
     }
-    // Distinct build keys never exceed the build's row hint, so requiring
-    // the hint itself under the threshold makes the skip certain: the
-    // operator will find keys <= max_keys and inject. Without this, a
-    // build hinted past the threshold would cost the probe its prefetch
-    // and then run it unreduced anyway.
-    if build_hint > policy.semijoin_max_keys as u64 {
-        return None;
-    }
     let (scan_name, column) = plan_scan_site(probe, probe_key)?;
-    // A source that declines IN-sets will be scanned unreduced (the join's
-    // hash probe is the residual semi-join), so its probe scan should keep
-    // its prefetch overlap — probe the claim with a canonical one-element
-    // set. A value-sensitive claimer may still diverge from the real
+    // Distinct build keys never exceed the build's row hint, so a hint
+    // under the IN-set threshold makes an IN-set injection certain; a hint
+    // between the IN-set and bloom thresholds makes *some* injection
+    // (IN-set for a duplicate-heavy build, bloom otherwise) certain when
+    // blooms are enabled. Past the bloom cap the probe runs unreduced and
+    // must keep its prefetch. A source that declines the pass will also be
+    // scanned unreduced, so probe the claim with the matching canonical
+    // filter. A value-sensitive claimer may still diverge from the real
     // injected set; either way the cost is one wasted (or missed) warm,
     // never a wrong answer.
-    let canonical = ColumnFilter::new(column, Predicate::in_set([Value::Int(0)]));
+    let canonical = if build_hint <= policy.semijoin_max_keys as u64 {
+        ColumnFilter::new(column, Predicate::in_set([Value::Int(0)]))
+    } else if policy.bloom_semijoins && build_hint <= BLOOM_SEMIJOIN_MAX_KEYS as u64 {
+        ColumnFilter::new(column, Predicate::Bloom(BloomFilter::claims_probe()))
+    } else {
+        return None;
+    };
     if !source.claims(scan_name, &canonical) {
         return None;
     }
@@ -1966,8 +2100,9 @@ enum CompiledPredicate {
     /// Eq / IN: the interned ids of the predicate values — id equality *is*
     /// value equality, so membership is an integer compare.
     Ids(Vec<u32>),
-    /// Range: evaluated on the decoded value, memoized per id (each distinct
-    /// id is decoded and compared at most once per operator).
+    /// Range / bloom: evaluated on the decoded value, memoized per id (each
+    /// distinct id is decoded and compared — or bloom-probed — at most once
+    /// per operator).
     Range {
         predicate: Predicate,
         memo: HashMap<u32, bool, FnvBuild>,
@@ -1984,8 +2119,8 @@ impl CompiledPredicate {
                 ids.dedup();
                 CompiledPredicate::Ids(ids)
             }
-            range @ Predicate::Range { .. } => CompiledPredicate::Range {
-                predicate: range.clone(),
+            decoded @ (Predicate::Range { .. } | Predicate::Bloom(_)) => CompiledPredicate::Range {
+                predicate: decoded.clone(),
                 memo: HashMap::default(),
             },
         }
@@ -2061,7 +2196,11 @@ impl<'r> ScanOp<'r> {
             } else {
                 ScanState::Cursor {
                     batches: source
-                        .scan_batches(name, request, ctx.scan_batch_rows())
+                        .scan_batches(
+                            name,
+                            request,
+                            adaptive_batch_rows(ctx, source, name, request),
+                        )
                         .map_err(PlanError::Relation)?,
                     done: false,
                 }
@@ -2306,12 +2445,20 @@ impl<'r> OpNode<'r> {
                 (k, build_key)
             });
             let index = ctx.build_index(cache_key, &build, build_key);
-            // Inject only when the key set is both small enough to
-            // evaluate source-side and selective enough to actually shrink
-            // the probe (see SEMIJOIN_SELECTIVITY).
-            if index.distinct_keys() <= policy.semijoin_max_keys
-                && (index.distinct_keys() as u64).saturating_mul(SEMIJOIN_SELECTIVITY) <= probe_hint
-            {
+            // Inject only when the key set is selective enough to actually
+            // shrink the probe (see SEMIJOIN_SELECTIVITY): as an exact
+            // IN-set while small enough to evaluate source-side, degrading
+            // to a bloom membership filter over the same *live* build keys
+            // past that threshold ([`ExecPolicy::bloom_semijoins`]). The
+            // bloom's false positives only admit extra probe rows this
+            // join's hash probe then discards — never a wrong answer, and
+            // never dependent on any statistics sketch.
+            let distinct = index.distinct_keys();
+            let wants_bloom = distinct > policy.semijoin_max_keys;
+            let injectable = (distinct as u64).saturating_mul(SEMIJOIN_SELECTIVITY) <= probe_hint
+                && (!wants_bloom
+                    || (policy.bloom_semijoins && distinct <= BLOOM_SEMIJOIN_MAX_KEYS));
+            if injectable {
                 if let Some((column_index, scan)) = probe_node.scan_site(probe_key) {
                     // A warm cached unreduced scan beats a reduced re-read
                     // of the source: serve it and let the join's hash probe
@@ -2320,13 +2467,22 @@ impl<'r> OpNode<'r> {
                         && !ctx.scan_resolved(source, &scan.source, &scan.request)
                     {
                         if let Some(column) = scan.request.columns().get(column_index) {
-                            let filter = ColumnFilter::new(
-                                column.clone(),
-                                Predicate::in_set(ctx.decode_ids(index.keys())),
-                            );
+                            let keys = ctx.decode_ids(index.keys());
+                            let predicate = if wants_bloom {
+                                Predicate::Bloom(BloomFilter::from_values(&keys))
+                            } else {
+                                Predicate::in_set(keys)
+                            };
+                            let filter = ColumnFilter::new(column.clone(), predicate);
                             if source.claims(&scan.source, &filter) {
                                 scan.request.add_column_filter(filter);
                                 scan.semijoin_reduced = true;
+                                let counter = if wants_bloom {
+                                    &ctx.semijoin_blooms
+                                } else {
+                                    &ctx.semijoin_insets
+                                };
+                                counter.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
@@ -2733,7 +2889,11 @@ pub fn execute_plan_prefetched_with(
             queued_keys.push(key);
             let (name, request) = (*name, *request);
             s.spawn(move |_| {
-                let batches = match source.scan_batches(name, request, ctx.scan_batch_rows()) {
+                let batches = match source.scan_batches(
+                    name,
+                    request,
+                    adaptive_batch_rows(ctx, source, name, request),
+                ) {
                     Ok(batches) => batches,
                     Err(e) => {
                         let _ = tx.send(Err(e.into()));

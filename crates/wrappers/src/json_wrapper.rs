@@ -7,7 +7,8 @@
 use crate::wrapper::{RowBatches, Wrapper, WrapperError};
 use bdi_docstore::{DocPredicate, DocStore, Pipeline, Projection};
 use bdi_relational::plan::{batches_from_relation, Bound, ColumnFilter, Predicate, ScanRequest};
-use bdi_relational::{Relation, RelationError, Schema, Tuple, Value};
+use bdi_relational::{Relation, RelationError, Schema, StatsBuilder, TableStats, Tuple, Value};
+use std::sync::{Arc, Mutex};
 
 /// Converts a relational [`Value`] to its JSON image, or `None` when JSON
 /// cannot represent it faithfully (NaN and infinite floats — JSON numbers
@@ -40,6 +41,10 @@ fn match_addressable(column: &str) -> bool {
 fn to_doc_predicate(predicate: &Predicate) -> Option<DocPredicate> {
     let bound = |b: &Bound| to_json(&b.value).map(|v| (v, b.inclusive));
     Some(match predicate {
+        // Bloom filters probe hashed Values, not JSON documents — no
+        // `$match` translation exists. Claimed blooms are evaluated in the
+        // wrapper's residual path instead (see `claims_filter`).
+        Predicate::Bloom(_) => return None,
         Predicate::Eq(v) => DocPredicate::Eq(to_json(v)?),
         Predicate::In(vs) => DocPredicate::In(vs.iter().map(to_json).collect::<Option<_>>()?),
         Predicate::Range { min, max } => DocPredicate::Range {
@@ -67,6 +72,11 @@ pub struct JsonWrapper {
     /// depend only on its immutable schema (column presence, dotted
     /// names) and the predicate shape.
     claims_fp: u64,
+    /// Memoized column sketches, keyed by the [`Wrapper::data_version`]
+    /// they were built at. Unlike [`crate::TableWrapper`], this wrapper
+    /// does not own its write path (the [`DocStore`] does), so sketches
+    /// are rebuilt lazily on first demand after a version bump.
+    stats: Mutex<Option<(u64, Arc<TableStats>)>>,
 }
 
 impl JsonWrapper {
@@ -101,6 +111,7 @@ impl JsonWrapper {
             collection: collection.into(),
             pipeline,
             claims_fp: 0,
+            stats: Mutex::new(None),
         };
         wrapper.claims_fp = crate::wrapper::probe_claims_fingerprint(&wrapper.schema, |f| {
             Wrapper::claims_filter(&wrapper, f)
@@ -258,11 +269,15 @@ impl Wrapper for JsonWrapper {
     /// pipeline: the column must exist, be addressable by a `$match` stage
     /// (no dots in the name), and each predicate value must have a faithful
     /// JSON image (NaN range bounds, for instance, do not — those filters
-    /// stay in the mediator as residues).
+    /// stay in the mediator as residues). Bloom filters have no pipeline
+    /// translation but are still claimed: they ride the wrapper's residual
+    /// path (`JsonWrapper::convert_row`), so filtered-out documents never
+    /// cross the wrapper boundary.
     fn claims_filter(&self, filter: &ColumnFilter) -> bool {
         self.schema.index_of(&filter.column).is_some()
             && match_addressable(&filter.column)
-            && to_doc_predicate(&filter.predicate).is_some()
+            && (matches!(filter.predicate, Predicate::Bloom(_))
+                || to_doc_predicate(&filter.predicate).is_some())
     }
 
     /// Native pushdown: a trailing `$project` of only the requested fields
@@ -410,6 +425,32 @@ impl Wrapper for JsonWrapper {
     /// Construction-time probe hash (claims never change at run time).
     fn claims_fingerprint(&self) -> u64 {
         self.claims_fp
+    }
+
+    /// Per-column sketches over the pipeline's *output* rows, rebuilt
+    /// lazily (one full aggregate) whenever the backing collection's
+    /// version has moved past the memoized snapshot. Returns `None` when
+    /// the collection mutates mid-rebuild rather than publish a snapshot
+    /// whose rows straddle two versions.
+    fn column_stats(&self) -> Option<Arc<TableStats>> {
+        let mut cache = self.stats.lock().expect("stats lock poisoned");
+        let version = self.data_version();
+        if let Some((cached_version, snapshot)) = cache.as_ref() {
+            if *cached_version == version {
+                return Some(Arc::clone(snapshot));
+            }
+        }
+        let relation = self.scan().ok()?;
+        if self.data_version() != version {
+            return None;
+        }
+        let mut builder = StatsBuilder::new(self.schema.names());
+        for row in relation.rows() {
+            builder.observe_row(row);
+        }
+        let snapshot = Arc::new(builder.snapshot(version));
+        *cache = Some((version, Arc::clone(&snapshot)));
+        Some(snapshot)
     }
 }
 

@@ -415,6 +415,11 @@ pub fn render_params(request: &ScanRequest, page: u64, rows: usize) -> String {
             Predicate::Range { min, max } => {
                 format!("rg:{column}={};{}", render_bound(min), render_bound(max))
             }
+            // Never claimed by the remote wrapper ([`Wrapper::claims_filter`]),
+            // so a Bloom reaching the wire is a planner bug: render a param
+            // kind the endpoint rejects, surfacing it as a loud query error
+            // instead of silently dropping the filter.
+            Predicate::Bloom(_) => format!("bloom:{column}=unsupported"),
         });
     }
     params.join("&")
@@ -581,7 +586,9 @@ impl RemoteWrapper {
         endpoint: Arc<SimulatedEndpoint>,
         retry: RetryPolicy,
     ) -> Self {
-        let claims_fp = crate::wrapper::probe_claims_fingerprint(endpoint.schema(), |_| true);
+        let claims_fp = crate::wrapper::probe_claims_fingerprint(endpoint.schema(), |f| {
+            !matches!(f.predicate, Predicate::Bloom(_))
+        });
         Self {
             name: name.into(),
             source: source.into(),
@@ -770,10 +777,14 @@ impl Wrapper for RemoteWrapper {
         Some(self.endpoint.row_count())
     }
 
-    /// The endpoint translates every predicate kind into query params, so
-    /// everything is claimed (the fingerprint is precomputed).
-    fn claims_filter(&self, _filter: &ColumnFilter) -> bool {
-        true
+    /// The endpoint translates every *value-listing* predicate kind into
+    /// query params, so those are all claimed (the fingerprint is
+    /// precomputed). Bloom filters are declined: a bit-set has no query-
+    /// string rendering, and shipping megabit filters over a paged wire
+    /// protocol would defeat their purpose — the mediator keeps them as
+    /// residues instead.
+    fn claims_filter(&self, filter: &ColumnFilter) -> bool {
+        !matches!(filter.predicate, Predicate::Bloom(_))
     }
 
     fn claims_fingerprint(&self) -> u64 {

@@ -4,9 +4,10 @@
 
 use crate::wrapper::{RowBatches, Wrapper, WrapperError};
 use bdi_relational::plan::{Predicate, ScanRequest};
-use bdi_relational::{Relation, Schema, Tuple, Value};
-use parking_lot::RwLock;
+use bdi_relational::{Relation, Schema, StatsBuilder, TableStats, Tuple, Value};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Smallest IN-set the scan loop pre-sorts for binary-search membership:
 /// below this, the linear `Predicate::matches` scan wins on constant cost.
@@ -45,6 +46,17 @@ impl CompiledFilter {
     }
 }
 
+/// Write-time sketch state behind [`TableWrapper::column_stats`]: the
+/// incremental builder plus a memoized snapshot keyed by the data version
+/// it was taken under. Guarded by one mutex so a push's row append,
+/// version bump and sketch update are atomic with respect to a snapshot
+/// request — a published snapshot always describes exactly the rows of
+/// its version.
+struct StatsState {
+    builder: StatsBuilder,
+    cached: Option<(u64, Arc<TableStats>)>,
+}
+
 /// A static (but appendable) in-memory wrapper.
 pub struct TableWrapper {
     name: String,
@@ -57,6 +69,12 @@ pub struct TableWrapper {
     /// Capability fingerprint, computed once — this wrapper's claims
     /// depend only on its immutable schema.
     claims_fp: u64,
+    /// Per-column sketches, maintained incrementally at write time.
+    stats: Mutex<StatsState>,
+    /// Multiplier applied to the published snapshot's row and distinct
+    /// counts (see [`TableWrapper::with_stats_distortion`]). `None`
+    /// publishes the sketches untouched.
+    stats_distortion: Option<f64>,
 }
 
 impl TableWrapper {
@@ -69,6 +87,10 @@ impl TableWrapper {
     ) -> Result<Self, WrapperError> {
         // Validate arity once up front.
         Relation::new(schema.clone(), rows.clone())?;
+        let mut builder = StatsBuilder::new(schema.names());
+        for row in &rows {
+            builder.observe_row(row);
+        }
         let mut wrapper = Self {
             name: name.into(),
             source: source.into(),
@@ -76,6 +98,11 @@ impl TableWrapper {
             rows: RwLock::new(rows),
             version: AtomicU64::new(0),
             claims_fp: 0,
+            stats: Mutex::new(StatsState {
+                builder,
+                cached: None,
+            }),
+            stats_distortion: None,
         };
         wrapper.claims_fp = crate::wrapper::probe_claims_fingerprint(&wrapper.schema, |f| {
             Wrapper::claims_filter(&wrapper, f)
@@ -83,7 +110,23 @@ impl TableWrapper {
         Ok(wrapper)
     }
 
-    /// Appends a row (new source data arriving) and bumps the data version.
+    /// Makes [`Wrapper::column_stats`] publish deliberately wrong
+    /// sketches: row and distinct counts multiplied by `factor`, bounds
+    /// and membership filters dropped — the shape of a stale snapshot
+    /// after the table grew (or shrank) by that factor. Only *estimates*
+    /// are distorted; scans, claims and the exact unfiltered
+    /// [`Wrapper::scan_hint`] are untouched, so plans may get slower but
+    /// answers (and row order) cannot change. Built for the misestimation
+    /// benchmarks and the adversarial differential tests.
+    pub fn with_stats_distortion(mut self, factor: f64) -> Self {
+        self.stats_distortion = Some(factor);
+        self
+    }
+
+    /// Appends a row (new source data arriving), bumps the data version
+    /// and folds the row into the write-time sketches — all under the
+    /// stats lock, so a concurrent [`Wrapper::column_stats`] can never
+    /// observe a version whose sketches miss the row.
     pub fn push(&self, row: Tuple) -> Result<(), WrapperError> {
         if row.len() != self.schema.len() {
             return Err(WrapperError::Relation(
@@ -93,6 +136,9 @@ impl TableWrapper {
                 },
             ));
         }
+        let mut stats = self.stats.lock();
+        stats.builder.observe_row(&row);
+        stats.cached = None;
         self.rows.write().push(row);
         self.version.fetch_add(1, Ordering::Release);
         Ok(())
@@ -208,6 +254,27 @@ impl Wrapper for TableWrapper {
     /// count); an upper bound when the request carries filters.
     fn scan_hint(&self, _request: &ScanRequest) -> Option<u64> {
         Some(self.rows.read().len() as u64)
+    }
+
+    /// The write-time sketches, snapshotted lazily and memoized per data
+    /// version. The snapshot is taken under the same lock
+    /// [`TableWrapper::push`] updates the sketches under, so its version
+    /// tag always describes exactly the rows visible at that version.
+    fn column_stats(&self) -> Option<Arc<TableStats>> {
+        let mut stats = self.stats.lock();
+        let version = self.version.load(Ordering::Acquire);
+        if let Some((cached_version, snapshot)) = &stats.cached {
+            if *cached_version == version {
+                return Some(Arc::clone(snapshot));
+            }
+        }
+        let mut snapshot = stats.builder.snapshot(version);
+        if let Some(factor) = self.stats_distortion {
+            snapshot = snapshot.scaled(factor);
+        }
+        let snapshot = Arc::new(snapshot);
+        stats.cached = Some((version, Arc::clone(&snapshot)));
+        Some(snapshot)
     }
 
     /// Construction-time probe hash (claims never change at run time).

@@ -9,7 +9,9 @@
 use bdi_relational::plan::{
     batches_from_relation, BatchIter, ColumnFilter, PlanSource, Predicate, ScanRequest,
 };
-use bdi_relational::{Relation, RelationError, Schema, SourceResolver, Tuple, Value};
+use bdi_relational::{
+    BloomFilter, Relation, RelationError, Schema, SourceResolver, TableStats, Tuple, Value,
+};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -221,6 +223,21 @@ pub trait Wrapper: Send + Sync {
         None
     }
 
+    /// The wrapper's current per-column statistics snapshot, or `None`
+    /// for wrapper kinds that do not maintain sketches (the default).
+    ///
+    /// The contract mirrors [`bdi_relational::plan::PlanSource::stats`]:
+    /// the snapshot's [`TableStats::data_version`] must equal
+    /// [`Wrapper::data_version`] at the time of the call — wrapper kinds
+    /// maintain sketches under the same lock that admits writes (or
+    /// rebuild lazily keyed by the version), so the planner can never
+    /// price a plan against sketches of rows that no longer exist.
+    /// Statistics steer plan choices only, never row membership, so a
+    /// wrong snapshot degrades speed, not answers.
+    fn column_stats(&self) -> Option<Arc<TableStats>> {
+        None
+    }
+
     /// A fingerprint of the wrapper's [`Wrapper::claims_filter`] answers:
     /// every schema column probed with one canonical predicate per
     /// [`Predicate`] kind (equality, IN-set, range) — see
@@ -262,6 +279,7 @@ pub fn probe_claims_fingerprint(schema: &Schema, claims: impl Fn(&ColumnFilter) 
         Predicate::eq(0),
         Predicate::in_set([Value::Int(0)]),
         Predicate::between(0, 1),
+        Predicate::Bloom(BloomFilter::claims_probe()),
     ];
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     for (column_index, column) in schema.names().iter().enumerate() {
@@ -340,6 +358,22 @@ impl WrapperRegistry {
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
             w.name().hash(&mut hasher);
             w.claims_fingerprint().hash(&mut hasher);
+            acc.wrapping_add(hasher.finish())
+        })
+    }
+
+    /// Order-independent combination of every wrapper's name and
+    /// [`Wrapper::data_version`] — the registry-wide *statistics epoch*.
+    /// Any data mutation in any wrapper changes it, and with it the
+    /// system's plan-cache validity stamp: cost-based plans are priced
+    /// against the wrappers' [`Wrapper::column_stats`] sketches, which are
+    /// keyed by those same versions, so a sketch refresh must recompile
+    /// the plans that consulted the stale sketch.
+    pub fn stats_epoch(&self) -> u64 {
+        self.wrappers.values().fold(0u64, |acc, w| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            w.name().hash(&mut hasher);
+            w.data_version().hash(&mut hasher);
             acc.wrapping_add(hasher.finish())
         })
     }
@@ -444,8 +478,35 @@ impl PlanSource for WrapperRegistry {
 
     /// The wrapper's own scan-size estimate (`None` for unknown wrappers —
     /// the error surfaces at scan time).
+    ///
+    /// Unfiltered requests keep the wrapper's raw answer — the
+    /// exact-or-`None` contract that keeps hint-driven build-side choice
+    /// identical to the eager smaller-side rule. Requests carrying claimed
+    /// filters route through the wrapper's [`Wrapper::column_stats`]
+    /// sketches when it maintains them, so build-side choice and the
+    /// semi-join selectivity gate see the *post-filter* cardinality
+    /// instead of the raw table size; wrappers without sketches keep the
+    /// historical raw-count fallback.
     fn scan_hint(&self, name: &str, request: &ScanRequest) -> Option<u64> {
-        self.wrappers.get(name)?.scan_hint(request)
+        let wrapper = self.wrappers.get(name)?;
+        let raw = wrapper.scan_hint(request);
+        if request.filters().is_empty() {
+            return raw;
+        }
+        match wrapper.column_stats() {
+            Some(stats) => Some(
+                stats
+                    .estimate_rows(request.filters())
+                    .min(raw.unwrap_or(u64::MAX)),
+            ),
+            None => raw,
+        }
+    }
+
+    /// The wrapper's own statistics snapshot (`None` for unknown wrappers
+    /// or wrapper kinds without sketches).
+    fn stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.wrappers.get(name)?.column_stats()
     }
 }
 

@@ -116,6 +116,48 @@ fn register_release_invalidates_plans_and_scans() {
 }
 
 #[test]
+fn wrapper_pushes_flush_plans_but_keep_the_scan_context() {
+    let data = |_: usize, _: usize, schema: &bdi::relational::Schema| {
+        rows(20, schema.index_of("next_id").is_some())
+    };
+    let mut sys = synthetic::build_chain_system_with(1, 1, 0, data);
+    let wrapper = synthetic::register_extra_chain_wrapper_handle(&mut sys, 1, 2, rows(5, false));
+    let options = ExecOptions::default(); // reuse_scans: true
+    let before = sys
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    let baseline = sys.plan_cache_stats();
+    assert_eq!(baseline.entries, 1);
+    let scans_before = sys.context_stats().cached_scans;
+    assert_eq!(scans_before, 2); // one interned scan per wrapper
+
+    // A wrapper push moves the registry's stats epoch: cached plans were
+    // priced against the old sketches, so the next answer must recompile…
+    wrapper
+        .push(vec![Value::Int(99), Value::Float(9.9)])
+        .unwrap();
+    let after = sys
+        .answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    let stats = sys.plan_cache_stats();
+    assert_eq!(stats.misses, baseline.misses + 1);
+    assert_eq!(stats.hits, baseline.hits);
+    assert_eq!(stats.entries, 1);
+    assert_eq!(after.relation.len(), before.relation.len() + 1);
+
+    // …but the persistent scan context survives (unlike ontology/release
+    // invalidation, which replaces it): the untouched sibling's interned
+    // scan is still resident, and only the mutated wrapper re-scanned under
+    // its bumped data_version — 2 old entries + 1 fresh one.
+    assert_eq!(sys.context_stats().cached_scans, scans_before + 1);
+
+    // Repeats without further mutation hit the recompiled plan again.
+    sys.answer_with(synthetic::chain_query(1), &VersionScope::All, &options)
+        .unwrap();
+    assert_eq!(sys.plan_cache_stats().hits, baseline.hits + 1);
+}
+
+#[test]
 fn count_neutral_ontology_mutations_invalidate_the_cache() {
     use bdi::rdf::model::{GraphName, Iri, Quad};
     let sys = system(1, 1);

@@ -187,6 +187,86 @@ impl SourceResolver for NoClaims<'_> {
     }
 }
 
+/// A plan source that scans like the registry but maintains **no** sketches:
+/// `stats` stays `None` and filtered scan hints vanish, so the planner falls
+/// back to syntactic join order and heuristic scheduling. Answers must not
+/// move.
+struct NoStats<'a>(&'a bdi_wrappers::WrapperRegistry);
+
+impl PlanSource for NoStats<'_> {
+    fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        self.0.scan(name, request)
+    }
+
+    fn data_version(&self, name: &str) -> u64 {
+        self.0.data_version(name)
+    }
+
+    fn claims(&self, source: &str, filter: &ColumnFilter) -> bool {
+        self.0.claims(source, filter)
+    }
+
+    fn scan_hint(&self, name: &str, request: &ScanRequest) -> Option<u64> {
+        // Unfiltered hints are exact row counts (part of the scheduling
+        // contract); only the stats-derived filtered estimates disappear.
+        if request.filters().is_empty() {
+            self.0.scan_hint(name, request)
+        } else {
+            None
+        }
+    }
+    // `stats` keeps the trait default: `None`.
+}
+
+impl SourceResolver for NoStats<'_> {
+    fn resolve(&self, name: &str) -> Result<Relation, RelationError> {
+        self.0.resolve(name)
+    }
+}
+
+/// A plan source serving **adversarially distorted** sketches: every count
+/// in the snapshot (and every filtered scan hint) is scaled by the factor,
+/// so the planner prices plans against numbers that are wrong by orders of
+/// magnitude. Misestimates may change join order or semi-join mode — never
+/// rows. Unfiltered hints stay exact: they are the contract-bound row
+/// counts, not estimates.
+struct WrongStats<'a>(&'a bdi_wrappers::WrapperRegistry, f64);
+
+impl PlanSource for WrongStats<'_> {
+    fn scan(&self, name: &str, request: &ScanRequest) -> Result<Relation, RelationError> {
+        self.0.scan(name, request)
+    }
+
+    fn data_version(&self, name: &str) -> u64 {
+        self.0.data_version(name)
+    }
+
+    fn claims(&self, source: &str, filter: &ColumnFilter) -> bool {
+        self.0.claims(source, filter)
+    }
+
+    fn scan_hint(&self, name: &str, request: &ScanRequest) -> Option<u64> {
+        let hint = self.0.scan_hint(name, request)?;
+        if request.filters().is_empty() {
+            Some(hint)
+        } else {
+            Some(((hint as f64 * self.1).round() as u64).max(1))
+        }
+    }
+
+    fn stats(&self, name: &str) -> Option<std::sync::Arc<bdi::relational::TableStats>> {
+        self.0
+            .stats(name)
+            .map(|s| std::sync::Arc::new(s.scaled(self.1)))
+    }
+}
+
+impl SourceResolver for WrongStats<'_> {
+    fn resolve(&self, name: &str) -> Result<Relation, RelationError> {
+        self.0.resolve(name)
+    }
+}
+
 /// Regression: pushing σ below a join can flip the hash-join build side
 /// (the filtered side shrinks), so filtered answers follow the canonical
 /// sorted-order contract — both engines must emit identical rows anyway.
@@ -586,4 +666,283 @@ proptest! {
             );
         }
     }
+
+    // The stats-quality sweep: sketches {exact, absent, adversarially wrong
+    // by 1000x either way} × bloom semi-joins {on, off} × semi-join key
+    // budgets {tiny, small, unbounded}, filtered and unfiltered, over random
+    // join shapes. Statistics feed *planning only* — plans may differ under
+    // every combination, but each answer must match the eager reference byte
+    // for byte.
+    #[test]
+    fn stats_quality_never_changes_answers(
+        concepts in 1usize..4,
+        wrappers in 1usize..3,
+        data in prop::collection::vec(prop::collection::vec(arb_raw_row(), 0..10), 1..10),
+        filtered in any::<bool>(),
+        id_pred in arb_id_predicate(),
+        distortion_seed in 0usize..3,
+    ) {
+        let system = build_system(concepts, wrappers, &data);
+        let rewriting = system
+            .rewrite(synthetic::chain_query_with_id(concepts))
+            .unwrap();
+        let filters = if filtered {
+            vec![FeatureFilter::new(synthetic::chain_id_feature(1), id_pred)]
+        } else {
+            Vec::new()
+        };
+        let reference = exec::execute_with(
+            system.ontology(),
+            system.registry(),
+            &rewriting,
+            &ExecOptions { filters: filters.clone(), ..eager() },
+        )
+        .unwrap();
+        let distortion = [0.001, 0.5, 1000.0][distortion_seed];
+        let no_stats = NoStats(system.registry());
+        let wrong_stats = WrongStats(system.registry(), distortion);
+        for bloom_semijoins in [true, false] {
+            for semijoin_max_keys in [1usize, 2, usize::MAX] {
+                let options = ExecOptions {
+                    filters: filters.clone(),
+                    semijoin_max_keys,
+                    bloom_semijoins,
+                    ..streaming(true, false)
+                };
+                let exact = exec::execute_with(
+                    system.ontology(), system.registry(), &rewriting, &options,
+                ).unwrap();
+                let absent = exec::execute_with(
+                    system.ontology(), &no_stats, &rewriting, &options,
+                ).unwrap();
+                let wrong = exec::execute_with(
+                    system.ontology(), &wrong_stats, &rewriting, &options,
+                ).unwrap();
+                for (label, answer) in
+                    [("exact", &exact), ("absent", &absent), ("wrong", &wrong)]
+                {
+                    prop_assert!(
+                        answer.relation.rows() == reference.relation.rows(),
+                        "mismatch (stats={} distortion={} bloom={} max_keys={}):\n streamed {:?}\n reference {:?}",
+                        label,
+                        distortion,
+                        bloom_semijoins,
+                        semijoin_max_keys,
+                        answer.relation.rows(),
+                        reference.relation.rows()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The bloom degradation of the semi-join pass: when the build side's
+/// distinct keys blow the `semijoin_max_keys` budget, a bloom filter ships
+/// sideways instead of the pass silently disabling — and the IN-set path,
+/// the bloom path, the disabled path and the eager reference all agree on
+/// the rows.
+#[test]
+fn bloom_semijoin_fires_and_agrees_with_insets_and_eager() {
+    // c1: 600 rows probing; c2: 64 distinct build keys. With a key budget
+    // of 8 the IN-set is over budget (64 > 8) and the bloom branch fires
+    // (64 distinct × selectivity gate 4 = 256 ≤ 600 probe rows).
+    let system = synthetic::build_chain_system_with(2, 1, 0, |i, _, _| {
+        if i == 1 {
+            (0..600)
+                .map(|r| vec![Value::Int(r), Value::Int(r % 100), Value::Float(r as f64)])
+                .collect()
+        } else {
+            (0..64)
+                .map(|r| vec![Value::Int(r), Value::Float(r as f64)])
+                .collect()
+        }
+    });
+    let reference = system
+        .answer_with(synthetic::chain_query(2), &VersionScope::All, &eager())
+        .unwrap();
+    assert!(!reference.relation.rows().is_empty());
+
+    let bloom = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions {
+                semijoin_max_keys: 8,
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(bloom.relation.rows(), reference.relation.rows());
+    assert!(
+        system.planner_stats().semijoin_blooms >= 1,
+        "bloom semi-join did not fire: {:?}",
+        system.planner_stats()
+    );
+
+    let in_set = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions {
+                semijoin_max_keys: usize::MAX,
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(in_set.relation.rows(), reference.relation.rows());
+    assert!(system.planner_stats().semijoin_insets >= 1);
+
+    let disabled = system
+        .answer_with(
+            synthetic::chain_query(2),
+            &VersionScope::All,
+            &ExecOptions {
+                semijoin_max_keys: 8,
+                bloom_semijoins: false,
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(disabled.relation.rows(), reference.relation.rows());
+}
+
+/// Cost-based join ordering: a 3-join chain in the worst syntactic order
+/// (big ⋈ big first, the 2-row leaf last) is reordered to start from the
+/// cheapest pair, the chosen order and its estimate surface in
+/// `Answer::plan_notes`, and the rows match both the syntactic plan and the
+/// eager reference.
+#[test]
+fn cost_based_ordering_reorders_and_reports_plan_notes() {
+    let system = synthetic::build_chain_system_with(3, 1, 0, |i, _, _| match i {
+        // c1, c2: 200 rows each with distinct join keys (estimate 200 for
+        // c1 ⋈ c2); c3: 2 rows (estimate 2 for c2 ⋈ c3) — the greedy walk
+        // must seed from (c2, c3) and attach c1 last.
+        1 | 2 => (0..200)
+            .map(|r| vec![Value::Int(r), Value::Int(r), Value::Float(r as f64)])
+            .collect(),
+        _ => (0..2)
+            .map(|r| vec![Value::Int(r), Value::Float(r as f64)])
+            .collect(),
+    });
+    // A pass-everything filter makes the answer order-contract sorted, which
+    // is what licenses reordering in the first place (single-walk unfiltered
+    // answers keep natural order and stay syntactic).
+    let filters = vec![FeatureFilter::new(
+        synthetic::chain_data_feature(1),
+        Predicate::range(None, None),
+    )];
+    let reference = system
+        .answer_with(
+            synthetic::chain_query(3),
+            &VersionScope::All,
+            &ExecOptions {
+                filters: filters.clone(),
+                ..eager()
+            },
+        )
+        .unwrap();
+
+    let ordered = system
+        .answer_with(
+            synthetic::chain_query(3),
+            &VersionScope::All,
+            &ExecOptions {
+                filters: filters.clone(),
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(ordered.relation.rows(), reference.relation.rows());
+    assert_eq!(ordered.plan_notes.len(), 1);
+    let note = &ordered.plan_notes[0];
+    assert!(note.cost_based, "stats present, order-safe: {note:?}");
+    assert_eq!(note.join_order.len(), 3);
+    assert_eq!(note.join_order.last().map(String::as_str), Some("w_1_1"));
+    assert_ne!(note.join_order[0], "w_1_1");
+    assert!(note.estimated_rows.is_some());
+    assert_eq!(note.actual_rows, Some(ordered.relation.len() as u64));
+
+    let syntactic = system
+        .answer_with(
+            synthetic::chain_query(3),
+            &VersionScope::All,
+            &ExecOptions {
+                filters,
+                cost_based_joins: false,
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(syntactic.relation.rows(), reference.relation.rows());
+    let note = &syntactic.plan_notes[0];
+    assert!(!note.cost_based);
+    assert_eq!(note.join_order.first().map(String::as_str), Some("w_1_1"));
+
+    let stats = system.planner_stats();
+    assert!(stats.cost_based_plans >= 1, "{stats:?}");
+    assert!(stats.syntactic_plans >= 1, "{stats:?}");
+}
+
+/// Mutate-then-requery: a wrapper push bumps `data_version`, the next
+/// `column_stats` call serves a *fresh* sketch keyed by the new version
+/// (never the stale one), and both engines see the new row.
+#[test]
+fn data_version_bump_refreshes_sketches() {
+    use bdi::wrappers::Wrapper;
+    let mut system = synthetic::build_chain_system_with(1, 1, 0, |_, _, _| {
+        vec![vec![Value::Int(0), Value::Float(0.0)]]
+    });
+    let wrapper = synthetic::register_extra_chain_wrapper_handle(
+        &mut system,
+        1,
+        2,
+        vec![vec![Value::Int(1), Value::Float(0.1)]],
+    );
+    let before = wrapper
+        .column_stats()
+        .expect("table wrappers keep sketches");
+    assert_eq!(before.rows(), 1);
+    assert_eq!(before.data_version(), wrapper.data_version());
+    // The sketch excludes the not-yet-pushed key outright…
+    let probe = [ColumnFilter::new("id1", Predicate::eq(7i64))];
+    assert_eq!(before.estimate_rows(&probe), 0);
+
+    wrapper
+        .push(vec![Value::Int(7), Value::Float(0.7)])
+        .expect("push matches schema");
+    let after = wrapper.column_stats().expect("sketch refreshed after push");
+    assert_eq!(after.rows(), 2);
+    assert_eq!(after.data_version(), wrapper.data_version());
+    assert_ne!(after.data_version(), before.data_version());
+    // …and the refreshed sketch admits it.
+    assert!(after.estimate_rows(&probe) >= 1);
+
+    // Differential requery: the new row reaches both engines identically.
+    let filters = vec![FeatureFilter::new(
+        synthetic::chain_id_feature(1),
+        Predicate::in_set([Value::Int(1), Value::Int(7)]),
+    )];
+    let reference = system
+        .answer_with(
+            synthetic::chain_query_with_id(1),
+            &VersionScope::All,
+            &ExecOptions {
+                filters: filters.clone(),
+                ..eager()
+            },
+        )
+        .unwrap();
+    let streamed = system
+        .answer_with(
+            synthetic::chain_query_with_id(1),
+            &VersionScope::All,
+            &ExecOptions {
+                filters,
+                ..streaming(true, false)
+            },
+        )
+        .unwrap();
+    assert_eq!(streamed.relation.rows(), reference.relation.rows());
+    assert_eq!(streamed.relation.len(), 2);
 }
