@@ -173,6 +173,15 @@ const ADAPTIVE_BATCH_BYTES: u64 = 256 * 1024;
 const ADAPTIVE_BATCH_MIN_ROWS: usize = 256;
 const ADAPTIVE_BATCH_MAX_ROWS: usize = 8 * 1024;
 
+/// Row-id cells a stats-gated cache admission may store per value-cap
+/// unit. The stats path of [`ScanCache::Auto`] bounds *pool* growth by
+/// per-column distinct counts, but the cached [`Batch`] itself stores
+/// post-filter rows × arity `u32` ids however few distinct values they
+/// decode to — this factor caps that storage relative to the value cap,
+/// weighting a 4-byte id cell against an interned [`Value`] plus its pool
+/// overhead (conservatively this many id cells per value).
+const SCAN_CACHE_ID_CELLS_PER_VALUE: u64 = 8;
+
 /// How scans materialize through the [`ExecContext`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScanCache {
@@ -1823,8 +1832,10 @@ fn versioned_scan_key(source: &dyn PlanSource, name: &str, request: &ScanRequest
 /// one exists: the cached table's cell count is post-filter rows × arity,
 /// but the *pool* growth a cache admission risks is bounded per column by
 /// the column's distinct count — a million-row scan of a hundred-value
-/// enum column interns a hundred values, not a million. Without stats the
-/// flat hinted-rows × arity gate is kept.
+/// enum column interns a hundred values, not a million. The batch's own
+/// row-id storage is still rows × arity, so the stats path also declines
+/// when that exceeds [`SCAN_CACHE_ID_CELLS_PER_VALUE`] × cap. Without
+/// stats the flat hinted-rows × arity gate is kept.
 fn scan_uses_cache(
     ctx: &ExecContext,
     source: &dyn PlanSource,
@@ -1841,6 +1852,15 @@ fn scan_uses_cache(
             };
             if let Some(stats) = source.stats(name) {
                 let rows = stats.estimate_rows(request.filters());
+                // The cached batch stores rows × arity row-id cells no
+                // matter how few distinct values back them — bound that
+                // storage too ([`SCAN_CACHE_ID_CELLS_PER_VALUE`]), so a
+                // huge low-cardinality scan cannot grow cache bytes
+                // unbounded under a tight value cap.
+                let id_cells = rows.saturating_mul(request.output().len().max(1) as u64);
+                if id_cells > (cap as u64).saturating_mul(SCAN_CACHE_ID_CELLS_PER_VALUE) {
+                    return false;
+                }
                 let cells: u64 = request
                     .columns()
                     .iter()
@@ -1906,6 +1926,26 @@ fn plan_hint(plan: &PhysicalPlan, source: &dyn PlanSource) -> Option<u64> {
     }
 }
 
+/// Whether [`plan_hint`] for this subtree may be a statistics *estimate*
+/// that under-counts the scan's rows: the scan leaf carries claimed
+/// filters and its source publishes sketches, so the hint routed through
+/// [`PlanSource::stats`] selectivity estimation. An unfiltered hint is
+/// exact (or `None`), and a filtered hint from a sketch-less source is
+/// the unfiltered count — an upper bound; only the sketch estimate can
+/// land *below* the live count.
+fn plan_hint_is_estimate(plan: &PhysicalPlan, source: &dyn PlanSource) -> bool {
+    match plan {
+        PhysicalPlan::Scan {
+            source: name,
+            request,
+        } => !request.filters().is_empty() && source.stats(name).is_some(),
+        PhysicalPlan::Rename { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Filter { input, .. } => plan_hint_is_estimate(input, source),
+        _ => false,
+    }
+}
+
 /// Maps output column `index` of a scan-leaf chain down to its scan:
 /// `(source name, source-local column)` — the site a semi-join IN-set
 /// would be injected at. `None` when the subtree is not such a chain.
@@ -1940,10 +1980,10 @@ fn semijoin_probe_plan<'p>(
     }
     let left_hint = plan_hint(left, source)?;
     let right_hint = plan_hint(right, source)?;
-    let (probe, probe_key, build_hint, probe_hint) = if left_hint <= right_hint {
-        (right, right_key, left_hint, right_hint)
+    let (build, probe, probe_key, build_hint, probe_hint) = if left_hint <= right_hint {
+        (left, right, right_key, left_hint, right_hint)
     } else {
-        (left, left_key, right_hint, left_hint)
+        (right, left, left_key, right_hint, left_hint)
     };
     // Mirror of the operator's selectivity gate, approximated with the
     // build *row* hint (an upper bound on its distinct keys): the probe is
@@ -1954,24 +1994,37 @@ fn semijoin_probe_plan<'p>(
         return None;
     }
     let (scan_name, column) = plan_scan_site(probe, probe_key)?;
-    // Distinct build keys never exceed the build's row hint, so a hint
-    // under the IN-set threshold makes an IN-set injection certain; a hint
-    // between the IN-set and bloom thresholds makes *some* injection
+    // Distinct build keys never exceed the build's *exact* row hint, so a
+    // hint under the IN-set threshold makes an IN-set injection certain; a
+    // hint between the IN-set and bloom thresholds makes *some* injection
     // (IN-set for a duplicate-heavy build, bloom otherwise) certain when
     // blooms are enabled. Past the bloom cap the probe runs unreduced and
     // must keep its prefetch. A source that declines the pass will also be
     // scanned unreduced, so probe the claim with the matching canonical
-    // filter. A value-sensitive claimer may still diverge from the real
-    // injected set; either way the cost is one wasted (or missed) warm,
-    // never a wrong answer.
-    let canonical = if build_hint <= policy.semijoin_max_keys as u64 {
-        ColumnFilter::new(column, Predicate::in_set([Value::Int(0)]))
+    // filter. A sketch-*estimated* build hint (see [`plan_hint_is_estimate`])
+    // can land on either side of the IN-set threshold, so the executor may
+    // pick either kind — require both canonical claims then. A
+    // value-sensitive claimer may still diverge from the real injected set;
+    // either way the cost is one wasted (or missed) warm, never a wrong
+    // answer.
+    let estimate = plan_hint_is_estimate(build, source);
+    let in_set = ColumnFilter::new(column, Predicate::in_set([Value::Int(0)]));
+    let bloom = ColumnFilter::new(column, Predicate::Bloom(BloomFilter::claims_probe()));
+    if build_hint <= policy.semijoin_max_keys as u64 {
+        if !source.claims(scan_name, &in_set) {
+            return None;
+        }
+        if estimate && policy.bloom_semijoins && !source.claims(scan_name, &bloom) {
+            return None;
+        }
     } else if policy.bloom_semijoins && build_hint <= BLOOM_SEMIJOIN_MAX_KEYS as u64 {
-        ColumnFilter::new(column, Predicate::Bloom(BloomFilter::claims_probe()))
+        if !source.claims(scan_name, &bloom) {
+            return None;
+        }
+        if estimate && !source.claims(scan_name, &in_set) {
+            return None;
+        }
     } else {
-        return None;
-    };
-    if !source.claims(scan_name, &canonical) {
         return None;
     }
     Some(probe)
@@ -3619,23 +3672,58 @@ mod tests {
     #[test]
     fn semijoin_respects_disable_and_threshold() {
         let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
-        // 0 disables the pass outright; 1 is under the build's 2 distinct
-        // keys, so the probe runs unreduced (and cache-normally) either way.
-        for max_keys in [0usize, 1] {
+        // 0 disables the pass outright — including the bloom degradation,
+        // despite blooms defaulting on. With blooms off, 1 is under the
+        // build's 2 distinct keys, so the probe runs unreduced (and
+        // cache-normally) there too.
+        for (max_keys, blooms) in [(0usize, true), (0, false), (1, false)] {
             let src = Hinted::new(true);
             let ctx = ExecContext::new();
             let policy = ExecPolicy {
                 semijoin_max_keys: max_keys,
+                bloom_semijoins: blooms,
                 ..ExecPolicy::default()
             };
             let out = execute_plan_in_with(&w3_wbig_join(), &ctx, &src, policy).unwrap();
-            assert_eq!(out.rows(), eager.rows(), "max_keys={max_keys}");
+            assert_eq!(out.rows(), eager.rows(), "max_keys={max_keys} blooms={blooms}");
             assert!(src
                 .requests_for("wbig")
                 .iter()
                 .all(|r| r.filters().is_empty()));
             assert_eq!(ctx.cached_scans(), 2);
+            assert_eq!(ctx.semijoin_blooms(), 0);
         }
+    }
+
+    #[test]
+    fn semijoin_past_threshold_degrades_to_bloom() {
+        // A nonzero threshold under the build's 2 distinct keys with blooms
+        // on (the default): the pass degrades to a bloom membership filter
+        // over the live build keys instead of standing down. The reduced
+        // probe scan is query-specific (cache-bypassed) like an IN-set.
+        let src = Hinted::new(true);
+        let ctx = ExecContext::new();
+        let policy = ExecPolicy {
+            semijoin_max_keys: 1,
+            ..ExecPolicy::default()
+        };
+        let out = execute_plan_in_with(&w3_wbig_join(), &ctx, &src, policy).unwrap();
+        let eager = ops::join(&w3(), &wbig(), "MonitorId", "BigId").unwrap();
+        assert_eq!(out.rows(), eager.rows());
+        let probe_requests = src.requests_for("wbig");
+        assert_eq!(probe_requests.len(), 1);
+        assert_eq!(probe_requests[0].filters().len(), 1);
+        let filter = &probe_requests[0].filters()[0];
+        assert_eq!(filter.column, "BigId");
+        match &filter.predicate {
+            Predicate::Bloom(bloom) => {
+                assert!(bloom.may_contain(&Value::Int(12)));
+                assert!(bloom.may_contain(&Value::Int(18)));
+            }
+            other => panic!("expected bloom injection, got {other:?}"),
+        }
+        assert_eq!(ctx.cached_scans(), 1);
+        assert_eq!(ctx.semijoin_blooms(), 1);
     }
 
     #[test]

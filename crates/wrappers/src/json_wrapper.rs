@@ -76,7 +76,21 @@ pub struct JsonWrapper {
     /// they were built at. Unlike [`crate::TableWrapper`], this wrapper
     /// does not own its write path (the [`DocStore`] does), so sketches
     /// are rebuilt lazily on first demand after a version bump.
-    stats: Mutex<Option<(u64, Arc<TableStats>)>>,
+    stats: Mutex<JsonStatsState>,
+}
+
+/// Memoization state behind [`JsonWrapper::column_stats`]. The lock guards
+/// only this bookkeeping — the O(collection) rebuild aggregate runs
+/// *outside* it (single-flighted by `rebuilding`), so concurrent planners
+/// consulting a stale sketch fall back to raw hints instead of serializing
+/// behind a full collection scan.
+#[derive(Default)]
+struct JsonStatsState {
+    /// The last published snapshot and the data version it describes.
+    cached: Option<(u64, Arc<TableStats>)>,
+    /// Set while some thread is rebuilding; cleared when it publishes or
+    /// gives up.
+    rebuilding: bool,
 }
 
 impl JsonWrapper {
@@ -111,7 +125,7 @@ impl JsonWrapper {
             collection: collection.into(),
             pipeline,
             claims_fp: 0,
-            stats: Mutex::new(None),
+            stats: Mutex::new(JsonStatsState::default()),
         };
         wrapper.claims_fp = crate::wrapper::probe_claims_fingerprint(&wrapper.schema, |f| {
             Wrapper::claims_filter(&wrapper, f)
@@ -127,6 +141,22 @@ impl JsonWrapper {
     /// The wrapper's aggregation pipeline.
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// One full aggregate into a sketch snapshot for `version`, abandoned
+    /// (`None`) when the scan fails or the collection mutates under it —
+    /// the snapshot must describe exactly the rows of its version. Runs
+    /// lock-free; [`Wrapper::column_stats`] owns the memoization.
+    fn rebuild_stats(&self, version: u64) -> Option<Arc<TableStats>> {
+        let relation = self.scan().ok()?;
+        if self.data_version() != version {
+            return None;
+        }
+        let mut builder = StatsBuilder::new(self.schema.names());
+        for row in relation.rows() {
+            builder.observe_row(row);
+        }
+        Some(Arc::new(builder.snapshot(version)))
     }
 
     /// The narrowed pipeline for a request: the fetch list (requested
@@ -432,24 +462,32 @@ impl Wrapper for JsonWrapper {
     /// version has moved past the memoized snapshot. Returns `None` when
     /// the collection mutates mid-rebuild rather than publish a snapshot
     /// whose rows straddle two versions.
+    ///
+    /// The rebuild aggregate runs outside the memoization lock and is
+    /// single-flighted: while one thread rebuilds, others return `None`
+    /// immediately (callers fall back to raw hints) instead of queueing
+    /// behind a full collection scan. On a hot write path that also
+    /// bounds the rescan rate — at most one aggregate in flight, each
+    /// abandoned early when the version moves under it.
     fn column_stats(&self) -> Option<Arc<TableStats>> {
-        let mut cache = self.stats.lock().expect("stats lock poisoned");
         let version = self.data_version();
-        if let Some((cached_version, snapshot)) = cache.as_ref() {
-            if *cached_version == version {
-                return Some(Arc::clone(snapshot));
+        {
+            let mut state = self.stats.lock().expect("stats lock poisoned");
+            if let Some((cached_version, snapshot)) = state.cached.as_ref() {
+                if *cached_version == version {
+                    return Some(Arc::clone(snapshot));
+                }
             }
+            if state.rebuilding {
+                return None;
+            }
+            state.rebuilding = true;
         }
-        let relation = self.scan().ok()?;
-        if self.data_version() != version {
-            return None;
-        }
-        let mut builder = StatsBuilder::new(self.schema.names());
-        for row in relation.rows() {
-            builder.observe_row(row);
-        }
-        let snapshot = Arc::new(builder.snapshot(version));
-        *cache = Some((version, Arc::clone(&snapshot)));
+        let rebuilt = self.rebuild_stats(version);
+        let mut state = self.stats.lock().expect("stats lock poisoned");
+        state.rebuilding = false;
+        let snapshot = rebuilt?;
+        state.cached = Some((version, Arc::clone(&snapshot)));
         Some(snapshot)
     }
 }
