@@ -36,6 +36,10 @@
 //!   prefetcher overlapping both sources' page latency with the join, and
 //!   the retry overhead of the same join at a 10% injected transient-fault
 //!   rate vs fault-free.
+//! * **Contended-callers workload** — 4 threads answering the same cached
+//!   plan through `BdiSystem::serve` at once, vs the same calls funneled
+//!   through one global mutex (the convoy a single-`Mutex` cache imposed
+//!   before the cache was sharded).
 //!
 //! Run with `cargo bench -p bdi_bench --bench exec`. Results are printed and
 //! written to `BENCH_exec.json` at the workspace root so future PRs can
@@ -44,7 +48,7 @@
 use bdi_bench::synthetic;
 use bdi_bench::{measure, Measurement};
 use bdi_core::exec::{Engine, ExecOptions, FeatureFilter};
-use bdi_core::system::{BdiSystem, VersionScope};
+use bdi_core::system::{AnswerRequest, BdiSystem, VersionScope};
 use bdi_relational::plan::{
     execute_plan_in_with, execute_plan_prefetched_with, ExecPolicy, ScanCache,
 };
@@ -709,6 +713,61 @@ fn main() {
     let remote_overlap = remote_serial_ns / remote_overlap_ns;
     let remote_retry_overhead = remote_fault_ns / remote_overlap_ns;
 
+    // ---- Contended-callers workload: 4 threads answering the same cached
+    // plan through `serve` at once. The sharded plan cache (lock-free
+    // validity check, per-shard locks) and the context pool let the callers
+    // run in parallel; the baseline funnels every call through one global
+    // mutex — the convoy the old single-`Mutex<ExecCache>` imposed on
+    // concurrent callers. On a single-CPU host both shapes serialize anyway
+    // and the ratio records ~1x; nothing gates on it.
+    let contended_system = Arc::new(workload(1, 4, false));
+    let contended_request = || AnswerRequest::omq(synthetic::chain_query(1));
+    let expected = contended_system
+        .serve(contended_request()) // also warms the plan cache
+        .expect("contended workload answers")
+        .relation
+        .len();
+    const CONTENDED_CALLERS: usize = 4;
+    let global_lock = std::sync::Mutex::new(());
+    let hammer = |serialize: Option<&std::sync::Mutex<()>>| {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CONTENDED_CALLERS)
+                .map(|_| {
+                    let system = &contended_system;
+                    scope.spawn(move || {
+                        let _convoy = serialize.map(|m| m.lock().unwrap());
+                        system
+                            .serve(AnswerRequest::omq(synthetic::chain_query(1)))
+                            .expect("contended call answers")
+                            .relation
+                            .len()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("contended caller panicked"))
+                .sum::<usize>()
+        })
+    };
+    assert_eq!(hammer(Some(&global_lock)), CONTENDED_CALLERS * expected);
+    assert_eq!(hammer(None), CONTENDED_CALLERS * expected);
+    let contended_serial_ns = measure(
+        "exec/contended_serve_4x/single_mutex_baseline".to_owned(),
+        &mut records,
+        || hammer(Some(&global_lock)),
+    );
+    let contended_sharded_ns = measure(
+        "exec/contended_serve_4x/sharded_cache".to_owned(),
+        &mut records,
+        || hammer(None),
+    );
+    let contended_speedup = contended_serial_ns / contended_sharded_ns;
+    assert!(
+        contended_system.plan_cache_stats().hits > 0,
+        "contended callers should serve from the plan cache"
+    );
+
     println!();
     println!("speedup: union 16 wrappers (eager / streaming+pushdown+parallel) = {speedup_16:.2}x");
     println!(
@@ -745,6 +804,9 @@ fn main() {
     println!(
         "overhead: remote join at 10% transient faults (vs fault-free)    = {remote_retry_overhead:.2}x"
     );
+    println!(
+        "speedup: 4 contended cached-plan callers (single mutex / sharded) = {contended_speedup:.2}x"
+    );
 
     // ---- Persist machine-readable results at the workspace root — but not
     // from a smoke run, whose timings are meaningless.
@@ -766,7 +828,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"bloom_semijoin_50k_keys\": {bloom_speedup:.2}, \"join_order_cost_based\": {order_speedup:.2}, \"misestimate_overhead_100x\": {misestimate_overhead:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}, \"remote_latency_overlap\": {remote_overlap:.2}, \"remote_retry_overhead_10pct\": {remote_retry_overhead:.2}}}\n}}\n"
+        "  ],\n  \"speedups\": {{\"union_16_wrappers\": {speedup_16:.2}, \"union_16_wrappers_distinct_worst_case\": {distinct_speedup:.2}, \"join_2x4\": {join_speedup:.2}, \"id_filter\": {filter_speedup:.2}, \"single_walk_prefetch\": {prefetch_speedup:.2}, \"single_walk_prefetch_vs_serial\": {prefetch_vs_serial:.2}, \"semijoin_selective_join\": {semijoin_speedup:.2}, \"bloom_semijoin_50k_keys\": {bloom_speedup:.2}, \"join_order_cost_based\": {order_speedup:.2}, \"misestimate_overhead_100x\": {misestimate_overhead:.2}, \"cursor_scan_peak_bytes_ratio\": {cursor_peak_ratio:.2}, \"remote_latency_overlap\": {remote_overlap:.2}, \"remote_retry_overhead_10pct\": {remote_retry_overhead:.2}, \"contended_serve_4x\": {contended_speedup:.2}}}\n}}\n"
     ));
     let mut f = std::fs::File::create(out_path).expect("write BENCH_exec.json");
     f.write_all(json.as_bytes()).expect("write BENCH_exec.json");

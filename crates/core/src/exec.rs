@@ -222,6 +222,15 @@ pub struct ExecOptions {
     /// ([`SourceFailurePolicy::Degrade`]). Runtime-only (normalized out of
     /// the plan-cache key); the eager reference engine ignores it.
     pub on_source_failure: SourceFailurePolicy,
+    /// Per-query row limit: an answer holding more rows than this is
+    /// truncated to the first `max_rows` (in the answer's contractual row
+    /// order) and flagged [`QueryAnswer::truncated`]. `None` (the default)
+    /// never truncates. The serving front end maps a client's row budget
+    /// onto this knob. Runtime-only (normalized out of the plan-cache key),
+    /// and honoured by *both* engines — truncation happens after the answer
+    /// relation is assembled, so it can never change which rows exist, only
+    /// how many are returned.
+    pub max_rows: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -239,6 +248,7 @@ impl Default for ExecOptions {
             scan_cache: ScanCache::Auto,
             deadline: None,
             on_source_failure: SourceFailurePolicy::Fail,
+            max_rows: None,
         }
     }
 }
@@ -257,6 +267,35 @@ impl ExecOptions {
             deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
         }
     }
+
+    /// The full bundle of runtime (execution-only) knobs these options
+    /// select — the [`ExecPolicy`] plus the knobs resolved at the core
+    /// layer (failure policy, row limit). Like [`ExecOptions::policy`],
+    /// always derived from the *caller's* options, never from a cached
+    /// [`CompiledQuery`].
+    pub fn runtime(&self) -> ExecRuntime {
+        ExecRuntime {
+            policy: self.policy(),
+            on_source_failure: self.on_source_failure,
+            max_rows: self.max_rows,
+        }
+    }
+}
+
+/// The runtime knobs one execution of a [`CompiledQuery`] runs under: the
+/// relational-layer [`ExecPolicy`] (semi-joins, scan-cache mode, deadline)
+/// plus the core-layer source-failure policy and row limit. The system's
+/// plan cache normalizes all of these out of its keys, so a cached plan is
+/// executed under the knobs of whoever *this* call is for — never the knobs
+/// it happened to be compiled under.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecRuntime {
+    /// Relational-layer execution policy (see [`ExecOptions::policy`]).
+    pub policy: ExecPolicy,
+    /// What a permanently failed source does to the answer.
+    pub on_source_failure: SourceFailurePolicy,
+    /// Per-query row limit (see [`ExecOptions::max_rows`]).
+    pub max_rows: Option<usize>,
 }
 
 /// The answer to an OMQ.
@@ -277,6 +316,10 @@ pub struct QueryAnswer {
     /// cost-based, and the estimated vs. actual row counts — the
     /// observability surface for the statistics layer.
     pub plan_notes: Vec<PlanNote>,
+    /// Whether [`QueryAnswer::relation`] was cut down to
+    /// [`ExecOptions::max_rows`] rows. `false` means the relation is the
+    /// complete answer (of the surviving walks, under a degraded answer).
+    pub truncated: bool,
 }
 
 /// How one walk was planned and how the estimate compared to reality.
@@ -432,6 +475,7 @@ pub fn execute_eager(
             walk_exprs: Vec::new(),
             source_failures: Vec::new(),
             plan_notes: Vec::new(),
+            truncated: false,
         });
     }
 
@@ -467,6 +511,7 @@ pub fn execute_eager(
         walk_exprs,
         source_failures: Vec::new(),
         plan_notes: Vec::new(),
+        truncated: false,
     })
 }
 
@@ -1033,42 +1078,50 @@ pub fn execute_compiled<S>(
 where
     S: SourceResolver + PlanSource,
 {
-    execute_compiled_with(
-        ontology,
-        source,
-        compiled,
-        ctx,
-        compiled.options.policy(),
-        compiled.options.on_source_failure,
-    )
+    execute_compiled_with(ontology, source, compiled, ctx, compiled.options.runtime())
 }
 
-/// [`execute_compiled`] under an explicit runtime [`ExecPolicy`] and
-/// source-failure policy — the entry point
-/// [`crate::system::BdiSystem::answer_with`] uses, since its plan cache
+/// [`execute_compiled`] under an explicit [`ExecRuntime`] (runtime policy,
+/// source-failure policy, row limit) — the entry point
+/// [`crate::system::BdiSystem::serve`] uses, since its plan cache
 /// normalizes runtime knobs (semi-join keys, scan-cache mode, deadline,
-/// degrade policy) out of the cache key and must execute each hit under the
-/// *caller's* knobs, not the cached ones.
+/// degrade policy, row limit) out of the cache key and must execute each
+/// hit under the *caller's* knobs, not the cached ones. Row-limit
+/// truncation is applied here, after the answer relation is assembled, so
+/// both engines honour it identically and the kept prefix respects the
+/// answer's contractual row order.
 pub fn execute_compiled_with<S>(
     ontology: &BdiOntology,
     source: &S,
     compiled: &CompiledQuery,
     ctx: Option<&ExecContext>,
-    policy: ExecPolicy,
-    on_source_failure: SourceFailurePolicy,
+    runtime: ExecRuntime,
 ) -> Result<QueryAnswer, ExecError>
 where
     S: SourceResolver + PlanSource,
 {
-    match compiled.options.engine {
+    let mut answer = match compiled.options.engine {
         Engine::Eager => execute_eager(
             ontology,
             source,
             &compiled.rewriting,
             &compiled.options.filters,
         ),
-        Engine::Streaming => run_streaming(source, compiled, ctx, policy, on_source_failure),
+        Engine::Streaming => run_streaming(
+            source,
+            compiled,
+            ctx,
+            runtime.policy,
+            runtime.on_source_failure,
+        ),
+    }?;
+    if let Some(cap) = runtime.max_rows {
+        if answer.relation.len() > cap {
+            answer.relation.truncate_rows(cap);
+            answer.truncated = true;
+        }
     }
+    Ok(answer)
 }
 
 /// The [`SourceFailure`] a plan error degrades into, when it is a
@@ -1133,6 +1186,7 @@ where
             walk_exprs,
             source_failures: Vec::new(),
             plan_notes: compiled.plan_notes.clone(),
+            truncated: false,
         });
     }
 
@@ -1176,6 +1230,7 @@ where
                         source_failures: source_failure_of(&e).into_iter().collect(),
                         // The walk was dropped: its actual stays unset.
                         plan_notes: compiled.plan_notes.clone(),
+                        truncated: false,
                     });
                 }
                 Err(e) => return Err(e.into()),
@@ -1192,6 +1247,7 @@ where
             walk_exprs,
             source_failures: Vec::new(),
             plan_notes,
+            truncated: false,
         });
     }
 
@@ -1306,6 +1362,7 @@ where
         walk_exprs,
         source_failures: aggregate_failures(dropped.into_iter().map(|(_, f)| f).collect()),
         plan_notes,
+        truncated: false,
     })
 }
 

@@ -44,5 +44,5 @@ pub use omq::{Omq, OmqError};
 pub use ontology::{BdiOntology, OntologyError};
 pub use release::{Release, ReleaseError, ReleaseStats};
 pub use rewrite::{rewrite, RewriteError, Rewriting, Walk};
-pub use system::{Answer, BdiSystem, SystemError, VersionScope};
+pub use system::{Answer, AnswerRequest, BdiSystem, SystemError, VersionScope};
 pub use wellformed::{well_formed_query, WellFormedError, WellFormedQuery};

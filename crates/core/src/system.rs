@@ -3,6 +3,16 @@
 //! This corresponds to the paper's Metadata Management System (MDM, §6.1):
 //! the data steward registers releases; analysts pose OMQs which are
 //! rewritten (Algorithms 2–5) and executed over the wrappers.
+//!
+//! Query answering is **shared-read**: [`BdiSystem::serve`] takes `&self`,
+//! and concurrent callers do not convoy behind a single lock. The compiled
+//! plan cache is sharded by key hash (each shard its own mutex, held only
+//! for a lookup or insert), the validity stamp is checked lock-free through
+//! an atomic tag, and each query that reuses scans checks a persistent
+//! [`ExecContext`] out of a pool instead of sharing one context — readers
+//! proceed against immutable shared state while mutation installs a new
+//! validity epoch (the snapshot-read discipline of the NVRAM tree
+//! literature; see PAPERS.md).
 
 use crate::exec::{
     self, CompiledQuery, ExecError, ExecOptions, PlanNote, QueryAnswer, SourceFailure,
@@ -14,8 +24,12 @@ use crate::rewrite::{self, RewriteError, Rewriting};
 use crate::vocab;
 use bdi_relational::ExecContext;
 use bdi_wrappers::WrapperRegistry;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
 
 /// Errors surfaced by the system facade.
 #[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
@@ -58,11 +72,24 @@ pub enum VersionScope {
     Only(BTreeSet<String>),
 }
 
-/// Upper bound on cached compiled queries; beyond it the least-recently-hit
-/// entry is evicted.
+/// Upper bound on cached compiled queries across all shards; beyond it each
+/// shard evicts its least-recently-hit entry.
 const PLAN_CACHE_ENTRIES: usize = 64;
 
-/// What the compiled-plan cache (and the persistent context) is valid
+/// Shards of the plan-cache map. Each shard is its own mutex, held only for
+/// the duration of one lookup or insert, so concurrent callers of distinct
+/// queries proceed in parallel and callers of the *same* query contend only
+/// with each other.
+const PLAN_SHARDS: usize = 8;
+
+/// Per-shard entry cap (the global cap split evenly).
+const PLAN_SHARD_ENTRIES: usize = PLAN_CACHE_ENTRIES / PLAN_SHARDS;
+
+/// Idle contexts the pool keeps warm; a context returning to a full pool is
+/// retired instead (its peaks fold into the lifetime counters).
+const CTX_POOL_IDLE: usize = 16;
+
+/// What the compiled-plan cache (and the persistent contexts) are valid
 /// against: the release log length (bumped by every
 /// [`BdiSystem::register_release`]), the ontology store's monotonic
 /// mutation stamp (catching direct [`BdiSystem::ontology_mut`] edits,
@@ -79,23 +106,29 @@ const PLAN_CACHE_ENTRIES: usize = 64;
 /// must recompile plans even though their answers would still be correct
 /// (only possibly slower).
 ///
-/// The two halves invalidate differently ([`ExecCacheState::revalidate`]):
-/// a change in the leading triple flushes the plans **and** retires the
-/// persistent context, while a stats-epoch-only change flushes just the
+/// The two halves invalidate differently ([`ExecCache::ensure_valid`]): a
+/// change in the leading triple flushes the plans **and** retires the
+/// pooled contexts, while a stats-epoch-only change flushes just the
 /// plans — every cached scan is keyed by its wrapper's live
 /// [`data_version`](bdi_wrappers::Wrapper::data_version) at scan time, so a
 /// mutation makes the stale entry unreachable and the next query re-scans
 /// just the mutated wrapper — sibling wrappers' (and sibling docstore
-/// collections') cached scans survive. Stale entries age out through the
+/// collections') cached scans survive. Stale entries age out through each
 /// context's LRU caps, and the value-cap watermark retires a context whose
 /// pool has outgrown its bound ([`BdiSystem::set_context_value_cap`] — the
 /// context-retirement tier). This is what lets
 /// [`ExecOptions::reuse_scans`] default on without one wrapper's appends
 /// flushing every other wrapper's interned scans.
+///
+/// Changes to the leading triple only happen through `&mut self` methods,
+/// so they can never race an in-flight `&self` query; a stats-epoch change
+/// *can* race one (wrapper data mutates through shared handles), but that
+/// race is performance-only — answers stay correct through the
+/// `data_version` keying one level down.
 type CacheValidity = (usize, u64, u64, u64);
 
-/// Default watermark on the persistent context's interned-value pool; past
-/// it the context is retired after the current query (see
+/// Default watermark on each pooled context's interned-value pool; past it
+/// the context is retired when checked back in (see
 /// [`BdiSystem::set_context_value_cap`]).
 const DEFAULT_CTX_VALUE_CAP: usize = 1 << 20;
 
@@ -103,195 +136,331 @@ const DEFAULT_CTX_VALUE_CAP: usize = 1 << 20;
 /// execution options (engine, pushdown, filters all shape the plan).
 type PlanKey = (Omq, VersionScope, ExecOptions);
 
-/// Cross-query compiled-plan cache + persistent execution context. Interior
-/// mutability (a mutex held only for lookups/inserts, never during
-/// execution) keeps [`BdiSystem::answer_with`] callable through `&self`.
-struct ExecCache {
-    inner: Mutex<ExecCacheState>,
+const POISONED: &str = "plan cache poisoned";
+
+/// The atomic tag a [`CacheValidity`] publishes: a mix-hash of the 4-tuple
+/// (two of whose components are already u64 hashes, so this adds no new
+/// collision class). `0` is reserved as the never-valid initial tag.
+fn validity_tag(validity: &CacheValidity) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    validity.hash(&mut hasher);
+    hasher.finish().max(1)
 }
 
-struct ExecCacheState {
-    validity: CacheValidity,
+fn shard_of(key: &PlanKey) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % PLAN_SHARDS
+}
+
+/// One shard of the compiled-plan map, with its own LRU clock.
+#[derive(Default)]
+struct PlanShard {
     tick: u64,
-    hits: u64,
-    misses: u64,
     plans: HashMap<PlanKey, (Arc<CompiledQuery>, u64)>,
+}
+
+/// The pool of persistent execution contexts. A query that reuses scans
+/// checks a context out ([`ExecCache::checkout`]) and its guard checks it
+/// back in on drop; sequential queries therefore keep hitting the same
+/// warm context (interned scans, join build sides), while concurrent
+/// queries each get their own and none serializes behind another's
+/// execution.
+struct CtxPool {
     /// Pool watermark handed to every fresh context (see
     /// [`BdiSystem::set_context_value_cap`]).
     value_cap: usize,
-    ctx: Arc<ExecContext>,
+    /// Bumped by [`CtxPool::retire_all`]; a context checked out under an
+    /// older generation is retired when it returns instead of rejoining the
+    /// idle list.
+    generation: u64,
+    idle: Vec<Arc<ExecContext>>,
+    /// Every non-retired context (idle or checked out), for stats
+    /// aggregation. Dead weaks are pruned opportunistically.
+    live: Vec<Weak<ExecContext>>,
     /// High-water marks carried across retired contexts, so
     /// [`BdiSystem::context_stats`] reports lifetime streaming peaks even
-    /// after the watermark (or a release) replaced the context they
-    /// occurred in.
+    /// after the watermark (or a release) retired the context they occurred
+    /// in.
     retired_peak_values: usize,
     retired_peak_bytes: usize,
     /// Semi-join pass counters folded out of retired contexts, so
     /// [`BdiSystem::planner_stats`] reports lifetime totals.
     retired_semijoin_insets: u64,
     retired_semijoin_blooms: u64,
-    /// Fresh compiles by planning kind (cache hits don't recount).
-    cost_based_plans: u64,
-    syntactic_plans: u64,
 }
 
-impl ExecCacheState {
-    /// Replaces the shared context with a fresh one, folding the retiring
-    /// context's peaks into the lifetime high-water marks.
-    fn replace_ctx(&mut self) {
-        self.retired_peak_values = self.retired_peak_values.max(self.ctx.pooled_values());
-        self.retired_peak_bytes = self.retired_peak_bytes.max(self.ctx.peak_bytes());
-        self.retired_semijoin_insets += self.ctx.semijoin_insets();
-        self.retired_semijoin_blooms += self.ctx.semijoin_blooms();
-        self.ctx = Arc::new(ExecContext::new().with_value_cap(self.value_cap));
+impl CtxPool {
+    fn new(value_cap: usize) -> Self {
+        Self {
+            value_cap,
+            generation: 0,
+            idle: Vec::new(),
+            live: Vec::new(),
+            retired_peak_values: 0,
+            retired_peak_bytes: 0,
+            retired_semijoin_insets: 0,
+            retired_semijoin_blooms: 0,
+        }
     }
 
-    /// Brings the cache up to `validity`. A change in the leading triple
-    /// (release registered, ontology edited, wrapper capabilities moved)
-    /// flushes the plans and retires the context. A **stats-epoch-only**
-    /// change — wrapper data mutated — flushes just the plans: cost-based
-    /// join orders compiled from the old sketches may no longer be the
-    /// cheapest, but the context's cached scans are keyed by live
-    /// `data_version` one level down and stay valid for every unmutated
-    /// sibling wrapper.
-    fn revalidate(&mut self, validity: CacheValidity) {
-        if self.validity == validity {
-            return;
-        }
-        let core_changed = (self.validity.0, self.validity.1, self.validity.2)
-            != (validity.0, validity.1, validity.2);
-        self.validity = validity;
-        self.plans.clear();
-        if core_changed {
-            self.replace_ctx();
+    /// Folds a retiring context's peaks and counters into the lifetime
+    /// totals and forgets it.
+    fn retire(&mut self, ctx: &Arc<ExecContext>) {
+        self.retired_peak_values = self.retired_peak_values.max(ctx.pooled_values());
+        self.retired_peak_bytes = self.retired_peak_bytes.max(ctx.peak_bytes());
+        self.retired_semijoin_insets += ctx.semijoin_insets();
+        self.retired_semijoin_blooms += ctx.semijoin_blooms();
+        let ptr = Arc::as_ptr(ctx);
+        self.live.retain(|weak| weak.as_ptr() != ptr);
+    }
+
+    /// Retires every idle context now and marks checked-out ones (if any)
+    /// for retirement on return, by bumping the pool generation.
+    fn retire_all(&mut self) {
+        self.generation += 1;
+        let idle = std::mem::take(&mut self.idle);
+        for ctx in &idle {
+            self.retire(ctx);
         }
     }
+
+    fn checkout(&mut self) -> (Arc<ExecContext>, u64) {
+        let ctx = self.idle.pop().unwrap_or_else(|| {
+            let ctx = Arc::new(ExecContext::new().with_value_cap(self.value_cap));
+            self.live.push(Arc::downgrade(&ctx));
+            ctx
+        });
+        (ctx, self.generation)
+    }
+
+    /// Returns a context to the idle list — unless the pool moved on
+    /// (generation bump, watermark change) or the context outgrew its
+    /// value-cap watermark, in which case it is retired: queries in flight
+    /// elsewhere keep their own contexts, and the next checkout starts
+    /// fresh. This is the per-handle successor of the old shared-context
+    /// `recycle_if_over_cap`.
+    fn check_in(&mut self, ctx: Arc<ExecContext>, generation: u64) {
+        let stale = generation != self.generation
+            || ctx.value_cap() != Some(self.value_cap)
+            || ctx.over_value_cap()
+            || self.idle.len() >= CTX_POOL_IDLE;
+        if stale {
+            self.retire(&ctx);
+        } else {
+            self.idle.push(ctx);
+        }
+    }
+
+    /// Upgraded handles to every live (non-retired) context.
+    fn contexts(&mut self) -> Vec<Arc<ExecContext>> {
+        self.live.retain(|weak| weak.strong_count() > 0);
+        self.live.iter().filter_map(Weak::upgrade).collect()
+    }
+}
+
+/// A checked-out pooled context; checks itself back in on drop.
+struct PooledCtx<'a> {
+    pool: &'a Mutex<CtxPool>,
+    generation: u64,
+    ctx: Option<Arc<ExecContext>>,
+}
+
+impl PooledCtx<'_> {
+    fn get(&self) -> &ExecContext {
+        self.ctx
+            .as_deref()
+            .expect("pooled context already returned")
+    }
+}
+
+impl Drop for PooledCtx<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            if let Ok(mut pool) = self.pool.lock() {
+                pool.check_in(ctx, self.generation);
+            }
+        }
+    }
+}
+
+/// Cross-query compiled-plan cache + pooled persistent execution contexts.
+///
+/// Concurrency shape: the validity stamp is published as an atomic tag, so
+/// the common case — nothing changed since the last query — is a single
+/// atomic load with no lock. The plan map is sharded ([`PLAN_SHARDS`]
+/// mutexes, each held only for one lookup/insert, never during rewriting,
+/// compilation or execution), counters are atomics, and contexts come from
+/// a pool ([`CtxPool`]) so no two in-flight queries share mutable state.
+/// Flushes bump an epoch *before* clearing the shards; an insert re-checks
+/// the epoch under its shard lock and drops the plan if a flush slipped in
+/// while it compiled.
+struct ExecCache {
+    /// Tag of the validity the cache currently reflects (0 = never valid).
+    validity_tag: AtomicU64,
+    /// Bumped on every flush; plan inserts are stamped with the epoch read
+    /// at lookup time and discarded if it moved.
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Fresh compiles by planning kind (cache hits don't recount).
+    cost_based_plans: AtomicU64,
+    syntactic_plans: AtomicU64,
+    /// The full validity tuple behind the tag, for the core-vs-stats flush
+    /// decision. Locked only while flushing.
+    flush: Mutex<CacheValidity>,
+    shards: [Mutex<PlanShard>; PLAN_SHARDS],
+    pool: Mutex<CtxPool>,
 }
 
 impl Default for ExecCache {
     fn default() -> Self {
         Self {
-            inner: Mutex::new(ExecCacheState {
-                // Never matches → first use invalidates.
-                validity: (usize::MAX, u64::MAX, u64::MAX, u64::MAX),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                plans: HashMap::new(),
-                value_cap: DEFAULT_CTX_VALUE_CAP,
-                ctx: Arc::new(ExecContext::new().with_value_cap(DEFAULT_CTX_VALUE_CAP)),
-                retired_peak_values: 0,
-                retired_peak_bytes: 0,
-                retired_semijoin_insets: 0,
-                retired_semijoin_blooms: 0,
-                cost_based_plans: 0,
-                syntactic_plans: 0,
-            }),
+            validity_tag: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cost_based_plans: AtomicU64::new(0),
+            syntactic_plans: AtomicU64::new(0),
+            // Never matches a real validity → first use flushes.
+            flush: Mutex::new((usize::MAX, u64::MAX, u64::MAX, u64::MAX)),
+            shards: std::array::from_fn(|_| Mutex::new(PlanShard::default())),
+            pool: Mutex::new(CtxPool::new(DEFAULT_CTX_VALUE_CAP)),
         }
     }
 }
 
 impl std::fmt::Debug for ExecCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.inner.lock().expect("plan cache poisoned");
+        let entries: usize = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect(POISONED).plans.len())
+            .sum();
         f.debug_struct("ExecCache")
-            .field("entries", &state.plans.len())
-            .field("hits", &state.hits)
-            .field("misses", &state.misses)
+            .field("entries", &entries)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl ExecCache {
-    /// Drops every cached plan and the shared context (release registered,
-    /// or ontology visibly changed).
-    fn invalidate(&self, validity: CacheValidity) {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
-        state.validity = validity;
-        state.plans.clear();
-        state.replace_ctx();
-    }
-
-    /// Retires the shared context when its value pool has outgrown the
-    /// watermark — queries in flight keep the old context alive through
-    /// their `Arc` until they finish; new queries intern into the fresh
-    /// pool and re-scan on demand.
-    fn recycle_if_over_cap(&self) {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
-        if state.ctx.over_value_cap() {
-            state.replace_ctx();
-        }
-    }
-
-    /// The cached compiled query for `key`, if still valid, plus the shared
-    /// context. A stale validity stamp flushes everything first.
-    fn lookup(
-        &self,
-        validity: CacheValidity,
-        key: &PlanKey,
-    ) -> (Option<Arc<CompiledQuery>>, Arc<ExecContext>) {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
-        state.revalidate(validity);
-        state.tick += 1;
-        let tick = state.tick;
-        let hit = match state.plans.get_mut(key) {
-            Some((compiled, last_used)) => {
-                *last_used = tick;
-                Some(compiled.clone())
-            }
-            None => None,
-        };
-        if hit.is_some() {
-            state.hits += 1;
-        } else {
-            state.misses += 1;
-        }
-        (hit, state.ctx.clone())
-    }
-
-    /// The shared context alone (revalidating first), without touching the
-    /// hit/miss counters — for `cache_plans: false` queries.
-    fn context(&self, validity: CacheValidity) -> Arc<ExecContext> {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
-        state.revalidate(validity);
-        state.ctx.clone()
-    }
-
-    /// Inserts a freshly compiled query, evicting the least-recently-hit
-    /// entry at capacity. Racing compilers of the same key both insert; the
-    /// loser's entry simply replaces an identical one.
-    fn insert(&self, validity: CacheValidity, key: PlanKey, compiled: Arc<CompiledQuery>) {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
-        // A release, ontology edit or capability change slipping in while
-        // compiling must discard the plan (data mutations don't appear in
-        // the validity at all — plans are data-independent).
-        if state.validity != validity {
+    /// Brings the cache up to `validity`. The fast path — the tag already
+    /// matches — is one atomic load. On a mismatch, a change in the leading
+    /// triple (release registered, ontology edited, wrapper capabilities
+    /// moved) flushes the plans and retires the pooled contexts; a
+    /// **stats-epoch-only** change — wrapper data mutated — flushes just
+    /// the plans: cost-based join orders compiled from the old sketches may
+    /// no longer be the cheapest, but each context's cached scans are keyed
+    /// by live `data_version` one level down and stay valid for every
+    /// unmutated sibling wrapper.
+    fn ensure_valid(&self, validity: CacheValidity) {
+        let tag = validity_tag(&validity);
+        if self.validity_tag.load(Ordering::Acquire) == tag {
             return;
         }
-        if state.plans.len() >= PLAN_CACHE_ENTRIES && !state.plans.contains_key(&key) {
-            if let Some(oldest) = state
+        self.flush_to(validity, tag, false);
+    }
+
+    /// Unconditionally flushes plans and retires contexts — for `&mut self`
+    /// mutations ([`BdiSystem::register_release`],
+    /// [`BdiSystem::set_release_log`]) whose effect may not register in the
+    /// validity tuple (e.g. a restored release log of the same length).
+    fn invalidate(&self, validity: CacheValidity) {
+        self.flush_to(validity, validity_tag(&validity), true);
+    }
+
+    fn flush_to(&self, validity: CacheValidity, tag: u64, force_retire: bool) {
+        let mut current = self.flush.lock().expect(POISONED);
+        if !force_retire && *current == validity {
+            // Another caller installed this validity while we waited.
+            self.validity_tag.store(tag, Ordering::Release);
+            return;
+        }
+        let core_changed = force_retire
+            || (current.0, current.1, current.2) != (validity.0, validity.1, validity.2);
+        *current = validity;
+        // Epoch first, then clear: an insert that read the old epoch either
+        // lands before its shard is cleared (and is cleared with it) or
+        // re-reads the bumped epoch under its shard lock and drops itself.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        for shard in &self.shards {
+            shard.lock().expect(POISONED).plans.clear();
+        }
+        if core_changed {
+            self.pool.lock().expect(POISONED).retire_all();
+        }
+        self.validity_tag.store(tag, Ordering::Release);
+    }
+
+    /// The cached compiled query for `key`, if present, plus the flush
+    /// epoch the lookup ran under (to stamp a later insert). The caller
+    /// must have called [`ExecCache::ensure_valid`] first.
+    fn lookup(&self, key: &PlanKey) -> (Option<Arc<CompiledQuery>>, u64) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let hit = {
+            let mut shard = self.shards[shard_of(key)].lock().expect(POISONED);
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.plans.get_mut(key).map(|(compiled, last_used)| {
+                *last_used = tick;
+                compiled.clone()
+            })
+        };
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        (hit, epoch)
+    }
+
+    /// Inserts a freshly compiled query, evicting the shard's
+    /// least-recently-hit entry at capacity. Racing compilers of the same
+    /// key both insert; the loser's entry simply replaces an identical one.
+    /// A flush that slipped in while compiling (epoch moved past
+    /// `at_epoch`) discards the plan instead — it was compiled against a
+    /// superseded system state.
+    fn insert(&self, at_epoch: u64, key: PlanKey, compiled: Arc<CompiledQuery>) {
+        let mut shard = self.shards[shard_of(&key)].lock().expect(POISONED);
+        if self.epoch.load(Ordering::Acquire) != at_epoch {
+            return;
+        }
+        if shard.plans.len() >= PLAN_SHARD_ENTRIES && !shard.plans.contains_key(&key) {
+            if let Some(oldest) = shard
                 .plans
                 .iter()
                 .min_by_key(|(_, (_, last_used))| *last_used)
                 .map(|(k, _)| k.clone())
             {
-                state.plans.remove(&oldest);
+                shard.plans.remove(&oldest);
             }
         }
-        state.tick += 1;
-        let tick = state.tick;
-        state.plans.insert(key, (compiled, tick));
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.plans.insert(key, (compiled, tick));
+    }
+
+    /// Checks a persistent context out of the pool; the guard returns it on
+    /// drop.
+    fn checkout(&self) -> PooledCtx<'_> {
+        let (ctx, generation) = self.pool.lock().expect(POISONED).checkout();
+        PooledCtx {
+            pool: &self.pool,
+            generation,
+            ctx: Some(ctx),
+        }
     }
 
     /// Tallies a fresh compile's planning kinds (one count per walk) for
     /// [`BdiSystem::planner_stats`].
     fn record_compile(&self, notes: &[PlanNote]) {
-        let mut state = self.inner.lock().expect("plan cache poisoned");
         for note in notes {
             if note.cost_based {
-                state.cost_based_plans += 1;
+                self.cost_based_plans.fetch_add(1, Ordering::Relaxed);
             } else {
-                state.syntactic_plans += 1;
+                self.syntactic_plans.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -316,7 +485,7 @@ pub struct PlannerStats {
     /// walk, or a wrapper without estimates).
     pub syntactic_plans: u64,
     /// Semi-join reductions shipped as exact IN-set filters, through the
-    /// persistent context (queries run with
+    /// pooled persistent contexts (queries run with
     /// [`ExecOptions::reuse_scans`]` = false` execute against a private
     /// context and don't register).
     pub semijoin_insets: u64,
@@ -325,23 +494,26 @@ pub struct PlannerStats {
     pub semijoin_blooms: u64,
 }
 
-/// Persistent-context size observability (see
-/// [`BdiSystem::context_stats`]).
+/// Pooled-context size observability (see [`BdiSystem::context_stats`]).
+/// Current figures sum over every live pooled context (idle or serving a
+/// query right now); peaks fold retired contexts in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContextStats {
-    /// Distinct values interned into the shared pool.
+    /// Distinct values interned, summed across live pooled contexts.
     pub pooled_values: usize,
-    /// Rough resident bytes: pool + cached interned scans + cached join
-    /// build sides.
+    /// Rough resident bytes: pools + cached interned scans + cached join
+    /// build sides, summed across live pooled contexts.
     pub approx_bytes: usize,
     /// Cached interned-scan entries currently held (semi-join-reduced probe
     /// scans and cursor-only scans never appear here).
     pub cached_scans: usize,
-    /// Batch-granular high-water mark of the resident estimate, across
-    /// retired contexts too — cursor-only streaming peaks register here
-    /// even though nothing of them remains cached after the query.
+    /// Batch-granular high-water mark of a single context's resident
+    /// estimate, across retired contexts too — cursor-only streaming peaks
+    /// register here even though nothing of them remains cached after the
+    /// query.
     pub peak_bytes: usize,
-    /// High-water mark of `pooled_values`, across retired contexts too.
+    /// High-water mark of a single context's `pooled_values`, across
+    /// retired contexts too.
     pub peak_pooled_values: usize,
 }
 
@@ -374,6 +546,91 @@ pub struct Answer {
     /// cost-based, estimated vs. actual rows (see
     /// [`crate::exec::QueryAnswer::plan_notes`]).
     pub plan_notes: Vec<PlanNote>,
+    /// Whether [`Answer::relation`] was cut down to the request's
+    /// [`ExecOptions::max_rows`] row limit. `false` means the relation is
+    /// the complete answer (of the surviving walks, under a degraded
+    /// answer).
+    pub truncated: bool,
+}
+
+/// One query, fully described: what to ask (SPARQL text or a built
+/// [`Omq`]), which schema versions to range over, and how to execute it.
+/// Built fluently and executed by [`BdiSystem::serve`]:
+///
+/// ```ignore
+/// let answer = system.serve(
+///     AnswerRequest::sparql("SELECT ?lagRatio WHERE { ... }")
+///         .scope(VersionScope::Latest)
+///         .deadline(Duration::from_millis(250))
+///         .max_rows(1_000),
+/// )?;
+/// ```
+///
+/// This is the one entry point the legacy `answer*` convenience methods
+/// (and the HTTP front end) all funnel through.
+#[derive(Debug, Clone)]
+pub struct AnswerRequest {
+    query: QueryText,
+    scope: VersionScope,
+    options: ExecOptions,
+}
+
+#[derive(Debug, Clone)]
+enum QueryText {
+    /// SPARQL in the paper's Code 3 template, parsed against the system's
+    /// registered prefixes at serve time.
+    Sparql(String),
+    Omq(Omq),
+}
+
+impl AnswerRequest {
+    /// A request from SPARQL text (the paper's Code 3 template); parsing
+    /// happens in [`BdiSystem::serve`], against the system's prefixes.
+    pub fn sparql(query: impl Into<String>) -> Self {
+        Self {
+            query: QueryText::Sparql(query.into()),
+            scope: VersionScope::All,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// A request from an already-built OMQ.
+    pub fn omq(query: Omq) -> Self {
+        Self {
+            query: QueryText::Omq(query),
+            scope: VersionScope::All,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Restricts the answer to walks whose wrappers all fall inside
+    /// `scope` (default: [`VersionScope::All`]).
+    pub fn scope(mut self, scope: VersionScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Replaces the execution options wholesale (engine, pushdown,
+    /// filters, …). Compose with the knob shortcuts below by calling this
+    /// first.
+    pub fn options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Per-query wall-clock budget, measured from when execution starts
+    /// (sets [`ExecOptions::deadline`]).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.options.deadline = Some(budget);
+        self
+    }
+
+    /// Per-query row limit (sets [`ExecOptions::max_rows`]): answers larger
+    /// than this come back truncated, flagged [`Answer::truncated`].
+    pub fn max_rows(mut self, limit: usize) -> Self {
+        self.options.max_rows = Some(limit);
+        self
+    }
 }
 
 impl BdiSystem {
@@ -429,9 +686,9 @@ impl BdiSystem {
 
     /// Applies Algorithm 1 for a new release and registers its wrapper.
     /// Every registration bumps the release sequence, which invalidates the
-    /// cross-query plan cache and the persistent execution context — the
-    /// new wrapper changes what queries rewrite to, and its data was never
-    /// scanned.
+    /// cross-query plan cache and retires the pooled execution contexts —
+    /// the new wrapper changes what queries rewrite to, and its data was
+    /// never scanned.
     pub fn register_release(&mut self, release: Release) -> Result<ReleaseStats, SystemError> {
         let stats = release::apply_release(&self.ontology, &mut self.registry, release)?;
         self.release_log.push(ReleaseLogEntry {
@@ -458,48 +715,62 @@ impl BdiSystem {
     /// Plan-cache counters (entries reflect the current validity window;
     /// hits/misses accumulate over the system's lifetime).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        let state = self.cache.inner.lock().expect("plan cache poisoned");
+        let entries = self
+            .cache
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect(POISONED).plans.len())
+            .sum();
         PlanCacheStats {
-            entries: state.plans.len(),
-            hits: state.hits,
-            misses: state.misses,
+            entries,
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Sets the watermark on the persistent execution context's
+    /// Sets the watermark on each pooled execution context's
     /// interned-value pool (default 2²⁰ distinct values). When a query
-    /// leaves the pool above the watermark the context is retired and the
-    /// next query starts against a fresh one, so a long-lived system's
-    /// memory stays bounded however much distinct data flows through it.
-    /// Takes effect immediately: the current context is replaced (cached
+    /// leaves its context's pool above the watermark the context is retired
+    /// at check-in and the next query starts against a fresh one, so a
+    /// long-lived system's memory stays bounded however much distinct data
+    /// flows through it. Takes effect immediately: idle contexts are
+    /// retired now, checked-out ones when their query finishes (cached
     /// scans flush; compiled plans survive).
     pub fn set_context_value_cap(&self, cap: usize) {
-        let mut state = self.cache.inner.lock().expect("plan cache poisoned");
-        state.value_cap = cap.max(1);
-        state.replace_ctx();
+        let mut pool = self.cache.pool.lock().expect(POISONED);
+        pool.value_cap = cap.max(1);
+        pool.retire_all();
     }
 
-    /// Size diagnostics of the persistent execution context (pool +
+    /// Size diagnostics of the pooled execution contexts (pools +
     /// scan/build caches) — what [`BdiSystem::set_context_value_cap`]
     /// bounds — plus lifetime high-water marks that survive context
     /// retirement, so streaming (cursor-only) peaks are observable after
     /// the fact.
     pub fn context_stats(&self) -> ContextStats {
-        let (ctx, retired_peak_values, retired_peak_bytes) = {
-            let state = self.cache.inner.lock().expect("plan cache poisoned");
+        let (contexts, retired_peak_values, retired_peak_bytes) = {
+            let mut pool = self.cache.pool.lock().expect(POISONED);
             (
-                state.ctx.clone(),
-                state.retired_peak_values,
-                state.retired_peak_bytes,
+                pool.contexts(),
+                pool.retired_peak_values,
+                pool.retired_peak_bytes,
             )
         };
-        ContextStats {
-            pooled_values: ctx.pooled_values(),
-            approx_bytes: ctx.memory_estimate(),
-            cached_scans: ctx.cached_scans(),
-            peak_bytes: retired_peak_bytes.max(ctx.peak_bytes()),
-            peak_pooled_values: retired_peak_values.max(ctx.pooled_values()),
+        let mut stats = ContextStats {
+            pooled_values: 0,
+            approx_bytes: 0,
+            cached_scans: 0,
+            peak_bytes: retired_peak_bytes,
+            peak_pooled_values: retired_peak_values,
+        };
+        for ctx in &contexts {
+            stats.pooled_values += ctx.pooled_values();
+            stats.approx_bytes += ctx.memory_estimate();
+            stats.cached_scans += ctx.cached_scans();
+            stats.peak_bytes = stats.peak_bytes.max(ctx.peak_bytes());
+            stats.peak_pooled_values = stats.peak_pooled_values.max(ctx.pooled_values());
         }
+        stats
     }
 
     /// The wrapper names admitted by a scope.
@@ -530,51 +801,75 @@ impl BdiSystem {
     }
 
     /// Parses (Code 3 template), rewrites and executes a SPARQL OMQ.
+    /// Convenience for [`BdiSystem::serve`] with an
+    /// [`AnswerRequest::sparql`] request.
     pub fn answer(&self, sparql: &str) -> Result<Answer, SystemError> {
-        let omq = Omq::parse(sparql, self.ontology.prefixes())?;
-        self.answer_omq(omq)
+        self.serve(AnswerRequest::sparql(sparql))
     }
 
     /// Rewrites and executes an already-built OMQ over all versions.
+    /// Convenience for [`BdiSystem::serve`] with an
+    /// [`AnswerRequest::omq`] request.
     pub fn answer_omq(&self, omq: Omq) -> Result<Answer, SystemError> {
-        self.answer_scoped(omq, &VersionScope::All)
+        self.serve(AnswerRequest::omq(omq))
     }
 
     /// Rewrites and executes an OMQ, keeping only walks whose wrappers all
     /// fall inside `scope` — e.g. `VersionScope::Latest` for
     /// most-recent-schema answers, or `UpToRelease(n)` for historical
-    /// point-in-time answers.
+    /// point-in-time answers. Convenience for [`BdiSystem::serve`].
     pub fn answer_scoped(&self, omq: Omq, scope: &VersionScope) -> Result<Answer, SystemError> {
-        self.answer_with(omq, scope, &ExecOptions::default())
+        self.serve(AnswerRequest::omq(omq).scope(scope.clone()))
     }
 
-    /// Rewrites and executes an OMQ with explicit [`ExecOptions`]: engine
-    /// selection (streaming plans vs the eager reference), projection
-    /// pushdown, parallel walk execution, and pushed-down predicate
-    /// filters. Scope filtering is identical to
-    /// [`BdiSystem::answer_scoped`].
-    ///
-    /// Repeated queries skip the rewriting-to-plan pipeline entirely: the
-    /// compiled form is cached under `(OMQ, scope, options)` and stays
-    /// valid until the next [`BdiSystem::register_release`]. With
-    /// [`ExecOptions::reuse_scans`] the persistent [`ExecContext`] also
-    /// carries interned wrapper scans and join build sides across queries
-    /// within that validity window.
+    /// Rewrites and executes an OMQ with explicit [`ExecOptions`].
+    /// Convenience for [`BdiSystem::serve`]; see there for caching and
+    /// concurrency behaviour.
     pub fn answer_with(
         &self,
         omq: Omq,
         scope: &VersionScope,
         options: &ExecOptions,
     ) -> Result<Answer, SystemError> {
-        let validity = self.cache_validity();
+        self.serve(
+            AnswerRequest::omq(omq)
+                .scope(scope.clone())
+                .options(options.clone()),
+        )
+    }
+
+    /// Executes one [`AnswerRequest`] — the single entry point every query
+    /// takes (the `answer*` conveniences and the HTTP front end all build a
+    /// request and call this). Takes `&self` and is safe to call from many
+    /// threads at once: concurrent callers share compiled plans through the
+    /// sharded cache but never an execution lock.
+    ///
+    /// Repeated queries skip the rewriting-to-plan pipeline entirely: the
+    /// compiled form is cached under `(OMQ, scope, options)` and stays
+    /// valid until the next [`BdiSystem::register_release`] (or other
+    /// visible metadata change). With [`ExecOptions::reuse_scans`] the
+    /// query also checks a persistent [`ExecContext`] out of the system's
+    /// pool, carrying interned wrapper scans and join build sides across
+    /// queries within that validity window.
+    pub fn serve(&self, request: AnswerRequest) -> Result<Answer, SystemError> {
+        let AnswerRequest {
+            query,
+            scope,
+            options,
+        } = request;
+        let omq = match query {
+            QueryText::Sparql(text) => Omq::parse(&text, self.ontology.prefixes())?,
+            QueryText::Omq(omq) => omq,
+        };
+        self.cache.ensure_valid(self.cache_validity());
         // Normalize the key to the plan-shaping options: `cache_plans` and
         // `reuse_scans` steer *this* method, and `semijoin_max_keys` /
         // `bloom_semijoins` / `scan_cache` / `deadline` /
-        // `on_source_failure` steer only the executor — never the compiled
-        // plan — so queries differing only in them share one cache entry
-        // (and each execution reads those knobs from the caller's options,
-        // below). `cost_based_joins` is *not* normalized: it shapes the
-        // compiled join tree.
+        // `on_source_failure` / `max_rows` steer only the executor — never
+        // the compiled plan — so queries differing only in them share one
+        // cache entry (and each execution reads those knobs from the
+        // caller's options, below). `cost_based_joins` is *not* normalized:
+        // it shapes the compiled join tree.
         let key_options = ExecOptions {
             cache_plans: true,
             reuse_scans: false,
@@ -583,13 +878,14 @@ impl BdiSystem {
             scan_cache: bdi_relational::ScanCache::Auto,
             deadline: None,
             on_source_failure: exec::SourceFailurePolicy::Fail,
+            max_rows: None,
             ..options.clone()
         };
-        let key = (omq, scope.clone(), key_options);
-        let (cached, ctx) = if options.cache_plans {
-            self.cache.lookup(validity, &key)
+        let key = (omq, scope, key_options);
+        let (cached, at_epoch) = if options.cache_plans {
+            self.cache.lookup(&key)
         } else {
-            (None, self.cache.context(validity))
+            (None, 0)
         };
         let compiled = match cached {
             Some(compiled) => compiled,
@@ -614,54 +910,66 @@ impl BdiSystem {
                 )?);
                 self.cache.record_compile(compiled.plan_notes());
                 if options.cache_plans {
-                    self.cache.insert(validity, key.clone(), compiled.clone());
+                    self.cache.insert(at_epoch, key.clone(), compiled.clone());
                 }
                 compiled
             }
         };
-        let shared_ctx = options.reuse_scans.then_some(ctx);
+        // A context from the pool (checked back in when `pooled` drops,
+        // including on error), or none: `reuse_scans: false` executes
+        // against a fresh private context inside the executor.
+        let pooled = options.reuse_scans.then(|| self.cache.checkout());
         let QueryAnswer {
             relation,
             walk_exprs,
             source_failures,
             plan_notes,
+            truncated,
         } = exec::execute_compiled_with(
             &self.ontology,
             &self.registry,
             &compiled,
-            shared_ctx.as_deref(),
-            options.policy(),
-            options.on_source_failure,
+            pooled.as_ref().map(|p| p.get()),
+            options.runtime(),
         )?;
-        // Bound the long-lived pool: if this query pushed it past the
-        // watermark, retire the context before the next query reuses it.
-        if options.reuse_scans {
-            self.cache.recycle_if_over_cap();
-        }
+        drop(pooled);
         Ok(Answer {
             relation,
             rewriting: compiled.rewriting.clone(),
             walk_exprs,
             source_failures,
             plan_notes,
+            truncated,
         })
     }
 
     /// Planner observability: walks compiled cost-based vs. syntactically
     /// (lifetime, fresh compiles only) and semi-join reductions shipped as
-    /// IN-sets vs. Bloom filters through the persistent context (retired
-    /// contexts' counts are folded in; `reuse_scans: false` queries run on
-    /// private contexts and don't register). Per-query detail — the chosen
-    /// join order and estimated-vs-actual rows — rides on each answer as
-    /// [`Answer::plan_notes`].
+    /// IN-sets vs. Bloom filters through the pooled persistent contexts
+    /// (retired contexts' counts are folded in; `reuse_scans: false`
+    /// queries run on private contexts and don't register). Per-query
+    /// detail — the chosen join order and estimated-vs-actual rows — rides
+    /// on each answer as [`Answer::plan_notes`].
     pub fn planner_stats(&self) -> PlannerStats {
-        let state = self.cache.inner.lock().expect("plan cache poisoned");
-        PlannerStats {
-            cost_based_plans: state.cost_based_plans,
-            syntactic_plans: state.syntactic_plans,
-            semijoin_insets: state.retired_semijoin_insets + state.ctx.semijoin_insets(),
-            semijoin_blooms: state.retired_semijoin_blooms + state.ctx.semijoin_blooms(),
+        let (contexts, retired_insets, retired_blooms) = {
+            let mut pool = self.cache.pool.lock().expect(POISONED);
+            (
+                pool.contexts(),
+                pool.retired_semijoin_insets,
+                pool.retired_semijoin_blooms,
+            )
+        };
+        let mut stats = PlannerStats {
+            cost_based_plans: self.cache.cost_based_plans.load(Ordering::Relaxed),
+            syntactic_plans: self.cache.syntactic_plans.load(Ordering::Relaxed),
+            semijoin_insets: retired_insets,
+            semijoin_blooms: retired_blooms,
+        };
+        for ctx in &contexts {
+            stats.semijoin_insets += ctx.semijoin_insets();
+            stats.semijoin_blooms += ctx.semijoin_blooms();
         }
+        stats
     }
 
     /// Aggregated retry/fault counters across every registered wrapper that

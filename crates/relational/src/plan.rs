@@ -3685,7 +3685,11 @@ mod tests {
                 ..ExecPolicy::default()
             };
             let out = execute_plan_in_with(&w3_wbig_join(), &ctx, &src, policy).unwrap();
-            assert_eq!(out.rows(), eager.rows(), "max_keys={max_keys} blooms={blooms}");
+            assert_eq!(
+                out.rows(),
+                eager.rows(),
+                "max_keys={max_keys} blooms={blooms}"
+            );
             assert!(src
                 .requests_for("wbig")
                 .iter()

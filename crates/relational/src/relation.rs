@@ -92,6 +92,12 @@ impl Relation {
         self.rows.is_empty()
     }
 
+    /// Keeps only the first `len` rows (no-op when the relation is already
+    /// that short). Row-limit enforcement for per-query `max_rows` caps.
+    pub fn truncate_rows(&mut self, len: usize) {
+        self.rows.truncate(len);
+    }
+
     /// Appends a tuple, checking arity.
     pub fn push(&mut self, row: Tuple) -> Result<(), RelationError> {
         if row.len() != self.schema.len() {

@@ -1,0 +1,43 @@
+//! The monitoring op: `GET /stats` — every counter surface the system
+//! exposes, one JSON document. What an ops dashboard (or the CI smoke job)
+//! scrapes.
+
+use bdi_core::system::BdiSystem;
+use serde_json::json;
+
+/// Renders the stats document.
+pub fn stats(system: &BdiSystem) -> String {
+    let plan_cache = system.plan_cache_stats();
+    let contexts = system.context_stats();
+    let planner = system.planner_stats();
+    let retries = system.retry_stats();
+    json!({
+        "plan_cache": {
+            "entries": (plan_cache.entries),
+            "hits": (plan_cache.hits),
+            "misses": (plan_cache.misses),
+        },
+        "contexts": {
+            "pooled_values": (contexts.pooled_values),
+            "approx_bytes": (contexts.approx_bytes),
+            "cached_scans": (contexts.cached_scans),
+            "peak_bytes": (contexts.peak_bytes),
+            "peak_pooled_values": (contexts.peak_pooled_values),
+        },
+        "planner": {
+            "cost_based_plans": (planner.cost_based_plans),
+            "syntactic_plans": (planner.syntactic_plans),
+            "semijoin_insets": (planner.semijoin_insets),
+            "semijoin_blooms": (planner.semijoin_blooms),
+        },
+        "retries": {
+            "attempts": (retries.attempts),
+            "retries": (retries.retries),
+            "pages": (retries.pages),
+            "transient_errors": (retries.transient_errors),
+            "permanent_failures": (retries.permanent_failures),
+            "timeouts": (retries.timeouts),
+        },
+    })
+    .to_string()
+}

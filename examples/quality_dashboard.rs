@@ -14,7 +14,7 @@
 
 use bdi::core::omq::Omq;
 use bdi::core::supersede::{self, concepts, features};
-use bdi::core::system::VersionScope;
+use bdi::core::system::{AnswerRequest, VersionScope};
 use bdi::core::vocab;
 use bdi::rdf::model::Triple;
 
@@ -51,7 +51,9 @@ fn main() {
             ),
         ],
     );
-    let answer = system.answer_omq(inventory).expect("inventory answers");
+    let answer = system
+        .serve(AnswerRequest::omq(inventory))
+        .expect("inventory answers");
     println!("Panel 1 — tool inventory (Code 9 repaired by Algorithm 2):");
     println!("{}\n", answer.relation);
 
@@ -77,7 +79,7 @@ fn main() {
         ],
     );
     let answer = system
-        .answer_omq(feedback.clone())
+        .serve(AnswerRequest::omq(feedback.clone()))
         .expect("feedback answers");
     println!(
         "Panel 2 — user feedback per app (walk: {}):",
@@ -100,7 +102,7 @@ fn main() {
         ),
     ] {
         let answer = system
-            .answer_scoped(qos.clone(), &scope)
+            .serve(AnswerRequest::omq(qos.clone()).scope(scope))
             .expect("qos answers");
         println!(
             "Panel 3 — lag ratio per app, {label}: {} walk(s), {} row(s)",

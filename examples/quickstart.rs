@@ -10,6 +10,7 @@
 //! ```
 
 use bdi::core::supersede;
+use bdi::core::system::AnswerRequest;
 
 fn main() {
     // 1. Assemble the system: Global graph + releases of w1, w2, w3.
@@ -27,7 +28,9 @@ fn main() {
 
     // 3. Rewrite + execute. The LAV mappings resolve to one walk joining
     //    w1 (VoD monitor) with w3 (relationship API) on the monitor ID.
-    let answer = system.answer(&sparql).expect("the running example answers");
+    let answer = system
+        .serve(AnswerRequest::sparql(&sparql))
+        .expect("the running example answers");
     println!("Rewriting produced {} walk(s):", answer.walk_exprs.len());
     for expr in &answer.walk_exprs {
         println!("  {expr}");

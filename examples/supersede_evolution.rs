@@ -11,6 +11,7 @@
 //! ```
 
 use bdi::core::supersede;
+use bdi::core::system::AnswerRequest;
 use bdi::core::vocab::graphs;
 use bdi::rdf::model::GraphName;
 
@@ -19,7 +20,7 @@ fn main() {
 
     println!("=== Before evolution ===");
     let before = system
-        .answer(&supersede::exemplary_query())
+        .serve(AnswerRequest::sparql(supersede::exemplary_query()))
         .expect("answers");
     println!(
         "walks: {}  → {} rows",
@@ -46,7 +47,7 @@ fn main() {
 
     println!("=== After evolution: the SAME query, untouched ===");
     let after = system
-        .answer(&supersede::exemplary_query())
+        .serve(AnswerRequest::sparql(supersede::exemplary_query()))
         .expect("answers");
     println!(
         "walks: {}  → {} rows (union of both schema versions)",

@@ -1,0 +1,78 @@
+//! `serve` — the SUPERSEDE running example behind the HTTP front end.
+//!
+//! ```text
+//! cargo run --bin serve                      # bind 127.0.0.1:7687
+//! cargo run --bin serve -- 127.0.0.1:8080    # bind elsewhere
+//! cargo run --bin serve -- --probe ADDR      # client mode: one query +
+//!                                            # one /stats scrape; exits
+//!                                            # non-zero on any non-2xx
+//! ```
+//!
+//! The probe mode is what the CI `serve-smoke` job drives a freshly
+//! started server with.
+
+use bdi::core::supersede;
+use bdi_server::http::client;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--probe") => match args.get(1) {
+            Some(addr) => probe(addr),
+            None => {
+                eprintln!("usage: serve --probe ADDR");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--help" | "-h") => {
+            println!("usage: serve [ADDR | --probe ADDR]");
+            ExitCode::SUCCESS
+        }
+        addr => run_server(addr.unwrap_or("127.0.0.1:7687")),
+    }
+}
+
+fn run_server(addr: &str) -> ExitCode {
+    let system = Arc::new(supersede::build_running_example());
+    let handle = match bdi_server::start(system, addr) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on http://{}", handle.addr());
+    println!("  POST /query   GET /stats");
+    loop {
+        std::thread::park();
+    }
+}
+
+fn probe(addr: &str) -> ExitCode {
+    let query = serde_json::json!({"sparql": (supersede::exemplary_query())});
+    let (status, body) = match client::post_query(addr, &query) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("probe: POST /query failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("POST /query → {status}: {body}");
+    if !(200..300).contains(&status) {
+        return ExitCode::FAILURE;
+    }
+    let (status, body) = match client::get_stats(addr) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("probe: GET /stats failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("GET /stats → {status}: {body}");
+    if !(200..300).contains(&status) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
