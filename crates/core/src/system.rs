@@ -868,8 +868,12 @@ impl BdiSystem {
         // `on_source_failure` / `max_rows` steer only the executor — never
         // the compiled plan — so queries differing only in them share one
         // cache entry (and each execution reads those knobs from the
-        // caller's options, below). `cost_based_joins` is *not* normalized:
-        // it shapes the compiled join tree.
+        // caller's options, below). The rest stay in the key: `engine`,
+        // `pushdown`, `parallel`, `filters`, and `cost_based_joins` all
+        // shape the compiled plan. `cargo xtask analyze` enforces that
+        // every ExecOptions field is classified one way or the other
+        // (normalized-out fields are ledgered in
+        // analysis/normalized_out.txt; in-key fields must be named here).
         let key_options = ExecOptions {
             cache_plans: true,
             reuse_scans: false,

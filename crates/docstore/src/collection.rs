@@ -166,6 +166,7 @@ impl DocStore {
         let coll = guard
             .get(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_owned()))?;
+        // analyze: allow(lock_hold, the pipeline borrows documents from this read guard; writers wait only for the aggregation itself)
         Ok(coll.aggregate(pipeline)?)
     }
 

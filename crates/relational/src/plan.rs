@@ -2613,6 +2613,7 @@ impl<'r> OpNode<'r> {
                     return Ok(None);
                 };
                 let mut out = Batch::new(indices.len());
+                // analyze: allow(deadline, per-row copy of one already-pulled batch — bounded by BATCH_ROWS)
                 for row in batch.rows() {
                     out.push(indices.iter().map(|&i| row[i]));
                 }
@@ -2630,10 +2631,17 @@ impl<'r> OpNode<'r> {
                         .collect()
                 });
                 loop {
+                    // A predicate that rejects everything would otherwise
+                    // spin through an entire cached table between leaf-level
+                    // deadline checks.
+                    if policy.deadline_passed() {
+                        return Err(PlanError::DeadlineExceeded);
+                    }
                     let Some(batch) = input.next_batch(ctx, plan_source, policy)? else {
                         return Ok(None);
                     };
                     let mut out = Batch::new(batch.arity());
+                    // analyze: allow(deadline, per-row filter of one batch — bounded by BATCH_ROWS)
                     for row in batch.rows() {
                         if compiled
                             .iter_mut()
@@ -2680,6 +2688,7 @@ impl<'r> OpNode<'r> {
                 let mut out = Batch::new(*arity);
                 match feed {
                     ProbeFeed::Materialized { table, cursor } => {
+                        // analyze: allow(deadline, emits at most BATCH_ROWS rows per call from a materialized table)
                         while *cursor < table.len() && out.len() < BATCH_ROWS {
                             let probe_row = table.row(*cursor);
                             *cursor += 1;
@@ -2695,7 +2704,14 @@ impl<'r> OpNode<'r> {
                         }
                     }
                     ProbeFeed::Streamed { pending, done } => loop {
+                        // A probe side whose rows all miss the build index
+                        // would otherwise stream batch after batch between
+                        // leaf-level deadline checks.
+                        if policy.deadline_passed() {
+                            return Err(PlanError::DeadlineExceeded);
+                        }
                         let exhausted = if let Some((batch, cursor)) = pending.as_mut() {
+                            // analyze: allow(deadline, drains at most BATCH_ROWS rows of one pending batch)
                             while *cursor < batch.len() && out.len() < BATCH_ROWS {
                                 let probe_row = batch.row(*cursor);
                                 *cursor += 1;
@@ -2742,6 +2758,11 @@ impl<'r> OpNode<'r> {
                 seen,
                 arity,
             } => loop {
+                // A branch whose rows are all duplicates would otherwise
+                // drain whole inputs between leaf-level deadline checks.
+                if policy.deadline_passed() {
+                    return Err(PlanError::DeadlineExceeded);
+                }
                 let Some(input) = inputs.get_mut(*current) else {
                     return Ok(None);
                 };
@@ -2749,6 +2770,7 @@ impl<'r> OpNode<'r> {
                     None => *current += 1,
                     Some(batch) => {
                         let mut out = Batch::new(*arity);
+                        // analyze: allow(deadline, per-row dedup of one batch — bounded by BATCH_ROWS)
                         for row in batch.rows() {
                             if seen.insert(row) {
                                 out.push(row.iter().copied());

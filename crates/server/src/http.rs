@@ -50,7 +50,18 @@ pub fn read_request(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Opt
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    // `find_head_end` located `\r\n\r\n` inside `buf`, so both ranges are
+    // in bounds; checked access keeps the serving path panic-free anyway.
+    let (head_bytes, body_start) = match (buf.get(..head_end), buf.get(head_end + 4..)) {
+        (Some(head), Some(body)) => (head, body),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request head",
+            ))
+        }
+    };
+    let head = std::str::from_utf8(head_bytes)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -86,7 +97,7 @@ pub fn read_request(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Opt
         ));
     }
 
-    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    let mut body: Vec<u8> = body_start.to_vec();
     while body.len() < content_length {
         match read_some(stream, &mut body, stop)? {
             ReadStep::Data => {}
@@ -123,7 +134,7 @@ fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>, stop: &AtomicBool) -> io
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(ReadStep::Eof),
             Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
+                buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
                 return Ok(ReadStep::Data);
             }
             Err(e)
@@ -208,13 +219,14 @@ pub mod client {
             .windows(4)
             .position(|w| w == b"\r\n\r\n")
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
-        let head = String::from_utf8_lossy(&raw[..head_end]);
+        let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or_default());
         let status: u16 = head
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-        let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+        let body =
+            String::from_utf8_lossy(raw.get(head_end + 4..).unwrap_or_default()).into_owned();
         Ok((status, body))
     }
 

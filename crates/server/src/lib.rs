@@ -135,7 +135,11 @@ fn accept_loop(
                 let handle = std::thread::spawn(move || {
                     let _ = serve_connection(stream, &system, &config, &stop);
                 });
-                let mut workers = workers.lock().expect("worker list poisoned");
+                // A worker thread that panicked mid-push must not take the
+                // accept loop down with it.
+                let mut workers = workers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 workers.retain(|w| !w.is_finished());
                 workers.push(handle);
             }
@@ -146,7 +150,11 @@ fn accept_loop(
             }
         }
     }
-    let drained = std::mem::take(&mut *workers.lock().expect("worker list poisoned"));
+    let drained = std::mem::take(
+        &mut *workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
     for worker in drained {
         let _ = worker.join();
     }

@@ -155,19 +155,16 @@ fn parse_omq(value: &Value) -> Result<Omq, String> {
         .map(|triple| {
             let terms = triple
                 .as_array()
-                .filter(|a| a.len() == 3)
                 .ok_or("\"omq.phi\" entries must be [s, p, o] arrays")?;
-            let mut iris = terms.iter().map(|t| {
+            let [s, p, o] = terms.as_slice() else {
+                return Err("\"omq.phi\" entries must be [s, p, o] arrays".to_owned());
+            };
+            let iri = |t: &Value| {
                 t.as_str()
                     .map(Iri::new)
                     .ok_or("\"omq.phi\" terms must be IRI strings".to_owned())
-            });
-            let (s, p, o) = (
-                iris.next().unwrap()?,
-                iris.next().unwrap()?,
-                iris.next().unwrap()?,
-            );
-            Ok::<_, String>(Triple::new(s, p, o))
+            };
+            Ok::<_, String>(Triple::new(iri(s)?, iri(p)?, iri(o)?))
         })
         .collect::<Result<Vec<_>, _>>()?;
     Ok(Omq::new(pi, phi))

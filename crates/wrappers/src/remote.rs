@@ -208,7 +208,10 @@ impl SimulatedEndpoint {
         // endpoint's lifetime: attempt n of page p fails while
         // n < transient_failures[p].
         {
-            let mut attempts = self.page_attempts.lock().expect("attempt counter poisoned");
+            let mut attempts = self
+                .page_attempts
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let seen = attempts.entry(query.page).or_insert(0);
             let budget = self
                 .profile
@@ -234,7 +237,11 @@ impl SimulatedEndpoint {
             }
         }
         if self.profile.transient_error_rate > 0.0 {
-            let roll: f64 = self.rng.lock().expect("endpoint rng poisoned").gen();
+            let roll: f64 = self
+                .rng
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .gen();
             if roll < self.profile.transient_error_rate {
                 return Err(TransportError::Transient(format!(
                     "random transient fault on page {}",
@@ -243,25 +250,39 @@ impl SimulatedEndpoint {
             }
         }
         let schema = self.data.schema();
-        let filter_indices: Vec<(usize, &Predicate)> = query
-            .filters
-            .iter()
-            .map(|f| (schema.index_of(&f.column).expect("validated"), &f.predicate))
-            .collect();
+        let mut filter_indices: Vec<(usize, &Predicate)> = Vec::new();
+        for f in &query.filters {
+            let i = schema.index_of(&f.column).ok_or_else(|| {
+                TransportError::Permanent(format!("unknown filter column {:?}", f.column))
+            })?;
+            filter_indices.push((i, &f.predicate));
+        }
         let mut filtered: Vec<Tuple> = Vec::new();
         for row in self.data.rows() {
-            if filter_indices.iter().all(|(i, p)| p.matches(&row[*i])) {
-                filtered.push(query.columns.iter().map(|&i| row[i].clone()).collect());
+            if !filter_indices
+                .iter()
+                .all(|(i, p)| row.get(*i).is_some_and(|v| p.matches(v)))
+            {
+                continue;
+            }
+            let projected: Option<Tuple> =
+                query.columns.iter().map(|&i| row.get(i).cloned()).collect();
+            match projected {
+                Some(tuple) => filtered.push(tuple),
+                None => {
+                    return Err(TransportError::Permanent(
+                        "row shorter than its schema".to_owned(),
+                    ))
+                }
             }
         }
         let rows_per_page = query.rows.min(self.page_rows).max(1);
         let start = (query.page as usize).saturating_mul(rows_per_page);
         let end = start.saturating_add(rows_per_page).min(filtered.len());
-        let rows = if start < filtered.len() {
-            filtered[start..end].to_vec()
-        } else {
-            Vec::new()
-        };
+        let rows = filtered
+            .get(start..end)
+            .map(<[Tuple]>::to_vec)
+            .unwrap_or_default();
         let last = end >= filtered.len();
         self.served.fetch_add(1, Ordering::Relaxed);
         Ok(RemotePage { rows, last })
@@ -301,8 +322,8 @@ fn unescape(text: &str) -> Result<String, String> {
     let mut out = Vec::with_capacity(text.len());
     let bytes = text.as_bytes();
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
+    while let Some(&byte) = bytes.get(i) {
+        if byte == b'%' {
             let hex = bytes
                 .get(i + 1..i + 3)
                 .ok_or_else(|| format!("truncated escape in {text:?}"))?;
@@ -313,7 +334,7 @@ fn unescape(text: &str) -> Result<String, String> {
             );
             i += 3;
         } else {
-            out.push(bytes[i]);
+            out.push(byte);
             i += 1;
         }
     }
@@ -374,13 +395,16 @@ fn parse_bound(text: &str) -> Result<Option<Bound>, String> {
     if text.is_empty() {
         return Ok(None);
     }
-    let inclusive = match text.as_bytes()[0] {
-        b'i' => true,
-        b'x' => false,
-        other => return Err(format!("bad bound flag {:?}", other as char)),
+    let (flag, rest) = text
+        .split_at_checked(1)
+        .ok_or_else(|| format!("bad bound flag in {text:?}"))?;
+    let inclusive = match flag {
+        "i" => true,
+        "x" => false,
+        other => return Err(format!("bad bound flag {other:?}")),
     };
     Ok(Some(Bound {
-        value: parse_value(&text[1..])?,
+        value: parse_value(rest)?,
         inclusive,
     }))
 }
@@ -616,6 +640,7 @@ impl RemoteWrapper {
     fn fetch_all(&self, request: &ScanRequest) -> Result<Vec<Tuple>, WrapperError> {
         let mut rows = Vec::new();
         let mut page = 0u64;
+        // analyze: allow(deadline, every page fetch below is bounded by the retry policy's attempt budget and deadline)
         loop {
             let params = render_params(request, page, self.endpoint.page_rows);
             let fetched = fetch_page_with_retry(

@@ -1,0 +1,20 @@
+// Deliberately bad: registered functions whose loops never consult a
+// deadline or cancellation signal — a stalled source hangs them forever.
+
+fn next_batch(&mut self) -> Option<Batch> {
+    loop {
+        match self.source.pull() {
+            Some(batch) => return Some(batch),
+            None => continue,
+        }
+    }
+}
+
+fn run(self) {
+    let mut page = 0;
+    while page < self.pages {
+        let fetched = self.endpoint.fetch(page);
+        self.buffer.push(fetched);
+        page += 1;
+    }
+}

@@ -1,0 +1,37 @@
+// Clean twin of deadline_bad.rs: every loop either consults the deadline,
+// waits with a timeout, or sends into a bounded channel (so a hung-up
+// consumer cancels the producer).
+
+fn next_batch(&mut self) -> Result<Option<Batch>, PlanError> {
+    loop {
+        if self.policy.deadline_passed() {
+            return Err(PlanError::DeadlineExceeded);
+        }
+        match self.source.pull() {
+            Some(batch) => return Ok(Some(batch)),
+            None => continue,
+        }
+    }
+}
+
+fn run(self, tx: SyncSender<Page>) {
+    let mut page = 0;
+    loop {
+        let fetched = self.endpoint.fetch(page);
+        if tx.send(fetched).is_err() {
+            return; // consumer hung up
+        }
+        page += 1;
+    }
+}
+
+fn fetch_all(&self) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // analyze: allow(deadline, each page fetch is bounded by the per-attempt timeout budget)
+    loop {
+        match self.rx.recv_timeout(self.budget) {
+            Ok(row) => rows.push(row),
+            Err(_) => return rows,
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Deliberately bad: a scan issued under a live cache guard (rule 1) and a
+// stats lock taken while a store guard is live (rule 2).
+
+impl Ctx {
+    fn scan_under_guard(&self, source: &dyn PlanSource) -> Result<Batch, PlanError> {
+        let mut scans = self.scans.lock().expect("scan cache poisoned");
+        // The guard is still live here: every page fetch of this scan
+        // convoys every other query behind the cache mutex.
+        let batch = source.scan_batches("w", &self.request)?;
+        scans.insert(batch.clone());
+        Ok(batch)
+    }
+
+    fn stats_under_store(&self) {
+        let rows = self.rows.write();
+        // Inverted order: the workspace contract is stats first.
+        let mut stats = self.stats.lock();
+        stats.observe_all(&rows);
+    }
+}

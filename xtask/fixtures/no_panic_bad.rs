@@ -1,0 +1,12 @@
+// Deliberately bad: every no_panic violation kind, outside cfg(test).
+// The self-test asserts the lint flags all of them.
+
+fn serve_request(input: Option<&str>, buf: &[u8], rows: Vec<u32>) -> u32 {
+    let text = input.unwrap();
+    let parsed: u32 = text.parse().expect("always a number");
+    if parsed > 100 {
+        panic!("too big");
+    }
+    let head = &buf[..4];
+    rows[0] + head.len() as u32
+}

@@ -1,0 +1,22 @@
+// Clean twin of no_panic_bad.rs: every failure handled, every bound
+// checked through a non-panicking API. The self-test asserts zero
+// diagnostics.
+
+fn serve_request(input: Option<&str>, buf: &[u8], rows: &[u32]) -> Option<u32> {
+    let text = input?;
+    let parsed: u32 = text.parse().ok()?;
+    if parsed > 100 {
+        return None;
+    }
+    let head = buf.get(..4)?;
+    let first = rows.first().copied().unwrap_or(0);
+    Some(first + head.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::serve_request(Some("3"), &[1, 2, 3, 4], &[5]).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture ExecOptions: two plan-shaping fields, three runtime knobs.
+
+pub struct ExecOptions {
+    /// Which engine runs the plan — shapes compilation.
+    pub engine: Engine,
+    /// Cost-based join ordering — shapes the compiled join tree.
+    pub cost_based_joins: bool,
+    /// Per-query deadline — runtime-only.
+    pub deadline: Option<Duration>,
+    /// Row limit — runtime-only.
+    pub max_rows: Option<usize>,
+    #[allow(dead_code)]
+    pub scan_cache: ScanCache,
+}

@@ -1,0 +1,17 @@
+// Fixture cache-key construction, broken two ways: `engine` is normalized
+// out without an allow-list entry (queries on different engines would
+// share one compiled plan), and `cost_based_joins` reaches the key via
+// the spread without being named anywhere — an unclassified field.
+
+impl System {
+    fn serve(&self, options: &ExecOptions) -> Key {
+        let key_options = ExecOptions {
+            engine: Engine::Streaming,
+            deadline: None,
+            max_rows: None,
+            scan_cache: ScanCache::Auto,
+            ..options.clone()
+        };
+        self.key_of(key_options)
+    }
+}

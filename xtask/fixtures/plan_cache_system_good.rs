@@ -1,0 +1,17 @@
+// Fixture cache-key construction: runtime knobs pinned to constants,
+// plan-shaping fields flowing through the spread.
+
+impl System {
+    fn serve(&self, options: &ExecOptions) -> Key {
+        // Normalize the key to the plan-shaping options. In-key (via the
+        // spread): `engine` and `cost_based_joins` — both shape the
+        // compiled plan. Everything pinned below is runtime-only.
+        let key_options = ExecOptions {
+            deadline: None,
+            max_rows: None,
+            scan_cache: ScanCache::Auto,
+            ..options.clone()
+        };
+        self.key_of(key_options)
+    }
+}

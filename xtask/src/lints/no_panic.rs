@@ -1,0 +1,127 @@
+//! `no_panic`: serving-path files must not be able to take a thread down.
+//! `unwrap()`, `expect()`, `panic!`, and `[idx]`-indexing (including range
+//! slicing — both panic on out-of-bounds) are banned outside `#[cfg(test)]`
+//! in `crates/server/src/*` and `crates/wrappers/src/remote.rs`. A
+//! genuinely-unreachable site carries
+//! `// analyze: allow(no_panic, <reason>)` instead, which the driver
+//! counts and reports.
+
+use super::{Diagnostic, NO_PANIC};
+use crate::lexer::{Kind, Lexed};
+use crate::walker::{cfg_test_spans, in_spans};
+
+/// Idents that read as keywords on the left of `[`: a bracket after one of
+/// these opens an array/slice *pattern or literal*, never an index.
+const NON_INDEX_PREV: &[&str] = &[
+    "let", "in", "return", "break", "mut", "ref", "move", "if", "else", "match", "while", "loop",
+    "for", "as", "dyn", "where", "const", "static", "use", "pub", "fn", "impl", "struct", "enum",
+    "trait", "type", "mod", "crate", "super", "yield", "box", "unsafe", "async", "await",
+];
+
+/// Method names that panic on `Err`/`None`.
+const PANICKY_CALLS: &[&str] = &["unwrap", "expect"];
+
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let test_spans = cfg_test_spans(tokens);
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_spans(&test_spans, i) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — method position only, so locals named
+        // `unwrap` or struct fields can't false-positive.
+        if tok.kind == Kind::Ident
+            && PANICKY_CALLS.contains(&tok.text.as_str())
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Diagnostic::new(
+                file,
+                tok.line,
+                NO_PANIC,
+                format!(
+                    ".{}() can panic a serving thread; handle the failure (or escape with a reason)",
+                    tok.text
+                ),
+            ));
+        }
+        // `panic!(`, `todo!(`, `unimplemented!(`.
+        if tok.kind == Kind::Ident
+            && matches!(tok.text.as_str(), "panic" | "todo" | "unimplemented")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            out.push(Diagnostic::new(
+                file,
+                tok.line,
+                NO_PANIC,
+                format!("{}! is banned on serving paths", tok.text),
+            ));
+        }
+        // Indexing/slicing: `expr[...]` — the previous significant token is
+        // a value (ident, `)`, `]`, or a literal). Brackets after keywords,
+        // punctuation (`= [..]`, `#[..]`, `![..]`) or nothing are
+        // array/slice literals, patterns, attributes or types.
+        if tok.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let value_prev = match prev.kind {
+                Kind::Ident => !NON_INDEX_PREV.contains(&prev.text.as_str()),
+                Kind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                Kind::Literal | Kind::Number => true,
+                Kind::Lifetime => false,
+            };
+            if value_prev {
+                out.push(Diagnostic::new(
+                    file,
+                    tok.line,
+                    NO_PANIC,
+                    "indexing/slicing panics out of bounds; use .get()/.split_at_checked() \
+                     (or escape with a reason)",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const GOOD: &str = include_str!("../../fixtures/no_panic_good.rs");
+    const BAD: &str = include_str!("../../fixtures/no_panic_bad.rs");
+
+    #[test]
+    fn bad_fixture_is_flagged() {
+        let diags = check("fixture", &lex(BAD));
+        // One per violation kind: unwrap, expect, panic!, indexing, slicing.
+        assert!(diags.len() >= 5, "got {diags:?}");
+        assert!(diags.iter().all(|d| d.lint == NO_PANIC));
+    }
+
+    #[test]
+    fn good_fixture_is_clean() {
+        let diags = check("fixture", &lex(GOOD));
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); v[0]; panic!(\"boom\"); }\n}\nfn live() { safe(); }";
+        assert!(check("f", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn array_literals_and_patterns_are_not_indexing() {
+        let src = "fn f() { let a = [0u8; 4]; let [x, y] = pair; g(&a, x, y); }\n#[derive(Debug)]\nstruct S;";
+        assert!(check("f", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|e| e.into_inner()); c.expect_err; }";
+        assert!(check("f", &lex(src)).is_empty());
+    }
+}

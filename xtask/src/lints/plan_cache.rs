@@ -1,0 +1,258 @@
+//! `plan_cache_key`: every field of `ExecOptions` must be *classified*
+//! with respect to the plan-cache key — the PR 8 `max_rows` bug class
+//! (a runtime knob landing in, or silently vanishing from, the cache key)
+//! caught by machine instead of reviewer memory.
+//!
+//! The cache-key construction is the `let key_options = ExecOptions { … }`
+//! literal in `system.rs`: fields assigned there are **normalized out**
+//! (pinned to constants so queries differing only in them share a plan);
+//! fields reaching the key through the `..options.clone()` spread are
+//! **in-key** (they shape the compiled plan). The contract:
+//!
+//! 1. every normalized-out field is listed in
+//!    `analysis/normalized_out.txt` with a reason — removing a listed
+//!    field (or normalizing a new one without listing it) fails;
+//! 2. every allow-list entry names a real, actually-normalized field —
+//!    stale entries fail;
+//! 3. every in-key field is named somewhere in the enclosing function
+//!    (code or comments) — adding an `ExecOptions` field without deciding
+//!    its key classification fails.
+
+use super::{Diagnostic, PLAN_CACHE_KEY};
+use crate::lexer::{Kind, Lexed};
+use crate::walker::{enclosing_fn, functions, struct_fields, struct_literal_bound_to};
+
+/// The three inputs, pre-lexed, with their display paths.
+pub struct Inputs<'a> {
+    pub exec_path: &'a str,
+    pub exec: &'a Lexed,
+    pub system_path: &'a str,
+    pub system: &'a Lexed,
+    pub allowlist_path: &'a str,
+    pub allowlist: &'a str,
+}
+
+/// One parsed allow-list entry.
+struct Entry {
+    line: u32,
+    name: String,
+    reason: String,
+}
+
+fn parse_allowlist(src: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, reason) = match line.split_once(':') {
+            Some((name, reason)) => (name.trim(), reason.trim()),
+            None => (line, ""),
+        };
+        out.push(Entry {
+            line: (i + 1) as u32,
+            name: name.to_owned(),
+            reason: reason.to_owned(),
+        });
+    }
+    out
+}
+
+pub fn check(inputs: &Inputs<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(fields) = struct_fields(&inputs.exec.tokens, "ExecOptions") else {
+        out.push(Diagnostic::new(
+            inputs.exec_path,
+            1,
+            PLAN_CACHE_KEY,
+            "struct ExecOptions not found — the lint's anchor moved; update xtask",
+        ));
+        return out;
+    };
+    let Some(literal) =
+        struct_literal_bound_to(&inputs.system.tokens, "key_options", "ExecOptions")
+    else {
+        out.push(Diagnostic::new(
+            inputs.system_path,
+            1,
+            PLAN_CACHE_KEY,
+            "cache-key construction `let key_options = ExecOptions { … }` not found — \
+             the lint's anchor moved; update xtask",
+        ));
+        return out;
+    };
+    let entries = parse_allowlist(inputs.allowlist);
+
+    for entry in &entries {
+        if entry.reason.is_empty() {
+            out.push(Diagnostic::new(
+                inputs.allowlist_path,
+                entry.line,
+                PLAN_CACHE_KEY,
+                format!(
+                    "allow-list entry `{}` has no reason; write `{}: <why it is runtime-only>`",
+                    entry.name, entry.name
+                ),
+            ));
+        }
+        if !fields.contains(&entry.name) {
+            out.push(Diagnostic::new(
+                inputs.allowlist_path,
+                entry.line,
+                PLAN_CACHE_KEY,
+                format!(
+                    "allow-list entry `{}` is not a field of ExecOptions (renamed or removed?)",
+                    entry.name
+                ),
+            ));
+        } else if !literal.fields.contains(&entry.name) {
+            out.push(Diagnostic::new(
+                inputs.allowlist_path,
+                entry.line,
+                PLAN_CACHE_KEY,
+                format!(
+                    "allow-list entry `{}` is not normalized out in the key_options literal — \
+                     stale entry, or the normalization was dropped without updating the list",
+                    entry.name
+                ),
+            ));
+        }
+    }
+
+    // Fields assigned in the literal must be allow-listed: the exact
+    // PR 8 bug class (normalizing a knob out of the key without a
+    // recorded decision).
+    for field in &literal.fields {
+        if !fields.contains(field) {
+            out.push(Diagnostic::new(
+                inputs.system_path,
+                literal.line,
+                PLAN_CACHE_KEY,
+                format!("key_options assigns `{field}`, which is not a field of ExecOptions"),
+            ));
+            continue;
+        }
+        if !entries.iter().any(|e| &e.name == field) {
+            out.push(Diagnostic::new(
+                inputs.system_path,
+                literal.line,
+                PLAN_CACHE_KEY,
+                format!(
+                    "`{field}` is normalized out of the plan-cache key but missing from the \
+                     normalized-out allow-list — add `{field}: <reason>` to record the decision"
+                ),
+            ));
+        }
+    }
+
+    // In-key fields (reaching the key via the spread) must be named in the
+    // enclosing function — code or comment — so a new field cannot slide
+    // into the key unclassified.
+    let fns = functions(&inputs.system.tokens);
+    let scope = enclosing_fn(&fns, literal.at);
+    for field in &fields {
+        if literal.fields.contains(field) {
+            continue;
+        }
+        if !literal.has_spread {
+            out.push(Diagnostic::new(
+                inputs.system_path,
+                literal.line,
+                PLAN_CACHE_KEY,
+                format!("key_options has no `..` spread yet does not assign `{field}`"),
+            ));
+            continue;
+        }
+        let mentioned = match scope {
+            Some(f) => {
+                let in_tokens = inputs.system.tokens[f.open..=f.close]
+                    .iter()
+                    .any(|t| t.kind == Kind::Ident && &t.text == field);
+                let in_comments = inputs.system.comments.iter().any(|c| {
+                    c.line >= f.start_line && c.line <= f.end_line && c.text.contains(field)
+                });
+                in_tokens || in_comments
+            }
+            None => false,
+        };
+        if !mentioned {
+            out.push(Diagnostic::new(
+                inputs.exec_path,
+                1,
+                PLAN_CACHE_KEY,
+                format!(
+                    "ExecOptions field `{field}` is unclassified: it flows into the plan-cache \
+                     key via the spread but is never mentioned in the key construction — either \
+                     normalize it out (assign it in key_options and add it to the allow-list) \
+                     or name it as in-key in the normalization comment"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const EXEC: &str = include_str!("../../fixtures/plan_cache_exec.rs");
+    const SYSTEM_GOOD: &str = include_str!("../../fixtures/plan_cache_system_good.rs");
+    const SYSTEM_BAD: &str = include_str!("../../fixtures/plan_cache_system_bad.rs");
+    const ALLOW_GOOD: &str = include_str!("../../fixtures/plan_cache_normalized_out_good.txt");
+    const ALLOW_BAD: &str = include_str!("../../fixtures/plan_cache_normalized_out_bad.txt");
+
+    fn run(system: &str, allowlist: &str) -> Vec<Diagnostic> {
+        let exec = lex(EXEC);
+        let system = lex(system);
+        check(&Inputs {
+            exec_path: "exec.rs",
+            exec: &exec,
+            system_path: "system.rs",
+            system: &system,
+            allowlist_path: "normalized_out.txt",
+            allowlist,
+        })
+    }
+
+    #[test]
+    fn good_inputs_are_clean() {
+        let diags = run(SYSTEM_GOOD, ALLOW_GOOD);
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn bad_inputs_are_flagged() {
+        let diags = run(SYSTEM_BAD, ALLOW_GOOD);
+        assert!(!diags.is_empty(), "bad system.rs must be flagged");
+        assert!(diags.iter().all(|d| d.lint == PLAN_CACHE_KEY));
+    }
+
+    #[test]
+    fn delisting_a_normalized_field_fails() {
+        // ALLOW_BAD drops `max_rows` (still normalized in the literal) and
+        // lists a field that no longer exists — both must be flagged.
+        let diags = run(SYSTEM_GOOD, ALLOW_BAD);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("max_rows") && d.message.contains("missing from the")),
+            "got {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("not a field")),
+            "got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn reasons_are_required() {
+        let diags = run(SYSTEM_GOOD, "max_rows\ndeadline: runtime-only\n");
+        assert!(
+            diags.iter().any(|d| d.message.contains("no reason")),
+            "got {diags:?}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! CLI entry: `cargo xtask analyze [--json] [--self-test]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: cargo xtask analyze [--json] [--self-test]");
+        return ExitCode::from(2);
+    };
+    if command != "analyze" {
+        eprintln!("unknown command `{command}`; the only command is `analyze`");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    let mut self_test = false;
+    for flag in &args[1..] {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--self-test" => self_test = true,
+            other => {
+                eprintln!("unknown flag `{other}`; supported: --json, --self-test");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        let failures = xtask::driver::self_test();
+        if failures.is_empty() {
+            println!("analyze --self-test: ok — every lint flags its bad fixture");
+            return ExitCode::SUCCESS;
+        }
+        for failure in &failures {
+            eprintln!("self-test failure: {failure}");
+        }
+        return ExitCode::from(2);
+    }
+
+    // The xtask binary runs from anywhere in the workspace; anchor on the
+    // manifest dir so paths in diagnostics are repo-relative.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let report = xtask::driver::analyze(&root);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
