@@ -25,6 +25,7 @@
 //! ```
 
 pub mod align;
+pub mod durable;
 pub mod exec;
 pub mod omq;
 pub mod ontology;
@@ -39,6 +40,7 @@ pub mod validate;
 pub mod vocab;
 pub mod wellformed;
 
+pub use durable::{DurabilityStats, DurableError, DurableSystem, RecoveryInfo};
 pub use exec::{Engine, ExecError, ExecOptions, FeatureFilter, QueryAnswer};
 pub use omq::{Omq, OmqError};
 pub use ontology::{BdiOntology, OntologyError};

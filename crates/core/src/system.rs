@@ -639,6 +639,16 @@ impl BdiSystem {
         Self::default()
     }
 
+    /// Opens (or cold-starts) a *durable* deployment persisted at `dir` —
+    /// a convenience for [`crate::durable::DurableSystem::open`], which
+    /// recovers the snapshot image, replays the WAL and restores every
+    /// cache-validity counter bit-exact.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<crate::durable::DurableSystem, crate::durable::DurableError> {
+        crate::durable::DurableSystem::open(dir)
+    }
+
     /// Builds from an existing ontology and registry. Wrappers already in
     /// the registry are entered into the release log in name order.
     pub fn from_parts(ontology: BdiOntology, registry: WrapperRegistry) -> Self {

@@ -114,6 +114,33 @@ impl DocStore {
         self.version.fetch_add(1, Ordering::Release);
     }
 
+    /// Every collection's data-generation counter, keyed by name — the
+    /// persistence image of the fine-grained cache stamps.
+    pub fn collection_versions(&self) -> BTreeMap<String, u64> {
+        self.collections
+            .read()
+            .iter()
+            .map(|(name, coll)| (name.clone(), coll.version))
+            .collect()
+    }
+
+    /// Overwrites one collection's data-generation counter — recovery
+    /// only. Creates the collection (empty) if absent, so a restored
+    /// counter is never silently attached to nothing. Without this, a
+    /// rebooted store would restart every counter near 0 and a scan cached
+    /// before the restart could validate against different post-restart
+    /// contents.
+    pub fn restore_collection_version(&self, collection: &str, version: u64) {
+        let mut guard = self.collections.write();
+        guard.entry(collection.to_owned()).or_default().version = version;
+    }
+
+    /// Overwrites the store-wide data-generation counter — recovery only
+    /// (see [`DocStore::restore_collection_version`]).
+    pub fn restore_data_version(&self, version: u64) {
+        self.version.store(version, Ordering::Release);
+    }
+
     /// Inserts a document, creating the collection if needed.
     pub fn insert(&self, collection: &str, doc: Value) -> Result<(), StoreError> {
         let mut guard = self.collections.write();

@@ -245,4 +245,12 @@ pub mod client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         Ok((status, parsed))
     }
+
+    /// `POST /checkpoint`; returns `(status, parsed body)`.
+    pub fn post_checkpoint(addr: &str) -> io::Result<(u16, Value)> {
+        let (status, text) = request(addr, "POST", "/checkpoint", None)?;
+        let parsed = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((status, parsed))
+    }
 }

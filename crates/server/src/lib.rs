@@ -21,12 +21,16 @@
 //!   `"scope"`, `"deadline_ms"`, `"max_rows"`, `"on_source_failure"`.
 //!   Answers `{"columns", "rows", "row_count", "truncated", "walks",
 //!   "plan_notes", "source_failures"}`.
-//! * `GET /stats` — plan-cache, context-pool, planner and retry counters.
+//! * `GET /stats` — plan-cache, context-pool, planner and retry counters
+//!   (plus a `durability` section when serving a durable backend).
+//! * `POST /checkpoint` — snapshots a durable backend's deployment image
+//!   and truncates its WAL; 404 on a volatile backend.
 //!
 //! Status mapping: 400 for malformed bodies and ill-posed queries, 404/405
 //! for unknown routes, 504 when a per-request deadline expires, 500 for
 //! internal execution errors.
 
+use bdi_core::durable::DurableSystem;
 use bdi_core::system::BdiSystem;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,6 +46,37 @@ pub mod ops;
 /// How long a connection thread blocks on a read before re-checking the
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
+
+/// What the server serves from: a volatile in-memory system, or a durable
+/// deployment whose mutations and checkpoints persist under a data
+/// directory (`--data-dir`). The durable variant adds the
+/// `POST /checkpoint` admin endpoint, a `durability` section to
+/// `GET /stats`, and a best-effort checkpoint on graceful shutdown.
+#[derive(Clone)]
+pub enum Backend {
+    /// A volatile system (the pre-durability default).
+    Plain(Arc<BdiSystem>),
+    /// A durable deployment (see [`DurableSystem`]).
+    Durable(Arc<DurableSystem>),
+}
+
+impl Backend {
+    /// The query-serving system, whichever variant holds it.
+    pub fn system(&self) -> &BdiSystem {
+        match self {
+            Backend::Plain(system) => system,
+            Backend::Durable(durable) => durable.system(),
+        }
+    }
+
+    /// The durable deployment, when this backend has one.
+    pub fn durable(&self) -> Option<&DurableSystem> {
+        match self {
+            Backend::Plain(_) => None,
+            Backend::Durable(durable) => Some(durable),
+        }
+    }
+}
 
 /// Server-side knobs applied to every request.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +96,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    backend: Backend,
 }
 
 impl ServerHandle {
@@ -80,6 +116,13 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+            // Graceful shutdown of a durable backend checkpoints it, so the
+            // next boot recovers from the image instead of a long replay.
+            // Best-effort: a failed checkpoint only costs replay time —
+            // every acknowledged mutation is already in the WAL.
+            if let Some(durable) = self.backend.durable() {
+                let _ = durable.checkpoint();
+            }
         }
     }
 }
@@ -102,23 +145,45 @@ pub fn start_with(
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    start_backend(Backend::Plain(system), addr, config)
+}
+
+/// Starts the server over a durable deployment: queries serve from the
+/// recovered system, `POST /checkpoint` snapshots it, and graceful
+/// shutdown checkpoints best-effort.
+pub fn start_durable(
+    durable: Arc<DurableSystem>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    start_backend(Backend::Durable(durable), addr, config)
+}
+
+/// Starts the server over an explicit [`Backend`].
+pub fn start_backend(
+    backend: Backend,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept = {
         let stop = stop.clone();
-        std::thread::spawn(move || accept_loop(listener, system, config, stop))
+        let backend = backend.clone();
+        std::thread::spawn(move || accept_loop(listener, backend, config, stop))
     };
     Ok(ServerHandle {
         addr,
         stop,
         accept: Some(accept),
+        backend,
     })
 }
 
 fn accept_loop(
     listener: TcpListener,
-    system: Arc<BdiSystem>,
+    backend: Backend,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
 ) {
@@ -129,11 +194,11 @@ fn accept_loop(
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
-                let system = system.clone();
+                let backend = backend.clone();
                 let config = config.clone();
                 let stop = stop.clone();
                 let handle = std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &system, &config, &stop);
+                    let _ = serve_connection(stream, &backend, &config, &stop);
                 });
                 // A worker thread that panicked mid-push must not take the
                 // accept loop down with it.
@@ -164,13 +229,13 @@ fn accept_loop(
 /// error occurs, or shutdown is requested.
 fn serve_connection(
     mut stream: TcpStream,
-    system: &BdiSystem,
+    backend: &Backend,
     config: &ServerConfig,
     stop: &AtomicBool,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_POLL))?;
     while let Some(request) = http::read_request(&mut stream, stop)? {
-        let (status, body) = route(system, config, &request);
+        let (status, body) = route(backend, config, &request);
         let keep_alive = request.keep_alive && !stop.load(Ordering::Acquire);
         http::write_response(&mut stream, status, &body, keep_alive)?;
         if !keep_alive {
@@ -181,11 +246,12 @@ fn serve_connection(
 }
 
 /// Dispatches one parsed request to its op.
-fn route(system: &BdiSystem, config: &ServerConfig, request: &http::Request) -> (u16, String) {
+fn route(backend: &Backend, config: &ServerConfig, request: &http::Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/query") => ops::query(system, config, &request.body),
-        ("GET", "/stats") => (200, monitoring::stats(system)),
-        (_, "/query") | (_, "/stats") => (
+        ("POST", "/query") => ops::query(backend.system(), config, &request.body),
+        ("GET", "/stats") => (200, monitoring::stats(backend)),
+        ("POST", "/checkpoint") => ops::checkpoint(backend),
+        (_, "/query") | (_, "/stats") | (_, "/checkpoint") => (
             405,
             serde_json::json!({"error": "method not allowed"}).to_string(),
         ),

@@ -2,16 +2,31 @@
 //! exposes, one JSON document. What an ops dashboard (or the CI smoke job)
 //! scrapes.
 
-use bdi_core::system::BdiSystem;
+use crate::Backend;
 use serde_json::json;
 
 /// Renders the stats document.
-pub fn stats(system: &BdiSystem) -> String {
+pub fn stats(backend: &Backend) -> String {
+    let system = backend.system();
     let plan_cache = system.plan_cache_stats();
     let contexts = system.context_stats();
     let planner = system.planner_stats();
     let retries = system.retry_stats();
-    json!({
+    let durability = backend.durable().map(|durable| {
+        let stats = durable.durability_stats();
+        let recovery = durable.recovery();
+        json!({
+            "last_seq": (stats.last_seq),
+            "records_appended": (stats.wal.records_appended),
+            "bytes_appended": (stats.wal.bytes_appended),
+            "fsyncs": (stats.wal.fsyncs),
+            "checkpoints": (stats.checkpoints),
+            "poisoned": (stats.poisoned),
+            "recovered_snapshot": (recovery.snapshot_loaded),
+            "recovered_replayed": (recovery.replayed),
+        })
+    });
+    let mut doc = json!({
         "plan_cache": {
             "entries": (plan_cache.entries),
             "hits": (plan_cache.hits),
@@ -38,6 +53,9 @@ pub fn stats(system: &BdiSystem) -> String {
             "permanent_failures": (retries.permanent_failures),
             "timeouts": (retries.timeouts),
         },
-    })
-    .to_string()
+    });
+    if let (Some(section), Some(obj)) = (durability, doc.as_object_mut()) {
+        obj.insert("durability".to_owned(), section);
+    }
+    doc.to_string()
 }

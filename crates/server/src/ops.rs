@@ -267,3 +267,21 @@ fn render_value(value: &RelValue) -> Value {
         RelValue::Str(s) => Value::from(s.as_str()),
     }
 }
+
+/// Executes `POST /checkpoint`: snapshots a durable backend's deployment
+/// image and truncates its WAL. 404 on a volatile backend (there is
+/// nothing to persist to), 500 when the checkpoint itself fails (which
+/// also poisons the backend's write path — see
+/// `bdi_core::durable::DurableError::Poisoned`).
+pub fn checkpoint(backend: &crate::Backend) -> (u16, String) {
+    match backend.durable() {
+        None => (
+            404,
+            json!({"error": "no durable backend; start the server with --data-dir"}).to_string(),
+        ),
+        Some(durable) => match durable.checkpoint() {
+            Ok(seq) => (200, json!({"checkpointed_seq": (seq)}).to_string()),
+            Err(error) => (500, json!({"error": (error.to_string())}).to_string()),
+        },
+    }
+}

@@ -86,7 +86,11 @@ impl WrapperSpec {
     }
 }
 
-fn json_to_value(v: &serde_json::Value) -> Value {
+/// Decodes a JSON value into a relational [`Value`] — the inverse of
+/// [`value_to_json`] (lossy only for JSON arrays/objects, which become
+/// their string rendering). Public because the durability layer encodes
+/// journaled table rows through the same JSON mapping the specs use.
+pub fn json_to_value(v: &serde_json::Value) -> Value {
     match v {
         serde_json::Value::Null => Value::Null,
         serde_json::Value::Bool(b) => Value::Bool(*b),
@@ -99,7 +103,8 @@ fn json_to_value(v: &serde_json::Value) -> Value {
     }
 }
 
-fn value_to_json(v: &Value) -> serde_json::Value {
+/// Encodes a relational [`Value`] as JSON — see [`json_to_value`].
+pub fn value_to_json(v: &Value) -> serde_json::Value {
     match v {
         Value::Null => serde_json::Value::Null,
         Value::Bool(b) => serde_json::Value::Bool(*b),

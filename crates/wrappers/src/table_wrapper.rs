@@ -143,6 +143,19 @@ impl TableWrapper {
         self.version.fetch_add(1, Ordering::Release);
         Ok(())
     }
+
+    /// Overwrites the data-version stamp — recovery only. Replayed pushes
+    /// bump normally, so a recovered wrapper whose counter starts from the
+    /// persisted value ends at exactly the pre-crash stamp; without this a
+    /// rebooted wrapper restarts at 0 and a scan cached before the restart
+    /// could validate against different post-restart rows.
+    pub fn restore_data_version(&self, version: u64) {
+        let mut stats = self.stats.lock();
+        self.version.store(version, Ordering::Release);
+        // Invalidate the memoized sketch snapshot: it is keyed by version,
+        // and the restored value may collide with the stale key.
+        stats.cached = None;
+    }
 }
 
 impl Wrapper for TableWrapper {
@@ -284,6 +297,10 @@ impl Wrapper for TableWrapper {
 
     fn to_spec(&self) -> Option<crate::spec::WrapperSpec> {
         self.spec().ok()
+    }
+
+    fn as_table(&self) -> Option<&TableWrapper> {
+        Some(self)
     }
 }
 

@@ -268,6 +268,15 @@ pub trait Wrapper: Send + Sync {
     fn retry_stats(&self) -> Option<RetryStats> {
         None
     }
+
+    /// Downcast to [`crate::TableWrapper`], when that is what this is.
+    /// The durability layer journals table-row pushes and restores
+    /// data-version stamps, both of which are `TableWrapper`-specific
+    /// operations it must reach through a registry of `dyn Wrapper`.
+    /// `None` — the default — for every other wrapper kind.
+    fn as_table(&self) -> Option<&crate::TableWrapper> {
+        None
+    }
 }
 
 /// The probe-hash behind [`Wrapper::claims_fingerprint`]: every schema

@@ -1,18 +1,26 @@
 //! `serve` — the SUPERSEDE running example behind the HTTP front end.
 //!
 //! ```text
-//! cargo run --bin serve                      # bind 127.0.0.1:7687
+//! cargo run --bin serve                      # bind 127.0.0.1:7687, volatile
 //! cargo run --bin serve -- 127.0.0.1:8080    # bind elsewhere
+//! cargo run --bin serve -- --data-dir DIR    # durable: recover-or-seed DIR,
+//!                                            # journal writes, POST /checkpoint
 //! cargo run --bin serve -- --probe ADDR      # client mode: one query +
 //!                                            # one /stats scrape; exits
 //!                                            # non-zero on any non-2xx
+//! cargo run --bin serve -- --checkpoint ADDR # client mode: POST /checkpoint
 //! ```
 //!
-//! The probe mode is what the CI `serve-smoke` job drives a freshly
-//! started server with.
+//! With `--data-dir`, the first boot seeds the directory with the running
+//! example (initial snapshot image + empty WAL); every later boot recovers
+//! whatever the directory holds — snapshot, WAL replay, torn-tail
+//! amputation included. The probe mode is what the CI `serve-smoke` and
+//! `crash-smoke` jobs drive a freshly (re)started server with.
 
+use bdi::core::durable::DurableSystem;
 use bdi::core::supersede;
 use bdi_server::http::client;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -26,17 +34,65 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("--checkpoint") => match args.get(1) {
+            Some(addr) => checkpoint(addr),
+            None => {
+                eprintln!("usage: serve --checkpoint ADDR");
+                ExitCode::FAILURE
+            }
+        },
         Some("--help" | "-h") => {
-            println!("usage: serve [ADDR | --probe ADDR]");
+            println!("usage: serve [ADDR] [--data-dir DIR] | --probe ADDR | --checkpoint ADDR");
             ExitCode::SUCCESS
         }
-        addr => run_server(addr.unwrap_or("127.0.0.1:7687")),
+        _ => {
+            let mut addr = "127.0.0.1:7687".to_owned();
+            let mut data_dir: Option<String> = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--data-dir" {
+                    match iter.next() {
+                        Some(dir) => data_dir = Some(dir.clone()),
+                        None => {
+                            eprintln!("serve: --data-dir needs a directory");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    addr = arg.clone();
+                }
+            }
+            run_server(&addr, data_dir.as_deref())
+        }
     }
 }
 
-fn run_server(addr: &str) -> ExitCode {
-    let system = Arc::new(supersede::build_running_example());
-    let handle = match bdi_server::start(system, addr) {
+fn run_server(addr: &str, data_dir: Option<&str>) -> ExitCode {
+    let handle = match data_dir {
+        None => {
+            let system = Arc::new(supersede::build_running_example());
+            bdi_server::start(system, addr)
+        }
+        Some(dir) => match open_or_seed(dir) {
+            Ok(durable) => {
+                let recovery = durable.recovery();
+                println!(
+                    "data dir {dir}: snapshot={} replayed={} torn_tail={:?}",
+                    recovery.snapshot_loaded, recovery.replayed, recovery.wal_truncated_at
+                );
+                bdi_server::start_durable(
+                    Arc::new(durable),
+                    addr,
+                    bdi_server::ServerConfig::default(),
+                )
+            }
+            Err(e) => {
+                eprintln!("serve: cannot open data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let handle = match handle {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("serve: cannot bind {addr}: {e}");
@@ -44,9 +100,23 @@ fn run_server(addr: &str) -> ExitCode {
         }
     };
     println!("serving on http://{}", handle.addr());
-    println!("  POST /query   GET /stats");
+    println!("  POST /query   GET /stats   POST /checkpoint");
     loop {
         std::thread::park();
+    }
+}
+
+/// Recovers an initialised data directory, or seeds a fresh one with the
+/// running example so the very first boot already answers Table 2.
+fn open_or_seed(dir: &str) -> Result<DurableSystem, bdi::core::durable::DurableError> {
+    let dir_path = Path::new(dir);
+    if dir_path.join(bdi::core::durable::SNAPSHOT_FILE).exists()
+        || dir_path.join(bdi::core::durable::WAL_FILE).exists()
+    {
+        DurableSystem::open(dir)
+    } else {
+        let (system, store) = supersede::build_running_example_with_store();
+        DurableSystem::create(dir, system, store)
     }
 }
 
@@ -75,4 +145,20 @@ fn probe(addr: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn checkpoint(addr: &str) -> ExitCode {
+    let (status, body) = match client::post_checkpoint(addr) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("checkpoint: POST /checkpoint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("POST /checkpoint → {status}: {body}");
+    if (200..300).contains(&status) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,509 @@
+//! Crash-recovery matrix for the durable storage tier.
+//!
+//! Every cell runs the same scripted workload over a seeded deployment
+//! (the SUPERSEDE running example plus a durable table wrapper `w5`),
+//! kills it at a crash point — mid-record, mid-fsync, mid-snapshot-rename
+//! or between the WAL append and the in-memory apply — recovers with a
+//! clean filesystem, and checks the recovered state **differentially**
+//! against a reference deployment that applied exactly the acknowledged
+//! writes:
+//!
+//! * **no loss** — every acknowledged mutation survives recovery;
+//! * **no ghosts** — at most the single in-flight (journaled but
+//!   unacknowledged) mutation may additionally appear, never anything
+//!   the caller was told failed;
+//! * **no panic** — torn tails are amputated, not unwrapped;
+//! * **counters restored** — `mutation_count` / `data_version` /
+//!   `collection_version` come back bit-exact, so no pre-restart cache
+//!   stamp can validate against different post-restart contents.
+//!
+//! Crash points derive from `BDI_CRASH_SEED` (see
+//! [`bdi_durability::env_crash_seed`]); CI sweeps several seeds.
+
+use bdi::core::durable::{DurableError, DurableSystem};
+use bdi::core::supersede;
+use bdi::rdf::model::{GraphName, Iri, Literal, Quad};
+use bdi::relational::{Schema, Value};
+use bdi::wrappers::supersede::VOD_COLLECTION;
+use bdi::wrappers::TableWrapper;
+use bdi_durability::{env_crash_seed, CrashPlan, CrashyVfs, StdVfs};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Quad-store workload target: a dedicated named graph, so the matrix
+/// never mutates the ontology's own graphs.
+const TEST_GRAPH: &str = "http://example.org/crash/graph";
+/// Doc-store scratch collection (no wrapper reads it; content still
+/// fingerprinted via the store dump).
+const SCRATCH: &str = "crash/scratch";
+/// Ops per workload. Each op costs exactly one WAL fsync, which the
+/// fsync-fault mode relies on.
+const N_OPS: usize = 10;
+
+// ---------------------------------------------------------------------------
+// Deterministic seeding
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — enough PRNG to place crash points, no `rand` needed.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `1..=max`.
+    fn pick(&mut self, max: u64) -> u64 {
+        1 + self.next() % max.max(1)
+    }
+}
+
+fn cell_rng(tag: &str) -> SplitMix {
+    let seed = env_crash_seed(0xEDB7_2017);
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the cell tag
+    for b in tag.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SplitMix(seed ^ h)
+}
+
+// ---------------------------------------------------------------------------
+// Deployment + workload
+// ---------------------------------------------------------------------------
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bdi-crash-{}-{:?}-{tag}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_graph() -> GraphName {
+    GraphName::Named(Iri::new(TEST_GRAPH))
+}
+
+fn probe_quad(n: usize) -> Quad {
+    Quad::new(
+        Iri::new(format!("http://example.org/crash/s{n}")),
+        Iri::new("http://example.org/crash/p"),
+        Literal::integer(n as i64),
+        test_graph(),
+    )
+}
+
+/// The seeded deployment every cell starts from: the running example plus
+/// a durable table wrapper `w5` sharing `w1`'s LAV subgraph, so pushed
+/// rows surface in the exemplary query's answers.
+fn seed_deployment(dir: &PathBuf) -> DurableSystem {
+    let (system, store) = supersede::build_running_example_with_store();
+    let mut durable = DurableSystem::create(dir, system, store).expect("seed deployment");
+    let table = TableWrapper::new(
+        "w5",
+        "D1",
+        Schema::from_parts(&["VoDmonitorId"], &["lagRatio"]).expect("static schema"),
+        Vec::new(),
+    )
+    .expect("static wrapper");
+    durable
+        .register_release(supersede::release_w1(Arc::new(table)))
+        .expect("seed release");
+    durable
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StoreKind {
+    Quad,
+    Doc,
+    Table,
+}
+
+/// The scripted mutation at workload index `i` — deterministic, so the
+/// crashed run and the reference run perform bit-identical sequences.
+fn apply_op(d: &DurableSystem, kind: StoreKind, i: usize) -> Result<(), DurableError> {
+    match kind {
+        StoreKind::Quad => match i % 5 {
+            0 | 1 => d.insert_quad(&probe_quad(i)).map(|_| ()),
+            2 => d
+                .extend_quads(&[probe_quad(100 + i), probe_quad(200 + i)])
+                .map(|_| ()),
+            3 => d.remove_quad(&probe_quad(i - 2)).map(|_| ()),
+            _ => d.clear_graph(&test_graph()).map(|_| ()),
+        },
+        StoreKind::Doc => match i % 4 {
+            // Lands in `w1`'s collection: changes the exemplary answers.
+            0 => d.insert_doc(
+                VOD_COLLECTION,
+                json!({"monitorId": 12, "timestamp": (1_480_000_000 + i as i64), "waitTime": (i as i64 + 1), "watchTime": 10}),
+            ),
+            1 => d.insert_doc(SCRATCH, json!({"n": (i as i64)})),
+            2 => d
+                .insert_docs(
+                    SCRATCH,
+                    vec![json!({"n": (i as i64)}), json!({"n": (i as i64 + 1000)})],
+                )
+                .map(|_| ()),
+            _ => d.clear_collection(SCRATCH).map(|_| ()),
+        },
+        StoreKind::Table => d.push_row(
+            "w5",
+            vec![
+                Value::Int(if i.is_multiple_of(2) { 12 } else { 18 }),
+                Value::Float(i as f64 / 10.0),
+            ],
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential fingerprinting
+// ---------------------------------------------------------------------------
+
+/// Everything state-like, rendered comparably: exemplary answers, the
+/// test graph's quads, the whole document store, and every durability
+/// counter the cache-validity scheme hangs off.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    answers: Vec<String>,
+    quads: Vec<String>,
+    docs: String,
+    quad_mutations: u64,
+    doc_data_version: u64,
+    collection_versions: BTreeMap<String, u64>,
+    table_version: u64,
+}
+
+fn fingerprint(d: &DurableSystem) -> Fingerprint {
+    let answer = d
+        .answer(&supersede::exemplary_query())
+        .expect("exemplary query answers");
+    let mut answers: Vec<String> = answer
+        .relation
+        .rows()
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    answers.sort();
+    let store = d.system().ontology().store();
+    let mut quads: Vec<String> = store
+        .graph_quads(&test_graph())
+        .iter()
+        .map(|q| format!("{q:?}"))
+        .collect();
+    quads.sort();
+    Fingerprint {
+        answers,
+        quads,
+        docs: format!("{:?}", d.store().dump()),
+        quad_mutations: store.mutation_count(),
+        doc_data_version: d.store().data_version(),
+        collection_versions: d.store().collection_versions(),
+        table_version: d
+            .system()
+            .registry()
+            .get("w5")
+            .map(|w| w.data_version())
+            .unwrap_or(0),
+    }
+}
+
+/// The reference: a fresh deployment that applied exactly the first
+/// `count` ops, all acknowledged. What recovery must reproduce.
+fn reference(kind: StoreKind, count: usize, tag: &str) -> Fingerprint {
+    let dir = tmp_dir(&format!("ref-{tag}-{count}"));
+    let d = seed_deployment(&dir);
+    for i in 0..count {
+        apply_op(&d, kind, i).expect("reference ops all succeed");
+    }
+    let print = fingerprint(&d);
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+    print
+}
+
+// ---------------------------------------------------------------------------
+// The matrix
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum CrashMode {
+    /// Die after N payload bytes: the write crossing the boundary is torn.
+    MidRecord,
+    /// The Nth fsync fails (data reached the OS, never the platter).
+    MidFsync,
+    /// The snapshot's `snap.tmp → snapshot.json` rename fails.
+    MidRename,
+    /// The op is journaled + fsynced, then the process dies before the
+    /// in-memory apply (via the `#[doc(hidden)]` injection hook).
+    BetweenLogAndApply,
+}
+
+/// Runs the workload until the first error, returning how many ops were
+/// acknowledged. `checkpoint_at` inserts a mid-workload snapshot (the
+/// snapshot+replay recovery variant); its own failure is tolerated — the
+/// WAL already holds everything it would have covered.
+fn run_workload(d: &DurableSystem, kind: StoreKind, checkpoint_at: Option<usize>) -> usize {
+    let mut acked = 0;
+    for i in 0..N_OPS {
+        if checkpoint_at == Some(i) && d.checkpoint().is_err() {
+            break;
+        }
+        match apply_op(d, kind, i) {
+            Ok(()) => acked += 1,
+            Err(_) => break,
+        }
+    }
+    acked
+}
+
+/// One matrix cell: seed → crash → recover → differential check.
+fn run_cell(kind: StoreKind, mode: CrashMode, with_snapshot: bool) {
+    let tag = format!("{kind:?}-{mode:?}-snap{with_snapshot}");
+    let mut rng = cell_rng(&tag);
+    let checkpoint_at = with_snapshot.then_some(N_OPS / 2);
+
+    // Fault-free pass over a throwaway directory: learn the workload's
+    // byte volume so seeded crash points land inside it.
+    let measured_bytes = {
+        let dir = tmp_dir(&format!("measure-{tag}"));
+        seed_deployment(&dir);
+        let vfs = CrashyVfs::new(Arc::new(StdVfs), CrashPlan::default());
+        let d = DurableSystem::open_with(&dir, Arc::new(vfs.clone())).expect("measuring open");
+        let acked = run_workload(&d, kind, checkpoint_at);
+        assert_eq!(acked, N_OPS, "fault-free pass must ack everything");
+        drop(d);
+        let bytes = vfs.bytes_written();
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    };
+    assert!(measured_bytes > 0, "workload must write something");
+
+    // The crashing pass.
+    let dir = tmp_dir(&tag);
+    seed_deployment(&dir);
+    let plan = match mode {
+        CrashMode::MidRecord => CrashPlan {
+            kill_after_bytes: Some(rng.pick(measured_bytes)),
+            ..CrashPlan::default()
+        },
+        CrashMode::MidFsync => CrashPlan {
+            // One fsync per op (plus the optional checkpoint's own);
+            // drawing from 1..=N_OPS always hits the workload.
+            fail_fsync_at: Some(rng.pick(N_OPS as u64)),
+            ..CrashPlan::default()
+        },
+        CrashMode::MidRename => CrashPlan {
+            fail_rename_at: Some(1),
+            ..CrashPlan::default()
+        },
+        CrashMode::BetweenLogAndApply => CrashPlan::default(),
+    };
+    let vfs = CrashyVfs::new(Arc::new(StdVfs), plan);
+    let crashed = DurableSystem::open_with(&dir, Arc::new(vfs)).expect("pre-crash open");
+    if let CrashMode::BetweenLogAndApply = mode {
+        crashed.inject_crash_before_apply(rng.pick(N_OPS as u64));
+    }
+    let acked = run_workload(&crashed, kind, checkpoint_at);
+    let crashed_mid_op = acked < N_OPS;
+    drop(crashed);
+
+    // Recovery over a clean filesystem must not panic and must reproduce
+    // the acknowledged writes — at most the one in-flight op on top.
+    let recovered = DurableSystem::open(&dir).expect("recovery");
+    let got = fingerprint(&recovered);
+
+    if let CrashMode::BetweenLogAndApply = mode {
+        // The in-flight op was journaled + fsynced before the crash, so
+        // recovery must apply it: exactly acked + 1.
+        assert!(crashed_mid_op, "injection must fire inside the workload");
+        assert_eq!(
+            got,
+            reference(kind, acked + 1, &tag),
+            "journaled-but-unapplied op must replay ({tag})"
+        );
+    } else {
+        let want_acked = reference(kind, acked, &tag);
+        let matches_acked = got == want_acked;
+        let matches_in_flight = crashed_mid_op && got == reference(kind, acked + 1, &tag);
+        assert!(
+            matches_acked || matches_in_flight,
+            "{tag}: recovered state is neither the {acked} acknowledged ops \
+             nor those plus the in-flight op.\n got: {got:#?}\nwant: {want_acked:#?}"
+        );
+    }
+
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_matrix(kind: StoreKind) {
+    for mode in [
+        CrashMode::MidRecord,
+        CrashMode::MidFsync,
+        CrashMode::MidRename,
+        CrashMode::BetweenLogAndApply,
+    ] {
+        for with_snapshot in [false, true] {
+            run_cell(kind, mode, with_snapshot);
+        }
+    }
+}
+
+#[test]
+fn crash_matrix_quad_store() {
+    run_matrix(StoreKind::Quad);
+}
+
+#[test]
+fn crash_matrix_doc_store() {
+    run_matrix(StoreKind::Doc);
+}
+
+#[test]
+fn crash_matrix_table_store() {
+    run_matrix(StoreKind::Table);
+}
+
+// ---------------------------------------------------------------------------
+// Counter restoration (the cache-validity pin)
+// ---------------------------------------------------------------------------
+
+/// A reboot must restore every validity counter bit-exact and keep it
+/// monotonic: a stamp taken before the restart may never equal a stamp
+/// of *different* post-restart contents, so no pre-restart cached plan
+/// or scan can validate against the recovered stores.
+#[test]
+fn recovery_restores_counters_bit_exact_and_monotonic() {
+    let dir = tmp_dir("counters");
+    let before = {
+        let d = seed_deployment(&dir);
+        // Warm the caches the counters guard, then mutate every store.
+        d.answer(&supersede::exemplary_query()).expect("warm-up");
+        for kind in [StoreKind::Quad, StoreKind::Doc, StoreKind::Table] {
+            for i in 0..4 {
+                apply_op(&d, kind, i).expect("workload");
+            }
+        }
+        d.checkpoint().expect("checkpoint");
+        // One more unsnapshotted round, so recovery exercises replay too.
+        apply_op(&d, StoreKind::Doc, 0).expect("tail op");
+        fingerprint(&d)
+    };
+
+    let recovered = DurableSystem::open(&dir).expect("recovery");
+    let after = fingerprint(&recovered);
+    assert_eq!(after, before, "state and counters must round-trip");
+
+    // Strictly monotonic from the restored values: post-restart mutations
+    // can never reuse a pre-restart stamp for different contents.
+    // Index 5 inserts a quad the pre-restart workload never did — a
+    // duplicate insert would be a store no-op and bump nothing.
+    apply_op(&recovered, StoreKind::Quad, 5).expect("post-restart quad");
+    apply_op(&recovered, StoreKind::Doc, 1).expect("post-restart doc");
+    apply_op(&recovered, StoreKind::Table, 0).expect("post-restart push");
+    let bumped = fingerprint(&recovered);
+    assert!(bumped.quad_mutations > before.quad_mutations);
+    assert!(bumped.doc_data_version > before.doc_data_version);
+    assert!(bumped.table_version > before.table_version);
+
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail hardening
+// ---------------------------------------------------------------------------
+
+/// Arbitrary garbage appended to the log (a torn final record, a partial
+/// sector, line noise) must be amputated on open — never a panic, never
+/// a lost acknowledged record.
+#[test]
+fn garbage_wal_tail_is_truncated_not_panicked() {
+    let mut rng = cell_rng("garbage-tail");
+    for round in 0..4 {
+        let dir = tmp_dir(&format!("garbage-{round}"));
+        let acked = {
+            let d = seed_deployment(&dir);
+            for i in 0..4 {
+                apply_op(&d, StoreKind::Doc, i).expect("workload");
+            }
+            fingerprint(&d)
+        };
+
+        let wal = dir.join(bdi::core::durable::WAL_FILE);
+        let mut bytes = std::fs::read(&wal).expect("wal exists");
+        let garbage_len = (rng.pick(64)) as usize;
+        for _ in 0..garbage_len {
+            bytes.push((rng.next() & 0xFF) as u8);
+        }
+        std::fs::write(&wal, &bytes).expect("inject garbage");
+
+        let recovered = DurableSystem::open(&dir).expect("recovery must not panic");
+        assert!(
+            recovered.recovery().wal_truncated_at.is_some(),
+            "garbage tail must be detected and amputated"
+        );
+        assert_eq!(fingerprint(&recovered), acked, "acked writes survive");
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisoning
+// ---------------------------------------------------------------------------
+
+/// After a journal failure the handle must refuse further mutations (no
+/// acknowledged-but-unlogged writes) while reads keep serving, and a
+/// reopen recovers cleanly from whatever reached the disk.
+#[test]
+fn poisoned_handle_refuses_writes_but_serves_reads() {
+    let dir = tmp_dir("poison");
+    seed_deployment(&dir);
+    let vfs = CrashyVfs::new(
+        Arc::new(StdVfs),
+        CrashPlan {
+            fail_fsync_at: Some(2),
+            ..CrashPlan::default()
+        },
+    );
+    let d = DurableSystem::open_with(&dir, Arc::new(vfs)).expect("open");
+    assert!(apply_op(&d, StoreKind::Doc, 0).is_ok());
+    assert!(apply_op(&d, StoreKind::Doc, 1).is_err(), "fsync 2 fails");
+    // Poisoned: later mutations fail fast, including on other stores.
+    let err = apply_op(&d, StoreKind::Quad, 0).unwrap_err();
+    assert!(
+        matches!(err, DurableError::Poisoned(_)),
+        "expected poisoning, got {err:?}"
+    );
+    assert!(d.durability_stats().poisoned);
+    // Reads still serve: Table 2's three rows plus the one from the
+    // acknowledged VoD document.
+    assert_eq!(
+        d.answer(&supersede::exemplary_query())
+            .expect("reads survive poisoning")
+            .relation
+            .rows()
+            .len(),
+        4
+    );
+    drop(d);
+
+    let recovered = DurableSystem::open(&dir).expect("reopen");
+    assert!(!recovered.durability_stats().poisoned);
+    assert!(
+        apply_op(&recovered, StoreKind::Doc, 2).is_ok(),
+        "writable again"
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}

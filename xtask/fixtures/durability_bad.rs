@@ -1,0 +1,33 @@
+//! Bad fixture for the `durability` lint: `insert_quad` applies directly
+//! without journaling, `insert_doc` journals but *also* pokes the store
+//! itself, and `push_row` is missing entirely (dropped out of coverage).
+
+impl DurableSystem {
+    pub fn insert_quad(&self, quad: &Quad) -> Result<bool, DurableError> {
+        // No WAL append at all: an acknowledged write a crash forgets.
+        Ok(self.store().insert(quad))
+    }
+
+    pub fn insert_doc(&self, collection: &str, doc: Value) -> Result<(), DurableError> {
+        let op = Op::InsertDoc { c: collection.to_owned(), d: doc.clone() };
+        // Applies beside the funnel: the store mutates even if the
+        // journal append inside log_then_apply fails.
+        self.docs.insert(collection, doc)?;
+        self.log_then_apply(op).map(|_| ())
+    }
+
+    fn log_then_apply(&self, op: Op) -> Result<u64, DurableError> {
+        let mut journal = self.lock_journal();
+        let encoded = encode(&op)?;
+        journal.wal.append(op.store_id(), &encoded)?;
+        journal.wal.commit()?;
+        self.apply_op(&op)
+    }
+
+    fn apply_op(&self, op: &Op) -> Result<u64, DurableError> {
+        match op {
+            Op::InsertQuad { q } => Ok(u64::from(self.store().insert(&decode_quad(q)?))),
+            Op::InsertDoc { c, d } => self.docs.insert(c, d.clone()).map(|_| 1),
+        }
+    }
+}

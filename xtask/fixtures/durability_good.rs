@@ -1,0 +1,46 @@
+//! Good fixture for the `durability` lint: every registered entry point
+//! routes through the journaling funnel, nothing applies directly, and
+//! the funnel appends + commits before it applies.
+
+impl DurableSystem {
+    pub fn insert_quad(&self, quad: &Quad) -> Result<bool, DurableError> {
+        let op = Op::InsertQuad { q: encode_quad(quad) };
+        Ok(self.log_then_apply(op)? != 0)
+    }
+
+    pub fn insert_doc(&self, collection: &str, doc: Value) -> Result<(), DurableError> {
+        if !doc.is_object() {
+            return Err(StoreError::NotAnObject(doc.to_string()).into());
+        }
+        let op = Op::InsertDoc { c: collection.to_owned(), d: doc };
+        self.log_then_apply(op).map(|_| ())
+    }
+
+    pub fn push_row(&self, wrapper: &str, row: Vec<Value>) -> Result<(), DurableError> {
+        let table = self
+            .registry()
+            .get(wrapper)
+            .ok_or_else(|| DurableError::UnknownWrapper(wrapper.to_owned()))?;
+        let op = Op::PushRow {
+            w: wrapper.to_owned(),
+            r: row.iter().map(value_to_json).collect(),
+        };
+        self.log_then_apply(op).map(|_| ())
+    }
+
+    fn log_then_apply(&self, op: Op) -> Result<u64, DurableError> {
+        let mut journal = self.lock_journal();
+        let encoded = encode(&op)?;
+        journal.wal.append(op.store_id(), &encoded)?;
+        journal.wal.commit()?;
+        self.apply_op(&op)
+    }
+
+    fn apply_op(&self, op: &Op) -> Result<u64, DurableError> {
+        match op {
+            Op::InsertQuad { q } => Ok(u64::from(self.store().insert(&decode_quad(q)?))),
+            Op::InsertDoc { c, d } => self.docs.insert(c, d.clone()).map(|_| 1),
+            Op::PushRow { w, r } => self.table(w)?.push(r.iter().map(json_to_value).collect()),
+        }
+    }
+}

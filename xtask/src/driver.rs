@@ -3,7 +3,7 @@
 //! asserts every lint still flags its bad fixture.
 
 use crate::lexer::{self, Escape, Lexed};
-use crate::lints::{self, deadline, lock_hold, no_panic, plan_cache, Diagnostic};
+use crate::lints::{self, deadline, durability, lock_hold, no_panic, plan_cache, Diagnostic};
 use serde_json::json;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -39,6 +39,22 @@ const NO_PANIC_FILES: &[&str] = &["crates/wrappers/src/remote.rs"];
 const EXEC_RS: &str = "crates/core/src/exec.rs";
 const SYSTEM_RS: &str = "crates/core/src/system.rs";
 const NORMALIZED_OUT: &str = "analysis/normalized_out.txt";
+
+/// The durable tier, and the mutation entry points the `durability` lint
+/// holds to the WAL-append-before-apply contract. Adding a public
+/// mutation to `DurableSystem` means registering it here.
+const DURABLE_RS: &str = "crates/core/src/durable.rs";
+const DURABLE_ENTRY_POINTS: &[&str] = &[
+    "insert_quad",
+    "remove_quad",
+    "extend_quads",
+    "clear_graph",
+    "insert_doc",
+    "insert_docs",
+    "clear_collection",
+    "push_row",
+    "register_release",
+];
 
 /// A full analysis run's outcome.
 #[derive(Debug, Default)]
@@ -171,6 +187,23 @@ pub fn analyze(root: &Path) -> Report {
         if let Some((_, lexed)) = files.get(*rel) {
             diags.extend(deadline::check(rel, lexed, fn_names));
         }
+    }
+
+    // durability over the durable tier's mutation entry points. The file
+    // is in the lock_hold walk already; an unreadable copy was reported
+    // above, but a *missing* one must fail here — losing the durable tier
+    // silently would retire the contract with it.
+    match files.get(DURABLE_RS) {
+        Some((_, lexed)) => {
+            diags.extend(durability::check(DURABLE_RS, lexed, DURABLE_ENTRY_POINTS));
+        }
+        None => diags.push(Diagnostic::new(
+            DURABLE_RS,
+            1,
+            lints::DURABILITY,
+            "the durable tier's source is missing; the WAL-append-before-apply \
+             contract has nothing to check",
+        )),
     }
 
     // lock_hold over every lock-bearing crate.
@@ -356,6 +389,20 @@ pub fn self_test() -> Vec<String> {
     expect(
         lints::DEADLINE,
         deadline::check("fixture", &good, &fns),
+        false,
+    );
+
+    let bad = lexer::lex(include_str!("../fixtures/durability_bad.rs"));
+    let good = lexer::lex(include_str!("../fixtures/durability_good.rs"));
+    let entry_points = ["insert_quad", "insert_doc", "push_row"];
+    expect(
+        lints::DURABILITY,
+        durability::check("fixture", &bad, &entry_points),
+        true,
+    );
+    expect(
+        lints::DURABILITY,
+        durability::check("fixture", &good, &entry_points),
         false,
     );
 

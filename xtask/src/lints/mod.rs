@@ -3,6 +3,7 @@
 //! driver composes them over the real tree.
 
 pub mod deadline;
+pub mod durability;
 pub mod lock_hold;
 pub mod no_panic;
 pub mod plan_cache;
@@ -12,12 +13,13 @@ pub const PLAN_CACHE_KEY: &str = "plan_cache_key";
 pub const LOCK_HOLD: &str = "lock_hold";
 pub const DEADLINE: &str = "deadline";
 pub const NO_PANIC: &str = "no_panic";
+pub const DURABILITY: &str = "durability";
 /// Meta-lint for the escape mechanism itself (malformed/unknown/stale
 /// `// analyze: allow(...)` comments). Not escapable.
 pub const ESCAPE: &str = "escape";
 
 /// Every escapable lint (what an `allow(...)` may name).
-pub const ALL_LINTS: &[&str] = &[PLAN_CACHE_KEY, LOCK_HOLD, DEADLINE, NO_PANIC];
+pub const ALL_LINTS: &[&str] = &[PLAN_CACHE_KEY, LOCK_HOLD, DEADLINE, NO_PANIC, DURABILITY];
 
 /// One finding: `file:line: [lint] message`.
 #[derive(Debug, Clone)]
