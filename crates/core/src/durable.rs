@@ -260,7 +260,11 @@ impl DurableSystem {
             None => (BdiSystem::new(), DocStore::new()),
         };
 
-        let opened = Wal::open(Arc::clone(&vfs), dir.join(WAL_FILE))?;
+        // The image's seq floors the WAL's next seq: after a checkpoint
+        // truncated the log, the records alone would restart seqs below
+        // the covered point and the replay filter below would silently
+        // drop those acknowledged writes on the *next* open.
+        let opened = Wal::open(Arc::clone(&vfs), dir.join(WAL_FILE), recovery.snapshot_seq)?;
         recovery.wal_truncated_at = opened.truncated_at;
 
         let durable = DurableSystem {
@@ -299,7 +303,9 @@ impl DurableSystem {
 
     /// Adopts an already-built in-memory deployment as the initial state
     /// of a fresh data directory, writing its first snapshot image.
-    /// Refuses to clobber a directory that already holds one.
+    /// Refuses to clobber a directory that already holds an image — or a
+    /// WAL with journaled records (a never-checkpointed deployment that
+    /// [`DurableSystem::open`] would recover).
     pub fn create(
         dir: impl AsRef<Path>,
         system: BdiSystem,
@@ -321,7 +327,20 @@ impl DurableSystem {
         if vfs.exists(&snapshotter.image_path()) {
             return Err(DurableError::AlreadyInitialised(dir.display().to_string()));
         }
-        let opened = Wal::open(Arc::clone(&vfs), dir.join(WAL_FILE))?;
+        let opened = Wal::open(Arc::clone(&vfs), dir.join(WAL_FILE), 0)?;
+        if !opened.records.is_empty() {
+            // A WAL with journaled records but no snapshot image is a
+            // recoverable directory (cold start + replay), not a fresh
+            // one: adopting it would checkpoint an image whose seq covers
+            // records that were never applied, permanently discarding
+            // them.
+            return Err(DurableError::AlreadyInitialised(format!(
+                "{} ({} holds {} journaled record(s); open the directory instead)",
+                dir.display(),
+                WAL_FILE,
+                opened.records.len()
+            )));
+        }
         let durable = DurableSystem {
             system,
             store,
@@ -899,6 +918,64 @@ mod tests {
             validity_sensitive
         );
         assert_eq!(reopened.store().count("c"), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_after_checkpoint_and_reopen_survive_the_next_reopen() {
+        let dir = tmp("post-ckpt");
+        let (system, store) = supersede::build_running_example_with_store();
+        let durable = DurableSystem::create(&dir, system, store).unwrap();
+        durable.insert_quad(&probe_quad(1)).unwrap(); // seq 1
+        durable.checkpoint().unwrap(); // image.seq = 1, WAL truncated
+        drop(durable);
+
+        // The reopened handle must seed its seqs above the image's, or
+        // this acknowledged write lands at seq 1 <= image.seq and the
+        // next open's replay filter silently discards it.
+        let reopened = DurableSystem::open(&dir).unwrap();
+        reopened.insert_quad(&probe_quad(2)).unwrap();
+        drop(reopened);
+
+        let again = DurableSystem::open(&dir).unwrap();
+        assert_eq!(again.recovery().replayed, 1);
+        assert!(again.system().ontology().store().contains(&probe_quad(1)));
+        assert!(again.system().ontology().store().contains(&probe_quad(2)));
+
+        // And a checkpoint over the recovered handle must cover that
+        // write, never regress below the image's seq.
+        assert!(again.checkpoint().unwrap() >= 2);
+        drop(again);
+        let final_open = DurableSystem::open(&dir).unwrap();
+        assert!(final_open
+            .system()
+            .ontology()
+            .store()
+            .contains(&probe_quad(2)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_a_directory_with_journaled_records() {
+        let dir = tmp("refuse-wal");
+        // A never-checkpointed deployment: cold open + journaled writes,
+        // so the directory holds a WAL with records but no snapshot.
+        let cold = DurableSystem::open(&dir).unwrap();
+        cold.insert_quad(&probe_quad(1)).unwrap();
+        drop(cold);
+
+        let (system, store) = supersede::build_running_example_with_store();
+        assert!(matches!(
+            DurableSystem::create(&dir, system, store),
+            Err(DurableError::AlreadyInitialised(_))
+        ));
+        // The refused create must not have eaten the records.
+        let recovered = DurableSystem::open(&dir).unwrap();
+        assert!(recovered
+            .system()
+            .ontology()
+            .store()
+            .contains(&probe_quad(1)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -35,6 +35,10 @@ pub trait Vfs: Send + Sync {
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
     /// Creates `path` and its ancestors as directories.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory at `path` itself, making freshly created (or
+    /// renamed-in) entries durable — a file's own fsync does not cover
+    /// its directory entry.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
 }
 
 // ---------------------------------------------------------------------------
@@ -86,14 +90,7 @@ impl Vfs for StdVfs {
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         std::fs::rename(from, to)?;
         // Make the rename itself durable: fsync the parent directory.
-        // Best-effort — some platforms cannot sync a directory handle, and
-        // a failure here must not undo an already-visible rename.
-        if let Some(parent) = to.parent() {
-            if let Ok(dir) = std::fs::File::open(parent) {
-                let _ = dir.sync_all();
-            }
-        }
-        Ok(())
+        self.sync_dir(to.parent().unwrap_or(Path::new(".")))
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
@@ -104,6 +101,16 @@ impl Vfs for StdVfs {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Best-effort — some platforms cannot sync a directory handle,
+        // and a failure here must not undo an already-visible rename or
+        // create.
+        if let Ok(dir) = std::fs::File::open(path) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
     }
 }
 
@@ -300,6 +307,16 @@ impl Vfs for CrashyVfs {
             return Err(crash_err());
         }
         self.inner.create_dir_all(path)
+    }
+
+    /// Not counted against [`CrashPlan::fail_fsync_at`]: that budget is
+    /// "one fsync per acknowledged mutation", and directory syncs happen
+    /// only at file creation and snapshot rename.
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        if self.lock().crashed {
+            return Err(crash_err());
+        }
+        self.inner.sync_dir(path)
     }
 }
 

@@ -105,7 +105,14 @@ impl Wal {
     /// Opens (or creates) the log at `path`, scanning and returning every
     /// intact record and amputating any torn tail. Never panics on
     /// damaged input: damage truncates, it does not abort recovery.
-    pub fn open(vfs: Arc<dyn Vfs>, path: PathBuf) -> io::Result<WalOpen> {
+    ///
+    /// `covered_seq` is the last seq already covered by a snapshot image
+    /// (0 without one). Appends continue above **both** it and the last
+    /// on-disk record — a checkpoint truncates the log, so after a
+    /// restart the file alone under-reports how far seqs have gone, and
+    /// seeding from records only would hand out seqs the replay filter
+    /// (`seq > image.seq`) silently discards.
+    pub fn open(vfs: Arc<dyn Vfs>, path: PathBuf, covered_seq: u64) -> io::Result<WalOpen> {
         let mut records = Vec::new();
         let mut truncated_at = None;
 
@@ -138,9 +145,21 @@ impl Wal {
             let mut file = vfs.create(&path)?;
             file.write_all(WAL_MAGIC)?;
             file.sync()?;
+            drop(file);
+            // The file's bytes are durable, but its directory entry is
+            // not until the directory itself is fsynced — without this a
+            // power loss on a never-checkpointed data dir could drop
+            // wal.log entirely, acknowledged records and all.
+            if let Some(parent) = path.parent() {
+                vfs.sync_dir(parent)?;
+            }
         }
 
-        let next_seq = records.last().map(|r| r.seq + 1).unwrap_or(1);
+        let next_seq = records
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(1)
+            .max(covered_seq + 1);
         let file = vfs.open_append(&path)?;
         Ok(WalOpen {
             wal: Wal {
@@ -291,7 +310,7 @@ mod tests {
     fn append_commit_reopen_round_trips() {
         let dir = tmp("round");
         let path = dir.join(WAL_FILE);
-        let mut open = Wal::open(vfs(), path.clone()).unwrap();
+        let mut open = Wal::open(vfs(), path.clone(), 0).unwrap();
         assert!(open.records.is_empty());
         assert_eq!(open.wal.append(1, b"alpha").unwrap(), 1);
         assert_eq!(open.wal.append(2, b"").unwrap(), 2);
@@ -301,7 +320,7 @@ mod tests {
         assert_eq!(open.wal.stats().fsyncs, 1);
         drop(open);
 
-        let reopened = Wal::open(vfs(), path).unwrap();
+        let reopened = Wal::open(vfs(), path, 0).unwrap();
         assert_eq!(reopened.truncated_at, None);
         let records = &reopened.records;
         assert_eq!(records.len(), 3);
@@ -323,7 +342,7 @@ mod tests {
     fn torn_tail_is_truncated_not_panicked() {
         let dir = tmp("torn");
         let path = dir.join(WAL_FILE);
-        let mut open = Wal::open(vfs(), path.clone()).unwrap();
+        let mut open = Wal::open(vfs(), path.clone(), 0).unwrap();
         open.wal.append(1, b"keep me").unwrap();
         open.wal.commit().unwrap();
         drop(open);
@@ -336,7 +355,7 @@ mod tests {
         bytes.extend_from_slice(b"short");
         std::fs::write(&path, &bytes).unwrap();
 
-        let reopened = Wal::open(vfs(), path.clone()).unwrap();
+        let reopened = Wal::open(vfs(), path.clone(), 0).unwrap();
         assert_eq!(reopened.records.len(), 1);
         assert_eq!(reopened.truncated_at, Some(intact_len));
         assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
@@ -347,7 +366,7 @@ mod tests {
     fn corrupt_crc_truncates_from_the_bad_record() {
         let dir = tmp("crc");
         let path = dir.join(WAL_FILE);
-        let mut open = Wal::open(vfs(), path.clone()).unwrap();
+        let mut open = Wal::open(vfs(), path.clone(), 0).unwrap();
         open.wal.append(1, b"first").unwrap();
         open.wal.append(1, b"second").unwrap();
         open.wal.commit().unwrap();
@@ -359,7 +378,7 @@ mod tests {
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
 
-        let reopened = Wal::open(vfs(), path).unwrap();
+        let reopened = Wal::open(vfs(), path, 0).unwrap();
         assert_eq!(reopened.records.len(), 1);
         assert_eq!(reopened.records[0].op, b"first".to_vec());
         assert!(reopened.truncated_at.is_some());
@@ -373,7 +392,7 @@ mod tests {
         let dir = tmp("magic");
         let path = dir.join(WAL_FILE);
         std::fs::write(&path, b"NOTAWAL!rest").unwrap();
-        let open = Wal::open(vfs(), path.clone()).unwrap();
+        let open = Wal::open(vfs(), path.clone(), 0).unwrap();
         assert!(open.records.is_empty());
         assert_eq!(open.truncated_at, Some(0));
         drop(open);
@@ -382,10 +401,31 @@ mod tests {
     }
 
     #[test]
+    fn covered_seq_floors_next_seq_over_a_truncated_log() {
+        let dir = tmp("floor");
+        let path = dir.join(WAL_FILE);
+        // An empty (checkpoint-truncated) log with image.seq = 5 must not
+        // hand out seqs 1..=5 again — replay would filter them away.
+        let mut open = Wal::open(vfs(), path.clone(), 5).unwrap();
+        assert_eq!(open.wal.next_seq(), 6);
+        assert_eq!(open.wal.append(1, b"post-checkpoint").unwrap(), 6);
+        open.wal.commit().unwrap();
+        drop(open);
+        // On-disk records beyond the floor win over it.
+        let reopened = Wal::open(vfs(), path.clone(), 5).unwrap();
+        assert_eq!(reopened.wal.next_seq(), 7);
+        drop(reopened);
+        // A stale floor never rewinds below the records.
+        let reopened = Wal::open(vfs(), path, 2).unwrap();
+        assert_eq!(reopened.wal.next_seq(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn reset_empties_but_seq_keeps_counting() {
         let dir = tmp("reset");
         let path = dir.join(WAL_FILE);
-        let mut open = Wal::open(vfs(), path.clone()).unwrap();
+        let mut open = Wal::open(vfs(), path.clone(), 0).unwrap();
         open.wal.append(1, b"a").unwrap();
         open.wal.append(1, b"b").unwrap();
         open.wal.commit().unwrap();
@@ -393,7 +433,7 @@ mod tests {
         assert_eq!(open.wal.append(1, b"c").unwrap(), 3);
         open.wal.commit().unwrap();
         drop(open);
-        let reopened = Wal::open(vfs(), path).unwrap();
+        let reopened = Wal::open(vfs(), path, 0).unwrap();
         assert_eq!(reopened.records.len(), 1);
         assert_eq!(reopened.records[0].seq, 3);
         let _ = std::fs::remove_dir_all(&dir);
